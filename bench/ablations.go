@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/cluster"
+	"github.com/catfish-db/catfish/internal/stats"
+	"github.com/catfish-db/catfish/internal/workload"
+)
+
+// ablationConfig is the common saturated-server setup the ablations vary:
+// Catfish under the CPU-bound workload, where adaptivity matters most.
+func (o Options) ablationConfig(cache *datasetCache, clients int) (cluster.Config, error) {
+	tree, err := cache.uniformTree()
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	return cluster.Config{
+		Scheme:            cluster.SchemeCatfish,
+		PrebuiltTree:      tree,
+		Workload:          searchMix(workload.UniformScale{Scale: 0.00001}),
+		NumClients:        clients,
+		RequestsPerClient: o.Requests,
+		ServerCores:       o.ServerCores,
+		HeartbeatInv:      o.HeartbeatInv,
+		Seed:              o.Seed,
+	}, nil
+}
+
+func (o Options) ablationClients() int {
+	n := o.Clients[len(o.Clients)-1]
+	if n > 128 {
+		n = 128
+	}
+	return n
+}
+
+// AblationBackoffN sweeps Algorithm 1's back-off window N (paper default 8).
+func AblationBackoffN(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	cache := newCache(o)
+	clients := o.ablationClients()
+	table := stats.NewTable("N", "kops", "mean_lat_us", "offload%", "serverCPU%")
+	for _, n := range []int{1, 4, 8, 16, 64} {
+		cfg, err := o.ablationConfig(cache, clients)
+		if err != nil {
+			return nil, err
+		}
+		cfg.N = n
+		res, err := cluster.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation N=%d: %w", n, err)
+		}
+		table.AddRow(fmt.Sprintf("%d", n), fmtKops(res.Kops), fmtDur(res.Latency.Mean),
+			fmt.Sprintf("%.1f", res.OffloadFraction*100),
+			fmt.Sprintf("%.1f", res.ServerCPUUtil*100))
+	}
+	return table, nil
+}
+
+// AblationThresholdT sweeps the busy threshold T (paper default 0.95).
+func AblationThresholdT(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	cache := newCache(o)
+	clients := o.ablationClients()
+	table := stats.NewTable("T", "kops", "mean_lat_us", "offload%", "serverCPU%")
+	for _, t := range []float64{0.5, 0.8, 0.95, 0.99} {
+		cfg, err := o.ablationConfig(cache, clients)
+		if err != nil {
+			return nil, err
+		}
+		cfg.T = t
+		res, err := cluster.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation T=%g: %w", t, err)
+		}
+		table.AddRow(fmt.Sprintf("%.2f", t), fmtKops(res.Kops), fmtDur(res.Latency.Mean),
+			fmt.Sprintf("%.1f", res.OffloadFraction*100),
+			fmt.Sprintf("%.1f", res.ServerCPUUtil*100))
+	}
+	return table, nil
+}
+
+// AblationHeartbeat sweeps the heartbeat interval (paper default 10 ms).
+func AblationHeartbeat(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	cache := newCache(o)
+	clients := o.ablationClients()
+	table := stats.NewTable("interval", "kops", "mean_lat_us", "offload%")
+	for _, inv := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 10 * time.Millisecond} {
+		cfg, err := o.ablationConfig(cache, clients)
+		if err != nil {
+			return nil, err
+		}
+		cfg.HeartbeatInv = inv
+		res, err := cluster.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation inv=%v: %w", inv, err)
+		}
+		table.AddRow(inv.String(), fmtKops(res.Kops), fmtDur(res.Latency.Mean),
+			fmt.Sprintf("%.1f", res.OffloadFraction*100))
+	}
+	return table, nil
+}
+
+// AblationMultiIssueDepth sweeps the data QP send-queue depth bounding
+// outstanding one-sided reads (1 = single-issue).
+func AblationMultiIssueDepth(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	cache := newCache(o)
+	tree, err := cache.uniformTree()
+	if err != nil {
+		return nil, err
+	}
+	table := stats.NewTable("depth", "mean_lat_us", "kops")
+	for _, depth := range []int{1, 2, 4, 16, 64} {
+		res, err := cluster.Run(cluster.Config{
+			Scheme:            cluster.SchemeOffloadMulti,
+			PrebuiltTree:      tree,
+			Workload:          searchMix(workload.UniformScale{Scale: 0.01}),
+			NumClients:        1,
+			RequestsPerClient: o.Requests,
+			ServerCores:       o.ServerCores,
+			MultiIssueDepth:   depth,
+			Seed:              o.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation depth=%d: %w", depth, err)
+		}
+		table.AddRow(fmt.Sprintf("%d", depth), fmtDur(res.Latency.Mean), fmtKops(res.Kops))
+	}
+	return table, nil
+}
+
+// AblationRootCache compares offloaded traversal with and without the
+// client-side root cache extension (heartbeat-versioned invalidation).
+func AblationRootCache(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	cache := newCache(o)
+	tree, err := cache.uniformTree()
+	if err != nil {
+		return nil, err
+	}
+	table := stats.NewTable("root_cache", "mean_lat_us", "kops", "nodes_fetched")
+	for _, cached := range []bool{false, true} {
+		res, err := cluster.Run(cluster.Config{
+			Scheme:            cluster.SchemeOffloadMulti,
+			PrebuiltTree:      tree,
+			Workload:          searchMix(workload.UniformScale{Scale: 0.00001}),
+			NumClients:        8,
+			RequestsPerClient: o.Requests,
+			ServerCores:       o.ServerCores,
+			HeartbeatInv:      o.HeartbeatInv,
+			CacheRoot:         cached,
+			Seed:              o.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation rootcache=%v: %w", cached, err)
+		}
+		table.AddRow(fmt.Sprintf("%v", cached), fmtDur(res.Latency.Mean),
+			fmtKops(res.Kops), fmt.Sprintf("%d", res.NodesFetched))
+	}
+	return table, nil
+}
+
+// AblationPredictor compares the paper's most-recent-value utilization
+// predictor with the EWMA extension under the saturated workload.
+func AblationPredictor(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	cache := newCache(o)
+	clients := o.ablationClients()
+	table := stats.NewTable("predictor", "kops", "mean_lat_us", "offload%")
+	for _, alpha := range []float64{0, 0.3, 0.7} {
+		cfg, err := o.ablationConfig(cache, clients)
+		if err != nil {
+			return nil, err
+		}
+		cfg.PredSmoothing = alpha
+		res, err := cluster.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation alpha=%g: %w", alpha, err)
+		}
+		name := "latest (paper)"
+		if alpha > 0 {
+			name = fmt.Sprintf("ewma a=%.1f", alpha)
+		}
+		table.AddRow(name, fmtKops(res.Kops), fmtDur(res.Latency.Mean),
+			fmt.Sprintf("%.1f", res.OffloadFraction*100))
+	}
+	return table, nil
+}
+
+// AblationChunkSize sweeps the region chunk size (node fan-out follows the
+// chunk capacity), trading per-read bytes against tree height.
+func AblationChunkSize(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	table := stats.NewTable("chunk_bytes", "fanout", "height", "offload_lat_us", "offload_kops")
+	items := newCache(o).uniformData()
+	for _, chunk := range []int{1024, 4096, 16384} {
+		maxEntries := (chunk/64*56 - 16) / 40
+		if maxEntries > 64 {
+			maxEntries = 64
+		}
+		res, err := cluster.Run(cluster.Config{
+			Scheme:            cluster.SchemeOffloadMulti,
+			Dataset:           items,
+			Workload:          searchMix(workload.UniformScale{Scale: 0.0001}),
+			NumClients:        8,
+			RequestsPerClient: o.Requests,
+			ServerCores:       o.ServerCores,
+			ChunkSize:         chunk,
+			MaxEntries:        maxEntries,
+			Seed:              o.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation chunk=%d: %w", chunk, err)
+		}
+		// Height is recomputed from the run's dataset size and fan-out.
+		table.AddRow(fmt.Sprintf("%d", chunk), fmt.Sprintf("%d", maxEntries),
+			"-", fmtDur(res.Latency.Mean), fmtKops(res.Kops))
+	}
+	return table, nil
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickOpts shrinks every figure to smoke-test size.
+func quickOpts() Options { return Options{Quick: true, Seed: 1} }
+
+func TestFig2Quick(t *testing.T) {
+	table, results, err := Fig2(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 { // 2 scales x 2 client counts
+		t.Fatalf("results = %d", len(results))
+	}
+	out := table.String()
+	for _, want := range []string{"scale", "serverTX_Gbps", "0.01", "1e-05"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// The bandwidth-bound scale must move more server TX bytes per op than
+	// the CPU-bound scale at equal client count.
+	if results[1].ServerTXGbps <= results[3].ServerTXGbps {
+		t.Errorf("scale 0.01 TX %.3f should exceed scale 1e-05 TX %.3f",
+			results[1].ServerTXGbps, results[3].ServerTXGbps)
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	table, results, err := Fig7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 { // 2 scales x 2 client counts x 2 schemes
+		t.Fatalf("results = %d", len(results))
+	}
+	// At the higher client count the event server must beat polling on
+	// latency (pairs are [polling, event]).
+	pollingHi, eventHi := results[2], results[3]
+	if eventHi.Latency.Mean >= pollingHi.Latency.Mean {
+		t.Errorf("event latency %v should beat polling %v at high client count",
+			eventHi.Latency.Mean, pollingHi.Latency.Mean)
+	}
+	_ = table
+}
+
+func TestFig8Quick(t *testing.T) {
+	_, results, err := Fig8(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs are [single, multi]: multi-issue must not be slower anywhere.
+	for i := 0; i+1 < len(results); i += 2 {
+		if results[i+1].Latency.Mean > results[i].Latency.Mean {
+			t.Errorf("multi-issue slower at pair %d: %v vs %v",
+				i/2, results[i+1].Latency.Mean, results[i].Latency.Mean)
+		}
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	table, err := Fig9(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := table.String()
+	for _, series := range []string{"tcp-1g", "tcp-40g", "rdma-read", "rdma-write"} {
+		if !strings.Contains(out, series) {
+			t.Errorf("missing series %s", series)
+		}
+	}
+}
+
+func TestFig10And11Quick(t *testing.T) {
+	thr, lat, results, err := Fig10And11(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 scales x 2 client counts x 5 schemes.
+	if len(results) != 30 {
+		t.Fatalf("results = %d", len(results))
+	}
+	sp := Speedups(results).String()
+	for _, base := range []string{"tcp-1g", "fastmsg", "offload"} {
+		if !strings.Contains(sp, base) {
+			t.Errorf("speedups missing %s:\n%s", base, sp)
+		}
+	}
+	if thr.String() == "" || lat.String() == "" {
+		t.Error("empty tables")
+	}
+}
+
+func TestFig12And13Quick(t *testing.T) {
+	_, _, results, err := Fig12And13(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hybrid runs must actually insert.
+	for _, r := range results {
+		if r.ServerStats.Inserts == 0 {
+			t.Errorf("%s: no inserts in hybrid run", r.Scheme)
+		}
+	}
+}
+
+func TestFig14Quick(t *testing.T) {
+	thr, lat, results, err := Fig14(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 10 { // 2 client counts x 5 schemes
+		t.Fatalf("results = %d", len(results))
+	}
+	if thr.String() == "" || lat.String() == "" {
+		t.Error("empty tables")
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	for name, fn := range map[string]func(Options) (interface{ String() string }, error){
+		"n": func(o Options) (interface{ String() string }, error) { return AblationBackoffN(o) },
+		"t": func(o Options) (interface{ String() string }, error) { return AblationThresholdT(o) },
+		"heartbeat": func(o Options) (interface{ String() string }, error) {
+			return AblationHeartbeat(o)
+		},
+		"multiissue": func(o Options) (interface{ String() string }, error) {
+			return AblationMultiIssueDepth(o)
+		},
+		"chunk": func(o Options) (interface{ String() string }, error) {
+			return AblationChunkSize(o)
+		},
+		"rootcache": func(o Options) (interface{ String() string }, error) {
+			return AblationRootCache(o)
+		},
+		"predictor": func(o Options) (interface{ String() string }, error) {
+			return AblationPredictor(o)
+		},
+		"framework": func(o Options) (interface{ String() string }, error) {
+			return Framework(o)
+		},
+	} {
+		table, err := fn(quickOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if table.String() == "" {
+			t.Errorf("%s: empty table", name)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.DatasetSize != 2_000_000 || o.Requests != 600 || len(o.Clients) != 4 {
+		t.Errorf("defaults = %+v", o)
+	}
+	q := Options{Quick: true}.withDefaults()
+	if q.DatasetSize != 50_000 || q.Requests != 100 {
+		t.Errorf("quick = %+v", q)
+	}
+	f := Options{Full: true}.withDefaults()
+	if f.DatasetSize != 2_000_000 || f.Requests != 10_000 {
+		t.Errorf("full = %+v", f)
+	}
+}

@@ -1,0 +1,257 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark runs the corresponding experiment suite once per iteration
+// on the simulated cluster and reports headline metrics; run with -v to see
+// the full tables. cmd/catfish-bench produces the same tables standalone,
+// and EXPERIMENTS.md records the paper-vs-measured comparison.
+package catfish_test
+
+import (
+	"testing"
+
+	"github.com/catfish-db/catfish/bench"
+	"github.com/catfish-db/catfish/internal/cluster"
+)
+
+// benchOptions scales the suite so the full `go test -bench .` completes in
+// minutes. Use cmd/catfish-bench -full for the paper's exact parameters.
+func benchOptions() bench.Options {
+	return bench.Options{
+		DatasetSize: 500_000,
+		Requests:    300,
+		Clients:     []int{32, 64, 128},
+		Seed:        1,
+	}
+}
+
+func BenchmarkFig2Motivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, results, err := bench.Fig2(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.String())
+			reportLastCPU(b, results)
+		}
+	}
+}
+
+func reportLastCPU(b *testing.B, results []cluster.Result) {
+	if len(results) == 0 {
+		return
+	}
+	last := results[len(results)-1]
+	b.ReportMetric(last.ServerCPUUtil*100, "serverCPU%")
+	b.ReportMetric(last.ServerTXGbps, "serverTX_Gbps")
+}
+
+func BenchmarkFig7PollingVsEvent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, results, err := bench.Fig7(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.String())
+			// Report the worst polling-to-event latency ratio observed.
+			worst := 0.0
+			for j := 0; j+1 < len(results); j += 2 {
+				r := float64(results[j].Latency.Mean) / float64(results[j+1].Latency.Mean)
+				if r > worst {
+					worst = r
+				}
+			}
+			b.ReportMetric(worst, "polling/event_latency_x")
+		}
+	}
+}
+
+func BenchmarkFig8MultiIssue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, results, err := bench.Fig8(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.String())
+			best := 0.0
+			for j := 0; j+1 < len(results); j += 2 {
+				red := 100 * (1 - float64(results[j+1].Latency.Mean)/float64(results[j].Latency.Mean))
+				if red > best {
+					best = red
+				}
+			}
+			b.ReportMetric(best, "max_latency_reduction_%")
+		}
+	}
+}
+
+func BenchmarkFig9Micro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := bench.Fig9(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.String())
+		}
+	}
+}
+
+func BenchmarkFig10SearchThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		thr, _, results, err := bench.Fig10And11(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\nFig 10 throughput (Kops):\n" + thr.String())
+			b.Log("\nSpeedups:\n" + bench.Speedups(results).String())
+			reportCatfishBest(b, results)
+		}
+	}
+}
+
+func reportCatfishBest(b *testing.B, results []cluster.Result) {
+	best := 0.0
+	for _, r := range results {
+		if r.Scheme == "catfish" && r.Kops > best {
+			best = r.Kops
+		}
+	}
+	b.ReportMetric(best, "catfish_peak_kops")
+}
+
+func BenchmarkFig11SearchLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, lat, results, err := bench.Fig10And11(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\nFig 11 latency (mean µs):\n" + lat.String())
+			var catfishWorst float64
+			for _, r := range results {
+				if r.Scheme == "catfish" {
+					if v := float64(r.Latency.Mean.Microseconds()); v > catfishWorst {
+						catfishWorst = v
+					}
+				}
+			}
+			b.ReportMetric(catfishWorst, "catfish_worst_mean_us")
+		}
+	}
+}
+
+func BenchmarkFig12HybridThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		thr, _, results, err := bench.Fig12And13(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\nFig 12 throughput (Kops):\n" + thr.String())
+			b.Log("\nSpeedups:\n" + bench.Speedups(results).String())
+			reportCatfishBest(b, results)
+		}
+	}
+}
+
+func BenchmarkFig13HybridLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, lat, _, err := bench.Fig12And13(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\nFig 13 latency (mean µs):\n" + lat.String())
+		}
+	}
+}
+
+func BenchmarkFig14Rea02(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		thr, lat, results, err := bench.Fig14(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\nFig 14a throughput (Kops):\n" + thr.String())
+			b.Log("\nFig 14b latency (mean µs):\n" + lat.String())
+			b.Log("\nSpeedups:\n" + bench.Speedups(results).String())
+			reportCatfishBest(b, results)
+		}
+	}
+}
+
+func BenchmarkAblationBackoffN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := bench.AblationBackoffN(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.String())
+		}
+	}
+}
+
+func BenchmarkAblationThresholdT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := bench.AblationThresholdT(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.String())
+		}
+	}
+}
+
+func BenchmarkAblationHeartbeat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := bench.AblationHeartbeat(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.String())
+		}
+	}
+}
+
+func BenchmarkAblationMultiIssueDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := bench.AblationMultiIssueDepth(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.String())
+		}
+	}
+}
+
+func BenchmarkAblationChunkSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := bench.AblationChunkSize(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.String())
+		}
+	}
+}
+
+func BenchmarkFrameworkKV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := bench.Framework(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.String())
+		}
+	}
+}

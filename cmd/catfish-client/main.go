@@ -1,0 +1,129 @@
+// Command catfish-client drives load against a catfish-server over real
+// TCP, reporting throughput and latency percentiles:
+//
+//	catfish-client -addr 127.0.0.1:7373 -clients 8 -requests 10000
+//	catfish-client -addr ... -method offload -multiissue
+//	catfish-client -addr ... -adaptive -insert-fraction 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	catfish "github.com/catfish-db/catfish"
+	"github.com/catfish-db/catfish/internal/rpcnet"
+	"github.com/catfish-db/catfish/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7373", "server address")
+		clients    = flag.Int("clients", 4, "concurrent client connections")
+		requests   = flag.Int("requests", 2000, "requests per client")
+		scale      = flag.Float64("scale", 0.001, "query scale (edges uniform in (0, scale])")
+		method     = flag.String("method", "fast", "search method: fast | offload")
+		adaptive   = flag.Bool("adaptive", false, "run Algorithm 1 (overrides -method)")
+		multiIssue = flag.Bool("multiissue", false, "pipeline offloaded chunk reads")
+		insertFrac = flag.Float64("insert-fraction", 0, "fraction of requests that insert")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	forced := rpcnet.MethodFast
+	if *method == "offload" {
+		forced = rpcnet.MethodOffload
+	} else if *method != "fast" {
+		return fmt.Errorf("unknown method %q", *method)
+	}
+
+	type result struct {
+		hist  *stats.Histogram
+		stats rpcnet.ClientStats
+		err   error
+	}
+	results := make([]result, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hist := stats.NewHistogram()
+			results[i].hist = hist
+			c, err := catfish.Dial(*addr, catfish.NetClientConfig{
+				Adaptive:   *adaptive,
+				Forced:     forced,
+				MultiIssue: *multiIssue,
+				Seed:       *seed + int64(i),
+			})
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(*seed + int64(i)*7919))
+			for r := 0; r < *requests; r++ {
+				t0 := time.Now()
+				if *insertFrac > 0 && rng.Float64() < *insertFrac {
+					x, y := rng.Float64(), rng.Float64()
+					rect := catfish.NewRect(x, y, minf(x+1e-5, 1), minf(y+1e-5, 1))
+					if err := c.Insert(rect, uint64(i)<<32|uint64(r)); err != nil {
+						results[i].err = err
+						return
+					}
+				} else {
+					w := rng.Float64() * *scale
+					h := rng.Float64() * *scale
+					x := rng.Float64() * (1 - w)
+					y := rng.Float64() * (1 - h)
+					if _, _, err := c.Search(catfish.NewRect(x, y, x+w, y+h)); err != nil {
+						results[i].err = err
+						return
+					}
+				}
+				hist.Record(time.Since(t0))
+			}
+			results[i].stats = c.Stats()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := stats.NewHistogram()
+	var agg rpcnet.ClientStats
+	for i, r := range results {
+		if r.err != nil {
+			return fmt.Errorf("client %d: %w", i, r.err)
+		}
+		total.Merge(r.hist)
+		agg.FastSearches += r.stats.FastSearches
+		agg.OffloadSearches += r.stats.OffloadSearches
+		agg.TornRetries += r.stats.TornRetries
+		agg.ChunksFetched += r.stats.ChunksFetched
+	}
+	s := total.Summarize()
+	fmt.Printf("ops: %d in %v  =>  %.1f Kops\n", s.Count, elapsed.Round(time.Millisecond),
+		float64(s.Count)/elapsed.Seconds()/1e3)
+	fmt.Printf("latency: mean=%v p50=%v p95=%v p99=%v max=%v\n", s.Mean, s.P50, s.P95, s.P99, s.Max)
+	fmt.Printf("fast=%d offload=%d chunk reads=%d torn retries=%d\n",
+		agg.FastSearches, agg.OffloadSearches, agg.ChunksFetched, agg.TornRetries)
+	return nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

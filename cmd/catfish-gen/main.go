@@ -1,0 +1,55 @@
+// Command catfish-gen generates dataset files for catfish-server:
+//
+//	catfish-gen -out rects.bin -items 2000000                 # uniform
+//	catfish-gen -out rea02.bin -dataset rea02 -items 1888012  # rea02-like
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	catfish "github.com/catfish-db/catfish"
+	"github.com/catfish-db/catfish/internal/dataio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		out     = flag.String("out", "", "output file (required)")
+		items   = flag.Int("items", 2_000_000, "rectangle count")
+		dataset = flag.String("dataset", "uniform", "dataset kind: uniform | rea02")
+		maxEdge = flag.Float64("maxedge", 0.0001, "uniform dataset: maximum rectangle edge")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		return fmt.Errorf("-out is required")
+	}
+	var entries []catfish.Entry
+	switch *dataset {
+	case "uniform":
+		entries = catfish.UniformRects(*items, *maxEdge, *seed)
+	case "rea02":
+		entries = catfish.Rea02Like(catfish.Rea02Config{N: *items, Seed: *seed})
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dataio.WriteEntries(f, entries); err != nil {
+		return err
+	}
+	log.Printf("wrote %d rectangles to %s", len(entries), *out)
+	return f.Close()
+}

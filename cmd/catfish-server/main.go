@@ -1,0 +1,84 @@
+// Command catfish-server serves a Catfish R-tree over real TCP.
+//
+// It builds (or loads) a dataset, bulk-loads the region-backed R*-tree,
+// and serves search/insert/delete plus emulated one-sided chunk reads:
+//
+//	catfish-server -addr :7373 -items 2000000
+//	catfish-server -addr :7373 -dataset rea02 -heartbeat 10ms
+//	catfish-server -addr :7373 -load rects.bin     # from catfish-gen
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	catfish "github.com/catfish-db/catfish"
+	"github.com/catfish-db/catfish/internal/dataio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7373", "listen address")
+		items     = flag.Int("items", 200_000, "synthetic dataset size")
+		dataset   = flag.String("dataset", "uniform", "dataset kind: uniform | rea02")
+		load      = flag.String("load", "", "load dataset from a catfish-gen file instead")
+		heartbeat = flag.Duration("heartbeat", 10*time.Millisecond, "heartbeat interval (0 disables)")
+		fanout    = flag.Int("fanout", 64, "R-tree fan-out M")
+		seed      = flag.Int64("seed", 1, "dataset seed")
+	)
+	flag.Parse()
+
+	var entries []catfish.Entry
+	switch {
+	case *load != "":
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		entries, err = dataio.ReadEntries(f)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", *load, err)
+		}
+	case *dataset == "rea02":
+		entries = catfish.Rea02Like(catfish.Rea02Config{N: *items, Seed: *seed})
+	case *dataset == "uniform":
+		entries = catfish.UniformRects(*items, 0.0001, *seed)
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+
+	perLeaf := *fanout / 2
+	chunks := len(entries)/perLeaf + len(entries)/(perLeaf*perLeaf) + 4096
+	reg, err := catfish.NewMemoryRegion(chunks*2, 4096)
+	if err != nil {
+		return err
+	}
+	tree, err := catfish.NewTree(reg, catfish.TreeConfig{MaxEntries: *fanout})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := tree.BulkLoad(entries, 0); err != nil {
+		return err
+	}
+	log.Printf("loaded %d rectangles in %v (height %d, region %d MB)",
+		tree.Len(), time.Since(start).Round(time.Millisecond), tree.Height(), reg.Size()>>20)
+
+	srv, err := catfish.Listen(*addr, tree, catfish.NetServerConfig{HeartbeatInterval: *heartbeat})
+	if err != nil {
+		return err
+	}
+	log.Printf("serving on %s (root chunk %d, chunk size %d)",
+		srv.Addr(), tree.RootChunk(), reg.ChunkSize())
+	return srv.Serve()
+}

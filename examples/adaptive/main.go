@@ -1,0 +1,75 @@
+// Adaptive: a scaled-down rerun of the paper's headline evaluation
+// (Fig 10/11). Five schemes — kernel TCP on 1G and 40G Ethernet, the
+// FaRM-style fast-messaging and offloading baselines, and Catfish — serve
+// the same closed-loop search workload, once in the CPU-bound regime
+// (request scale 0.00001) and once in the bandwidth-bound regime (0.01).
+//
+// Expected shape (matches the paper): fast messaging plateaus when server
+// CPU saturates, offloading plateaus when the server NIC saturates, and
+// Catfish beats both by splitting the load adaptively.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	catfish "github.com/catfish-db/catfish"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		datasetSize = 500_000
+		clients     = 64
+		requests    = 500
+	)
+	fmt.Printf("dataset: %d uniform rectangles; %d clients x %d searches each\n\n",
+		datasetSize, clients, requests)
+	dataset := catfish.UniformRects(datasetSize, 0.0001, 1)
+
+	schemes := []catfish.Scheme{
+		catfish.SchemeTCP1G,
+		catfish.SchemeTCP40G,
+		catfish.SchemeFastMessaging,
+		catfish.SchemeOffloading,
+		catfish.SchemeCatfish,
+	}
+
+	for _, scale := range []float64{0.00001, 0.01} {
+		regime := "CPU-bound (small scope)"
+		if scale == 0.01 {
+			regime = "bandwidth-bound (large scope)"
+		}
+		fmt.Printf("--- request scale %g: %s ---\n", scale, regime)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "scheme\tKops\tmean lat\tp99 lat\tserver CPU\tserver TX\toffloaded")
+		for _, s := range schemes {
+			res, err := catfish.RunExperiment(catfish.ExperimentConfig{
+				Scheme:            s,
+				Dataset:           dataset,
+				Workload:          catfish.NewMix(catfish.UniformScale{Scale: scale}, catfish.SkewedInserts{Edge: 0.0001}, 0, 1<<32),
+				NumClients:        clients,
+				RequestsPerClient: requests,
+				Seed:              7,
+			})
+			if err != nil {
+				return fmt.Errorf("%s: %w", s.Name, err)
+			}
+			fmt.Fprintf(w, "%s\t%.1f\t%v\t%v\t%.0f%%\t%.1f Gbps\t%.0f%%\n",
+				res.Scheme, res.Kops, res.Latency.Mean, res.Latency.P99,
+				res.ServerCPUUtil*100, res.ServerTXGbps, res.OffloadFraction*100)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+// Realnet: Catfish over actual TCP sockets in one process — a server
+// goroutine serves a 100k-rectangle tree on localhost while client
+// goroutines query it by fast messaging and by emulated one-sided reads,
+// with a writer racing them to exercise the version-check retry path under
+// real concurrency.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	catfish "github.com/catfish-db/catfish"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	reg, err := catfish.NewMemoryRegion(1<<14, 4096)
+	if err != nil {
+		return err
+	}
+	tree, err := catfish.NewTree(reg, catfish.TreeConfig{})
+	if err != nil {
+		return err
+	}
+	if err := tree.BulkLoad(catfish.UniformRects(100_000, 0.0001, 1), 0); err != nil {
+		return err
+	}
+
+	srv, err := catfish.Listen("127.0.0.1:0", tree, catfish.NetServerConfig{
+		HeartbeatInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	go srv.Serve() //nolint:errcheck // returns on Close
+	fmt.Println("serving", tree.Len(), "rectangles on", srv.Addr())
+
+	// A writer keeps inserting while readers traverse.
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		w, err := catfish.Dial(srv.Addr().String(), catfish.NetClientConfig{})
+		if err != nil {
+			log.Println("writer:", err)
+			return
+		}
+		defer w.Close()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			x, y := rng.Float64(), rng.Float64()
+			r := catfish.NewRect(x, y, min1(x+1e-5), min1(y+1e-5))
+			if err := w.Insert(r, uint64(1_000_000+i)); err != nil {
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, mode := range []struct {
+		name string
+		cfg  catfish.NetClientConfig
+	}{
+		{"fast", catfish.NetClientConfig{Forced: catfish.NetMethodFast}},
+		{"offload", catfish.NetClientConfig{Forced: catfish.NetMethodOffload, MultiIssue: true}},
+	} {
+		mode := mode
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := catfish.Dial(srv.Addr().String(), mode.cfg)
+			if err != nil {
+				log.Println(mode.name, err)
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(7))
+			start := time.Now()
+			const n = 1500
+			hits := 0
+			for i := 0; i < n; i++ {
+				x, y := rng.Float64()*0.99, rng.Float64()*0.99
+				items, _, err := c.Search(catfish.NewRect(x, y, x+0.01, y+0.01))
+				if err != nil {
+					log.Println(mode.name, err)
+					return
+				}
+				hits += len(items)
+			}
+			st := c.Stats()
+			fmt.Printf("%-8s %d searches in %v (avg %.1f hits, %d chunk reads, %d torn retries)\n",
+				mode.name, n, time.Since(start).Round(time.Millisecond),
+				float64(hits)/n, st.ChunksFetched, st.TornRetries)
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	writerWG.Wait()
+	fmt.Printf("server totals: %+v\n", srv.Stats())
+	return nil
+}
+
+func min1(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	return v
+}

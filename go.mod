@@ -1,0 +1,3 @@
+module github.com/catfish-db/catfish
+
+go 1.22

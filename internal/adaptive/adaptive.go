@@ -1,0 +1,115 @@
+// Package adaptive implements the client module of the paper's Algorithm 1
+// as a reusable state machine, so every Catfish-style client — the R-tree
+// client, the KV client, or any future link-based structure (§VI) — runs
+// the identical back-off policy.
+//
+// The server module periodically writes its CPU utilization into a
+// per-client mailbox; the client consults the mailbox before each read
+// request. When the predicted utilization exceeds the threshold T, the
+// client offloads its next n ∈ [0, N) requests, extending the window to
+// [(k−1)·N, k·N) across k consecutive busy observations, randomized so the
+// client fleet neither stampedes off the server nor returns all at once.
+//
+// One deliberate deviation from the paper's pseudocode: the busy-streak
+// counter r_busy is only re-evaluated when a fresh heartbeat has been
+// consumed. Read literally, Algorithm 1's lines 12-17 reset r_busy on
+// every request arriving between heartbeats (where U = 0), which would cap
+// the window at [0, N) forever, contradicting §IV-A's prose; gating the
+// update on heartbeat arrival implements the described behaviour.
+package adaptive
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Config parametrizes the switch.
+type Config struct {
+	// N is the back-off window unit (paper: 8).
+	N int
+	// T is the busy threshold on predicted utilization (paper: 0.95).
+	T float64
+	// Inv is the heartbeat interval agreed with the server (paper: 10 ms).
+	Inv time.Duration
+	// PredSmoothing > 0 selects an EWMA predictor with coefficient α;
+	// zero selects the paper's most-recent-value predictor.
+	PredSmoothing float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 8
+	}
+	if c.T == 0 {
+		c.T = 0.95
+	}
+	if c.Inv == 0 {
+		c.Inv = 10 * time.Millisecond
+	}
+	return c
+}
+
+// Switch is the per-client Algorithm 1 state. Not safe for concurrent use.
+type Switch struct {
+	cfg Config
+	rng *rand.Rand
+
+	rbusy int
+	roff  int
+	t0    time.Duration
+	pred  float64
+
+	// HeartbeatsSeen counts consumed heartbeats.
+	HeartbeatsSeen uint64
+}
+
+// New returns a switch with the given configuration and randomness source.
+func New(cfg Config, rng *rand.Rand) *Switch {
+	return &Switch{cfg: cfg.withDefaults(), rng: rng}
+}
+
+// Decide returns true when the next read request should be offloaded.
+// now is the current (virtual or wall-clock) time; readHB returns the
+// mailbox utilization (0 = no heartbeat, per the paper's u_serv ≠ 0
+// check) and clearHB performs the paper's memset(u_serv, 0).
+func (s *Switch) Decide(now time.Duration, readHB func() float64, clearHB func()) bool {
+	if now-s.t0 > s.cfg.Inv {
+		if u := readHB(); u != 0 {
+			s.HeartbeatsSeen++
+			util := s.predict(u)
+			clearHB()
+			s.t0 = now
+			if util > s.cfg.T && s.roff <= s.rbusy*s.cfg.N {
+				s.rbusy++
+				s.roff = s.rng.Intn(s.cfg.N) + (s.rbusy-1)*s.cfg.N
+			} else {
+				s.rbusy = 0
+			}
+		}
+	}
+	if s.roff > 0 {
+		s.roff--
+		return true
+	}
+	return false
+}
+
+// predict applies the configured utilization predictor.
+func (s *Switch) predict(latest float64) float64 {
+	a := s.cfg.PredSmoothing
+	if a <= 0 {
+		return latest
+	}
+	if a > 1 {
+		a = 1
+	}
+	if s.pred == 0 {
+		s.pred = latest
+	} else {
+		s.pred = a*latest + (1-a)*s.pred
+	}
+	return s.pred
+}
+
+// State exposes the back-off counters for tests and instrumentation.
+func (s *Switch) State() (rbusy, roff int) { return s.rbusy, s.roff }

@@ -1,0 +1,206 @@
+package btree
+
+import (
+	"errors"
+
+	"github.com/catfish-db/catfish/internal/region"
+)
+
+// FetchFunc returns the raw image of one region chunk (versions included).
+// It is the transport hook: over the simulated fabric it is an RDMA Read,
+// over rpcnet a READ_CHUNK request — the Reader neither knows nor cares.
+type FetchFunc func(chunkID int) ([]byte, error)
+
+// Reader traverses a remote B+-tree with one-sided chunk reads, validating
+// per-cacheline versions and retrying torn reads — the offloading half of
+// the Catfish framework applied to a second link-based structure (§VI).
+//
+// A Reader is not safe for concurrent use.
+type Reader struct {
+	Fetch      FetchFunc
+	RootChunk  int
+	MaxEntries int
+	// MaxChunkRetries bounds torn-read retries per chunk (0 selects 64);
+	// MaxRestarts bounds stale-structure restarts (0 selects 8).
+	MaxChunkRetries int
+	MaxRestarts     int
+
+	// TornRetries and StaleRestarts count recovery events.
+	TornRetries   uint64
+	StaleRestarts uint64
+
+	node    Node
+	payload []byte
+}
+
+// Errors.
+var (
+	ErrGaveUp = errors.New("btree: remote traversal exceeded retry budget")
+	errStale  = errors.New("btree: stale node during remote traversal")
+)
+
+func (r *Reader) retries() int {
+	if r.MaxChunkRetries == 0 {
+		return 64
+	}
+	return r.MaxChunkRetries
+}
+
+func (r *Reader) restarts() int {
+	if r.MaxRestarts == 0 {
+		return 8
+	}
+	return r.MaxRestarts
+}
+
+// fetchNode reads chunk id into r.node with version validation.
+func (r *Reader) fetchNode(id, expectLevel int) error {
+	for retry := 0; retry <= r.retries(); retry++ {
+		raw, err := r.Fetch(id)
+		if err != nil {
+			return err
+		}
+		payload, _, derr := region.DecodeChunk(raw, r.payload)
+		if derr != nil {
+			if errors.Is(derr, region.ErrTornRead) {
+				r.TornRetries++
+				continue
+			}
+			return derr
+		}
+		r.payload = payload
+		if err := DecodeNode(payload, &r.node, r.MaxEntries+1); err != nil {
+			return errStale // reallocated or mid-rewrite chunk
+		}
+		if expectLevel >= 0 && r.node.Level != expectLevel {
+			return errStale
+		}
+		return nil
+	}
+	return ErrGaveUp
+}
+
+// Get fetches the value for key from the remote tree.
+func (r *Reader) Get(key uint64) (uint64, error) {
+	for attempt := 0; attempt <= r.restarts(); attempt++ {
+		val, err := r.get(key)
+		if !errors.Is(err, errStale) {
+			return val, err
+		}
+		r.StaleRestarts++
+	}
+	return 0, ErrGaveUp
+}
+
+// maxMoveRight bounds the B-link rightward walk at the leaf level before
+// the traversal is declared stale and restarted from the root.
+const maxMoveRight = 8
+
+func (r *Reader) get(key uint64) (uint64, error) {
+	id, level := r.RootChunk, -1
+	for {
+		if err := r.fetchNode(id, level); err != nil {
+			return 0, err
+		}
+		n := &r.node
+		if n.IsLeaf() {
+			// B-link move-right: a concurrent split publishes the right
+			// sibling before the parent's separator, so a reader that
+			// descended through a stale parent may land one or more
+			// leaves left of its key and must follow the chain.
+			for hop := 0; ; hop++ {
+				i := n.search(key)
+				if i < len(n.Entries) && n.Entries[i].Key == key {
+					return n.Entries[i].Val, nil
+				}
+				if i < len(n.Entries) || n.Next < 0 {
+					// The key would sort inside this leaf (or there is
+					// no right sibling): genuinely absent.
+					return 0, ErrNotFound
+				}
+				if hop >= maxMoveRight {
+					return 0, errStale
+				}
+				if err := r.fetchNode(n.Next, 0); err != nil {
+					return 0, err
+				}
+			}
+		}
+		if len(n.Entries) == 0 {
+			return 0, errStale
+		}
+		id = int(n.Entries[n.childIndex(key)].Val)
+		level = n.Level - 1
+	}
+}
+
+// Range invokes fn for every remote key in [from, to] in ascending order,
+// following the leaf chain; fn returning false stops the scan. A stale
+// restart resumes after the last delivered key, so fn never sees a key
+// twice.
+func (r *Reader) Range(from, to uint64, fn func(key, val uint64) bool) error {
+	cursor := from
+	wrapped := func(key, val uint64) bool {
+		if key == ^uint64(0) {
+			cursor = key // cannot advance past the maximum key
+		} else {
+			cursor = key + 1
+		}
+		return fn(key, val)
+	}
+	for attempt := 0; attempt <= r.restarts(); attempt++ {
+		err := r.scan(cursor, to, wrapped)
+		if !errors.Is(err, errStale) {
+			return err
+		}
+		r.StaleRestarts++
+	}
+	return ErrGaveUp
+}
+
+func (r *Reader) scan(from, to uint64, fn func(key, val uint64) bool) error {
+	// Descend to the leaf containing from.
+	id, level := r.RootChunk, -1
+	for {
+		if err := r.fetchNode(id, level); err != nil {
+			return err
+		}
+		if r.node.IsLeaf() {
+			break
+		}
+		if len(r.node.Entries) == 0 {
+			return errStale
+		}
+		id = int(r.node.Entries[r.node.childIndex(from)].Val)
+		level = r.node.Level - 1
+	}
+	// Walk the chain. Chain hops must land on leaves; anything else means
+	// the structure changed underneath us.
+	prev := from
+	first := true
+	for hop := 0; ; hop++ {
+		n := &r.node
+		for i := n.search(from); i < len(n.Entries); i++ {
+			e := n.Entries[i]
+			if e.Key > to {
+				return nil
+			}
+			// Monotonicity guard against stale chains.
+			if !first && e.Key <= prev {
+				return errStale
+			}
+			first = false
+			prev = e.Key
+			if !fn(e.Key, e.Val) {
+				return nil
+			}
+		}
+		if n.Next < 0 {
+			return nil
+		}
+		next := n.Next
+		if err := r.fetchNode(next, 0); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package btree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/fabric"
+	"github.com/catfish-db/catfish/internal/netmodel"
+	"github.com/catfish-db/catfish/internal/region"
+	"github.com/catfish-db/catfish/internal/sim"
+)
+
+// localFetch reads chunks straight from the region (no transport).
+func localFetch(reg *region.Region) FetchFunc {
+	return func(id int) ([]byte, error) {
+		raw := make([]byte, reg.ChunkSize())
+		if err := reg.ReadChunkRaw(id, raw); err != nil {
+			return nil, err
+		}
+		return raw, nil
+	}
+}
+
+func TestReaderGetAndRangeLocal(t *testing.T) {
+	tree := newTestTree(t, 1024, 8)
+	for k := uint64(0); k < 500; k++ {
+		if err := tree.Insert(k*3, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := &Reader{
+		Fetch:      localFetch(tree.Region()),
+		RootChunk:  tree.RootChunk(),
+		MaxEntries: tree.MaxEntries(),
+	}
+	for k := uint64(0); k < 500; k += 37 {
+		v, err := r.Get(k * 3)
+		if err != nil || v != k {
+			t.Fatalf("Get(%d) = %d, %v", k*3, v, err)
+		}
+	}
+	if _, err := r.Get(1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing key err = %v", err)
+	}
+	var got []uint64
+	if err := r.Range(30, 90, func(k, _ uint64) bool {
+		got = append(got, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 21 || got[0] != 30 || got[len(got)-1] != 90 {
+		t.Fatalf("range got %v", got)
+	}
+}
+
+// The Reader over the simulated RDMA fabric: one-sided reads against the
+// server-registered region, with a server writer opening real torn windows.
+func TestReaderOverFabricWithTornWindows(t *testing.T) {
+	e := sim.New(1)
+	net := fabric.NewNetwork(e, netmodel.InfiniBand100G)
+	serverHost := net.NewHost("server", sim.NewCPU(e, 4))
+	clientHost := net.NewHost("client", sim.NewCPU(e, 4))
+
+	reg, err := region.New(2048, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := New(reg, Config{MaxEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 300; k++ {
+		if err := tree.Insert(k*2, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regionMem := serverHost.RegisterRegion(reg)
+	qp, _ := net.ConnectQP(clientHost, serverHost, 8)
+
+	// The server writer stages every node publish across a virtual window.
+	var writerProc *sim.Proc
+	tree.SetPublisher(func(chunkID int, payload []byte) error {
+		if writerProc == nil {
+			return reg.WriteChunkPrefix(chunkID, payload)
+		}
+		w, err := reg.BeginWrite(chunkID, payload)
+		if err != nil {
+			return err
+		}
+		writerProc.Sleep(2 * time.Microsecond)
+		w.Finish()
+		return nil
+	})
+
+	wg := sim.NewWaitGroup(e)
+	wg.Add(2)
+	e.Spawn("writer", func(p *sim.Proc) {
+		defer wg.Done()
+		writerProc = p
+		defer func() { writerProc = nil }()
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 300; i++ {
+			k := uint64(100_000 + rng.Intn(50_000))
+			if err := tree.Insert(k, k); err != nil && !errors.Is(err, ErrExists) {
+				t.Error(err)
+				return
+			}
+			p.Sleep(time.Microsecond)
+		}
+	})
+	e.Spawn("reader", func(p *sim.Proc) {
+		defer wg.Done()
+		r := &Reader{
+			Fetch: func(id int) ([]byte, error) {
+				return qp.ReadSync(p, regionMem, id*reg.ChunkSize(), reg.ChunkSize())
+			},
+			RootChunk:  tree.RootChunk(),
+			MaxEntries: tree.MaxEntries(),
+		}
+		for k := uint64(0); k < 300; k += 7 {
+			v, err := r.Get(k * 2)
+			if err != nil || v != k {
+				t.Errorf("Get(%d) = %d, %v", k*2, v, err)
+				return
+			}
+		}
+		var prev uint64
+		first := true
+		if err := r.Range(0, 400, func(k, _ uint64) bool {
+			if !first && k <= prev {
+				t.Errorf("range out of order: %d after %d", k, prev)
+				return false
+			}
+			first = false
+			prev = k
+			return true
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		t.Logf("torn retries: %d, stale restarts: %d", r.TornRetries, r.StaleRestarts)
+	})
+	e.Spawn("stop", func(p *sim.Proc) { wg.Wait(p); e.Stop() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderRetryBudget(t *testing.T) {
+	// A fetch that always returns torn data exhausts the budget.
+	reg, err := region.New(4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteChunk(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	w, err := reg.BeginWrite(0, []byte("y")) // hold the torn window open
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Finish()
+	r := &Reader{
+		Fetch:           localFetch(reg),
+		RootChunk:       0,
+		MaxEntries:      8,
+		MaxChunkRetries: 3,
+	}
+	if _, err := r.Get(1); !errors.Is(err, ErrGaveUp) {
+		t.Errorf("err = %v, want ErrGaveUp", err)
+	}
+	if r.TornRetries < 3 {
+		t.Errorf("torn retries = %d", r.TornRetries)
+	}
+}
+
+func TestReaderFetchErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	r := &Reader{
+		Fetch:      func(int) ([]byte, error) { return nil, boom },
+		RootChunk:  0,
+		MaxEntries: 8,
+	}
+	if _, err := r.Get(1); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}

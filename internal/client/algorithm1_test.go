@@ -1,0 +1,193 @@
+package client
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/fabric"
+	"github.com/catfish-db/catfish/internal/netmodel"
+	"github.com/catfish-db/catfish/internal/server"
+	"github.com/catfish-db/catfish/internal/sim"
+)
+
+// algoClient builds a client whose heartbeat mailbox the test writes
+// directly, isolating Algorithm 1 from the rest of the system.
+func algoClient(t *testing.T, e *sim.Engine, n int, thr float64) *Client {
+	t.Helper()
+	return algoClientSmoothed(t, e, n, thr, 0)
+}
+
+func algoClientSmoothed(t *testing.T, e *sim.Engine, n int, thr, smoothing float64) *Client {
+	t.Helper()
+	net := fabric.NewNetwork(e, netmodel.InfiniBand100G)
+	host := net.NewHost("c", sim.NewCPU(e, 2))
+	ep := &server.Endpoint{HeartbeatM: host.RegisterMemory(8)}
+	c, err := New(Config{
+		Engine: e, Host: host, Endpoint: ep,
+		Cost:     netmodel.DefaultCostModel(),
+		Adaptive: true, N: n, T: thr,
+		HeartbeatInv:  time.Millisecond,
+		PredSmoothing: smoothing,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func setHeartbeat(c *Client, util float64) {
+	binary.LittleEndian.PutUint64(c.ep.HeartbeatM.Bytes(), math.Float64bits(util))
+}
+
+func TestAlgorithm1StaysFastWhenIdle(t *testing.T) {
+	e := sim.New(1)
+	c := algoClient(t, e, 8, 0.95)
+	e.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			p.Sleep(2 * time.Millisecond)
+			setHeartbeat(c, 0.30) // below threshold
+			if m := c.decide(p); m != MethodFast {
+				t.Errorf("step %d: method %v with idle server", i, m)
+				return
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithm1FirstWindowWithinN(t *testing.T) {
+	e := sim.New(1)
+	const n = 8
+	c := algoClient(t, e, n, 0.95)
+	e.Spawn("driver", func(p *sim.Proc) {
+		p.Sleep(2 * time.Millisecond)
+		setHeartbeat(c, 0.99)
+		offloads := 0
+		for i := 0; i < 3*n; i++ {
+			// No further heartbeats: the window must drain and stay fast.
+			if c.decide(p) == MethodOffload {
+				offloads++
+			}
+		}
+		if offloads >= n {
+			t.Errorf("first back-off window = %d, want < N=%d", offloads, n)
+		}
+		if rbusy, _ := c.sw.State(); rbusy != 1 {
+			t.Errorf("rbusy = %d after one busy heartbeat", rbusy)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithm1BacksOffExponentially(t *testing.T) {
+	e := sim.New(1)
+	const n = 8
+	c := algoClient(t, e, n, 0.95)
+	e.Spawn("driver", func(p *sim.Proc) {
+		// Keep the server busy across many heartbeat rounds; the offload
+		// window must extend to [(k-1)N, kN).
+		for round := 1; round <= 5; round++ {
+			p.Sleep(2 * time.Millisecond)
+			setHeartbeat(c, 1.0)
+			m := c.decide(p)
+			if round >= 2 && m != MethodOffload {
+				t.Errorf("round %d: expected offloading to continue", round)
+			}
+			rbusy, roff := c.sw.State()
+			lo, hi := (rbusy-1)*n, rbusy*n
+			if roff < lo-1 || roff >= hi {
+				t.Errorf("round %d: roff=%d outside [%d, %d)", round, roff, lo, hi)
+			}
+			// Drain a few requests between heartbeats (fewer than the
+			// window so the busy streak keeps extending).
+			for i := 0; i < 3; i++ {
+				if _, roff := c.sw.State(); roff > 0 {
+					c.decide(p)
+				}
+			}
+		}
+		if rbusy, _ := c.sw.State(); rbusy < 3 {
+			t.Errorf("rbusy = %d after 5 busy rounds, want back-off growth", rbusy)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithm1ResetsOnIdleHeartbeat(t *testing.T) {
+	e := sim.New(1)
+	c := algoClient(t, e, 8, 0.95)
+	e.Spawn("driver", func(p *sim.Proc) {
+		p.Sleep(2 * time.Millisecond)
+		setHeartbeat(c, 1.0)
+		c.decide(p)
+		if rbusy, _ := c.sw.State(); rbusy != 1 {
+			t.Fatalf("rbusy = %d", rbusy)
+		}
+		p.Sleep(2 * time.Millisecond)
+		setHeartbeat(c, 0.10)
+		c.decide(p)
+		if rbusy, _ := c.sw.State(); rbusy != 0 {
+			t.Errorf("rbusy = %d after idle heartbeat, want 0", rbusy)
+		}
+		// The remaining window still drains (the paper lets queued
+		// offloads finish).
+		_, remaining := c.sw.State()
+		for i := 0; i < remaining; i++ {
+			if c.decide(p) != MethodOffload {
+				t.Errorf("offload window cut short at %d of %d", i, remaining)
+				return
+			}
+		}
+		if c.decide(p) != MethodFast {
+			t.Error("did not return to fast messaging after window drained")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithm1IgnoresMissingHeartbeat(t *testing.T) {
+	// Paper: a missing heartbeat (u_serv == 0) is ignored — the delay may
+	// mean the network is saturated, where offloading would make it worse.
+	e := sim.New(1)
+	c := algoClient(t, e, 8, 0.95)
+	e.Spawn("driver", func(p *sim.Proc) {
+		p.Sleep(2 * time.Millisecond)
+		// Mailbox still zero: no state change, stay fast.
+		if m := c.decide(p); m != MethodFast {
+			t.Errorf("method %v with no heartbeat", m)
+		}
+		if rbusy, roff := c.sw.State(); rbusy != 0 || roff != 0 {
+			t.Errorf("state changed without heartbeat: rbusy=%d roff=%d", rbusy, roff)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithm1ConsumesHeartbeat(t *testing.T) {
+	// decide must memset u_serv after reading (the paper's line 9).
+	e := sim.New(1)
+	c := algoClient(t, e, 8, 0.95)
+	e.Spawn("driver", func(p *sim.Proc) {
+		p.Sleep(2 * time.Millisecond)
+		setHeartbeat(c, 1.0)
+		c.decide(p)
+		if got := c.readHeartbeat(); got != 0 {
+			t.Errorf("u_serv = %v after decide, want 0", got)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,389 @@
+// Package client implements the Catfish client: fast-messaging requests
+// over ring buffers, client-side R-tree traversal over one-sided RDMA Reads
+// (single-issue baseline and the multi-issue pipeline of §IV-C), and the
+// adaptive back-off coordination of Algorithm 1 that switches each search
+// between the two based on the server's heartbeat-reported CPU utilization.
+package client
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/adaptive"
+	"github.com/catfish-db/catfish/internal/fabric"
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/netmodel"
+	"github.com/catfish-db/catfish/internal/rtree"
+	"github.com/catfish-db/catfish/internal/server"
+	"github.com/catfish-db/catfish/internal/sim"
+	"github.com/catfish-db/catfish/internal/wire"
+)
+
+// Method identifies how a search was executed.
+type Method int
+
+// Search methods.
+const (
+	// MethodFast is RDMA-Write fast messaging (server executes the search).
+	MethodFast Method = iota + 1
+	// MethodOffload is client-side traversal over RDMA Reads.
+	MethodOffload
+	// MethodTCP is the kernel-TCP baseline path.
+	MethodTCP
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodFast:
+		return "fast"
+	case MethodOffload:
+		return "offload"
+	case MethodTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Errors.
+var (
+	ErrServer   = errors.New("client: server reported an error")
+	ErrGaveUp   = errors.New("client: offloaded search exceeded retry budget")
+	ErrNotFound = errors.New("client: entry not found")
+)
+
+// Config configures a Client.
+type Config struct {
+	Engine   *sim.Engine
+	Host     *fabric.Host
+	Endpoint *server.Endpoint
+	Cost     netmodel.CostModel
+
+	// Adaptive enables Algorithm 1; otherwise every search uses Forced.
+	Adaptive bool
+	Forced   Method
+
+	// N is the back-off window unit (paper: 8).
+	N int
+	// T is the busy threshold on server CPU utilization (paper: 0.95).
+	T float64
+	// HeartbeatInv is the agreed heartbeat interval Inv (paper: 10 ms).
+	HeartbeatInv time.Duration
+
+	// MultiIssue fetches all intersecting children concurrently during
+	// offloaded traversal; otherwise nodes are fetched one at a time
+	// (the FaRM-style baseline).
+	MultiIssue bool
+
+	// PredSmoothing enables an EWMA utilization predictor with the given
+	// coefficient α ∈ (0, 1]: predUtil = α·latest + (1−α)·previous. Zero
+	// keeps the paper's predictor (the most recent heartbeat value); the
+	// paper's §VI names smarter prediction as an extension point.
+	PredSmoothing float64
+
+	// CacheRoot keeps the last consistently-read root node and starts
+	// offloaded traversals from it, saving one RDMA Read per search (the
+	// top-level caching idea of the Cell B-tree store the paper cites).
+	// The cache is invalidated whenever a traversal observes staleness.
+	CacheRoot bool
+
+	// MaxRestarts bounds full-search restarts after structural staleness
+	// (default 8); MaxChunkRetries bounds per-chunk torn-read retries
+	// (default 64).
+	MaxRestarts     int
+	MaxChunkRetries int
+}
+
+// Stats counts client-side events.
+type Stats struct {
+	FastSearches    uint64
+	OffloadSearches uint64
+	TCPSearches     uint64
+	Inserts         uint64
+	Deletes         uint64
+	TornRetries     uint64 // version-check failures on one-sided reads
+	StaleRestarts   uint64 // traversals restarted after structural change
+	NodesFetched    uint64 // RDMA Reads issued for traversal
+	HeartbeatsSeen  uint64
+	RootCacheHits   uint64 // traversals served from the cached root
+}
+
+// Client is one Catfish client (the paper runs up to 32 per machine).
+type Client struct {
+	cfg Config
+	ep  *server.Endpoint
+
+	reqID  uint64
+	tagSeq uint64
+
+	// Algorithm 1 state machine (shared with every framework client).
+	sw *adaptive.Switch
+
+	// rootCache holds the last consistent root image (CacheRoot);
+	// rootVerSeen is the root version last observed in the heartbeat
+	// mailbox's second word, used for lease-like invalidation.
+	rootCache   *rtree.Node
+	rootVerSeen uint64
+
+	encBuf  []byte
+	payload []byte
+	node    rtree.Node
+
+	stats Stats
+}
+
+// New validates the configuration and returns a client.
+func New(cfg Config) (*Client, error) {
+	if cfg.Engine == nil || cfg.Host == nil || cfg.Endpoint == nil {
+		return nil, errors.New("client: Engine, Host and Endpoint are required")
+	}
+	if cfg.N == 0 {
+		cfg.N = 8
+	}
+	if cfg.T == 0 {
+		cfg.T = 0.95
+	}
+	if cfg.HeartbeatInv == 0 {
+		cfg.HeartbeatInv = 10 * time.Millisecond
+	}
+	if cfg.MaxRestarts == 0 {
+		cfg.MaxRestarts = 8
+	}
+	if cfg.MaxChunkRetries == 0 {
+		cfg.MaxChunkRetries = 64
+	}
+	if !cfg.Adaptive && cfg.Forced == 0 {
+		if cfg.Endpoint.TCP != nil {
+			cfg.Forced = MethodTCP
+		} else {
+			cfg.Forced = MethodFast
+		}
+	}
+	c := &Client{cfg: cfg, ep: cfg.Endpoint}
+	c.sw = adaptive.New(adaptive.Config{
+		N:             cfg.N,
+		T:             cfg.T,
+		Inv:           cfg.HeartbeatInv,
+		PredSmoothing: cfg.PredSmoothing,
+	}, cfg.Engine.Rand())
+	return c, nil
+}
+
+// Stats returns a snapshot of the client counters.
+func (c *Client) Stats() Stats {
+	out := c.stats
+	out.HeartbeatsSeen = c.sw.HeartbeatsSeen
+	return out
+}
+
+func (c *Client) nextID() uint64 {
+	c.reqID++
+	return c.reqID
+}
+
+// Search executes a rectangle search, choosing the method adaptively
+// (Algorithm 1) or as forced by the configuration, and returns the matching
+// items along with the method used.
+func (c *Client) Search(p *sim.Proc, q geo.Rect) ([]wire.Item, Method, error) {
+	m := c.cfg.Forced
+	if c.cfg.Adaptive {
+		m = c.decide(p)
+	}
+	switch m {
+	case MethodOffload:
+		c.stats.OffloadSearches++
+		items, err := c.searchOffload(p, q)
+		return items, m, err
+	case MethodTCP:
+		c.stats.TCPSearches++
+		items, err := c.searchTCP(p, q)
+		return items, m, err
+	default:
+		c.stats.FastSearches++
+		items, err := c.searchFast(p, q)
+		return items, MethodFast, err
+	}
+}
+
+// Insert adds a rectangle; R-tree writes always travel by messaging so the
+// server's lock discipline covers them (§III-B).
+func (c *Client) Insert(p *sim.Proc, r geo.Rect, ref uint64) error {
+	c.stats.Inserts++
+	resp, err := c.roundTrip(p, wire.Request{Type: wire.MsgInsert, ID: c.nextID(), Rect: r, Ref: ref})
+	if err != nil {
+		return err
+	}
+	if resp.Status != wire.StatusOK {
+		return fmt.Errorf("%w: insert status %d", ErrServer, resp.Status)
+	}
+	return nil
+}
+
+// Delete removes an exact (rect, ref) entry.
+func (c *Client) Delete(p *sim.Proc, r geo.Rect, ref uint64) error {
+	c.stats.Deletes++
+	resp, err := c.roundTrip(p, wire.Request{Type: wire.MsgDelete, ID: c.nextID(), Rect: r, Ref: ref})
+	if err != nil {
+		return err
+	}
+	switch resp.Status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusNotFound:
+		return ErrNotFound
+	default:
+		return fmt.Errorf("%w: delete status %d", ErrServer, resp.Status)
+	}
+}
+
+// decide runs the client module of the adaptive coordination
+// (Algorithm 1), delegating to the shared adaptive.Switch state machine —
+// see that package for the policy and its one documented deviation from
+// the paper's pseudocode.
+func (c *Client) decide(p *sim.Proc) Method {
+	if c.sw.Decide(p.Now(), c.readHeartbeat, c.clearHeartbeat) {
+		return MethodOffload
+	}
+	return MethodFast
+}
+
+// readHeartbeat returns the mailbox utilization (0 = no heartbeat, per the
+// paper's u_serv != 0 check).
+func (c *Client) readHeartbeat() float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(c.ep.HeartbeatM.Bytes()))
+}
+
+// clearHeartbeat is the paper's memset(u_serv, 0). Only the utilization
+// word is cleared: the mailbox's second word carries the root version and
+// must persist for the root-cache invalidation check.
+func (c *Client) clearHeartbeat() {
+	b := c.ep.HeartbeatM.Bytes()
+	for i := 0; i < 8 && i < len(b); i++ {
+		b[i] = 0
+	}
+}
+
+// heartbeatRootVersion reads the root version published alongside the
+// utilization (0 when the server has not heartbeated yet).
+func (c *Client) heartbeatRootVersion() uint64 {
+	b := c.ep.HeartbeatM.Bytes()
+	if len(b) < 16 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[8:])
+}
+
+// searchFast sends the search over the request ring and collects the
+// (possibly segmented) response.
+func (c *Client) searchFast(p *sim.Proc, q geo.Rect) ([]wire.Item, error) {
+	resp, err := c.roundTrip(p, wire.Request{Type: wire.MsgSearch, ID: c.nextID(), Rect: q})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != wire.StatusOK {
+		return nil, fmt.Errorf("%w: search status %d", ErrServer, resp.Status)
+	}
+	return resp.Items, nil
+}
+
+// roundTrip performs one fast-messaging request/response exchange,
+// accumulating response segments until END.
+func (c *Client) roundTrip(p *sim.Proc, req wire.Request) (wire.Response, error) {
+	if c.ep.TCP != nil {
+		return c.roundTripTCP(p, req)
+	}
+	c.encBuf = req.Encode(c.encBuf[:0])
+	if err := c.ep.ReqWriter.Send(p, c.encBuf, req.ID, true); err != nil {
+		return wire.Response{}, err
+	}
+	var out wire.Response
+	for {
+		c.ep.RespReader.CQ().Pop(p)
+		done, err := c.drainResponses(req.ID, &out)
+		if rerr := c.ep.RespReader.ReportHead(p); rerr != nil {
+			return out, rerr
+		}
+		if err != nil {
+			return out, err
+		}
+		if done {
+			return out, nil
+		}
+	}
+}
+
+// drainResponses consumes every complete frame in the response ring,
+// folding segments of request id into out. It reports whether the final
+// segment has arrived.
+func (c *Client) drainResponses(id uint64, out *wire.Response) (bool, error) {
+	done := false
+	for {
+		payload, err, ok := c.ep.RespReader.TryRecv()
+		if err != nil {
+			return done, err
+		}
+		if !ok {
+			return done, nil
+		}
+		typ, err := wire.PeekType(payload)
+		if err != nil {
+			return done, err
+		}
+		if typ != wire.MsgResponse {
+			continue // stray frame (unused message kinds); ignore
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			return done, err
+		}
+		if resp.ID != id {
+			continue // stale segment from an aborted exchange
+		}
+		out.ID = resp.ID
+		out.Status = resp.Status
+		out.Items = append(out.Items, resp.Items...)
+		if resp.Final {
+			out.Final = true
+			done = true
+		}
+	}
+}
+
+// roundTripTCP is the socket-baseline exchange.
+func (c *Client) roundTripTCP(p *sim.Proc, req wire.Request) (wire.Response, error) {
+	c.encBuf = req.Encode(c.encBuf[:0])
+	c.ep.TCP.Send(p, c.encBuf)
+	var out wire.Response
+	for {
+		payload := c.ep.TCP.Recv(p)
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			return out, err
+		}
+		if resp.ID != req.ID {
+			continue
+		}
+		out.ID = resp.ID
+		out.Status = resp.Status
+		out.Items = append(out.Items, resp.Items...)
+		if resp.Final {
+			return out, nil
+		}
+	}
+}
+
+// searchTCP runs the search over the TCP baseline.
+func (c *Client) searchTCP(p *sim.Proc, q geo.Rect) ([]wire.Item, error) {
+	resp, err := c.roundTripTCP(p, wire.Request{Type: wire.MsgSearch, ID: c.nextID(), Rect: q})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != wire.StatusOK {
+		return nil, fmt.Errorf("%w: search status %d", ErrServer, resp.Status)
+	}
+	return resp.Items, nil
+}

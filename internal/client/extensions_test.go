@@ -1,0 +1,119 @@
+package client
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/server"
+	"github.com/catfish-db/catfish/internal/sim"
+)
+
+func TestPredSmoothingDampsSpike(t *testing.T) {
+	// One spiky heartbeat above T must not trigger offloading when the
+	// EWMA is configured and history is calm.
+	e := sim.New(1)
+	c := algoClientSmoothed(t, e, 8, 0.95, 0.3)
+	e.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(2 * time.Millisecond)
+			setHeartbeat(c, 0.2)
+			c.decide(p)
+		}
+		p.Sleep(2 * time.Millisecond)
+		setHeartbeat(c, 1.0) // spike
+		if m := c.decide(p); m != MethodFast {
+			t.Errorf("EWMA let a single spike trigger offloading")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootCacheSavesReads(t *testing.T) {
+	r := newRig(t, rigOpts{mode: server.ModeEvent, items: 5000})
+	plain := r.newClient(t, "plain", Config{Forced: MethodOffload, MultiIssue: true})
+	cached := r.newClient(t, "cached", Config{Forced: MethodOffload, MultiIssue: true, CacheRoot: true})
+	rng := rand.New(rand.NewSource(3))
+	const searches = 40
+	r.e.Spawn("driver", func(p *sim.Proc) {
+		defer r.e.Stop()
+		for i := 0; i < searches; i++ {
+			q := randRect(rng, 0.05)
+			want := expected(t, r.tree, q)
+			a, _, err := plain.Search(p, q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b, _, err := cached.Search(p, q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !sameItems(a, want) || !sameItems(b, want) {
+				t.Errorf("query %d: cached/plain results diverge from oracle", i)
+			}
+		}
+	})
+	if err := r.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ps, cs := plain.Stats(), cached.Stats()
+	if cs.RootCacheHits < searches-1 {
+		t.Errorf("root cache hits = %d, want >= %d", cs.RootCacheHits, searches-1)
+	}
+	// The cached client reads ~height-1 levels per search: strictly fewer
+	// chunk fetches overall.
+	if cs.NodesFetched >= ps.NodesFetched {
+		t.Errorf("cached fetched %d nodes, plain %d — cache saved nothing",
+			cs.NodesFetched, ps.NodesFetched)
+	}
+}
+
+func TestRootCacheInvalidatedByGrowth(t *testing.T) {
+	// Grow the tree until the root splits; within one heartbeat interval
+	// the cached-root client must observe the new root version, drop its
+	// cache, and find everything again.
+	r := newRig(t, rigOpts{mode: server.ModeEvent, items: 200, heartbeat: time.Millisecond})
+	writer := r.newClient(t, "writer", Config{Forced: MethodFast})
+	reader := r.newClient(t, "reader", Config{
+		Forced: MethodOffload, MultiIssue: true, CacheRoot: true,
+		HeartbeatInv: time.Millisecond,
+	})
+	rng := rand.New(rand.NewSource(5))
+	startHeight := r.tree.Height()
+	r.e.Spawn("driver", func(p *sim.Proc) {
+		defer r.e.Stop()
+		// Prime the cache.
+		if _, _, err := reader.Search(p, geo.NewRect(0, 0, 1, 1)); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 3000 && r.tree.Height() == startHeight; i++ {
+			if err := writer.Insert(p, randRect(rng, 0.01), uint64(10_000+i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if r.tree.Height() == startHeight {
+			t.Error("tree never grew; test needs more inserts")
+			return
+		}
+		// Wait out the staleness lease (one heartbeat interval).
+		p.Sleep(3 * time.Millisecond)
+		items, _, err := reader.Search(p, geo.NewRect(0, 0, 1, 1))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(items) != r.tree.Len() {
+			t.Errorf("post-growth search found %d of %d", len(items), r.tree.Len())
+		}
+	})
+	if err := r.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

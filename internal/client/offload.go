@@ -1,0 +1,278 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/region"
+	"github.com/catfish-db/catfish/internal/rtree"
+	"github.com/catfish-db/catfish/internal/sim"
+	"github.com/catfish-db/catfish/internal/wire"
+)
+
+// searchOffload traverses the server's R-tree from the client with
+// one-sided RDMA Reads (§III-B). Each fetched chunk is validated against
+// its cacheline versions; a torn read is retried. A node whose level
+// disagrees with the traversal's expectation indicates the structure
+// changed under the reader (split/condense re-used the chunk); the whole
+// search restarts from the root, bounded by MaxRestarts.
+func (c *Client) searchOffload(p *sim.Proc, q geo.Rect) ([]wire.Item, error) {
+	for attempt := 0; attempt <= c.cfg.MaxRestarts; attempt++ {
+		var (
+			items []wire.Item
+			err   error
+		)
+		if c.cfg.MultiIssue {
+			items, err = c.traverseMultiIssue(p, q)
+		} else {
+			items, err = c.traverseSingleIssue(p, q)
+		}
+		if err == nil {
+			return items, nil
+		}
+		if !errors.Is(err, errStale) {
+			return nil, err
+		}
+		// The tree changed shape under us: drop the cached root too.
+		c.rootCache = nil
+		c.stats.StaleRestarts++
+	}
+	return nil, ErrGaveUp
+}
+
+// cachedRoot returns the cached root node when root caching is enabled,
+// refreshing it with one validated read when absent or when the heartbeat
+// mailbox's root version shows the root was rewritten since the cache was
+// filled. Staleness is therefore bounded by one heartbeat interval —
+// lease-like semantics in the spirit of the Cell B-tree store the paper
+// cites; CacheRoot without server heartbeats has unbounded staleness and
+// should not be used with concurrent writers.
+func (c *Client) cachedRoot(p *sim.Proc) (*rtree.Node, error) {
+	if !c.cfg.CacheRoot {
+		return nil, nil
+	}
+	if ver := c.heartbeatRootVersion(); ver != c.rootVerSeen {
+		c.rootVerSeen = ver
+		c.rootCache = nil
+	}
+	if c.rootCache != nil {
+		c.stats.RootCacheHits++
+		return c.rootCache, nil
+	}
+	if err := c.fetchChunk(p, c.ep.RootChunk, -1); err != nil {
+		return nil, err
+	}
+	root := &rtree.Node{
+		Level:   c.node.Level,
+		Entries: append([]rtree.Entry(nil), c.node.Entries...),
+	}
+	// A leaf root is never invalidated by child-level mismatches (there
+	// are no child reads), so growth would go unnoticed; serve it fresh
+	// but do not retain it.
+	if !root.IsLeaf() {
+		c.rootCache = root
+	}
+	return root, nil
+}
+
+// errStale signals that the traversal observed a structurally inconsistent
+// node and must restart from the root.
+var errStale = errors.New("client: stale node during offloaded traversal")
+
+// fetchChunk reads chunk id with validation and decodes it into c.node,
+// retrying torn reads up to the configured budget. expectLevel >= 0 asserts
+// the node's level (-1 skips the check, used for the root whose level the
+// client learns as the tree grows).
+func (c *Client) fetchChunk(p *sim.Proc, id int, expectLevel int) error {
+	qp := c.ep.DataQP
+	for retry := 0; retry <= c.cfg.MaxChunkRetries; retry++ {
+		c.stats.NodesFetched++
+		raw, err := qp.ReadSync(p, c.ep.RegionMem, c.ep.RegionMem.ChunkOffset(id), c.ep.ChunkSize)
+		if err != nil {
+			return fmt.Errorf("client: chunk %d read: %w", id, err)
+		}
+		payload, _, derr := region.DecodeChunk(raw, c.payload)
+		if derr != nil {
+			if errors.Is(derr, region.ErrTornRead) {
+				c.stats.TornRetries++
+				continue
+			}
+			return derr
+		}
+		c.payload = payload
+		if err := rtree.DecodeNode(payload, &c.node, c.ep.MaxEntries); err != nil {
+			// A freed-and-reused chunk can decode as garbage; treat it as
+			// staleness rather than corruption.
+			return errStale
+		}
+		if expectLevel >= 0 && c.node.Level != expectLevel {
+			return errStale
+		}
+		// Client-side traversal work (decode + intersection checks).
+		if cpu := c.cfg.Host.CPU(); cpu != nil {
+			cpu.Run(p, c.cfg.Cost.ClientTraversalDemand(1))
+		}
+		return nil
+	}
+	return ErrGaveUp
+}
+
+// traverseSingleIssue is the FaRM-style baseline: a breadth-first walk
+// fetching one node per RDMA Read round trip.
+func (c *Client) traverseSingleIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error) {
+	type ref struct {
+		id    int
+		level int
+	}
+	var items []wire.Item
+	var stack []ref
+	if root, err := c.cachedRoot(p); err != nil {
+		return nil, err
+	} else if root != nil {
+		if root.IsLeaf() {
+			for _, e := range root.Entries {
+				if q.Intersects(e.Rect) {
+					items = append(items, wire.Item{Rect: e.Rect, Ref: e.Ref})
+				}
+			}
+			return items, nil
+		}
+		for _, e := range root.Entries {
+			if q.Intersects(e.Rect) {
+				stack = append(stack, ref{id: int(e.Ref), level: root.Level - 1})
+			}
+		}
+	} else {
+		stack = []ref{{id: c.ep.RootChunk, level: -1}}
+	}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if err := c.fetchChunk(p, r.id, r.level); err != nil {
+			return nil, err
+		}
+		n := &c.node
+		if n.IsLeaf() {
+			for _, e := range n.Entries {
+				if q.Intersects(e.Rect) {
+					items = append(items, wire.Item{Rect: e.Rect, Ref: e.Ref})
+				}
+			}
+			continue
+		}
+		for _, e := range n.Entries {
+			if q.Intersects(e.Rect) {
+				stack = append(stack, ref{id: int(e.Ref), level: n.Level - 1})
+			}
+		}
+	}
+	return items, nil
+}
+
+// traverseMultiIssue implements §IV-C: after checking a node, RDMA Reads
+// for all intersecting children are posted at once; completions are
+// processed as they arrive, so the round trips of independent subtrees
+// overlap in a pipeline. The send-queue depth of the data QP bounds the
+// number of outstanding reads.
+func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error) {
+	type pending struct {
+		id    int
+		level int
+		tries int
+	}
+	qp := c.ep.DataQP
+	var items []wire.Item
+	inflight := make(map[uint64]pending)
+
+	issue := func(id, level, tries int) error {
+		c.tagSeq++
+		tag := c.tagSeq
+		inflight[tag] = pending{id: id, level: level, tries: tries}
+		c.stats.NodesFetched++
+		return qp.Read(p, c.ep.RegionMem, c.ep.RegionMem.ChunkOffset(id), c.ep.ChunkSize, tag)
+	}
+	// Drain every outstanding completion before returning so a restart (or
+	// the next search) starts with an empty CQ.
+	fail := func(err error) ([]wire.Item, error) {
+		for len(inflight) > 0 {
+			comp := qp.CQ().Pop(p)
+			delete(inflight, comp.Tag)
+		}
+		return nil, err
+	}
+
+	if root, err := c.cachedRoot(p); err != nil {
+		return fail(err)
+	} else if root != nil {
+		if root.IsLeaf() {
+			for _, e := range root.Entries {
+				if q.Intersects(e.Rect) {
+					items = append(items, wire.Item{Rect: e.Rect, Ref: e.Ref})
+				}
+			}
+			return items, nil
+		}
+		for _, e := range root.Entries {
+			if q.Intersects(e.Rect) {
+				if err := issue(int(e.Ref), root.Level-1, 0); err != nil {
+					return fail(err)
+				}
+			}
+		}
+	} else if err := issue(c.ep.RootChunk, -1, 0); err != nil {
+		return fail(err)
+	}
+	for len(inflight) > 0 {
+		comp := qp.CQ().Pop(p)
+		ctx, ok := inflight[comp.Tag]
+		if !ok {
+			continue // completion from an abandoned traversal
+		}
+		delete(inflight, comp.Tag)
+		if comp.Err != nil {
+			return fail(fmt.Errorf("client: chunk %d read: %w", ctx.id, comp.Err))
+		}
+		payload, _, derr := region.DecodeChunk(comp.Data, c.payload)
+		if derr != nil {
+			if !errors.Is(derr, region.ErrTornRead) {
+				return fail(derr)
+			}
+			c.stats.TornRetries++
+			if ctx.tries >= c.cfg.MaxChunkRetries {
+				return fail(ErrGaveUp)
+			}
+			if err := issue(ctx.id, ctx.level, ctx.tries+1); err != nil {
+				return fail(err)
+			}
+			continue
+		}
+		c.payload = payload
+		if err := rtree.DecodeNode(payload, &c.node, c.ep.MaxEntries); err != nil {
+			return fail(errStale)
+		}
+		if ctx.level >= 0 && c.node.Level != ctx.level {
+			return fail(errStale)
+		}
+		if cpu := c.cfg.Host.CPU(); cpu != nil {
+			cpu.Run(p, c.cfg.Cost.ClientTraversalDemand(1))
+		}
+		n := &c.node
+		if n.IsLeaf() {
+			for _, e := range n.Entries {
+				if q.Intersects(e.Rect) {
+					items = append(items, wire.Item{Rect: e.Rect, Ref: e.Ref})
+				}
+			}
+			continue
+		}
+		for _, e := range n.Entries {
+			if q.Intersects(e.Rect) {
+				if err := issue(int(e.Ref), n.Level-1, 0); err != nil {
+					return fail(err)
+				}
+			}
+		}
+	}
+	return items, nil
+}

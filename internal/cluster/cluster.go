@@ -1,0 +1,382 @@
+// Package cluster assembles full Catfish experiments: one server plus up to
+// hundreds of clients spread over simulated hosts, running the paper's
+// workloads under one of the five evaluated schemes, and collecting the
+// metrics the paper plots — throughput (Kops), request latency, server CPU
+// utilization, and server NIC bandwidth.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/client"
+	"github.com/catfish-db/catfish/internal/fabric"
+	"github.com/catfish-db/catfish/internal/netmodel"
+	"github.com/catfish-db/catfish/internal/region"
+	"github.com/catfish-db/catfish/internal/rtree"
+	"github.com/catfish-db/catfish/internal/server"
+	"github.com/catfish-db/catfish/internal/sim"
+	"github.com/catfish-db/catfish/internal/stats"
+	"github.com/catfish-db/catfish/internal/workload"
+)
+
+// Scheme is one of the systems under evaluation (§V: the two TCP baselines,
+// the two FaRM-style RDMA baselines, and Catfish).
+type Scheme struct {
+	Name    string
+	Profile netmodel.Profile
+	// TCP selects the socket transport (fast-messaging semantics over the
+	// kernel stack).
+	TCP bool
+	// ServerMode picks polling or event-based request processing.
+	ServerMode server.Mode
+	// Adaptive enables Algorithm 1; otherwise Forced is used for searches.
+	Adaptive bool
+	Forced   client.Method
+	// MultiIssue enables the §IV-C pipeline during offloaded traversal.
+	MultiIssue bool
+	// Heartbeats enables the utilization heartbeat (needed by Adaptive).
+	Heartbeats bool
+}
+
+// The paper's five schemes.
+var (
+	// SchemeTCP1G is the socket baseline on 1 Gbps Ethernet.
+	SchemeTCP1G = Scheme{Name: "tcp-1g", Profile: netmodel.Ethernet1G, TCP: true, ServerMode: server.ModeEvent, Forced: client.MethodTCP}
+	// SchemeTCP40G is the socket baseline on 40 Gbps Ethernet.
+	SchemeTCP40G = Scheme{Name: "tcp-40g", Profile: netmodel.Ethernet40G, TCP: true, ServerMode: server.ModeEvent, Forced: client.MethodTCP}
+	// SchemeFastMessaging is the FaRM-style RDMA-Write messaging baseline
+	// (polling workers, §III-A).
+	SchemeFastMessaging = Scheme{Name: "fastmsg", Profile: netmodel.InfiniBand100G, ServerMode: server.ModePolling, Forced: client.MethodFast}
+	// SchemeOffloading is the FaRM-style one-sided-read baseline
+	// (single-issue traversal, §III-B).
+	SchemeOffloading = Scheme{Name: "offload", Profile: netmodel.InfiniBand100G, ServerMode: server.ModePolling, Forced: client.MethodOffload}
+	// SchemeCatfish combines event-based fast messaging, multi-issue
+	// offloading, and the adaptive switch (§IV).
+	SchemeCatfish = Scheme{Name: "catfish", Profile: netmodel.InfiniBand100G, ServerMode: server.ModeEvent, Adaptive: true, MultiIssue: true, Heartbeats: true}
+	// SchemeFastEvent isolates the event-based fast-messaging fix of §IV-B
+	// (used in the Fig 7 comparison and ablations).
+	SchemeFastEvent = Scheme{Name: "fastmsg-event", Profile: netmodel.InfiniBand100G, ServerMode: server.ModeEvent, Forced: client.MethodFast}
+	// SchemeOffloadMulti isolates multi-issue offloading (§IV-C ablation).
+	SchemeOffloadMulti = Scheme{Name: "offload-multi", Profile: netmodel.InfiniBand100G, ServerMode: server.ModePolling, Forced: client.MethodOffload, MultiIssue: true}
+)
+
+// Config describes one experiment run.
+type Config struct {
+	Scheme Scheme
+
+	// Dataset is bulk-loaded into the tree before the run.
+	Dataset []rtree.Entry
+	// Workload generates each client's operations.
+	Workload *workload.Mix
+	// NumClients and RequestsPerClient shape the closed-loop load
+	// (paper: 32–256 clients, 10,000 requests each).
+	NumClients        int
+	RequestsPerClient int
+	// ClientsPerHost is how many client processes share one machine
+	// (paper: up to 32 per node).
+	ClientsPerHost int
+
+	// ServerCores and ClientCores are per-machine core counts (paper
+	// nodes: 2x14-core Broadwell).
+	ServerCores int
+	ClientCores int
+
+	// RingSize is the per-direction ring size (paper: 256 KB).
+	RingSize int
+	// ChunkSize and MaxEntries shape the region/tree (defaults 4096/64).
+	ChunkSize  int
+	MaxEntries int
+
+	// Adaptive parameters (paper: N=8, T=0.95, Inv=10ms).
+	N            int
+	T            float64
+	HeartbeatInv time.Duration
+
+	// MultiIssueDepth is the data QP send-queue depth (outstanding reads).
+	MultiIssueDepth int
+
+	// CacheRoot enables client-side root caching with heartbeat-versioned
+	// invalidation (extension; see client.Config.CacheRoot).
+	CacheRoot bool
+	// PredSmoothing enables the EWMA utilization predictor (extension;
+	// see client.Config.PredSmoothing).
+	PredSmoothing float64
+
+	// StagedWrites opens real torn-read windows during server-side node
+	// publishes (meaningful for workloads with inserts).
+	StagedWrites bool
+
+	// Cost overrides the CPU cost model (zero value selects the default).
+	Cost netmodel.CostModel
+
+	// PrebuiltTree reuses an already-loaded tree (and its region) instead
+	// of bulk-loading Dataset. Only valid for workloads with no inserts:
+	// mutations would leak between runs. The benchmark harness uses this
+	// to amortize the 2M-rectangle load across a sweep.
+	PrebuiltTree *rtree.Tree
+
+	Seed int64
+}
+
+// Result aggregates one run's measurements.
+type Result struct {
+	Scheme    string
+	Clients   int
+	Ops       uint64
+	Makespan  time.Duration
+	Kops      float64
+	Latency   stats.Summary // search latency
+	InsertLat stats.Summary
+
+	ServerCPUUtil   float64 // mean utilization over the run (0..1)
+	ServerUsefulCPU float64 // polling mode: fraction doing request work
+	ServerTXGbps    float64
+	ServerRXGbps    float64
+
+	OffloadFraction float64
+	TornRetries     uint64
+	StaleRestarts   uint64
+	NodesFetched    uint64
+	ServerStats     server.Stats
+}
+
+func (c *Config) applyDefaults() {
+	if c.NumClients == 0 {
+		c.NumClients = 16
+	}
+	if c.RequestsPerClient == 0 {
+		c.RequestsPerClient = 1000
+	}
+	if c.ClientsPerHost == 0 {
+		c.ClientsPerHost = 32
+	}
+	if c.ServerCores == 0 {
+		c.ServerCores = 28
+	}
+	if c.ClientCores == 0 {
+		c.ClientCores = 28
+	}
+	if c.RingSize == 0 {
+		c.RingSize = 256 << 10
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 4096
+	}
+	if c.MaxEntries == 0 {
+		c.MaxEntries = 64
+	}
+	if c.N == 0 {
+		c.N = 8
+	}
+	if c.T == 0 {
+		c.T = 0.95
+	}
+	if c.HeartbeatInv == 0 {
+		c.HeartbeatInv = 10 * time.Millisecond
+	}
+	if c.MultiIssueDepth == 0 {
+		c.MultiIssueDepth = 16
+	}
+	if c.Cost == (netmodel.CostModel{}) {
+		c.Cost = netmodel.DefaultCostModel()
+	}
+}
+
+// regionChunks sizes the region for the dataset plus insert headroom.
+func (c *Config) regionChunks() int {
+	items := len(c.Dataset) + c.NumClients*c.RequestsPerClient/4
+	perLeaf := c.MaxEntries / 2
+	if perLeaf < 1 {
+		perLeaf = 1
+	}
+	nodes := items/perLeaf + items/(perLeaf*perLeaf) + 1024
+	return nodes * 2
+}
+
+// Run executes the experiment and returns its measurements.
+func Run(cfg Config) (Result, error) {
+	cfg.applyDefaults()
+	if cfg.Workload == nil {
+		return Result{}, errors.New("cluster: Workload is required")
+	}
+
+	e := sim.New(cfg.Seed)
+	net := fabric.NewNetwork(e, cfg.Scheme.Profile)
+
+	serverCPU := sim.NewCPU(e, cfg.ServerCores)
+	serverHost := net.NewHost("server", serverCPU)
+
+	var tree *rtree.Tree
+	if cfg.PrebuiltTree != nil {
+		tree = cfg.PrebuiltTree
+		// The previous run's server may have left its staged publisher
+		// installed; restore the default before re-serving.
+		tree.SetPublisher(nil)
+	} else {
+		reg, err := region.New(cfg.regionChunks(), cfg.ChunkSize)
+		if err != nil {
+			return Result{}, err
+		}
+		tree, err = rtree.New(reg, rtree.Config{MaxEntries: cfg.MaxEntries})
+		if err != nil {
+			return Result{}, err
+		}
+		if len(cfg.Dataset) > 0 {
+			data := append([]rtree.Entry(nil), cfg.Dataset...)
+			if err := tree.BulkLoad(data, 0); err != nil {
+				return Result{}, fmt.Errorf("cluster: bulk load: %w", err)
+			}
+		}
+	}
+
+	srvCfg := server.Config{
+		Engine:           e,
+		Host:             serverHost,
+		Tree:             tree,
+		Cost:             cfg.Cost,
+		Mode:             cfg.Scheme.ServerMode,
+		RingSize:         cfg.RingSize,
+		StagedNodeWrites: cfg.StagedWrites,
+	}
+	if cfg.Scheme.Heartbeats {
+		srvCfg.HeartbeatInterval = cfg.HeartbeatInv
+	}
+	if cfg.Scheme.ServerMode == server.ModePolling {
+		srvCfg.PollCPU = sim.NewPollCPU(e, cfg.ServerCores, cfg.Cost.PollSlice)
+	}
+	srv, err := server.New(srvCfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Client hosts: ClientsPerHost clients share each machine.
+	numHosts := (cfg.NumClients + cfg.ClientsPerHost - 1) / cfg.ClientsPerHost
+	hosts := make([]*fabric.Host, numHosts)
+	for i := range hosts {
+		hosts[i] = net.NewHost(fmt.Sprintf("client-host-%d", i), sim.NewCPU(e, cfg.ClientCores))
+	}
+
+	clients := make([]*client.Client, cfg.NumClients)
+	for i := range clients {
+		host := hosts[i/cfg.ClientsPerHost]
+		ccfg := client.Config{
+			Engine:        e,
+			Host:          host,
+			Cost:          cfg.Cost,
+			Adaptive:      cfg.Scheme.Adaptive,
+			Forced:        cfg.Scheme.Forced,
+			MultiIssue:    cfg.Scheme.MultiIssue,
+			N:             cfg.N,
+			T:             cfg.T,
+			HeartbeatInv:  cfg.HeartbeatInv,
+			CacheRoot:     cfg.CacheRoot,
+			PredSmoothing: cfg.PredSmoothing,
+		}
+		if cfg.Scheme.TCP {
+			ep, err := srv.ConnectTCP(host, net)
+			if err != nil {
+				return Result{}, err
+			}
+			ccfg.Endpoint = ep
+		} else {
+			ep, err := srv.Connect(host, net, cfg.MultiIssueDepth)
+			if err != nil {
+				return Result{}, err
+			}
+			ccfg.Endpoint = ep
+		}
+		c, err := client.New(ccfg)
+		if err != nil {
+			return Result{}, err
+		}
+		clients[i] = c
+	}
+
+	searchLat := stats.NewHistogram()
+	insertLat := stats.NewHistogram()
+	var ops uint64
+	var makespan time.Duration
+	var runErr error
+	wg := sim.NewWaitGroup(e)
+
+	for i, c := range clients {
+		i, c := i, c
+		wg.Add(1)
+		e.Spawn(fmt.Sprintf("driver-%d", i), func(p *sim.Proc) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+			// Re-seed the per-client workload stream by cloning the mix.
+			mix := *cfg.Workload
+			for r := 0; r < cfg.RequestsPerClient; r++ {
+				op := mix.Next(rng)
+				start := p.Now()
+				switch op.Type {
+				case workload.OpInsert:
+					if err := c.Insert(p, op.Rect, op.Ref+uint64(i)<<32); err != nil {
+						runErr = fmt.Errorf("client %d insert: %w", i, err)
+						return
+					}
+					insertLat.Record(p.Now() - start)
+				default:
+					if _, _, err := c.Search(p, op.Rect); err != nil {
+						runErr = fmt.Errorf("client %d search: %w", i, err)
+						return
+					}
+					searchLat.Record(p.Now() - start)
+				}
+				ops++
+				if p.Now() > makespan {
+					makespan = p.Now()
+				}
+			}
+		})
+	}
+	e.Spawn("coordinator", func(p *sim.Proc) {
+		wg.Wait(p)
+		p.Engine().Stop()
+	})
+	if err := e.Run(); err != nil {
+		return Result{}, err
+	}
+	if runErr != nil {
+		return Result{}, runErr
+	}
+
+	res := Result{
+		Scheme:      cfg.Scheme.Name,
+		Clients:     cfg.NumClients,
+		Ops:         ops,
+		Makespan:    makespan,
+		Latency:     searchLat.Summarize(),
+		InsertLat:   insertLat.Summarize(),
+		ServerStats: srv.Stats(),
+	}
+	if makespan > 0 {
+		res.Kops = float64(ops) / makespan.Seconds() / 1e3
+		res.ServerTXGbps = serverHost.TXGbps(makespan)
+		res.ServerRXGbps = serverHost.RXGbps(makespan)
+	}
+	if cfg.Scheme.ServerMode == server.ModePolling {
+		res.ServerCPUUtil = 1.0
+		res.ServerUsefulCPU = srvCfg.PollCPU.UsefulUtilizationTotal()
+	} else {
+		res.ServerCPUUtil = serverCPU.UtilizationTotal()
+		res.ServerUsefulCPU = res.ServerCPUUtil
+	}
+	var fast, off uint64
+	for _, c := range clients {
+		st := c.Stats()
+		fast += st.FastSearches + st.TCPSearches
+		off += st.OffloadSearches
+		res.TornRetries += st.TornRetries
+		res.StaleRestarts += st.StaleRestarts
+		res.NodesFetched += st.NodesFetched
+	}
+	if fast+off > 0 {
+		res.OffloadFraction = float64(off) / float64(fast+off)
+	}
+	return res, nil
+}

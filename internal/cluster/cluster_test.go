@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/netmodel"
+	"github.com/catfish-db/catfish/internal/workload"
+)
+
+// smallConfig returns a quick experiment configuration.
+func smallConfig(scheme Scheme, clients int) Config {
+	return Config{
+		Scheme:            scheme,
+		Dataset:           workload.UniformRects(20000, 0.0001, 1),
+		Workload:          workload.NewMix(workload.UniformScale{Scale: 0.001}, workload.SkewedInserts{Edge: 0.0001}, 0, 1<<32),
+		NumClients:        clients,
+		RequestsPerClient: 50,
+		Seed:              1,
+	}
+}
+
+func TestRunAllSchemes(t *testing.T) {
+	for _, scheme := range []Scheme{
+		SchemeTCP1G, SchemeTCP40G, SchemeFastMessaging,
+		SchemeOffloading, SchemeCatfish, SchemeFastEvent, SchemeOffloadMulti,
+	} {
+		scheme := scheme
+		t.Run(scheme.Name, func(t *testing.T) {
+			res, err := Run(smallConfig(scheme, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != 4*50 {
+				t.Errorf("ops = %d, want 200", res.Ops)
+			}
+			if res.Kops <= 0 {
+				t.Errorf("throughput = %v", res.Kops)
+			}
+			if res.Latency.Count == 0 || res.Latency.Mean <= 0 {
+				t.Errorf("latency summary empty: %+v", res.Latency)
+			}
+			if res.Makespan <= 0 {
+				t.Error("zero makespan")
+			}
+			if res.Scheme != scheme.Name {
+				t.Errorf("scheme name %q", res.Scheme)
+			}
+		})
+	}
+}
+
+func TestRunRequiresWorkload(t *testing.T) {
+	_, err := Run(Config{Scheme: SchemeCatfish})
+	if err == nil {
+		t.Fatal("missing workload should error")
+	}
+}
+
+func TestHybridWorkloadRuns(t *testing.T) {
+	cfg := smallConfig(SchemeCatfish, 4)
+	cfg.Workload = workload.NewMix(workload.UniformScale{Scale: 0.001},
+		workload.SkewedInserts{Edge: 0.0001}, 0.1, 1<<32)
+	cfg.StagedWrites = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerStats.Inserts == 0 {
+		t.Error("no inserts reached the server")
+	}
+	if res.InsertLat.Count == 0 {
+		t.Error("no insert latency recorded")
+	}
+	if res.ServerStats.Inserts+res.ServerStats.Searches < 190 {
+		t.Errorf("server stats account for too few ops: %+v", res.ServerStats)
+	}
+}
+
+func TestOffloadFractionReflectsScheme(t *testing.T) {
+	offRes, err := Run(smallConfig(SchemeOffloading, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offRes.OffloadFraction != 1.0 {
+		t.Errorf("offloading scheme offload fraction = %v, want 1", offRes.OffloadFraction)
+	}
+	if offRes.NodesFetched == 0 {
+		t.Error("offloading fetched no nodes")
+	}
+	fastRes, err := Run(smallConfig(SchemeFastMessaging, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastRes.OffloadFraction != 0 {
+		t.Errorf("fast messaging offload fraction = %v, want 0", fastRes.OffloadFraction)
+	}
+	if fastRes.ServerStats.Searches != 100 {
+		t.Errorf("server searches = %d, want 100", fastRes.ServerStats.Searches)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a, err := Run(smallConfig(SchemeCatfish, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig(SchemeCatfish, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Kops != b.Kops || a.Latency.Mean != b.Latency.Mean {
+		t.Errorf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestServerCPUSaturatesUnderLoad(t *testing.T) {
+	// Small-scope searches with enough clients should push the event-mode
+	// server CPU toward saturation (the Fig 2b / Fig 10a regime).
+	cfg := smallConfig(SchemeFastEvent, 32)
+	cfg.ServerCores = 2
+	cfg.Workload = workload.NewMix(workload.UniformScale{Scale: 0.00001}, workload.SkewedInserts{}, 0, 0)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerCPUUtil < 0.8 {
+		t.Errorf("server CPU util = %.2f, want near saturation", res.ServerCPUUtil)
+	}
+}
+
+func TestAdaptiveOffloadsUnderSaturation(t *testing.T) {
+	cfg := smallConfig(SchemeCatfish, 32)
+	cfg.ServerCores = 2
+	cfg.RequestsPerClient = 200
+	cfg.HeartbeatInv = time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OffloadFraction == 0 {
+		t.Error("catfish never offloaded despite a saturated server")
+	}
+	if res.OffloadFraction == 1 {
+		t.Error("catfish never used fast messaging")
+	}
+}
+
+func TestMicroTCP(t *testing.T) {
+	pts, err := RunMicro(netmodel.Ethernet1G, MicroTCP, []int{2, 1024, 65536}, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Latency grows with size; throughput grows toward line rate.
+	if pts[2].Latency <= pts[0].Latency {
+		t.Errorf("latency not increasing: %v vs %v", pts[0].Latency, pts[2].Latency)
+	}
+	if pts[2].Gbps <= pts[0].Gbps {
+		t.Errorf("throughput not increasing: %v vs %v", pts[0].Gbps, pts[2].Gbps)
+	}
+	if pts[2].Gbps > 1.0 {
+		t.Errorf("throughput %v exceeds 1G line rate", pts[2].Gbps)
+	}
+}
+
+func TestMicroRDMAReadVsWrite(t *testing.T) {
+	sizes := []int{64, 4096}
+	reads, err := RunMicro(netmodel.InfiniBand100G, MicroRDMARead, sizes, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes, err := RunMicro(netmodel.InfiniBand100G, MicroRDMAWrite, sizes, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 9a: RDMA Read needs a round trip, Write is one-directional, so
+	// Read latency exceeds Write latency at small sizes.
+	if reads[0].Latency <= writes[0].Latency {
+		t.Errorf("read %v should exceed write %v at small size",
+			reads[0].Latency, writes[0].Latency)
+	}
+}
+
+func TestMicroValidation(t *testing.T) {
+	if _, err := RunMicro(netmodel.Ethernet1G, MicroRDMARead, []int{64}, 5, 1); err == nil {
+		t.Error("RDMA micro on a TCP fabric should error")
+	}
+	if _, err := RunMicro(netmodel.InfiniBand100G, "bogus", []int{64}, 5, 1); err == nil {
+		t.Error("unknown method should error")
+	}
+}

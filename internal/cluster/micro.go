@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/fabric"
+	"github.com/catfish-db/catfish/internal/netmodel"
+	"github.com/catfish-db/catfish/internal/sim"
+)
+
+// MicroMethod selects the transport of the Fig 9 micro-benchmark.
+type MicroMethod string
+
+// Micro-benchmark transports.
+const (
+	MicroTCP       MicroMethod = "tcp"
+	MicroRDMARead  MicroMethod = "rdma-read"
+	MicroRDMAWrite MicroMethod = "rdma-write"
+)
+
+// MicroPoint is one (chunk size, latency, throughput) measurement.
+type MicroPoint struct {
+	Size    int
+	Latency time.Duration
+	Gbps    float64
+}
+
+// RunMicro reproduces the paper's micro-benchmark (Fig 9): data chunks of
+// the given sizes are transferred one at a time (a transfer begins only
+// after the previous one finished), measuring mean latency and achieved
+// throughput per size.
+//
+// For TCP the exchange is a 1-byte request answered with a size-byte
+// response (client-server echo). For RDMA Read the client fetches size
+// bytes from registered server memory; for RDMA Write it writes size bytes
+// with a signaled completion, matching perftest semantics.
+func RunMicro(prof netmodel.Profile, method MicroMethod, sizes []int, iters int, seed int64) ([]MicroPoint, error) {
+	if iters <= 0 {
+		iters = 100
+	}
+	out := make([]MicroPoint, 0, len(sizes))
+	for _, size := range sizes {
+		pt, err := microPoint(prof, method, size, iters, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func microPoint(prof netmodel.Profile, method MicroMethod, size, iters int, seed int64) (MicroPoint, error) {
+	e := sim.New(seed)
+	net := fabric.NewNetwork(e, prof)
+	clientCPU := sim.NewCPU(e, 4)
+	serverCPU := sim.NewCPU(e, 28)
+	clientHost := net.NewHost("client", clientCPU)
+	serverHost := net.NewHost("server", serverCPU)
+
+	var total time.Duration
+	var benchErr error
+
+	switch method {
+	case MicroTCP:
+		cEnd, sEnd := net.DialTCP(clientHost, serverHost)
+		e.Spawn("server", func(p *sim.Proc) {
+			resp := make([]byte, size)
+			for {
+				sEnd.Recv(p)
+				sEnd.Send(p, resp)
+			}
+		})
+		e.Spawn("client", func(p *sim.Proc) {
+			req := []byte{1}
+			for i := 0; i < iters; i++ {
+				start := p.Now()
+				cEnd.Send(p, req)
+				cEnd.Recv(p)
+				total += p.Now() - start
+			}
+			p.Engine().Stop()
+		})
+
+	case MicroRDMARead:
+		if !prof.RDMA {
+			return MicroPoint{}, fmt.Errorf("cluster: %s is not an RDMA fabric", prof.Name)
+		}
+		mem := serverHost.RegisterMemory(size)
+		qp, _ := net.ConnectQP(clientHost, serverHost, 1)
+		e.Spawn("client", func(p *sim.Proc) {
+			for i := 0; i < iters; i++ {
+				start := p.Now()
+				if _, err := qp.ReadSync(p, mem, 0, size); err != nil {
+					benchErr = err
+					break
+				}
+				total += p.Now() - start
+			}
+			p.Engine().Stop()
+		})
+
+	case MicroRDMAWrite:
+		if !prof.RDMA {
+			return MicroPoint{}, fmt.Errorf("cluster: %s is not an RDMA fabric", prof.Name)
+		}
+		mem := serverHost.RegisterMemory(size)
+		qp, _ := net.ConnectQP(clientHost, serverHost, 1)
+		e.Spawn("client", func(p *sim.Proc) {
+			buf := make([]byte, size)
+			for i := 0; i < iters; i++ {
+				start := p.Now()
+				if err := qp.Write(p, mem, 0, buf, fabric.WriteOpts{Signaled: true}); err != nil {
+					benchErr = err
+					break
+				}
+				c := qp.CQ().Pop(p)
+				if c.Op != fabric.OpWriteDone {
+					benchErr = fmt.Errorf("cluster: unexpected completion %v", c.Op)
+					break
+				}
+				total += p.Now() - start
+			}
+			p.Engine().Stop()
+		})
+
+	default:
+		return MicroPoint{}, fmt.Errorf("cluster: unknown micro method %q", method)
+	}
+
+	if err := e.Run(); err != nil {
+		return MicroPoint{}, err
+	}
+	if benchErr != nil {
+		return MicroPoint{}, benchErr
+	}
+	lat := total / time.Duration(iters)
+	pt := MicroPoint{Size: size, Latency: lat}
+	if lat > 0 {
+		pt.Gbps = float64(size) * 8 / lat.Seconds() / 1e9
+	}
+	return pt, nil
+}

@@ -1,0 +1,328 @@
+// Package cuckoo implements a two-choice cuckoo hash table stored
+// bucket-per-chunk in the version-protected memory region, the third
+// link-based structure of the paper's §VI framework claim (after the
+// R-tree and B+-tree): a server executes writes, and remote readers look
+// keys up with one or two one-sided chunk reads — the access pattern of
+// the RDMA key-value stores the paper builds on (Pilaf, FaRM).
+//
+// Each bucket occupies one region chunk, so a remote lookup is one chunk
+// read per candidate bucket, validated by cacheline versions. Displacement
+// ("kicking") during inserts writes the destination bucket before erasing
+// the source, so a concurrent reader always finds a live key in at least
+// one of its two buckets.
+package cuckoo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/catfish-db/catfish/internal/region"
+)
+
+// Errors.
+var (
+	ErrNotFound = errors.New("cuckoo: key not found")
+	ErrExists   = errors.New("cuckoo: key already exists")
+	ErrFull     = errors.New("cuckoo: table full (kick budget exhausted)")
+	ErrCorrupt  = errors.New("cuckoo: corrupt bucket")
+)
+
+// Slot layout: key uint64, val uint64; key 0 marks a free slot, so keys
+// are offset by one on disk (the stored key is key+1).
+const slotSize = 16
+
+// maxKicks bounds displacement chains before the table reports full.
+const maxKicks = 256
+
+// Config tunes a Table.
+type Config struct {
+	// SlotsPerBucket caps slots per bucket (0 selects the chunk capacity).
+	SlotsPerBucket int
+	// Seed permutes the two hash functions.
+	Seed uint64
+}
+
+// Table is a cuckoo hash table over a region. One writer at a time; remote
+// readers go through Reader.
+type Table struct {
+	reg     *region.Region
+	buckets int
+	slots   int
+	seed    uint64
+	size    int
+
+	chunkIDs []int // bucket -> chunk
+	scratch  []byte
+	raw      []byte
+}
+
+// New builds a table using every chunk of reg as one bucket. A region with
+// small chunks (e.g. 256 B = 14 slots) keeps remote reads cheap.
+func New(reg *region.Region, cfg Config) (*Table, error) {
+	capacity := reg.PayloadSize() / slotSize
+	slots := cfg.SlotsPerBucket
+	if slots == 0 {
+		slots = capacity
+	}
+	if slots < 1 || slots > capacity {
+		return nil, fmt.Errorf("cuckoo: SlotsPerBucket %d out of [1, %d]", slots, capacity)
+	}
+	if reg.NumChunks() < 2 {
+		return nil, errors.New("cuckoo: need at least 2 buckets")
+	}
+	t := &Table{
+		reg:     reg,
+		buckets: reg.NumChunks(),
+		slots:   slots,
+		seed:    cfg.Seed,
+		scratch: make([]byte, 0, reg.PayloadSize()),
+		raw:     make([]byte, reg.ChunkSize()),
+	}
+	t.chunkIDs = make([]int, t.buckets)
+	for i := range t.chunkIDs {
+		id, err := reg.Alloc()
+		if err != nil {
+			return nil, fmt.Errorf("cuckoo: alloc bucket %d: %w", i, err)
+		}
+		t.chunkIDs[i] = id
+		if err := t.writeBucket(id, make([]uint64, slots*2)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Len returns the number of stored keys.
+func (t *Table) Len() int { return t.size }
+
+// Buckets returns the bucket count.
+func (t *Table) Buckets() int { return t.buckets }
+
+// SlotsPerBucket returns the per-bucket slot count.
+func (t *Table) SlotsPerBucket() int { return t.slots }
+
+// Region returns the backing region.
+func (t *Table) Region() *region.Region { return t.reg }
+
+// BucketChunk returns the chunk ID of bucket b (clients learn the mapping
+// at connection setup; with a fresh region it is the identity).
+func (t *Table) BucketChunk(b int) int { return t.chunkIDs[b] }
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Hash1 and Hash2 return a key's two candidate buckets; exported so remote
+// readers compute the same addresses.
+func Hash1(key, seed uint64, buckets int) int {
+	return int(mix64(key^seed) % uint64(buckets))
+}
+
+// Hash2 is the second hash; when it collides with Hash1 the next bucket is
+// used so the two candidates always differ.
+func Hash2(key, seed uint64, buckets int) int {
+	h := int(mix64(key^(seed+0x9e3779b97f4a7c15)) % uint64(buckets))
+	if h == Hash1(key, seed, buckets) {
+		h = (h + 1) % buckets
+	}
+	return h
+}
+
+// bucket I/O: a bucket is slots*2 uint64 words (storedKey, val). The stored
+// key is key+1 so zero means empty.
+func (t *Table) readBucket(chunkID int) ([]uint64, error) {
+	payload, _, err := t.reg.ReadChunk(chunkID, t.raw, t.scratch)
+	if err != nil {
+		return nil, err
+	}
+	t.scratch = payload
+	return decodeBucket(payload, t.slots)
+}
+
+func decodeBucket(payload []byte, slots int) ([]uint64, error) {
+	if len(payload) < slots*slotSize {
+		return nil, fmt.Errorf("%w: %d bytes for %d slots", ErrCorrupt, len(payload), slots)
+	}
+	words := make([]uint64, slots*2)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(payload[i*8:])
+	}
+	return words, nil
+}
+
+func (t *Table) writeBucket(chunkID int, words []uint64) error {
+	buf := make([]byte, len(words)*8)
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[i*8:], w)
+	}
+	return t.reg.WriteChunkPrefix(chunkID, buf)
+}
+
+// findSlot returns the slot index of key in words, or -1.
+func findSlot(words []uint64, slots int, key uint64) int {
+	stored := key + 1
+	for i := 0; i < slots; i++ {
+		if words[i*2] == stored {
+			return i
+		}
+	}
+	return -1
+}
+
+func freeSlot(words []uint64, slots int) int {
+	for i := 0; i < slots; i++ {
+		if words[i*2] == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns the value stored under key.
+func (t *Table) Get(key uint64) (uint64, error) {
+	for _, b := range []int{Hash1(key, t.seed, t.buckets), Hash2(key, t.seed, t.buckets)} {
+		words, err := t.readBucket(t.chunkIDs[b])
+		if err != nil {
+			return 0, err
+		}
+		if i := findSlot(words, t.slots, key); i >= 0 {
+			return words[i*2+1], nil
+		}
+	}
+	return 0, ErrNotFound
+}
+
+// Put stores key -> val, displacing residents as needed. It fails with
+// ErrExists for duplicate keys and ErrFull when the kick budget runs out
+// (the table is effectively at capacity).
+func (t *Table) Put(key, val uint64) error {
+	b1 := Hash1(key, t.seed, t.buckets)
+	b2 := Hash2(key, t.seed, t.buckets)
+	w1, err := t.readBucket(t.chunkIDs[b1])
+	if err != nil {
+		return err
+	}
+	if findSlot(w1, t.slots, key) >= 0 {
+		return ErrExists
+	}
+	w2, err := t.readBucket(t.chunkIDs[b2])
+	if err != nil {
+		return err
+	}
+	if findSlot(w2, t.slots, key) >= 0 {
+		return ErrExists
+	}
+	if i := freeSlot(w1, t.slots); i >= 0 {
+		w1[i*2], w1[i*2+1] = key+1, val
+		if err := t.writeBucket(t.chunkIDs[b1], w1); err != nil {
+			return err
+		}
+		t.size++
+		return nil
+	}
+	if i := freeSlot(w2, t.slots); i >= 0 {
+		w2[i*2], w2[i*2+1] = key+1, val
+		if err := t.writeBucket(t.chunkIDs[b2], w2); err != nil {
+			return err
+		}
+		t.size++
+		return nil
+	}
+	// Both candidates full: displace a resident of b1 to its alternate
+	// bucket, destination-first so readers never lose sight of a live key.
+	if err := t.kick(b1, 0, key, val); err != nil {
+		return err
+	}
+	t.size++
+	return nil
+}
+
+// kick inserts (key, val) into bucket b by displacing the resident in slot
+// victim, recursively moving residents destination-first.
+func (t *Table) kick(b, depth int, key, val uint64) error {
+	if depth >= maxKicks {
+		return ErrFull
+	}
+	words, err := t.readBucket(t.chunkIDs[b])
+	if err != nil {
+		return err
+	}
+	if i := freeSlot(words, t.slots); i >= 0 {
+		words[i*2], words[i*2+1] = key+1, val
+		return t.writeBucket(t.chunkIDs[b], words)
+	}
+	// Choose a victim deterministically by depth for reproducibility.
+	vi := depth % t.slots
+	vKey := words[vi*2] - 1
+	vVal := words[vi*2+1]
+	alt := Hash1(vKey, t.seed, t.buckets)
+	if alt == b {
+		alt = Hash2(vKey, t.seed, t.buckets)
+	}
+	// Move the victim into its alternate bucket first...
+	if err := t.kick(alt, depth+1, vKey, vVal); err != nil {
+		return err
+	}
+	// ...then overwrite its old slot with the new key. Between the two
+	// writes the victim exists in both buckets, which lookups tolerate.
+	words, err = t.readBucket(t.chunkIDs[b])
+	if err != nil {
+		return err
+	}
+	vi2 := findSlot(words, t.slots, vKey)
+	if vi2 < 0 {
+		// The recursive kick rearranged this bucket; place in any free slot.
+		vi2 = freeSlot(words, t.slots)
+		if vi2 < 0 {
+			return ErrFull
+		}
+	}
+	words[vi2*2], words[vi2*2+1] = key+1, val
+	return t.writeBucket(t.chunkIDs[b], words)
+}
+
+// Update overwrites an existing binding.
+func (t *Table) Update(key, val uint64) error {
+	for _, b := range []int{Hash1(key, t.seed, t.buckets), Hash2(key, t.seed, t.buckets)} {
+		words, err := t.readBucket(t.chunkIDs[b])
+		if err != nil {
+			return err
+		}
+		if i := findSlot(words, t.slots, key); i >= 0 {
+			words[i*2+1] = val
+			return t.writeBucket(t.chunkIDs[b], words)
+		}
+	}
+	return ErrNotFound
+}
+
+// Delete removes key.
+func (t *Table) Delete(key uint64) error {
+	for _, b := range []int{Hash1(key, t.seed, t.buckets), Hash2(key, t.seed, t.buckets)} {
+		words, err := t.readBucket(t.chunkIDs[b])
+		if err != nil {
+			return err
+		}
+		if i := findSlot(words, t.slots, key); i >= 0 {
+			words[i*2], words[i*2+1] = 0, 0
+			if err := t.writeBucket(t.chunkIDs[b], words); err != nil {
+				return err
+			}
+			t.size--
+			return nil
+		}
+	}
+	return ErrNotFound
+}
+
+// LoadFactor returns size / capacity.
+func (t *Table) LoadFactor() float64 {
+	return float64(t.size) / float64(t.buckets*t.slots)
+}

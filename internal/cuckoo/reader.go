@@ -1,0 +1,102 @@
+package cuckoo
+
+import (
+	"errors"
+
+	"github.com/catfish-db/catfish/internal/region"
+)
+
+// FetchFunc returns the raw image of one region chunk (versions included) —
+// an RDMA Read over the simulated fabric, a READ_CHUNK over rpcnet.
+type FetchFunc func(chunkID int) ([]byte, error)
+
+// Reader performs one-sided lookups against a remote cuckoo table: one or
+// two chunk reads per Get, validated by cacheline versions. Because the
+// writer moves keys destination-first, a live key is always present in at
+// least one candidate bucket; a reader that misses both buckets retries a
+// bounded number of times to cover in-motion keys before reporting
+// ErrNotFound.
+type Reader struct {
+	Fetch   FetchFunc
+	Buckets int
+	Slots   int
+	Seed    uint64
+	// BucketChunk maps bucket index to chunk ID (nil = identity).
+	BucketChunk func(b int) int
+	// MaxRetries bounds torn-read and in-motion retries (0 selects 16).
+	MaxRetries int
+
+	// TornRetries and MotionRetries count recovery events.
+	TornRetries   uint64
+	MotionRetries uint64
+
+	payload []byte
+}
+
+// ErrGaveUp reports an exhausted retry budget.
+var ErrGaveUp = errors.New("cuckoo: lookup exceeded retry budget")
+
+func (r *Reader) retries() int {
+	if r.MaxRetries == 0 {
+		return 16
+	}
+	return r.MaxRetries
+}
+
+func (r *Reader) chunkOf(b int) int {
+	if r.BucketChunk != nil {
+		return r.BucketChunk(b)
+	}
+	return b
+}
+
+// readBucket fetches and validates one bucket, retrying torn reads.
+func (r *Reader) readBucket(b int) ([]uint64, error) {
+	for retry := 0; retry <= r.retries(); retry++ {
+		raw, err := r.Fetch(r.chunkOf(b))
+		if err != nil {
+			return nil, err
+		}
+		payload, _, derr := region.DecodeChunk(raw, r.payload)
+		if derr != nil {
+			if errors.Is(derr, region.ErrTornRead) {
+				r.TornRetries++
+				continue
+			}
+			return nil, derr
+		}
+		r.payload = payload
+		return decodeBucket(payload, r.Slots)
+	}
+	return nil, ErrGaveUp
+}
+
+// Get returns the value stored under key in the remote table.
+func (r *Reader) Get(key uint64) (uint64, error) {
+	b1 := Hash1(key, r.Seed, r.Buckets)
+	b2 := Hash2(key, r.Seed, r.Buckets)
+	for attempt := 0; attempt <= r.retries(); attempt++ {
+		w1, err := r.readBucket(b1)
+		if err != nil {
+			return 0, err
+		}
+		if i := findSlot(w1, r.Slots, key); i >= 0 {
+			return w1[i*2+1], nil
+		}
+		w2, err := r.readBucket(b2)
+		if err != nil {
+			return 0, err
+		}
+		if i := findSlot(w2, r.Slots, key); i >= 0 {
+			return w2[i*2+1], nil
+		}
+		if attempt == 0 {
+			// Plausibly absent; one more pass covers a key in motion
+			// between our two snapshots.
+			r.MotionRetries++
+			continue
+		}
+		return 0, ErrNotFound
+	}
+	return 0, ErrNotFound
+}

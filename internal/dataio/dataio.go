@@ -1,0 +1,92 @@
+// Package dataio reads and writes dataset files: a little-endian header
+// ("CATF", version, count) followed by 40-byte entry records (four float64
+// coordinates plus a uint64 reference). catfish-gen produces these files
+// and catfish-server loads them.
+package dataio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/rtree"
+)
+
+var magic = [4]byte{'C', 'A', 'T', 'F'}
+
+// formatVersion is the current file format version.
+const formatVersion = 1
+
+// ErrBadFormat reports an unrecognized or corrupt dataset file.
+var ErrBadFormat = errors.New("dataio: bad dataset file")
+
+// WriteEntries writes entries to w in the dataset file format.
+func WriteEntries(w io.Writer, entries []rtree.Entry) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], formatVersion)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(entries)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [40]byte
+	for _, e := range entries {
+		binary.LittleEndian.PutUint64(rec[0:], math.Float64bits(e.Rect.MinX))
+		binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(e.Rect.MaxX))
+		binary.LittleEndian.PutUint64(rec[16:], math.Float64bits(e.Rect.MinY))
+		binary.LittleEndian.PutUint64(rec[24:], math.Float64bits(e.Rect.MaxY))
+		binary.LittleEndian.PutUint64(rec[32:], e.Ref)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEntries reads a dataset file written by WriteEntries.
+func ReadEntries(r io.Reader) ([]rtree.Entry, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var head [16]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadFormat, err)
+	}
+	if [4]byte(head[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != formatVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadFormat, v)
+	}
+	count := binary.LittleEndian.Uint64(head[8:])
+	const maxEntries = 1 << 31
+	if count > maxEntries {
+		return nil, fmt.Errorf("%w: count %d", ErrBadFormat, count)
+	}
+	out := make([]rtree.Entry, 0, count)
+	var rec [40]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+		}
+		e := rtree.Entry{
+			Rect: geo.Rect{
+				MinX: math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
+				MaxX: math.Float64frombits(binary.LittleEndian.Uint64(rec[8:])),
+				MinY: math.Float64frombits(binary.LittleEndian.Uint64(rec[16:])),
+				MaxY: math.Float64frombits(binary.LittleEndian.Uint64(rec[24:])),
+			},
+			Ref: binary.LittleEndian.Uint64(rec[32:]),
+		}
+		if !e.Rect.Valid() {
+			return nil, fmt.Errorf("%w: record %d invalid rect", ErrBadFormat, i)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package dataio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/rtree"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	entries := make([]rtree.Entry, 1000)
+	for i := range entries {
+		entries[i] = rtree.Entry{
+			Rect: geo.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()),
+			Ref:  rng.Uint64(),
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteEntries(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEntries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEntries(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEntries(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := ReadEntries(bytes.NewReader(nil)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := ReadEntries(bytes.NewReader([]byte("NOTAMAGICFILE123"))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("magic err = %v", err)
+	}
+	// Truncated records.
+	var buf bytes.Buffer
+	if err := WriteEntries(&buf, []rtree.Entry{{Rect: geo.PointRect(0.5, 0.5), Ref: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := ReadEntries(bytes.NewReader(trunc)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("truncated err = %v", err)
+	}
+	// Invalid rect in a record.
+	var buf2 bytes.Buffer
+	if err := WriteEntries(&buf2, []rtree.Entry{{Rect: geo.Rect{MinX: 1, MaxX: 0, MinY: 0, MaxY: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEntries(&buf2); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("invalid rect err = %v", err)
+	}
+}

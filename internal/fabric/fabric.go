@@ -1,0 +1,198 @@
+// Package fabric provides the communication layer of the simulated cluster:
+// hosts with NICs, RDMA verbs over reliable-connection queue pairs (RDMA
+// Read, RDMA Write, RDMA Write with Immediate Data, completion queues and
+// event channels), and a kernel-TCP message transport for the paper's
+// socket-based baselines.
+//
+// Time is modelled by the sim engine (NIC serialization pipes, propagation,
+// per-message overheads, kernel CPU demands); data movement is real — bytes
+// are copied between real buffers at the virtual instants the model
+// dictates, so ring-buffer framing, version validation, and torn reads are
+// exercised genuinely.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/netmodel"
+	"github.com/catfish-db/catfish/internal/region"
+	"github.com/catfish-db/catfish/internal/sim"
+)
+
+// Errors returned by fabric operations.
+var (
+	ErrBounds     = errors.New("fabric: access out of registered bounds")
+	ErrWrongHost  = errors.New("fabric: memory not registered on the remote host")
+	ErrNotAligned = errors.New("fabric: region read must cover exactly one chunk")
+)
+
+// Network is one fabric (a profile plus the hosts attached to it). A
+// simulation may run several networks over the same engine (the paper's
+// nodes have all three NICs installed).
+type Network struct {
+	e    *sim.Engine
+	prof netmodel.Profile
+}
+
+// NewNetwork returns a network with the given profile.
+func NewNetwork(e *sim.Engine, prof netmodel.Profile) *Network {
+	return &Network{e: e, prof: prof}
+}
+
+// Engine returns the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.e }
+
+// Profile returns the fabric profile.
+func (n *Network) Profile() netmodel.Profile { return n.prof }
+
+// Host is one machine attached to the network: a NIC (TX/RX serialization
+// pipes) and optionally a CPU that kernel TCP processing is charged to.
+type Host struct {
+	name string
+	net  *Network
+	tx   *sim.Pipe
+	rx   *sim.Pipe
+	cpu  *sim.CPU
+}
+
+// NewHost attaches a host. cpu may be nil for hosts whose kernel costs are
+// accounted elsewhere (e.g. the RDMA-only polling server); TCP transfers to
+// and from such hosts skip the kernel CPU charge but keep its latency.
+func (n *Network) NewHost(name string, cpu *sim.CPU) *Host {
+	return &Host{
+		name: name,
+		net:  n,
+		tx:   sim.NewPipe(n.prof.BandwidthBps),
+		rx:   sim.NewPipe(n.prof.BandwidthBps),
+		cpu:  cpu,
+	}
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// CPU returns the host CPU (may be nil).
+func (h *Host) CPU() *sim.CPU { return h.cpu }
+
+// TXBytes returns total bytes sent (wire overhead included).
+func (h *Host) TXBytes() uint64 { return h.tx.Bytes() }
+
+// RXBytes returns total bytes received (wire overhead included).
+func (h *Host) RXBytes() uint64 { return h.rx.Bytes() }
+
+// TXGbps returns the mean transmit rate over elapsed.
+func (h *Host) TXGbps(elapsed time.Duration) float64 { return h.tx.Gbps(elapsed) }
+
+// RXGbps returns the mean receive rate over elapsed.
+func (h *Host) RXGbps(elapsed time.Duration) float64 { return h.rx.Gbps(elapsed) }
+
+// deliver books a message of size payload bytes from a to b posted at the
+// current virtual time and returns its delivery instant (remote memory
+// written / message available), accounting NIC overheads, serialization on
+// both NICs, propagation, and — when kernel is true — the kernel stack
+// latency on both sides.
+func (n *Network) deliver(from, to *Host, size int, kernel bool) time.Duration {
+	s := size + n.prof.WireOverheadBytes
+	now := n.e.Now()
+	post := now + n.prof.NICOverhead
+	extra := time.Duration(0)
+	if kernel {
+		extra = 2 * n.prof.KernelLatency
+		post += n.prof.KernelLatency
+	}
+	txDone := from.tx.Reserve(post, s)
+	rxDone := to.rx.Reserve(post+n.prof.PropagationDelay, s)
+	d := txDone + n.prof.PropagationDelay
+	if rxDone > d {
+		d = rxDone
+	}
+	d += n.prof.NICOverhead
+	if kernel {
+		d = d - n.prof.KernelLatency + extra // sender-side latency already in post
+	}
+	return d
+}
+
+// kernelDemand is the CPU cost of pushing one message of size bytes through
+// the kernel network stack on one side.
+func (n *Network) kernelDemand(size int) time.Duration {
+	return n.prof.KernelCPUPerMsg +
+		time.Duration(float64(size)/1024*float64(n.prof.KernelCPUPerKB))
+}
+
+// Memory is an RDMA-registered buffer on a host, addressable by remote QPs.
+type Memory struct {
+	host *Host
+	buf  []byte
+}
+
+// RegisterMemory registers a fresh buffer of size bytes on the host,
+// mirroring the paper's register-once design.
+func (h *Host) RegisterMemory(size int) *Memory {
+	return &Memory{host: h, buf: make([]byte, size)}
+}
+
+// Len returns the registered length.
+func (m *Memory) Len() int { return len(m.buf) }
+
+// Bytes exposes the buffer for local (same-host) access; remote access must
+// go through verbs.
+func (m *Memory) Bytes() []byte { return m.buf }
+
+// Host returns the owning host.
+func (m *Memory) Host() *Host { return m.host }
+
+// ReadAt copies len(dst) bytes starting at off into dst.
+func (m *Memory) ReadAt(off int, dst []byte) error {
+	if off < 0 || off+len(dst) > len(m.buf) {
+		return ErrBounds
+	}
+	copy(dst, m.buf[off:])
+	return nil
+}
+
+var _ Readable = (*Memory)(nil)
+
+// Readable is a remote data source an RDMA Read can fetch from.
+type Readable interface {
+	// ReadAt copies len(dst) bytes at offset off into dst; it is invoked at
+	// the virtual instant the remote NIC performs the DMA.
+	ReadAt(off int, dst []byte) error
+	// Host returns the host owning the memory.
+	Host() *Host
+}
+
+// RegionMemory adapts a region.Region as an RDMA-readable source. Reads
+// must cover exactly one chunk (the access pattern of R-tree offloading).
+type RegionMemory struct {
+	host *Host
+	reg  *region.Region
+}
+
+// RegisterRegion registers reg on the host.
+func (h *Host) RegisterRegion(reg *region.Region) *RegionMemory {
+	return &RegionMemory{host: h, reg: reg}
+}
+
+// Host returns the owning host.
+func (m *RegionMemory) Host() *Host { return m.host }
+
+// Region returns the underlying region.
+func (m *RegionMemory) Region() *region.Region { return m.reg }
+
+// ChunkOffset returns the region offset of chunk id, for use with RDMA
+// Read — the paper's "registered base address + chunk ID as offset".
+func (m *RegionMemory) ChunkOffset(id int) int { return id * m.reg.ChunkSize() }
+
+// ReadAt implements Readable; the read must cover exactly one chunk.
+func (m *RegionMemory) ReadAt(off int, dst []byte) error {
+	cs := m.reg.ChunkSize()
+	if off%cs != 0 || len(dst) != cs {
+		return fmt.Errorf("%w: off %d len %d", ErrNotAligned, off, len(dst))
+	}
+	return m.reg.ReadChunkRaw(off/cs, dst)
+}
+
+var _ Readable = (*RegionMemory)(nil)

@@ -1,0 +1,165 @@
+package fabric
+
+import (
+	"fmt"
+
+	"github.com/catfish-db/catfish/internal/sim"
+)
+
+// Op is the kind of a completion-queue entry.
+type Op int
+
+// Completion kinds.
+const (
+	// OpWriteImm is delivered to the responder when an RDMA Write with
+	// Immediate Data lands (the event-based fast-messaging wake-up).
+	OpWriteImm Op = iota + 1
+	// OpWriteDone is delivered to the requester when a signaled RDMA Write
+	// completes.
+	OpWriteDone
+	// OpReadDone is delivered to the requester when an RDMA Read returns.
+	OpReadDone
+)
+
+// Completion is one completion-queue entry.
+type Completion struct {
+	QP   *QP
+	Op   Op
+	Imm  uint64 // immediate data (OpWriteImm)
+	Tag  uint64 // requester-chosen identifier (OpReadDone, OpWriteDone)
+	Data []byte // fetched bytes (OpReadDone)
+	Len  int    // payload length
+	Err  error  // non-nil when the access failed validation
+}
+
+// QP is one endpoint of an RDMA reliable connection. Completions for
+// operations this endpoint initiates — and for incoming writes with
+// immediate data — appear in its completion queue, which doubles as the
+// event channel: a process blocked on CQ().Pop is exactly a thread waiting
+// on an ibv event channel, consuming no CPU.
+type QP struct {
+	net    *Network
+	local  *Host
+	remote *Host
+	peer   *QP
+	cq     *sim.Queue[Completion]
+	sq     *sim.Resource
+}
+
+// DefaultSQDepth is the default send-queue depth (outstanding verbs per QP).
+const DefaultSQDepth = 64
+
+// ConnectQP establishes a reliable connection between two hosts and returns
+// the two endpoints. sqDepth bounds outstanding operations per endpoint
+// (0 selects DefaultSQDepth).
+func (n *Network) ConnectQP(a, b *Host, sqDepth int) (*QP, *QP) {
+	if sqDepth <= 0 {
+		sqDepth = DefaultSQDepth
+	}
+	qa := &QP{net: n, local: a, remote: b, cq: sim.NewQueue[Completion](n.e), sq: sim.NewResource(n.e, sqDepth)}
+	qb := &QP{net: n, local: b, remote: a, cq: sim.NewQueue[Completion](n.e), sq: sim.NewResource(n.e, sqDepth)}
+	qa.peer, qb.peer = qb, qa
+	return qa, qb
+}
+
+// CQ returns the endpoint's completion queue / event channel.
+func (qp *QP) CQ() *sim.Queue[Completion] { return qp.cq }
+
+// Peer returns the other endpoint of the connection.
+func (qp *QP) Peer() *QP { return qp.peer }
+
+// Local returns the local host.
+func (qp *QP) Local() *Host { return qp.local }
+
+// Remote returns the remote host.
+func (qp *QP) Remote() *Host { return qp.remote }
+
+// WriteOpts control an RDMA Write.
+type WriteOpts struct {
+	// Imm, when Notify is set, is delivered to the responder's CQ with the
+	// write (RDMA Write with Immediate Data).
+	Imm uint64
+	// Notify selects Write-with-IMM: the responder's NIC raises a
+	// completion event, waking a thread blocked on its CQ.
+	Notify bool
+	// Signaled requests a local OpWriteDone completion with Tag.
+	Signaled bool
+	Tag      uint64
+}
+
+// Write posts an RDMA Write of data into mem at offset off. It blocks only
+// while the send queue is full (p is the posting process). The copy into
+// remote memory happens at the modelled delivery instant; data is captured
+// at post time, so the caller may reuse its buffer immediately.
+func (qp *QP) Write(p *sim.Proc, mem *Memory, off int, data []byte, opts WriteOpts) error {
+	if mem.host != qp.remote {
+		return ErrWrongHost
+	}
+	if off < 0 || off+len(data) > len(mem.buf) {
+		return fmt.Errorf("%w: write [%d, %d) of %d", ErrBounds, off, off+len(data), len(mem.buf))
+	}
+	qp.sq.Acquire(p, 1)
+	captured := append([]byte(nil), data...)
+	deliver := qp.net.deliver(qp.local, qp.remote, len(captured), false)
+	n := qp.net
+	n.e.After(deliver-n.e.Now(), func() {
+		copy(mem.buf[off:], captured)
+		if opts.Notify {
+			qp.peer.cq.Push(Completion{QP: qp.peer, Op: OpWriteImm, Imm: opts.Imm, Len: len(captured)})
+		}
+		if opts.Signaled {
+			qp.cq.Push(Completion{QP: qp, Op: OpWriteDone, Tag: opts.Tag, Len: len(captured)})
+		}
+		qp.sq.Release(1)
+	})
+	return nil
+}
+
+// readCtrlBytes is the wire size of an RDMA Read request message.
+const readCtrlBytes = 28
+
+// Read posts an RDMA Read of size bytes at offset off of src, owned by the
+// remote host. The remote CPU is not involved: the data snapshot is taken by
+// the remote NIC at the instant the request arrives there. The completion —
+// with the fetched bytes — lands in this endpoint's CQ carrying tag.
+func (qp *QP) Read(p *sim.Proc, src Readable, off, size int, tag uint64) error {
+	if src.Host() != qp.remote {
+		return ErrWrongHost
+	}
+	qp.sq.Acquire(p, 1)
+	n := qp.net
+	// Control leg: request travels requester -> responder.
+	ctrlArrive := n.deliver(qp.local, qp.remote, readCtrlBytes, false)
+	n.e.After(ctrlArrive-n.e.Now(), func() {
+		// The responder NIC DMAs the data now; this is the linearization
+		// point of the one-sided read.
+		data := make([]byte, size)
+		err := src.ReadAt(off, data)
+		if err != nil {
+			qp.cq.Push(Completion{QP: qp, Op: OpReadDone, Tag: tag, Err: err})
+			qp.sq.Release(1)
+			return
+		}
+		dataArrive := n.deliver(qp.remote, qp.local, size, false)
+		n.e.After(dataArrive-n.e.Now(), func() {
+			qp.cq.Push(Completion{QP: qp, Op: OpReadDone, Tag: tag, Data: data, Len: size})
+			qp.sq.Release(1)
+		})
+	})
+	return nil
+}
+
+// ReadSync posts a Read and blocks until its completion arrives, consuming
+// it from the CQ. It must not be mixed with concurrent CQ consumers on the
+// same endpoint; multi-issue traversal uses Read plus explicit CQ draining
+// instead.
+func (qp *QP) ReadSync(p *sim.Proc, src Readable, off, size int) ([]byte, error) {
+	if err := qp.Read(p, src, off, size, 0); err != nil {
+		return nil, err
+	}
+	c := qp.cq.Pop(p)
+	if c.Op != OpReadDone {
+		return nil, fmt.Errorf("fabric: unexpected completion %d on ReadSync endpoint", c.Op)
+	}
+	return c.Data, c.Err
+}

@@ -1,0 +1,284 @@
+package kv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/adaptive"
+	"github.com/catfish-db/catfish/internal/btree"
+	"github.com/catfish-db/catfish/internal/fabric"
+	"github.com/catfish-db/catfish/internal/netmodel"
+	"github.com/catfish-db/catfish/internal/sim"
+	"github.com/catfish-db/catfish/internal/wire"
+)
+
+// Method identifies how a read executed.
+type Method int
+
+// Read methods.
+const (
+	MethodFast Method = iota + 1
+	MethodOffload
+)
+
+// Errors.
+var (
+	ErrServer   = errors.New("kv: server reported an error")
+	ErrNotFound = errors.New("kv: key not found")
+)
+
+// ClientConfig configures a KV client.
+type ClientConfig struct {
+	Engine   *sim.Engine
+	Host     *fabric.Host
+	Endpoint *Endpoint
+	Cost     netmodel.CostModel
+
+	// Adaptive runs Algorithm 1 for reads; otherwise Forced applies.
+	Adaptive bool
+	Forced   Method
+	// N, T, HeartbeatInv, PredSmoothing parametrize the switch.
+	N             int
+	T             float64
+	HeartbeatInv  time.Duration
+	PredSmoothing float64
+}
+
+// ClientStats counts client events.
+type ClientStats struct {
+	FastReads      uint64
+	OffloadReads   uint64
+	Puts           uint64
+	Deletes        uint64
+	TornRetries    uint64
+	StaleRestarts  uint64
+	HeartbeatsSeen uint64
+}
+
+// Client is one key-value client: writes travel by fast messaging (the
+// server's lock discipline covers them), reads switch adaptively between
+// fast messaging and one-sided B+-tree traversal.
+type Client struct {
+	cfg    ClientConfig
+	ep     *Endpoint
+	sw     *adaptive.Switch
+	reader *btree.Reader
+	proc   *sim.Proc // bound during reader fetches
+
+	reqID  uint64
+	encBuf []byte
+	stats  ClientStats
+}
+
+// NewClient validates the configuration and returns a client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Engine == nil || cfg.Host == nil || cfg.Endpoint == nil {
+		return nil, errors.New("kv: Engine, Host and Endpoint are required")
+	}
+	if !cfg.Adaptive && cfg.Forced == 0 {
+		cfg.Forced = MethodFast
+	}
+	c := &Client{cfg: cfg, ep: cfg.Endpoint}
+	c.sw = adaptive.New(adaptive.Config{
+		N:             cfg.N,
+		T:             cfg.T,
+		Inv:           cfg.HeartbeatInv,
+		PredSmoothing: cfg.PredSmoothing,
+	}, cfg.Engine.Rand())
+	c.reader = &btree.Reader{
+		Fetch:      c.fetchChunk,
+		RootChunk:  cfg.Endpoint.RootChunk,
+		MaxEntries: cfg.Endpoint.MaxEntries,
+	}
+	return c, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Client) Stats() ClientStats {
+	out := c.stats
+	out.HeartbeatsSeen = c.sw.HeartbeatsSeen
+	out.TornRetries = c.reader.TornRetries
+	out.StaleRestarts = c.reader.StaleRestarts
+	return out
+}
+
+func (c *Client) nextID() uint64 {
+	c.reqID++
+	return c.reqID
+}
+
+// fetchChunk is the btree.Reader transport hook: a one-sided RDMA Read of
+// one region chunk, charged lightly to the client CPU.
+func (c *Client) fetchChunk(id int) ([]byte, error) {
+	p := c.proc
+	raw, err := c.ep.DataQP.ReadSync(p, c.ep.RegionMem,
+		id*c.ep.ChunkSize, c.ep.ChunkSize)
+	if err != nil {
+		return nil, err
+	}
+	if cpu := c.cfg.Host.CPU(); cpu != nil {
+		cpu.Run(p, c.cfg.Cost.ClientTraversalDemand(1))
+	}
+	return raw, nil
+}
+
+func (c *Client) readHeartbeat() float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(c.ep.HeartbeatM.Bytes()))
+}
+
+func (c *Client) clearHeartbeat() {
+	b := c.ep.HeartbeatM.Bytes()
+	for i := 0; i < 8 && i < len(b); i++ {
+		b[i] = 0
+	}
+}
+
+func (c *Client) decide(p *sim.Proc) Method {
+	if c.cfg.Adaptive {
+		if c.sw.Decide(p.Now(), c.readHeartbeat, c.clearHeartbeat) {
+			return MethodOffload
+		}
+		return MethodFast
+	}
+	return c.cfg.Forced
+}
+
+// Get returns the value stored under key, adaptively choosing fast
+// messaging or offloaded traversal.
+func (c *Client) Get(p *sim.Proc, key uint64) (uint64, Method, error) {
+	m := c.decide(p)
+	if m == MethodOffload {
+		c.stats.OffloadReads++
+		c.proc = p
+		defer func() { c.proc = nil }()
+		val, err := c.reader.Get(key)
+		if errors.Is(err, btree.ErrNotFound) {
+			return 0, m, ErrNotFound
+		}
+		return val, m, err
+	}
+	c.stats.FastReads++
+	resp, err := c.roundTrip(p, wire.KVRequest{Type: wire.MsgKVGet, ID: c.nextID(), Key: key})
+	if err != nil {
+		return 0, m, err
+	}
+	switch resp.Status {
+	case wire.StatusOK:
+		if len(resp.Pairs) != 1 {
+			return 0, m, fmt.Errorf("%w: malformed get response", ErrServer)
+		}
+		return resp.Pairs[0].Val, m, nil
+	case wire.StatusNotFound:
+		return 0, m, ErrNotFound
+	default:
+		return 0, m, fmt.Errorf("%w: get status %d", ErrServer, resp.Status)
+	}
+}
+
+// Range invokes fn for every key in [from, to] in ascending order,
+// adaptively choosing the read path.
+func (c *Client) Range(p *sim.Proc, from, to uint64, fn func(key, val uint64) bool) (Method, error) {
+	m := c.decide(p)
+	if m == MethodOffload {
+		c.stats.OffloadReads++
+		c.proc = p
+		defer func() { c.proc = nil }()
+		return m, c.reader.Range(from, to, fn)
+	}
+	c.stats.FastReads++
+	resp, err := c.roundTrip(p, wire.KVRequest{Type: wire.MsgKVRange, ID: c.nextID(), Key: from, End: to})
+	if err != nil {
+		return m, err
+	}
+	if resp.Status != wire.StatusOK {
+		return m, fmt.Errorf("%w: range status %d", ErrServer, resp.Status)
+	}
+	for _, kvp := range resp.Pairs {
+		if !fn(kvp.Key, kvp.Val) {
+			break
+		}
+	}
+	return m, nil
+}
+
+// Put upserts key -> val (always fast messaging, like R-tree writes).
+func (c *Client) Put(p *sim.Proc, key, val uint64) error {
+	c.stats.Puts++
+	resp, err := c.roundTrip(p, wire.KVRequest{Type: wire.MsgKVPut, ID: c.nextID(), Key: key, Val: val})
+	if err != nil {
+		return err
+	}
+	if resp.Status != wire.StatusOK {
+		return fmt.Errorf("%w: put status %d", ErrServer, resp.Status)
+	}
+	return nil
+}
+
+// Delete removes key.
+func (c *Client) Delete(p *sim.Proc, key uint64) error {
+	c.stats.Deletes++
+	resp, err := c.roundTrip(p, wire.KVRequest{Type: wire.MsgKVDelete, ID: c.nextID(), Key: key})
+	if err != nil {
+		return err
+	}
+	switch resp.Status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusNotFound:
+		return ErrNotFound
+	default:
+		return fmt.Errorf("%w: delete status %d", ErrServer, resp.Status)
+	}
+}
+
+// roundTrip performs one fast-messaging exchange, folding segments.
+func (c *Client) roundTrip(p *sim.Proc, req wire.KVRequest) (wire.KVResponse, error) {
+	c.encBuf = req.Encode(c.encBuf[:0])
+	if err := c.ep.ReqWriter.Send(p, c.encBuf, req.ID, true); err != nil {
+		return wire.KVResponse{}, err
+	}
+	var out wire.KVResponse
+	for {
+		c.ep.RespReader.CQ().Pop(p)
+		done, err := c.drain(req.ID, &out)
+		if rerr := c.ep.RespReader.ReportHead(p); rerr != nil {
+			return out, rerr
+		}
+		if err != nil {
+			return out, err
+		}
+		if done {
+			return out, nil
+		}
+	}
+}
+
+func (c *Client) drain(id uint64, out *wire.KVResponse) (bool, error) {
+	done := false
+	for {
+		payload, err, ok := c.ep.RespReader.TryRecv()
+		if err != nil {
+			return done, err
+		}
+		if !ok {
+			return done, nil
+		}
+		resp, err := wire.DecodeKVResponse(payload)
+		if err != nil {
+			return done, err
+		}
+		if resp.ID != id {
+			continue
+		}
+		out.ID = resp.ID
+		out.Status = resp.Status
+		out.Pairs = append(out.Pairs, resp.Pairs...)
+		if resp.Final {
+			out.Final = true
+			done = true
+		}
+	}
+}

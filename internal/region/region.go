@@ -1,0 +1,352 @@
+// Package region implements the server's RDMA-registered memory region.
+//
+// Following the paper's memory-management design (§III-B), the region is a
+// single flat buffer, registered with the NIC once, and divided into
+// fixed-size chunks — one chunk per R-tree node. A client addresses any node
+// as (region base, chunk ID × chunk size) with a one-sided RDMA Read.
+//
+// Concurrency between server-side writers (CPU) and client-side readers
+// (RDMA Read, which bypasses the server CPU entirely) uses the FaRM-style
+// version-number scheme the paper adopts: every 64-byte cacheline carries an
+// 8-byte version in its first word, leaving 56 bytes of payload. A writer
+// bumps the version of every cacheline it rewrites; a reader accepts a chunk
+// only when all cacheline versions agree. On hardware this is sound because
+// both RDMA Reads and CPU writes are cacheline-atomic. Go cannot express
+// cacheline atomicity, so this package backs the region with a []uint64
+// accessed via sync/atomic and gives each cacheline seqlock semantics
+// (odd version = write in progress); the observable property — a reader
+// either sees a fully consistent chunk or detects the tear and retries — is
+// identical, and it holds both in the single-threaded simulation and under
+// real goroutine concurrency in the rpcnet mode.
+//
+// To exercise the retry path deterministically in simulation, writers can
+// stage a write across a virtual-time window (BeginWrite/Finish): the first
+// half of the cachelines is published at the start of the window and the
+// rest at the end, so an RDMA Read landing inside the window observes
+// genuinely mixed versions.
+package region
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+const (
+	// CacheLine is the coherence unit: RDMA Reads and CPU writes are atomic
+	// at this granularity on real hardware.
+	CacheLine = 64
+	// VersionSize is the per-cacheline version word prepended to payload.
+	VersionSize = 8
+	// LineData is the payload capacity of one cacheline.
+	LineData = CacheLine - VersionSize
+
+	wordsPerLine   = CacheLine / 8
+	payloadWords   = wordsPerLine - 1
+	stableAttempts = 1 << 16
+)
+
+// Errors returned by region operations.
+var (
+	ErrTornRead     = errors.New("region: torn read: cacheline versions differ")
+	ErrBadChunk     = errors.New("region: chunk id out of range")
+	ErrPayloadSize  = errors.New("region: payload exceeds chunk capacity")
+	ErrOutOfChunks  = errors.New("region: no free chunks")
+	ErrDoubleFree   = errors.New("region: chunk already free")
+	ErrSizeMismatch = errors.New("region: buffer size mismatch")
+)
+
+// Region is a registered memory region divided into equally sized chunks.
+// Raw reads may run concurrently with writes from other goroutines (readers
+// validate versions and retry), but writers to the same chunk must be
+// externally serialized — exactly the guarantee the server's tree latch
+// provides. The chunk allocator must likewise be serialized by the caller.
+type Region struct {
+	words     []uint64
+	chunkSize int
+	lines     int // cachelines per chunk
+	nchunks   int
+
+	freeHead int32
+	freeNext []int32
+	allocs   int
+}
+
+// New returns a region with nchunks chunks of chunkSize bytes each.
+// chunkSize must be a positive multiple of CacheLine.
+func New(nchunks, chunkSize int) (*Region, error) {
+	if nchunks <= 0 || chunkSize <= 0 || chunkSize%CacheLine != 0 {
+		return nil, fmt.Errorf("region: invalid geometry %d x %d", nchunks, chunkSize)
+	}
+	r := &Region{
+		words:     make([]uint64, nchunks*chunkSize/8),
+		chunkSize: chunkSize,
+		lines:     chunkSize / CacheLine,
+		nchunks:   nchunks,
+		freeNext:  make([]int32, nchunks),
+	}
+	for i := 0; i < nchunks-1; i++ {
+		r.freeNext[i] = int32(i + 1)
+	}
+	r.freeNext[nchunks-1] = -1
+	r.freeHead = 0
+	return r, nil
+}
+
+// ChunkSize returns the size in bytes of one chunk (versions included).
+func (r *Region) ChunkSize() int { return r.chunkSize }
+
+// NumChunks returns the number of chunks in the region.
+func (r *Region) NumChunks() int { return r.nchunks }
+
+// PayloadSize returns the usable payload bytes per chunk.
+func (r *Region) PayloadSize() int { return r.lines * LineData }
+
+// Allocated returns the number of currently allocated chunks.
+func (r *Region) Allocated() int { return r.allocs }
+
+// Size returns the total registered bytes.
+func (r *Region) Size() int { return r.nchunks * r.chunkSize }
+
+// Alloc takes a chunk from the free list.
+func (r *Region) Alloc() (int, error) {
+	if r.freeHead < 0 {
+		return 0, ErrOutOfChunks
+	}
+	id := int(r.freeHead)
+	r.freeHead = r.freeNext[id]
+	r.freeNext[id] = -2 // allocated marker
+	r.allocs++
+	return id, nil
+}
+
+// Free returns a chunk to the free list.
+func (r *Region) Free(id int) error {
+	if id < 0 || id >= r.nchunks {
+		return ErrBadChunk
+	}
+	if r.freeNext[id] != -2 {
+		return ErrDoubleFree
+	}
+	r.freeNext[id] = r.freeHead
+	r.freeHead = int32(id)
+	r.allocs--
+	return nil
+}
+
+func (r *Region) checkID(id int) error {
+	if id < 0 || id >= r.nchunks {
+		return ErrBadChunk
+	}
+	return nil
+}
+
+// lineBase returns the word offset of cacheline l of chunk id.
+func (r *Region) lineBase(id, l int) int {
+	return (id*r.chunkSize)/8 + l*wordsPerLine
+}
+
+// Version returns the current version of chunk id (the version of its first
+// cacheline, which a completed write shares across all lines).
+func (r *Region) Version(id int) (uint64, error) {
+	if err := r.checkID(id); err != nil {
+		return 0, err
+	}
+	return atomic.LoadUint64(&r.words[r.lineBase(id, 0)]), nil
+}
+
+// writeLine publishes cacheline l with its slice of payload using seqlock
+// ordering: version goes odd, payload words land, version goes even (new).
+func (r *Region) writeLine(id, l int, newVersion uint64, payload []byte) {
+	base := r.lineBase(id, l)
+	old := atomic.LoadUint64(&r.words[base])
+	atomic.StoreUint64(&r.words[base], old|1) // mark write in progress
+	start := l * LineData
+	for w := 0; w < payloadWords; w++ {
+		var word uint64
+		off := start + w*8
+		for b := 0; b < 8; b++ {
+			if off+b < len(payload) {
+				word |= uint64(payload[off+b]) << (8 * b)
+			}
+		}
+		atomic.StoreUint64(&r.words[base+1+w], word)
+	}
+	atomic.StoreUint64(&r.words[base], newVersion)
+}
+
+// nextVersion returns the version a fresh write of chunk id should publish:
+// the current (even) version plus 2.
+func (r *Region) nextVersion(id int) uint64 {
+	v := atomic.LoadUint64(&r.words[r.lineBase(id, 0)])
+	return (v &^ 1) + 2
+}
+
+// WriteChunk publishes payload into chunk id, bumping every cacheline's
+// version. Payload shorter than the chunk's capacity zero-fills the rest.
+// All lines are published in one call; in the simulation this is a single
+// virtual instant.
+func (r *Region) WriteChunk(id int, payload []byte) error {
+	if err := r.checkID(id); err != nil {
+		return err
+	}
+	if len(payload) > r.PayloadSize() {
+		return ErrPayloadSize
+	}
+	v := r.nextVersion(id)
+	for l := 0; l < r.lines; l++ {
+		r.writeLine(id, l, v, payload)
+	}
+	return nil
+}
+
+// WriteChunkPrefix publishes payload into the leading cachelines of chunk id
+// and bumps the version of every line in the chunk without rewriting the
+// trailing payload bytes (which keep stale data). Decoders that consume only
+// a length-prefixed prefix of the payload — such as R-tree nodes, which read
+// exactly count entries — can use this to avoid rewriting a mostly empty
+// 4 KB chunk on every small update. Consistency detection is unaffected: all
+// lines still share one version.
+func (r *Region) WriteChunkPrefix(id int, payload []byte) error {
+	if err := r.checkID(id); err != nil {
+		return err
+	}
+	if len(payload) > r.PayloadSize() {
+		return ErrPayloadSize
+	}
+	v := r.nextVersion(id)
+	covered := (len(payload) + LineData - 1) / LineData
+	for l := 0; l < covered; l++ {
+		r.writeLine(id, l, v, payload)
+	}
+	for l := covered; l < r.lines; l++ {
+		base := r.lineBase(id, l)
+		atomic.StoreUint64(&r.words[base], v)
+	}
+	return nil
+}
+
+// StagedWrite is an in-progress chunk write split into two publication
+// steps, used by the simulation to create a real torn-read window: between
+// BeginWrite and Finish, the chunk's first half is at the new version and
+// the second half at the old one.
+type StagedWrite struct {
+	r       *Region
+	id      int
+	payload []byte
+	version uint64
+	half    int
+	done    bool
+}
+
+// BeginWrite starts a staged write of payload to chunk id and publishes the
+// first half of the cachelines. Call Finish to publish the rest.
+func (r *Region) BeginWrite(id int, payload []byte) (*StagedWrite, error) {
+	if err := r.checkID(id); err != nil {
+		return nil, err
+	}
+	if len(payload) > r.PayloadSize() {
+		return nil, ErrPayloadSize
+	}
+	w := &StagedWrite{
+		r:       r,
+		id:      id,
+		payload: append([]byte(nil), payload...),
+		version: r.nextVersion(id),
+		half:    (r.lines + 1) / 2,
+	}
+	for l := 0; l < w.half; l++ {
+		r.writeLine(id, l, w.version, w.payload)
+	}
+	return w, nil
+}
+
+// Finish publishes the remaining cachelines, completing the write. Finish is
+// idempotent.
+func (w *StagedWrite) Finish() {
+	if w.done {
+		return
+	}
+	w.done = true
+	for l := w.half; l < w.r.lines; l++ {
+		w.r.writeLine(w.id, l, w.version, w.payload)
+	}
+}
+
+// readLineStable copies cacheline l of chunk id into dst (CacheLine bytes),
+// retrying while a writer holds the line's seqlock so the line image is
+// internally consistent. Cross-line consistency is the caller's concern
+// (DecodeChunk).
+func (r *Region) readLineStable(id, l int, dst []byte) {
+	base := r.lineBase(id, l)
+	for attempt := 0; ; attempt++ {
+		v1 := atomic.LoadUint64(&r.words[base])
+		var words [payloadWords]uint64
+		for w := 0; w < payloadWords; w++ {
+			words[w] = atomic.LoadUint64(&r.words[base+1+w])
+		}
+		v2 := atomic.LoadUint64(&r.words[base])
+		if (v1&1) == 0 && v1 == v2 || attempt >= stableAttempts {
+			binary.LittleEndian.PutUint64(dst, v1)
+			for w := 0; w < payloadWords; w++ {
+				binary.LittleEndian.PutUint64(dst[8+w*8:], words[w])
+			}
+			return
+		}
+	}
+}
+
+// ReadChunkRaw copies the raw bytes of chunk id (versions included) into
+// dst, which must be exactly ChunkSize long. This models what an RDMA Read
+// returns; it performs no cross-line consistency validation.
+func (r *Region) ReadChunkRaw(id int, dst []byte) error {
+	if err := r.checkID(id); err != nil {
+		return err
+	}
+	if len(dst) != r.chunkSize {
+		return ErrSizeMismatch
+	}
+	for l := 0; l < r.lines; l++ {
+		r.readLineStable(id, l, dst[l*CacheLine:(l+1)*CacheLine])
+	}
+	return nil
+}
+
+// DecodeChunk validates the version consistency of a raw chunk image and,
+// when consistent, writes the payload bytes into dst (reusing its capacity)
+// and returns the payload and the observed version. It returns ErrTornRead
+// when cacheline versions disagree or a line was mid-write.
+func DecodeChunk(raw []byte, dst []byte) ([]byte, uint64, error) {
+	if len(raw) == 0 || len(raw)%CacheLine != 0 {
+		return nil, 0, ErrSizeMismatch
+	}
+	lines := len(raw) / CacheLine
+	version := binary.LittleEndian.Uint64(raw)
+	if version&1 != 0 {
+		return nil, version, ErrTornRead
+	}
+	for l := 1; l < lines; l++ {
+		if binary.LittleEndian.Uint64(raw[l*CacheLine:]) != version {
+			return nil, version, ErrTornRead
+		}
+	}
+	if cap(dst) < lines*LineData {
+		dst = make([]byte, 0, lines*LineData)
+	}
+	dst = dst[:0]
+	for l := 0; l < lines; l++ {
+		dst = append(dst, raw[l*CacheLine+VersionSize:(l+1)*CacheLine]...)
+	}
+	return dst, version, nil
+}
+
+// ReadChunk performs a validated read of chunk id directly (the server-local
+// fast path): raw copy plus decode. Retrying on ErrTornRead is the caller's
+// concern.
+func (r *Region) ReadChunk(id int, raw, payload []byte) ([]byte, uint64, error) {
+	if err := r.ReadChunkRaw(id, raw); err != nil {
+		return nil, 0, err
+	}
+	return DecodeChunk(raw, payload)
+}

@@ -1,0 +1,269 @@
+package ringbuf
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/fabric"
+	"github.com/catfish-db/catfish/internal/netmodel"
+	"github.com/catfish-db/catfish/internal/sim"
+)
+
+// testRing builds engine, network, two hosts, and a ring from client to
+// server of the given size.
+func testRing(t testing.TB, size int) (*sim.Engine, *Writer, *Reader) {
+	t.Helper()
+	e := sim.New(1)
+	n := fabric.NewNetwork(e, netmodel.InfiniBand100G)
+	client := n.NewHost("client", nil)
+	server := n.NewHost("server", nil)
+	wqp, rqp := n.ConnectQP(client, server, 0)
+	w, r, err := New(wqp, rqp, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, w, r
+}
+
+func TestNewValidation(t *testing.T) {
+	e := sim.New(1)
+	n := fabric.NewNetwork(e, netmodel.InfiniBand100G)
+	a := n.NewHost("a", nil)
+	b := n.NewHost("b", nil)
+	qa, qb := n.ConnectQP(a, b, 0)
+	if _, _, err := New(qa, qb, 16); err == nil {
+		t.Error("tiny ring should be rejected")
+	}
+	qa2, _ := n.ConnectQP(a, b, 0)
+	if _, _, err := New(qa2, qb, 4096); err == nil {
+		t.Error("non-peer endpoints should be rejected")
+	}
+	e.Run()
+}
+
+func TestSendRecvSingle(t *testing.T) {
+	e, w, r := testRing(t, 4096)
+	var got []byte
+	e.Spawn("reader", func(p *sim.Proc) {
+		c := r.CQ().Pop(p)
+		if c.Op != fabric.OpWriteImm || c.Imm != 7 {
+			t.Errorf("completion %+v", c)
+		}
+		payload, err, ok := r.TryRecv()
+		if err != nil || !ok {
+			t.Errorf("TryRecv: %v %v", err, ok)
+		}
+		got = payload
+		if err := r.ReportHead(p); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Spawn("writer", func(p *sim.Proc) {
+		if err := w.Send(p, []byte("request-1"), 7, true); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "request-1" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTryRecvEmptyRing(t *testing.T) {
+	_, _, r := testRing(t, 1024)
+	if _, err, ok := r.TryRecv(); err != nil || ok {
+		t.Errorf("empty TryRecv = %v, %v", err, ok)
+	}
+}
+
+func TestManyMessagesFIFO(t *testing.T) {
+	e, w, r := testRing(t, 512)
+	const n = 200
+	var got [][]byte
+	e.Spawn("reader", func(p *sim.Proc) {
+		for len(got) < n {
+			r.CQ().Pop(p)
+			for {
+				payload, err, ok := r.TryRecv()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					break
+				}
+				got = append(got, payload)
+			}
+			if err := r.ReportHead(p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	e.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			msg := bytes.Repeat([]byte{byte(i)}, 1+i%97)
+			if err := w.Send(p, msg, uint64(i), true); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("received %d of %d", len(got), n)
+	}
+	for i, m := range got {
+		want := bytes.Repeat([]byte{byte(i)}, 1+i%97)
+		if !bytes.Equal(m, want) {
+			t.Fatalf("message %d corrupt: %d bytes (want %d)", i, len(m), len(want))
+		}
+	}
+}
+
+func TestBackpressureWhenReaderStalls(t *testing.T) {
+	// Ring fits only a few messages; writer must stall until the reader
+	// reports progress, and no message may be lost or corrupted.
+	e, w, r := testRing(t, 256)
+	const n = 20
+	payload := bytes.Repeat([]byte{0xAB}, 60)
+	var received int
+	e.Spawn("reader", func(p *sim.Proc) {
+		for received < n {
+			r.CQ().Pop(p)
+			p.Sleep(50 * time.Microsecond) // slow consumer
+			for {
+				m, err, ok := r.TryRecv()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					break
+				}
+				if !bytes.Equal(m, payload) {
+					t.Errorf("message %d corrupt", received)
+				}
+				received++
+			}
+			if err := r.ReportHead(p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	var sendDone time.Duration
+	e.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			if err := w.Send(p, payload, 0, true); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		sendDone = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if received != n {
+		t.Fatalf("received %d of %d", received, n)
+	}
+	if sendDone < 100*time.Microsecond {
+		t.Errorf("writer never stalled (done at %v) despite tiny ring", sendDone)
+	}
+}
+
+func TestWrapAroundWithPad(t *testing.T) {
+	// Message sizes chosen so frames straddle the physical end repeatedly.
+	e, w, r := testRing(t, 128)
+	const n = 40
+	var msgs [][]byte
+	e.Spawn("reader", func(p *sim.Proc) {
+		for len(msgs) < n {
+			r.CQ().Pop(p)
+			for {
+				m, err, ok := r.TryRecv()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					break
+				}
+				msgs = append(msgs, m)
+			}
+			if err := r.ReportHead(p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	e.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			m := bytes.Repeat([]byte{byte(i + 1)}, 25+i%13)
+			if err := w.Send(p, m, 0, true); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range msgs {
+		want := bytes.Repeat([]byte{byte(i + 1)}, 25+i%13)
+		if !bytes.Equal(m, want) {
+			t.Fatalf("message %d corrupt after wrap", i)
+		}
+	}
+}
+
+func TestOversizeMessageRejected(t *testing.T) {
+	e, w, _ := testRing(t, 128)
+	e.Spawn("writer", func(p *sim.Proc) {
+		if err := w.Send(p, make([]byte, 200), 0, true); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("err = %v, want ErrTooLarge", err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPollingModeWithoutNotify(t *testing.T) {
+	// notify=false: no CQ event; the reader discovers the frame by polling.
+	e, w, r := testRing(t, 1024)
+	var got []byte
+	e.Spawn("reader", func(p *sim.Proc) {
+		for {
+			m, err, ok := r.TryRecv()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if ok {
+				got = m
+				return
+			}
+			p.Sleep(time.Microsecond)
+		}
+	})
+	e.Spawn("writer", func(p *sim.Proc) {
+		p.Sleep(10 * time.Microsecond)
+		if err := w.Send(p, []byte("polled"), 0, false); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "polled" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,489 @@
+package rpcnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/adaptive"
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/region"
+	"github.com/catfish-db/catfish/internal/rtree"
+	"github.com/catfish-db/catfish/internal/wire"
+)
+
+// Method mirrors the simulation client's search methods.
+type Method int
+
+// Search methods.
+const (
+	MethodFast Method = iota + 1
+	MethodOffload
+)
+
+// Errors.
+var (
+	ErrClosed   = errors.New("rpcnet: connection closed")
+	ErrServer   = errors.New("rpcnet: server reported an error")
+	ErrNotFound = errors.New("rpcnet: entry not found")
+	ErrGaveUp   = errors.New("rpcnet: traversal exceeded retry budget")
+)
+
+// ClientConfig tunes the real-network client.
+type ClientConfig struct {
+	// Adaptive runs Algorithm 1; otherwise Forced is used.
+	Adaptive bool
+	Forced   Method
+	// N and T are Algorithm 1's parameters (defaults 8 and 0.95).
+	N int
+	T float64
+	// MultiIssue pipelines chunk reads during offloaded traversal.
+	MultiIssue bool
+	// MaxRestarts / MaxChunkRetries bound staleness recovery.
+	MaxRestarts     int
+	MaxChunkRetries int
+	// Seed drives the back-off randomness.
+	Seed int64
+}
+
+// ClientStats counts client events.
+type ClientStats struct {
+	FastSearches    uint64
+	OffloadSearches uint64
+	TornRetries     uint64
+	StaleRestarts   uint64
+	ChunksFetched   uint64
+	HeartbeatsSeen  uint64
+}
+
+// Client is a Catfish client over real TCP. It is safe for use by one
+// goroutine at a time (like net.Conn-based request/response clients); the
+// internal reader goroutine handles asynchronous heartbeats.
+type Client struct {
+	conn  net.Conn
+	hello wire.Hello
+
+	sendMu sync.Mutex
+	reqID  atomic.Uint64
+
+	// reader demultiplexes frames: responses/chunks to waiters by ID,
+	// heartbeats to the mailbox.
+	mu      sync.Mutex
+	waiters map[uint64]chan []byte
+	readerr error
+	done    chan struct{}
+
+	// u_serv: the latest unconsumed heartbeat (0 = none).
+	heartbeat atomic.Uint64 // float64 bits
+	start     time.Time
+	sw        *adaptive.Switch
+
+	cfg   ClientConfig
+	stats ClientStats
+}
+
+// Dial connects to a server and performs the hello exchange.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.N == 0 {
+		cfg.N = 8
+	}
+	if cfg.T == 0 {
+		cfg.T = 0.95
+	}
+	if cfg.MaxRestarts == 0 {
+		cfg.MaxRestarts = 8
+	}
+	if cfg.MaxChunkRetries == 0 {
+		cfg.MaxChunkRetries = 64
+	}
+	if !cfg.Adaptive && cfg.Forced == 0 {
+		cfg.Forced = MethodFast
+	}
+	c := &Client{
+		conn:    conn,
+		waiters: make(map[uint64]chan []byte),
+		done:    make(chan struct{}),
+		start:   time.Now(),
+		cfg:     cfg,
+	}
+	frame, err := readFrame(conn, nil)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rpcnet: hello: %w", err)
+	}
+	hello, err := wire.DecodeHello(frame)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.hello = hello
+	c.sw = adaptive.New(adaptive.Config{
+		N:   cfg.N,
+		T:   cfg.T,
+		Inv: time.Duration(hello.HeartbeatMs) * time.Millisecond,
+	}, rand.New(rand.NewSource(cfg.Seed+time.Now().UnixNano())))
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		FastSearches:    atomic.LoadUint64(&c.stats.FastSearches),
+		OffloadSearches: atomic.LoadUint64(&c.stats.OffloadSearches),
+		TornRetries:     atomic.LoadUint64(&c.stats.TornRetries),
+		StaleRestarts:   atomic.LoadUint64(&c.stats.StaleRestarts),
+		ChunksFetched:   atomic.LoadUint64(&c.stats.ChunksFetched),
+		HeartbeatsSeen:  atomic.LoadUint64(&c.stats.HeartbeatsSeen),
+	}
+}
+
+// Hello returns the server's connection bootstrap info.
+func (c *Client) Hello() wire.Hello { return c.hello }
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	var buf []byte
+	for {
+		frame, err := readFrame(c.conn, buf)
+		if err != nil {
+			c.mu.Lock()
+			c.readerr = err
+			for id, ch := range c.waiters {
+				close(ch)
+				delete(c.waiters, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		buf = frame
+		typ, err := wire.PeekType(frame)
+		if err != nil {
+			continue
+		}
+		switch typ {
+		case wire.MsgHeartbeat:
+			if hb, err := wire.DecodeHeartbeat(frame); err == nil {
+				c.heartbeat.Store(floatBits(hb.Util))
+				atomic.AddUint64(&c.stats.HeartbeatsSeen, 1)
+			}
+		case wire.MsgResponse:
+			if resp, err := wire.DecodeResponse(frame); err == nil {
+				c.deliver(resp.ID, frame)
+			}
+		case wire.MsgChunkData:
+			if cd, err := wire.DecodeChunkData(frame); err == nil {
+				c.deliver(cd.ID, frame)
+			}
+		}
+	}
+}
+
+// deliver hands a copy of the frame to the waiter registered for id.
+func (c *Client) deliver(id uint64, frame []byte) {
+	cp := append([]byte(nil), frame...)
+	c.mu.Lock()
+	ch, ok := c.waiters[id]
+	c.mu.Unlock()
+	if ok {
+		ch <- cp
+	}
+}
+
+// call sends payload and waits for one frame addressed to id.
+func (c *Client) call(id uint64, payload []byte) ([]byte, error) {
+	ch := make(chan []byte, 4)
+	c.mu.Lock()
+	if c.readerr != nil {
+		err := c.readerr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	c.waiters[id] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+	}()
+
+	c.sendMu.Lock()
+	err := writeFrame(c.conn, payload)
+	c.sendMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	frame, ok := <-ch
+	if !ok {
+		return nil, ErrClosed
+	}
+	return frame, nil
+}
+
+// wait re-reads from an already-registered channel (for multi-segment
+// responses).
+func waitMore(ch chan []byte) ([]byte, error) {
+	frame, ok := <-ch
+	if !ok {
+		return nil, ErrClosed
+	}
+	return frame, nil
+}
+
+// roundTrip performs one request and folds segmented responses.
+func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
+	id := req.ID
+	ch := make(chan []byte, 8)
+	c.mu.Lock()
+	if c.readerr != nil {
+		err := c.readerr
+		c.mu.Unlock()
+		return wire.Response{}, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	c.waiters[id] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+	}()
+
+	c.sendMu.Lock()
+	err := writeFrame(c.conn, req.Encode(nil))
+	c.sendMu.Unlock()
+	if err != nil {
+		return wire.Response{}, err
+	}
+	var out wire.Response
+	for {
+		frame, err := waitMore(ch)
+		if err != nil {
+			return out, err
+		}
+		resp, err := wire.DecodeResponse(frame)
+		if err != nil {
+			return out, err
+		}
+		out.ID = resp.ID
+		out.Status = resp.Status
+		out.Items = append(out.Items, resp.Items...)
+		if resp.Final {
+			return out, nil
+		}
+	}
+}
+
+// Search executes a range query, adaptively or as forced.
+func (c *Client) Search(q geo.Rect) ([]wire.Item, Method, error) {
+	m := c.cfg.Forced
+	if c.cfg.Adaptive {
+		m = c.decide()
+	}
+	if m == MethodOffload {
+		atomic.AddUint64(&c.stats.OffloadSearches, 1)
+		items, err := c.searchOffload(q)
+		return items, m, err
+	}
+	atomic.AddUint64(&c.stats.FastSearches, 1)
+	resp, err := c.roundTrip(wire.Request{Type: wire.MsgSearch, ID: c.reqID.Add(1), Rect: q})
+	if err != nil {
+		return nil, m, err
+	}
+	if resp.Status != wire.StatusOK {
+		return nil, m, fmt.Errorf("%w: status %d", ErrServer, resp.Status)
+	}
+	return resp.Items, m, nil
+}
+
+// Insert adds an entry (always by messaging, like the paper).
+func (c *Client) Insert(r geo.Rect, ref uint64) error {
+	resp, err := c.roundTrip(wire.Request{Type: wire.MsgInsert, ID: c.reqID.Add(1), Rect: r, Ref: ref})
+	if err != nil {
+		return err
+	}
+	if resp.Status != wire.StatusOK {
+		return fmt.Errorf("%w: insert status %d", ErrServer, resp.Status)
+	}
+	return nil
+}
+
+// Delete removes an exact entry.
+func (c *Client) Delete(r geo.Rect, ref uint64) error {
+	resp, err := c.roundTrip(wire.Request{Type: wire.MsgDelete, ID: c.reqID.Add(1), Rect: r, Ref: ref})
+	if err != nil {
+		return err
+	}
+	switch resp.Status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusNotFound:
+		return ErrNotFound
+	default:
+		return fmt.Errorf("%w: delete status %d", ErrServer, resp.Status)
+	}
+}
+
+// decide runs Algorithm 1 against wall-clock time via the shared
+// adaptive.Switch (see that package for the policy).
+func (c *Client) decide() Method {
+	off := c.sw.Decide(time.Since(c.start),
+		func() float64 { return floatFromBits(c.heartbeat.Load()) },
+		func() { c.heartbeat.Store(0) })
+	if off {
+		return MethodOffload
+	}
+	return MethodFast
+}
+
+// fetchChunk reads one chunk with version validation and decodes it,
+// retrying torn reads.
+func (c *Client) fetchChunk(id int, expectLevel int, node *rtree.Node) error {
+	for retry := 0; retry <= c.cfg.MaxChunkRetries; retry++ {
+		atomic.AddUint64(&c.stats.ChunksFetched, 1)
+		tag := c.reqID.Add(1)
+		frame, err := c.call(tag, wire.ReadChunk{ID: tag, Chunk: uint32(id)}.Encode(nil))
+		if err != nil {
+			return err
+		}
+		cd, err := wire.DecodeChunkData(frame)
+		if err != nil {
+			return err
+		}
+		if cd.Status != wire.StatusOK {
+			return fmt.Errorf("%w: chunk %d status %d", ErrServer, id, cd.Status)
+		}
+		payload, _, derr := region.DecodeChunk(cd.Raw, nil)
+		if derr != nil {
+			if errors.Is(derr, region.ErrTornRead) {
+				atomic.AddUint64(&c.stats.TornRetries, 1)
+				continue
+			}
+			return derr
+		}
+		if err := rtree.DecodeNode(payload, node, int(c.hello.MaxEntries)); err != nil {
+			return errStale
+		}
+		if expectLevel >= 0 && node.Level != expectLevel {
+			return errStale
+		}
+		return nil
+	}
+	return ErrGaveUp
+}
+
+var errStale = errors.New("rpcnet: stale node during traversal")
+
+// searchOffload traverses the server tree with chunk reads, restarting on
+// structural staleness.
+func (c *Client) searchOffload(q geo.Rect) ([]wire.Item, error) {
+	for attempt := 0; attempt <= c.cfg.MaxRestarts; attempt++ {
+		items, err := c.traverse(q)
+		if err == nil {
+			return items, nil
+		}
+		if !errors.Is(err, errStale) {
+			return nil, err
+		}
+		atomic.AddUint64(&c.stats.StaleRestarts, 1)
+	}
+	return nil, ErrGaveUp
+}
+
+type chunkRef struct {
+	id    int
+	level int
+}
+
+func (c *Client) traverse(q geo.Rect) ([]wire.Item, error) {
+	if c.cfg.MultiIssue {
+		return c.traverseMulti(q)
+	}
+	var items []wire.Item
+	stack := []chunkRef{{id: int(c.hello.RootChunk), level: -1}}
+	var node rtree.Node
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if err := c.fetchChunk(r.id, r.level, &node); err != nil {
+			return nil, err
+		}
+		if node.IsLeaf() {
+			for _, e := range node.Entries {
+				if q.Intersects(e.Rect) {
+					items = append(items, wire.Item{Rect: e.Rect, Ref: e.Ref})
+				}
+			}
+			continue
+		}
+		for _, e := range node.Entries {
+			if q.Intersects(e.Rect) {
+				stack = append(stack, chunkRef{id: int(e.Ref), level: node.Level - 1})
+			}
+		}
+	}
+	return items, nil
+}
+
+// traverseMulti fetches each BFS frontier concurrently — the real-network
+// analogue of §IV-C's multi-issue pipeline (requests for all intersecting
+// children are in flight simultaneously over the shared connection).
+func (c *Client) traverseMulti(q geo.Rect) ([]wire.Item, error) {
+	var items []wire.Item
+	frontier := []chunkRef{{id: int(c.hello.RootChunk), level: -1}}
+	for len(frontier) > 0 {
+		nodes := make([]rtree.Node, len(frontier))
+		errs := make([]error, len(frontier))
+		var wg sync.WaitGroup
+		for i, r := range frontier {
+			i, r := i, r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs[i] = c.fetchChunk(r.id, r.level, &nodes[i])
+			}()
+		}
+		wg.Wait()
+		var next []chunkRef
+		for i := range nodes {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			n := &nodes[i]
+			if n.IsLeaf() {
+				for _, e := range n.Entries {
+					if q.Intersects(e.Rect) {
+						items = append(items, wire.Item{Rect: e.Rect, Ref: e.Ref})
+					}
+				}
+				continue
+			}
+			for _, e := range n.Entries {
+				if q.Intersects(e.Rect) {
+					next = append(next, chunkRef{id: int(e.Ref), level: n.Level - 1})
+				}
+			}
+		}
+		frontier = next
+	}
+	return items, nil
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

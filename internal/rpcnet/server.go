@@ -1,0 +1,354 @@
+// Package rpcnet runs Catfish over real TCP sockets (stdlib net), letting
+// the library serve actual processes and machines rather than the simulated
+// fabric. The wire protocol is the same as the simulation's; one-sided RDMA
+// Reads are emulated by READ_CHUNK requests the server answers directly
+// from the registered region without taking the tree lock, so the FaRM
+// version-check concurrency (§III-B) is exercised under real goroutine
+// parallelism: a reader can genuinely race a writer and must retry torn
+// chunks.
+//
+// Framing: every message travels as [length uint32 LE][payload], where
+// payload is one internal/wire message.
+package rpcnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/rtree"
+	"github.com/catfish-db/catfish/internal/wire"
+)
+
+// MaxFrame bounds a single frame (16 MiB), protecting against corrupt
+// length prefixes.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge reports an over-limit frame length prefix.
+var ErrFrameTooLarge = errors.New("rpcnet: frame exceeds limit")
+
+// writeFrame writes one length-prefixed frame. The caller must serialize
+// writers per connection.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, reusing buf when it has capacity.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ServerConfig configures a real-network server.
+type ServerConfig struct {
+	// HeartbeatInterval between utilization pushes (0 disables).
+	HeartbeatInterval time.Duration
+	// MaxSegmentItems caps items per response segment (0 selects ~4 KB).
+	MaxSegmentItems int
+}
+
+// Server serves a Catfish R-tree over TCP.
+type Server struct {
+	cfg  ServerConfig
+	tree *rtree.Tree
+	ln   net.Listener
+
+	latch sync.RWMutex // the tree latch (writers exclusive)
+
+	mu     sync.Mutex // guards conns
+	conns  map[*srvConn]struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	epoch     uint64
+	busyNanos atomic.Int64 // request-processing time, for heartbeats
+	hbWindow  atomic.Int64 // busyNanos at last heartbeat
+	searches  atomic.Uint64
+	inserts   atomic.Uint64
+	deletes   atomic.Uint64
+	reads     atomic.Uint64
+}
+
+type srvConn struct {
+	c  net.Conn
+	mu sync.Mutex // serializes frame writes
+}
+
+func (sc *srvConn) send(payload []byte) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return writeFrame(sc.c, payload)
+}
+
+// Listen binds addr and returns a server ready to Serve. The tree (and its
+// region) must outlive the server; the server becomes the tree's writer.
+func Listen(addr string, tree *rtree.Tree, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxSegmentItems == 0 {
+		cfg.MaxSegmentItems = 4096 / wire.ItemSize
+	}
+	s := &Server{
+		cfg:   cfg,
+		tree:  tree,
+		ln:    ln,
+		conns: make(map[*srvConn]struct{}),
+		epoch: uint64(time.Now().UnixNano()),
+	}
+	if cfg.HeartbeatInterval > 0 {
+		s.wg.Add(1)
+		go s.heartbeatLoop()
+	}
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections until Close. It always returns a non-nil error
+// (net.ErrClosed after a clean shutdown).
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return err
+		}
+		sc := &srvConn{c: conn}
+		s.mu.Lock()
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(sc)
+	}
+}
+
+// Close stops accepting, closes every connection, and waits for workers.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for sc := range s.conns {
+		sc.c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// ServerStats is a server counter snapshot.
+type ServerStats struct {
+	Searches   uint64
+	Inserts    uint64
+	Deletes    uint64
+	ChunkReads uint64
+}
+
+// Stats returns a snapshot of the op counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Searches:   s.searches.Load(),
+		Inserts:    s.inserts.Load(),
+		Deletes:    s.deletes.Load(),
+		ChunkReads: s.reads.Load(),
+	}
+}
+
+func (s *Server) serveConn(sc *srvConn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, sc)
+		s.mu.Unlock()
+		sc.c.Close()
+	}()
+
+	hello := wire.Hello{
+		RootChunk:   uint32(s.tree.RootChunk()),
+		ChunkSize:   uint32(s.tree.Region().ChunkSize()),
+		MaxEntries:  uint32(s.tree.MaxEntries()),
+		NumChunks:   uint32(s.tree.Region().NumChunks()),
+		HeartbeatMs: uint32(s.cfg.HeartbeatInterval / time.Millisecond),
+		ServerEpoch: s.epoch,
+	}
+	if err := sc.send(hello.Encode(nil)); err != nil {
+		return
+	}
+
+	var frame []byte
+	var out []byte
+	for {
+		var err error
+		frame, err = readFrame(sc.c, frame)
+		if err != nil {
+			return // EOF or closed
+		}
+		typ, err := wire.PeekType(frame)
+		if err != nil {
+			return
+		}
+		start := time.Now()
+		switch typ {
+		case wire.MsgReadChunk:
+			// One-sided read emulation: answered from the region without
+			// the tree latch — concurrency is resolved by version checks
+			// on the client, exactly as over RDMA.
+			req, err := wire.DecodeReadChunk(frame)
+			if err != nil {
+				return
+			}
+			s.reads.Add(1)
+			out = s.handleReadChunk(req, out[:0])
+			if err := sc.send(out); err != nil {
+				return
+			}
+		case wire.MsgSearch, wire.MsgInsert, wire.MsgDelete:
+			req, err := wire.DecodeRequest(frame)
+			if err != nil {
+				return
+			}
+			if err := s.handleRequest(sc, req); err != nil {
+				return
+			}
+		default:
+			return // protocol violation
+		}
+		s.busyNanos.Add(int64(time.Since(start)))
+	}
+}
+
+func (s *Server) handleReadChunk(req wire.ReadChunk, out []byte) []byte {
+	raw := make([]byte, s.tree.Region().ChunkSize())
+	resp := wire.ChunkData{ID: req.ID, Status: wire.StatusOK}
+	if err := s.tree.Region().ReadChunkRaw(int(req.Chunk), raw); err != nil {
+		resp.Status = wire.StatusError
+	} else {
+		resp.Raw = raw
+	}
+	return resp.Encode(out)
+}
+
+func (s *Server) handleRequest(sc *srvConn, req wire.Request) error {
+	switch req.Type {
+	case wire.MsgSearch:
+		s.searches.Add(1)
+		var items []wire.Item
+		// SearchShared touches no tree scratch state, so concurrent
+		// server-side searches proceed in parallel under the read latch.
+		s.latch.RLock()
+		_, err := s.tree.SearchShared(req.Rect, func(r geo.Rect, ref uint64) bool {
+			items = append(items, wire.Item{Rect: r, Ref: ref})
+			return true
+		})
+		s.latch.RUnlock()
+		if err != nil {
+			return sc.send(wire.Response{ID: req.ID, Status: wire.StatusError, Final: true}.Encode(nil))
+		}
+		return s.sendSegmented(sc, req.ID, items)
+
+	case wire.MsgInsert:
+		s.inserts.Add(1)
+		s.latch.Lock()
+		_, err := s.tree.Insert(req.Rect, req.Ref)
+		s.latch.Unlock()
+		status := wire.StatusOK
+		if err != nil {
+			status = wire.StatusError
+		}
+		return sc.send(wire.Response{ID: req.ID, Status: status, Final: true}.Encode(nil))
+
+	case wire.MsgDelete:
+		s.deletes.Add(1)
+		s.latch.Lock()
+		ok, _, err := s.tree.Delete(req.Rect, req.Ref)
+		s.latch.Unlock()
+		status := wire.StatusOK
+		switch {
+		case err != nil:
+			status = wire.StatusError
+		case !ok:
+			status = wire.StatusNotFound
+		}
+		return sc.send(wire.Response{ID: req.ID, Status: status, Final: true}.Encode(nil))
+	}
+	return fmt.Errorf("rpcnet: unhandled request type %d", req.Type)
+}
+
+func (s *Server) sendSegmented(sc *srvConn, id uint64, items []wire.Item) error {
+	max := s.cfg.MaxSegmentItems
+	for {
+		seg := wire.Response{ID: id, Status: wire.StatusOK}
+		if len(items) > max {
+			seg.Items = items[:max]
+			items = items[max:]
+		} else {
+			seg.Items = items
+			items = nil
+			seg.Final = true
+		}
+		if err := sc.send(seg.Encode(nil)); err != nil {
+			return err
+		}
+		if seg.Final {
+			return nil
+		}
+	}
+}
+
+// heartbeatLoop pushes the server's busy fraction to every client.
+func (s *Server) heartbeatLoop() {
+	defer s.wg.Done()
+	cores := float64(runtime.NumCPU())
+	ticker := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for range ticker.C {
+		if s.closed.Load() {
+			return
+		}
+		busy := s.busyNanos.Load()
+		window := busy - s.hbWindow.Load()
+		s.hbWindow.Store(busy)
+		util := float64(window) / (float64(s.cfg.HeartbeatInterval) * cores)
+		if util > 1 {
+			util = 1
+		}
+		if util < 1e-6 {
+			util = 1e-6
+		}
+		payload := wire.Heartbeat{Util: util}.Encode(nil)
+		s.mu.Lock()
+		for sc := range s.conns {
+			// Best effort; a dead connection is reaped by its reader.
+			_ = sc.send(payload)
+		}
+		s.mu.Unlock()
+	}
+}

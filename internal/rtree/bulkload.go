@@ -1,0 +1,163 @@
+package rtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+)
+
+// ErrNotEmpty is returned by BulkLoad when the tree already contains items.
+var ErrNotEmpty = errors.New("rtree: bulk load requires an empty tree")
+
+// BulkLoad replaces the content of an empty tree with items using
+// Sort-Tile-Recursive (STR) packing: items are tiled into vertical slices by
+// x-center, sorted by y-center within each slice, and packed into leaves,
+// then the procedure repeats on the leaf MBRs until a single root remains.
+//
+// The evaluation harness uses BulkLoad to stand up the paper's pre-built
+// 2-million-rectangle tree quickly; it is not part of the measured
+// operations. fillFactor in (0, 1] controls leaf occupancy (0 selects 0.9,
+// leaving headroom for the hybrid workloads' inserts).
+func (t *Tree) BulkLoad(items []Entry, fillFactor float64) error {
+	if t.size != 0 || t.height != 1 {
+		return ErrNotEmpty
+	}
+	for _, it := range items {
+		if !it.Rect.Valid() {
+			return fmt.Errorf("%w: %v", ErrInvalidRect, it.Rect)
+		}
+	}
+	if fillFactor == 0 {
+		fillFactor = 0.9
+	}
+	if fillFactor <= 0 || fillFactor > 1 {
+		return fmt.Errorf("rtree: fill factor %v out of (0, 1]", fillFactor)
+	}
+	capPerNode := int(fillFactor * float64(t.maxEntries))
+	// Keep at least 2·m so trailing-group rebalancing can always produce two
+	// halves that respect the minimum-occupancy invariant.
+	if capPerNode < 2*t.minEntries {
+		capPerNode = 2 * t.minEntries
+	}
+	if capPerNode > t.maxEntries {
+		capPerNode = t.maxEntries
+	}
+	t.stats = OpStats{}
+
+	if len(items) <= capPerNode {
+		root := &Node{Level: 0, Entries: append([]Entry(nil), items...)}
+		if err := t.writeNode(t.rootChunk, root); err != nil {
+			return err
+		}
+		t.size = len(items)
+		t.height = 1
+		return nil
+	}
+
+	level := 0
+	entries := append([]Entry(nil), items...)
+	var nodeIDs []int
+	for len(entries) > capPerNode {
+		groups := strTile(entries, capPerNode, t.minEntries)
+		next := make([]Entry, 0, len(groups))
+		nodeIDs = nodeIDs[:0]
+		for _, g := range groups {
+			id, err := t.reg.Alloc()
+			if err != nil {
+				return fmt.Errorf("rtree: bulk load alloc: %w", err)
+			}
+			n := &Node{Level: level, Entries: g}
+			if err := t.writeNode(id, n); err != nil {
+				return err
+			}
+			next = append(next, Entry{Rect: n.MBR(), Ref: uint64(id)})
+			nodeIDs = append(nodeIDs, id)
+		}
+		entries = next
+		level++
+	}
+	root := &Node{Level: level, Entries: entries}
+	if err := t.writeNode(t.rootChunk, root); err != nil {
+		return err
+	}
+	t.size = len(items)
+	t.height = level + 1
+	return nil
+}
+
+// strTile partitions entries into groups of at most capPerNode (and at
+// least minEntries) using the STR tiling: sort by x-center, cut into
+// ceil(sqrt(P)) vertical slices, sort each slice by y-center, and cut into
+// runs of capPerNode. A trailing run smaller than minEntries is rebalanced
+// with its predecessor.
+func strTile(entries []Entry, capPerNode, minEntries int) [][]Entry {
+	n := len(entries)
+	p := (n + capPerNode - 1) / capPerNode // total nodes needed
+	s := int(math.Ceil(math.Sqrt(float64(p))))
+	sliceSize := s * capPerNode
+
+	slices.SortFunc(entries, func(a, b Entry) int {
+		ax := a.Rect.MinX + a.Rect.MaxX
+		bx := b.Rect.MinX + b.Rect.MaxX
+		switch {
+		case ax < bx:
+			return -1
+		case ax > bx:
+			return 1
+		default:
+			return 0
+		}
+	})
+	groups := make([][]Entry, 0, p)
+	for start := 0; start < n; start += sliceSize {
+		end := start + sliceSize
+		if end > n {
+			end = n
+		}
+		slice := entries[start:end]
+		slices.SortFunc(slice, func(a, b Entry) int {
+			ay := a.Rect.MinY + a.Rect.MaxY
+			by := b.Rect.MinY + b.Rect.MaxY
+			switch {
+			case ay < by:
+				return -1
+			case ay > by:
+				return 1
+			default:
+				return 0
+			}
+		})
+		sliceStart := len(groups)
+		for gs := 0; gs < len(slice); gs += capPerNode {
+			ge := gs + capPerNode
+			if ge > len(slice) {
+				ge = len(slice)
+			}
+			groups = append(groups, append([]Entry(nil), slice[gs:ge]...))
+		}
+		// Rebalance a small trailing run within this slice.
+		if last := len(groups) - 1; len(groups[last]) < minEntries && last > sliceStart {
+			rebalance(groups, last)
+		}
+	}
+	// A lone undersized group in the final slice borrows from the previous
+	// slice's last group.
+	if last := len(groups) - 1; len(groups) > 1 && len(groups[last]) < minEntries {
+		rebalance(groups, last)
+	}
+	return groups
+}
+
+// rebalance evens out groups[last-1] and groups[last]. Each half gets a
+// fresh backing array: the two groups become independent nodes whose entry
+// slices must never alias (an append into one would otherwise overwrite the
+// other's entries in place).
+func rebalance(groups [][]Entry, last int) {
+	merged := make([]Entry, 0, len(groups[last-1])+len(groups[last]))
+	merged = append(merged, groups[last-1]...)
+	merged = append(merged, groups[last]...)
+	half := len(merged) / 2
+	groups[last-1] = append([]Entry(nil), merged[:half]...)
+	groups[last] = append([]Entry(nil), merged[half:]...)
+}

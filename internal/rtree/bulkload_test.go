@@ -1,0 +1,182 @@
+package rtree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/catfish-db/catfish/internal/geo"
+)
+
+func TestBulkLoadSmall(t *testing.T) {
+	tree := newTestTree(t, 16, 8)
+	items := []Entry{
+		{Rect: geo.NewRect(0.1, 0.1, 0.2, 0.2), Ref: 1},
+		{Rect: geo.NewRect(0.6, 0.6, 0.7, 0.7), Ref: 2},
+	}
+	if err := tree.BulkLoad(items, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 2 || tree.Height() != 1 {
+		t.Errorf("Len=%d Height=%d", tree.Len(), tree.Height())
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	got, _, err := tree.SearchCollect(geo.NewRect(0, 0, 0.3, 0.3))
+	if err != nil || len(got) != 1 || got[0].Ref != 1 {
+		t.Errorf("search = %v, %v", got, err)
+	}
+}
+
+func TestBulkLoadEmptyItems(t *testing.T) {
+	tree := newTestTree(t, 16, 8)
+	if err := tree.BulkLoad(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 0 {
+		t.Error("empty bulk load should leave empty tree")
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBulkLoadRejectsNonEmpty(t *testing.T) {
+	tree := newTestTree(t, 16, 8)
+	if _, err := tree.Insert(geo.PointRect(0.5, 0.5), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.BulkLoad([]Entry{{Rect: geo.PointRect(0.1, 0.1)}}, 0); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("err = %v, want ErrNotEmpty", err)
+	}
+}
+
+func TestBulkLoadRejectsInvalid(t *testing.T) {
+	tree := newTestTree(t, 16, 8)
+	bad := []Entry{{Rect: geo.Rect{MinX: 1, MaxX: 0, MinY: 0, MaxY: 1}}}
+	if err := tree.BulkLoad(bad, 0); !errors.Is(err, ErrInvalidRect) {
+		t.Errorf("err = %v, want ErrInvalidRect", err)
+	}
+	good := []Entry{{Rect: geo.PointRect(0.1, 0.1)}}
+	if err := tree.BulkLoad(good, 1.5); err == nil {
+		t.Error("fill factor > 1 should error")
+	}
+}
+
+func TestBulkLoadLargeMatchesBruteForce(t *testing.T) {
+	tree := newTestTree(t, 4096, 16)
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	items := make([]Entry, n)
+	oracle := &bruteForce{}
+	for i := range items {
+		r := uniformRect(rng, 0.01)
+		items[i] = Entry{Rect: r, Ref: uint64(i)}
+		oracle.insert(r, uint64(i))
+	}
+	if err := tree.BulkLoad(items, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != n {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		q := uniformRect(rng, rng.Float64()*0.1)
+		got, _, err := tree.SearchCollect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResults(got, oracle.search(q)) {
+			t.Fatalf("query %d results diverge", i)
+		}
+	}
+	// The loaded tree must accept further inserts and deletes.
+	for i := 0; i < 200; i++ {
+		r := uniformRect(rng, 0.01)
+		if _, err := tree.Insert(r, uint64(n+i)); err != nil {
+			t.Fatal(err)
+		}
+		oracle.insert(r, uint64(n+i))
+	}
+	for i := 0; i < 100; i++ {
+		e := oracle.entries[rng.Intn(len(oracle.entries))]
+		ok, _, err := tree.Delete(e.Rect, e.Ref)
+		if err != nil || !ok {
+			t.Fatalf("delete after bulk load: %v %v", ok, err)
+		}
+		oracle.delete(e.Rect, e.Ref)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	q := geo.NewRect(0.2, 0.2, 0.8, 0.8)
+	got, _, _ := tree.SearchCollect(q)
+	if !sameResults(got, oracle.search(q)) {
+		t.Fatal("post-mutation search diverges")
+	}
+}
+
+func TestBulkLoadFillFactors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	items := make([]Entry, 5000)
+	for i := range items {
+		items[i] = Entry{Rect: uniformRect(rng, 0.01), Ref: uint64(i)}
+	}
+	for _, ff := range []float64{0.5, 0.7, 0.9, 1.0} {
+		tree := newTestTree(t, 2048, 16)
+		local := append([]Entry(nil), items...)
+		if err := tree.BulkLoad(local, ff); err != nil {
+			t.Fatalf("ff=%v: %v", ff, err)
+		}
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("ff=%v: %v", ff, err)
+		}
+	}
+}
+
+func TestBulkLoadDisabledCacheCoherent(t *testing.T) {
+	reg := mustNewRegion(t, 2048)
+	tree, err := New(reg, Config{MaxEntries: 16, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	items := make([]Entry, 3000)
+	for i := range items {
+		items[i] = Entry{Rect: uniformRect(rng, 0.02), Ref: uint64(i)}
+	}
+	if err := tree.BulkLoad(items, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := tree.Insert(uniformRect(rng, 0.02), uint64(10000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBulkLoad100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	items := make([]Entry, 100000)
+	for i := range items {
+		items[i] = Entry{Rect: uniformRect(rng, 0.0001), Ref: uint64(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := newTestTree(b, 8192, 0)
+		local := append([]Entry(nil), items...)
+		if err := tree.BulkLoad(local, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

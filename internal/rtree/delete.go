@@ -1,0 +1,246 @@
+package rtree
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/catfish-db/catfish/internal/geo"
+)
+
+// Search visits every stored item whose rectangle intersects q, invoking fn
+// for each. fn returning false stops the traversal early. Search follows
+// every qualifying path, as R-tree search must (the paper's Fig 3a shows two
+// paths for one query).
+func (t *Tree) Search(q geo.Rect, fn func(r geo.Rect, ref uint64) bool) (OpStats, error) {
+	if !q.Valid() {
+		return OpStats{}, ErrInvalidRect
+	}
+	t.stats = OpStats{}
+	stack := []int{t.rootChunk}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.readNode(id)
+		if err != nil {
+			return t.stats, err
+		}
+		if n.IsLeaf() {
+			for _, e := range n.Entries {
+				if q.Intersects(e.Rect) {
+					t.stats.Results++
+					if fn != nil && !fn(e.Rect, e.Ref) {
+						return t.stats, nil
+					}
+				}
+			}
+			continue
+		}
+		for _, e := range n.Entries {
+			if q.Intersects(e.Rect) {
+				stack = append(stack, int(e.Ref))
+			}
+		}
+	}
+	return t.stats, nil
+}
+
+// ErrNeedCache is returned by SearchShared when the node cache is disabled.
+var ErrNeedCache = errors.New("rtree: SearchShared requires the node cache")
+
+// SearchShared is a Search variant safe for concurrent use by multiple
+// readers, provided no writer runs concurrently (callers hold a shared
+// latch, as the rpcnet server does). It touches no Tree scratch state: node
+// images come from the write-through cache, whose slots only writers
+// mutate, so concurrent shared readers never race.
+func (t *Tree) SearchShared(q geo.Rect, fn func(r geo.Rect, ref uint64) bool) (OpStats, error) {
+	var st OpStats
+	if !q.Valid() {
+		return st, ErrInvalidRect
+	}
+	if t.cache == nil {
+		return st, ErrNeedCache
+	}
+	stack := []int{t.rootChunk}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := t.cache[id]
+		if n == nil {
+			return st, fmt.Errorf("rtree: chunk %d missing from cache", id)
+		}
+		st.NodesRead++
+		if n.IsLeaf() {
+			for _, e := range n.Entries {
+				if q.Intersects(e.Rect) {
+					st.Results++
+					if fn != nil && !fn(e.Rect, e.Ref) {
+						return st, nil
+					}
+				}
+			}
+			continue
+		}
+		for _, e := range n.Entries {
+			if q.Intersects(e.Rect) {
+				stack = append(stack, int(e.Ref))
+			}
+		}
+	}
+	return st, nil
+}
+
+// SearchCollect returns all items intersecting q.
+func (t *Tree) SearchCollect(q geo.Rect) ([]Entry, OpStats, error) {
+	var out []Entry
+	st, err := t.Search(q, func(r geo.Rect, ref uint64) bool {
+		out = append(out, Entry{Rect: r, Ref: ref})
+		return true
+	})
+	return out, st, err
+}
+
+// Delete removes one entry exactly matching (r, ref). It returns false when
+// no such entry exists. Underflowing nodes are condensed: the node is
+// removed and its entries re-inserted at their level, per Guttman's
+// CondenseTree, with R* handling of any overflows that re-insertion causes.
+func (t *Tree) Delete(r geo.Rect, ref uint64) (bool, OpStats, error) {
+	if !r.Valid() {
+		return false, OpStats{}, ErrInvalidRect
+	}
+	t.stats = OpStats{}
+	p, entryIdx, err := t.findLeaf(r, ref)
+	if err != nil {
+		return false, t.stats, err
+	}
+	if p == nil {
+		return false, t.stats, nil
+	}
+	d := p.depth() - 1
+	leaf := p.nodes[d]
+	leaf.Entries = append(leaf.Entries[:entryIdx], leaf.Entries[entryIdx+1:]...)
+	t.size--
+
+	var orphans []orphan
+	if err := t.condense(p, d, &orphans); err != nil {
+		return true, t.stats, err
+	}
+	// Re-insert orphaned entries, deepest level first so internal entries
+	// land before the leaves they might have covered.
+	for i := len(orphans) - 1; i >= 0; i-- {
+		clear(t.reinsertedAt)
+		if err := t.insertEntry(orphans[i].e, orphans[i].level); err != nil {
+			return true, t.stats, err
+		}
+	}
+	if err := t.shrinkRoot(); err != nil {
+		return true, t.stats, err
+	}
+	return true, t.stats, nil
+}
+
+type orphan struct {
+	e     Entry
+	level int
+}
+
+// findLeaf locates the leaf containing the exact entry (r, ref), returning
+// the root-to-leaf path and the entry index, or a nil path when absent.
+func (t *Tree) findLeaf(r geo.Rect, ref uint64) (*path, int, error) {
+	p := &path{}
+	return t.findLeafFrom(p, t.rootChunk, r, ref)
+}
+
+func (t *Tree) findLeafFrom(p *path, id int, r geo.Rect, ref uint64) (*path, int, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	p.ids = append(p.ids, id)
+	p.nodes = append(p.nodes, n)
+	if n.IsLeaf() {
+		for i, e := range n.Entries {
+			if e.Ref == ref && e.Rect.Equal(r) {
+				return p, i, nil
+			}
+		}
+	} else {
+		for i, e := range n.Entries {
+			if !e.Rect.Contains(r) {
+				continue
+			}
+			p.child = append(p.child, i)
+			found, idx, err := t.findLeafFrom(p, int(e.Ref), r, ref)
+			if err != nil {
+				return nil, 0, err
+			}
+			if found != nil {
+				return found, idx, nil
+			}
+			p.child = p.child[:len(p.child)-1]
+		}
+	}
+	p.ids = p.ids[:len(p.ids)-1]
+	p.nodes = p.nodes[:len(p.nodes)-1]
+	return nil, 0, nil
+}
+
+// condense walks from the modified node at depth d to the root: underfull
+// non-root nodes are removed (their entries orphaned, their chunks freed),
+// other nodes are republished and their ancestors' MBRs refreshed.
+func (t *Tree) condense(p *path, d int, orphans *[]orphan) error {
+	for i := d; i > 0; i-- {
+		n := p.nodes[i]
+		parent := p.nodes[i-1]
+		if len(n.Entries) < t.minEntries {
+			for _, e := range n.Entries {
+				*orphans = append(*orphans, orphan{e: e, level: n.Level})
+			}
+			childIdx := p.child[i-1]
+			parent.Entries = append(parent.Entries[:childIdx], parent.Entries[childIdx+1:]...)
+			if err := t.freeChunk(p.ids[i]); err != nil {
+				return fmt.Errorf("rtree: condense free: %w", err)
+			}
+			continue
+		}
+		if err := t.writeNode(p.ids[i], n); err != nil {
+			return err
+		}
+		// Refresh this node's rectangle in its parent.
+		parent.Entries[p.child[i-1]].Rect = n.MBR()
+	}
+	return t.writeNode(p.ids[0], p.nodes[0])
+}
+
+// shrinkRoot collapses the tree while the root is an internal node with a
+// single child: the child's content moves into the stable root chunk.
+func (t *Tree) shrinkRoot() error {
+	for {
+		root, err := t.readNode(t.rootChunk)
+		if err != nil {
+			return err
+		}
+		if root.IsLeaf() || len(root.Entries) != 1 {
+			return nil
+		}
+		childID := int(root.Entries[0].Ref)
+		child, err := t.readNode(childID)
+		if err != nil {
+			return err
+		}
+		if err := t.writeNode(t.rootChunk, child); err != nil {
+			return err
+		}
+		if err := t.freeChunk(childID); err != nil {
+			return fmt.Errorf("rtree: shrink free: %w", err)
+		}
+		t.height--
+	}
+}
+
+// freeChunk releases a chunk back to the region and drops its cache slot.
+func (t *Tree) freeChunk(id int) error {
+	if t.cache != nil {
+		t.cache[id] = nil
+	}
+	return t.reg.Free(id)
+}

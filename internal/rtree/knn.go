@@ -1,0 +1,80 @@
+package rtree
+
+import (
+	"container/heap"
+	"errors"
+
+	"github.com/catfish-db/catfish/internal/geo"
+)
+
+// ErrBadK is returned by Nearest for non-positive k.
+var ErrBadK = errors.New("rtree: k must be positive")
+
+// Neighbor is one nearest-neighbor result.
+type Neighbor struct {
+	Rect   geo.Rect
+	Ref    uint64
+	DistSq float64 // squared Euclidean distance to the query point
+}
+
+// knnItem is a priority-queue element: either a node to expand or a
+// candidate leaf entry.
+type knnItem struct {
+	distSq float64
+	isItem bool
+	// node expansion:
+	chunk int
+	// leaf entry:
+	entry Entry
+}
+
+// knnHeap implements heap.Interface ordered by minimum possible distance.
+type knnHeap []knnItem
+
+func (h knnHeap) Len() int            { return len(h) }
+func (h knnHeap) Less(i, j int) bool  { return h[i].distSq < h[j].distSq }
+func (h knnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *knnHeap) Push(x any)         { *h = append(*h, x.(knnItem)) }
+func (h *knnHeap) Pop() any           { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h *knnHeap) pushItem(i knnItem) { heap.Push(h, i) }
+
+// Nearest returns the k stored entries whose rectangles lie nearest to the
+// point (x, y), in ascending distance order (fewer when the tree holds
+// fewer items). It runs the classic best-first search: a priority queue
+// ordered by minimum possible distance, expanding nodes lazily, so it
+// touches only the nodes whose bounding boxes could contain a result.
+func (t *Tree) Nearest(k int, x, y float64) ([]Neighbor, OpStats, error) {
+	if k <= 0 {
+		return nil, OpStats{}, ErrBadK
+	}
+	t.stats = OpStats{}
+	var pq knnHeap
+	pq.pushItem(knnItem{distSq: 0, chunk: t.rootChunk})
+	out := make([]Neighbor, 0, k)
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(knnItem)
+		if it.isItem {
+			out = append(out, Neighbor{Rect: it.entry.Rect, Ref: it.entry.Ref, DistSq: it.distSq})
+			t.stats.Results++
+			if len(out) == k {
+				return out, t.stats, nil
+			}
+			continue
+		}
+		n, err := t.readNode(it.chunk)
+		if err != nil {
+			return out, t.stats, err
+		}
+		for _, e := range n.Entries {
+			child := knnItem{distSq: e.Rect.DistSqToPoint(x, y)}
+			if n.IsLeaf() {
+				child.isItem = true
+				child.entry = e
+			} else {
+				child.chunk = int(e.Ref)
+			}
+			pq.pushItem(child)
+		}
+	}
+	return out, t.stats, nil
+}

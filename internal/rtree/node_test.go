@@ -1,0 +1,155 @@
+package rtree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/catfish-db/catfish/internal/geo"
+)
+
+func randomEntries(rng *rand.Rand, n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = Entry{
+			Rect: geo.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()),
+			Ref:  rng.Uint64(),
+		}
+	}
+	return out
+}
+
+func TestNodeEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, count := range []int{0, 1, 5, 64} {
+		n := &Node{Level: 3, Entries: randomEntries(rng, count)}
+		buf := n.Encode(nil)
+		if len(buf) != n.EncodedSize() {
+			t.Errorf("encoded size %d, want %d", len(buf), n.EncodedSize())
+		}
+		var got Node
+		if err := DecodeNode(buf, &got, 64); err != nil {
+			t.Fatalf("count %d: %v", count, err)
+		}
+		if got.Level != 3 || len(got.Entries) != count {
+			t.Fatalf("decoded level %d count %d", got.Level, len(got.Entries))
+		}
+		for i := range got.Entries {
+			if got.Entries[i] != n.Entries[i] {
+				t.Fatalf("entry %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestDecodeNodeErrors(t *testing.T) {
+	var n Node
+	if err := DecodeNode(nil, &n, 8); !errors.Is(err, ErrCorruptNode) {
+		t.Errorf("nil decode err = %v", err)
+	}
+	if err := DecodeNode(make([]byte, 8), &n, 8); !errors.Is(err, ErrCorruptNode) {
+		t.Errorf("short decode err = %v", err)
+	}
+	// Count exceeding payload capacity.
+	good := (&Node{Level: 0, Entries: randomEntries(rand.New(rand.NewSource(2)), 2)}).Encode(nil)
+	bad := append([]byte(nil), good...)
+	bad[4] = 200 // count
+	if err := DecodeNode(bad, &n, 8); !errors.Is(err, ErrCorruptNode) {
+		t.Errorf("overflow count decode err = %v", err)
+	}
+	// Absurd level.
+	bad2 := append([]byte(nil), good...)
+	bad2[0] = 255
+	if err := DecodeNode(bad2, &n, 8); !errors.Is(err, ErrCorruptNode) {
+		t.Errorf("bad level decode err = %v", err)
+	}
+}
+
+func TestDecodeNodeReusesEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	buf := (&Node{Level: 0, Entries: randomEntries(rng, 4)}).Encode(nil)
+	n := Node{Entries: make([]Entry, 0, 16)}
+	backing := n.Entries[:1]
+	if err := DecodeNode(buf, &n, 16); err != nil {
+		t.Fatal(err)
+	}
+	if &n.Entries[0] != &backing[0] {
+		t.Error("DecodeNode did not reuse entry slice capacity")
+	}
+}
+
+func TestNodeMBR(t *testing.T) {
+	n := &Node{}
+	if !n.MBR().Equal(geo.Rect{}) {
+		t.Error("empty node MBR should be zero")
+	}
+	n.Entries = []Entry{
+		{Rect: geo.NewRect(0, 0, 1, 1)},
+		{Rect: geo.NewRect(2, -1, 3, 0.5)},
+	}
+	want := geo.Rect{MinX: 0, MaxX: 3, MinY: -1, MaxY: 1}
+	if got := n.MBR(); !got.Equal(want) {
+		t.Errorf("MBR = %v, want %v", got, want)
+	}
+}
+
+func TestNodeCapacity(t *testing.T) {
+	if got := NodeCapacity(10); got != 0 {
+		t.Errorf("tiny capacity = %d", got)
+	}
+	// 4 KB chunk with 64 cachelines: 3584 payload bytes.
+	if got := NodeCapacity(3584); got != (3584-16)/40 {
+		t.Errorf("capacity = %d", got)
+	}
+}
+
+// Property: encode/decode is the identity on arbitrary nodes.
+func TestPropNodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func() bool {
+		n := &Node{Level: rng.Intn(10), Entries: randomEntries(rng, rng.Intn(65))}
+		var got Node
+		if err := DecodeNode(n.Encode(nil), &got, 64); err != nil {
+			return false
+		}
+		if got.Level != n.Level || len(got.Entries) != len(n.Entries) {
+			return false
+		}
+		for i := range got.Entries {
+			if got.Entries[i] != n.Entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitDistributionBounds(t *testing.T) {
+	tree := newTestTree(t, 16, 8)
+	rng := rand.New(rand.NewSource(5))
+	entries := randomEntries(rng, tree.MaxEntries()+1)
+	left, right := tree.chooseSplit(entries)
+	if len(left)+len(right) != len(entries) {
+		t.Fatalf("split lost entries: %d + %d != %d", len(left), len(right), len(entries))
+	}
+	if len(left) < tree.MinEntries() || len(right) < tree.MinEntries() {
+		t.Errorf("split sides %d/%d below min %d", len(left), len(right), tree.MinEntries())
+	}
+	// Every input entry appears exactly once across the halves.
+	seen := map[uint64]int{}
+	for _, e := range entries {
+		seen[e.Ref]++
+	}
+	for _, e := range append(append([]Entry(nil), left...), right...) {
+		seen[e.Ref]--
+	}
+	for ref, c := range seen {
+		if c != 0 {
+			t.Errorf("ref %d count off by %d after split", ref, c)
+		}
+	}
+}

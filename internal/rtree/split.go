@@ -1,0 +1,194 @@
+package rtree
+
+import (
+	"sort"
+
+	"github.com/catfish-db/catfish/internal/geo"
+)
+
+// reinsert implements R* forced reinsertion: remove the reinsertN entries
+// whose centers lie farthest from the node's MBR center, publish the slimmed
+// node, then re-insert the removed entries (closest first) with fresh
+// descents from the root. The resulting redistribution is what gives the
+// R*-tree its better-clustered nodes.
+func (t *Tree) reinsert(p *path, d int) error {
+	n := p.nodes[d]
+	cx, cy := n.MBR().Center()
+	type distEntry struct {
+		e    Entry
+		dist float64
+	}
+	all := make([]distEntry, len(n.Entries))
+	for i, e := range n.Entries {
+		ex, ey := e.Rect.Center()
+		dx, dy := ex-cx, ey-cy
+		all[i] = distEntry{e: e, dist: dx*dx + dy*dy}
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].dist > all[b].dist })
+	removed := make([]Entry, t.reinsertN)
+	for i := 0; i < t.reinsertN; i++ {
+		removed[i] = all[i].e
+	}
+	keep := n.Entries[:0]
+	for _, de := range all[t.reinsertN:] {
+		keep = append(keep, de.e)
+	}
+	n.Entries = keep
+	if err := t.writeNode(p.ids[d], n); err != nil {
+		return err
+	}
+	if err := t.adjustUp(p, d); err != nil {
+		return err
+	}
+	level := n.Level
+	// Close reinsert: the entry nearest the center goes first.
+	for i := len(removed) - 1; i >= 0; i-- {
+		if err := t.insertEntry(removed[i], level); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// split applies the R* split to the overflowing node at path depth d and
+// installs the new sibling in the parent (growing the tree at the root).
+func (t *Tree) split(p *path, d int) error {
+	n := p.nodes[d]
+	left, right := t.chooseSplit(n.Entries)
+
+	if d == 0 {
+		// Root split. The root chunk ID must stay stable (clients cache
+		// it), so both halves move to fresh chunks and the root chunk is
+		// rewritten as a two-entry internal node.
+		leftID, err := t.reg.Alloc()
+		if err != nil {
+			return err
+		}
+		rightID, err := t.reg.Alloc()
+		if err != nil {
+			return err
+		}
+		leftNode := &Node{Level: n.Level, Entries: left}
+		rightNode := &Node{Level: n.Level, Entries: right}
+		if err := t.writeNode(leftID, leftNode); err != nil {
+			return err
+		}
+		if err := t.writeNode(rightID, rightNode); err != nil {
+			return err
+		}
+		root := &Node{
+			Level: n.Level + 1,
+			Entries: []Entry{
+				{Rect: leftNode.MBR(), Ref: uint64(leftID)},
+				{Rect: rightNode.MBR(), Ref: uint64(rightID)},
+			},
+		}
+		if err := t.writeNode(t.rootChunk, root); err != nil {
+			return err
+		}
+		t.height++
+		return nil
+	}
+
+	rightID, err := t.reg.Alloc()
+	if err != nil {
+		return err
+	}
+	n.Entries = left
+	rightNode := &Node{Level: n.Level, Entries: right}
+	if err := t.writeNode(p.ids[d], n); err != nil {
+		return err
+	}
+	if err := t.writeNode(rightID, rightNode); err != nil {
+		return err
+	}
+	parent := p.nodes[d-1]
+	parent.Entries[p.child[d-1]].Rect = n.MBR()
+	parent.Entries = append(parent.Entries, Entry{Rect: rightNode.MBR(), Ref: uint64(rightID)})
+	return t.finishInsert(p, d-1)
+}
+
+// chooseSplit implements the R* split: pick the axis with the least total
+// margin over all candidate distributions, then the distribution on that
+// axis with the least overlap (ties: least combined area). entries has
+// maxEntries+1 elements; the returned slices are freshly allocated.
+func (t *Tree) chooseSplit(entries []Entry) (left, right []Entry) {
+	byX := append([]Entry(nil), entries...)
+	byY := append([]Entry(nil), entries...)
+	sort.SliceStable(byX, func(a, b int) bool {
+		if byX[a].Rect.MinX != byX[b].Rect.MinX {
+			return byX[a].Rect.MinX < byX[b].Rect.MinX
+		}
+		return byX[a].Rect.MaxX < byX[b].Rect.MaxX
+	})
+	sort.SliceStable(byY, func(a, b int) bool {
+		if byY[a].Rect.MinY != byY[b].Rect.MinY {
+			return byY[a].Rect.MinY < byY[b].Rect.MinY
+		}
+		return byY[a].Rect.MaxY < byY[b].Rect.MaxY
+	})
+	marginX := t.axisMarginSum(byX)
+	marginY := t.axisMarginSum(byY)
+	axis := byX
+	if marginY < marginX {
+		axis = byY
+	}
+	k := t.bestDistribution(axis)
+	left = append([]Entry(nil), axis[:k]...)
+	right = append([]Entry(nil), axis[k:]...)
+	return left, right
+}
+
+// axisMarginSum computes the R* goodness metric for a sorted axis: the sum
+// of left+right MBR margins over every legal split point.
+func (t *Tree) axisMarginSum(sorted []Entry) float64 {
+	n := len(sorted)
+	prefix := prefixMBRs(sorted)
+	suffix := suffixMBRs(sorted)
+	var sum float64
+	for k := t.minEntries; k <= n-t.minEntries; k++ {
+		sum += prefix[k-1].Margin() + suffix[k].Margin()
+	}
+	return sum
+}
+
+// bestDistribution returns the split index k (left gets sorted[:k]) with
+// minimal overlap between the two MBRs, ties broken by combined area.
+func (t *Tree) bestDistribution(sorted []Entry) int {
+	n := len(sorted)
+	prefix := prefixMBRs(sorted)
+	suffix := suffixMBRs(sorted)
+	bestK := t.minEntries
+	bestOverlap := prefix[bestK-1].OverlapArea(suffix[bestK])
+	bestArea := prefix[bestK-1].Area() + suffix[bestK].Area()
+	for k := t.minEntries + 1; k <= n-t.minEntries; k++ {
+		ov := prefix[k-1].OverlapArea(suffix[k])
+		area := prefix[k-1].Area() + suffix[k].Area()
+		if ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+			bestK, bestOverlap, bestArea = k, ov, area
+		}
+	}
+	return bestK
+}
+
+func prefixMBRs(entries []Entry) []geo.Rect {
+	out := make([]geo.Rect, len(entries))
+	acc := entries[0].Rect
+	out[0] = acc
+	for i := 1; i < len(entries); i++ {
+		acc = acc.Union(entries[i].Rect)
+		out[i] = acc
+	}
+	return out
+}
+
+func suffixMBRs(entries []Entry) []geo.Rect {
+	out := make([]geo.Rect, len(entries))
+	acc := entries[len(entries)-1].Rect
+	out[len(entries)-1] = acc
+	for i := len(entries) - 2; i >= 0; i-- {
+		acc = acc.Union(entries[i].Rect)
+		out[i] = acc
+	}
+	return out
+}

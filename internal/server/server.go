@@ -1,0 +1,447 @@
+// Package server implements the Catfish R-tree server.
+//
+// The server owns the R*-tree (stored in the RDMA-registered region) and
+// serves three kinds of traffic:
+//
+//   - fast-messaging requests arriving in per-connection ring buffers via
+//     RDMA Write, processed by a worker thread per connection and answered
+//     with RDMA Writes into the client's response ring (§III-A);
+//   - one-sided RDMA Reads against the region, which bypass the server CPU
+//     entirely (§III-B) — the server's only involvement is publishing node
+//     writes with bumped cacheline versions;
+//   - kernel-TCP requests for the socket baselines (§V).
+//
+// Worker threads run in one of two notification modes (§IV-B): event-based
+// (block on the completion-queue event channel, yielding the CPU — modelled
+// by a processor-sharing CPU) or polling-based (burn cycles watching the
+// ring — modelled by a round-robin polling CPU whose idle threads tax their
+// core-mates). A heartbeat process publishes the server's windowed CPU
+// utilization to every client's heartbeat mailbox each interval (§IV-A).
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/fabric"
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/netmodel"
+	"github.com/catfish-db/catfish/internal/ringbuf"
+	"github.com/catfish-db/catfish/internal/rtree"
+	"github.com/catfish-db/catfish/internal/sim"
+	"github.com/catfish-db/catfish/internal/wire"
+)
+
+// Mode selects the worker notification mechanism.
+type Mode int
+
+// Server modes.
+const (
+	// ModeEvent is event-based fast messaging: workers block on the CQ
+	// event channel and the CPU is work-conserving.
+	ModeEvent Mode = iota + 1
+	// ModePolling is the FaRM-baseline polling design: workers busy-poll
+	// their rings, paying the oversubscription tax of Fig 7.
+	ModePolling
+)
+
+// Config configures a Server.
+type Config struct {
+	Engine *sim.Engine
+	Host   *fabric.Host // server host; its CPU serves event-mode work
+	Tree   *rtree.Tree
+	Cost   netmodel.CostModel
+	Mode   Mode
+	// PollCPU must be set in ModePolling.
+	PollCPU *sim.PollCPU
+	// HeartbeatInterval is the heartbeat period (paper: 10 ms). Zero
+	// disables heartbeats (the baselines don't use them).
+	HeartbeatInterval time.Duration
+	// RingSize is the per-direction ring-buffer size (paper: 256 KB).
+	RingSize int
+	// StagedNodeWrites publishes tree node writes across a virtual-time
+	// window (one cacheline half at a time) so concurrent RDMA readers
+	// can observe genuinely torn reads. The window is PerNodeWrite long.
+	StagedNodeWrites bool
+	// MaxSegmentItems caps result items per response segment (CONT/END
+	// framing); 0 selects a segment of ~4 KB.
+	MaxSegmentItems int
+}
+
+// Stats aggregates server-side counters.
+type Stats struct {
+	Searches  uint64
+	Inserts   uint64
+	Deletes   uint64
+	Results   uint64
+	Heartbeat uint64
+	Segments  uint64
+}
+
+// Server is the Catfish R-tree server.
+type Server struct {
+	cfg   Config
+	e     *sim.Engine
+	tree  *rtree.Tree
+	latch *sim.RWLock
+	conns []*conn
+	stats Stats
+
+	regionMem *fabric.RegionMemory
+	publishP  *sim.Proc // process context for staged publishes
+}
+
+// conn is the server side of one client connection.
+type conn struct {
+	id         int
+	reqReader  *ringbuf.Reader
+	respWriter *ringbuf.Writer
+	hbMem      *fabric.Memory // on the client host
+	thread     *sim.PollThread
+	tcp        *fabric.TCPConn
+}
+
+// Endpoint is what a client needs to talk to the server; returned by
+// Connect. Fields are consumed by internal/client.
+type Endpoint struct {
+	ConnID     int
+	ReqWriter  *ringbuf.Writer // client -> server requests
+	RespReader *ringbuf.Reader // server -> client responses
+	DataQP     *fabric.QP      // client endpoint for one-sided reads
+	RegionMem  *fabric.RegionMemory
+	HeartbeatM *fabric.Memory // client-local heartbeat mailbox
+	RootChunk  int
+	ChunkSize  int
+	MaxEntries int
+	TCP        *fabric.TCPConn // client endpoint (TCP mode only)
+}
+
+// New creates a server and installs its staged-write publisher when
+// configured. The tree must have been created against the same region that
+// clients will read.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil || cfg.Host == nil || cfg.Tree == nil {
+		return nil, errors.New("server: Engine, Host and Tree are required")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeEvent
+	}
+	if cfg.Mode == ModePolling && cfg.PollCPU == nil {
+		return nil, errors.New("server: ModePolling requires PollCPU")
+	}
+	if cfg.Mode == ModeEvent && cfg.Host.CPU() == nil {
+		return nil, errors.New("server: ModeEvent requires a host CPU")
+	}
+	if cfg.RingSize == 0 {
+		cfg.RingSize = 256 << 10
+	}
+	if cfg.MaxSegmentItems == 0 {
+		cfg.MaxSegmentItems = 4096 / wire.ItemSize
+	}
+	s := &Server{
+		cfg:   cfg,
+		e:     cfg.Engine,
+		tree:  cfg.Tree,
+		latch: sim.NewRWLock(cfg.Engine),
+	}
+	s.regionMem = cfg.Host.RegisterRegion(cfg.Tree.Region())
+	if cfg.StagedNodeWrites {
+		cfg.Tree.SetPublisher(s.stagedPublish)
+	}
+	if cfg.HeartbeatInterval > 0 {
+		s.e.Spawn("server-heartbeat", s.heartbeatLoop)
+	}
+	return s, nil
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// Tree returns the served tree (the harness pre-loads it).
+func (s *Server) Tree() *rtree.Tree { return s.tree }
+
+// Latch exposes the tree latch for test instrumentation.
+func (s *Server) Latch() *sim.RWLock { return s.latch }
+
+// Connect establishes an RDMA connection from clientHost: two ring buffers
+// (requests, responses), a data QP for one-sided reads with the given send
+// queue depth, and a heartbeat mailbox. A worker process is spawned to
+// serve the connection.
+func (s *Server) Connect(clientHost *fabric.Host, net *fabric.Network, dataSQDepth int) (*Endpoint, error) {
+	id := len(s.conns)
+	reqW, reqR, err := buildRing(net, clientHost, s.cfg.Host, s.cfg.RingSize)
+	if err != nil {
+		return nil, fmt.Errorf("server: request ring: %w", err)
+	}
+	respW, respR, err := buildRing(net, s.cfg.Host, clientHost, s.cfg.RingSize)
+	if err != nil {
+		return nil, fmt.Errorf("server: response ring: %w", err)
+	}
+	dataQP, _ := net.ConnectQP(clientHost, s.cfg.Host, dataSQDepth)
+	hbMem := clientHost.RegisterMemory(HeartbeatMailboxSize)
+
+	c := &conn{id: id, reqReader: reqR, respWriter: respW, hbMem: hbMem}
+	if s.cfg.Mode == ModePolling {
+		c.thread = s.cfg.PollCPU.Register()
+	}
+	s.conns = append(s.conns, c)
+	s.e.Spawn(fmt.Sprintf("server-worker-%d", id), func(p *sim.Proc) {
+		s.serveRDMA(p, c)
+	})
+	return &Endpoint{
+		ConnID:     id,
+		ReqWriter:  reqW,
+		RespReader: respR,
+		DataQP:     dataQP,
+		RegionMem:  s.regionMem,
+		HeartbeatM: hbMem,
+		RootChunk:  s.tree.RootChunk(),
+		ChunkSize:  s.tree.Region().ChunkSize(),
+		MaxEntries: s.tree.MaxEntries(),
+	}, nil
+}
+
+// ConnectTCP establishes a kernel-TCP connection and spawns its worker.
+func (s *Server) ConnectTCP(clientHost *fabric.Host, net *fabric.Network) (*Endpoint, error) {
+	id := len(s.conns)
+	cEnd, sEnd := net.DialTCP(clientHost, s.cfg.Host)
+	c := &conn{id: id, tcp: sEnd}
+	if s.cfg.Mode == ModePolling {
+		return nil, errors.New("server: TCP workers are always event-based (blocking recv)")
+	}
+	s.conns = append(s.conns, c)
+	s.e.Spawn(fmt.Sprintf("server-tcp-worker-%d", id), func(p *sim.Proc) {
+		s.serveTCP(p, c)
+	})
+	return &Endpoint{ConnID: id, TCP: cEnd}, nil
+}
+
+// buildRing creates a ring carrying data from -> to over a fresh QP pair.
+func buildRing(net *fabric.Network, from, to *fabric.Host, size int) (*ringbuf.Writer, *ringbuf.Reader, error) {
+	wqp, rqp := net.ConnectQP(from, to, 0)
+	return ringbuf.New(wqp, rqp, size)
+}
+
+// serveRDMA is the per-connection worker loop. In both modes it sleeps on
+// the CQ (costless in simulation); the difference is how request processing
+// is charged: event mode runs demands on the work-conserving CPU, polling
+// mode routes them through the connection's polling thread, which adds the
+// scheduling phase and per-rotation poll tax of the polling design.
+func (s *Server) serveRDMA(p *sim.Proc, c *conn) {
+	for {
+		c.reqReader.CQ().Pop(p)
+		for {
+			payload, err, ok := c.reqReader.TryRecv()
+			if err != nil {
+				panic(fmt.Sprintf("server: ring corrupt on conn %d: %v", c.id, err))
+			}
+			if !ok {
+				break
+			}
+			req, err := wire.DecodeRequest(payload)
+			if err != nil {
+				s.respond(p, c, wire.Response{Status: wire.StatusError, Final: true}, nil)
+				continue
+			}
+			s.handle(p, c, req)
+		}
+		if err := c.reqReader.ReportHead(p); err != nil {
+			panic(fmt.Sprintf("server: head report failed: %v", err))
+		}
+	}
+}
+
+// serveTCP is the blocking-recv TCP worker loop.
+func (s *Server) serveTCP(p *sim.Proc, c *conn) {
+	for {
+		payload := c.tcp.Recv(p)
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			s.respond(p, c, wire.Response{Status: wire.StatusError, Final: true}, nil)
+			continue
+		}
+		s.handle(p, c, req)
+	}
+}
+
+// charge accounts CPU service for a request on this connection.
+func (s *Server) charge(p *sim.Proc, c *conn, demand time.Duration) {
+	if s.cfg.Mode == ModePolling {
+		c.thread.Process(p, demand)
+		return
+	}
+	s.cfg.Host.CPU().Run(p, demand)
+}
+
+// handle executes one request and sends the response.
+func (s *Server) handle(p *sim.Proc, c *conn, req wire.Request) {
+	switch req.Type {
+	case wire.MsgSearch:
+		s.stats.Searches++
+		s.latch.RLock(p)
+		items, st, err := s.searchCollect(req.Rect)
+		s.latch.RUnlock()
+		if err != nil {
+			s.respond(p, c, wire.Response{ID: req.ID, Status: wire.StatusError, Final: true}, nil)
+			return
+		}
+		s.stats.Results += uint64(len(items))
+		s.charge(p, c, s.cfg.Cost.SearchDemand(st.NodesRead, st.Results))
+		s.respond(p, c, wire.Response{ID: req.ID, Status: wire.StatusOK}, items)
+
+	case wire.MsgInsert:
+		s.stats.Inserts++
+		s.latch.Lock(p)
+		st, err := s.insertStaged(p, req.Rect, req.Ref)
+		s.latch.Unlock()
+		status := wire.StatusOK
+		if err != nil {
+			status = wire.StatusError
+		}
+		s.charge(p, c, s.cfg.Cost.InsertDemand(st.NodesRead, st.NodesWritten))
+		s.respond(p, c, wire.Response{ID: req.ID, Status: status, Final: true}, nil)
+
+	case wire.MsgDelete:
+		s.stats.Deletes++
+		s.latch.Lock(p)
+		ok, st, err := s.tree.Delete(req.Rect, req.Ref)
+		s.latch.Unlock()
+		status := wire.StatusOK
+		switch {
+		case err != nil:
+			status = wire.StatusError
+		case !ok:
+			status = wire.StatusNotFound
+		}
+		s.charge(p, c, s.cfg.Cost.InsertDemand(st.NodesRead, st.NodesWritten))
+		s.respond(p, c, wire.Response{ID: req.ID, Status: status, Final: true}, nil)
+
+	default:
+		s.respond(p, c, wire.Response{ID: req.ID, Status: wire.StatusError, Final: true}, nil)
+	}
+}
+
+// searchCollect runs the search, collecting items.
+func (s *Server) searchCollect(q geo.Rect) ([]wire.Item, rtree.OpStats, error) {
+	var items []wire.Item
+	st, err := s.tree.Search(q, func(r geo.Rect, ref uint64) bool {
+		items = append(items, wire.Item{Rect: r, Ref: ref})
+		return true
+	})
+	return items, st, err
+}
+
+// insertStaged runs the insert; when StagedNodeWrites is on, each node
+// publish is spread over the PerNodeWrite window via a staged region write,
+// opening a real torn-read window for concurrent one-sided readers.
+func (s *Server) insertStaged(p *sim.Proc, r geo.Rect, ref uint64) (rtree.OpStats, error) {
+	if s.cfg.StagedNodeWrites {
+		s.publishP = p
+		defer func() { s.publishP = nil }()
+	}
+	return s.tree.Insert(r, ref)
+}
+
+// stagedPublish is the tree publisher installed under StagedNodeWrites:
+// inside a request it holds the torn window open for the PerNodeWrite cost;
+// outside requests (bulk loading) it publishes atomically.
+func (s *Server) stagedPublish(chunkID int, payload []byte) error {
+	if s.publishP == nil {
+		return s.tree.Region().WriteChunkPrefix(chunkID, payload)
+	}
+	w, err := s.tree.Region().BeginWrite(chunkID, payload)
+	if err != nil {
+		return err
+	}
+	s.publishP.Sleep(s.cfg.Cost.PerNodeWrite)
+	w.Finish()
+	return nil
+}
+
+// respond sends the response, segmenting large result sets with the
+// CONT/END scheme (Final marks the last segment).
+func (s *Server) respond(p *sim.Proc, c *conn, resp wire.Response, items []wire.Item) {
+	max := s.cfg.MaxSegmentItems
+	for {
+		seg := wire.Response{ID: resp.ID, Status: resp.Status}
+		if len(items) > max {
+			seg.Items = items[:max]
+			items = items[max:]
+		} else {
+			seg.Items = items
+			items = nil
+			seg.Final = true
+		}
+		s.stats.Segments++
+		s.send(p, c, seg.Encode(nil))
+		if seg.Final {
+			return
+		}
+	}
+}
+
+// send transmits an encoded message over the connection's transport.
+func (s *Server) send(p *sim.Proc, c *conn, payload []byte) {
+	if c.tcp != nil {
+		c.tcp.Send(p, payload)
+		return
+	}
+	if err := c.respWriter.Send(p, payload, 0, true); err != nil {
+		panic(fmt.Sprintf("server: response send failed: %v", err))
+	}
+}
+
+// HeartbeatMailboxSize is the registered per-client heartbeat mailbox:
+// word 0 carries the utilization (u_serv), word 1 the root chunk's region
+// version, which lets root-caching clients invalidate within one heartbeat
+// interval of a root rewrite.
+const HeartbeatMailboxSize = 16
+
+// heartbeatLoop periodically publishes the CPU utilization to every
+// connected client's heartbeat mailbox with an RDMA Write (§IV-A). A
+// reported zero would read as "no heartbeat" under Algorithm 1's u_serv≠0
+// check, so utilization is floored at a small positive value.
+func (s *Server) heartbeatLoop(p *sim.Proc) {
+	for {
+		p.Sleep(s.cfg.HeartbeatInterval)
+		util := s.utilization()
+		if util < 1e-6 {
+			util = 1e-6
+		}
+		var buf [HeartbeatMailboxSize]byte
+		putFloat(buf[:8], util)
+		rootVer, err := s.tree.Region().Version(s.tree.RootChunk())
+		if err == nil {
+			binary.LittleEndian.PutUint64(buf[8:], rootVer)
+		}
+		for _, c := range s.conns {
+			if c.hbMem == nil {
+				continue
+			}
+			// One small RDMA Write into the client's mailbox; no notify —
+			// the client reads u_serv when it next runs Algorithm 1.
+			qp := c.respWriter.QP()
+			if err := qp.Write(p, c.hbMem, 0, buf[:], fabric.WriteOpts{}); err != nil {
+				panic(fmt.Sprintf("server: heartbeat write failed: %v", err))
+			}
+			s.stats.Heartbeat++
+		}
+	}
+}
+
+// utilization returns the server's windowed CPU utilization: the PS CPU's
+// measured window in event mode, or the pegged 1.0 a polling server's
+// /proc/stat would show.
+func (s *Server) utilization() float64 {
+	if s.cfg.Mode == ModePolling {
+		return s.cfg.PollCPU.UtilizationWindow()
+	}
+	return s.cfg.Host.CPU().UtilizationWindow()
+}
+
+func putFloat(b []byte, f float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(f))
+}

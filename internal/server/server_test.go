@@ -1,0 +1,295 @@
+package server
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/fabric"
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/netmodel"
+	"github.com/catfish-db/catfish/internal/region"
+	"github.com/catfish-db/catfish/internal/ringbuf"
+	"github.com/catfish-db/catfish/internal/rtree"
+	"github.com/catfish-db/catfish/internal/sim"
+	"github.com/catfish-db/catfish/internal/wire"
+)
+
+func testTree(t *testing.T, items int) *rtree.Tree {
+	t.Helper()
+	reg, err := region.New(4096, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := rtree.New(reg, rtree.Config{MaxEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items > 0 {
+		rng := rand.New(rand.NewSource(1))
+		entries := make([]rtree.Entry, items)
+		for i := range entries {
+			w := rng.Float64() * 0.01
+			x, y := rng.Float64()*(1-w), rng.Float64()*(1-w)
+			entries[i] = rtree.Entry{Rect: geo.Rect{MinX: x, MaxX: x + w, MinY: y, MaxY: y + w}, Ref: uint64(i)}
+		}
+		if err := tree.BulkLoad(entries, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tree
+}
+
+func TestNewValidation(t *testing.T) {
+	e := sim.New(1)
+	net := fabric.NewNetwork(e, netmodel.InfiniBand100G)
+	host := net.NewHost("s", sim.NewCPU(e, 4))
+	tree := testTree(t, 0)
+
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := New(Config{Engine: e, Host: host, Tree: tree, Mode: ModePolling}); err == nil {
+		t.Error("polling mode without PollCPU should fail")
+	}
+	hostNoCPU := net.NewHost("nocpu", nil)
+	if _, err := New(Config{Engine: e, Host: hostNoCPU, Tree: tree, Mode: ModeEvent}); err == nil {
+		t.Error("event mode without host CPU should fail")
+	}
+	srv, err := New(Config{Engine: e, Host: host, Tree: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Tree() != tree {
+		t.Error("Tree accessor broken")
+	}
+	if _, err := srv.ConnectTCP(host, net); err != nil {
+		t.Errorf("event-mode ConnectTCP: %v", err)
+	}
+}
+
+func TestPollingRejectsTCP(t *testing.T) {
+	e := sim.New(1)
+	net := fabric.NewNetwork(e, netmodel.InfiniBand100G)
+	host := net.NewHost("s", sim.NewCPU(e, 4))
+	srv, err := New(Config{
+		Engine: e, Host: host, Tree: testTree(t, 0),
+		Mode: ModePolling, PollCPU: sim.NewPollCPU(e, 4, time.Microsecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.ConnectTCP(host, net); err == nil {
+		t.Error("polling mode must reject TCP connections")
+	}
+}
+
+// Drive the server directly through its ring buffers (no client package)
+// to pin the wire behaviour: request in, segmented response out, heartbeat
+// mailbox updated.
+func TestServerWireLevel(t *testing.T) {
+	e := sim.New(1)
+	net := fabric.NewNetwork(e, netmodel.InfiniBand100G)
+	serverHost := net.NewHost("server", sim.NewCPU(e, 4))
+	clientHost := net.NewHost("client", sim.NewCPU(e, 4))
+	tree := testTree(t, 500)
+	srv, err := New(Config{
+		Engine: e, Host: serverHost, Tree: tree,
+		Cost:              netmodel.DefaultCostModel(),
+		HeartbeatInterval: time.Millisecond,
+		MaxSegmentItems:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := srv.Connect(clientHost, net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var items []wire.Item
+	var heartbeatUtil float64
+	e.Spawn("driver", func(p *sim.Proc) {
+		defer e.Stop()
+		// Whole-space search: 500 results across 50 segments of 10.
+		req := wire.Request{Type: wire.MsgSearch, ID: 7, Rect: geo.Rect{MinX: 0, MaxX: 1, MinY: 0, MaxY: 1}}
+		if err := ep.ReqWriter.Send(p, req.Encode(nil), 7, true); err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			ep.RespReader.CQ().Pop(p)
+			for {
+				payload, err, ok := ep.RespReader.TryRecv()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					break
+				}
+				resp, err := wire.DecodeResponse(payload)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.ID != 7 {
+					t.Errorf("response id %d", resp.ID)
+				}
+				items = append(items, resp.Items...)
+				if resp.Final {
+					goto donesearch
+				}
+			}
+			if err := ep.RespReader.ReportHead(p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	donesearch:
+		// Wait for a heartbeat to land in the mailbox.
+		p.Sleep(3 * time.Millisecond)
+		heartbeatUtil = math.Float64frombits(binary.LittleEndian.Uint64(ep.HeartbeatM.Bytes()))
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 500 {
+		t.Errorf("items = %d, want 500", len(items))
+	}
+	if srv.Stats().Segments < 50 {
+		t.Errorf("segments = %d, want >= 50", srv.Stats().Segments)
+	}
+	if heartbeatUtil <= 0 {
+		t.Error("heartbeat mailbox never written (zero would read as 'no heartbeat')")
+	}
+	if srv.Stats().Heartbeat == 0 {
+		t.Error("no heartbeats counted")
+	}
+}
+
+// A malformed request must produce an error response, not kill the worker.
+func TestServerMalformedRequest(t *testing.T) {
+	e := sim.New(1)
+	net := fabric.NewNetwork(e, netmodel.InfiniBand100G)
+	serverHost := net.NewHost("server", sim.NewCPU(e, 4))
+	clientHost := net.NewHost("client", sim.NewCPU(e, 4))
+	srv, err := New(Config{Engine: e, Host: serverHost, Tree: testTree(t, 10), Cost: netmodel.DefaultCostModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := srv.Connect(clientHost, net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status uint8 = 255
+	e.Spawn("driver", func(p *sim.Proc) {
+		defer e.Stop()
+		if err := ep.ReqWriter.Send(p, []byte{0xFF, 0xFF}, 0, true); err != nil {
+			t.Error(err)
+			return
+		}
+		ep.RespReader.CQ().Pop(p)
+		payload, _, ok := ep.RespReader.TryRecv()
+		if !ok {
+			t.Error("no error response")
+			return
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		status = resp.Status
+		// The worker must still serve a valid request afterwards.
+		req := wire.Request{Type: wire.MsgSearch, ID: 9, Rect: geo.PointRect(0.5, 0.5)}
+		if err := ep.ReqWriter.Send(p, req.Encode(nil), 9, true); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := ep.RespReader.ReportHead(p); err != nil {
+			t.Error(err)
+			return
+		}
+		ep.RespReader.CQ().Pop(p)
+		if _, _, ok := ep.RespReader.TryRecv(); !ok {
+			t.Error("worker died after malformed request")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if status != wire.StatusError {
+		t.Errorf("status = %d, want StatusError", status)
+	}
+}
+
+// Inserts must serialize under the write latch even in event mode: two
+// concurrent inserts through two connections both land.
+func TestServerConcurrentInsertsSerialize(t *testing.T) {
+	e := sim.New(1)
+	net := fabric.NewNetwork(e, netmodel.InfiniBand100G)
+	serverHost := net.NewHost("server", sim.NewCPU(e, 4))
+	tree := testTree(t, 100)
+	srv, err := New(Config{
+		Engine: e, Host: serverHost, Tree: tree,
+		Cost: netmodel.DefaultCostModel(), StagedNodeWrites: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := sim.NewWaitGroup(e)
+	for i := 0; i < 2; i++ {
+		clientHost := net.NewHost("client", sim.NewCPU(e, 4))
+		ep, err := srv.Connect(clientHost, net, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := uint64(1000 * (i + 1))
+		wg.Add(1)
+		e.Spawn("driver", func(p *sim.Proc) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				x := 0.001 * float64(j+1)
+				req := wire.Request{Type: wire.MsgInsert, ID: base + uint64(j),
+					Rect: geo.PointRect(x, x), Ref: base + uint64(j)}
+				if err := ep.ReqWriter.Send(p, req.Encode(nil), req.ID, true); err != nil {
+					t.Error(err)
+					return
+				}
+				ep.RespReader.CQ().Pop(p)
+				payload, _, ok := ep.RespReader.TryRecv()
+				if !ok {
+					t.Error("no insert ack")
+					return
+				}
+				resp, err := wire.DecodeResponse(payload)
+				if err != nil || resp.Status != wire.StatusOK {
+					t.Errorf("insert ack: %+v, %v", resp, err)
+					return
+				}
+				if err := ep.RespReader.ReportHead(p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+	}
+	e.Spawn("stop", func(p *sim.Proc) { wg.Wait(p); e.Stop() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 140 {
+		t.Errorf("tree len = %d, want 140", tree.Len())
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if srv.Stats().Inserts != 40 {
+		t.Errorf("server inserts = %d", srv.Stats().Inserts)
+	}
+}
+
+var _ = ringbuf.HeadMirrorSize // cross-package doc reference

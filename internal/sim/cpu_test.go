@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCPUSingleJob(t *testing.T) {
+	e := New(1)
+	cpu := NewCPU(e, 4)
+	var done time.Duration
+	e.Spawn("job", func(p *Proc) {
+		cpu.Run(p, 10*time.Millisecond)
+		done = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done < 10*time.Millisecond || done > 10*time.Millisecond+time.Microsecond {
+		t.Errorf("job finished at %v, want ~10ms", done)
+	}
+}
+
+func TestCPUZeroDemand(t *testing.T) {
+	e := New(1)
+	cpu := NewCPU(e, 1)
+	e.Spawn("job", func(p *Proc) {
+		cpu.Run(p, 0)
+		if p.Now() != 0 {
+			t.Errorf("zero demand advanced clock to %v", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUNoContentionUnderCapacity(t *testing.T) {
+	// 4 jobs on 4 cores: all finish at their own demand.
+	e := New(1)
+	cpu := NewCPU(e, 4)
+	var ends [4]time.Duration
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn("job", func(p *Proc) {
+			cpu.Run(p, time.Duration(i+1)*time.Millisecond)
+			ends[i] = p.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, end := range ends {
+		want := time.Duration(i+1) * time.Millisecond
+		if diff := end - want; diff < -time.Microsecond || diff > time.Microsecond {
+			t.Errorf("job %d finished at %v, want %v", i, end, want)
+		}
+	}
+}
+
+func TestCPUProcessorSharing(t *testing.T) {
+	// 2 equal jobs on 1 core: each takes twice its demand.
+	e := New(1)
+	cpu := NewCPU(e, 1)
+	var ends [2]time.Duration
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn("job", func(p *Proc) {
+			cpu.Run(p, 10*time.Millisecond)
+			ends[i] = p.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, end := range ends {
+		if diff := end - 20*time.Millisecond; diff < -10*time.Microsecond || diff > 10*time.Microsecond {
+			t.Errorf("job %d finished at %v, want ~20ms", i, end)
+		}
+	}
+}
+
+func TestCPULateArrivalSharing(t *testing.T) {
+	// Job A (demand 10ms) starts at 0 on 1 core; job B (demand 5ms) arrives
+	// at 5ms. A runs alone 0-5ms (5ms done), then shares: A needs 5ms more at
+	// half rate -> done at 15ms. B needs 5ms at half rate -> done at 15ms.
+	e := New(1)
+	cpu := NewCPU(e, 1)
+	var endA, endB time.Duration
+	e.Spawn("a", func(p *Proc) {
+		cpu.Run(p, 10*time.Millisecond)
+		endA = p.Now()
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		cpu.Run(p, 5*time.Millisecond)
+		endB = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx := func(got, want time.Duration) bool {
+		d := got - want
+		return d > -50*time.Microsecond && d < 50*time.Microsecond
+	}
+	if !approx(endA, 15*time.Millisecond) {
+		t.Errorf("A finished at %v, want ~15ms", endA)
+	}
+	if !approx(endB, 15*time.Millisecond) {
+		t.Errorf("B finished at %v, want ~15ms", endB)
+	}
+}
+
+func TestCPUUtilization(t *testing.T) {
+	e := New(1)
+	cpu := NewCPU(e, 2)
+	var util float64
+	e.Spawn("job", func(p *Proc) {
+		cpu.Run(p, 10*time.Millisecond) // 1 of 2 cores busy for 10ms
+	})
+	e.Spawn("probe", func(p *Proc) {
+		p.Sleep(20 * time.Millisecond)
+		util = cpu.UtilizationTotal()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 core busy for 10ms out of 2 cores * 20ms = 0.25.
+	if util < 0.24 || util > 0.26 {
+		t.Errorf("total utilization = %v, want ~0.25", util)
+	}
+}
+
+func TestCPUUtilizationWindowResets(t *testing.T) {
+	e := New(1)
+	cpu := NewCPU(e, 1)
+	var w1, w2 float64
+	e.Spawn("job", func(p *Proc) {
+		cpu.Run(p, 10*time.Millisecond)
+	})
+	e.Spawn("probe", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		w1 = cpu.UtilizationWindow()
+		p.Sleep(10 * time.Millisecond)
+		w2 = cpu.UtilizationWindow()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w1 < 0.95 {
+		t.Errorf("first window = %v, want ~1", w1)
+	}
+	if w2 > 0.05 {
+		t.Errorf("second window = %v, want ~0", w2)
+	}
+}
+
+func TestCPUSubmitOverlaps(t *testing.T) {
+	e := New(1)
+	cpu := NewCPU(e, 1)
+	var procEnd time.Duration
+	e.Spawn("p", func(p *Proc) {
+		fut := cpu.Submit(5 * time.Millisecond)
+		p.Sleep(time.Millisecond) // caller proceeds while work runs
+		procEnd = p.Now()
+		fut.Wait(p)
+		if p.Now() < 5*time.Millisecond {
+			t.Errorf("submitted work done too early: %v", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if procEnd != time.Millisecond {
+		t.Errorf("caller blocked by Submit: %v", procEnd)
+	}
+}
+
+func TestPollCPUIdleLowDelay(t *testing.T) {
+	// One thread on one core, idle: only service time, no tax or phase.
+	e := New(1)
+	cpu := NewPollCPU(e, 1, 20*time.Microsecond)
+	th := cpu.Register()
+	var end time.Duration
+	e.Spawn("req", func(p *Proc) {
+		th.Process(p, 100*time.Microsecond)
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 100*time.Microsecond {
+		t.Errorf("single-thread process took %v, want 100µs", end)
+	}
+}
+
+func TestPollCPUTaxGrowsWithThreads(t *testing.T) {
+	// With many threads per core, per-request poll tax grows linearly and
+	// queueing compounds it: latency must grow superlinearly vs the
+	// single-thread case.
+	latency := func(threads int) time.Duration {
+		e := New(1)
+		cpu := NewPollCPU(e, 1, 20*time.Microsecond)
+		var total time.Duration
+		wg := NewWaitGroup(e)
+		wg.Add(threads)
+		for i := 0; i < threads; i++ {
+			th := cpu.Register()
+			e.Spawn("client", func(p *Proc) {
+				start := p.Now()
+				th.Process(p, 100*time.Microsecond)
+				total += p.Now() - start
+				wg.Done()
+			})
+		}
+		e.Spawn("waiter", func(p *Proc) {
+			wg.Wait(p)
+			p.Engine().Stop()
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return total / time.Duration(threads)
+	}
+	l1, l8 := latency(1), latency(8)
+	if l8 < 4*l1 {
+		t.Errorf("poll latency did not blow up: 1 thread %v, 8 threads %v", l1, l8)
+	}
+}
+
+func TestPollCPUFIFOOrder(t *testing.T) {
+	e := New(1)
+	cpu := NewPollCPU(e, 1, 0)
+	t1 := cpu.Register()
+	t2 := cpu.Register()
+	var order []int
+	e.Spawn("a", func(p *Proc) {
+		t1.Process(p, time.Millisecond)
+		order = append(order, 1)
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		t2.Process(p, time.Millisecond)
+		order = append(order, 2)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("order = %v, want [1 2]", order)
+	}
+}
+
+func TestPollCPUUtilization(t *testing.T) {
+	e := New(1)
+	cpu := NewPollCPU(e, 2, 0)
+	if cpu.UtilizationWindow() != 0 {
+		t.Error("no threads yet, utilization should be 0")
+	}
+	th := cpu.Register()
+	if cpu.UtilizationWindow() != 1.0 {
+		t.Error("registered polling thread should peg utilization at 1")
+	}
+	e.Spawn("req", func(p *Proc) {
+		th.Process(p, 10*time.Millisecond)
+		p.Sleep(10 * time.Millisecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	useful := cpu.UsefulUtilizationTotal()
+	// 1 core busy 10ms of 2 cores * 20ms = 0.25.
+	if useful < 0.2 || useful > 0.3 {
+		t.Errorf("useful utilization = %v, want ~0.25", useful)
+	}
+}
+
+func TestPipeSerializes(t *testing.T) {
+	p := NewPipe(8e9) // 8 Gbps = 1 GB/s
+	d1 := p.Reserve(0, 1_000_000)
+	if d1 != time.Millisecond {
+		t.Errorf("first transfer done at %v, want 1ms", d1)
+	}
+	// Second transfer queued behind the first.
+	d2 := p.Reserve(0, 1_000_000)
+	if d2 != 2*time.Millisecond {
+		t.Errorf("second transfer done at %v, want 2ms", d2)
+	}
+	// A transfer arriving after the pipe is free starts immediately.
+	d3 := p.Reserve(5*time.Millisecond, 1_000_000)
+	if d3 != 6*time.Millisecond {
+		t.Errorf("third transfer done at %v, want 6ms", d3)
+	}
+	if p.Bytes() != 3_000_000 {
+		t.Errorf("bytes = %d", p.Bytes())
+	}
+}
+
+func TestPipeGbps(t *testing.T) {
+	p := NewPipe(1e9)
+	p.Reserve(0, 125_000_000) // 1 Gbit
+	got := p.Gbps(time.Second)
+	if got < 0.99 || got > 1.01 {
+		t.Errorf("Gbps = %v, want 1", got)
+	}
+}
+
+func BenchmarkEngineHandoff(b *testing.B) {
+	e := New(1)
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkCPUPS(b *testing.B) {
+	e := New(1)
+	cpu := NewCPU(e, 8)
+	for c := 0; c < 32; c++ {
+		e.Spawn("c", func(p *Proc) {
+			for i := 0; i < b.N/32+1; i++ {
+				cpu.Run(p, time.Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRWLockReadersShare(t *testing.T) {
+	e := New(1)
+	l := NewRWLock(e)
+	var maxConcurrent, current int
+	for i := 0; i < 5; i++ {
+		e.Spawn("reader", func(p *Proc) {
+			l.RLock(p)
+			current++
+			if current > maxConcurrent {
+				maxConcurrent = current
+			}
+			p.Sleep(time.Millisecond)
+			current--
+			l.RUnlock()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxConcurrent != 5 {
+		t.Errorf("max concurrent readers = %d, want 5", maxConcurrent)
+	}
+}
+
+func TestRWLockWriterExcludes(t *testing.T) {
+	e := New(1)
+	l := NewRWLock(e)
+	var order []string
+	e.Spawn("writer", func(p *Proc) {
+		l.Lock(p)
+		order = append(order, "w+")
+		p.Sleep(10 * time.Millisecond)
+		order = append(order, "w-")
+		l.Unlock()
+	})
+	e.Spawn("reader", func(p *Proc) {
+		p.Sleep(time.Millisecond) // arrive while the writer holds it
+		l.RLock(p)
+		order = append(order, "r")
+		l.RUnlock()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"w+", "w-", "r"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRWLockWriterNotStarved(t *testing.T) {
+	// FIFO fairness: a writer that arrives while readers hold the lock gets
+	// in before readers that arrive after it.
+	e := New(1)
+	l := NewRWLock(e)
+	var order []string
+	e.Spawn("early-reader", func(p *Proc) {
+		l.RLock(p)
+		p.Sleep(5 * time.Millisecond)
+		l.RUnlock()
+	})
+	e.Spawn("writer", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		l.Lock(p)
+		order = append(order, "w")
+		l.Unlock()
+	})
+	e.Spawn("late-reader", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		l.RLock(p)
+		order = append(order, "r")
+		l.RUnlock()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "w" || order[1] != "r" {
+		t.Fatalf("order = %v, want [w r]", order)
+	}
+}

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// KV message types extend the protocol for the §VI framework's key-value
+// service (B+-tree backend): the same ring buffers and heartbeats carry
+// point gets, upserts, deletes, and ordered range scans.
+const (
+	MsgKVGet MsgType = iota + MsgChunkData + 1
+	MsgKVPut
+	MsgKVDelete
+	MsgKVRange
+	MsgKVResponse
+)
+
+// KVRequest is one key-value operation. End is the inclusive range bound
+// (MsgKVRange only); Val is the payload (MsgKVPut only).
+type KVRequest struct {
+	Type MsgType
+	ID   uint64
+	Key  uint64
+	Val  uint64
+	End  uint64
+}
+
+// KVRequestSize is the encoded size of a KVRequest.
+const KVRequestSize = 1 + 8*4
+
+// Encode appends the request encoding to buf and returns it.
+func (r KVRequest) Encode(buf []byte) []byte {
+	off := len(buf)
+	buf = append(buf, make([]byte, KVRequestSize)...)
+	b := buf[off:]
+	b[0] = byte(r.Type)
+	binary.LittleEndian.PutUint64(b[1:], r.ID)
+	binary.LittleEndian.PutUint64(b[9:], r.Key)
+	binary.LittleEndian.PutUint64(b[17:], r.Val)
+	binary.LittleEndian.PutUint64(b[25:], r.End)
+	return buf
+}
+
+// DecodeKVRequest parses a key-value request.
+func DecodeKVRequest(b []byte) (KVRequest, error) {
+	if len(b) < KVRequestSize {
+		return KVRequest{}, fmt.Errorf("%w: kv request %d bytes", ErrCorrupt, len(b))
+	}
+	typ := MsgType(b[0])
+	if typ < MsgKVGet || typ > MsgKVRange {
+		return KVRequest{}, fmt.Errorf("%w: kv request type %d", ErrCorrupt, typ)
+	}
+	return KVRequest{
+		Type: typ,
+		ID:   binary.LittleEndian.Uint64(b[1:]),
+		Key:  binary.LittleEndian.Uint64(b[9:]),
+		Val:  binary.LittleEndian.Uint64(b[17:]),
+		End:  binary.LittleEndian.Uint64(b[25:]),
+	}, nil
+}
+
+// KVPair is one key-value result.
+type KVPair struct {
+	Key uint64
+	Val uint64
+}
+
+// KVResponse carries (a segment of) a key-value operation's results, with
+// the same CONT/END segmentation as spatial responses.
+type KVResponse struct {
+	ID     uint64
+	Final  bool
+	Status uint8
+	Pairs  []KVPair
+}
+
+const kvRespHeader = 1 + 8 + 1 + 1 + 4
+
+// EncodedSize returns the encoded size of the response.
+func (r KVResponse) EncodedSize() int { return kvRespHeader + len(r.Pairs)*16 }
+
+// Encode appends the response encoding to buf and returns it.
+func (r KVResponse) Encode(buf []byte) []byte {
+	off := len(buf)
+	buf = append(buf, make([]byte, r.EncodedSize())...)
+	b := buf[off:]
+	b[0] = byte(MsgKVResponse)
+	binary.LittleEndian.PutUint64(b[1:], r.ID)
+	if r.Final {
+		b[9] = 1
+	}
+	b[10] = r.Status
+	binary.LittleEndian.PutUint32(b[11:], uint32(len(r.Pairs)))
+	p := kvRespHeader
+	for _, kv := range r.Pairs {
+		binary.LittleEndian.PutUint64(b[p:], kv.Key)
+		binary.LittleEndian.PutUint64(b[p+8:], kv.Val)
+		p += 16
+	}
+	return buf
+}
+
+// DecodeKVResponse parses a key-value response.
+func DecodeKVResponse(b []byte) (KVResponse, error) {
+	if len(b) < kvRespHeader || MsgType(b[0]) != MsgKVResponse {
+		return KVResponse{}, fmt.Errorf("%w: kv response header", ErrCorrupt)
+	}
+	count := int(binary.LittleEndian.Uint32(b[11:]))
+	if len(b) < kvRespHeader+count*16 {
+		return KVResponse{}, fmt.Errorf("%w: kv response truncated", ErrCorrupt)
+	}
+	r := KVResponse{
+		ID:     binary.LittleEndian.Uint64(b[1:]),
+		Final:  b[9] == 1,
+		Status: b[10],
+	}
+	if count > 0 {
+		r.Pairs = make([]KVPair, count)
+		p := kvRespHeader
+		for i := range r.Pairs {
+			r.Pairs[i] = KVPair{
+				Key: binary.LittleEndian.Uint64(b[p:]),
+				Val: binary.LittleEndian.Uint64(b[p+8:]),
+			}
+			p += 16
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,334 @@
+// Package wire defines the message formats Catfish exchanges over ring
+// buffers and TCP connections: R-tree requests, segmented responses
+// (the paper's CONT/END scheme for variable-sized results), and the server
+// CPU-utilization heartbeats that drive the adaptive algorithm.
+//
+// All encodings are little-endian and fixed-layout; they are the payloads
+// that ring-buffer frames (internal/ringbuf) and TCP messages carry.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/catfish-db/catfish/internal/geo"
+)
+
+// MsgType discriminates wire messages.
+type MsgType uint8
+
+// Message types.
+const (
+	MsgSearch MsgType = iota + 1
+	MsgInsert
+	MsgDelete
+	MsgResponse
+	MsgHeartbeat
+	// MsgHello is the rpcnet connection bootstrap (root chunk, geometry).
+	MsgHello
+	// MsgReadChunk is the rpcnet emulation of a one-sided chunk read.
+	MsgReadChunk
+	// MsgChunkData carries a raw chunk image back to the reader.
+	MsgChunkData
+)
+
+// Response status codes.
+const (
+	StatusOK uint8 = iota
+	StatusNotFound
+	StatusError
+)
+
+// ErrCorrupt is returned when a message fails to decode.
+var ErrCorrupt = errors.New("wire: corrupt message")
+
+// Request is an R-tree operation request. Ref is meaningful for insert and
+// delete only.
+type Request struct {
+	Type MsgType
+	ID   uint64
+	Rect geo.Rect
+	Ref  uint64
+}
+
+// RequestSize is the encoded size of a Request.
+const RequestSize = 1 + 8 + 32 + 8
+
+// Encode appends the request encoding to buf and returns it.
+func (r Request) Encode(buf []byte) []byte {
+	off := len(buf)
+	buf = append(buf, make([]byte, RequestSize)...)
+	b := buf[off:]
+	b[0] = byte(r.Type)
+	binary.LittleEndian.PutUint64(b[1:], r.ID)
+	putRect(b[9:], r.Rect)
+	binary.LittleEndian.PutUint64(b[41:], r.Ref)
+	return buf
+}
+
+// DecodeRequest parses a request.
+func DecodeRequest(b []byte) (Request, error) {
+	if len(b) < RequestSize {
+		return Request{}, fmt.Errorf("%w: request %d bytes", ErrCorrupt, len(b))
+	}
+	typ := MsgType(b[0])
+	if typ != MsgSearch && typ != MsgInsert && typ != MsgDelete {
+		return Request{}, fmt.Errorf("%w: request type %d", ErrCorrupt, typ)
+	}
+	return Request{
+		Type: typ,
+		ID:   binary.LittleEndian.Uint64(b[1:]),
+		Rect: getRect(b[9:]),
+		Ref:  binary.LittleEndian.Uint64(b[41:]),
+	}, nil
+}
+
+// Item is one result rectangle.
+type Item struct {
+	Rect geo.Rect
+	Ref  uint64
+}
+
+// ItemSize is the encoded size of one result item.
+const ItemSize = 40
+
+// Response carries (a segment of) an operation's results. The paper flags
+// segments of a large response with CONT and terminates with END; Final
+// plays the END role here.
+type Response struct {
+	ID     uint64
+	Final  bool
+	Status uint8
+	Items  []Item
+}
+
+const respHeader = 1 + 8 + 1 + 1 + 4
+
+// EncodedSize returns the encoded size of the response.
+func (r Response) EncodedSize() int { return respHeader + len(r.Items)*ItemSize }
+
+// Encode appends the response encoding to buf and returns it.
+func (r Response) Encode(buf []byte) []byte {
+	off := len(buf)
+	buf = append(buf, make([]byte, r.EncodedSize())...)
+	b := buf[off:]
+	b[0] = byte(MsgResponse)
+	binary.LittleEndian.PutUint64(b[1:], r.ID)
+	if r.Final {
+		b[9] = 1
+	}
+	b[10] = r.Status
+	binary.LittleEndian.PutUint32(b[11:], uint32(len(r.Items)))
+	p := respHeader
+	for _, it := range r.Items {
+		putRect(b[p:], it.Rect)
+		binary.LittleEndian.PutUint64(b[p+32:], it.Ref)
+		p += ItemSize
+	}
+	return buf
+}
+
+// DecodeResponse parses a response.
+func DecodeResponse(b []byte) (Response, error) {
+	if len(b) < respHeader || MsgType(b[0]) != MsgResponse {
+		return Response{}, fmt.Errorf("%w: response header", ErrCorrupt)
+	}
+	count := int(binary.LittleEndian.Uint32(b[11:]))
+	if len(b) < respHeader+count*ItemSize {
+		return Response{}, fmt.Errorf("%w: response truncated (%d items)", ErrCorrupt, count)
+	}
+	r := Response{
+		ID:     binary.LittleEndian.Uint64(b[1:]),
+		Final:  b[9] == 1,
+		Status: b[10],
+	}
+	if count > 0 {
+		r.Items = make([]Item, count)
+		p := respHeader
+		for i := range r.Items {
+			r.Items[i] = Item{
+				Rect: getRect(b[p:]),
+				Ref:  binary.LittleEndian.Uint64(b[p+32:]),
+			}
+			p += ItemSize
+		}
+	}
+	return r, nil
+}
+
+// Heartbeat carries the server's windowed CPU utilization (0..1), sent every
+// heartbeat interval to all connected clients (paper §IV-A).
+type Heartbeat struct {
+	Util float64
+}
+
+// HeartbeatSize is the encoded size of a Heartbeat.
+const HeartbeatSize = 1 + 8
+
+// Encode appends the heartbeat encoding to buf and returns it.
+func (h Heartbeat) Encode(buf []byte) []byte {
+	off := len(buf)
+	buf = append(buf, make([]byte, HeartbeatSize)...)
+	b := buf[off:]
+	b[0] = byte(MsgHeartbeat)
+	binary.LittleEndian.PutUint64(b[1:], math.Float64bits(h.Util))
+	return buf
+}
+
+// DecodeHeartbeat parses a heartbeat.
+func DecodeHeartbeat(b []byte) (Heartbeat, error) {
+	if len(b) < HeartbeatSize || MsgType(b[0]) != MsgHeartbeat {
+		return Heartbeat{}, fmt.Errorf("%w: heartbeat", ErrCorrupt)
+	}
+	return Heartbeat{Util: math.Float64frombits(binary.LittleEndian.Uint64(b[1:]))}, nil
+}
+
+// PeekType returns the type of an encoded message.
+func PeekType(b []byte) (MsgType, error) {
+	if len(b) == 0 {
+		return 0, ErrCorrupt
+	}
+	t := MsgType(b[0])
+	if t < MsgSearch || t > MsgKVResponse {
+		return 0, fmt.Errorf("%w: type %d", ErrCorrupt, t)
+	}
+	return t, nil
+}
+
+// Hello is the rpcnet connection bootstrap: everything the paper's client
+// learns at connection initialization (the registered region's address and
+// geometry, here expressed as chunk coordinates).
+type Hello struct {
+	RootChunk   uint32
+	ChunkSize   uint32
+	MaxEntries  uint32
+	NumChunks   uint32
+	HeartbeatMs uint32
+	ServerEpoch uint64 // lets clients detect server restarts
+}
+
+// HelloSize is the encoded size of a Hello.
+const HelloSize = 1 + 4*5 + 8
+
+// Encode appends the hello encoding to buf and returns it.
+func (h Hello) Encode(buf []byte) []byte {
+	off := len(buf)
+	buf = append(buf, make([]byte, HelloSize)...)
+	b := buf[off:]
+	b[0] = byte(MsgHello)
+	binary.LittleEndian.PutUint32(b[1:], h.RootChunk)
+	binary.LittleEndian.PutUint32(b[5:], h.ChunkSize)
+	binary.LittleEndian.PutUint32(b[9:], h.MaxEntries)
+	binary.LittleEndian.PutUint32(b[13:], h.NumChunks)
+	binary.LittleEndian.PutUint32(b[17:], h.HeartbeatMs)
+	binary.LittleEndian.PutUint64(b[21:], h.ServerEpoch)
+	return buf
+}
+
+// DecodeHello parses a hello.
+func DecodeHello(b []byte) (Hello, error) {
+	if len(b) < HelloSize || MsgType(b[0]) != MsgHello {
+		return Hello{}, fmt.Errorf("%w: hello", ErrCorrupt)
+	}
+	return Hello{
+		RootChunk:   binary.LittleEndian.Uint32(b[1:]),
+		ChunkSize:   binary.LittleEndian.Uint32(b[5:]),
+		MaxEntries:  binary.LittleEndian.Uint32(b[9:]),
+		NumChunks:   binary.LittleEndian.Uint32(b[13:]),
+		HeartbeatMs: binary.LittleEndian.Uint32(b[17:]),
+		ServerEpoch: binary.LittleEndian.Uint64(b[21:]),
+	}, nil
+}
+
+// ReadChunk requests a raw chunk image (the rpcnet stand-in for a one-sided
+// RDMA Read: the server answers from the region without taking the tree
+// lock).
+type ReadChunk struct {
+	ID    uint64 // request tag
+	Chunk uint32
+}
+
+// ReadChunkSize is the encoded size of a ReadChunk.
+const ReadChunkSize = 1 + 8 + 4
+
+// Encode appends the read-chunk encoding to buf and returns it.
+func (r ReadChunk) Encode(buf []byte) []byte {
+	off := len(buf)
+	buf = append(buf, make([]byte, ReadChunkSize)...)
+	b := buf[off:]
+	b[0] = byte(MsgReadChunk)
+	binary.LittleEndian.PutUint64(b[1:], r.ID)
+	binary.LittleEndian.PutUint32(b[9:], r.Chunk)
+	return buf
+}
+
+// DecodeReadChunk parses a read-chunk request.
+func DecodeReadChunk(b []byte) (ReadChunk, error) {
+	if len(b) < ReadChunkSize || MsgType(b[0]) != MsgReadChunk {
+		return ReadChunk{}, fmt.Errorf("%w: read-chunk", ErrCorrupt)
+	}
+	return ReadChunk{
+		ID:    binary.LittleEndian.Uint64(b[1:]),
+		Chunk: binary.LittleEndian.Uint32(b[9:]),
+	}, nil
+}
+
+// ChunkData answers a ReadChunk with the raw chunk bytes (versions
+// included; the client validates consistency exactly as over RDMA).
+type ChunkData struct {
+	ID     uint64
+	Status uint8
+	Raw    []byte
+}
+
+const chunkDataHeader = 1 + 8 + 1 + 4
+
+// EncodedSize returns the encoded size of the chunk data message.
+func (c ChunkData) EncodedSize() int { return chunkDataHeader + len(c.Raw) }
+
+// Encode appends the chunk-data encoding to buf and returns it.
+func (c ChunkData) Encode(buf []byte) []byte {
+	off := len(buf)
+	buf = append(buf, make([]byte, c.EncodedSize())...)
+	b := buf[off:]
+	b[0] = byte(MsgChunkData)
+	binary.LittleEndian.PutUint64(b[1:], c.ID)
+	b[9] = c.Status
+	binary.LittleEndian.PutUint32(b[10:], uint32(len(c.Raw)))
+	copy(b[chunkDataHeader:], c.Raw)
+	return buf
+}
+
+// DecodeChunkData parses a chunk-data message. The Raw slice aliases b.
+func DecodeChunkData(b []byte) (ChunkData, error) {
+	if len(b) < chunkDataHeader || MsgType(b[0]) != MsgChunkData {
+		return ChunkData{}, fmt.Errorf("%w: chunk-data", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(b[10:]))
+	if len(b) < chunkDataHeader+n {
+		return ChunkData{}, fmt.Errorf("%w: chunk-data truncated", ErrCorrupt)
+	}
+	return ChunkData{
+		ID:     binary.LittleEndian.Uint64(b[1:]),
+		Status: b[9],
+		Raw:    b[chunkDataHeader : chunkDataHeader+n],
+	}, nil
+}
+
+func putRect(b []byte, r geo.Rect) {
+	binary.LittleEndian.PutUint64(b[0:], math.Float64bits(r.MinX))
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(r.MaxX))
+	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(r.MinY))
+	binary.LittleEndian.PutUint64(b[24:], math.Float64bits(r.MaxY))
+}
+
+func getRect(b []byte) geo.Rect {
+	return geo.Rect{
+		MinX: math.Float64frombits(binary.LittleEndian.Uint64(b[0:])),
+		MaxX: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+		MinY: math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+		MaxY: math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
+	}
+}

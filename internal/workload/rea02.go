@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/rtree"
+)
+
+// Rea02Size is the object count of the real rea02 dataset (California
+// street segments) used in the paper's §V-C.
+const Rea02Size = 1888012
+
+// Rea02Config shapes the synthetic reconstruction of rea02.
+type Rea02Config struct {
+	// N is the total rectangle count (default Rea02Size).
+	N int
+	// SubRegionSize is the objects per sub-region (paper: roughly 20,000).
+	SubRegionSize int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Rea02Like synthesizes a dataset with the structure the paper describes
+// for rea02: street segments (thin axis-aligned rectangles) grouped into
+// sub-regions of ~20 k objects. Within a sub-region the segments are laid
+// out in rows running west→east, rows ordered north→south, and emitted in
+// exactly that order; the sub-regions themselves are emitted in random
+// order. The returned slice is in insertion order, so loading it
+// sequentially reproduces the clustered insertion pattern that stresses
+// R*-tree splits.
+func Rea02Like(cfg Rea02Config) []rtree.Entry {
+	if cfg.N == 0 {
+		cfg.N = Rea02Size
+	}
+	if cfg.SubRegionSize == 0 {
+		cfg.SubRegionSize = 20000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	numSub := (cfg.N + cfg.SubRegionSize - 1) / cfg.SubRegionSize
+	grid := int(math.Ceil(math.Sqrt(float64(numSub))))
+	cell := 1.0 / float64(grid)
+
+	order := rng.Perm(numSub)
+	out := make([]rtree.Entry, 0, cfg.N)
+	ref := uint64(0)
+	for _, sub := range order {
+		remaining := cfg.N - len(out)
+		if remaining <= 0 {
+			break
+		}
+		count := cfg.SubRegionSize
+		if count > remaining {
+			count = remaining
+		}
+		cx := float64(sub%grid) * cell
+		cy := float64(sub/grid) * cell
+		out = appendSubRegion(out, rng, cx, cy, cell, count, &ref)
+	}
+	return out
+}
+
+// appendSubRegion emits count street segments for the cell at (cx, cy):
+// rows north→south (descending y), segments west→east within a row.
+func appendSubRegion(out []rtree.Entry, rng *rand.Rand, cx, cy, cell float64, count int, ref *uint64) []rtree.Entry {
+	rows := int(math.Ceil(math.Sqrt(float64(count))))
+	perRow := (count + rows - 1) / rows
+	rowGap := cell / float64(rows+1)
+	emitted := 0
+	for r := 0; r < rows && emitted < count; r++ {
+		// North to south: start at the top of the cell.
+		y := cy + cell - float64(r+1)*rowGap
+		segGap := cell / float64(perRow+1)
+		for s := 0; s < perRow && emitted < count; s++ {
+			x := cx + float64(s+1)*segGap
+			// Street segments: long and thin, mostly horizontal with some
+			// vertical cross streets.
+			length := segGap * (0.6 + 0.8*rng.Float64())
+			thickness := length * (0.02 + 0.08*rng.Float64())
+			var rect geo.Rect
+			if rng.Float64() < 0.8 {
+				rect = geo.Rect{MinX: x, MaxX: x + length, MinY: y, MaxY: y + thickness}
+			} else {
+				rect = geo.Rect{MinX: x, MaxX: x + thickness, MinY: y, MaxY: y + length}
+			}
+			out = append(out, rtree.Entry{Rect: clampUnit(rect), Ref: *ref})
+			*ref++
+			emitted++
+		}
+	}
+	return out
+}
+
+// Rea02Queries generates the paper's rea02 query stream: each query returns
+// between 50 and 150 results, ~100 on average. Query side lengths are
+// derived from the dataset's mean density; the harness verifies the
+// realized result counts in its tests.
+type Rea02Queries struct {
+	// Density is items per unit area (N when the space is the unit square).
+	Density float64
+}
+
+// NewRea02Queries returns a generator calibrated for n items in the unit
+// square.
+func NewRea02Queries(n int) Rea02Queries {
+	return Rea02Queries{Density: float64(n)}
+}
+
+// Next implements QueryGen.
+func (g Rea02Queries) Next(rng *rand.Rand) geo.Rect {
+	target := 50 + rng.Float64()*100 // uniform in [50, 150]
+	edge := math.Sqrt(target / g.Density)
+	x := rng.Float64() * (1 - edge)
+	y := rng.Float64() * (1 - edge)
+	return geo.Rect{MinX: x, MaxX: x + edge, MinY: y, MaxY: y + edge}
+}
+
+var _ QueryGen = Rea02Queries{}
+var _ QueryGen = UniformScale{}
+var _ QueryGen = PowerLawScale{}

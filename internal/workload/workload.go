@@ -1,0 +1,184 @@
+// Package workload generates the datasets and request streams of the
+// paper's evaluation (§I, §V):
+//
+//   - the 2-million-rectangle uniform dataset whose edges scale in
+//     (0, 0.0001];
+//   - search requests at a fixed scale s (edges uniform in (0, s]; the
+//     paper uses s = 0.00001 for the CPU-bound and s = 0.01 for the
+//     bandwidth-bound regime);
+//   - power-law-scaled searches, f(t) ∝ t^-0.99 over t ∈ (0.00001, 0.01];
+//   - the skewed insert stream of §V-B (power-law coordinates over
+//     (0.5, 1.0], reflected into the four corners);
+//   - a synthetic reconstruction of the rea02 real dataset (§V-C):
+//     ~1.89 M thin street-segment rectangles grouped into ~20 k-object
+//     sub-regions, inserted row-major west→east, rows north→south,
+//     sub-regions in random order, with queries tuned to return 50–150
+//     (average ~100) results.
+//
+// Generators draw from caller-provided *rand.Rand so each simulated client
+// replays an independent, deterministic stream.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/rtree"
+)
+
+// UniformRects builds the paper's base dataset: n rectangles with edges
+// uniform in (0, maxEdge], placed uniformly so each rectangle stays inside
+// the unit square. Refs are 0..n-1.
+func UniformRects(n int, maxEdge float64, seed int64) []rtree.Entry {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]rtree.Entry, n)
+	for i := range out {
+		out[i] = rtree.Entry{Rect: uniformRect(rng, maxEdge), Ref: uint64(i)}
+	}
+	return out
+}
+
+func uniformRect(rng *rand.Rand, maxEdge float64) geo.Rect {
+	w := rng.Float64() * maxEdge
+	h := rng.Float64() * maxEdge
+	x := rng.Float64() * (1 - w)
+	y := rng.Float64() * (1 - h)
+	return geo.Rect{MinX: x, MaxX: x + w, MinY: y, MaxY: y + h}
+}
+
+// QueryGen produces search rectangles.
+type QueryGen interface {
+	// Next returns the next query rectangle.
+	Next(rng *rand.Rand) geo.Rect
+}
+
+// UniformScale generates queries whose edges are uniform in (0, Scale] —
+// the paper's "request scale" workloads.
+type UniformScale struct {
+	Scale float64
+}
+
+// Next implements QueryGen.
+func (u UniformScale) Next(rng *rand.Rand) geo.Rect {
+	return uniformRect(rng, u.Scale)
+}
+
+// PowerLawScale first draws a scale t with density f(t) ∝ t^Exponent over
+// (Min, Max], then generates a query with edges uniform in (0, t]. With the
+// paper's exponent −0.99 most requests search a small scope.
+type PowerLawScale struct {
+	Min, Max float64
+	Exponent float64 // paper: -0.99
+}
+
+// Next implements QueryGen.
+func (p PowerLawScale) Next(rng *rand.Rand) geo.Rect {
+	t := powerLaw(rng, p.Min, p.Max, p.Exponent)
+	return uniformRect(rng, t)
+}
+
+// powerLaw samples t ∈ (min, max] with density ∝ t^a via inverse-CDF.
+func powerLaw(rng *rand.Rand, min, max, a float64) float64 {
+	u := rng.Float64()
+	b := a + 1
+	if math.Abs(b) < 1e-9 {
+		// a ≈ -1: log-uniform.
+		return min * math.Exp(u*math.Log(max/min))
+	}
+	lo := math.Pow(min, b)
+	hi := math.Pow(max, b)
+	return math.Pow(u*(hi-lo)+lo, 1/b)
+}
+
+// SkewedInserts generates the paper's §V-B insert stream: coordinates drawn
+// from f(t) ∝ t^-0.99 over (0.5, 1.0], then the point (x, y) is randomly
+// reflected to one of (x, y), (1−x, y), (x, 1−y), (1−x, 1−y) — skewed
+// updates concentrated near the four corners, mimicking city-area updates.
+type SkewedInserts struct {
+	// Edge is the maximum rectangle edge (matches the dataset's 0.0001).
+	Edge float64
+	// Exponent of the coordinate power law (paper: -0.99).
+	Exponent float64
+}
+
+// Next returns the next insert rectangle.
+func (s SkewedInserts) Next(rng *rand.Rand) geo.Rect {
+	exp := s.Exponent
+	if exp == 0 {
+		exp = -0.99
+	}
+	x := powerLaw(rng, 0.5, 1.0, exp)
+	y := powerLaw(rng, 0.5, 1.0, exp)
+	switch rng.Intn(4) {
+	case 1:
+		x = 1 - x
+	case 2:
+		y = 1 - y
+	case 3:
+		x, y = 1-x, 1-y
+	}
+	w := rng.Float64() * s.Edge
+	h := rng.Float64() * s.Edge
+	r := geo.Rect{MinX: x, MaxX: x + w, MinY: y, MaxY: y + h}
+	return clampUnit(r)
+}
+
+func clampUnit(r geo.Rect) geo.Rect {
+	if r.MaxX > 1 {
+		r.MinX -= r.MaxX - 1
+		r.MaxX = 1
+	}
+	if r.MaxY > 1 {
+		r.MinY -= r.MaxY - 1
+		r.MaxY = 1
+	}
+	if r.MinX < 0 {
+		r.MinX = 0
+	}
+	if r.MinY < 0 {
+		r.MinY = 0
+	}
+	return r
+}
+
+// OpType is the kind of one workload operation.
+type OpType int
+
+// Operation kinds.
+const (
+	OpSearch OpType = iota + 1
+	OpInsert
+)
+
+// Op is one generated request.
+type Op struct {
+	Type OpType
+	Rect geo.Rect
+	Ref  uint64
+}
+
+// Mix interleaves searches and inserts per the paper's hybrid workloads
+// (90% search / 10% insert in §V-B).
+type Mix struct {
+	Queries        QueryGen
+	Inserts        SkewedInserts
+	InsertFraction float64
+	nextRef        uint64
+	refBase        uint64
+}
+
+// NewMix returns a mix whose inserted entries get refs starting at refBase
+// (chosen above the dataset's refs).
+func NewMix(queries QueryGen, inserts SkewedInserts, insertFraction float64, refBase uint64) *Mix {
+	return &Mix{Queries: queries, Inserts: inserts, InsertFraction: insertFraction, refBase: refBase}
+}
+
+// Next returns the next operation.
+func (m *Mix) Next(rng *rand.Rand) Op {
+	if m.InsertFraction > 0 && rng.Float64() < m.InsertFraction {
+		m.nextRef++
+		return Op{Type: OpInsert, Rect: m.Inserts.Next(rng), Ref: m.refBase + m.nextRef}
+	}
+	return Op{Type: OpSearch, Rect: m.Queries.Next(rng)}
+}

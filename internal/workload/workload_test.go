@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/catfish-db/catfish/internal/rtree"
+)
+
+func TestUniformRectsValid(t *testing.T) {
+	items := UniformRects(5000, 0.0001, 1)
+	if len(items) != 5000 {
+		t.Fatalf("len = %d", len(items))
+	}
+	unit := rtree.Entry{}.Rect // zero
+	_ = unit
+	for i, it := range items {
+		r := it.Rect
+		if !r.Valid() {
+			t.Fatalf("item %d invalid: %v", i, r)
+		}
+		if r.MinX < 0 || r.MaxX > 1 || r.MinY < 0 || r.MaxY > 1 {
+			t.Fatalf("item %d outside unit square: %v", i, r)
+		}
+		if r.Width() > 0.0001 || r.Height() > 0.0001 {
+			t.Fatalf("item %d edge too large: %v", i, r)
+		}
+		if it.Ref != uint64(i) {
+			t.Fatalf("item %d ref = %d", i, it.Ref)
+		}
+	}
+}
+
+func TestUniformRectsDeterministic(t *testing.T) {
+	a := UniformRects(100, 0.01, 42)
+	b := UniformRects(100, 0.01, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+	c := UniformRects(100, 0.01, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestUniformScaleBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := UniformScale{Scale: 0.01}
+	for i := 0; i < 1000; i++ {
+		r := g.Next(rng)
+		if !r.Valid() || r.Width() > 0.01 || r.Height() > 0.01 {
+			t.Fatalf("query %d out of scale: %v", i, r)
+		}
+	}
+}
+
+func TestPowerLawScaleDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := PowerLawScale{Min: 0.00001, Max: 0.01, Exponent: -0.99}
+	small := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		r := g.Next(rng)
+		if r.Width() > 0.01 || r.Height() > 0.01 {
+			t.Fatalf("edge exceeds max: %v", r)
+		}
+		if r.Width() <= 0.001 && r.Height() <= 0.001 {
+			small++
+		}
+	}
+	// With exponent -0.99 the scale is close to log-uniform, so a large
+	// majority of requests search a small scope (paper: "much more
+	// requests to search in a small scope").
+	if frac := float64(small) / n; frac < 0.55 {
+		t.Errorf("small-scope fraction = %.2f, want > 0.55", frac)
+	}
+}
+
+func TestPowerLawSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		v := powerLaw(rng, 0.5, 1.0, -0.99)
+		if v < 0.5 || v > 1.0 {
+			t.Fatalf("sample %v out of (0.5, 1]", v)
+		}
+	}
+	// a = -1 falls back to log-uniform.
+	for i := 0; i < 1000; i++ {
+		v := powerLaw(rng, 0.001, 1.0, -1.0)
+		if v < 0.001 || v > 1.0 {
+			t.Fatalf("log-uniform sample %v out of range", v)
+		}
+	}
+}
+
+func TestSkewedInsertsSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := SkewedInserts{Edge: 0.0001}
+	central := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		r := g.Next(rng)
+		if !r.Valid() || r.MinX < 0 || r.MaxX > 1 || r.MinY < 0 || r.MaxY > 1 {
+			t.Fatalf("insert %d invalid: %v", i, r)
+		}
+		x, y := r.Center()
+		// The coordinate power law f(t) ∝ t^-0.99 over (0.5, 1] favors
+		// values near 0.5, and the four reflections are symmetric, so the
+		// stream concentrates in the central quarter [0.25, 0.75]².
+		if math.Abs(x-0.5) < 0.25 && math.Abs(y-0.5) < 0.25 {
+			central++
+		}
+	}
+	// Uniform placement would put 25% in the central quarter; the skewed
+	// stream puts noticeably more there (analytically ~34%).
+	if frac := float64(central) / n; frac < 0.30 {
+		t.Errorf("central fraction = %.2f, want > 0.30 (skew missing)", frac)
+	}
+}
+
+func TestMixFractions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMix(UniformScale{Scale: 0.01}, SkewedInserts{Edge: 0.0001}, 0.1, 1<<40)
+	inserts, searches := 0, 0
+	refs := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		op := m.Next(rng)
+		switch op.Type {
+		case OpInsert:
+			inserts++
+			if op.Ref <= 1<<40 {
+				t.Fatalf("insert ref %d below base", op.Ref)
+			}
+			if refs[op.Ref] {
+				t.Fatalf("duplicate insert ref %d", op.Ref)
+			}
+			refs[op.Ref] = true
+		case OpSearch:
+			searches++
+		default:
+			t.Fatalf("unknown op type %v", op.Type)
+		}
+	}
+	frac := float64(inserts) / 10000
+	if frac < 0.08 || frac > 0.12 {
+		t.Errorf("insert fraction = %.3f, want ~0.1", frac)
+	}
+	_ = searches
+}
+
+func TestMixZeroInsertFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMix(UniformScale{Scale: 0.01}, SkewedInserts{Edge: 0.0001}, 0, 0)
+	for i := 0; i < 1000; i++ {
+		if op := m.Next(rng); op.Type != OpSearch {
+			t.Fatal("search-only mix produced an insert")
+		}
+	}
+}
+
+func TestRea02LikeStructure(t *testing.T) {
+	cfg := Rea02Config{N: 60000, SubRegionSize: 20000, Seed: 7}
+	items := Rea02Like(cfg)
+	if len(items) != 60000 {
+		t.Fatalf("len = %d", len(items))
+	}
+	for i, it := range items {
+		if !it.Rect.Valid() {
+			t.Fatalf("item %d invalid", i)
+		}
+		if it.Rect.MinX < 0 || it.Rect.MaxX > 1 || it.Rect.MinY < 0 || it.Rect.MaxY > 1 {
+			t.Fatalf("item %d outside unit square: %v", i, it.Rect)
+		}
+		if it.Ref != uint64(i) {
+			t.Fatalf("item %d ref = %d (not insertion order)", i, it.Ref)
+		}
+	}
+	// Within a sub-region, consecutive rows go north->south: the first
+	// item's y must be above the last item's y.
+	_, firstY := items[0].Rect.Center()
+	_, lastY := items[19999].Rect.Center()
+	if firstY <= lastY {
+		t.Errorf("rows not ordered north->south: first y %.3f, last y %.3f", firstY, lastY)
+	}
+}
+
+func TestRea02DefaultSize(t *testing.T) {
+	if Rea02Size != 1888012 {
+		t.Fatal("rea02 size constant drifted from the paper")
+	}
+	items := Rea02Like(Rea02Config{N: 1000, SubRegionSize: 100, Seed: 1})
+	if len(items) != 1000 {
+		t.Fatalf("len = %d", len(items))
+	}
+}
+
+// The rea02 query generator must produce queries returning ~50-150 results
+// against the rea02-like dataset (the paper's guarantee).
+func TestRea02QuerySelectivity(t *testing.T) {
+	const n = 100000
+	items := Rea02Like(Rea02Config{N: n, SubRegionSize: 10000, Seed: 8})
+	// Brute-force count (tree not needed for a selectivity check).
+	g := NewRea02Queries(n)
+	rng := rand.New(rand.NewSource(9))
+	var totals []int
+	for q := 0; q < 30; q++ {
+		query := g.Next(rng)
+		count := 0
+		for _, it := range items {
+			if query.Intersects(it.Rect) {
+				count++
+			}
+		}
+		totals = append(totals, count)
+	}
+	sum := 0
+	for _, c := range totals {
+		sum += c
+	}
+	avg := float64(sum) / float64(len(totals))
+	// The paper's average is 100; synthetic clustering shifts it somewhat.
+	if avg < 30 || avg > 300 {
+		t.Errorf("average results = %.1f, want within [30, 300] of the ~100 target", avg)
+	}
+}
+
+func BenchmarkRea02Like(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Rea02Like(Rea02Config{N: 100000, Seed: int64(i)})
+	}
+}

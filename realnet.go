@@ -1,0 +1,41 @@
+package catfish
+
+import (
+	"github.com/catfish-db/catfish/internal/rpcnet"
+)
+
+// Real-network (stdlib net) types: the same Catfish protocol served over
+// actual TCP sockets, with one-sided reads emulated by READ_CHUNK requests
+// answered lock-free from the region (version checks still protect
+// readers). See examples/realnet and cmd/catfish-server / catfish-client.
+type (
+	// NetServer serves a Catfish R-tree over real TCP.
+	NetServer = rpcnet.Server
+	// NetServerConfig configures a NetServer.
+	NetServerConfig = rpcnet.ServerConfig
+	// NetClient is a Catfish client over real TCP.
+	NetClient = rpcnet.Client
+	// NetClientConfig configures a NetClient.
+	NetClientConfig = rpcnet.ClientConfig
+	// NetMethod identifies the search path used by a NetClient.
+	NetMethod = rpcnet.Method
+)
+
+// Real-network search methods.
+const (
+	// NetMethodFast sends the search to the server.
+	NetMethodFast = rpcnet.MethodFast
+	// NetMethodOffload traverses the tree with emulated one-sided reads.
+	NetMethodOffload = rpcnet.MethodOffload
+)
+
+// Listen binds addr and returns a real-network server for tree; call
+// Serve to accept connections.
+func Listen(addr string, tree *Tree, cfg NetServerConfig) (*NetServer, error) {
+	return rpcnet.Listen(addr, tree, cfg)
+}
+
+// Dial connects a real-network client to a Catfish server.
+func Dial(addr string, cfg NetClientConfig) (*NetClient, error) {
+	return rpcnet.Dial(addr, cfg)
+}
