@@ -164,6 +164,47 @@ func AblationRootCache(o Options) (*stats.Table, error) {
 	return table, nil
 }
 
+// AblationNodeCache sweeps the capacity of the client-side version-
+// validated node cache on the offload-heavy small-scope workload (capacity
+// 0 is the seed behaviour: every internal node fetched on every search).
+func AblationNodeCache(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	cache := newCache(o)
+	tree, err := cache.uniformTree()
+	if err != nil {
+		return nil, err
+	}
+	table := stats.NewTable("capacity", "mean_lat_us", "kops", "nodes_fetched",
+		"reads_per_search", "hit%", "saved_MB")
+	for _, capacity := range []int{0, 8, 64, 512} {
+		res, err := cluster.Run(cluster.Config{
+			Scheme:            cluster.SchemeOffloadMulti,
+			PrebuiltTree:      tree,
+			Workload:          searchMix(workload.UniformScale{Scale: 0.00001}),
+			NumClients:        8,
+			RequestsPerClient: o.Requests,
+			ServerCores:       o.ServerCores,
+			HeartbeatInv:      o.HeartbeatInv,
+			NodeCache:         capacity,
+			Seed:              o.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation nodecache=%d: %w", capacity, err)
+		}
+		hits := res.CacheHits + res.CacheVerified
+		hitPct := 0.0
+		if lookups := hits + res.CacheMisses; lookups > 0 {
+			hitPct = 100 * float64(hits) / float64(lookups)
+		}
+		table.AddRow(fmt.Sprintf("%d", capacity), fmtDur(res.Latency.Mean),
+			fmtKops(res.Kops), fmt.Sprintf("%d", res.NodesFetched),
+			fmt.Sprintf("%.2f", res.OffloadReadsPerSearch),
+			fmt.Sprintf("%.1f", hitPct),
+			fmt.Sprintf("%.1f", float64(res.CacheBytesSaved)/(1<<20)))
+	}
+	return table, nil
+}
+
 // AblationPredictor compares the paper's most-recent-value utilization
 // predictor with the EWMA extension under the saturated workload.
 func AblationPredictor(o Options) (*stats.Table, error) {

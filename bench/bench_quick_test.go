@@ -137,6 +137,9 @@ func TestAblationsQuick(t *testing.T) {
 		"rootcache": func(o Options) (interface{ String() string }, error) {
 			return AblationRootCache(o)
 		},
+		"nodecache": func(o Options) (interface{ String() string }, error) {
+			return AblationNodeCache(o)
+		},
 		"predictor": func(o Options) (interface{ String() string }, error) {
 			return AblationPredictor(o)
 		},

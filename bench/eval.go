@@ -132,6 +132,32 @@ func Fig14(o Options) (thr, lat *stats.Table, results []cluster.Result, err erro
 	return thr, lat, results, nil
 }
 
+// ReadsPerSearch summarizes the offloaded read amplification of a result
+// set grouped by (scale, clients) cells in submission order — one column
+// per scheme, "-" where the scheme never offloaded. With the node cache
+// enabled this is where its read reduction shows up in every figure sweep.
+func ReadsPerSearch(results []cluster.Result) *stats.Table {
+	n := len(evalSchemes)
+	cols := []string{"clients"}
+	for _, s := range evalSchemes {
+		cols = append(cols, s.Name)
+	}
+	table := stats.NewTable(cols...)
+	for i := 0; i+n <= len(results); i += n {
+		cell := results[i : i+n]
+		row := []string{fmt.Sprintf("%d", cell[0].Clients)}
+		for _, r := range cell {
+			if r.OffloadReadsPerSearch > 0 {
+				row = append(row, fmt.Sprintf("%.2f", r.OffloadReadsPerSearch))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		table.AddRow(row...)
+	}
+	return table
+}
+
 // Speedups summarizes Catfish's gains over each baseline across a result
 // set grouped by (scale, clients) — the paper's "up to N×" headline
 // numbers, derived from the Fig 10/11 sweeps.

@@ -107,6 +107,7 @@ func BenchmarkFig10SearchThroughput(b *testing.B) {
 		if i == 0 {
 			b.Log("\nFig 10 throughput (Kops):\n" + thr.String())
 			b.Log("\nSpeedups:\n" + bench.Speedups(results).String())
+			b.Log("\nOffloaded reads per search:\n" + bench.ReadsPerSearch(results).String())
 			reportCatfishBest(b, results)
 		}
 	}
@@ -223,6 +224,18 @@ func BenchmarkAblationHeartbeat(b *testing.B) {
 func BenchmarkAblationMultiIssueDepth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		table, err := bench.AblationMultiIssueDepth(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.String())
+		}
+	}
+}
+
+func BenchmarkAblationNodeCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := bench.AblationNodeCache(benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}

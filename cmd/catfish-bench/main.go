@@ -75,7 +75,7 @@ func run() error {
 		}
 	}
 	if *ablation != "" {
-		for _, a := range expand(*ablation, []string{"n", "t", "heartbeat", "multiissue", "chunk", "rootcache", "predictor", "framework"}) {
+		for _, a := range expand(*ablation, []string{"n", "t", "heartbeat", "multiissue", "chunk", "rootcache", "nodecache", "predictor", "framework"}) {
 			if err := runAblation(a, opts); err != nil {
 				return err
 			}
@@ -137,6 +137,8 @@ func runFig(fig string, opts bench.Options) error {
 		fmt.Println(lat)
 		fmt.Println("Catfish speedups across the sweep:")
 		fmt.Println(bench.Speedups(results))
+		fmt.Println("Offloaded reads per search:")
+		fmt.Println(bench.ReadsPerSearch(results))
 	case "12", "13":
 		thr, lat, results, err := bench.Fig12And13(opts)
 		if err != nil {
@@ -148,6 +150,8 @@ func runFig(fig string, opts bench.Options) error {
 		fmt.Println(lat)
 		fmt.Println("Catfish speedups across the sweep:")
 		fmt.Println(bench.Speedups(results))
+		fmt.Println("Offloaded reads per search:")
+		fmt.Println(bench.ReadsPerSearch(results))
 	case "14":
 		thr, lat, results, err := bench.Fig14(opts)
 		if err != nil {
@@ -159,6 +163,8 @@ func runFig(fig string, opts bench.Options) error {
 		fmt.Println(lat)
 		fmt.Println("Catfish speedups across the sweep:")
 		fmt.Println(bench.Speedups(results))
+		fmt.Println("Offloaded reads per search:")
+		fmt.Println(bench.ReadsPerSearch(results))
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}
@@ -184,6 +190,8 @@ func runAblation(name string, opts bench.Options) error {
 		t, err = bench.AblationChunkSize(opts)
 	case "rootcache":
 		t, err = bench.AblationRootCache(opts)
+	case "nodecache":
+		t, err = bench.AblationNodeCache(opts)
 	case "predictor":
 		t, err = bench.AblationPredictor(opts)
 	case "framework":

@@ -34,6 +34,7 @@ func run() error {
 		method     = flag.String("method", "fast", "search method: fast | offload")
 		adaptive   = flag.Bool("adaptive", false, "run Algorithm 1 (overrides -method)")
 		multiIssue = flag.Bool("multiissue", false, "pipeline offloaded chunk reads")
+		nodeCache  = flag.Int("nodecache", 0, "node cache capacity in decoded internal nodes (0 = off)")
 		insertFrac = flag.Float64("insert-fraction", 0, "fraction of requests that insert")
 		seed       = flag.Int64("seed", 1, "random seed")
 	)
@@ -65,6 +66,7 @@ func run() error {
 				Adaptive:   *adaptive,
 				Forced:     forced,
 				MultiIssue: *multiIssue,
+				NodeCache:  *nodeCache,
 				Seed:       *seed + int64(i),
 			})
 			if err != nil {
@@ -111,6 +113,11 @@ func run() error {
 		agg.OffloadSearches += r.stats.OffloadSearches
 		agg.TornRetries += r.stats.TornRetries
 		agg.ChunksFetched += r.stats.ChunksFetched
+		agg.VersionReads += r.stats.VersionReads
+		agg.CacheHits += r.stats.CacheHits
+		agg.CacheVerifiedHits += r.stats.CacheVerifiedHits
+		agg.CacheMisses += r.stats.CacheMisses
+		agg.CacheBytesSaved += r.stats.CacheBytesSaved
 	}
 	s := total.Summarize()
 	fmt.Printf("ops: %d in %v  =>  %.1f Kops\n", s.Count, elapsed.Round(time.Millisecond),
@@ -118,6 +125,11 @@ func run() error {
 	fmt.Printf("latency: mean=%v p50=%v p95=%v p99=%v max=%v\n", s.Mean, s.P50, s.P95, s.P99, s.Max)
 	fmt.Printf("fast=%d offload=%d chunk reads=%d torn retries=%d\n",
 		agg.FastSearches, agg.OffloadSearches, agg.ChunksFetched, agg.TornRetries)
+	if *nodeCache > 0 {
+		fmt.Printf("cache: hits=%d verified=%d misses=%d version reads=%d saved=%.1fMB\n",
+			agg.CacheHits, agg.CacheVerifiedHits, agg.CacheMisses, agg.VersionReads,
+			float64(agg.CacheBytesSaved)/1e6)
+	}
 	return nil
 }
 

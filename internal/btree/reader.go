@@ -2,7 +2,9 @@ package btree
 
 import (
 	"errors"
+	"time"
 
+	"github.com/catfish-db/catfish/internal/nodecache"
 	"github.com/catfish-db/catfish/internal/region"
 )
 
@@ -25,9 +27,27 @@ type Reader struct {
 	MaxChunkRetries int
 	MaxRestarts     int
 
-	// TornRetries and StaleRestarts count recovery events.
+	// Cache, when non-nil, holds decoded internal nodes keyed by chunk id
+	// and validated by version fingerprint (see internal/nodecache). Leaves
+	// are never cached — their churn would thrash the LRU.
+	Cache *nodecache.Cache
+	// FetchVersions returns the raw version words of one chunk (the
+	// version-only read backing cache revalidation). Required for the
+	// Verify tier; without it a demoted entry falls back to a full fetch.
+	FetchVersions func(chunkID int) ([]byte, error)
+	// Now supplies the cache clock (lease expiry). Nil means time zero,
+	// which effectively reduces the cache to its Verify tier.
+	Now func() time.Duration
+	// Charge, when non-nil, is invoked once per cache-served node so the
+	// caller can account traversal CPU it would otherwise have charged in
+	// Fetch.
+	Charge func()
+
+	// TornRetries and StaleRestarts count recovery events; VersionReads
+	// counts version-only revalidation reads.
 	TornRetries   uint64
 	StaleRestarts uint64
+	VersionReads  uint64
 
 	node    Node
 	payload []byte
@@ -53,14 +73,20 @@ func (r *Reader) restarts() int {
 	return r.MaxRestarts
 }
 
-// fetchNode reads chunk id into r.node with version validation.
+// fetchNode reads chunk id into r.node with version validation, consulting
+// the node cache first when one is configured.
 func (r *Reader) fetchNode(id, expectLevel int) error {
+	if r.Cache != nil {
+		if served, err := r.fetchCached(id, expectLevel); served || err != nil {
+			return err
+		}
+	}
 	for retry := 0; retry <= r.retries(); retry++ {
 		raw, err := r.Fetch(id)
 		if err != nil {
 			return err
 		}
-		payload, _, derr := region.DecodeChunk(raw, r.payload)
+		payload, ver, derr := region.DecodeChunk(raw, r.payload)
 		if derr != nil {
 			if errors.Is(derr, region.ErrTornRead) {
 				r.TornRetries++
@@ -75,9 +101,64 @@ func (r *Reader) fetchNode(id, expectLevel int) error {
 		if expectLevel >= 0 && r.node.Level != expectLevel {
 			return errStale
 		}
+		if r.Cache != nil && !r.node.IsLeaf() {
+			cp := &Node{Level: r.node.Level, Next: r.node.Next,
+				Entries: append([]Entry(nil), r.node.Entries...)}
+			r.Cache.Put(id, cp, ver, r.now())
+		}
 		return nil
 	}
 	return ErrGaveUp
+}
+
+func (r *Reader) now() time.Duration {
+	if r.Now == nil {
+		return 0
+	}
+	return r.Now()
+}
+
+// fetchCached tries to serve chunk id from the node cache: a lease-fresh
+// entry directly, a demoted one after a version-only revalidation read. It
+// reports served=false when the caller must fall back to a full fetch.
+func (r *Reader) fetchCached(id, expectLevel int) (bool, error) {
+	copyOut := func(v any) (bool, error) {
+		n := v.(*Node)
+		if expectLevel >= 0 && n.Level != expectLevel {
+			r.Cache.Evict(id)
+			return false, errStale
+		}
+		r.node.Level = n.Level
+		r.node.Next = n.Next
+		r.node.Entries = append(r.node.Entries[:0], n.Entries...)
+		if r.Charge != nil {
+			r.Charge()
+		}
+		return true, nil
+	}
+	now := r.now()
+	v, outcome := r.Cache.Lookup(id, now)
+	switch outcome {
+	case nodecache.Fresh:
+		return copyOut(v)
+	case nodecache.Verify:
+		if r.FetchVersions == nil {
+			return false, nil
+		}
+		r.VersionReads++
+		raw, err := r.FetchVersions(id)
+		if err != nil {
+			return false, err
+		}
+		ver, derr := region.DecodeVersions(raw)
+		if derr != nil {
+			return false, nil // torn window: fall back to a full fetch
+		}
+		if v2, ok := r.Cache.Confirm(id, ver, now); ok {
+			return copyOut(v2)
+		}
+	}
+	return false, nil
 }
 
 // Get fetches the value for key from the remote tree.
@@ -87,6 +168,7 @@ func (r *Reader) Get(key uint64) (uint64, error) {
 		if !errors.Is(err, errStale) {
 			return val, err
 		}
+		r.Cache.Flush()
 		r.StaleRestarts++
 	}
 	return 0, ErrGaveUp
@@ -153,6 +235,7 @@ func (r *Reader) Range(from, to uint64, fn func(key, val uint64) bool) error {
 		if !errors.Is(err, errStale) {
 			return err
 		}
+		r.Cache.Flush()
 		r.StaleRestarts++
 	}
 	return ErrGaveUp

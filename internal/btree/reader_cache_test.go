@@ -1,0 +1,137 @@
+package btree
+
+import (
+	"testing"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/nodecache"
+)
+
+// cacheReader builds a Reader over tree with a node cache whose clock is the
+// returned pointer; fetch/version-read counters are also returned.
+func cacheReader(tree *Tree, capacity int, lease time.Duration) (*Reader, *time.Duration, *int, *int) {
+	reg := tree.Region()
+	now := new(time.Duration)
+	fetches, verReads := new(int), new(int)
+	r := &Reader{
+		Fetch: func(id int) ([]byte, error) {
+			*fetches++
+			raw := make([]byte, reg.ChunkSize())
+			if err := reg.ReadChunkRaw(id, raw); err != nil {
+				return nil, err
+			}
+			return raw, nil
+		},
+		FetchVersions: func(id int) ([]byte, error) {
+			*verReads++
+			raw := make([]byte, reg.VersionsSize())
+			if err := reg.ReadVersions(id, raw); err != nil {
+				return nil, err
+			}
+			return raw, nil
+		},
+		Cache:      nodecache.New(capacity, lease, reg.ChunkSize(), reg.VersionsSize()),
+		Now:        func() time.Duration { return *now },
+		RootChunk:  tree.RootChunk(),
+		MaxEntries: tree.MaxEntries(),
+	}
+	return r, now, fetches, verReads
+}
+
+func TestReaderNodeCacheLeaseTier(t *testing.T) {
+	tree := newTestTree(t, 1024, 8)
+	for k := uint64(0); k < 500; k++ {
+		if err := tree.Insert(k*3, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plain := &Reader{Fetch: localFetch(tree.Region()), RootChunk: tree.RootChunk(), MaxEntries: tree.MaxEntries()}
+	cached, _, fetches, verReads := cacheReader(tree, 64, time.Millisecond)
+
+	plainFetches := 0
+	basePlain := plain.Fetch
+	plain.Fetch = func(id int) ([]byte, error) { plainFetches++; return basePlain(id) }
+
+	for k := uint64(0); k < 500; k += 19 {
+		pv, perr := plain.Get(k * 3)
+		cv, cerr := cached.Get(k * 3)
+		if perr != nil || cerr != nil || pv != cv || cv != k {
+			t.Fatalf("Get(%d): plain=(%d,%v) cached=(%d,%v)", k*3, pv, perr, cv, cerr)
+		}
+	}
+	// The clock never moved, so every internal node after the first descent
+	// is lease-fresh: no version reads, strictly fewer fetches.
+	if *verReads != 0 {
+		t.Errorf("lease-fresh reader issued %d version reads", *verReads)
+	}
+	if *fetches >= plainFetches {
+		t.Errorf("cached fetched %d chunks, plain %d", *fetches, plainFetches)
+	}
+}
+
+func TestReaderNodeCacheVerifyTierAndInvalidation(t *testing.T) {
+	tree := newTestTree(t, 1024, 8)
+	for k := uint64(0); k < 500; k++ {
+		if err := tree.Insert(k*3, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cached, now, fetches, verReads := cacheReader(tree, 64, time.Millisecond)
+	if v, err := cached.Get(300); err != nil || v != 100 {
+		t.Fatalf("warm-up Get = %d, %v", v, err)
+	}
+
+	// Past the lease, the next descent must revalidate the internal nodes
+	// with version-only reads; the only full fetch on the unchanged tree is
+	// the leaf, which is never cached.
+	*now += 2 * time.Millisecond
+	preFetch, preVer := *fetches, *verReads
+	if v, err := cached.Get(300); err != nil || v != 100 {
+		t.Fatalf("post-lease Get = %d, %v", v, err)
+	}
+	if *verReads == preVer {
+		t.Error("expired lease triggered no version reads")
+	}
+	if *fetches != preFetch+1 {
+		t.Errorf("unchanged tree cost %d full fetches on revalidation, want 1 (the leaf)",
+			*fetches-preFetch)
+	}
+
+	// Mutate the tree until internal nodes are rewritten; after the lease
+	// the changed fingerprints must force full fetches and fresh answers.
+	for k := uint64(1000); k < 1700; k++ {
+		if err := tree.Insert(k*3, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	*now += 2 * time.Millisecond
+	if v, err := cached.Get(1500 * 3); err != nil || v != 1500 {
+		t.Fatalf("post-mutation Get = %d, %v", v, err)
+	}
+	ns := cached.Cache.Stats()
+	if ns.Invalidations == 0 {
+		t.Error("rewritten nodes were never invalidated")
+	}
+	if cached.VersionReads == 0 {
+		t.Error("Reader.VersionReads not counted")
+	}
+}
+
+func TestReaderNilCacheUnchanged(t *testing.T) {
+	// A Reader without a cache must behave exactly as before the feature.
+	tree := newTestTree(t, 256, 8)
+	for k := uint64(0); k < 100; k++ {
+		if err := tree.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := &Reader{Fetch: localFetch(tree.Region()), RootChunk: tree.RootChunk(), MaxEntries: tree.MaxEntries()}
+	for k := uint64(0); k < 100; k += 7 {
+		if v, err := r.Get(k); err != nil || v != k {
+			t.Fatalf("Get(%d) = %d, %v", k, v, err)
+		}
+	}
+	if r.VersionReads != 0 {
+		t.Errorf("nil-cache reader recorded %d version reads", r.VersionReads)
+	}
+}

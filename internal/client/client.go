@@ -16,6 +16,7 @@ import (
 	"github.com/catfish-db/catfish/internal/fabric"
 	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/netmodel"
+	"github.com/catfish-db/catfish/internal/nodecache"
 	"github.com/catfish-db/catfish/internal/rtree"
 	"github.com/catfish-db/catfish/internal/server"
 	"github.com/catfish-db/catfish/internal/sim"
@@ -91,6 +92,15 @@ type Config struct {
 	// The cache is invalidated whenever a traversal observes staleness.
 	CacheRoot bool
 
+	// NodeCache is the capacity, in nodes, of the client-side
+	// version-validated cache of decoded internal nodes (0 disables it,
+	// leaving the read path identical to an uncached client). Entries are
+	// lease-fresh for one HeartbeatInv after validation — the same
+	// bounded-staleness contract as CacheRoot — and past the lease are
+	// revalidated with a version-only read (an eighth of a chunk) before
+	// being trusted. See internal/nodecache.
+	NodeCache int
+
 	// MaxRestarts bounds full-search restarts after structural staleness
 	// (default 8); MaxChunkRetries bounds per-chunk torn-read retries
 	// (default 64).
@@ -110,6 +120,14 @@ type Stats struct {
 	NodesFetched    uint64 // RDMA Reads issued for traversal
 	HeartbeatsSeen  uint64
 	RootCacheHits   uint64 // traversals served from the cached root
+
+	// Node-cache counters (see internal/nodecache).
+	VersionReads      uint64 // version-only revalidation reads issued
+	CacheHits         uint64 // nodes served lease-fresh, zero network
+	CacheVerifiedHits uint64 // nodes served after fingerprint revalidation
+	CacheMisses       uint64
+	CacheEvictions    uint64 // entries displaced by capacity pressure
+	CacheBytesSaved   uint64 // network bytes avoided vs. always-full-fetch
 }
 
 // Client is one Catfish client (the paper runs up to 32 per machine).
@@ -125,13 +143,19 @@ type Client struct {
 
 	// rootCache holds the last consistent root image (CacheRoot);
 	// rootVerSeen is the root version last observed in the heartbeat
-	// mailbox's second word, used for lease-like invalidation.
+	// mailbox's second word, used for lease-like invalidation of both
+	// rootCache and ncache.
 	rootCache   *rtree.Node
 	rootVerSeen uint64
+
+	// ncache is the bounded version-validated cache of decoded internal
+	// nodes (nil when Config.NodeCache is 0: every lookup misses).
+	ncache *nodecache.Cache
 
 	encBuf  []byte
 	payload []byte
 	node    rtree.Node
+	nodeVer uint64 // region version of the chunk last decoded into node
 
 	stats Stats
 }
@@ -164,6 +188,10 @@ func New(cfg Config) (*Client, error) {
 		}
 	}
 	c := &Client{cfg: cfg, ep: cfg.Endpoint}
+	if cfg.NodeCache > 0 && cfg.Endpoint.RegionVers != nil {
+		c.ncache = nodecache.New(cfg.NodeCache, cfg.HeartbeatInv,
+			cfg.Endpoint.ChunkSize, cfg.Endpoint.RegionVers.VersionsSize())
+	}
 	c.sw = adaptive.New(adaptive.Config{
 		N:             cfg.N,
 		T:             cfg.T,
@@ -177,6 +205,12 @@ func New(cfg Config) (*Client, error) {
 func (c *Client) Stats() Stats {
 	out := c.stats
 	out.HeartbeatsSeen = c.sw.HeartbeatsSeen
+	ns := c.ncache.Stats()
+	out.CacheHits = ns.Hits
+	out.CacheVerifiedHits = ns.VerifiedHits
+	out.CacheMisses = ns.Misses
+	out.CacheEvictions = ns.Evictions
+	out.CacheBytesSaved = ns.BytesSaved
 	return out
 }
 

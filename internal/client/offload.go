@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/nodecache"
 	"github.com/catfish-db/catfish/internal/region"
 	"github.com/catfish-db/catfish/internal/rtree"
 	"github.com/catfish-db/catfish/internal/sim"
@@ -34,27 +35,38 @@ func (c *Client) searchOffload(p *sim.Proc, q geo.Rect) ([]wire.Item, error) {
 		if !errors.Is(err, errStale) {
 			return nil, err
 		}
-		// The tree changed shape under us: drop the cached root too.
+		// The tree changed shape under us: drop the cached root and flush
+		// the node cache — the stale entry's ancestors are unknown, so the
+		// full flush conservatively covers them all.
 		c.rootCache = nil
+		c.ncache.Flush()
 		c.stats.StaleRestarts++
 	}
 	return nil, ErrGaveUp
 }
 
-// cachedRoot returns the cached root node when root caching is enabled,
-// refreshing it with one validated read when absent or when the heartbeat
-// mailbox's root version shows the root was rewritten since the cache was
-// filled. Staleness is therefore bounded by one heartbeat interval —
-// lease-like semantics in the spirit of the Cell B-tree store the paper
-// cites; CacheRoot without server heartbeats has unbounded staleness and
-// should not be used with concurrent writers.
-func (c *Client) cachedRoot(p *sim.Proc) (*rtree.Node, error) {
-	if !c.cfg.CacheRoot {
-		return nil, nil
-	}
+// syncLease applies the heartbeat mailbox's root-version word to both
+// client-side caches: a changed root version drops the cached root and
+// demotes every node-cache entry to the revalidation tier. The word is
+// refreshed every heartbeat interval, so cache staleness is bounded by
+// one heartbeat — lease-like semantics in the spirit of the Cell B-tree
+// store the paper cites. Without server heartbeats the root cache has
+// unbounded staleness; the node cache stays sound because its lease also
+// expires on the clock (see nodecache).
+func (c *Client) syncLease() {
 	if ver := c.heartbeatRootVersion(); ver != c.rootVerSeen {
 		c.rootVerSeen = ver
 		c.rootCache = nil
+		c.ncache.DemoteAll()
+	}
+}
+
+// cachedRoot returns the cached root node when root caching is enabled,
+// refreshing it with one validated read when absent (syncLease has
+// already applied heartbeat invalidation).
+func (c *Client) cachedRoot(p *sim.Proc) (*rtree.Node, error) {
+	if !c.cfg.CacheRoot {
+		return nil, nil
 	}
 	if c.rootCache != nil {
 		c.stats.RootCacheHits++
@@ -76,14 +88,67 @@ func (c *Client) cachedRoot(p *sim.Proc) (*rtree.Node, error) {
 	return root, nil
 }
 
+// nodeRef identifies a node awaiting traversal: its chunk and the level
+// the parent says it should decode to (-1 for the root, whose level the
+// client learns as the tree grows).
+type nodeRef struct {
+	id    int
+	level int
+}
+
+// rootFrontier resolves the start of an offloaded traversal, shared by the
+// single-issue and multi-issue paths. With a usable cached root, its
+// query-intersecting children form the initial frontier (a leaf root
+// answers the query outright: items are collected and the frontier stays
+// empty); otherwise the frontier is the root chunk itself, fetched by the
+// traversal like any other node.
+func (c *Client) rootFrontier(p *sim.Proc, q geo.Rect) ([]wire.Item, []nodeRef, error) {
+	root, err := c.cachedRoot(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if root == nil {
+		return nil, []nodeRef{{id: c.ep.RootChunk, level: -1}}, nil
+	}
+	if root.IsLeaf() {
+		return collectLeaf(root, q, nil), nil, nil
+	}
+	var frontier []nodeRef
+	for _, e := range root.Entries {
+		if q.Intersects(e.Rect) {
+			frontier = append(frontier, nodeRef{id: int(e.Ref), level: root.Level - 1})
+		}
+	}
+	return nil, frontier, nil
+}
+
+// collectLeaf appends the leaf's query-matching entries to items.
+func collectLeaf(n *rtree.Node, q geo.Rect, items []wire.Item) []wire.Item {
+	for _, e := range n.Entries {
+		if q.Intersects(e.Rect) {
+			items = append(items, wire.Item{Rect: e.Rect, Ref: e.Ref})
+		}
+	}
+	return items
+}
+
 // errStale signals that the traversal observed a structurally inconsistent
 // node and must restart from the root.
 var errStale = errors.New("client: stale node during offloaded traversal")
 
+// chargeTraversal accounts the client-side work of examining one node
+// (decode + intersection checks).
+func (c *Client) chargeTraversal(p *sim.Proc) {
+	if cpu := c.cfg.Host.CPU(); cpu != nil {
+		cpu.Run(p, c.cfg.Cost.ClientTraversalDemand(1))
+	}
+}
+
 // fetchChunk reads chunk id with validation and decodes it into c.node,
 // retrying torn reads up to the configured budget. expectLevel >= 0 asserts
 // the node's level (-1 skips the check, used for the root whose level the
-// client learns as the tree grows).
+// client learns as the tree grows). The observed chunk version is left in
+// c.nodeVer for cache population.
 func (c *Client) fetchChunk(p *sim.Proc, id int, expectLevel int) error {
 	qp := c.ep.DataQP
 	for retry := 0; retry <= c.cfg.MaxChunkRetries; retry++ {
@@ -92,7 +157,7 @@ func (c *Client) fetchChunk(p *sim.Proc, id int, expectLevel int) error {
 		if err != nil {
 			return fmt.Errorf("client: chunk %d read: %w", id, err)
 		}
-		payload, _, derr := region.DecodeChunk(raw, c.payload)
+		payload, ver, derr := region.DecodeChunk(raw, c.payload)
 		if derr != nil {
 			if errors.Is(derr, region.ErrTornRead) {
 				c.stats.TornRetries++
@@ -109,61 +174,100 @@ func (c *Client) fetchChunk(p *sim.Proc, id int, expectLevel int) error {
 		if expectLevel >= 0 && c.node.Level != expectLevel {
 			return errStale
 		}
-		// Client-side traversal work (decode + intersection checks).
-		if cpu := c.cfg.Host.CPU(); cpu != nil {
-			cpu.Run(p, c.cfg.Cost.ClientTraversalDemand(1))
-		}
+		c.nodeVer = ver
+		c.chargeTraversal(p)
 		return nil
 	}
 	return ErrGaveUp
 }
 
-// traverseSingleIssue is the FaRM-style baseline: a breadth-first walk
-// fetching one node per RDMA Read round trip.
-func (c *Client) traverseSingleIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error) {
-	type ref struct {
-		id    int
-		level int
+// readVersions performs a version-only read of chunk id (an eighth of a
+// full chunk for the default geometry) and returns its fingerprint, or
+// region.ErrTornRead when a writer is mid-publish.
+func (c *Client) readVersions(p *sim.Proc, id int) (uint64, error) {
+	c.stats.VersionReads++
+	rv := c.ep.RegionVers
+	raw, err := c.ep.DataQP.ReadSync(p, rv, rv.VersionsOffset(id), rv.VersionsSize())
+	if err != nil {
+		return 0, err
 	}
-	var items []wire.Item
-	var stack []ref
-	if root, err := c.cachedRoot(p); err != nil {
-		return nil, err
-	} else if root != nil {
-		if root.IsLeaf() {
-			for _, e := range root.Entries {
-				if q.Intersects(e.Rect) {
-					items = append(items, wire.Item{Rect: e.Rect, Ref: e.Ref})
+	return region.DecodeVersions(raw)
+}
+
+// cachePut retains the node just decoded into c.node when it is internal
+// (leaves absorb every insert and would thrash the cache). The cache gets
+// its own copy: c.node's entry slice is a reused decode buffer.
+func (c *Client) cachePut(p *sim.Proc, id int) {
+	if c.ncache == nil || c.node.IsLeaf() {
+		return
+	}
+	n := &rtree.Node{
+		Level:   c.node.Level,
+		Entries: append([]rtree.Entry(nil), c.node.Entries...),
+	}
+	c.ncache.Put(id, n, c.nodeVer, p.Now())
+}
+
+// lookupNode resolves one traversal step through the node cache: a
+// lease-fresh entry is served with zero network, a demoted entry is
+// revalidated with a version-only read, and a miss (or failed
+// revalidation) falls back to a full validated fetch that repopulates the
+// cache. The returned node is valid until the next lookupNode call.
+func (c *Client) lookupNode(p *sim.Proc, r nodeRef) (*rtree.Node, error) {
+	if c.ncache != nil {
+		switch v, out := c.ncache.Lookup(r.id, p.Now()); out {
+		case nodecache.Fresh:
+			n := v.(*rtree.Node)
+			if r.level >= 0 && n.Level != r.level {
+				c.ncache.Evict(r.id)
+				return nil, errStale
+			}
+			c.chargeTraversal(p)
+			return n, nil
+		case nodecache.Verify:
+			if ver, err := c.readVersions(p, r.id); err == nil {
+				if v, ok := c.ncache.Confirm(r.id, ver, p.Now()); ok {
+					n := v.(*rtree.Node)
+					if r.level >= 0 && n.Level != r.level {
+						c.ncache.Evict(r.id)
+						return nil, errStale
+					}
+					c.chargeTraversal(p)
+					return n, nil
 				}
 			}
-			return items, nil
+			// Fingerprint torn or changed: fall through to a full fetch.
 		}
-		for _, e := range root.Entries {
-			if q.Intersects(e.Rect) {
-				stack = append(stack, ref{id: int(e.Ref), level: root.Level - 1})
-			}
-		}
-	} else {
-		stack = []ref{{id: c.ep.RootChunk, level: -1}}
+	}
+	if err := c.fetchChunk(p, r.id, r.level); err != nil {
+		return nil, err
+	}
+	c.cachePut(p, r.id)
+	return &c.node, nil
+}
+
+// traverseSingleIssue is the FaRM-style baseline: a depth-first walk
+// fetching one node per RDMA Read round trip (cache hits skip the trip).
+func (c *Client) traverseSingleIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error) {
+	c.syncLease()
+	items, stack, err := c.rootFrontier(p, q)
+	if err != nil {
+		return nil, err
 	}
 	for len(stack) > 0 {
 		r := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if err := c.fetchChunk(p, r.id, r.level); err != nil {
+		n, err := c.lookupNode(p, r)
+		if err != nil {
 			return nil, err
 		}
-		n := &c.node
 		if n.IsLeaf() {
-			for _, e := range n.Entries {
-				if q.Intersects(e.Rect) {
-					items = append(items, wire.Item{Rect: e.Rect, Ref: e.Ref})
-				}
-			}
+			items = collectLeaf(n, q, items)
 			continue
 		}
 		for _, e := range n.Entries {
 			if q.Intersects(e.Rect) {
-				stack = append(stack, ref{id: int(e.Ref), level: n.Level - 1})
+				stack = append(stack, nodeRef{id: int(e.Ref), level: n.Level - 1})
 			}
 		}
 	}
@@ -174,23 +278,33 @@ func (c *Client) traverseSingleIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, erro
 // for all intersecting children are posted at once; completions are
 // processed as they arrive, so the round trips of independent subtrees
 // overlap in a pipeline. The send-queue depth of the data QP bounds the
-// number of outstanding reads.
+// number of outstanding reads. Cache-fresh children are expanded
+// immediately without touching the network; demoted entries revalidate
+// with pipelined version-only reads, and only misses cost a full read.
 func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error) {
+	c.syncLease()
 	type pending struct {
-		id    int
-		level int
-		tries int
+		id     int
+		level  int
+		tries  int
+		verify bool // a version-only revalidation read
 	}
 	qp := c.ep.DataQP
-	var items []wire.Item
 	inflight := make(map[uint64]pending)
+	var stack []*rtree.Node // cache-served nodes awaiting expansion
 
 	issue := func(id, level, tries int) error {
 		c.tagSeq++
-		tag := c.tagSeq
-		inflight[tag] = pending{id: id, level: level, tries: tries}
+		inflight[c.tagSeq] = pending{id: id, level: level, tries: tries}
 		c.stats.NodesFetched++
-		return qp.Read(p, c.ep.RegionMem, c.ep.RegionMem.ChunkOffset(id), c.ep.ChunkSize, tag)
+		return qp.Read(p, c.ep.RegionMem, c.ep.RegionMem.ChunkOffset(id), c.ep.ChunkSize, c.tagSeq)
+	}
+	issueVerify := func(id, level int) error {
+		c.tagSeq++
+		inflight[c.tagSeq] = pending{id: id, level: level, verify: true}
+		c.stats.VersionReads++
+		rv := c.ep.RegionVers
+		return qp.Read(p, rv, rv.VersionsOffset(id), rv.VersionsSize(), c.tagSeq)
 	}
 	// Drain every outstanding completion before returning so a restart (or
 	// the next search) starts with an empty CQ.
@@ -202,28 +316,65 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 		return nil, err
 	}
 
-	if root, err := c.cachedRoot(p); err != nil {
-		return fail(err)
-	} else if root != nil {
-		if root.IsLeaf() {
-			for _, e := range root.Entries {
-				if q.Intersects(e.Rect) {
-					items = append(items, wire.Item{Rect: e.Rect, Ref: e.Ref})
-				}
-			}
-			return items, nil
-		}
-		for _, e := range root.Entries {
-			if q.Intersects(e.Rect) {
-				if err := issue(int(e.Ref), root.Level-1, 0); err != nil {
-					return fail(err)
-				}
-			}
-		}
-	} else if err := issue(c.ep.RootChunk, -1, 0); err != nil {
+	items, frontier, err := c.rootFrontier(p, q)
+	if err != nil {
 		return fail(err)
 	}
-	for len(inflight) > 0 {
+
+	// visit dispatches one child: cache-fresh nodes expand locally via the
+	// stack, demoted entries post a version-only read, misses post a full
+	// read.
+	visit := func(r nodeRef) error {
+		if c.ncache != nil {
+			switch v, out := c.ncache.Lookup(r.id, p.Now()); out {
+			case nodecache.Fresh:
+				n := v.(*rtree.Node)
+				if r.level >= 0 && n.Level != r.level {
+					c.ncache.Evict(r.id)
+					return errStale
+				}
+				stack = append(stack, n)
+				return nil
+			case nodecache.Verify:
+				return issueVerify(r.id, r.level)
+			}
+		}
+		return issue(r.id, r.level, 0)
+	}
+	// expand examines one consistent node: leaf entries fold into the
+	// result set, internal entries are dispatched.
+	expand := func(n *rtree.Node) error {
+		c.chargeTraversal(p)
+		if n.IsLeaf() {
+			items = collectLeaf(n, q, items)
+			return nil
+		}
+		for _, e := range n.Entries {
+			if q.Intersects(e.Rect) {
+				if err := visit(nodeRef{id: int(e.Ref), level: n.Level - 1}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	for _, r := range frontier {
+		if err := visit(r); err != nil {
+			return fail(err)
+		}
+	}
+	for len(stack) > 0 || len(inflight) > 0 {
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if err := expand(n); err != nil {
+				return fail(err)
+			}
+		}
+		if len(inflight) == 0 {
+			break
+		}
 		comp := qp.CQ().Pop(p)
 		ctx, ok := inflight[comp.Tag]
 		if !ok {
@@ -233,7 +384,25 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 		if comp.Err != nil {
 			return fail(fmt.Errorf("client: chunk %d read: %w", ctx.id, comp.Err))
 		}
-		payload, _, derr := region.DecodeChunk(comp.Data, c.payload)
+		if ctx.verify {
+			if ver, derr := region.DecodeVersions(comp.Data); derr == nil {
+				if v, ok := c.ncache.Confirm(ctx.id, ver, p.Now()); ok {
+					n := v.(*rtree.Node)
+					if ctx.level >= 0 && n.Level != ctx.level {
+						c.ncache.Evict(ctx.id)
+						return fail(errStale)
+					}
+					stack = append(stack, n)
+					continue
+				}
+			}
+			// Fingerprint torn or changed: pay for the full read.
+			if err := issue(ctx.id, ctx.level, 0); err != nil {
+				return fail(err)
+			}
+			continue
+		}
+		payload, ver, derr := region.DecodeChunk(comp.Data, c.payload)
 		if derr != nil {
 			if !errors.Is(derr, region.ErrTornRead) {
 				return fail(derr)
@@ -254,24 +423,10 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 		if ctx.level >= 0 && c.node.Level != ctx.level {
 			return fail(errStale)
 		}
-		if cpu := c.cfg.Host.CPU(); cpu != nil {
-			cpu.Run(p, c.cfg.Cost.ClientTraversalDemand(1))
-		}
-		n := &c.node
-		if n.IsLeaf() {
-			for _, e := range n.Entries {
-				if q.Intersects(e.Rect) {
-					items = append(items, wire.Item{Rect: e.Rect, Ref: e.Ref})
-				}
-			}
-			continue
-		}
-		for _, e := range n.Entries {
-			if q.Intersects(e.Rect) {
-				if err := issue(int(e.Ref), n.Level-1, 0); err != nil {
-					return fail(err)
-				}
-			}
+		c.nodeVer = ver
+		c.cachePut(p, ctx.id)
+		if err := expand(&c.node); err != nil {
+			return fail(err)
 		}
 	}
 	return items, nil

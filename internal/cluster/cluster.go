@@ -101,6 +101,10 @@ type Config struct {
 	// CacheRoot enables client-side root caching with heartbeat-versioned
 	// invalidation (extension; see client.Config.CacheRoot).
 	CacheRoot bool
+	// NodeCache is the per-client capacity (in nodes) of the version-
+	// validated internal-node cache on the offloading read path; 0 disables
+	// it (extension; see client.Config.NodeCache).
+	NodeCache int
 	// PredSmoothing enables the EWMA utilization predictor (extension;
 	// see client.Config.PredSmoothing).
 	PredSmoothing float64
@@ -140,7 +144,20 @@ type Result struct {
 	TornRetries     uint64
 	StaleRestarts   uint64
 	NodesFetched    uint64
-	ServerStats     server.Stats
+
+	// OffloadReadsPerSearch is NodesFetched divided by the number of
+	// offloaded searches — the mean one-sided chunk reads each offloaded
+	// traversal issued (lower is better; the node cache drives it down).
+	OffloadReadsPerSearch float64
+	// Node-cache aggregates over all clients (zero when disabled).
+	VersionReads    uint64
+	CacheHits       uint64
+	CacheVerified   uint64
+	CacheMisses     uint64
+	CacheEvictions  uint64
+	CacheBytesSaved uint64
+
+	ServerStats server.Stats
 }
 
 func (c *Config) applyDefaults() {
@@ -273,6 +290,7 @@ func Run(cfg Config) (Result, error) {
 			T:             cfg.T,
 			HeartbeatInv:  cfg.HeartbeatInv,
 			CacheRoot:     cfg.CacheRoot,
+			NodeCache:     cfg.NodeCache,
 			PredSmoothing: cfg.PredSmoothing,
 		}
 		if cfg.Scheme.TCP {
@@ -374,9 +392,18 @@ func Run(cfg Config) (Result, error) {
 		res.TornRetries += st.TornRetries
 		res.StaleRestarts += st.StaleRestarts
 		res.NodesFetched += st.NodesFetched
+		res.VersionReads += st.VersionReads
+		res.CacheHits += st.CacheHits
+		res.CacheVerified += st.CacheVerifiedHits
+		res.CacheMisses += st.CacheMisses
+		res.CacheEvictions += st.CacheEvictions
+		res.CacheBytesSaved += st.CacheBytesSaved
 	}
 	if fast+off > 0 {
 		res.OffloadFraction = float64(off) / float64(fast+off)
+	}
+	if off > 0 {
+		res.OffloadReadsPerSearch = float64(res.NodesFetched) / float64(off)
 	}
 	return res, nil
 }

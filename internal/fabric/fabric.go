@@ -196,3 +196,40 @@ func (m *RegionMemory) ReadAt(off int, dst []byte) error {
 }
 
 var _ Readable = (*RegionMemory)(nil)
+
+// RegionVersions adapts a region's per-cacheline version words as an
+// RDMA-readable source: reads must cover exactly one chunk's version
+// vector (region.VersionsSize bytes — 512 B for the default geometry).
+// This is the wire footprint of the node cache's revalidation reads; on
+// hardware it corresponds to a gather of the version words, which the
+// paper's register-once layout makes addressable like any other bytes.
+type RegionVersions struct {
+	host *Host
+	reg  *region.Region
+}
+
+// RegisterRegionVersions registers the version view of reg on the host.
+func (h *Host) RegisterRegionVersions(reg *region.Region) *RegionVersions {
+	return &RegionVersions{host: h, reg: reg}
+}
+
+// Host returns the owning host.
+func (m *RegionVersions) Host() *Host { return m.host }
+
+// VersionsSize returns the bytes of one chunk's version vector.
+func (m *RegionVersions) VersionsSize() int { return m.reg.VersionsSize() }
+
+// VersionsOffset returns the offset of chunk id's version vector.
+func (m *RegionVersions) VersionsOffset(id int) int { return id * m.reg.VersionsSize() }
+
+// ReadAt implements Readable; the read must cover exactly one chunk's
+// version vector.
+func (m *RegionVersions) ReadAt(off int, dst []byte) error {
+	vs := m.reg.VersionsSize()
+	if off%vs != 0 || len(dst) != vs {
+		return fmt.Errorf("%w: off %d len %d", ErrNotAligned, off, len(dst))
+	}
+	return m.reg.ReadVersions(off/vs, dst)
+}
+
+var _ Readable = (*RegionVersions)(nil)

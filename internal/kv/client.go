@@ -11,6 +11,7 @@ import (
 	"github.com/catfish-db/catfish/internal/btree"
 	"github.com/catfish-db/catfish/internal/fabric"
 	"github.com/catfish-db/catfish/internal/netmodel"
+	"github.com/catfish-db/catfish/internal/nodecache"
 	"github.com/catfish-db/catfish/internal/sim"
 	"github.com/catfish-db/catfish/internal/wire"
 )
@@ -45,6 +46,12 @@ type ClientConfig struct {
 	T             float64
 	HeartbeatInv  time.Duration
 	PredSmoothing float64
+
+	// NodeCache is the capacity (in nodes) of the client-side cache of
+	// internal B+-tree nodes used by the offloaded read path; 0 disables
+	// it. Entries are lease-fresh for one HeartbeatInv after validation
+	// and revalidated by version-only reads afterwards.
+	NodeCache int
 }
 
 // ClientStats counts client events.
@@ -56,6 +63,14 @@ type ClientStats struct {
 	TornRetries    uint64
 	StaleRestarts  uint64
 	HeartbeatsSeen uint64
+
+	// Node-cache counters (all zero when the cache is disabled).
+	VersionReads      uint64
+	CacheHits         uint64
+	CacheVerifiedHits uint64
+	CacheMisses       uint64
+	CacheEvictions    uint64
+	CacheBytesSaved   uint64
 }
 
 // Client is one key-value client: writes travel by fast messaging (the
@@ -67,6 +82,9 @@ type Client struct {
 	sw     *adaptive.Switch
 	reader *btree.Reader
 	proc   *sim.Proc // bound during reader fetches
+
+	ncache    *nodecache.Cache
+	hbRootVer uint64 // root version last observed in the heartbeat mailbox
 
 	reqID  uint64
 	encBuf []byte
@@ -93,6 +111,18 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		RootChunk:  cfg.Endpoint.RootChunk,
 		MaxEntries: cfg.Endpoint.MaxEntries,
 	}
+	if cfg.NodeCache > 0 && cfg.Endpoint.RegionVers != nil {
+		c.ncache = nodecache.New(cfg.NodeCache, cfg.HeartbeatInv,
+			cfg.Endpoint.ChunkSize, cfg.Endpoint.RegionVers.VersionsSize())
+		c.reader.Cache = c.ncache
+		c.reader.FetchVersions = c.fetchVersions
+		c.reader.Now = func() time.Duration { return c.proc.Now() }
+		c.reader.Charge = func() {
+			if cpu := c.cfg.Host.CPU(); cpu != nil {
+				cpu.Run(c.proc, c.cfg.Cost.ClientTraversalDemand(1))
+			}
+		}
+	}
 	return c, nil
 }
 
@@ -102,6 +132,13 @@ func (c *Client) Stats() ClientStats {
 	out.HeartbeatsSeen = c.sw.HeartbeatsSeen
 	out.TornRetries = c.reader.TornRetries
 	out.StaleRestarts = c.reader.StaleRestarts
+	out.VersionReads = c.reader.VersionReads
+	ns := c.ncache.Stats()
+	out.CacheHits = ns.Hits
+	out.CacheVerifiedHits = ns.VerifiedHits
+	out.CacheMisses = ns.Misses
+	out.CacheEvictions = ns.Evictions
+	out.CacheBytesSaved = ns.BytesSaved
 	return out
 }
 
@@ -129,6 +166,30 @@ func (c *Client) readHeartbeat() float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(c.ep.HeartbeatM.Bytes()))
 }
 
+// fetchVersions is the btree.Reader revalidation hook: a version-only
+// one-sided read of a chunk's cacheline version words.
+func (c *Client) fetchVersions(id int) ([]byte, error) {
+	rv := c.ep.RegionVers
+	return c.ep.DataQP.ReadSync(c.proc, rv, rv.VersionsOffset(id), rv.VersionsSize())
+}
+
+// syncLease demotes every cached node to the Verify tier whenever the
+// heartbeat mailbox shows a root version we have not seen: the tree grew (or
+// shrank) a level, so leases issued before the change are suspect.
+func (c *Client) syncLease() {
+	if c.ncache == nil {
+		return
+	}
+	b := c.ep.HeartbeatM.Bytes()
+	if len(b) < 16 {
+		return
+	}
+	if ver := binary.LittleEndian.Uint64(b[8:16]); ver != c.hbRootVer {
+		c.hbRootVer = ver
+		c.ncache.DemoteAll()
+	}
+}
+
 func (c *Client) clearHeartbeat() {
 	b := c.ep.HeartbeatM.Bytes()
 	for i := 0; i < 8 && i < len(b); i++ {
@@ -154,6 +215,7 @@ func (c *Client) Get(p *sim.Proc, key uint64) (uint64, Method, error) {
 		c.stats.OffloadReads++
 		c.proc = p
 		defer func() { c.proc = nil }()
+		c.syncLease()
 		val, err := c.reader.Get(key)
 		if errors.Is(err, btree.ErrNotFound) {
 			return 0, m, ErrNotFound
@@ -186,6 +248,7 @@ func (c *Client) Range(p *sim.Proc, from, to uint64, fn func(key, val uint64) bo
 		c.stats.OffloadReads++
 		c.proc = p
 		defer func() { c.proc = nil }()
+		c.syncLease()
 		return m, c.reader.Range(from, to, fn)
 	}
 	c.stats.FastReads++

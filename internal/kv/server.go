@@ -51,14 +51,15 @@ type ServerStats struct {
 // the R-tree server it is event-based: workers block on completion-queue
 // events and the CPU is work-conserving.
 type Server struct {
-	cfg       ServerConfig
-	e         *sim.Engine
-	tree      *btree.Tree
-	latch     *sim.RWLock
-	conns     []*conn
-	regionMem *fabric.RegionMemory
-	publishP  *sim.Proc
-	stats     ServerStats
+	cfg        ServerConfig
+	e          *sim.Engine
+	tree       *btree.Tree
+	latch      *sim.RWLock
+	conns      []*conn
+	regionMem  *fabric.RegionMemory
+	regionVers *fabric.RegionVersions
+	publishP   *sim.Proc
+	stats      ServerStats
 }
 
 type conn struct {
@@ -75,6 +76,7 @@ type Endpoint struct {
 	RespReader *ringbuf.Reader
 	DataQP     *fabric.QP
 	RegionMem  *fabric.RegionMemory
+	RegionVers *fabric.RegionVersions
 	HeartbeatM *fabric.Memory
 	RootChunk  int
 	ChunkSize  int
@@ -102,6 +104,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		latch: sim.NewRWLock(cfg.Engine),
 	}
 	s.regionMem = cfg.Host.RegisterRegion(cfg.Tree.Region())
+	s.regionVers = cfg.Host.RegisterRegionVersions(cfg.Tree.Region())
 	if cfg.StagedNodeWrites {
 		cfg.Tree.SetPublisher(s.stagedPublish)
 	}
@@ -144,6 +147,7 @@ func (s *Server) Connect(clientHost *fabric.Host, net *fabric.Network, dataSQDep
 		RespReader: respR,
 		DataQP:     dataQP,
 		RegionMem:  s.regionMem,
+		RegionVers: s.regionVers,
 		HeartbeatM: hbMem,
 		RootChunk:  s.tree.RootChunk(),
 		ChunkSize:  s.tree.Region().ChunkSize(),

@@ -313,6 +313,50 @@ func (r *Region) ReadChunkRaw(id int, dst []byte) error {
 	return nil
 }
 
+// VersionsSize returns the size in bytes of one chunk's version vector:
+// one VersionSize word per cacheline (512 B for the default 4 KB geometry,
+// an eighth of a full chunk).
+func (r *Region) VersionsSize() int { return r.lines * VersionSize }
+
+// ReadVersions copies only the per-cacheline version words of chunk id
+// into dst, which must be exactly VersionsSize long. This models the
+// version-only RDMA Read the node cache uses to revalidate an entry
+// without paying for the full chunk; like ReadChunkRaw it performs no
+// cross-line consistency validation (see DecodeVersions).
+func (r *Region) ReadVersions(id int, dst []byte) error {
+	if err := r.checkID(id); err != nil {
+		return err
+	}
+	if len(dst) != r.VersionsSize() {
+		return ErrSizeMismatch
+	}
+	for l := 0; l < r.lines; l++ {
+		v := atomic.LoadUint64(&r.words[r.lineBase(id, l)])
+		binary.LittleEndian.PutUint64(dst[l*VersionSize:], v)
+	}
+	return nil
+}
+
+// DecodeVersions validates a raw version vector (as read by ReadVersions)
+// and returns the chunk's version fingerprint. It returns ErrTornRead when
+// the lines disagree or a write was in progress — the caller then falls
+// back to a full validated chunk read.
+func DecodeVersions(raw []byte) (uint64, error) {
+	if len(raw) == 0 || len(raw)%VersionSize != 0 {
+		return 0, ErrSizeMismatch
+	}
+	version := binary.LittleEndian.Uint64(raw)
+	if version&1 != 0 {
+		return version, ErrTornRead
+	}
+	for off := VersionSize; off < len(raw); off += VersionSize {
+		if binary.LittleEndian.Uint64(raw[off:]) != version {
+			return version, ErrTornRead
+		}
+	}
+	return version, nil
+}
+
 // DecodeChunk validates the version consistency of a raw chunk image and,
 // when consistent, writes the payload bytes into dst (reusing its capacity)
 // and returns the payload and the observed version. It returns ErrTornRead

@@ -1,0 +1,94 @@
+package region
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestReadVersionsMatchesChunkVersion(t *testing.T) {
+	r, err := New(4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.VersionsSize(), 4096/CacheLine*VersionSize; got != want {
+		t.Fatalf("VersionsSize = %d, want %d", got, want)
+	}
+	if err := r.WriteChunk(1, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteChunk(1, []byte("payload2")); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, r.VersionsSize())
+	if err := r.ReadVersions(1, raw); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := DecodeVersions(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver, err := r.Version(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != ver {
+		t.Fatalf("fingerprint %d != chunk version %d", fp, ver)
+	}
+
+	// The fingerprint must match what a full validated read observes.
+	chunk := make([]byte, r.ChunkSize())
+	_, fullVer, err := r.ReadChunk(1, chunk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != fullVer {
+		t.Fatalf("fingerprint %d != DecodeChunk version %d", fp, fullVer)
+	}
+}
+
+func TestReadVersionsErrors(t *testing.T) {
+	r, err := New(2, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReadVersions(-1, make([]byte, r.VersionsSize())); !errors.Is(err, ErrBadChunk) {
+		t.Fatalf("bad id err = %v", err)
+	}
+	if err := r.ReadVersions(0, make([]byte, 8)); !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("short dst err = %v", err)
+	}
+	if _, err := DecodeVersions(nil); !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("empty raw err = %v", err)
+	}
+	if _, err := DecodeVersions(make([]byte, 12)); !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("ragged raw err = %v", err)
+	}
+}
+
+func TestDecodeVersionsDetectsTornWindow(t *testing.T) {
+	r, err := New(2, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteChunk(0, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	w, err := r.BeginWrite(0, []byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, r.VersionsSize())
+	if err := r.ReadVersions(0, raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, derr := DecodeVersions(raw); !errors.Is(derr, ErrTornRead) {
+		t.Fatalf("mid-write DecodeVersions err = %v, want ErrTornRead", derr)
+	}
+	w.Finish()
+	if err := r.ReadVersions(0, raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, derr := DecodeVersions(raw); derr != nil {
+		t.Fatalf("post-write DecodeVersions err = %v", derr)
+	}
+}

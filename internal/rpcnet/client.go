@@ -12,6 +12,7 @@ import (
 
 	"github.com/catfish-db/catfish/internal/adaptive"
 	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/nodecache"
 	"github.com/catfish-db/catfish/internal/region"
 	"github.com/catfish-db/catfish/internal/rtree"
 	"github.com/catfish-db/catfish/internal/wire"
@@ -49,6 +50,12 @@ type ClientConfig struct {
 	MaxChunkRetries int
 	// Seed drives the back-off randomness.
 	Seed int64
+	// NodeCache is the capacity, in nodes, of the client-side
+	// version-validated cache of decoded internal nodes (0 disables it).
+	// Entries are lease-fresh for one heartbeat interval; past the lease
+	// they are revalidated with a READ_VERSIONS round trip (an eighth of
+	// a chunk) before being trusted. See internal/nodecache.
+	NodeCache int
 }
 
 // ClientStats counts client events.
@@ -59,6 +66,14 @@ type ClientStats struct {
 	StaleRestarts   uint64
 	ChunksFetched   uint64
 	HeartbeatsSeen  uint64
+
+	// Node-cache counters (see internal/nodecache).
+	VersionReads      uint64 // READ_VERSIONS revalidation round trips
+	CacheHits         uint64 // nodes served lease-fresh, zero network
+	CacheVerifiedHits uint64 // nodes served after fingerprint revalidation
+	CacheMisses       uint64
+	CacheEvictions    uint64
+	CacheBytesSaved   uint64
 }
 
 // Client is a Catfish client over real TCP. It is safe for use by one
@@ -82,6 +97,12 @@ type Client struct {
 	heartbeat atomic.Uint64 // float64 bits
 	start     time.Time
 	sw        *adaptive.Switch
+
+	// ncache is the version-validated internal-node cache (nil when
+	// disabled); rootVer tracks the heartbeat's root version so a root
+	// rewrite demotes every entry within one heartbeat.
+	ncache  *nodecache.Cache
+	rootVer atomic.Uint64
 
 	cfg   ClientConfig
 	stats ClientStats
@@ -126,6 +147,12 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		return nil, err
 	}
 	c.hello = hello
+	if cfg.NodeCache > 0 {
+		versionsSize := int(hello.ChunkSize) / region.CacheLine * region.VersionSize
+		c.ncache = nodecache.New(cfg.NodeCache,
+			time.Duration(hello.HeartbeatMs)*time.Millisecond,
+			int(hello.ChunkSize), versionsSize)
+	}
 	c.sw = adaptive.New(adaptive.Config{
 		N:   cfg.N,
 		T:   cfg.T,
@@ -144,6 +171,7 @@ func (c *Client) Close() error {
 
 // Stats returns a snapshot of the counters.
 func (c *Client) Stats() ClientStats {
+	ns := c.ncache.Stats()
 	return ClientStats{
 		FastSearches:    atomic.LoadUint64(&c.stats.FastSearches),
 		OffloadSearches: atomic.LoadUint64(&c.stats.OffloadSearches),
@@ -151,6 +179,13 @@ func (c *Client) Stats() ClientStats {
 		StaleRestarts:   atomic.LoadUint64(&c.stats.StaleRestarts),
 		ChunksFetched:   atomic.LoadUint64(&c.stats.ChunksFetched),
 		HeartbeatsSeen:  atomic.LoadUint64(&c.stats.HeartbeatsSeen),
+
+		VersionReads:      atomic.LoadUint64(&c.stats.VersionReads),
+		CacheHits:         ns.Hits,
+		CacheVerifiedHits: ns.VerifiedHits,
+		CacheMisses:       ns.Misses,
+		CacheEvictions:    ns.Evictions,
+		CacheBytesSaved:   ns.BytesSaved,
 	}
 }
 
@@ -182,6 +217,11 @@ func (c *Client) readLoop() {
 			if hb, err := wire.DecodeHeartbeat(frame); err == nil {
 				c.heartbeat.Store(floatBits(hb.Util))
 				atomic.AddUint64(&c.stats.HeartbeatsSeen, 1)
+				// A root rewrite demotes every cached node to the
+				// revalidation tier within one heartbeat.
+				if old := c.rootVer.Swap(hb.RootVer); old != hb.RootVer {
+					c.ncache.DemoteAll()
+				}
 			}
 		case wire.MsgResponse:
 			if resp, err := wire.DecodeResponse(frame); err == nil {
@@ -190,6 +230,10 @@ func (c *Client) readLoop() {
 		case wire.MsgChunkData:
 			if cd, err := wire.DecodeChunkData(frame); err == nil {
 				c.deliver(cd.ID, frame)
+			}
+		case wire.MsgVersionData:
+			if vd, err := wire.DecodeVersionData(frame); err == nil {
+				c.deliver(vd.ID, frame)
 			}
 		}
 	}
@@ -352,8 +396,15 @@ func (c *Client) decide() Method {
 }
 
 // fetchChunk reads one chunk with version validation and decodes it,
-// retrying torn reads.
+// retrying torn reads. The node cache is consulted first: a lease-fresh
+// entry costs zero network, a demoted entry is revalidated with a
+// READ_VERSIONS round trip, and only a miss pays for the full chunk.
 func (c *Client) fetchChunk(id int, expectLevel int, node *rtree.Node) error {
+	if c.ncache != nil {
+		if cached, err := c.fetchCached(id, expectLevel, node); cached || err != nil {
+			return err
+		}
+	}
 	for retry := 0; retry <= c.cfg.MaxChunkRetries; retry++ {
 		atomic.AddUint64(&c.stats.ChunksFetched, 1)
 		tag := c.reqID.Add(1)
@@ -368,7 +419,7 @@ func (c *Client) fetchChunk(id int, expectLevel int, node *rtree.Node) error {
 		if cd.Status != wire.StatusOK {
 			return fmt.Errorf("%w: chunk %d status %d", ErrServer, id, cd.Status)
 		}
-		payload, _, derr := region.DecodeChunk(cd.Raw, nil)
+		payload, ver, derr := region.DecodeChunk(cd.Raw, nil)
 		if derr != nil {
 			if errors.Is(derr, region.ErrTornRead) {
 				atomic.AddUint64(&c.stats.TornRetries, 1)
@@ -382,9 +433,69 @@ func (c *Client) fetchChunk(id int, expectLevel int, node *rtree.Node) error {
 		if expectLevel >= 0 && node.Level != expectLevel {
 			return errStale
 		}
+		if c.ncache != nil && !node.IsLeaf() {
+			cp := &rtree.Node{
+				Level:   node.Level,
+				Entries: append([]rtree.Entry(nil), node.Entries...),
+			}
+			c.ncache.Put(id, cp, ver, time.Since(c.start))
+		}
 		return nil
 	}
 	return ErrGaveUp
+}
+
+// fetchCached tries to serve chunk id from the node cache, reporting
+// whether it did. Cached nodes are copied out: the cached image is shared
+// read-only across the multi-issue goroutines.
+func (c *Client) fetchCached(id int, expectLevel int, node *rtree.Node) (bool, error) {
+	copyOut := func(v any) (bool, error) {
+		n := v.(*rtree.Node)
+		if expectLevel >= 0 && n.Level != expectLevel {
+			c.ncache.Evict(id)
+			return false, errStale
+		}
+		node.Level = n.Level
+		node.Entries = append(node.Entries[:0], n.Entries...)
+		return true, nil
+	}
+	switch v, out := c.ncache.Lookup(id, time.Since(c.start)); out {
+	case nodecache.Fresh:
+		return copyOut(v)
+	case nodecache.Verify:
+		ver, err := c.fetchVersions(id)
+		if err != nil {
+			// Transport errors surface; a torn fingerprint just falls
+			// back to the full validated fetch.
+			if errors.Is(err, region.ErrTornRead) {
+				return false, nil
+			}
+			return false, err
+		}
+		if v, ok := c.ncache.Confirm(id, ver, time.Since(c.start)); ok {
+			return copyOut(v)
+		}
+	}
+	return false, nil
+}
+
+// fetchVersions performs a READ_VERSIONS round trip for chunk id and
+// returns its version fingerprint.
+func (c *Client) fetchVersions(id int) (uint64, error) {
+	atomic.AddUint64(&c.stats.VersionReads, 1)
+	tag := c.reqID.Add(1)
+	frame, err := c.call(tag, wire.ReadVersions{ID: tag, Chunk: uint32(id)}.Encode(nil))
+	if err != nil {
+		return 0, err
+	}
+	vd, err := wire.DecodeVersionData(frame)
+	if err != nil {
+		return 0, err
+	}
+	if vd.Status != wire.StatusOK {
+		return 0, fmt.Errorf("%w: versions %d status %d", ErrServer, id, vd.Status)
+	}
+	return region.DecodeVersions(vd.Versions)
 }
 
 var errStale = errors.New("rpcnet: stale node during traversal")
@@ -400,6 +511,9 @@ func (c *Client) searchOffload(q geo.Rect) ([]wire.Item, error) {
 		if !errors.Is(err, errStale) {
 			return nil, err
 		}
+		// Conservative: the stale entry's ancestors are unknown, so drop
+		// the whole cache before retrying.
+		c.ncache.Flush()
 		atomic.AddUint64(&c.stats.StaleRestarts, 1)
 	}
 	return nil, ErrGaveUp

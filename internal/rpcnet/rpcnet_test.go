@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -279,6 +280,149 @@ func TestAdaptiveOffloadsOverRealTCP(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatalf("adaptive client never mixed paths: %+v", c.Stats())
+}
+
+func TestNodeCacheOverTCP(t *testing.T) {
+	// Without heartbeats the cache lease is zero, so every hit must
+	// revalidate through a READ_VERSIONS round trip: results stay equal to
+	// the oracle while full chunk fetches drop.
+	srv, tree := startServer(t, 5000, ServerConfig{})
+	plain := dial(t, srv, ClientConfig{Forced: MethodOffload, MultiIssue: true})
+	cached := dial(t, srv, ClientConfig{Forced: MethodOffload, MultiIssue: true, NodeCache: 256})
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 25; i++ {
+		q := randRect(rng, 0.05)
+		want, _, err := tree.SearchCollect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range []*Client{plain, cached} {
+			items, _, err := c.Search(q)
+			if err != nil {
+				t.Fatalf("query %d: %v", i, err)
+			}
+			if len(items) != len(want) {
+				t.Fatalf("query %d: got %d items, want %d", i, len(items), len(want))
+			}
+		}
+	}
+	ps, cs := plain.Stats(), cached.Stats()
+	if cs.ChunksFetched >= ps.ChunksFetched {
+		t.Errorf("cached fetched %d chunks, plain %d — cache saved nothing",
+			cs.ChunksFetched, ps.ChunksFetched)
+	}
+	if cs.CacheVerifiedHits == 0 {
+		t.Error("zero-lease cache recorded no verified hits")
+	}
+	if srv.Stats().VersionReads == 0 {
+		t.Error("server answered no READ_VERSIONS requests")
+	}
+	t.Logf("plain=%d cached=%d chunks (verified=%d versionReads=%d saved=%dB)",
+		ps.ChunksFetched, cs.ChunksFetched, cs.CacheVerifiedHits, cs.VersionReads, cs.CacheBytesSaved)
+}
+
+func TestNodeCacheLeaseHitsOverTCP(t *testing.T) {
+	// With a long heartbeat interval the lease covers the whole test:
+	// repeated traversals must serve internal nodes with zero network.
+	srv, _ := startServer(t, 5000, ServerConfig{HeartbeatInterval: time.Second})
+	cached := dial(t, srv, ClientConfig{Forced: MethodOffload, MultiIssue: true, NodeCache: 256})
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 25; i++ {
+		if _, _, err := cached.Search(randRect(rng, 0.05)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cs := cached.Stats(); cs.CacheHits == 0 {
+		t.Errorf("no lease-fresh hits under a 1s heartbeat: %+v", cs)
+	}
+}
+
+// Cached readers race a writer over real sockets; every result must still be
+// query-consistent and the cache must stay coherent within one heartbeat.
+// Run with -race.
+func TestNodeCacheConcurrentWriterOverTCP(t *testing.T) {
+	srv, tree := startServer(t, 4000, ServerConfig{HeartbeatInterval: 2 * time.Millisecond})
+	stop := make(chan struct{})
+	errCh := make(chan error, 8)
+
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		c, err := Dial(srv.Addr().String(), ClientConfig{})
+		if err != nil {
+			errCh <- err
+			return
+		}
+		defer c.Close()
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := c.Insert(randRect(rng, 0.01), uint64(1_000_000+i)); err != nil {
+				select {
+				case <-stop:
+				default:
+					errCh <- err
+				}
+				return
+			}
+		}
+	}()
+
+	var cacheActivity atomic.Uint64
+	var readerWG sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		readerWG.Add(1)
+		seed := int64(g + 20)
+		go func() {
+			defer readerWG.Done()
+			c, err := Dial(srv.Addr().String(), ClientConfig{
+				Forced: MethodOffload, MultiIssue: true, Seed: seed, NodeCache: 128,
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 150; i++ {
+				q := randRect(rng, 0.05)
+				items, _, err := c.Search(q)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for _, it := range items {
+					if !q.Intersects(it.Rect) {
+						errCh <- errors.New("result does not intersect query")
+						return
+					}
+				}
+			}
+			st := c.Stats()
+			cacheActivity.Add(st.CacheHits + st.CacheVerifiedHits)
+		}()
+	}
+	readerWG.Wait()
+	close(stop)
+	writerWG.Wait()
+
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if cacheActivity.Load() == 0 {
+		t.Error("cached readers never hit the cache")
+	}
 }
 
 func TestHelloRootVersionEpoch(t *testing.T) {

@@ -94,6 +94,7 @@ type Server struct {
 	inserts   atomic.Uint64
 	deletes   atomic.Uint64
 	reads     atomic.Uint64
+	verReads  atomic.Uint64
 }
 
 type srvConn struct {
@@ -166,19 +167,21 @@ func (s *Server) Close() error {
 
 // ServerStats is a server counter snapshot.
 type ServerStats struct {
-	Searches   uint64
-	Inserts    uint64
-	Deletes    uint64
-	ChunkReads uint64
+	Searches     uint64
+	Inserts      uint64
+	Deletes      uint64
+	ChunkReads   uint64
+	VersionReads uint64
 }
 
 // Stats returns a snapshot of the op counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Searches:   s.searches.Load(),
-		Inserts:    s.inserts.Load(),
-		Deletes:    s.deletes.Load(),
-		ChunkReads: s.reads.Load(),
+		Searches:     s.searches.Load(),
+		Inserts:      s.inserts.Load(),
+		Deletes:      s.deletes.Load(),
+		ChunkReads:   s.reads.Load(),
+		VersionReads: s.verReads.Load(),
 	}
 }
 
@@ -230,6 +233,18 @@ func (s *Server) serveConn(sc *srvConn) {
 			if err := sc.send(out); err != nil {
 				return
 			}
+		case wire.MsgReadVersions:
+			// Version-only read: 8 B per cacheline instead of the full
+			// chunk, used by the client node cache to revalidate entries.
+			req, err := wire.DecodeReadVersions(frame)
+			if err != nil {
+				return
+			}
+			s.verReads.Add(1)
+			out = s.handleReadVersions(req, out[:0])
+			if err := sc.send(out); err != nil {
+				return
+			}
 		case wire.MsgSearch, wire.MsgInsert, wire.MsgDelete:
 			req, err := wire.DecodeRequest(frame)
 			if err != nil {
@@ -252,6 +267,18 @@ func (s *Server) handleReadChunk(req wire.ReadChunk, out []byte) []byte {
 		resp.Status = wire.StatusError
 	} else {
 		resp.Raw = raw
+	}
+	return resp.Encode(out)
+}
+
+func (s *Server) handleReadVersions(req wire.ReadVersions, out []byte) []byte {
+	reg := s.tree.Region()
+	raw := make([]byte, reg.VersionsSize())
+	resp := wire.VersionData{ID: req.ID, Status: wire.StatusOK}
+	if err := reg.ReadVersions(int(req.Chunk), raw); err != nil {
+		resp.Status = wire.StatusError
+	} else {
+		resp.Versions = raw
 	}
 	return resp.Encode(out)
 }
@@ -343,7 +370,11 @@ func (s *Server) heartbeatLoop() {
 		if util < 1e-6 {
 			util = 1e-6
 		}
-		payload := wire.Heartbeat{Util: util}.Encode(nil)
+		s.latch.RLock()
+		rootChunk := s.tree.RootChunk()
+		s.latch.RUnlock()
+		rootVer, _ := s.tree.Region().Version(rootChunk)
+		payload := wire.Heartbeat{Util: util, RootVer: rootVer}.Encode(nil)
 		s.mu.Lock()
 		for sc := range s.conns {
 			// Best effort; a dead connection is reaped by its reader.

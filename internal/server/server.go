@@ -90,8 +90,9 @@ type Server struct {
 	conns []*conn
 	stats Stats
 
-	regionMem *fabric.RegionMemory
-	publishP  *sim.Proc // process context for staged publishes
+	regionMem  *fabric.RegionMemory
+	regionVers *fabric.RegionVersions
+	publishP   *sim.Proc // process context for staged publishes
 }
 
 // conn is the server side of one client connection.
@@ -112,7 +113,8 @@ type Endpoint struct {
 	RespReader *ringbuf.Reader // server -> client responses
 	DataQP     *fabric.QP      // client endpoint for one-sided reads
 	RegionMem  *fabric.RegionMemory
-	HeartbeatM *fabric.Memory // client-local heartbeat mailbox
+	RegionVers *fabric.RegionVersions // version-only view for cache revalidation
+	HeartbeatM *fabric.Memory         // client-local heartbeat mailbox
 	RootChunk  int
 	ChunkSize  int
 	MaxEntries int
@@ -148,6 +150,7 @@ func New(cfg Config) (*Server, error) {
 		latch: sim.NewRWLock(cfg.Engine),
 	}
 	s.regionMem = cfg.Host.RegisterRegion(cfg.Tree.Region())
+	s.regionVers = cfg.Host.RegisterRegionVersions(cfg.Tree.Region())
 	if cfg.StagedNodeWrites {
 		cfg.Tree.SetPublisher(s.stagedPublish)
 	}
@@ -197,6 +200,7 @@ func (s *Server) Connect(clientHost *fabric.Host, net *fabric.Network, dataSQDep
 		RespReader: respR,
 		DataQP:     dataQP,
 		RegionMem:  s.regionMem,
+		RegionVers: s.regionVers,
 		HeartbeatM: hbMem,
 		RootChunk:  s.tree.RootChunk(),
 		ChunkSize:  s.tree.Region().ChunkSize(),

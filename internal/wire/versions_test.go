@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestReadVersionsRoundTrip(t *testing.T) {
+	buf := ReadVersions{ID: 77, Chunk: 1234}.Encode(nil)
+	typ, err := PeekType(buf)
+	if err != nil || typ != MsgReadVersions {
+		t.Fatalf("PeekType = %v, %v", typ, err)
+	}
+	got, err := DecodeReadVersions(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 77 || got.Chunk != 1234 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := DecodeReadVersions(buf[:4]); !errors.Is(err, ErrCorrupt) {
+		t.Error("short read-versions should fail")
+	}
+	if _, err := DecodeReadVersions(ReadChunk{}.Encode(nil)); !errors.Is(err, ErrCorrupt) {
+		t.Error("wrong type should fail")
+	}
+}
+
+func TestVersionDataRoundTrip(t *testing.T) {
+	versions := make([]byte, 512)
+	for i := range versions {
+		versions[i] = byte(i)
+	}
+	buf := VersionData{ID: 9, Status: StatusOK, Versions: versions}.Encode(nil)
+	typ, err := PeekType(buf)
+	if err != nil || typ != MsgVersionData {
+		t.Fatalf("PeekType = %v, %v", typ, err)
+	}
+	got, err := DecodeVersionData(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 9 || got.Status != StatusOK || !bytes.Equal(got.Versions, versions) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	// Empty payload (error replies) and truncation.
+	empty := VersionData{ID: 1, Status: StatusError}.Encode(nil)
+	if got, err := DecodeVersionData(empty); err != nil || len(got.Versions) != 0 {
+		t.Errorf("empty version-data = %+v, %v", got, err)
+	}
+	if _, err := DecodeVersionData(buf[:len(buf)-1]); !errors.Is(err, ErrCorrupt) {
+		t.Error("truncated version-data should fail")
+	}
+}
+
+func TestHeartbeatCarriesRootVersion(t *testing.T) {
+	buf := Heartbeat{Util: 0.25, RootVer: 4242}.Encode(nil)
+	got, err := DecodeHeartbeat(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Util != 0.25 || got.RootVer != 4242 {
+		t.Errorf("round trip = %+v", got)
+	}
+}

@@ -158,14 +158,18 @@ func DecodeResponse(b []byte) (Response, error) {
 	return r, nil
 }
 
-// Heartbeat carries the server's windowed CPU utilization (0..1), sent every
-// heartbeat interval to all connected clients (paper §IV-A).
+// Heartbeat carries the server's windowed CPU utilization (0..1) and the
+// root chunk's region version, sent every heartbeat interval to all
+// connected clients (paper §IV-A). The root version plays the same role
+// as the second word of the simulated heartbeat mailbox: it lets clients
+// invalidate cached tree nodes within one heartbeat of a root rewrite.
 type Heartbeat struct {
-	Util float64
+	Util    float64
+	RootVer uint64
 }
 
 // HeartbeatSize is the encoded size of a Heartbeat.
-const HeartbeatSize = 1 + 8
+const HeartbeatSize = 1 + 8 + 8
 
 // Encode appends the heartbeat encoding to buf and returns it.
 func (h Heartbeat) Encode(buf []byte) []byte {
@@ -174,6 +178,7 @@ func (h Heartbeat) Encode(buf []byte) []byte {
 	b := buf[off:]
 	b[0] = byte(MsgHeartbeat)
 	binary.LittleEndian.PutUint64(b[1:], math.Float64bits(h.Util))
+	binary.LittleEndian.PutUint64(b[9:], h.RootVer)
 	return buf
 }
 
@@ -182,7 +187,10 @@ func DecodeHeartbeat(b []byte) (Heartbeat, error) {
 	if len(b) < HeartbeatSize || MsgType(b[0]) != MsgHeartbeat {
 		return Heartbeat{}, fmt.Errorf("%w: heartbeat", ErrCorrupt)
 	}
-	return Heartbeat{Util: math.Float64frombits(binary.LittleEndian.Uint64(b[1:]))}, nil
+	return Heartbeat{
+		Util:    math.Float64frombits(binary.LittleEndian.Uint64(b[1:])),
+		RootVer: binary.LittleEndian.Uint64(b[9:]),
+	}, nil
 }
 
 // PeekType returns the type of an encoded message.
@@ -191,7 +199,7 @@ func PeekType(b []byte) (MsgType, error) {
 		return 0, ErrCorrupt
 	}
 	t := MsgType(b[0])
-	if t < MsgSearch || t > MsgKVResponse {
+	if t < MsgSearch || t > MsgVersionData {
 		return 0, fmt.Errorf("%w: type %d", ErrCorrupt, t)
 	}
 	return t, nil
