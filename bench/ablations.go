@@ -205,6 +205,44 @@ func AblationNodeCache(o Options) (*stats.Table, error) {
 	return table, nil
 }
 
+// AblationBatchSize sweeps the client batch size B under event-mode fast
+// messaging at 32 connections. B=1 is bit-for-bit the unbatched system;
+// larger batches amortize the per-request ring write, completion event,
+// latch acquisition, and fixed dispatch cost across the batch.
+func AblationBatchSize(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	cache := newCache(o)
+	tree, err := cache.uniformTree()
+	if err != nil {
+		return nil, err
+	}
+	clients := 32
+	if o.Quick {
+		clients = 8
+	}
+	table := stats.NewTable("B", "kops", "p50_us", "p99_us", "batches", "serverCPU%")
+	for _, b := range []int{1, 4, 16, 64} {
+		res, err := cluster.Run(cluster.Config{
+			Scheme:            cluster.SchemeFastEvent,
+			PrebuiltTree:      tree,
+			Workload:          searchMix(workload.UniformScale{Scale: 0.00001}),
+			NumClients:        clients,
+			RequestsPerClient: o.Requests,
+			ServerCores:       o.ServerCores,
+			BatchSize:         b,
+			Seed:              o.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation batch=%d: %w", b, err)
+		}
+		table.AddRow(fmt.Sprintf("%d", b), fmtKops(res.Kops),
+			fmtDur(res.Latency.P50), fmtDur(res.Latency.P99),
+			fmt.Sprintf("%d", res.Batches),
+			fmt.Sprintf("%.1f", res.ServerCPUUtil*100))
+	}
+	return table, nil
+}
+
 // AblationPredictor compares the paper's most-recent-value utilization
 // predictor with the EWMA extension under the saturated workload.
 func AblationPredictor(o Options) (*stats.Table, error) {

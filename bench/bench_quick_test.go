@@ -35,15 +35,22 @@ func TestFig7Quick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 8 { // 2 scales x 2 client counts x 2 schemes
+	if len(results) != 12 { // 2 scales x 2 client counts x 3 variants
 		t.Fatalf("results = %d", len(results))
 	}
 	// At the higher client count the event server must beat polling on
-	// latency (pairs are [polling, event]).
-	pollingHi, eventHi := results[2], results[3]
+	// latency (cells are [polling, event, event-batched]).
+	pollingHi, eventHi := results[3], results[4]
 	if eventHi.Latency.Mean >= pollingHi.Latency.Mean {
 		t.Errorf("event latency %v should beat polling %v at high client count",
 			eventHi.Latency.Mean, pollingHi.Latency.Mean)
+	}
+	// The batched column really batched: containers were sent, and every
+	// operation travelled inside one.
+	batchedHi := results[5]
+	if batchedHi.Batches == 0 || batchedHi.BatchedOps != batchedHi.Ops {
+		t.Errorf("batched column sent %d containers carrying %d of %d ops",
+			batchedHi.Batches, batchedHi.BatchedOps, batchedHi.Ops)
 	}
 	_ = table
 }

@@ -77,28 +77,40 @@ func Fig7(o Options) (*stats.Table, []cluster.Result, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	table := stats.NewTable("scale", "clients", "polling_lat_us", "event_lat_us", "polling_kops", "event_kops")
+	table := stats.NewTable("scale", "clients", "polling_lat_us", "event_lat_us", "event_batch_lat_us",
+		"polling_kops", "event_kops", "event_batch_kops")
 	var all []cluster.Result
 	clients := []int{80, 160, 240, 320}
 	if o.Quick {
 		clients = []int{16, 32}
 	}
+	// The third column batches B requests per ring write on the event
+	// scheme (B=1 would reproduce the unbatched event column exactly).
+	variants := []struct {
+		scheme cluster.Scheme
+		batch  int
+	}{
+		{cluster.SchemeFastMessaging, 1},
+		{cluster.SchemeFastEvent, 1},
+		{cluster.SchemeFastEvent, o.BatchSize},
+	}
 	for _, scale := range []float64{0.00001, 0.01} {
 		for _, n := range clients {
 			row := []string{fmt.Sprintf("%g", scale), fmt.Sprintf("%d", n)}
 			var lats, kops []string
-			for _, scheme := range []cluster.Scheme{cluster.SchemeFastMessaging, cluster.SchemeFastEvent} {
+			for _, v := range variants {
 				res, err := cluster.Run(cluster.Config{
-					Scheme:            scheme,
+					Scheme:            v.scheme,
 					PrebuiltTree:      tree,
 					Workload:          searchMix(workload.UniformScale{Scale: scale}),
 					NumClients:        n,
 					RequestsPerClient: o.Requests,
+					BatchSize:         v.batch,
 					ServerCores:       o.ServerCores,
 					Seed:              o.Seed,
 				})
 				if err != nil {
-					return nil, nil, fmt.Errorf("fig7 %s n=%d: %w", scheme.Name, n, err)
+					return nil, nil, fmt.Errorf("fig7 %s n=%d: %w", v.scheme.Name, n, err)
 				}
 				all = append(all, res)
 				lats = append(lats, fmtDur(res.Latency.Mean))

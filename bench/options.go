@@ -33,6 +33,9 @@ type Options struct {
 	HeartbeatInv time.Duration
 	// ServerCores per the paper's dual 14-core Broadwell.
 	ServerCores int
+	// BatchSize is the client batch size B used by the batched figure
+	// columns (default 16); the batch ablation sweeps it explicitly.
+	BatchSize int
 	// Seed drives all randomness.
 	Seed int64
 
@@ -85,6 +88,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ServerCores == 0 {
 		o.ServerCores = 28
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 16
 	}
 	if o.Seed == 0 {
 		o.Seed = 1

@@ -40,6 +40,7 @@ func run() error {
 		dataset  = flag.Int("dataset", 0, "override dataset size")
 		requests = flag.Int("requests", 0, "override requests per client")
 		clients  = flag.String("clients", "", "override client sweep, e.g. 32,64,128")
+		batch    = flag.Int("batch", 0, "client batch size B for batched columns (default 16)")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -53,6 +54,7 @@ func run() error {
 		Full:        *full,
 		DatasetSize: *dataset,
 		Requests:    *requests,
+		BatchSize:   *batch,
 		Seed:        *seed,
 	}
 	if *clients != "" {
@@ -75,7 +77,7 @@ func run() error {
 		}
 	}
 	if *ablation != "" {
-		for _, a := range expand(*ablation, []string{"n", "t", "heartbeat", "multiissue", "chunk", "rootcache", "nodecache", "predictor", "framework"}) {
+		for _, a := range expand(*ablation, []string{"n", "t", "heartbeat", "multiissue", "batch", "chunk", "rootcache", "nodecache", "predictor", "framework"}) {
 			if err := runAblation(a, opts); err != nil {
 				return err
 			}
@@ -186,6 +188,8 @@ func runAblation(name string, opts bench.Options) error {
 		t, err = bench.AblationHeartbeat(opts)
 	case "multiissue":
 		t, err = bench.AblationMultiIssueDepth(opts)
+	case "batch":
+		t, err = bench.AblationBatchSize(opts)
 	case "chunk":
 		t, err = bench.AblationChunkSize(opts)
 	case "rootcache":

@@ -17,6 +17,7 @@ import (
 	catfish "github.com/catfish-db/catfish"
 	"github.com/catfish-db/catfish/internal/rpcnet"
 	"github.com/catfish-db/catfish/internal/stats"
+	"github.com/catfish-db/catfish/internal/wire"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func run() error {
 		multiIssue = flag.Bool("multiissue", false, "pipeline offloaded chunk reads")
 		nodeCache  = flag.Int("nodecache", 0, "node cache capacity in decoded internal nodes (0 = off)")
 		insertFrac = flag.Float64("insert-fraction", 0, "fraction of requests that insert")
+		batch      = flag.Int("batch", 1, "batch size B: coalesce B requests per frame (1 = unbatched)")
 		seed       = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -75,21 +77,54 @@ func run() error {
 			}
 			defer c.Close()
 			rng := rand.New(rand.NewSource(*seed + int64(i)*7919))
-			for r := 0; r < *requests; r++ {
-				t0 := time.Now()
+			nextOp := func(r int) rpcnet.BatchOp {
 				if *insertFrac > 0 && rng.Float64() < *insertFrac {
 					x, y := rng.Float64(), rng.Float64()
-					rect := catfish.NewRect(x, y, minf(x+1e-5, 1), minf(y+1e-5, 1))
-					if err := c.Insert(rect, uint64(i)<<32|uint64(r)); err != nil {
+					return rpcnet.BatchOp{
+						Type: wire.MsgInsert,
+						Rect: catfish.NewRect(x, y, minf(x+1e-5, 1), minf(y+1e-5, 1)),
+						Ref:  uint64(i)<<32 | uint64(r),
+					}
+				}
+				w := rng.Float64() * *scale
+				h := rng.Float64() * *scale
+				x := rng.Float64() * (1 - w)
+				y := rng.Float64() * (1 - h)
+				return rpcnet.BatchOp{Type: wire.MsgSearch, Rect: catfish.NewRect(x, y, x+w, y+h)}
+			}
+			if *batch > 1 {
+				ops := make([]rpcnet.BatchOp, 0, *batch)
+				var bres []rpcnet.BatchResult
+				for r := 0; r < *requests; {
+					ops = ops[:0]
+					for len(ops) < *batch && r < *requests {
+						ops = append(ops, nextOp(r))
+						r++
+					}
+					t0 := time.Now()
+					bres = c.ExecBatch(ops, bres)
+					elapsed := time.Since(t0)
+					for _, br := range bres {
+						if br.Err != nil {
+							results[i].err = br.Err
+							return
+						}
+						hist.Record(elapsed)
+					}
+				}
+				results[i].stats = c.Stats()
+				return
+			}
+			for r := 0; r < *requests; r++ {
+				op := nextOp(r)
+				t0 := time.Now()
+				if op.Type == wire.MsgInsert {
+					if err := c.Insert(op.Rect, op.Ref); err != nil {
 						results[i].err = err
 						return
 					}
 				} else {
-					w := rng.Float64() * *scale
-					h := rng.Float64() * *scale
-					x := rng.Float64() * (1 - w)
-					y := rng.Float64() * (1 - h)
-					if _, _, err := c.Search(catfish.NewRect(x, y, x+w, y+h)); err != nil {
+					if _, _, err := c.Search(op.Rect); err != nil {
 						results[i].err = err
 						return
 					}
@@ -111,6 +146,8 @@ func run() error {
 		total.Merge(r.hist)
 		agg.FastSearches += r.stats.FastSearches
 		agg.OffloadSearches += r.stats.OffloadSearches
+		agg.BatchesSent += r.stats.BatchesSent
+		agg.BatchedOps += r.stats.BatchedOps
 		agg.TornRetries += r.stats.TornRetries
 		agg.ChunksFetched += r.stats.ChunksFetched
 		agg.VersionReads += r.stats.VersionReads
@@ -125,6 +162,10 @@ func run() error {
 	fmt.Printf("latency: mean=%v p50=%v p95=%v p99=%v max=%v\n", s.Mean, s.P50, s.P95, s.P99, s.Max)
 	fmt.Printf("fast=%d offload=%d chunk reads=%d torn retries=%d\n",
 		agg.FastSearches, agg.OffloadSearches, agg.ChunksFetched, agg.TornRetries)
+	if *batch > 1 {
+		fmt.Printf("batches: %d containers carrying %d ops (B=%d)\n",
+			agg.BatchesSent, agg.BatchedOps, *batch)
+	}
 	if *nodeCache > 0 {
 		fmt.Printf("cache: hits=%d verified=%d misses=%d version reads=%d saved=%.1fMB\n",
 			agg.CacheHits, agg.CacheVerifiedHits, agg.CacheMisses, agg.VersionReads,

@@ -33,6 +33,7 @@ func run() error {
 		load      = flag.String("load", "", "load dataset from a catfish-gen file instead")
 		heartbeat = flag.Duration("heartbeat", 10*time.Millisecond, "heartbeat interval (0 disables)")
 		fanout    = flag.Int("fanout", 64, "R-tree fan-out M")
+		batch     = flag.Int("batch", 0, "max ops accepted per batch container (0 = wire limit)")
 		seed      = flag.Int64("seed", 1, "dataset seed")
 	)
 	flag.Parse()
@@ -74,7 +75,10 @@ func run() error {
 	log.Printf("loaded %d rectangles in %v (height %d, region %d MB)",
 		tree.Len(), time.Since(start).Round(time.Millisecond), tree.Height(), reg.Size()>>20)
 
-	srv, err := catfish.Listen(*addr, tree, catfish.NetServerConfig{HeartbeatInterval: *heartbeat})
+	srv, err := catfish.Listen(*addr, tree, catfish.NetServerConfig{
+		HeartbeatInterval: *heartbeat,
+		MaxBatch:          *batch,
+	})
 	if err != nil {
 		return err
 	}

@@ -20,6 +20,7 @@ package adaptive
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -75,7 +76,7 @@ func New(cfg Config, rng *rand.Rand) *Switch {
 func (s *Switch) Decide(now time.Duration, readHB func() float64, clearHB func()) bool {
 	if now-s.t0 > s.cfg.Inv {
 		if u := readHB(); u != 0 {
-			s.HeartbeatsSeen++
+			atomic.AddUint64(&s.HeartbeatsSeen, 1)
 			util := s.predict(u)
 			clearHB()
 			s.t0 = now

@@ -1,0 +1,250 @@
+package client
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/sim"
+	"github.com/catfish-db/catfish/internal/wire"
+)
+
+// BatchOp is one operation submitted through ExecBatch.
+type BatchOp struct {
+	Type wire.MsgType // MsgSearch, MsgInsert or MsgDelete
+	Rect geo.Rect
+	Ref  uint64 // insert/delete payload
+}
+
+// BatchResult is the outcome of one batched operation, in submission order.
+type BatchResult struct {
+	Method Method
+	Items  []wire.Item
+	Err    error
+}
+
+// ExecBatch executes up to wire.MaxBatch operations as one client batch,
+// reusing the caller's results slice.
+//
+// Writes and messaging-routed searches are coalesced into a single batch
+// container — one ring write (or TCP frame), one immediate-data event, one
+// server latch acquisition and charge — while searches that Algorithm 1
+// (or a forced method) routes to offloading run as client-side traversals
+// overlapped with the in-flight batch. Writes never offload (§IV-A), and
+// every search consults the adaptive switch individually, so the
+// per-search back-off window accounting is exactly that of the unbatched
+// client. A batch of one delegates to the unbatched path and is therefore
+// bit-for-bit identical to the pre-batching client.
+func (c *Client) ExecBatch(p *sim.Proc, ops []BatchOp, results []BatchResult) []BatchResult {
+	results = results[:0]
+	for range ops {
+		results = append(results, BatchResult{})
+	}
+	if len(ops) == 0 {
+		return results
+	}
+	if len(ops) == 1 {
+		op := ops[0]
+		switch op.Type {
+		case wire.MsgInsert:
+			results[0].Method = MethodFast
+			results[0].Err = c.Insert(p, op.Rect, op.Ref)
+		case wire.MsgDelete:
+			results[0].Method = MethodFast
+			results[0].Err = c.Delete(p, op.Rect, op.Ref)
+		default:
+			items, m, err := c.Search(p, op.Rect)
+			results[0] = BatchResult{Method: m, Items: items, Err: err}
+		}
+		return results
+	}
+
+	useTCP := c.ep.TCP != nil
+	wireMethod := MethodFast
+	if useTCP {
+		wireMethod = MethodTCP
+	}
+	var wireOps []wireOp
+	var offload []int
+	for i, op := range ops {
+		switch op.Type {
+		case wire.MsgInsert:
+			atomic.AddUint64(&c.stats.Inserts, 1)
+			wireOps = append(wireOps, wireOp{op: i})
+		case wire.MsgDelete:
+			atomic.AddUint64(&c.stats.Deletes, 1)
+			wireOps = append(wireOps, wireOp{op: i})
+		case wire.MsgSearch:
+			m := c.cfg.Forced
+			if c.cfg.Adaptive {
+				m = c.decide(p)
+			}
+			if m == MethodOffload {
+				atomic.AddUint64(&c.stats.OffloadSearches, 1)
+				results[i].Method = MethodOffload
+				offload = append(offload, i)
+			} else {
+				if wireMethod == MethodTCP {
+					atomic.AddUint64(&c.stats.TCPSearches, 1)
+				} else {
+					atomic.AddUint64(&c.stats.FastSearches, 1)
+				}
+				wireOps = append(wireOps, wireOp{op: i})
+			}
+		default:
+			results[i].Err = fmt.Errorf("%w: unsupported batch op type %d", ErrServer, op.Type)
+		}
+	}
+
+	// Send the messaging group as one container, then run the offloaded
+	// traversals while the batch is in flight, then collect.
+	if len(wireOps) > 0 {
+		enc := &c.benc
+		enc.Reset(c.encBuf[:0])
+		for j := range wireOps {
+			wireOps[j].id = c.nextID()
+			op := ops[wireOps[j].op]
+			results[wireOps[j].op].Method = wireMethod
+			enc.Begin()
+			enc.Buf = wire.Request{Type: op.Type, ID: wireOps[j].id, Rect: op.Rect, Ref: op.Ref}.Encode(enc.Buf)
+			enc.End()
+		}
+		payload := enc.Bytes()
+		atomic.AddUint64(&c.stats.BatchesSent, 1)
+		atomic.AddUint64(&c.stats.BatchedOps, uint64(len(wireOps)))
+		if useTCP {
+			c.ep.TCP.Send(p, payload)
+		} else if err := c.ep.ReqWriter.Send(p, payload, wireOps[0].id, true); err != nil {
+			for _, w := range wireOps {
+				results[w.op].Err = err
+			}
+			wireOps = nil
+		}
+		c.encBuf = enc.Buf[:0]
+	}
+
+	for _, i := range offload {
+		items, err := c.searchOffload(p, ops[i].Rect)
+		results[i].Items = items
+		results[i].Err = err
+	}
+
+	if len(wireOps) > 0 {
+		c.collectBatch(p, ops, results, wireOps, useTCP)
+	}
+	return results
+}
+
+// wireOp ties a messaging-group request ID back to its batch slot.
+type wireOp struct {
+	op int // index into ops/results
+	id uint64
+}
+
+// collectBatch folds batch response frames into results until every
+// messaging-group operation has received its END segment.
+func (c *Client) collectBatch(p *sim.Proc, ops []BatchOp, results []BatchResult,
+	wireOps []wireOp, useTCP bool) {
+	idx := make(map[uint64]int, len(wireOps))
+	for _, w := range wireOps {
+		idx[w.id] = w.op
+	}
+	remaining := len(wireOps)
+
+	// handle folds one response segment; fold unwraps one transport frame.
+	handle := func(msg []byte) error {
+		if t, err := wire.PeekType(msg); err != nil || t != wire.MsgResponse {
+			return err // nil for stray non-response messages
+		}
+		if err := wire.DecodeResponseInto(msg, &c.respBuf); err != nil {
+			return err
+		}
+		i, ok := idx[c.respBuf.ID]
+		if !ok {
+			return nil // stale segment from an aborted exchange
+		}
+		results[i].Items = append(results[i].Items, c.respBuf.Items...)
+		if c.respBuf.Final {
+			results[i].Err = opError(ops[i].Type, c.respBuf.Status)
+			delete(idx, c.respBuf.ID)
+			remaining--
+		}
+		return nil
+	}
+	fold := func(payload []byte) error {
+		typ, err := wire.PeekType(payload)
+		if err != nil {
+			return err
+		}
+		if typ != wire.MsgBatch {
+			return handle(payload)
+		}
+		it, err := wire.DecodeBatch(payload)
+		if err != nil {
+			return err
+		}
+		for {
+			msg, ok := it.Next()
+			if !ok {
+				break
+			}
+			if err := handle(msg); err != nil {
+				return err
+			}
+		}
+		return it.Err()
+	}
+	failAll := func(err error) {
+		for _, i := range idx {
+			if results[i].Err == nil {
+				results[i].Err = err
+			}
+		}
+	}
+
+	for remaining > 0 {
+		if useTCP {
+			if err := fold(c.ep.TCP.Recv(p)); err != nil {
+				failAll(err)
+				return
+			}
+			continue
+		}
+		c.ep.RespReader.CQ().Pop(p)
+		for {
+			payload, err, ok := c.ep.RespReader.TryRecv()
+			if err != nil {
+				failAll(err)
+				return
+			}
+			if !ok {
+				break
+			}
+			if err := fold(payload); err != nil {
+				failAll(err)
+				return
+			}
+		}
+		if err := c.ep.RespReader.ReportHead(p); err != nil {
+			failAll(err)
+			return
+		}
+	}
+}
+
+// opError maps a response status to the unbatched API's error for the
+// given operation type.
+func opError(t wire.MsgType, status uint8) error {
+	switch {
+	case status == wire.StatusOK:
+		return nil
+	case t == wire.MsgDelete && status == wire.StatusNotFound:
+		return ErrNotFound
+	case t == wire.MsgSearch:
+		return fmt.Errorf("%w: search status %d", ErrServer, status)
+	case t == wire.MsgInsert:
+		return fmt.Errorf("%w: insert status %d", ErrServer, status)
+	default:
+		return fmt.Errorf("%w: delete status %d", ErrServer, status)
+	}
+}

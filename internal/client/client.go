@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"github.com/catfish-db/catfish/internal/adaptive"
@@ -128,6 +129,10 @@ type Stats struct {
 	CacheMisses       uint64
 	CacheEvictions    uint64 // entries displaced by capacity pressure
 	CacheBytesSaved   uint64 // network bytes avoided vs. always-full-fetch
+
+	// Batching counters (see ExecBatch).
+	BatchesSent uint64 // fast-messaging batch containers sent
+	BatchedOps  uint64 // operations carried in those containers
 }
 
 // Client is one Catfish client (the paper runs up to 32 per machine).
@@ -156,6 +161,13 @@ type Client struct {
 	payload []byte
 	node    rtree.Node
 	nodeVer uint64 // region version of the chunk last decoded into node
+
+	// Reused batching state: the doorbell batch under construction during
+	// multi-issue traversal, the batch container encoder, and the decoded
+	// per-op results of ExecBatch.
+	readBatch []fabric.ReadReq
+	benc      wire.BatchEncoder
+	respBuf   wire.Response
 
 	stats Stats
 }
@@ -201,10 +213,25 @@ func New(cfg Config) (*Client, error) {
 	return c, nil
 }
 
-// Stats returns a snapshot of the client counters.
+// Stats returns a snapshot of the client counters. Counters are mutated
+// atomically, so the snapshot is safe to take while the simulation runs
+// (progress meters, tests under -race).
 func (c *Client) Stats() Stats {
-	out := c.stats
-	out.HeartbeatsSeen = c.sw.HeartbeatsSeen
+	out := Stats{
+		FastSearches:    atomic.LoadUint64(&c.stats.FastSearches),
+		OffloadSearches: atomic.LoadUint64(&c.stats.OffloadSearches),
+		TCPSearches:     atomic.LoadUint64(&c.stats.TCPSearches),
+		Inserts:         atomic.LoadUint64(&c.stats.Inserts),
+		Deletes:         atomic.LoadUint64(&c.stats.Deletes),
+		TornRetries:     atomic.LoadUint64(&c.stats.TornRetries),
+		StaleRestarts:   atomic.LoadUint64(&c.stats.StaleRestarts),
+		NodesFetched:    atomic.LoadUint64(&c.stats.NodesFetched),
+		RootCacheHits:   atomic.LoadUint64(&c.stats.RootCacheHits),
+		VersionReads:    atomic.LoadUint64(&c.stats.VersionReads),
+		BatchesSent:     atomic.LoadUint64(&c.stats.BatchesSent),
+		BatchedOps:      atomic.LoadUint64(&c.stats.BatchedOps),
+	}
+	out.HeartbeatsSeen = atomic.LoadUint64(&c.sw.HeartbeatsSeen)
 	ns := c.ncache.Stats()
 	out.CacheHits = ns.Hits
 	out.CacheVerifiedHits = ns.VerifiedHits
@@ -229,15 +256,15 @@ func (c *Client) Search(p *sim.Proc, q geo.Rect) ([]wire.Item, Method, error) {
 	}
 	switch m {
 	case MethodOffload:
-		c.stats.OffloadSearches++
+		atomic.AddUint64(&c.stats.OffloadSearches, 1)
 		items, err := c.searchOffload(p, q)
 		return items, m, err
 	case MethodTCP:
-		c.stats.TCPSearches++
+		atomic.AddUint64(&c.stats.TCPSearches, 1)
 		items, err := c.searchTCP(p, q)
 		return items, m, err
 	default:
-		c.stats.FastSearches++
+		atomic.AddUint64(&c.stats.FastSearches, 1)
 		items, err := c.searchFast(p, q)
 		return items, MethodFast, err
 	}
@@ -246,7 +273,7 @@ func (c *Client) Search(p *sim.Proc, q geo.Rect) ([]wire.Item, Method, error) {
 // Insert adds a rectangle; R-tree writes always travel by messaging so the
 // server's lock discipline covers them (§III-B).
 func (c *Client) Insert(p *sim.Proc, r geo.Rect, ref uint64) error {
-	c.stats.Inserts++
+	atomic.AddUint64(&c.stats.Inserts, 1)
 	resp, err := c.roundTrip(p, wire.Request{Type: wire.MsgInsert, ID: c.nextID(), Rect: r, Ref: ref})
 	if err != nil {
 		return err
@@ -259,7 +286,7 @@ func (c *Client) Insert(p *sim.Proc, r geo.Rect, ref uint64) error {
 
 // Delete removes an exact (rect, ref) entry.
 func (c *Client) Delete(p *sim.Proc, r geo.Rect, ref uint64) error {
-	c.stats.Deletes++
+	atomic.AddUint64(&c.stats.Deletes, 1)
 	resp, err := c.roundTrip(p, wire.Request{Type: wire.MsgDelete, ID: c.nextID(), Rect: r, Ref: ref})
 	if err != nil {
 		return err

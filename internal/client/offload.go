@@ -3,7 +3,9 @@ package client
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
+	"github.com/catfish-db/catfish/internal/fabric"
 	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/nodecache"
 	"github.com/catfish-db/catfish/internal/region"
@@ -40,7 +42,7 @@ func (c *Client) searchOffload(p *sim.Proc, q geo.Rect) ([]wire.Item, error) {
 		// full flush conservatively covers them all.
 		c.rootCache = nil
 		c.ncache.Flush()
-		c.stats.StaleRestarts++
+		atomic.AddUint64(&c.stats.StaleRestarts, 1)
 	}
 	return nil, ErrGaveUp
 }
@@ -69,7 +71,7 @@ func (c *Client) cachedRoot(p *sim.Proc) (*rtree.Node, error) {
 		return nil, nil
 	}
 	if c.rootCache != nil {
-		c.stats.RootCacheHits++
+		atomic.AddUint64(&c.stats.RootCacheHits, 1)
 		return c.rootCache, nil
 	}
 	if err := c.fetchChunk(p, c.ep.RootChunk, -1); err != nil {
@@ -152,7 +154,7 @@ func (c *Client) chargeTraversal(p *sim.Proc) {
 func (c *Client) fetchChunk(p *sim.Proc, id int, expectLevel int) error {
 	qp := c.ep.DataQP
 	for retry := 0; retry <= c.cfg.MaxChunkRetries; retry++ {
-		c.stats.NodesFetched++
+		atomic.AddUint64(&c.stats.NodesFetched, 1)
 		raw, err := qp.ReadSync(p, c.ep.RegionMem, c.ep.RegionMem.ChunkOffset(id), c.ep.ChunkSize)
 		if err != nil {
 			return fmt.Errorf("client: chunk %d read: %w", id, err)
@@ -160,7 +162,7 @@ func (c *Client) fetchChunk(p *sim.Proc, id int, expectLevel int) error {
 		payload, ver, derr := region.DecodeChunk(raw, c.payload)
 		if derr != nil {
 			if errors.Is(derr, region.ErrTornRead) {
-				c.stats.TornRetries++
+				atomic.AddUint64(&c.stats.TornRetries, 1)
 				continue
 			}
 			return derr
@@ -185,7 +187,7 @@ func (c *Client) fetchChunk(p *sim.Proc, id int, expectLevel int) error {
 // full chunk for the default geometry) and returns its fingerprint, or
 // region.ErrTornRead when a writer is mid-publish.
 func (c *Client) readVersions(p *sim.Proc, id int) (uint64, error) {
-	c.stats.VersionReads++
+	atomic.AddUint64(&c.stats.VersionReads, 1)
 	rv := c.ep.RegionVers
 	raw, err := c.ep.DataQP.ReadSync(p, rv, rv.VersionsOffset(id), rv.VersionsSize())
 	if err != nil {
@@ -281,6 +283,12 @@ func (c *Client) traverseSingleIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, erro
 // number of outstanding reads. Cache-fresh children are expanded
 // immediately without touching the network; demoted entries revalidate
 // with pipelined version-only reads, and only misses cost a full read.
+//
+// Reads are accumulated per expansion wave and posted as ONE doorbell
+// batch (fabric.ReadBatch): the full child fetches and the version-only
+// revalidation reads of a traversal level share a single SQ submission,
+// so the batch pays one doorbell/setup cost plus per-read wire cost
+// instead of per-message NIC overhead on every child.
 func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error) {
 	c.syncLease()
 	type pending struct {
@@ -292,27 +300,48 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 	qp := c.ep.DataQP
 	inflight := make(map[uint64]pending)
 	var stack []*rtree.Node // cache-served nodes awaiting expansion
+	batch := c.readBatch[:0]
 
-	issue := func(id, level, tries int) error {
+	issue := func(id, level, tries int) {
 		c.tagSeq++
 		inflight[c.tagSeq] = pending{id: id, level: level, tries: tries}
-		c.stats.NodesFetched++
-		return qp.Read(p, c.ep.RegionMem, c.ep.RegionMem.ChunkOffset(id), c.ep.ChunkSize, c.tagSeq)
+		atomic.AddUint64(&c.stats.NodesFetched, 1)
+		batch = append(batch, fabric.ReadReq{
+			Src: c.ep.RegionMem, Off: c.ep.RegionMem.ChunkOffset(id),
+			Size: c.ep.ChunkSize, Tag: c.tagSeq,
+		})
 	}
-	issueVerify := func(id, level int) error {
+	issueVerify := func(id, level int) {
 		c.tagSeq++
 		inflight[c.tagSeq] = pending{id: id, level: level, verify: true}
-		c.stats.VersionReads++
+		atomic.AddUint64(&c.stats.VersionReads, 1)
 		rv := c.ep.RegionVers
-		return qp.Read(p, rv, rv.VersionsOffset(id), rv.VersionsSize(), c.tagSeq)
+		batch = append(batch, fabric.ReadReq{
+			Src: rv, Off: rv.VersionsOffset(id), Size: rv.VersionsSize(), Tag: c.tagSeq,
+		})
+	}
+	// flushReads posts the accumulated wave as one doorbell batch.
+	flushReads := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := qp.ReadBatch(p, batch)
+		batch = batch[:0]
+		return err
 	}
 	// Drain every outstanding completion before returning so a restart (or
-	// the next search) starts with an empty CQ.
+	// the next search) starts with an empty CQ. Unposted batch entries are
+	// dropped first: no completion will ever arrive for them.
 	fail := func(err error) ([]wire.Item, error) {
+		for _, r := range batch {
+			delete(inflight, r.Tag)
+		}
+		batch = batch[:0]
 		for len(inflight) > 0 {
 			comp := qp.CQ().Pop(p)
 			delete(inflight, comp.Tag)
 		}
+		c.readBatch = batch
 		return nil, err
 	}
 
@@ -336,10 +365,12 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 				stack = append(stack, n)
 				return nil
 			case nodecache.Verify:
-				return issueVerify(r.id, r.level)
+				issueVerify(r.id, r.level)
+				return nil
 			}
 		}
-		return issue(r.id, r.level, 0)
+		issue(r.id, r.level, 0)
+		return nil
 	}
 	// expand examines one consistent node: leaf entries fold into the
 	// result set, internal entries are dispatched.
@@ -364,13 +395,18 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 			return fail(err)
 		}
 	}
-	for len(stack) > 0 || len(inflight) > 0 {
+	for {
 		for len(stack) > 0 {
 			n := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			if err := expand(n); err != nil {
 				return fail(err)
 			}
+		}
+		// Post the whole wave — full fetches and revalidations alike — as
+		// one doorbell-batched submission.
+		if err := flushReads(); err != nil {
+			return fail(err)
 		}
 		if len(inflight) == 0 {
 			break
@@ -397,9 +433,7 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 				}
 			}
 			// Fingerprint torn or changed: pay for the full read.
-			if err := issue(ctx.id, ctx.level, 0); err != nil {
-				return fail(err)
-			}
+			issue(ctx.id, ctx.level, 0)
 			continue
 		}
 		payload, ver, derr := region.DecodeChunk(comp.Data, c.payload)
@@ -407,13 +441,11 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 			if !errors.Is(derr, region.ErrTornRead) {
 				return fail(derr)
 			}
-			c.stats.TornRetries++
+			atomic.AddUint64(&c.stats.TornRetries, 1)
 			if ctx.tries >= c.cfg.MaxChunkRetries {
 				return fail(ErrGaveUp)
 			}
-			if err := issue(ctx.id, ctx.level, ctx.tries+1); err != nil {
-				return fail(err)
-			}
+			issue(ctx.id, ctx.level, ctx.tries+1)
 			continue
 		}
 		c.payload = payload
@@ -429,5 +461,6 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 			return fail(err)
 		}
 	}
+	c.readBatch = batch[:0]
 	return items, nil
 }

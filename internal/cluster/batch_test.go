@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/workload"
+)
+
+// hybridConfig is smallConfig plus a 10% insert fraction so batches mix
+// reads and writes.
+func hybridConfig(scheme Scheme, clients int) Config {
+	cfg := smallConfig(scheme, clients)
+	cfg.Workload = workload.NewMix(workload.UniformScale{Scale: 0.001},
+		workload.SkewedInserts{Edge: 0.0001}, 0.1, 1<<32)
+	return cfg
+}
+
+func TestBatchSizeOneEquivalence(t *testing.T) {
+	// B=1 issues single-operation batches through ExecBatch, which must
+	// delegate to the unbatched path and reproduce the unbatched run
+	// bit-for-bit — same makespan, same latency distribution, same server
+	// counters — on both the simulated ring and the TCP transport.
+	for _, scheme := range []Scheme{SchemeFastEvent, SchemeTCP40G} {
+		scheme := scheme
+		t.Run(scheme.Name, func(t *testing.T) {
+			base, err := Run(hybridConfig(scheme, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := hybridConfig(scheme, 4)
+			cfg.BatchSize = 1
+			one, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base != one {
+				t.Errorf("B=1 diverges from unbatched:\nunbatched: %+v\nB=1:       %+v", base, one)
+			}
+			if one.Batches != 0 {
+				t.Errorf("B=1 shipped %d containers; single-op batches must delegate", one.Batches)
+			}
+		})
+	}
+}
+
+func TestBatchedRunCounts(t *testing.T) {
+	// Every operation of a B=16 run travels inside a container, on the ring
+	// and over TCP, and server-side accounting agrees with the clients'.
+	for _, scheme := range []Scheme{SchemeFastEvent, SchemeTCP40G} {
+		scheme := scheme
+		t.Run(scheme.Name, func(t *testing.T) {
+			cfg := hybridConfig(scheme, 4)
+			cfg.BatchSize = 16
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != 4*50 {
+				t.Errorf("ops = %d, want 200", res.Ops)
+			}
+			if res.Batches == 0 || res.BatchedOps != res.Ops {
+				t.Errorf("batching did not cover the run: %d containers, %d of %d ops",
+					res.Batches, res.BatchedOps, res.Ops)
+			}
+			if res.ServerStats.Batches != res.Batches ||
+				res.ServerStats.BatchedOps != res.BatchedOps {
+				t.Errorf("server saw %d/%d, clients sent %d/%d",
+					res.ServerStats.Batches, res.ServerStats.BatchedOps,
+					res.Batches, res.BatchedOps)
+			}
+			if res.Latency.Count == 0 || res.InsertLat.Count == 0 {
+				t.Errorf("latency summaries empty: %+v / %+v", res.Latency, res.InsertLat)
+			}
+		})
+	}
+}
+
+func TestBatchedAdaptiveClusterSplits(t *testing.T) {
+	// Adaptive scheme with batching under saturation: searches still split
+	// between messaging and offloading (per-search switch consultation
+	// inside ExecBatch), and containers actually flow.
+	cfg := smallConfig(SchemeCatfish, 32)
+	cfg.ServerCores = 2
+	cfg.RequestsPerClient = 200
+	cfg.HeartbeatInv = time.Millisecond
+	cfg.BatchSize = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OffloadFraction == 0 {
+		t.Error("batched catfish never offloaded despite a saturated server")
+	}
+	if res.OffloadFraction == 1 {
+		t.Error("batched catfish never used fast messaging")
+	}
+	if res.Batches == 0 {
+		t.Error("no batch containers sent")
+	}
+	if res.BatchedOps >= res.Ops {
+		t.Errorf("batched ops %d should exclude the %d offloaded searches (total %d)",
+			res.BatchedOps, res.NodesFetched, res.Ops)
+	}
+}

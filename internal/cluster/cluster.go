@@ -19,6 +19,7 @@ import (
 	"github.com/catfish-db/catfish/internal/server"
 	"github.com/catfish-db/catfish/internal/sim"
 	"github.com/catfish-db/catfish/internal/stats"
+	"github.com/catfish-db/catfish/internal/wire"
 	"github.com/catfish-db/catfish/internal/workload"
 )
 
@@ -75,6 +76,12 @@ type Config struct {
 	// (paper: 32–256 clients, 10,000 requests each).
 	NumClients        int
 	RequestsPerClient int
+	// BatchSize coalesces up to B consecutive requests per client into one
+	// batch container (one ring write / TCP frame, one server latch and
+	// charge). 0 runs the unbatched driver loop; 1 issues single-operation
+	// batches, which delegate to the unbatched path and reproduce it
+	// bit-for-bit (asserted by TestBatchSizeOneEquivalence).
+	BatchSize int
 	// ClientsPerHost is how many client processes share one machine
 	// (paper: up to 32 per node).
 	ClientsPerHost int
@@ -144,6 +151,11 @@ type Result struct {
 	TornRetries     uint64
 	StaleRestarts   uint64
 	NodesFetched    uint64
+
+	// Batches / BatchedOps aggregate the clients' batch containers sent and
+	// the operations they carried (zero when BatchSize <= 1).
+	Batches    uint64
+	BatchedOps uint64
 
 	// OffloadReadsPerSearch is NodesFetched divided by the number of
 	// offloaded searches — the mean one-sided chunk reads each offloaded
@@ -328,6 +340,44 @@ func Run(cfg Config) (Result, error) {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
 			// Re-seed the per-client workload stream by cloning the mix.
 			mix := *cfg.Workload
+			if cfg.BatchSize >= 1 {
+				batch := make([]client.BatchOp, 0, cfg.BatchSize)
+				results := make([]client.BatchResult, 0, cfg.BatchSize)
+				for r := 0; r < cfg.RequestsPerClient; {
+					batch = batch[:0]
+					for len(batch) < cfg.BatchSize && r < cfg.RequestsPerClient {
+						op := mix.Next(rng)
+						if op.Type == workload.OpInsert {
+							batch = append(batch, client.BatchOp{
+								Type: wire.MsgInsert, Rect: op.Rect, Ref: op.Ref + uint64(i)<<32})
+						} else {
+							batch = append(batch, client.BatchOp{Type: wire.MsgSearch, Rect: op.Rect})
+						}
+						r++
+					}
+					start := p.Now()
+					results = c.ExecBatch(p, batch, results)
+					elapsed := p.Now() - start
+					// Batched ops complete together; each observes the
+					// batch's latency.
+					for j := range results {
+						if err := results[j].Err; err != nil {
+							runErr = fmt.Errorf("client %d batched op: %w", i, err)
+							return
+						}
+						if batch[j].Type == wire.MsgInsert {
+							insertLat.Record(elapsed)
+						} else {
+							searchLat.Record(elapsed)
+						}
+					}
+					ops += uint64(len(batch))
+					if p.Now() > makespan {
+						makespan = p.Now()
+					}
+				}
+				return
+			}
 			for r := 0; r < cfg.RequestsPerClient; r++ {
 				op := mix.Next(rng)
 				start := p.Now()
@@ -392,6 +442,8 @@ func Run(cfg Config) (Result, error) {
 		res.TornRetries += st.TornRetries
 		res.StaleRestarts += st.StaleRestarts
 		res.NodesFetched += st.NodesFetched
+		res.Batches += st.BatchesSent
+		res.BatchedOps += st.BatchedOps
 		res.VersionReads += st.VersionReads
 		res.CacheHits += st.CacheHits
 		res.CacheVerified += st.CacheVerifiedHits

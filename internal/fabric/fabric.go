@@ -94,9 +94,17 @@ func (h *Host) RXGbps(elapsed time.Duration) float64 { return h.rx.Gbps(elapsed)
 // both NICs, propagation, and — when kernel is true — the kernel stack
 // latency on both sides.
 func (n *Network) deliver(from, to *Host, size int, kernel bool) time.Duration {
+	return n.deliverPost(from, to, size, kernel, n.prof.NICOverhead)
+}
+
+// deliverPost is deliver with an explicit posting-side NIC overhead: the
+// second and later WQEs of a doorbell-batched submission pay the reduced
+// DoorbellPerWQE cost instead of full per-message setup. The completion
+// side always pays NICOverhead.
+func (n *Network) deliverPost(from, to *Host, size int, kernel bool, postOH time.Duration) time.Duration {
 	s := size + n.prof.WireOverheadBytes
 	now := n.e.Now()
-	post := now + n.prof.NICOverhead
+	post := now + postOH
 	extra := time.Duration(0)
 	if kernel {
 		extra = 2 * n.prof.KernelLatency

@@ -2,9 +2,21 @@ package fabric
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"github.com/catfish-db/catfish/internal/sim"
 )
+
+// capturePool recycles the buffers Write snapshots its payload into. A
+// capture lives only from post to the modelled delivery instant, so the
+// pool keeps the fast-messaging hot path free of per-message allocations.
+var capturePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
 
 // Op is the kind of a completion-queue entry.
 type Op int
@@ -99,16 +111,20 @@ func (qp *QP) Write(p *sim.Proc, mem *Memory, off int, data []byte, opts WriteOp
 		return fmt.Errorf("%w: write [%d, %d) of %d", ErrBounds, off, off+len(data), len(mem.buf))
 	}
 	qp.sq.Acquire(p, 1)
-	captured := append([]byte(nil), data...)
-	deliver := qp.net.deliver(qp.local, qp.remote, len(captured), false)
+	cb := capturePool.Get().(*[]byte)
+	captured := append((*cb)[:0], data...)
+	size := len(captured)
+	deliver := qp.net.deliver(qp.local, qp.remote, size, false)
 	n := qp.net
 	n.e.After(deliver-n.e.Now(), func() {
 		copy(mem.buf[off:], captured)
+		*cb = captured[:0]
+		capturePool.Put(cb)
 		if opts.Notify {
-			qp.peer.cq.Push(Completion{QP: qp.peer, Op: OpWriteImm, Imm: opts.Imm, Len: len(captured)})
+			qp.peer.cq.Push(Completion{QP: qp.peer, Op: OpWriteImm, Imm: opts.Imm, Len: size})
 		}
 		if opts.Signaled {
-			qp.cq.Push(Completion{QP: qp, Op: OpWriteDone, Tag: opts.Tag, Len: len(captured)})
+			qp.cq.Push(Completion{QP: qp, Op: OpWriteDone, Tag: opts.Tag, Len: size})
 		}
 		qp.sq.Release(1)
 	})
@@ -123,13 +139,18 @@ const readCtrlBytes = 28
 // the remote NIC at the instant the request arrives there. The completion —
 // with the fetched bytes — lands in this endpoint's CQ carrying tag.
 func (qp *QP) Read(p *sim.Proc, src Readable, off, size int, tag uint64) error {
+	return qp.readPost(p, src, off, size, tag, qp.net.prof.NICOverhead)
+}
+
+// readPost is Read with an explicit posting-side overhead (see ReadBatch).
+func (qp *QP) readPost(p *sim.Proc, src Readable, off, size int, tag uint64, postOH time.Duration) error {
 	if src.Host() != qp.remote {
 		return ErrWrongHost
 	}
 	qp.sq.Acquire(p, 1)
 	n := qp.net
 	// Control leg: request travels requester -> responder.
-	ctrlArrive := n.deliver(qp.local, qp.remote, readCtrlBytes, false)
+	ctrlArrive := n.deliverPost(qp.local, qp.remote, readCtrlBytes, false, postOH)
 	n.e.After(ctrlArrive-n.e.Now(), func() {
 		// The responder NIC DMAs the data now; this is the linearization
 		// point of the one-sided read.
@@ -146,6 +167,34 @@ func (qp *QP) Read(p *sim.Proc, src Readable, off, size int, tag uint64) error {
 			qp.sq.Release(1)
 		})
 	})
+	return nil
+}
+
+// ReadReq describes one read of a doorbell-batched submission.
+type ReadReq struct {
+	Src  Readable
+	Off  int
+	Size int
+	Tag  uint64
+}
+
+// ReadBatch posts reqs as one doorbell-batched SQ submission (RDMAbox-style
+// multi-WQE post): the first WQE pays the fabric's full per-message NIC
+// setup cost, each later WQE only DoorbellPerWQE, while every read still
+// pays its own wire (serialization + propagation) cost and full completion
+// overhead. Completions arrive individually, tagged per request. With one
+// request — or on a fabric whose DoorbellPerWQE is zero — ReadBatch is
+// identical to posting each Read in order.
+func (qp *QP) ReadBatch(p *sim.Proc, reqs []ReadReq) error {
+	for i, r := range reqs {
+		postOH := qp.net.prof.NICOverhead
+		if i > 0 && qp.net.prof.DoorbellPerWQE > 0 {
+			postOH = qp.net.prof.DoorbellPerWQE
+		}
+		if err := qp.readPost(p, r.Src, r.Off, r.Size, r.Tag, postOH); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

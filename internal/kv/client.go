@@ -63,6 +63,10 @@ type ClientStats struct {
 	TornRetries    uint64
 	StaleRestarts  uint64
 	HeartbeatsSeen uint64
+	// BatchesSent counts GetBatch containers; BatchedOps the gets they
+	// carried (each also counted in FastReads).
+	BatchesSent uint64
+	BatchedOps  uint64
 
 	// Node-cache counters (all zero when the cache is disabled).
 	VersionReads      uint64
@@ -88,6 +92,7 @@ type Client struct {
 
 	reqID  uint64
 	encBuf []byte
+	benc   wire.BatchEncoder
 	stats  ClientStats
 }
 

@@ -45,6 +45,10 @@ type ServerStats struct {
 	Deletes uint64
 	Ranges  uint64
 	Pairs   uint64
+	// Batches counts batch containers executed; BatchedOps the operations
+	// they carried (each also counted in its per-type counter above).
+	Batches    uint64
+	BatchedOps uint64
 }
 
 // Server serves a B+-tree key-value store over the simulated fabric. Like
@@ -67,6 +71,12 @@ type conn struct {
 	reqReader  *ringbuf.Reader
 	respWriter *ringbuf.Writer
 	hbMem      *fabric.Memory
+
+	// Reused batch scratch state (one worker per conn, so never shared).
+	batchReqs []wire.KVRequest
+	batchRes  []kvBatchResult
+	benc      wire.BatchEncoder
+	encBuf    []byte
 }
 
 // Endpoint is the client's connection handle.
@@ -170,6 +180,10 @@ func (s *Server) serve(p *sim.Proc, c *conn) {
 			}
 			if !ok {
 				break
+			}
+			if len(payload) > 0 && wire.MsgType(payload[0]) == wire.MsgBatch {
+				s.handleBatch(p, c, payload)
+				continue
 			}
 			req, err := wire.DecodeKVRequest(payload)
 			if err != nil {

@@ -35,6 +35,12 @@ type Profile struct {
 	KernelCPUPerKB  time.Duration // CPU demand per KB copied per side
 	// RDMA reports whether the fabric supports one-sided verbs.
 	RDMA bool
+	// DoorbellPerWQE is the posting cost of each work request after the
+	// first in a doorbell-batched submission: the NIC fetches the extra
+	// WQEs over one doorbell ring instead of paying full per-message setup
+	// (RDMAbox-style doorbell batching). Zero means the fabric does not
+	// batch doorbells and every WQE pays NICOverhead.
+	DoorbellPerWQE time.Duration
 }
 
 // The three fabrics of the paper's evaluation cluster.
@@ -69,6 +75,7 @@ var (
 		NICOverhead:       300 * time.Nanosecond,
 		WireOverheadBytes: 30,
 		RDMA:              true,
+		DoorbellPerWQE:    60 * time.Nanosecond,
 	}
 )
 
@@ -90,6 +97,13 @@ type CostModel struct {
 	ClientFixed   time.Duration // per-search setup
 	ClientPerNode time.Duration // decode + intersection checks per node
 
+	// BatchedOpFixed replaces SearchFixed/InsertFixed for the second and
+	// later operations executed under one batch charge: the wakeup, latch
+	// acquisition, completion event, and response doorbell are paid once
+	// per batch, leaving only request parsing and response marshalling as
+	// per-operation fixed work.
+	BatchedOpFixed time.Duration
+
 	// PollSlice is the CPU time one idle busy-polling thread burns per
 	// scheduling rotation (poll loop + context switch); it drives the
 	// polling-mode oversubscription penalty of Fig 7.
@@ -99,15 +113,41 @@ type CostModel struct {
 // DefaultCostModel returns the calibrated cost model (see package comment).
 func DefaultCostModel() CostModel {
 	return CostModel{
-		SearchFixed:   35 * time.Microsecond,
-		InsertFixed:   40 * time.Microsecond,
-		PerNodeRead:   1200 * time.Nanosecond,
-		PerNodeWrite:  2 * time.Microsecond,
-		PerResultItem: 60 * time.Nanosecond,
-		ClientFixed:   2 * time.Microsecond,
-		ClientPerNode: 1500 * time.Nanosecond,
-		PollSlice:     5 * time.Microsecond,
+		SearchFixed:    35 * time.Microsecond,
+		InsertFixed:    40 * time.Microsecond,
+		PerNodeRead:    1200 * time.Nanosecond,
+		PerNodeWrite:   2 * time.Microsecond,
+		PerResultItem:  60 * time.Nanosecond,
+		ClientFixed:    2 * time.Microsecond,
+		ClientPerNode:  1500 * time.Nanosecond,
+		BatchedOpFixed: 6 * time.Microsecond,
+		PollSlice:      5 * time.Microsecond,
 	}
+}
+
+// batchedFixed returns the fixed demand of the i-th (0-based) operation in
+// a batch: the first pays the full per-request fixed cost, later ones only
+// the amortized share. A zero BatchedOpFixed disables the discount.
+func (c CostModel) batchedFixed(i int, full time.Duration) time.Duration {
+	if i == 0 || c.BatchedOpFixed == 0 {
+		return full
+	}
+	return c.BatchedOpFixed
+}
+
+// SearchDemandBatched is SearchDemand for the i-th operation of a batch
+// executed under a single latch acquisition and charge.
+func (c CostModel) SearchDemandBatched(i, nodesRead, results int) time.Duration {
+	return c.batchedFixed(i, c.SearchFixed) +
+		time.Duration(nodesRead)*c.PerNodeRead +
+		time.Duration(results)*c.PerResultItem
+}
+
+// InsertDemandBatched is InsertDemand for the i-th operation of a batch.
+func (c CostModel) InsertDemandBatched(i, nodesRead, nodesWritten int) time.Duration {
+	return c.batchedFixed(i, c.InsertFixed) +
+		time.Duration(nodesRead)*c.PerNodeRead +
+		time.Duration(nodesWritten)*c.PerNodeWrite
 }
 
 // SearchDemand returns the server CPU demand of a search that visited nodes

@@ -58,6 +58,7 @@ type Reader struct {
 	head     uint64
 	reported uint64
 	size     uint64
+	scratch  []byte // reused TryRecv payload buffer
 }
 
 // New wires up a ring of size bytes whose data flows from the writer host
@@ -93,6 +94,13 @@ func New(wqp, rqp *fabric.QP, size int) (*Writer, *Reader, error) {
 // Capacity returns the ring size in bytes.
 func (w *Writer) Capacity() int { return int(w.size) }
 
+// MaxPayload returns the largest payload Send accepts: half the ring minus
+// framing. Frames must be physically contiguous, and a frame larger than
+// half the ring can reach a state where neither the tail run nor the
+// wrapped start ever has room (the pad plus the frame exceed the ring), so
+// the writer would stall forever. Batch senders flush below this bound.
+func (w *Writer) MaxPayload() int { return int(w.size/2) - frameHeader }
+
 // QP returns the writer's queue-pair endpoint (local = writing host). The
 // server reuses it for heartbeat-mailbox writes to the same client.
 func (w *Writer) QP() *fabric.QP { return w.qp }
@@ -111,8 +119,14 @@ func (w *Writer) free() uint64 { return w.size - (w.tail - w.head) }
 // reader (event-based fast messaging); otherwise the reader must poll.
 func (w *Writer) Send(p *sim.Proc, payload []byte, imm uint64, notify bool) error {
 	need := uint64(frameHeader + len(payload))
-	if need+frameHeader > w.size {
-		return fmt.Errorf("%w: %d bytes into %d ring", ErrTooLarge, len(payload), w.size)
+	// Frames above half the ring could wedge the writer: once the tail sits
+	// past the midpoint, pad-to-end plus the frame exceeds the ring and no
+	// amount of reader progress ever frees enough contiguous space (the old
+	// bound of size-2*frameHeader let batched payloads hit exactly that
+	// permanent stall). See MaxPayload.
+	if need*2 > w.size {
+		return fmt.Errorf("%w: %d bytes into %d ring (max payload %d)",
+			ErrTooLarge, len(payload), w.size, w.MaxPayload())
 	}
 	for {
 		// Account for a possible pad frame to the physical end.
@@ -153,10 +167,12 @@ func (w *Writer) Send(p *sim.Proc, payload []byte, imm uint64, notify bool) erro
 	}
 }
 
-// TryRecv parses the next frame from the ring without blocking. It returns
-// the payload (a copy) and true when a complete frame is present. Consumed
-// bytes are zeroed so stale frames from a previous lap can never be
-// mistaken for new arrivals.
+// TryRecv parses the next frame from the ring without blocking, returning
+// the payload and true when a complete frame is present. The payload is a
+// copy into a buffer the Reader reuses: it is valid only until the next
+// TryRecv call (callers decode before polling again; retain a copy
+// otherwise). Consumed bytes are zeroed so stale frames from a previous
+// lap can never be mistaken for new arrivals.
 func (r *Reader) TryRecv() ([]byte, error, bool) {
 	buf := r.ring.Bytes()
 	for {
@@ -183,8 +199,8 @@ func (r *Reader) TryRecv() ([]byte, error, bool) {
 		if uint64(frameHeader+sz) > r.size-pos {
 			return nil, fmt.Errorf("%w: size %d at pos %d", ErrCorrupt, sz, pos), false
 		}
-		payload := make([]byte, sz)
-		copy(payload, buf[pos+frameHeader:pos+frameHeader+uint64(sz)])
+		payload := append(r.scratch[:0], buf[pos+frameHeader:pos+frameHeader+uint64(sz)]...)
+		r.scratch = payload
 		for i := pos; i < pos+frameHeader+uint64(sz); i++ {
 			buf[i] = 0
 		}

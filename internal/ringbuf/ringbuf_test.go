@@ -96,7 +96,8 @@ func TestManyMessagesFIFO(t *testing.T) {
 				if !ok {
 					break
 				}
-				got = append(got, payload)
+				// TryRecv reuses its payload buffer; copy to retain.
+				got = append(got, append([]byte(nil), payload...))
 			}
 			if err := r.ReportHead(p); err != nil {
 				t.Error(err)
@@ -196,7 +197,7 @@ func TestWrapAroundWithPad(t *testing.T) {
 				if !ok {
 					break
 				}
-				msgs = append(msgs, m)
+				msgs = append(msgs, append([]byte(nil), m...))
 			}
 			if err := r.ReportHead(p); err != nil {
 				t.Error(err)

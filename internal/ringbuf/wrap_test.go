@@ -1,0 +1,175 @@
+package ringbuf
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/catfish-db/catfish/internal/sim"
+	"github.com/catfish-db/catfish/internal/wire"
+)
+
+func TestMaxPayloadBoundary(t *testing.T) {
+	// MaxPayload is the largest payload whose frame still fits half the
+	// ring; one byte more must be rejected up front (the old code accepted
+	// it and could deadlock waiting for space that can never free up).
+	e, w, _ := testRing(t, 128)
+	if got, want := w.MaxPayload(), 128/2-4; got != want {
+		t.Fatalf("MaxPayload = %d, want %d", got, want)
+	}
+	e.Spawn("writer", func(p *sim.Proc) {
+		if err := w.Send(p, make([]byte, w.MaxPayload()+1), 0, true); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("oversize by one: err = %v, want ErrTooLarge", err)
+		}
+		if err := w.Send(p, make([]byte, w.MaxPayload()), 0, true); err != nil {
+			t.Errorf("exact MaxPayload send: %v", err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxPayloadStreamAcrossWraps(t *testing.T) {
+	// A sustained stream of maximum-size frames is the hardest wrap
+	// alignment: every frame occupies exactly half the ring, so the writer
+	// alternates between a perfectly aligned frame and one that pads to the
+	// physical end. The stream must make progress and stay intact.
+	e, w, r := testRing(t, 128)
+	const n = 60
+	mk := func(i int) []byte {
+		size := w.MaxPayload()
+		if i%3 == 1 {
+			size -= 7 // odd sizes force pads at varying offsets
+		}
+		return bytes.Repeat([]byte{byte(i + 1)}, size)
+	}
+	var got [][]byte
+	e.Spawn("reader", func(p *sim.Proc) {
+		for len(got) < n {
+			r.CQ().Pop(p)
+			for {
+				m, err, ok := r.TryRecv()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					break
+				}
+				got = append(got, append([]byte(nil), m...))
+			}
+			if err := r.ReportHead(p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	e.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			if err := w.Send(p, mk(i), uint64(i), true); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("received %d of %d", len(got), n)
+	}
+	for i, m := range got {
+		if !bytes.Equal(m, mk(i)) {
+			t.Fatalf("message %d corrupt after wrap", i)
+		}
+	}
+}
+
+func TestBatchContainersAcrossWrapBoundary(t *testing.T) {
+	// Real batch containers of wire requests streamed through a small ring:
+	// container sizes vary so frames straddle the physical end repeatedly,
+	// and every sub-message must decode intact on the far side.
+	e, w, r := testRing(t, 512)
+	const containers = 50
+	var enc wire.BatchEncoder
+	nextID := uint64(0)
+	encode := func(i int, buf []byte) ([]byte, int) {
+		k := 1 + i%4 // 56..215 bytes: crosses the 512-byte ring every few sends
+		enc.Reset(buf[:0])
+		for j := 0; j < k; j++ {
+			nextID++
+			enc.Begin()
+			enc.Buf = wire.Request{Type: wire.MsgSearch, ID: nextID}.Encode(enc.Buf)
+			enc.End()
+		}
+		return enc.Bytes(), k
+	}
+	var gotIDs []uint64
+	total := 0
+	for i := 0; i < containers; i++ {
+		total += 1 + i%4
+	}
+	e.Spawn("reader", func(p *sim.Proc) {
+		for len(gotIDs) < total {
+			r.CQ().Pop(p)
+			for {
+				m, err, ok := r.TryRecv()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					break
+				}
+				it, err := wire.DecodeBatch(m)
+				if err != nil {
+					t.Errorf("container corrupt after wrap: %v", err)
+					return
+				}
+				for {
+					msg, ok := it.Next()
+					if !ok {
+						break
+					}
+					req, err := wire.DecodeRequest(msg)
+					if err != nil {
+						t.Errorf("sub-message corrupt after wrap: %v", err)
+						return
+					}
+					gotIDs = append(gotIDs, req.ID)
+				}
+				if err := it.Err(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := r.ReportHead(p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	e.Spawn("writer", func(p *sim.Proc) {
+		var buf []byte
+		for i := 0; i < containers; i++ {
+			payload, _ := encode(i, buf)
+			if err := w.Send(p, payload, uint64(i), true); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+			buf = enc.Buf
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range gotIDs {
+		if id != uint64(i+1) {
+			t.Fatalf("sub-message %d: ID %d, want %d (reordered or lost at wrap)", i, id, i+1)
+		}
+	}
+	if len(gotIDs) != total {
+		t.Fatalf("decoded %d sub-messages, want %d", len(gotIDs), total)
+	}
+}

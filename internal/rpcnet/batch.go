@@ -1,0 +1,363 @@
+// Batched fast messaging over real TCP: the same batch containers the
+// simulated transports use, so a multiplexed connection pays one frame
+// write, one syscall, and one latch acquisition per batch instead of per
+// operation.
+package rpcnet
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/wire"
+)
+
+// batchResult buffers one operation's outcome until the batch latch is
+// released and the segmented batch response can be written.
+type batchResult struct {
+	id     uint64
+	status uint8
+	items  []wire.Item
+}
+
+// handleBatch executes a batch container under one latch acquisition: a
+// batch carrying any write takes the exclusive latch, a read-only batch
+// shares the read latch. Results are buffered until the latch drops, then
+// written back as batch containers of response segments. The caller's
+// per-frame busy-time accounting naturally charges the whole batch once.
+func (s *Server) handleBatch(sc *srvConn, payload []byte) error {
+	it, err := wire.DecodeBatch(payload)
+	if err != nil {
+		return sc.send(wire.Response{Status: wire.StatusError, Final: true}.Encode(nil))
+	}
+	reqs := make([]wire.Request, 0, it.Len())
+	hasWrite := false
+	for {
+		msg, ok := it.Next()
+		if !ok {
+			break
+		}
+		req, err := wire.DecodeRequest(msg)
+		if err != nil {
+			req = wire.Request{} // answered with an error response below
+		} else if req.Type != wire.MsgSearch {
+			hasWrite = true
+		}
+		reqs = append(reqs, req)
+	}
+	if it.Err() != nil {
+		return sc.send(wire.Response{Status: wire.StatusError, Final: true}.Encode(nil))
+	}
+	if s.cfg.MaxBatch > 0 && len(reqs) > s.cfg.MaxBatch {
+		// Answer every operation ID so the client's collector terminates.
+		res := make([]batchResult, 0, len(reqs))
+		for _, req := range reqs {
+			res = append(res, batchResult{id: req.ID, status: wire.StatusError})
+		}
+		return s.respondBatch(sc, res)
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+	s.batches.Add(1)
+	s.batchedOps.Add(uint64(len(reqs)))
+
+	if hasWrite {
+		s.latch.Lock()
+	} else {
+		s.latch.RLock()
+	}
+	res := make([]batchResult, 0, len(reqs))
+	for _, req := range reqs {
+		out := batchResult{id: req.ID, status: wire.StatusError}
+		switch req.Type {
+		case wire.MsgSearch:
+			s.searches.Add(1)
+			var items []wire.Item
+			_, err := s.tree.SearchShared(req.Rect, func(r geo.Rect, ref uint64) bool {
+				items = append(items, wire.Item{Rect: r, Ref: ref})
+				return true
+			})
+			if err == nil {
+				out.status = wire.StatusOK
+				out.items = items
+			}
+		case wire.MsgInsert:
+			s.inserts.Add(1)
+			if _, err := s.tree.Insert(req.Rect, req.Ref); err == nil {
+				out.status = wire.StatusOK
+			}
+		case wire.MsgDelete:
+			s.deletes.Add(1)
+			ok, _, err := s.tree.Delete(req.Rect, req.Ref)
+			switch {
+			case err != nil:
+			case !ok:
+				out.status = wire.StatusNotFound
+			default:
+				out.status = wire.StatusOK
+			}
+		}
+		res = append(res, out)
+	}
+	if hasWrite {
+		s.latch.Unlock()
+	} else {
+		s.latch.RUnlock()
+	}
+	return s.respondBatch(sc, res)
+}
+
+// respondBatch writes buffered batch results back as batch containers of
+// response segments, flushing below a 16 KB frame budget. Each operation
+// keeps its own CONT/END segmentation inside the containers.
+func (s *Server) respondBatch(sc *srvConn, res []batchResult) error {
+	const limit = 16 << 10
+	maxItems := s.cfg.MaxSegmentItems
+	hdr := wire.Response{}.EncodedSize()
+	if fit := (limit - wire.BatchOverhead(1) - hdr) / wire.ItemSize; fit < maxItems {
+		maxItems = fit
+	}
+	if maxItems < 1 {
+		maxItems = 1
+	}
+	buf := wire.GetBuf()
+	defer wire.PutBuf(buf)
+	var enc wire.BatchEncoder
+	enc.Reset((*buf)[:0])
+	flush := func() error {
+		if enc.Count() == 0 {
+			return nil
+		}
+		err := sc.send(enc.Bytes())
+		*buf = enc.Buf[:0]
+		enc.Reset(*buf)
+		return err
+	}
+	for _, r := range res {
+		items := r.items
+		for {
+			seg := wire.Response{ID: r.id, Status: r.status}
+			if len(items) > maxItems {
+				seg.Items = items[:maxItems]
+				items = items[maxItems:]
+			} else {
+				seg.Items = items
+				items = nil
+				seg.Final = true
+			}
+			if enc.Count() > 0 && enc.Len()+seg.EncodedSize()+wire.BatchOverhead(1) > limit {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+			enc.Begin()
+			enc.Buf = seg.Encode(enc.Buf)
+			enc.End()
+			if seg.Final {
+				break
+			}
+		}
+	}
+	err := flush()
+	*buf = enc.Buf
+	return err
+}
+
+// BatchOp is one operation submitted through ExecBatch.
+type BatchOp struct {
+	Type wire.MsgType // MsgSearch, MsgInsert or MsgDelete
+	Rect geo.Rect
+	Ref  uint64 // insert/delete payload
+}
+
+// BatchResult is the outcome of one batched operation, in submission order.
+type BatchResult struct {
+	Method Method
+	Items  []wire.Item
+	Err    error
+}
+
+// wireOp ties a messaging-group request ID back to its batch slot.
+type wireOp struct {
+	op int // index into ops/results
+	id uint64
+}
+
+// ExecBatch executes ops as one client batch over the multiplexed TCP
+// connection: writes and messaging-routed searches coalesce into a single
+// batch container (one frame write, one server latch), while searches that
+// Algorithm 1 routes to offloading traverse with chunk reads overlapped
+// with the in-flight batch. Every search consults the switch individually,
+// preserving the per-search back-off accounting, and a batch of one
+// delegates to the unbatched path bit-for-bit.
+func (c *Client) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
+	results = results[:0]
+	for range ops {
+		results = append(results, BatchResult{})
+	}
+	if len(ops) == 0 {
+		return results
+	}
+	if len(ops) == 1 {
+		op := ops[0]
+		switch op.Type {
+		case wire.MsgInsert:
+			results[0] = BatchResult{Method: MethodFast, Err: c.Insert(op.Rect, op.Ref)}
+		case wire.MsgDelete:
+			results[0] = BatchResult{Method: MethodFast, Err: c.Delete(op.Rect, op.Ref)}
+		default:
+			items, m, err := c.Search(op.Rect)
+			results[0] = BatchResult{Method: m, Items: items, Err: err}
+		}
+		return results
+	}
+
+	var wireOps []wireOp
+	var offload []int
+	for i, op := range ops {
+		switch op.Type {
+		case wire.MsgInsert, wire.MsgDelete:
+			wireOps = append(wireOps, wireOp{op: i})
+		case wire.MsgSearch:
+			m := c.cfg.Forced
+			if c.cfg.Adaptive {
+				m = c.decide()
+			}
+			if m == MethodOffload {
+				atomic.AddUint64(&c.stats.OffloadSearches, 1)
+				results[i].Method = MethodOffload
+				offload = append(offload, i)
+			} else {
+				atomic.AddUint64(&c.stats.FastSearches, 1)
+				wireOps = append(wireOps, wireOp{op: i})
+			}
+		default:
+			results[i].Err = fmt.Errorf("%w: unsupported batch op type %d", ErrServer, op.Type)
+		}
+	}
+
+	// Register every waiter on one shared channel before the single frame
+	// write, so no response can slip past, then collect concurrently with
+	// the offloaded traversals (a blocked collector would stall the read
+	// loop and deadlock the chunk reads).
+	var done chan struct{}
+	if len(wireOps) > 0 {
+		ch := make(chan []byte, 64)
+		c.mu.Lock()
+		if err := c.readerr; err != nil {
+			c.mu.Unlock()
+			werr := fmt.Errorf("%w: %v", ErrClosed, err)
+			for _, w := range wireOps {
+				results[w.op].Err = werr
+			}
+			wireOps = nil
+		} else {
+			for j := range wireOps {
+				wireOps[j].id = c.reqID.Add(1)
+				c.waiters[wireOps[j].id] = ch
+			}
+			c.mu.Unlock()
+		}
+		if len(wireOps) > 0 {
+			buf := wire.GetBuf()
+			var enc wire.BatchEncoder
+			enc.Reset((*buf)[:0])
+			for _, w := range wireOps {
+				op := ops[w.op]
+				results[w.op].Method = MethodFast
+				enc.Begin()
+				enc.Buf = wire.Request{Type: op.Type, ID: w.id, Rect: op.Rect, Ref: op.Ref}.Encode(enc.Buf)
+				enc.End()
+			}
+			payload := enc.Bytes()
+			atomic.AddUint64(&c.stats.BatchesSent, 1)
+			atomic.AddUint64(&c.stats.BatchedOps, uint64(len(wireOps)))
+			c.sendMu.Lock()
+			err := writeFrame(c.conn, payload)
+			c.sendMu.Unlock()
+			*buf = enc.Buf
+			wire.PutBuf(buf)
+			if err != nil {
+				for _, w := range wireOps {
+					results[w.op].Err = err
+				}
+			} else {
+				done = make(chan struct{})
+				go c.collectBatch(ch, ops, results, wireOps, done)
+			}
+		}
+	}
+
+	for _, i := range offload {
+		items, err := c.searchOffload(ops[i].Rect)
+		results[i].Items = items
+		results[i].Err = err
+	}
+
+	if done != nil {
+		<-done
+	}
+	if len(wireOps) > 0 {
+		c.mu.Lock()
+		for _, w := range wireOps {
+			delete(c.waiters, w.id)
+		}
+		c.mu.Unlock()
+	}
+	return results
+}
+
+// collectBatch folds delivered response segments into results until every
+// messaging-group operation has received its END segment.
+func (c *Client) collectBatch(ch chan []byte, ops []BatchOp, results []BatchResult,
+	wireOps []wireOp, done chan struct{}) {
+	defer close(done)
+	idx := make(map[uint64]int, len(wireOps))
+	for _, w := range wireOps {
+		idx[w.id] = w.op
+	}
+	remaining := len(wireOps)
+	for remaining > 0 {
+		frame, ok := <-ch
+		if !ok {
+			for _, i := range idx {
+				if results[i].Err == nil {
+					results[i].Err = ErrClosed
+				}
+			}
+			return
+		}
+		resp, err := wire.DecodeResponse(frame)
+		if err != nil {
+			continue
+		}
+		i, ok := idx[resp.ID]
+		if !ok {
+			continue
+		}
+		results[i].Items = append(results[i].Items, resp.Items...)
+		if resp.Final {
+			results[i].Err = batchOpError(ops[i].Type, resp.Status)
+			delete(idx, resp.ID)
+			remaining--
+		}
+	}
+}
+
+// batchOpError maps a response status to the unbatched API's error for the
+// given operation type.
+func batchOpError(t wire.MsgType, status uint8) error {
+	switch {
+	case status == wire.StatusOK:
+		return nil
+	case t == wire.MsgDelete && status == wire.StatusNotFound:
+		return ErrNotFound
+	case t == wire.MsgInsert:
+		return fmt.Errorf("%w: insert status %d", ErrServer, status)
+	case t == wire.MsgDelete:
+		return fmt.Errorf("%w: delete status %d", ErrServer, status)
+	default:
+		return fmt.Errorf("%w: status %d", ErrServer, status)
+	}
+}

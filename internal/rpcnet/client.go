@@ -67,6 +67,11 @@ type ClientStats struct {
 	ChunksFetched   uint64
 	HeartbeatsSeen  uint64
 
+	// BatchesSent counts ExecBatch containers; BatchedOps the operations
+	// they carried (each also counted in its per-type counter above).
+	BatchesSent uint64
+	BatchedOps  uint64
+
 	// Node-cache counters (see internal/nodecache).
 	VersionReads      uint64 // READ_VERSIONS revalidation round trips
 	CacheHits         uint64 // nodes served lease-fresh, zero network
@@ -179,6 +184,8 @@ func (c *Client) Stats() ClientStats {
 		StaleRestarts:   atomic.LoadUint64(&c.stats.StaleRestarts),
 		ChunksFetched:   atomic.LoadUint64(&c.stats.ChunksFetched),
 		HeartbeatsSeen:  atomic.LoadUint64(&c.stats.HeartbeatsSeen),
+		BatchesSent:     atomic.LoadUint64(&c.stats.BatchesSent),
+		BatchedOps:      atomic.LoadUint64(&c.stats.BatchedOps),
 
 		VersionReads:      atomic.LoadUint64(&c.stats.VersionReads),
 		CacheHits:         ns.Hits,
@@ -200,8 +207,14 @@ func (c *Client) readLoop() {
 		if err != nil {
 			c.mu.Lock()
 			c.readerr = err
+			// Batch waiters share one channel across IDs; close each
+			// channel exactly once.
+			closed := make(map[chan []byte]struct{})
 			for id, ch := range c.waiters {
-				close(ch)
+				if _, dup := closed[ch]; !dup {
+					close(ch)
+					closed[ch] = struct{}{}
+				}
 				delete(c.waiters, id)
 			}
 			c.mu.Unlock()
@@ -234,6 +247,25 @@ func (c *Client) readLoop() {
 		case wire.MsgVersionData:
 			if vd, err := wire.DecodeVersionData(frame); err == nil {
 				c.deliver(vd.ID, frame)
+			}
+		case wire.MsgBatch:
+			// Batch responses: deliver each response sub-message to its
+			// waiter individually, so segmentation folds per operation.
+			it, err := wire.DecodeBatch(frame)
+			if err != nil {
+				continue
+			}
+			for {
+				msg, ok := it.Next()
+				if !ok {
+					break
+				}
+				if t, err := wire.PeekType(msg); err != nil || t != wire.MsgResponse {
+					continue
+				}
+				if resp, err := wire.DecodeResponse(msg); err == nil {
+					c.deliver(resp.ID, msg)
+				}
 			}
 		}
 	}
@@ -308,9 +340,12 @@ func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
 		c.mu.Unlock()
 	}()
 
+	buf := wire.GetBuf()
+	*buf = req.Encode((*buf)[:0])
 	c.sendMu.Lock()
-	err := writeFrame(c.conn, req.Encode(nil))
+	err := writeFrame(c.conn, *buf)
 	c.sendMu.Unlock()
+	wire.PutBuf(buf)
 	if err != nil {
 		return wire.Response{}, err
 	}

@@ -72,6 +72,9 @@ type ServerConfig struct {
 	HeartbeatInterval time.Duration
 	// MaxSegmentItems caps items per response segment (0 selects ~4 KB).
 	MaxSegmentItems int
+	// MaxBatch caps operations per batch container; an oversized batch is
+	// answered with a single error response (0 selects the wire limit).
+	MaxBatch int
 }
 
 // Server serves a Catfish R-tree over TCP.
@@ -87,14 +90,16 @@ type Server struct {
 	closed atomic.Bool
 	wg     sync.WaitGroup
 
-	epoch     uint64
-	busyNanos atomic.Int64 // request-processing time, for heartbeats
-	hbWindow  atomic.Int64 // busyNanos at last heartbeat
-	searches  atomic.Uint64
-	inserts   atomic.Uint64
-	deletes   atomic.Uint64
-	reads     atomic.Uint64
-	verReads  atomic.Uint64
+	epoch      uint64
+	busyNanos  atomic.Int64 // request-processing time, for heartbeats
+	hbWindow   atomic.Int64 // busyNanos at last heartbeat
+	searches   atomic.Uint64
+	inserts    atomic.Uint64
+	deletes    atomic.Uint64
+	reads      atomic.Uint64
+	verReads   atomic.Uint64
+	batches    atomic.Uint64
+	batchedOps atomic.Uint64
 }
 
 type srvConn struct {
@@ -172,6 +177,10 @@ type ServerStats struct {
 	Deletes      uint64
 	ChunkReads   uint64
 	VersionReads uint64
+	// Batches counts batch containers executed; BatchedOps the operations
+	// they carried (each also counted in its per-type counter above).
+	Batches    uint64
+	BatchedOps uint64
 }
 
 // Stats returns a snapshot of the op counters.
@@ -182,6 +191,8 @@ func (s *Server) Stats() ServerStats {
 		Deletes:      s.deletes.Load(),
 		ChunkReads:   s.reads.Load(),
 		VersionReads: s.verReads.Load(),
+		Batches:      s.batches.Load(),
+		BatchedOps:   s.batchedOps.Load(),
 	}
 }
 
@@ -251,6 +262,10 @@ func (s *Server) serveConn(sc *srvConn) {
 				return
 			}
 			if err := s.handleRequest(sc, req); err != nil {
+				return
+			}
+		case wire.MsgBatch:
+			if err := s.handleBatch(sc, frame); err != nil {
 				return
 			}
 		default:
@@ -331,6 +346,8 @@ func (s *Server) handleRequest(sc *srvConn, req wire.Request) error {
 
 func (s *Server) sendSegmented(sc *srvConn, id uint64, items []wire.Item) error {
 	max := s.cfg.MaxSegmentItems
+	buf := wire.GetBuf()
+	defer wire.PutBuf(buf)
 	for {
 		seg := wire.Response{ID: id, Status: wire.StatusOK}
 		if len(items) > max {
@@ -341,7 +358,8 @@ func (s *Server) sendSegmented(sc *srvConn, id uint64, items []wire.Item) error 
 			items = nil
 			seg.Final = true
 		}
-		if err := sc.send(seg.Encode(nil)); err != nil {
+		*buf = seg.Encode((*buf)[:0])
+		if err := sc.send(*buf); err != nil {
 			return err
 		}
 		if seg.Final {

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"github.com/catfish-db/catfish/internal/fabric"
@@ -71,7 +72,9 @@ type Config struct {
 	MaxSegmentItems int
 }
 
-// Stats aggregates server-side counters.
+// Stats aggregates server-side counters. The server mutates them with
+// atomic operations so Stats() may be called from outside the simulation
+// (progress meters, tests under -race) while workers run.
 type Stats struct {
 	Searches  uint64
 	Inserts   uint64
@@ -79,6 +82,10 @@ type Stats struct {
 	Results   uint64
 	Heartbeat uint64
 	Segments  uint64
+	// Batches counts batch containers executed; BatchedOps the operations
+	// they carried (single-latch, single-charge fast-messaging batching).
+	Batches    uint64
+	BatchedOps uint64
 }
 
 // Server is the Catfish R-tree server.
@@ -103,6 +110,20 @@ type conn struct {
 	hbMem      *fabric.Memory // on the client host
 	thread     *sim.PollThread
 	tcp        *fabric.TCPConn
+
+	// Reused batch-execution state (one worker per conn, so no locking).
+	batchReqs []wire.Request
+	batchRes  []batchResult
+	benc      wire.BatchEncoder
+	encBuf    []byte
+}
+
+// batchResult is one operation's outcome, buffered until the whole batch
+// has executed and the latch is released.
+type batchResult struct {
+	id     uint64
+	status uint8
+	items  []wire.Item
 }
 
 // Endpoint is what a client needs to talk to the server; returned by
@@ -160,8 +181,20 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Stats returns a snapshot of the server counters.
-func (s *Server) Stats() Stats { return s.stats }
+// Stats returns a snapshot of the server counters, safe to call while the
+// simulation runs.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Searches:   atomic.LoadUint64(&s.stats.Searches),
+		Inserts:    atomic.LoadUint64(&s.stats.Inserts),
+		Deletes:    atomic.LoadUint64(&s.stats.Deletes),
+		Results:    atomic.LoadUint64(&s.stats.Results),
+		Heartbeat:  atomic.LoadUint64(&s.stats.Heartbeat),
+		Segments:   atomic.LoadUint64(&s.stats.Segments),
+		Batches:    atomic.LoadUint64(&s.stats.Batches),
+		BatchedOps: atomic.LoadUint64(&s.stats.BatchedOps),
+	}
+}
 
 // Tree returns the served tree (the harness pre-loads it).
 func (s *Server) Tree() *rtree.Tree { return s.tree }
@@ -245,12 +278,7 @@ func (s *Server) serveRDMA(p *sim.Proc, c *conn) {
 			if !ok {
 				break
 			}
-			req, err := wire.DecodeRequest(payload)
-			if err != nil {
-				s.respond(p, c, wire.Response{Status: wire.StatusError, Final: true}, nil)
-				continue
-			}
-			s.handle(p, c, req)
+			s.dispatch(p, c, payload)
 		}
 		if err := c.reqReader.ReportHead(p); err != nil {
 			panic(fmt.Sprintf("server: head report failed: %v", err))
@@ -261,14 +289,23 @@ func (s *Server) serveRDMA(p *sim.Proc, c *conn) {
 // serveTCP is the blocking-recv TCP worker loop.
 func (s *Server) serveTCP(p *sim.Proc, c *conn) {
 	for {
-		payload := c.tcp.Recv(p)
-		req, err := wire.DecodeRequest(payload)
-		if err != nil {
-			s.respond(p, c, wire.Response{Status: wire.StatusError, Final: true}, nil)
-			continue
-		}
-		s.handle(p, c, req)
+		s.dispatch(p, c, c.tcp.Recv(p))
 	}
+}
+
+// dispatch routes one incoming message: a batch container or a single
+// request.
+func (s *Server) dispatch(p *sim.Proc, c *conn, payload []byte) {
+	if len(payload) > 0 && wire.MsgType(payload[0]) == wire.MsgBatch {
+		s.handleBatch(p, c, payload)
+		return
+	}
+	req, err := wire.DecodeRequest(payload)
+	if err != nil {
+		s.respond(p, c, wire.Response{Status: wire.StatusError, Final: true}, nil)
+		return
+	}
+	s.handle(p, c, req)
 }
 
 // charge accounts CPU service for a request on this connection.
@@ -284,7 +321,7 @@ func (s *Server) charge(p *sim.Proc, c *conn, demand time.Duration) {
 func (s *Server) handle(p *sim.Proc, c *conn, req wire.Request) {
 	switch req.Type {
 	case wire.MsgSearch:
-		s.stats.Searches++
+		atomic.AddUint64(&s.stats.Searches, 1)
 		s.latch.RLock(p)
 		items, st, err := s.searchCollect(req.Rect)
 		s.latch.RUnlock()
@@ -292,12 +329,12 @@ func (s *Server) handle(p *sim.Proc, c *conn, req wire.Request) {
 			s.respond(p, c, wire.Response{ID: req.ID, Status: wire.StatusError, Final: true}, nil)
 			return
 		}
-		s.stats.Results += uint64(len(items))
+		atomic.AddUint64(&s.stats.Results, uint64(len(items)))
 		s.charge(p, c, s.cfg.Cost.SearchDemand(st.NodesRead, st.Results))
 		s.respond(p, c, wire.Response{ID: req.ID, Status: wire.StatusOK}, items)
 
 	case wire.MsgInsert:
-		s.stats.Inserts++
+		atomic.AddUint64(&s.stats.Inserts, 1)
 		s.latch.Lock(p)
 		st, err := s.insertStaged(p, req.Rect, req.Ref)
 		s.latch.Unlock()
@@ -309,7 +346,7 @@ func (s *Server) handle(p *sim.Proc, c *conn, req wire.Request) {
 		s.respond(p, c, wire.Response{ID: req.ID, Status: status, Final: true}, nil)
 
 	case wire.MsgDelete:
-		s.stats.Deletes++
+		atomic.AddUint64(&s.stats.Deletes, 1)
 		s.latch.Lock(p)
 		ok, st, err := s.tree.Delete(req.Rect, req.Ref)
 		s.latch.Unlock()
@@ -326,6 +363,151 @@ func (s *Server) handle(p *sim.Proc, c *conn, req wire.Request) {
 	default:
 		s.respond(p, c, wire.Response{ID: req.ID, Status: wire.StatusError, Final: true}, nil)
 	}
+}
+
+// handleBatch executes a batch container under one latch acquisition and
+// one CPU charge: a batch carrying any write takes the exclusive latch,
+// a read-only batch shares the read latch. Results are buffered until the
+// latch is released, billed as a single charge whose per-operation fixed
+// costs are amortized (CostModel.BatchedOpFixed), and written back as
+// segmented batch responses.
+func (s *Server) handleBatch(p *sim.Proc, c *conn, payload []byte) {
+	it, err := wire.DecodeBatch(payload)
+	if err != nil {
+		s.respond(p, c, wire.Response{Status: wire.StatusError, Final: true}, nil)
+		return
+	}
+	reqs := c.batchReqs[:0]
+	hasWrite := false
+	for {
+		msg, ok := it.Next()
+		if !ok {
+			break
+		}
+		req, err := wire.DecodeRequest(msg)
+		if err != nil {
+			req = wire.Request{} // answered with an error response below
+		} else if req.Type != wire.MsgSearch {
+			hasWrite = true
+		}
+		reqs = append(reqs, req)
+	}
+	c.batchReqs = reqs
+	if it.Err() != nil {
+		s.respond(p, c, wire.Response{Status: wire.StatusError, Final: true}, nil)
+		return
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	atomic.AddUint64(&s.stats.Batches, 1)
+	atomic.AddUint64(&s.stats.BatchedOps, uint64(len(reqs)))
+
+	if hasWrite {
+		s.latch.Lock(p)
+	} else {
+		s.latch.RLock(p)
+	}
+	var demand time.Duration
+	res := c.batchRes[:0]
+	for i, req := range reqs {
+		out := batchResult{id: req.ID, status: wire.StatusError}
+		switch req.Type {
+		case wire.MsgSearch:
+			atomic.AddUint64(&s.stats.Searches, 1)
+			items, st, err := s.searchCollect(req.Rect)
+			if err == nil {
+				out.status = wire.StatusOK
+				out.items = items
+				atomic.AddUint64(&s.stats.Results, uint64(len(items)))
+				demand += s.cfg.Cost.SearchDemandBatched(i, st.NodesRead, st.Results)
+			}
+		case wire.MsgInsert:
+			atomic.AddUint64(&s.stats.Inserts, 1)
+			st, err := s.insertStaged(p, req.Rect, req.Ref)
+			if err == nil {
+				out.status = wire.StatusOK
+			}
+			demand += s.cfg.Cost.InsertDemandBatched(i, st.NodesRead, st.NodesWritten)
+		case wire.MsgDelete:
+			atomic.AddUint64(&s.stats.Deletes, 1)
+			ok, st, err := s.tree.Delete(req.Rect, req.Ref)
+			switch {
+			case err != nil:
+			case !ok:
+				out.status = wire.StatusNotFound
+			default:
+				out.status = wire.StatusOK
+			}
+			demand += s.cfg.Cost.InsertDemandBatched(i, st.NodesRead, st.NodesWritten)
+		}
+		res = append(res, out)
+	}
+	c.batchRes = res
+	if hasWrite {
+		s.latch.Unlock()
+	} else {
+		s.latch.RUnlock()
+	}
+	s.charge(p, c, demand)
+	s.respondBatch(p, c, res)
+}
+
+// respondBatch writes buffered batch results back as batch containers of
+// response segments. Each operation keeps its own CONT/END segmentation
+// inside the container; containers flush below the transport frame limit
+// so a large batch response never exceeds what one ring frame may carry.
+func (s *Server) respondBatch(p *sim.Proc, c *conn, res []batchResult) {
+	limit := 16 << 10
+	if c.respWriter != nil {
+		if mp := c.respWriter.MaxPayload(); mp < limit {
+			limit = mp
+		}
+	}
+	maxItems := s.cfg.MaxSegmentItems
+	hdr := wire.Response{}.EncodedSize()
+	if fit := (limit - wire.BatchOverhead(1) - hdr) / wire.ItemSize; fit < maxItems {
+		maxItems = fit
+	}
+	if maxItems < 1 {
+		maxItems = 1
+	}
+	enc := &c.benc
+	enc.Reset(c.encBuf[:0])
+	flush := func() {
+		if enc.Count() == 0 {
+			return
+		}
+		s.send(p, c, enc.Bytes())
+		c.encBuf = enc.Buf[:0]
+		enc.Reset(c.encBuf)
+	}
+	for _, r := range res {
+		items := r.items
+		for {
+			seg := wire.Response{ID: r.id, Status: r.status}
+			if len(items) > maxItems {
+				seg.Items = items[:maxItems]
+				items = items[maxItems:]
+			} else {
+				seg.Items = items
+				items = nil
+				seg.Final = true
+			}
+			if enc.Count() > 0 && enc.Len()+seg.EncodedSize()+wire.BatchOverhead(1) > limit {
+				flush()
+			}
+			enc.Begin()
+			enc.Buf = seg.Encode(enc.Buf)
+			enc.End()
+			atomic.AddUint64(&s.stats.Segments, 1)
+			if seg.Final {
+				break
+			}
+		}
+	}
+	flush()
+	c.encBuf = enc.Buf[:0]
 }
 
 // searchCollect runs the search, collecting items.
@@ -379,7 +561,7 @@ func (s *Server) respond(p *sim.Proc, c *conn, resp wire.Response, items []wire.
 			items = nil
 			seg.Final = true
 		}
-		s.stats.Segments++
+		atomic.AddUint64(&s.stats.Segments, 1)
 		s.send(p, c, seg.Encode(nil))
 		if seg.Final {
 			return
@@ -431,7 +613,7 @@ func (s *Server) heartbeatLoop(p *sim.Proc) {
 			if err := qp.Write(p, c.hbMem, 0, buf[:], fabric.WriteOpts{}); err != nil {
 				panic(fmt.Sprintf("server: heartbeat write failed: %v", err))
 			}
-			s.stats.Heartbeat++
+			atomic.AddUint64(&s.stats.Heartbeat, 1)
 		}
 	}
 }

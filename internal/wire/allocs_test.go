@@ -1,0 +1,55 @@
+//go:build !race
+
+// Race instrumentation inserts allocations of its own, so the hard
+// zero-allocation assertions only run in non-race builds; the benchmarks in
+// bench_test.go report the same numbers under `go test -bench . -benchmem`.
+package wire
+
+import "testing"
+
+func TestFastMessageHotPathZeroAlloc(t *testing.T) {
+	f := newFastMessageRound()
+	if _, err := f.run(16); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := f.run(16); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("fast-messaging round allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestDecodeResponseIntoZeroAlloc(t *testing.T) {
+	items := make([]Item, 8)
+	buf := Response{ID: 9, Status: StatusOK, Final: true, Items: items}.Encode(nil)
+	var resp Response
+	if err := DecodeResponseInto(buf, &resp); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := DecodeResponseInto(buf, &resp); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("DecodeResponseInto allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestBufPoolRoundTripZeroAlloc(t *testing.T) {
+	// A Get/Put cycle on a warmed pool must not allocate (modulo GC clearing
+	// the pool, which AllocsPerRun's single-goroutine run does not trigger).
+	b := GetBuf()
+	PutBuf(b)
+	allocs := testing.AllocsPerRun(200, func() {
+		b := GetBuf()
+		*b = append((*b)[:0], 1, 2, 3)
+		PutBuf(b)
+	})
+	if allocs != 0 {
+		t.Errorf("pooled buffer round trip allocates %.1f objects/op, want 0", allocs)
+	}
+}

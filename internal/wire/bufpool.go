@@ -1,0 +1,34 @@
+// Pooled encode/decode buffers for the fast-messaging hot path. Encoding
+// a request or response into a pooled, already-grown buffer performs zero
+// heap allocations per message; callers return buffers once the bytes
+// have been copied onto the wire (or the decoded fields copied out).
+package wire
+
+import "sync"
+
+// bufCap seeds pooled buffers at one response segment (~4 KB) so steady
+// state never grows them.
+const bufCap = 4096
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, bufCap)
+		return &b
+	},
+}
+
+// GetBuf returns a zero-length pooled buffer. Pass the pointer back to
+// PutBuf when done; the pointer indirection keeps the pool allocation-free.
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool.
+func PutBuf(b *[]byte) {
+	if b == nil {
+		return
+	}
+	bufPool.Put(b)
+}

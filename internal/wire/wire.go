@@ -199,7 +199,7 @@ func PeekType(b []byte) (MsgType, error) {
 		return 0, ErrCorrupt
 	}
 	t := MsgType(b[0])
-	if t < MsgSearch || t > MsgVersionData {
+	if t < MsgSearch || t > MsgBatch {
 		return 0, fmt.Errorf("%w: type %d", ErrCorrupt, t)
 	}
 	return t, nil
