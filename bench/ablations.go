@@ -270,6 +270,42 @@ func AblationPredictor(o Options) (*stats.Table, error) {
 	return table, nil
 }
 
+// AblationShards sweeps the shard count K of the spatially partitioned
+// deployment (K=1 is bit for bit the single-server system). Each K
+// partitions the dataset differently, so the runs share the dataset but
+// each builds its shards' trees afresh — PrebuiltTree cannot be reused.
+func AblationShards(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	cache := newCache(o)
+	clients := o.ablationClients()
+	table := stats.NewTable("K", "kops", "mean_lat_us", "fanout", "offload%", "serverCPU%")
+	for _, k := range []int{1, 2, 4, 8} {
+		res, err := cluster.Run(cluster.Config{
+			Scheme:            cluster.SchemeCatfish,
+			Dataset:           cache.uniformData(),
+			Workload:          searchMix(workload.UniformScale{Scale: 0.00001}),
+			NumClients:        clients,
+			RequestsPerClient: o.Requests,
+			ServerCores:       o.ServerCores,
+			HeartbeatInv:      o.HeartbeatInv,
+			Shards:            k,
+			Seed:              o.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation shards=%d: %w", k, err)
+		}
+		fanout := res.FanoutPerSearch
+		if k <= 1 {
+			fanout = 1 // single-server path: every search "targets" the one server
+		}
+		table.AddRow(fmt.Sprintf("%d", k), fmtKops(res.Kops), fmtDur(res.Latency.Mean),
+			fmt.Sprintf("%.2f", fanout),
+			fmt.Sprintf("%.1f", res.OffloadFraction*100),
+			fmt.Sprintf("%.1f", res.ServerCPUUtil*100))
+	}
+	return table, nil
+}
+
 // AblationChunkSize sweeps the region chunk size (node fan-out follows the
 // chunk capacity), trading per-read bytes against tree height.
 func AblationChunkSize(o Options) (*stats.Table, error) {

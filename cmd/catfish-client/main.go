@@ -4,6 +4,11 @@
 //	catfish-client -addr 127.0.0.1:7373 -clients 8 -requests 10000
 //	catfish-client -addr ... -method offload -multiissue
 //	catfish-client -addr ... -adaptive -insert-fraction 0.1
+//
+// A comma-separated -addr list drives a sharded deployment through the
+// scatter-gather router (addresses in shard order):
+//
+//	catfish-client -addr host0:7373,host1:7373,host2:7373,host3:7373
 package main
 
 import (
@@ -11,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -28,7 +34,7 @@ func main() {
 
 func run() error {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7373", "server address")
+		addr       = flag.String("addr", "127.0.0.1:7373", "server address, or comma-separated shard addresses in shard order")
 		clients    = flag.Int("clients", 4, "concurrent client connections")
 		requests   = flag.Int("requests", 2000, "requests per client")
 		scale      = flag.Float64("scale", 0.001, "query scale (edges uniform in (0, scale])")
@@ -48,11 +54,13 @@ func run() error {
 	} else if *method != "fast" {
 		return fmt.Errorf("unknown method %q", *method)
 	}
+	addrs := strings.Split(*addr, ",")
 
 	type result struct {
-		hist  *stats.Histogram
-		stats rpcnet.ClientStats
-		err   error
+		hist   *stats.Histogram
+		stats  rpcnet.ClientStats
+		router catfish.ShardRouterStats
+		err    error
 	}
 	results := make([]result, *clients)
 	var wg sync.WaitGroup
@@ -64,16 +72,36 @@ func run() error {
 			defer wg.Done()
 			hist := stats.NewHistogram()
 			results[i].hist = hist
-			c, err := catfish.Dial(*addr, catfish.NetClientConfig{
+			ccfg := catfish.NetClientConfig{
 				Adaptive:   *adaptive,
 				Forced:     forced,
 				MultiIssue: *multiIssue,
 				NodeCache:  *nodeCache,
 				Seed:       *seed + int64(i),
-			})
-			if err != nil {
-				results[i].err = err
-				return
+			}
+			var c conn
+			collect := func() {}
+			if len(addrs) > 1 {
+				r, err := catfish.DialRouter(addrs, catfish.NetRouterConfig{Client: ccfg})
+				if err != nil {
+					results[i].err = err
+					return
+				}
+				c = r
+				collect = func() {
+					for _, sc := range r.Clients() {
+						results[i].stats = sumClientStats(results[i].stats, sc.Stats())
+					}
+					results[i].router = r.Stats()
+				}
+			} else {
+				cl, err := catfish.Dial(addrs[0], ccfg)
+				if err != nil {
+					results[i].err = err
+					return
+				}
+				c = cl
+				collect = func() { results[i].stats = cl.Stats() }
 			}
 			defer c.Close()
 			rng := rand.New(rand.NewSource(*seed + int64(i)*7919))
@@ -112,7 +140,7 @@ func run() error {
 						hist.Record(elapsed)
 					}
 				}
-				results[i].stats = c.Stats()
+				collect()
 				return
 			}
 			for r := 0; r < *requests; r++ {
@@ -131,7 +159,7 @@ func run() error {
 				}
 				hist.Record(time.Since(t0))
 			}
-			results[i].stats = c.Stats()
+			collect()
 		}()
 	}
 	wg.Wait()
@@ -139,22 +167,18 @@ func run() error {
 
 	total := stats.NewHistogram()
 	var agg rpcnet.ClientStats
+	var rt catfish.ShardRouterStats
 	for i, r := range results {
 		if r.err != nil {
 			return fmt.Errorf("client %d: %w", i, r.err)
 		}
 		total.Merge(r.hist)
-		agg.FastSearches += r.stats.FastSearches
-		agg.OffloadSearches += r.stats.OffloadSearches
-		agg.BatchesSent += r.stats.BatchesSent
-		agg.BatchedOps += r.stats.BatchedOps
-		agg.TornRetries += r.stats.TornRetries
-		agg.ChunksFetched += r.stats.ChunksFetched
-		agg.VersionReads += r.stats.VersionReads
-		agg.CacheHits += r.stats.CacheHits
-		agg.CacheVerifiedHits += r.stats.CacheVerifiedHits
-		agg.CacheMisses += r.stats.CacheMisses
-		agg.CacheBytesSaved += r.stats.CacheBytesSaved
+		agg = sumClientStats(agg, r.stats)
+		rt.Searches += r.router.Searches
+		rt.Writes += r.router.Writes
+		rt.Fanout += r.router.Fanout
+		rt.Skipped += r.router.Skipped
+		rt.UnhealthyWrites += r.router.UnhealthyWrites
 	}
 	s := total.Summarize()
 	fmt.Printf("ops: %d in %v  =>  %.1f Kops\n", s.Count, elapsed.Round(time.Millisecond),
@@ -171,7 +195,35 @@ func run() error {
 			agg.CacheHits, agg.CacheVerifiedHits, agg.CacheMisses, agg.VersionReads,
 			float64(agg.CacheBytesSaved)/1e6)
 	}
+	if len(addrs) > 1 && rt.Searches > 0 {
+		fmt.Printf("shards: %d, fan-out/search=%.2f, skipped searches=%d, unhealthy writes=%d\n",
+			len(addrs), float64(rt.Fanout)/float64(rt.Searches), rt.Skipped, rt.UnhealthyWrites)
+	}
 	return nil
+}
+
+// conn is the slice of the client API the driver uses; both the plain
+// client and the sharded router satisfy it.
+type conn interface {
+	Search(q catfish.Rect) ([]wire.Item, rpcnet.Method, error)
+	Insert(r catfish.Rect, ref uint64) error
+	ExecBatch(ops []rpcnet.BatchOp, results []rpcnet.BatchResult) []rpcnet.BatchResult
+	Close() error
+}
+
+func sumClientStats(a, b rpcnet.ClientStats) rpcnet.ClientStats {
+	a.FastSearches += b.FastSearches
+	a.OffloadSearches += b.OffloadSearches
+	a.BatchesSent += b.BatchesSent
+	a.BatchedOps += b.BatchedOps
+	a.TornRetries += b.TornRetries
+	a.ChunksFetched += b.ChunksFetched
+	a.VersionReads += b.VersionReads
+	a.CacheHits += b.CacheHits
+	a.CacheVerifiedHits += b.CacheVerifiedHits
+	a.CacheMisses += b.CacheMisses
+	a.CacheBytesSaved += b.CacheBytesSaved
+	return a
 }
 
 func minf(a, b float64) float64 {

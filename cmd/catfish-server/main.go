@@ -6,6 +6,7 @@
 //	catfish-server -addr :7373 -items 2000000
 //	catfish-server -addr :7373 -dataset rea02 -heartbeat 10ms
 //	catfish-server -addr :7373 -load rects.bin     # from catfish-gen
+//	catfish-server -addr :7373 -shards 4 -shard-index 0   # shard 0 of 4
 package main
 
 import (
@@ -35,6 +36,9 @@ func run() error {
 		fanout    = flag.Int("fanout", 64, "R-tree fan-out M")
 		batch     = flag.Int("batch", 0, "max ops accepted per batch container (0 = wire limit)")
 		seed      = flag.Int64("seed", 1, "dataset seed")
+		shards    = flag.Int("shards", 1, "total shard count of the deployment (1 = unsharded)")
+		shardIdx  = flag.Int("shard-index", 0, "this server's shard index, 0-based; every shard must be started with identical dataset flags")
+		maxInsert = flag.Float64("max-insert-edge", 1e-5, "largest rectangle edge clients will insert (widens shard coverage)")
 	)
 	flag.Parse()
 
@@ -58,6 +62,27 @@ func run() error {
 		return fmt.Errorf("unknown dataset %q", *dataset)
 	}
 
+	// Sharded deployment: every shard builds the identical map from the
+	// full dataset (same flags, same seed), then keeps only its own slice.
+	var smap *catfish.ShardMap
+	if *shards > 1 {
+		if *shardIdx < 0 || *shardIdx >= *shards {
+			return fmt.Errorf("-shard-index %d out of range for -shards %d", *shardIdx, *shards)
+		}
+		var err error
+		smap, err = catfish.BuildShardMap(entries, catfish.ShardConfig{
+			K:             *shards,
+			MaxInsertEdge: *maxInsert,
+		})
+		if err != nil {
+			return err
+		}
+		own := smap.Assign(entries)[*shardIdx]
+		log.Printf("shard %d/%d owns %d of %d rectangles (map version %#x)",
+			*shardIdx, *shards, len(own), len(entries), smap.Version)
+		entries = own
+	}
+
 	perLeaf := *fanout / 2
 	chunks := len(entries)/perLeaf + len(entries)/(perLeaf*perLeaf) + 4096
 	reg, err := catfish.NewMemoryRegion(chunks*2, 4096)
@@ -69,8 +94,10 @@ func run() error {
 		return err
 	}
 	start := time.Now()
-	if err := tree.BulkLoad(entries, 0); err != nil {
-		return err
+	if len(entries) > 0 {
+		if err := tree.BulkLoad(entries, 0); err != nil {
+			return err
+		}
 	}
 	log.Printf("loaded %d rectangles in %v (height %d, region %d MB)",
 		tree.Len(), time.Since(start).Round(time.Millisecond), tree.Height(), reg.Size()>>20)
@@ -78,6 +105,8 @@ func run() error {
 	srv, err := catfish.Listen(*addr, tree, catfish.NetServerConfig{
 		HeartbeatInterval: *heartbeat,
 		MaxBatch:          *batch,
+		ShardMap:          smap,
+		ShardIndex:        *shardIdx,
 	})
 	if err != nil {
 		return err

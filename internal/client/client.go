@@ -328,6 +328,22 @@ func (c *Client) clearHeartbeat() {
 	}
 }
 
+// HeartbeatSeq returns the sequence number of the last heartbeat written
+// into this client's mailbox (0 before the first one). Unlike the
+// utilization word — which Algorithm 1 clears after reading and
+// non-adaptive clients never clear — the sequence advances exactly once
+// per heartbeat arrival, so liveness trackers poll it for changes.
+func (c *Client) HeartbeatSeq() uint64 {
+	if c.ep.HeartbeatM == nil {
+		return 0
+	}
+	b := c.ep.HeartbeatM.Bytes()
+	if len(b) < 24 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[16:])
+}
+
 // heartbeatRootVersion reads the root version published alongside the
 // utilization (0 when the server has not heartbeated yet).
 func (c *Client) heartbeatRootVersion() uint64 {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -34,7 +35,7 @@ func TestBatchSizeOneEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if base != one {
+			if !reflect.DeepEqual(base, one) {
 				t.Errorf("B=1 diverges from unbatched:\nunbatched: %+v\nB=1:       %+v", base, one)
 			}
 			if one.Batches != 0 {

@@ -126,8 +126,19 @@ type Config struct {
 	// PrebuiltTree reuses an already-loaded tree (and its region) instead
 	// of bulk-loading Dataset. Only valid for workloads with no inserts:
 	// mutations would leak between runs. The benchmark harness uses this
-	// to amortize the 2M-rectangle load across a sweep.
+	// to amortize the 2M-rectangle load across a sweep. Incompatible with
+	// Shards > 1 (each K partitions the dataset differently).
 	PrebuiltTree *rtree.Tree
+
+	// Shards partitions the dataset across K independent servers (each with
+	// its own host, CPU, NIC, and heartbeat stream); clients route through
+	// a scatter-gather shard.Router with one adaptive switch per shard.
+	// 0 or 1 runs the existing single-server path unchanged.
+	Shards int
+	// HealthMultiple is the shard-liveness window in heartbeat intervals
+	// (shard.DefaultHealthMultiple when 0). Only meaningful with Shards > 1
+	// on a heartbeating scheme.
+	HealthMultiple int
 
 	Seed int64
 }
@@ -170,6 +181,31 @@ type Result struct {
 	CacheBytesSaved uint64
 
 	ServerStats server.Stats
+
+	// Sharded-run extras (empty/zero for single-server runs). ServerStats,
+	// CPU, and NIC figures above aggregate across shards (stats summed,
+	// utilizations averaged, bandwidths summed); PerShard keeps the split
+	// so sweeps can plot load skew.
+	PerShard []ShardResult
+	// FanoutPerSearch is the mean number of shards each search scattered to.
+	FanoutPerSearch float64
+	// SkippedSearches counts searches whose every target shard was
+	// unhealthy; UnhealthyWrites counts writes rejected for a dead owner.
+	SkippedSearches uint64
+	UnhealthyWrites uint64
+}
+
+// ShardResult is one shard's share of a sharded run.
+type ShardResult struct {
+	Shard   int
+	Entries int    // dataset entries owned at load time
+	Ops     uint64 // server-side searches+inserts+deletes executed
+	// OffloadFraction is the fraction of this shard's sub-searches that ran
+	// as client-side traversals — per-shard Algorithm 1 state made visible.
+	OffloadFraction float64
+	CPUUtil         float64
+	TXGbps          float64
+	RXGbps          float64
 }
 
 func (c *Config) applyDefaults() {
@@ -230,6 +266,11 @@ func Run(cfg Config) (Result, error) {
 	cfg.applyDefaults()
 	if cfg.Workload == nil {
 		return Result{}, errors.New("cluster: Workload is required")
+	}
+	// K>1 runs the sharded deployment; K<=1 stays on this single-server
+	// path, bit for bit.
+	if cfg.Shards > 1 {
+		return runSharded(cfg)
 	}
 
 	e := sim.New(cfg.Seed)

@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/client"
+	"github.com/catfish-db/catfish/internal/fabric"
+	"github.com/catfish-db/catfish/internal/region"
+	"github.com/catfish-db/catfish/internal/rtree"
+	"github.com/catfish-db/catfish/internal/server"
+	"github.com/catfish-db/catfish/internal/shard"
+	"github.com/catfish-db/catfish/internal/sim"
+	"github.com/catfish-db/catfish/internal/stats"
+	"github.com/catfish-db/catfish/internal/wire"
+	"github.com/catfish-db/catfish/internal/workload"
+)
+
+// runSharded executes a K-shard deployment: the dataset is partitioned by
+// the recursive longest-axis splitter, each shard gets its own server
+// (host, CPU, NIC, region, tree, heartbeat stream), and every simulated
+// client drives a shard.Router holding one connected client — and therefore
+// one adaptive.Switch — per shard. Searches scatter to all shards whose
+// coverage intersects the query and merge the partials; writes go to the
+// unique owner.
+func runSharded(cfg Config) (Result, error) {
+	if cfg.PrebuiltTree != nil {
+		return Result{}, errors.New("cluster: PrebuiltTree is incompatible with Shards > 1 (each K partitions the dataset differently)")
+	}
+	k := cfg.Shards
+
+	smap, err := shard.Build(cfg.Dataset, shard.Config{K: k, MaxInsertEdge: cfg.Workload.Inserts.Edge})
+	if err != nil {
+		return Result{}, err
+	}
+	assign := smap.Assign(cfg.Dataset)
+
+	e := sim.New(cfg.Seed)
+	net := fabric.NewNetwork(e, cfg.Scheme.Profile)
+
+	// One full server stack per shard. Regions keep the single-server
+	// insert headroom: ownership skew means one shard can absorb most of
+	// the write stream.
+	serverCPUs := make([]*sim.CPU, k)
+	serverHosts := make([]*fabric.Host, k)
+	pollCPUs := make([]*sim.PollCPU, k)
+	servers := make([]*server.Server, k)
+	for s := 0; s < k; s++ {
+		serverCPUs[s] = sim.NewCPU(e, cfg.ServerCores)
+		serverHosts[s] = net.NewHost(fmt.Sprintf("shard-%d", s), serverCPUs[s])
+		reg, err := region.New(cfg.regionChunks(), cfg.ChunkSize)
+		if err != nil {
+			return Result{}, err
+		}
+		tree, err := rtree.New(reg, rtree.Config{MaxEntries: cfg.MaxEntries})
+		if err != nil {
+			return Result{}, err
+		}
+		if len(assign[s]) > 0 {
+			data := append([]rtree.Entry(nil), assign[s]...)
+			if err := tree.BulkLoad(data, 0); err != nil {
+				return Result{}, fmt.Errorf("cluster: shard %d bulk load: %w", s, err)
+			}
+		}
+		srvCfg := server.Config{
+			Engine:           e,
+			Host:             serverHosts[s],
+			Tree:             tree,
+			Cost:             cfg.Cost,
+			Mode:             cfg.Scheme.ServerMode,
+			RingSize:         cfg.RingSize,
+			StagedNodeWrites: cfg.StagedWrites,
+		}
+		if cfg.Scheme.Heartbeats {
+			srvCfg.HeartbeatInterval = cfg.HeartbeatInv
+		}
+		if cfg.Scheme.ServerMode == server.ModePolling {
+			pollCPUs[s] = sim.NewPollCPU(e, cfg.ServerCores, cfg.Cost.PollSlice)
+			srvCfg.PollCPU = pollCPUs[s]
+		}
+		servers[s], err = server.New(srvCfg)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	numHosts := (cfg.NumClients + cfg.ClientsPerHost - 1) / cfg.ClientsPerHost
+	hosts := make([]*fabric.Host, numHosts)
+	for i := range hosts {
+		hosts[i] = net.NewHost(fmt.Sprintf("client-host-%d", i), sim.NewCPU(e, cfg.ClientCores))
+	}
+
+	// Each simulated client connects to every shard (one client.Client per
+	// shard, each with its own adaptive switch) and drives them through a
+	// router.
+	hbForHealth := time.Duration(0)
+	if cfg.Scheme.Heartbeats {
+		hbForHealth = cfg.HeartbeatInv
+	}
+	routers := make([]*shard.Router, cfg.NumClients)
+	shardClients := make([][]*client.Client, cfg.NumClients)
+	for i := 0; i < cfg.NumClients; i++ {
+		host := hosts[i/cfg.ClientsPerHost]
+		cs := make([]*client.Client, k)
+		for s := 0; s < k; s++ {
+			ccfg := client.Config{
+				Engine:        e,
+				Host:          host,
+				Cost:          cfg.Cost,
+				Adaptive:      cfg.Scheme.Adaptive,
+				Forced:        cfg.Scheme.Forced,
+				MultiIssue:    cfg.Scheme.MultiIssue,
+				N:             cfg.N,
+				T:             cfg.T,
+				HeartbeatInv:  cfg.HeartbeatInv,
+				CacheRoot:     cfg.CacheRoot,
+				NodeCache:     cfg.NodeCache,
+				PredSmoothing: cfg.PredSmoothing,
+			}
+			if cfg.Scheme.TCP {
+				ep, err := servers[s].ConnectTCP(host, net)
+				if err != nil {
+					return Result{}, err
+				}
+				ccfg.Endpoint = ep
+			} else {
+				ep, err := servers[s].Connect(host, net, cfg.MultiIssueDepth)
+				if err != nil {
+					return Result{}, err
+				}
+				ccfg.Endpoint = ep
+			}
+			c, err := client.New(ccfg)
+			if err != nil {
+				return Result{}, err
+			}
+			cs[s] = c
+		}
+		shardClients[i] = cs
+		routers[i], err = shard.NewRouter(shard.RouterConfig{
+			Engine:            e,
+			Map:               smap,
+			Clients:           cs,
+			HeartbeatInterval: hbForHealth,
+			HealthMultiple:    cfg.HealthMultiple,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	searchLat := stats.NewHistogram()
+	insertLat := stats.NewHistogram()
+	var ops uint64
+	var makespan time.Duration
+	var runErr error
+	wg := sim.NewWaitGroup(e)
+
+	for i := range routers {
+		i, r := i, routers[i]
+		wg.Add(1)
+		e.Spawn(fmt.Sprintf("driver-%d", i), func(p *sim.Proc) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+			mix := *cfg.Workload
+			if cfg.BatchSize >= 1 {
+				batch := make([]client.BatchOp, 0, cfg.BatchSize)
+				results := make([]client.BatchResult, 0, cfg.BatchSize)
+				for req := 0; req < cfg.RequestsPerClient; {
+					batch = batch[:0]
+					for len(batch) < cfg.BatchSize && req < cfg.RequestsPerClient {
+						op := mix.Next(rng)
+						if op.Type == workload.OpInsert {
+							batch = append(batch, client.BatchOp{
+								Type: wire.MsgInsert, Rect: op.Rect, Ref: op.Ref + uint64(i)<<32})
+						} else {
+							batch = append(batch, client.BatchOp{Type: wire.MsgSearch, Rect: op.Rect})
+						}
+						req++
+					}
+					start := p.Now()
+					results = r.ExecBatch(p, batch, results)
+					elapsed := p.Now() - start
+					for j := range results {
+						if err := results[j].Err; err != nil {
+							runErr = fmt.Errorf("client %d batched op: %w", i, err)
+							return
+						}
+						if batch[j].Type == wire.MsgInsert {
+							insertLat.Record(elapsed)
+						} else {
+							searchLat.Record(elapsed)
+						}
+					}
+					ops += uint64(len(batch))
+					if p.Now() > makespan {
+						makespan = p.Now()
+					}
+				}
+				return
+			}
+			for req := 0; req < cfg.RequestsPerClient; req++ {
+				op := mix.Next(rng)
+				start := p.Now()
+				switch op.Type {
+				case workload.OpInsert:
+					if err := r.Insert(p, op.Rect, op.Ref+uint64(i)<<32); err != nil {
+						runErr = fmt.Errorf("client %d insert: %w", i, err)
+						return
+					}
+					insertLat.Record(p.Now() - start)
+				default:
+					if _, _, err := r.Search(p, op.Rect); err != nil {
+						runErr = fmt.Errorf("client %d search: %w", i, err)
+						return
+					}
+					searchLat.Record(p.Now() - start)
+				}
+				ops++
+				if p.Now() > makespan {
+					makespan = p.Now()
+				}
+			}
+		})
+	}
+	e.Spawn("coordinator", func(p *sim.Proc) {
+		wg.Wait(p)
+		p.Engine().Stop()
+	})
+	if err := e.Run(); err != nil {
+		return Result{}, err
+	}
+	if runErr != nil {
+		return Result{}, runErr
+	}
+
+	res := Result{
+		Scheme:    cfg.Scheme.Name,
+		Clients:   cfg.NumClients,
+		Ops:       ops,
+		Makespan:  makespan,
+		Latency:   searchLat.Summarize(),
+		InsertLat: insertLat.Summarize(),
+	}
+	if makespan > 0 {
+		res.Kops = float64(ops) / makespan.Seconds() / 1e3
+	}
+
+	// Per-shard split plus the single-server-shaped aggregates: server
+	// stats summed, CPU utilization averaged, NIC bandwidth summed.
+	var fastAll, offAll uint64
+	res.PerShard = make([]ShardResult, k)
+	for s := 0; s < k; s++ {
+		st := servers[s].Stats()
+		sr := ShardResult{
+			Shard:   s,
+			Entries: len(assign[s]),
+			Ops:     st.Searches + st.Inserts + st.Deletes,
+		}
+		if makespan > 0 {
+			sr.TXGbps = serverHosts[s].TXGbps(makespan)
+			sr.RXGbps = serverHosts[s].RXGbps(makespan)
+		}
+		if cfg.Scheme.ServerMode == server.ModePolling {
+			sr.CPUUtil = 1.0
+			res.ServerUsefulCPU += pollCPUs[s].UsefulUtilizationTotal() / float64(k)
+		} else {
+			sr.CPUUtil = serverCPUs[s].UtilizationTotal()
+		}
+		var fast, off uint64
+		for i := range shardClients {
+			cst := shardClients[i][s].Stats()
+			fast += cst.FastSearches + cst.TCPSearches
+			off += cst.OffloadSearches
+			res.TornRetries += cst.TornRetries
+			res.StaleRestarts += cst.StaleRestarts
+			res.NodesFetched += cst.NodesFetched
+			res.Batches += cst.BatchesSent
+			res.BatchedOps += cst.BatchedOps
+			res.VersionReads += cst.VersionReads
+			res.CacheHits += cst.CacheHits
+			res.CacheVerified += cst.CacheVerifiedHits
+			res.CacheMisses += cst.CacheMisses
+			res.CacheEvictions += cst.CacheEvictions
+			res.CacheBytesSaved += cst.CacheBytesSaved
+		}
+		if fast+off > 0 {
+			sr.OffloadFraction = float64(off) / float64(fast+off)
+		}
+		fastAll += fast
+		offAll += off
+
+		res.ServerStats.Searches += st.Searches
+		res.ServerStats.Inserts += st.Inserts
+		res.ServerStats.Deletes += st.Deletes
+		res.ServerStats.Results += st.Results
+		res.ServerStats.Heartbeat += st.Heartbeat
+		res.ServerStats.Segments += st.Segments
+		res.ServerStats.Batches += st.Batches
+		res.ServerStats.BatchedOps += st.BatchedOps
+		res.ServerCPUUtil += sr.CPUUtil / float64(k)
+		res.ServerTXGbps += sr.TXGbps
+		res.ServerRXGbps += sr.RXGbps
+		res.PerShard[s] = sr
+	}
+	if cfg.Scheme.ServerMode != server.ModePolling {
+		res.ServerUsefulCPU = res.ServerCPUUtil
+	}
+	if fastAll+offAll > 0 {
+		res.OffloadFraction = float64(offAll) / float64(fastAll+offAll)
+	}
+	if offAll > 0 {
+		res.OffloadReadsPerSearch = float64(res.NodesFetched) / float64(offAll)
+	}
+
+	// Router-level routing counters.
+	var searches, fanout uint64
+	for _, r := range routers {
+		rs := r.Stats()
+		searches += rs.Searches
+		fanout += rs.Fanout
+		res.SkippedSearches += rs.Skipped
+		res.UnhealthyWrites += rs.UnhealthyWrites
+	}
+	if searches > 0 {
+		res.FanoutPerSearch = float64(fanout) / float64(searches)
+	}
+	return res, nil
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/catfish-db/catfish/internal/nodecache"
 	"github.com/catfish-db/catfish/internal/region"
 	"github.com/catfish-db/catfish/internal/rtree"
+	"github.com/catfish-db/catfish/internal/shard"
 	"github.com/catfish-db/catfish/internal/wire"
 )
 
@@ -100,8 +101,13 @@ type Client struct {
 
 	// u_serv: the latest unconsumed heartbeat (0 = none).
 	heartbeat atomic.Uint64 // float64 bits
-	start     time.Time
-	sw        *adaptive.Switch
+	// lastHB is the arrival time of the most recent heartbeat frame (as
+	// nanoseconds since c.start; 0 = none yet). Unlike the u_serv word,
+	// which Algorithm 1 consumes, arrival time survives reads — it is what
+	// liveness tracking wants.
+	lastHB atomic.Int64
+	start  time.Time
+	sw     *adaptive.Switch
 
 	// ncache is the version-validated internal-node cache (nil when
 	// disabled); rootVer tracks the heartbeat's root version so a root
@@ -199,6 +205,34 @@ func (c *Client) Stats() ClientStats {
 // Hello returns the server's connection bootstrap info.
 func (c *Client) Hello() wire.Hello { return c.hello }
 
+// HeartbeatAge returns the time since the last heartbeat frame arrived,
+// and false if none has arrived yet.
+func (c *Client) HeartbeatAge() (time.Duration, bool) {
+	last := c.lastHB.Load()
+	if last == 0 {
+		return 0, false
+	}
+	return time.Since(c.start) - time.Duration(last), true
+}
+
+// FetchShardMap retrieves and verifies the server's shard map (the server
+// must be part of a sharded deployment).
+func (c *Client) FetchShardMap() (*shard.Map, error) {
+	tag := c.reqID.Add(1)
+	frame, err := c.call(tag, wire.ShardMapRequest{ID: tag}.Encode(nil))
+	if err != nil {
+		return nil, err
+	}
+	md, err := wire.DecodeShardMapData(frame)
+	if err != nil {
+		return nil, err
+	}
+	if md.Status != wire.StatusOK {
+		return nil, fmt.Errorf("%w: shard map status %d (server not sharded?)", ErrServer, md.Status)
+	}
+	return shard.FromParts(md.Version, md.PadX, md.PadY, md.Cells)
+}
+
 func (c *Client) readLoop() {
 	defer close(c.done)
 	var buf []byte
@@ -229,6 +263,7 @@ func (c *Client) readLoop() {
 		case wire.MsgHeartbeat:
 			if hb, err := wire.DecodeHeartbeat(frame); err == nil {
 				c.heartbeat.Store(floatBits(hb.Util))
+				c.lastHB.Store(int64(time.Since(c.start)))
 				atomic.AddUint64(&c.stats.HeartbeatsSeen, 1)
 				// A root rewrite demotes every cached node to the
 				// revalidation tier within one heartbeat.
@@ -247,6 +282,10 @@ func (c *Client) readLoop() {
 		case wire.MsgVersionData:
 			if vd, err := wire.DecodeVersionData(frame); err == nil {
 				c.deliver(vd.ID, frame)
+			}
+		case wire.MsgShardMapData:
+			if md, err := wire.DecodeShardMapData(frame); err == nil {
+				c.deliver(md.ID, frame)
 			}
 		case wire.MsgBatch:
 			// Batch responses: deliver each response sub-message to its

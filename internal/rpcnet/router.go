@@ -1,0 +1,347 @@
+package rpcnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/shard"
+	"github.com/catfish-db/catfish/internal/wire"
+)
+
+// RouterConfig tunes DialRouter.
+type RouterConfig struct {
+	// Client configures each per-shard connection. The adaptive switch is
+	// per connection, so Algorithm 1 runs independently per shard; Seed is
+	// offset by the shard index so back-off draws decorrelate.
+	Client ClientConfig
+	// HealthMultiple is the shard-liveness window in heartbeat intervals
+	// (shard.DefaultHealthMultiple when 0); liveness tracking is disabled
+	// when the servers do not heartbeat.
+	HealthMultiple int
+}
+
+// RouterStats mirrors shard.RouterStats for the real-socket router.
+type RouterStats = shard.RouterStats
+
+// Router is the real-socket scatter-gather client of a sharded deployment:
+// one TCP connection — and one adaptive switch — per shard, searches fanned
+// out as parallel goroutines to every healthy shard whose coverage
+// intersects the query, writes routed to the unique owner. Like Client it
+// serves one goroutine at a time; per-search scatter concurrency is
+// internal.
+type Router struct {
+	m       *shard.Map
+	clients []*Client
+	health  *shard.Health
+	start   time.Time
+	stats   shard.RouterStats
+
+	targets []int
+	subOps  [][]BatchOp
+	subIdx  [][]int
+	subRes  [][]BatchResult
+}
+
+// DialRouter connects to every shard of a deployment, in shard order,
+// validates that the servers agree on the deployment shape (position,
+// count, and map version), and fetches and verifies the shard map. A
+// single unsharded address yields a trivial one-shard router.
+func DialRouter(addrs []string, cfg RouterConfig) (*Router, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("rpcnet: router needs at least one address")
+	}
+	r := &Router{start: time.Now()}
+	ok := false
+	defer func() {
+		if !ok {
+			r.closeAll()
+		}
+	}()
+	for i, addr := range addrs {
+		ccfg := cfg.Client
+		ccfg.Seed += int64(i)
+		c, err := Dial(addr, ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("rpcnet: shard %d (%s): %w", i, addr, err)
+		}
+		r.clients = append(r.clients, c)
+		h := c.Hello()
+		if h.ShardCount <= 1 && len(addrs) == 1 {
+			continue // unsharded single server: trivial map below
+		}
+		if int(h.ShardCount) != len(addrs) {
+			return nil, fmt.Errorf("rpcnet: shard %d (%s) reports %d shards, router has %d addresses",
+				i, addr, h.ShardCount, len(addrs))
+		}
+		if int(h.ShardIndex) != i {
+			return nil, fmt.Errorf("rpcnet: address %d (%s) is shard %d; list addresses in shard order",
+				i, addr, h.ShardIndex)
+		}
+		if h.MapVersion != r.clients[0].Hello().MapVersion {
+			return nil, fmt.Errorf("%w: shard %d (%s)", shard.ErrVersionMismatch, i, addr)
+		}
+	}
+	if len(addrs) == 1 && r.clients[0].Hello().ShardCount <= 1 {
+		r.m = shard.Single()
+	} else {
+		m, err := r.clients[0].FetchShardMap()
+		if err != nil {
+			return nil, err
+		}
+		if m.K() != len(addrs) {
+			return nil, fmt.Errorf("rpcnet: map has %d cells, router has %d addresses", m.K(), len(addrs))
+		}
+		r.m = m
+	}
+	if hb := time.Duration(r.clients[0].Hello().HeartbeatMs) * time.Millisecond; hb > 0 {
+		r.health = shard.NewHealth(len(r.clients), hb, cfg.HealthMultiple, time.Since(r.start))
+	}
+	ok = true
+	return r, nil
+}
+
+// Map returns the deployment's verified shard map.
+func (r *Router) Map() *shard.Map { return r.m }
+
+// Clients returns the per-shard connections, in shard order (for stats
+// collection; routing should go through the router).
+func (r *Router) Clients() []*Client { return r.clients }
+
+// Close tears down every shard connection, returning the first error.
+func (r *Router) Close() error { return r.closeAll() }
+
+func (r *Router) closeAll() error {
+	var first error
+	for _, c := range r.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats returns a snapshot of the router's counters.
+func (r *Router) Stats() shard.RouterStats {
+	return shard.RouterStats{
+		Searches:        atomic.LoadUint64(&r.stats.Searches),
+		Writes:          atomic.LoadUint64(&r.stats.Writes),
+		Fanout:          atomic.LoadUint64(&r.stats.Fanout),
+		Skipped:         atomic.LoadUint64(&r.stats.Skipped),
+		UnhealthyWrites: atomic.LoadUint64(&r.stats.UnhealthyWrites),
+	}
+}
+
+// healthy reports shard i's liveness from its connection's last heartbeat
+// arrival.
+func (r *Router) healthy(i int) bool {
+	if r.health == nil {
+		return true
+	}
+	now := time.Since(r.start)
+	if _, seen := r.clients[i].HeartbeatAge(); seen {
+		// Observation is lazy — arrival times live on the connections — so
+		// refresh the tracker before asking it.
+		age, _ := r.clients[i].HeartbeatAge()
+		r.health.Observe(i, now-age)
+	}
+	return r.health.Healthy(i, now)
+}
+
+// Healthy reports shard i's current liveness.
+func (r *Router) Healthy(i int) bool { return r.healthy(i) }
+
+// healthyTargets computes the scatter set for q, dropping unhealthy shards.
+func (r *Router) healthyTargets(q geo.Rect) ([]int, bool) {
+	r.targets = r.m.Targets(q, r.targets)
+	if r.health == nil {
+		return r.targets, true
+	}
+	healthy := r.targets[:0]
+	for _, t := range r.targets {
+		if r.healthy(t) {
+			healthy = append(healthy, t)
+		}
+	}
+	r.targets = healthy
+	return r.targets, len(healthy) > 0
+}
+
+// Search scatters q to every healthy shard whose coverage intersects it
+// (one goroutine per additional shard) and merges the partial result sets
+// in shard order. When every target shard is unhealthy it returns an empty
+// set rather than blocking.
+func (r *Router) Search(q geo.Rect) ([]wire.Item, Method, error) {
+	atomic.AddUint64(&r.stats.Searches, 1)
+	targets, ok := r.healthyTargets(q)
+	if !ok {
+		atomic.AddUint64(&r.stats.Skipped, 1)
+		return nil, MethodFast, nil
+	}
+	atomic.AddUint64(&r.stats.Fanout, uint64(len(targets)))
+	if len(targets) == 1 {
+		return r.clients[targets[0]].Search(q)
+	}
+	n := len(targets)
+	tg := append([]int(nil), targets...)
+	itemsBy := make([][]wire.Item, n)
+	methods := make([]Method, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for slot := 1; slot < n; slot++ {
+		slot := slot
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			itemsBy[slot], methods[slot], errs[slot] = r.clients[tg[slot]].Search(q)
+		}()
+	}
+	itemsBy[0], methods[0], errs[0] = r.clients[tg[0]].Search(q)
+	wg.Wait()
+	var items []wire.Item
+	for slot := 0; slot < n; slot++ {
+		if err := errs[slot]; err != nil {
+			return nil, methods[slot], fmt.Errorf("shard %d: %w", tg[slot], err)
+		}
+		items = append(items, itemsBy[slot]...)
+	}
+	return items, methods[0], nil
+}
+
+// Insert routes the insert to the owning shard, failing with
+// shard.UnhealthyError when that shard has stopped heartbeating.
+func (r *Router) Insert(rect geo.Rect, ref uint64) error {
+	owner, err := r.writeTarget(rect)
+	if err != nil {
+		return err
+	}
+	return r.clients[owner].Insert(rect, ref)
+}
+
+// Delete routes the delete to the owning shard, failing with
+// shard.UnhealthyError when that shard has stopped heartbeating.
+func (r *Router) Delete(rect geo.Rect, ref uint64) error {
+	owner, err := r.writeTarget(rect)
+	if err != nil {
+		return err
+	}
+	return r.clients[owner].Delete(rect, ref)
+}
+
+func (r *Router) writeTarget(rect geo.Rect) (int, error) {
+	atomic.AddUint64(&r.stats.Writes, 1)
+	owner := r.m.Owner(rect)
+	if !r.healthy(owner) {
+		atomic.AddUint64(&r.stats.UnhealthyWrites, 1)
+		return 0, &shard.UnhealthyError{Shard: owner}
+	}
+	return owner, nil
+}
+
+// ExecBatch routes a batch through the shards: searches are duplicated
+// into the sub-batch of every healthy intersecting shard, writes go to
+// their owner's sub-batch (or fail with shard.UnhealthyError when the
+// owner is down), per-shard sub-batches run as concurrent client batches,
+// and partial results merge back into submission order.
+func (r *Router) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
+	results = results[:0]
+	for range ops {
+		results = append(results, BatchResult{Method: MethodFast})
+	}
+	if len(ops) == 0 {
+		return results
+	}
+	k := len(r.clients)
+	r.subOps = resizeSlices(r.subOps, k)
+	r.subIdx = resizeIdx(r.subIdx, k)
+	for i, op := range ops {
+		switch op.Type {
+		case wire.MsgInsert, wire.MsgDelete:
+			atomic.AddUint64(&r.stats.Writes, 1)
+			owner := r.m.Owner(op.Rect)
+			if !r.healthy(owner) {
+				atomic.AddUint64(&r.stats.UnhealthyWrites, 1)
+				results[i].Err = &shard.UnhealthyError{Shard: owner}
+				continue
+			}
+			r.subOps[owner] = append(r.subOps[owner], op)
+			r.subIdx[owner] = append(r.subIdx[owner], i)
+		default:
+			atomic.AddUint64(&r.stats.Searches, 1)
+			targets, ok := r.healthyTargets(op.Rect)
+			if !ok {
+				atomic.AddUint64(&r.stats.Skipped, 1)
+				continue
+			}
+			atomic.AddUint64(&r.stats.Fanout, uint64(len(targets)))
+			for _, t := range targets {
+				r.subOps[t] = append(r.subOps[t], op)
+				r.subIdx[t] = append(r.subIdx[t], i)
+			}
+		}
+	}
+	busy := make([]int, 0, k)
+	for s := 0; s < k; s++ {
+		if len(r.subOps[s]) > 0 {
+			busy = append(busy, s)
+		}
+	}
+	if len(busy) == 0 {
+		return results
+	}
+	if len(r.subRes) < k {
+		r.subRes = make([][]BatchResult, k)
+	}
+	var wg sync.WaitGroup
+	for _, s := range busy[1:] {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.subRes[s] = r.clients[s].ExecBatch(r.subOps[s], r.subRes[s])
+		}()
+	}
+	s0 := busy[0]
+	r.subRes[s0] = r.clients[s0].ExecBatch(r.subOps[s0], r.subRes[s0])
+	wg.Wait()
+	for _, s := range busy {
+		for j, res := range r.subRes[s] {
+			i := r.subIdx[s][j]
+			if res.Err != nil && results[i].Err == nil {
+				results[i].Err = fmt.Errorf("shard %d: %w", s, res.Err)
+			}
+			results[i].Items = append(results[i].Items, res.Items...)
+			// Offloading is sticky so the merged method reports whether any
+			// shard's sub-search ran as a client-side traversal.
+			if results[i].Method != MethodOffload {
+				results[i].Method = res.Method
+			}
+		}
+	}
+	return results
+}
+
+func resizeSlices(s [][]BatchOp, k int) [][]BatchOp {
+	if len(s) < k {
+		s = make([][]BatchOp, k)
+	}
+	s = s[:k]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}
+
+func resizeIdx(s [][]int, k int) [][]int {
+	if len(s) < k {
+		s = make([][]int, k)
+	}
+	s = s[:k]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}

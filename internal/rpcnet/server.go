@@ -24,6 +24,7 @@ import (
 
 	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/rtree"
+	"github.com/catfish-db/catfish/internal/shard"
 	"github.com/catfish-db/catfish/internal/wire"
 )
 
@@ -75,6 +76,13 @@ type ServerConfig struct {
 	// MaxBatch caps operations per batch container; an oversized batch is
 	// answered with a single error response (0 selects the wire limit).
 	MaxBatch int
+
+	// ShardMap and ShardIndex identify this server's place in a sharded
+	// deployment: the hello advertises the map version and shard position,
+	// and MsgShardMap requests are answered with the full map so routers
+	// can bootstrap from any member. Nil runs the server unsharded.
+	ShardMap   *shard.Map
+	ShardIndex int
 }
 
 // Server serves a Catfish R-tree over TCP.
@@ -91,6 +99,7 @@ type Server struct {
 	wg     sync.WaitGroup
 
 	epoch      uint64
+	hbPaused   atomic.Bool
 	busyNanos  atomic.Int64 // request-processing time, for heartbeats
 	hbWindow   atomic.Int64 // busyNanos at last heartbeat
 	searches   atomic.Uint64
@@ -213,6 +222,11 @@ func (s *Server) serveConn(sc *srvConn) {
 		HeartbeatMs: uint32(s.cfg.HeartbeatInterval / time.Millisecond),
 		ServerEpoch: s.epoch,
 	}
+	if m := s.cfg.ShardMap; m != nil {
+		hello.ShardIndex = uint32(s.cfg.ShardIndex)
+		hello.ShardCount = uint32(m.K())
+		hello.MapVersion = m.Version
+	}
 	if err := sc.send(hello.Encode(nil)); err != nil {
 		return
 	}
@@ -268,12 +282,43 @@ func (s *Server) serveConn(sc *srvConn) {
 			if err := s.handleBatch(sc, frame); err != nil {
 				return
 			}
+		case wire.MsgShardMap:
+			req, err := wire.DecodeShardMapRequest(frame)
+			if err != nil {
+				return
+			}
+			out = s.handleShardMap(req, out[:0])
+			if err := sc.send(out); err != nil {
+				return
+			}
 		default:
 			return // protocol violation
 		}
 		s.busyNanos.Add(int64(time.Since(start)))
 	}
 }
+
+// handleShardMap answers a shard-map fetch; an unsharded server reports an
+// error status so misdirected routers fail loudly.
+func (s *Server) handleShardMap(req wire.ShardMapRequest, out []byte) []byte {
+	m := s.cfg.ShardMap
+	if m == nil {
+		return wire.ShardMapData{ID: req.ID, Status: wire.StatusError}.Encode(out)
+	}
+	return wire.ShardMapData{
+		ID:      req.ID,
+		Status:  wire.StatusOK,
+		Version: m.Version,
+		PadX:    m.PadX,
+		PadY:    m.PadY,
+		Cells:   m.Cells,
+	}.Encode(out)
+}
+
+// PauseHeartbeats suspends (true) or resumes (false) heartbeat pushes,
+// simulating a wedged or partitioned server for liveness tests. The data
+// path keeps serving.
+func (s *Server) PauseHeartbeats(paused bool) { s.hbPaused.Store(paused) }
 
 func (s *Server) handleReadChunk(req wire.ReadChunk, out []byte) []byte {
 	raw := make([]byte, s.tree.Region().ChunkSize())
@@ -377,6 +422,9 @@ func (s *Server) heartbeatLoop() {
 	for range ticker.C {
 		if s.closed.Load() {
 			return
+		}
+		if s.hbPaused.Load() {
+			continue
 		}
 		busy := s.busyNanos.Load()
 		window := busy - s.hbWindow.Load()

@@ -100,6 +100,9 @@ type Server struct {
 	regionMem  *fabric.RegionMemory
 	regionVers *fabric.RegionVersions
 	publishP   *sim.Proc // process context for staged publishes
+
+	hbSeq    uint64 // heartbeat sequence number (mailbox word 2)
+	hbPaused atomic.Bool
 }
 
 // conn is the server side of one client connection.
@@ -245,7 +248,11 @@ func (s *Server) Connect(clientHost *fabric.Host, net *fabric.Network, dataSQDep
 func (s *Server) ConnectTCP(clientHost *fabric.Host, net *fabric.Network) (*Endpoint, error) {
 	id := len(s.conns)
 	cEnd, sEnd := net.DialTCP(clientHost, s.cfg.Host)
-	c := &conn{id: id, tcp: sEnd}
+	// TCP clients get a heartbeat mailbox too (needed for shard liveness
+	// tracking); with no QP to write through, the heartbeat loop fills it
+	// directly, modeling an out-of-band datagram.
+	hbMem := clientHost.RegisterMemory(HeartbeatMailboxSize)
+	c := &conn{id: id, tcp: sEnd, hbMem: hbMem}
 	if s.cfg.Mode == ModePolling {
 		return nil, errors.New("server: TCP workers are always event-based (blocking recv)")
 	}
@@ -253,7 +260,7 @@ func (s *Server) ConnectTCP(clientHost *fabric.Host, net *fabric.Network) (*Endp
 	s.e.Spawn(fmt.Sprintf("server-tcp-worker-%d", id), func(p *sim.Proc) {
 		s.serveTCP(p, c)
 	})
-	return &Endpoint{ConnID: id, TCP: cEnd}, nil
+	return &Endpoint{ConnID: id, TCP: cEnd, HeartbeatM: hbMem}, nil
 }
 
 // buildRing creates a ring carrying data from -> to over a fresh QP pair.
@@ -583,8 +590,16 @@ func (s *Server) send(p *sim.Proc, c *conn, payload []byte) {
 // HeartbeatMailboxSize is the registered per-client heartbeat mailbox:
 // word 0 carries the utilization (u_serv), word 1 the root chunk's region
 // version, which lets root-caching clients invalidate within one heartbeat
-// interval of a root rewrite.
-const HeartbeatMailboxSize = 16
+// interval of a root rewrite, and word 2 a sequence number incremented per
+// heartbeat write so liveness trackers can detect arrivals (Algorithm 1's
+// clear-after-read convention zeroes only word 0, and non-adaptive clients
+// never clear at all, so the utilization word cannot signal arrival).
+const HeartbeatMailboxSize = 24
+
+// PauseHeartbeats suspends (true) or resumes (false) heartbeat publication,
+// simulating a wedged or partitioned server for liveness tests. The data
+// path keeps serving.
+func (s *Server) PauseHeartbeats(paused bool) { s.hbPaused.Store(paused) }
 
 // heartbeatLoop periodically publishes the CPU utilization to every
 // connected client's heartbeat mailbox with an RDMA Write (§IV-A). A
@@ -593,6 +608,9 @@ const HeartbeatMailboxSize = 16
 func (s *Server) heartbeatLoop(p *sim.Proc) {
 	for {
 		p.Sleep(s.cfg.HeartbeatInterval)
+		if s.hbPaused.Load() {
+			continue
+		}
 		util := s.utilization()
 		if util < 1e-6 {
 			util = 1e-6
@@ -603,8 +621,17 @@ func (s *Server) heartbeatLoop(p *sim.Proc) {
 		if err == nil {
 			binary.LittleEndian.PutUint64(buf[8:], rootVer)
 		}
+		s.hbSeq++
+		binary.LittleEndian.PutUint64(buf[16:], s.hbSeq)
 		for _, c := range s.conns {
 			if c.hbMem == nil {
+				continue
+			}
+			if c.respWriter == nil {
+				// Simulated-TCP endpoint: no QP to write through, so the
+				// heartbeat lands in the mailbox directly.
+				copy(c.hbMem.Bytes(), buf[:])
+				atomic.AddUint64(&s.stats.Heartbeat, 1)
 				continue
 			}
 			// One small RDMA Write into the client's mailbox; no notify —

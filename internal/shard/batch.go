@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/catfish-db/catfish/internal/client"
+	"github.com/catfish-db/catfish/internal/sim"
+	"github.com/catfish-db/catfish/internal/wire"
+)
+
+// ExecBatch routes a batch through the shards: each search is duplicated
+// into the sub-batch of every healthy shard whose coverage intersects it,
+// each write goes into its owner's sub-batch (or fails immediately with
+// UnhealthyError when the owner is down), and the per-shard sub-batches
+// execute as parallel client batches — each one a single ring write / TCP
+// frame on its shard, exactly the batched fast path — before the partial
+// result sets are merged back into submission order. Results reuses the
+// caller's slice.
+func (r *Router) ExecBatch(p *sim.Proc, ops []client.BatchOp, results []client.BatchResult) []client.BatchResult {
+	results = results[:0]
+	for range ops {
+		results = append(results, client.BatchResult{Method: client.MethodFast})
+	}
+	if len(ops) == 0 {
+		return results
+	}
+	now := p.Now()
+	k := len(r.clients)
+	r.subOps = resize(r.subOps, k)
+	r.subIdx = resize(r.subIdx, k)
+	for s := 0; s < k; s++ {
+		r.subOps[s] = r.subOps[s][:0]
+		r.subIdx[s] = r.subIdx[s][:0]
+	}
+	for i, op := range ops {
+		switch op.Type {
+		case wire.MsgInsert, wire.MsgDelete:
+			atomic.AddUint64(&r.stats.Writes, 1)
+			owner := r.m.Owner(op.Rect)
+			if r.health != nil && !r.health.Healthy(owner, now) {
+				atomic.AddUint64(&r.stats.UnhealthyWrites, 1)
+				results[i].Err = &UnhealthyError{Shard: owner}
+				continue
+			}
+			r.subOps[owner] = append(r.subOps[owner], op)
+			r.subIdx[owner] = append(r.subIdx[owner], i)
+		default:
+			atomic.AddUint64(&r.stats.Searches, 1)
+			targets, ok := r.healthyTargets(op.Rect, now)
+			if !ok {
+				atomic.AddUint64(&r.stats.Skipped, 1)
+				continue
+			}
+			atomic.AddUint64(&r.stats.Fanout, uint64(len(targets)))
+			for _, t := range targets {
+				r.subOps[t] = append(r.subOps[t], op)
+				r.subIdx[t] = append(r.subIdx[t], i)
+			}
+		}
+	}
+	// Issue every non-empty sub-batch in parallel: the driving process
+	// takes the first busy shard, one spawned process per further shard.
+	busy := make([]int, 0, k)
+	for s := 0; s < k; s++ {
+		if len(r.subOps[s]) > 0 {
+			busy = append(busy, s)
+		}
+	}
+	if len(busy) == 0 {
+		return results
+	}
+	r.subRes = resize(r.subRes, k)
+	wg := sim.NewWaitGroup(p.Engine())
+	wg.Add(len(busy) - 1)
+	for _, s := range busy[1:] {
+		s := s
+		p.Spawn("shard-batch", func(sp *sim.Proc) {
+			r.subRes[s] = r.clients[s].ExecBatch(sp, r.subOps[s], r.subRes[s])
+			wg.Done()
+		})
+	}
+	s0 := busy[0]
+	r.subRes[s0] = r.clients[s0].ExecBatch(p, r.subOps[s0], r.subRes[s0])
+	wg.Wait(p)
+	// Merge in shard order; sub-ops of one original op keep shard order
+	// too, so merged item order is deterministic.
+	for _, s := range busy {
+		for j, res := range r.subRes[s] {
+			i := r.subIdx[s][j]
+			if res.Err != nil && results[i].Err == nil {
+				results[i].Err = fmt.Errorf("shard %d: %w", s, res.Err)
+			}
+			results[i].Items = append(results[i].Items, res.Items...)
+			// Offloading is sticky so the merged method reports whether any
+			// shard's sub-search ran as a client-side traversal.
+			if results[i].Method != client.MethodOffload {
+				results[i].Method = res.Method
+			}
+		}
+	}
+	return results
+}

@@ -1,0 +1,229 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/client"
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/sim"
+	"github.com/catfish-db/catfish/internal/wire"
+)
+
+// RouterConfig parametrizes a simulated-fabric Router.
+type RouterConfig struct {
+	// Engine is the simulation the clients run in.
+	Engine *sim.Engine
+	// Map is the deployment's shard map.
+	Map *Map
+	// Clients holds one connected client per shard, in shard order. Each
+	// client owns its own adaptive.Switch, so Algorithm 1's back-off runs
+	// independently per shard: a hot shard offloads while idle shards keep
+	// fast messaging.
+	Clients []*client.Client
+	// HeartbeatInterval is the servers' heartbeat period; liveness tracking
+	// is disabled when zero.
+	HeartbeatInterval time.Duration
+	// HealthMultiple is the liveness window in heartbeat intervals
+	// (DefaultHealthMultiple when 0).
+	HealthMultiple int
+}
+
+// RouterStats counts router-level outcomes. Per-shard transport and
+// offloading counters live in each shard client's Stats.
+type RouterStats struct {
+	// Searches and Writes count routed operations.
+	Searches uint64
+	Writes   uint64
+	// Fanout is the total number of shard sub-searches issued; divided by
+	// Searches it gives the mean fan-out per search.
+	Fanout uint64
+	// Skipped counts searches whose every target shard was unhealthy; they
+	// return empty result sets rather than blocking.
+	Skipped uint64
+	// UnhealthyWrites counts writes rejected with UnhealthyError.
+	UnhealthyWrites uint64
+}
+
+// Router scatters searches across the shards whose coverage intersects the
+// query, gathers and merges the partial result sets, and routes each write
+// to its unique owning shard. Sub-searches of one query run as parallel
+// simulation processes, mirroring the goroutine fan-out of the real-socket
+// router. A router serves one driving process; per-search scatter
+// concurrency is internal.
+type Router struct {
+	m       *Map
+	clients []*client.Client
+	health  *Health
+	lastSeq []uint64 // per-shard heartbeat sequence last observed
+	stats   RouterStats
+
+	// Reused scatter/batch scratch (single driving proc, so no locking).
+	targets  []int
+	subOps   [][]client.BatchOp
+	subIdx   [][]int // original op index per sub-op
+	subRes   [][]client.BatchResult
+	gatherI  [][]wire.Item
+	gatherM  []client.Method
+	gatherE  []error
+	gatherTg []int
+}
+
+// NewRouter builds a router over one connected client per shard and starts
+// its heartbeat monitor process. Call before sim.Engine.Run (or from a
+// running process).
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Map == nil {
+		return nil, fmt.Errorf("shard: router needs a map")
+	}
+	if len(cfg.Clients) != cfg.Map.K() {
+		return nil, fmt.Errorf("shard: %d clients for %d shards", len(cfg.Clients), cfg.Map.K())
+	}
+	r := &Router{
+		m:       cfg.Map,
+		clients: cfg.Clients,
+		lastSeq: make([]uint64, cfg.Map.K()),
+	}
+	if cfg.HeartbeatInterval > 0 {
+		r.health = NewHealth(cfg.Map.K(), cfg.HeartbeatInterval, cfg.HealthMultiple, cfg.Engine.Now())
+		cfg.Engine.Spawn("shard-hb-monitor", r.monitor(cfg.HeartbeatInterval))
+	}
+	return r, nil
+}
+
+// monitor polls each shard client's heartbeat mailbox sequence once per
+// heartbeat interval; a sequence change means a heartbeat arrived since the
+// last poll.
+func (r *Router) monitor(interval time.Duration) func(p *sim.Proc) {
+	return func(p *sim.Proc) {
+		for {
+			p.Sleep(interval)
+			for i, c := range r.clients {
+				if seq := c.HeartbeatSeq(); seq != r.lastSeq[i] {
+					r.lastSeq[i] = seq
+					r.health.Observe(i, p.Now())
+				}
+			}
+		}
+	}
+}
+
+// Healthy reports shard i's current liveness.
+func (r *Router) Healthy(i int, now time.Duration) bool {
+	return r.health.Healthy(i, now)
+}
+
+// Stats returns a snapshot of the router's counters.
+func (r *Router) Stats() RouterStats {
+	return RouterStats{
+		Searches:        atomic.LoadUint64(&r.stats.Searches),
+		Writes:          atomic.LoadUint64(&r.stats.Writes),
+		Fanout:          atomic.LoadUint64(&r.stats.Fanout),
+		Skipped:         atomic.LoadUint64(&r.stats.Skipped),
+		UnhealthyWrites: atomic.LoadUint64(&r.stats.UnhealthyWrites),
+	}
+}
+
+// healthyTargets computes the scatter set for q, dropping unhealthy shards.
+// The second result is false when every target was unhealthy.
+func (r *Router) healthyTargets(q geo.Rect, now time.Duration) ([]int, bool) {
+	r.targets = r.m.Targets(q, r.targets)
+	if r.health == nil {
+		return r.targets, true
+	}
+	healthy := r.targets[:0]
+	for _, t := range r.targets {
+		if r.health.Healthy(t, now) {
+			healthy = append(healthy, t)
+		}
+	}
+	r.targets = healthy
+	return r.targets, len(healthy) > 0
+}
+
+// Search scatters q to every healthy shard whose coverage intersects it and
+// merges the partial result sets in shard order. When every target shard is
+// unhealthy the search returns an empty set (the router cannot answer it,
+// but read availability degrades gracefully rather than blocking). The
+// returned method is the first target's; per-shard methods are visible in
+// the shard clients' Stats.
+func (r *Router) Search(p *sim.Proc, q geo.Rect) ([]wire.Item, client.Method, error) {
+	atomic.AddUint64(&r.stats.Searches, 1)
+	targets, ok := r.healthyTargets(q, p.Now())
+	if !ok {
+		atomic.AddUint64(&r.stats.Skipped, 1)
+		return nil, client.MethodFast, nil
+	}
+	atomic.AddUint64(&r.stats.Fanout, uint64(len(targets)))
+	if len(targets) == 1 {
+		return r.clients[targets[0]].Search(p, q)
+	}
+	// Parallel scatter: the driving process takes the first target, one
+	// spawned process per remaining target, a wait group as the gather
+	// barrier.
+	n := len(targets)
+	r.gatherI = resize(r.gatherI, n)
+	r.gatherM = resize(r.gatherM, n)
+	r.gatherE = resize(r.gatherE, n)
+	r.gatherTg = append(r.gatherTg[:0], targets...)
+	wg := sim.NewWaitGroup(p.Engine())
+	wg.Add(n - 1)
+	for slot := 1; slot < n; slot++ {
+		slot := slot
+		shard := r.gatherTg[slot]
+		p.Spawn("shard-scatter", func(sp *sim.Proc) {
+			r.gatherI[slot], r.gatherM[slot], r.gatherE[slot] = r.clients[shard].Search(sp, q)
+			wg.Done()
+		})
+	}
+	r.gatherI[0], r.gatherM[0], r.gatherE[0] = r.clients[r.gatherTg[0]].Search(p, q)
+	wg.Wait(p)
+	var items []wire.Item
+	for slot := 0; slot < n; slot++ {
+		if err := r.gatherE[slot]; err != nil {
+			return nil, r.gatherM[slot], fmt.Errorf("shard %d: %w", r.gatherTg[slot], err)
+		}
+		items = append(items, r.gatherI[slot]...)
+	}
+	return items, r.gatherM[0], nil
+}
+
+// Insert routes the insert to the owning shard, failing with
+// UnhealthyError when that shard has stopped heartbeating.
+func (r *Router) Insert(p *sim.Proc, rect geo.Rect, ref uint64) error {
+	owner, err := r.writeTarget(rect, p.Now())
+	if err != nil {
+		return err
+	}
+	return r.clients[owner].Insert(p, rect, ref)
+}
+
+// Delete routes the delete to the owning shard, failing with
+// UnhealthyError when that shard has stopped heartbeating.
+func (r *Router) Delete(p *sim.Proc, rect geo.Rect, ref uint64) error {
+	owner, err := r.writeTarget(rect, p.Now())
+	if err != nil {
+		return err
+	}
+	return r.clients[owner].Delete(p, rect, ref)
+}
+
+func (r *Router) writeTarget(rect geo.Rect, now time.Duration) (int, error) {
+	atomic.AddUint64(&r.stats.Writes, 1)
+	owner := r.m.Owner(rect)
+	if r.health != nil && !r.health.Healthy(owner, now) {
+		atomic.AddUint64(&r.stats.UnhealthyWrites, 1)
+		return 0, &UnhealthyError{Shard: owner}
+	}
+	return owner, nil
+}
+
+func resize[T any](s []T, n int) []T {
+	var zero T
+	s = s[:0]
+	for i := 0; i < n; i++ {
+		s = append(s, zero)
+	}
+	return s
+}

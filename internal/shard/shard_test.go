@@ -1,0 +1,286 @@
+package shard
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/rtree"
+)
+
+func randRect(rng *rand.Rand, maxEdge float64) geo.Rect {
+	w, h := rng.Float64()*maxEdge, rng.Float64()*maxEdge
+	x, y := rng.Float64()*(1-w), rng.Float64()*(1-h)
+	return geo.Rect{MinX: x, MaxX: x + w, MinY: y, MaxY: y + h}
+}
+
+func dataset(n int, maxEdge float64, seed int64) []rtree.Entry {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]rtree.Entry, n)
+	for i := range out {
+		out[i] = rtree.Entry{Rect: randRect(rng, maxEdge), Ref: uint64(i)}
+	}
+	return out
+}
+
+func TestBuildTilesThePlane(t *testing.T) {
+	data := dataset(5000, 0.001, 1)
+	for _, k := range []int{1, 2, 3, 4, 7, 8} {
+		m, err := Build(data, Config{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.K() != k {
+			t.Fatalf("K=%d: got %d cells", k, m.K())
+		}
+		// Every point of a probe grid (and far outside the unit square) is
+		// owned by exactly one cell.
+		probe := func(x, y float64) {
+			owners := 0
+			for _, c := range m.Cells {
+				if c.ContainsPoint(x, y) {
+					owners++
+				}
+			}
+			if owners == 0 {
+				t.Fatalf("K=%d: point (%g,%g) has no owner", k, x, y)
+			}
+		}
+		for x := -1.0; x <= 2.0; x += 0.13 {
+			for y := -1.0; y <= 2.0; y += 0.13 {
+				probe(x, y)
+			}
+		}
+		probe(-1e9, 1e9) // far outside any dataset: boundary cells are infinite
+	}
+}
+
+func TestOwnerCoverInvariant(t *testing.T) {
+	// The partition's core guarantee: every entry is contained in its
+	// owner's coverage rectangle, so coverage-intersection scatter can
+	// never miss an entry.
+	data := dataset(20000, 0.002, 2)
+	for _, k := range []int{2, 4, 8} {
+		m, err := Build(data, Config{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cover := make([]geo.Rect, k)
+		for i, c := range m.Cells {
+			cover[i] = geo.Rect{
+				MinX: c.MinX - m.PadX, MaxX: c.MaxX + m.PadX,
+				MinY: c.MinY - m.PadY, MaxY: c.MaxY + m.PadY,
+			}
+		}
+		for _, e := range data {
+			o := m.Owner(e.Rect)
+			if !cover[o].Contains(e.Rect) {
+				t.Fatalf("K=%d: entry %v owned by %d but not inside its coverage %v", k, e.Rect, o, cover[o])
+			}
+		}
+	}
+}
+
+func TestTargetsNeverMiss(t *testing.T) {
+	// Scatter exactness: for random queries, every shard owning a matching
+	// entry is in the target set.
+	data := dataset(10000, 0.002, 3)
+	rng := rand.New(rand.NewSource(4))
+	for _, k := range []int{2, 4, 8} {
+		m, err := Build(data, Config{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var scratch []int
+		for q := 0; q < 500; q++ {
+			query := randRect(rng, 0.05)
+			scratch = m.Targets(query, scratch)
+			in := make(map[int]bool, len(scratch))
+			for _, s := range scratch {
+				in[s] = true
+			}
+			for _, e := range data {
+				if query.Intersects(e.Rect) && !in[m.Owner(e.Rect)] {
+					t.Fatalf("K=%d: query %v misses shard %d holding %v", k, query, m.Owner(e.Rect), e.Rect)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxInsertEdgeWidensPads(t *testing.T) {
+	data := dataset(1000, 0.001, 5)
+	m, err := Build(data, Config{K: 4, MaxInsertEdge: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PadX < 0.125 || m.PadY < 0.125 {
+		t.Fatalf("pads (%g,%g) smaller than MaxInsertEdge/2", m.PadX, m.PadY)
+	}
+}
+
+func TestAssignBalanced(t *testing.T) {
+	data := dataset(8000, 0.001, 6)
+	for _, k := range []int{2, 4, 8} {
+		m, err := Build(data, Config{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign := m.Assign(data)
+		total, min, max := 0, len(data), 0
+		for _, a := range assign {
+			total += len(a)
+			if len(a) < min {
+				min = len(a)
+			}
+			if len(a) > max {
+				max = len(a)
+			}
+		}
+		if total != len(data) {
+			t.Fatalf("K=%d: assigned %d of %d entries", k, total, len(data))
+		}
+		// Count-proportional medians keep shards within 2x of the mean.
+		mean := len(data) / k
+		if min < mean/2 || max > mean*2 {
+			t.Errorf("K=%d: shard sizes [%d,%d] far from mean %d", k, min, max, mean)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	data := dataset(3000, 0.001, 7)
+	a, err := Build(data, Config{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(append([]rtree.Entry(nil), data...), Config{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Version != b.Version {
+		t.Fatalf("same dataset built different maps: %#x vs %#x", a.Version, b.Version)
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d differs", i)
+		}
+	}
+}
+
+func TestFromPartsRoundTripAndCorruption(t *testing.T) {
+	data := dataset(1000, 0.001, 8)
+	m, err := Build(data, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromParts(m.Version, m.PadX, m.PadY, append([]geo.Rect(nil), m.Cells...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != m.Version {
+		t.Fatal("round trip changed the version")
+	}
+	// A tampered cell must fail the checksum.
+	bad := append([]geo.Rect(nil), m.Cells...)
+	bad[1].MinX += 1e-9
+	if _, err := FromParts(m.Version, m.PadX, m.PadY, bad); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("tampered map accepted: %v", err)
+	}
+	if _, err := FromParts(m.Version, m.PadX, m.PadY, nil); err == nil {
+		t.Fatal("empty map accepted")
+	}
+}
+
+func TestSingle(t *testing.T) {
+	m := Single()
+	if m.K() != 1 {
+		t.Fatalf("K = %d", m.K())
+	}
+	if m.Owner(geo.Rect{MinX: 0.4, MaxX: 0.5, MinY: 0.4, MaxY: 0.5}) != 0 {
+		t.Fatal("single map must own everything")
+	}
+	if got := m.Targets(geo.Rect{MinX: -5, MaxX: 5, MinY: -5, MaxY: 5}, nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("targets = %v", got)
+	}
+}
+
+func TestBuildEmptyAndDegenerate(t *testing.T) {
+	// No entries: geometric splits still tile the plane.
+	m, err := Build(nil, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 4 {
+		t.Fatalf("K = %d", m.K())
+	}
+	if _, err := Build(nil, Config{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	// All entries at one point: splits degenerate but ownership stays total.
+	same := make([]rtree.Entry, 100)
+	for i := range same {
+		same[i] = rtree.Entry{Rect: geo.Rect{MinX: 0.5, MaxX: 0.5, MinY: 0.5, MaxY: 0.5}, Ref: uint64(i)}
+	}
+	m, err = Build(same, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := m.Assign(same)
+	total := 0
+	for _, a := range assign {
+		total += len(a)
+	}
+	if total != len(same) {
+		t.Fatalf("assigned %d of %d degenerate entries", total, len(same))
+	}
+}
+
+func TestHealth(t *testing.T) {
+	const inv = 10 * time.Millisecond
+	h := NewHealth(2, inv, 0, 0) // default multiple = 10 -> 100ms window
+	if !h.Healthy(0, 50*time.Millisecond) {
+		t.Fatal("within grace window must be healthy")
+	}
+	if h.Healthy(0, 150*time.Millisecond) {
+		t.Fatal("past the window with no heartbeat must be unhealthy")
+	}
+	h.Observe(0, 140*time.Millisecond)
+	if !h.Healthy(0, 200*time.Millisecond) {
+		t.Fatal("observed heartbeat must restore health")
+	}
+	if !h.Healthy(1, 90*time.Millisecond) || h.Healthy(1, 101*time.Millisecond) {
+		t.Fatal("per-shard windows must be independent")
+	}
+	// Custom multiple.
+	h2 := NewHealth(1, inv, 3, 0)
+	if h2.Healthy(0, 31*time.Millisecond) {
+		t.Fatal("3x multiple must expire at 30ms")
+	}
+	// Disabled tracking.
+	var nilH *Health
+	if !nilH.Healthy(0, time.Hour) {
+		t.Fatal("nil tracker must report healthy")
+	}
+	h3 := NewHealth(1, 0, 0, 0)
+	if !h3.Healthy(0, time.Hour) {
+		t.Fatal("zero interval must disable tracking")
+	}
+}
+
+func TestUnhealthyError(t *testing.T) {
+	err := error(&UnhealthyError{Shard: 3})
+	if !errors.Is(err, ErrUnhealthy) {
+		t.Fatal("UnhealthyError must match ErrUnhealthy")
+	}
+	var ue *UnhealthyError
+	if !errors.As(err, &ue) || ue.Shard != 3 {
+		t.Fatalf("errors.As failed: %v", err)
+	}
+	wrapped := errors.Join(errors.New("ctx"), err)
+	if !errors.Is(wrapped, ErrUnhealthy) {
+		t.Fatal("wrapped UnhealthyError must still match")
+	}
+}

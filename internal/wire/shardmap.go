@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/catfish-db/catfish/internal/geo"
+)
+
+// rectSize is the encoded size of one cell rectangle (4 float64 words).
+const rectSize = 32
+
+// Shard-map message types, appended after the batch container so existing
+// on-wire values never change. A router fetches the deployment's versioned
+// shard map from any member server at connection time; the Hello already
+// carries the map version, so a fetch is only needed once per deployment
+// and mismatches are detected before any data op is issued.
+const (
+	// MsgShardMap requests the server's shard map.
+	MsgShardMap MsgType = iota + MsgBatch + 1
+	// MsgShardMapData carries the encoded map back to the router.
+	MsgShardMapData
+)
+
+// ShardMapRequest asks a server for its shard map.
+type ShardMapRequest struct {
+	ID uint64 // request tag
+}
+
+// ShardMapRequestSize is the encoded size of a ShardMapRequest.
+const ShardMapRequestSize = 1 + 8
+
+// Encode appends the request encoding to buf and returns it.
+func (r ShardMapRequest) Encode(buf []byte) []byte {
+	off := len(buf)
+	buf = append(buf, make([]byte, ShardMapRequestSize)...)
+	b := buf[off:]
+	b[0] = byte(MsgShardMap)
+	binary.LittleEndian.PutUint64(b[1:], r.ID)
+	return buf
+}
+
+// DecodeShardMapRequest parses a shard-map request.
+func DecodeShardMapRequest(b []byte) (ShardMapRequest, error) {
+	if len(b) < ShardMapRequestSize || MsgType(b[0]) != MsgShardMap {
+		return ShardMapRequest{}, fmt.Errorf("%w: shard-map request", ErrCorrupt)
+	}
+	return ShardMapRequest{ID: binary.LittleEndian.Uint64(b[1:])}, nil
+}
+
+// ShardMapData answers a ShardMapRequest: the map version, the coverage
+// pads, and the K cells in shard order. Infinite coordinates (the boundary
+// cells extend to infinity) round-trip exactly through the IEEE-754 bits.
+type ShardMapData struct {
+	ID      uint64
+	Status  uint8
+	Version uint64
+	PadX    float64
+	PadY    float64
+	Cells   []geo.Rect
+}
+
+const shardMapDataHeader = 1 + 8 + 1 + 8 + 8 + 8 + 4
+
+// EncodedSize returns the encoded size of the shard-map data message.
+func (m ShardMapData) EncodedSize() int { return shardMapDataHeader + rectSize*len(m.Cells) }
+
+// Encode appends the shard-map data encoding to buf and returns it.
+func (m ShardMapData) Encode(buf []byte) []byte {
+	off := len(buf)
+	buf = append(buf, make([]byte, m.EncodedSize())...)
+	b := buf[off:]
+	b[0] = byte(MsgShardMapData)
+	binary.LittleEndian.PutUint64(b[1:], m.ID)
+	b[9] = m.Status
+	binary.LittleEndian.PutUint64(b[10:], m.Version)
+	binary.LittleEndian.PutUint64(b[18:], math.Float64bits(m.PadX))
+	binary.LittleEndian.PutUint64(b[26:], math.Float64bits(m.PadY))
+	binary.LittleEndian.PutUint32(b[34:], uint32(len(m.Cells)))
+	p := shardMapDataHeader
+	for _, c := range m.Cells {
+		putRect(b[p:], c)
+		p += rectSize
+	}
+	return buf
+}
+
+// DecodeShardMapData parses a shard-map data message.
+func DecodeShardMapData(b []byte) (ShardMapData, error) {
+	if len(b) < shardMapDataHeader || MsgType(b[0]) != MsgShardMapData {
+		return ShardMapData{}, fmt.Errorf("%w: shard-map data", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(b[34:]))
+	if n > MaxShardCells || len(b) < shardMapDataHeader+rectSize*n {
+		return ShardMapData{}, fmt.Errorf("%w: shard-map data truncated", ErrCorrupt)
+	}
+	m := ShardMapData{
+		ID:      binary.LittleEndian.Uint64(b[1:]),
+		Status:  b[9],
+		Version: binary.LittleEndian.Uint64(b[10:]),
+		PadX:    math.Float64frombits(binary.LittleEndian.Uint64(b[18:])),
+		PadY:    math.Float64frombits(binary.LittleEndian.Uint64(b[26:])),
+	}
+	p := shardMapDataHeader
+	for i := 0; i < n; i++ {
+		m.Cells = append(m.Cells, getRect(b[p:]))
+		p += rectSize
+	}
+	return m, nil
+}
+
+// MaxShardCells bounds a decoded shard map's cell count, rejecting corrupt
+// length words before they drive a huge allocation.
+const MaxShardCells = 1 << 16

@@ -199,7 +199,7 @@ func PeekType(b []byte) (MsgType, error) {
 		return 0, ErrCorrupt
 	}
 	t := MsgType(b[0])
-	if t < MsgSearch || t > MsgBatch {
+	if t < MsgSearch || t > MsgShardMapData {
 		return 0, fmt.Errorf("%w: type %d", ErrCorrupt, t)
 	}
 	return t, nil
@@ -215,10 +215,13 @@ type Hello struct {
 	NumChunks   uint32
 	HeartbeatMs uint32
 	ServerEpoch uint64 // lets clients detect server restarts
+	ShardIndex  uint32 // this server's shard in the deployment
+	ShardCount  uint32 // total shards (0 or 1 = unsharded)
+	MapVersion  uint64 // shard-map version; routers verify agreement
 }
 
 // HelloSize is the encoded size of a Hello.
-const HelloSize = 1 + 4*5 + 8
+const HelloSize = 1 + 4*5 + 8 + 4 + 4 + 8
 
 // Encode appends the hello encoding to buf and returns it.
 func (h Hello) Encode(buf []byte) []byte {
@@ -232,6 +235,9 @@ func (h Hello) Encode(buf []byte) []byte {
 	binary.LittleEndian.PutUint32(b[13:], h.NumChunks)
 	binary.LittleEndian.PutUint32(b[17:], h.HeartbeatMs)
 	binary.LittleEndian.PutUint64(b[21:], h.ServerEpoch)
+	binary.LittleEndian.PutUint32(b[29:], h.ShardIndex)
+	binary.LittleEndian.PutUint32(b[33:], h.ShardCount)
+	binary.LittleEndian.PutUint64(b[37:], h.MapVersion)
 	return buf
 }
 
@@ -247,6 +253,9 @@ func DecodeHello(b []byte) (Hello, error) {
 		NumChunks:   binary.LittleEndian.Uint32(b[13:]),
 		HeartbeatMs: binary.LittleEndian.Uint32(b[17:]),
 		ServerEpoch: binary.LittleEndian.Uint64(b[21:]),
+		ShardIndex:  binary.LittleEndian.Uint32(b[29:]),
+		ShardCount:  binary.LittleEndian.Uint32(b[33:]),
+		MapVersion:  binary.LittleEndian.Uint64(b[37:]),
 	}, nil
 }
 
