@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"strings"
 	"sync"
 	"time"
@@ -45,8 +46,28 @@ func run() error {
 		insertFrac = flag.Float64("insert-fraction", 0, "fraction of requests that insert")
 		batch      = flag.Int("batch", 1, "batch size B: coalesce B requests per frame (1 = unbatched)")
 		seed       = flag.Int64("seed", 1, "random seed")
+
+		metricsAddr = flag.String("metrics-addr", "", "admin HTTP listen address serving live /metrics, /traces, and /debug/pprof for this driver (empty disables)")
+		traceCap    = flag.Int("trace-cap", 1024, "trace ring capacity for /traces")
+		traceEvery  = flag.Int("trace-every", 1, "sample 1 in every N searches into the trace ring")
 	)
 	flag.Parse()
+
+	// Optional live observability for the driver itself: one registry and
+	// trace ring shared by all worker connections.
+	var reg *catfish.Registry
+	var tr *catfish.Tracer
+	if *metricsAddr != "" {
+		reg = catfish.NewRegistry()
+		tr = catfish.NewTracer(*traceCap, *traceEvery)
+		mux := catfish.NewAdminMux(reg, tr)
+		go func() {
+			log.Printf("metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+	}
 
 	forced := rpcnet.MethodFast
 	if *method == "offload" {
@@ -79,6 +100,12 @@ func run() error {
 				NodeCache:  *nodeCache,
 				Seed:       *seed + int64(i),
 			}
+			if reg != nil {
+				// Each worker gets its own labelled view so per-connection
+				// counters stay distinguishable on the scrape.
+				ccfg.Metrics = reg.With("client", fmt.Sprint(i))
+				ccfg.Trace = tr
+			}
 			var c conn
 			collect := func() {}
 			if len(addrs) > 1 {
@@ -89,9 +116,7 @@ func run() error {
 				}
 				c = r
 				collect = func() {
-					for _, sc := range r.Clients() {
-						results[i].stats = sumClientStats(results[i].stats, sc.Stats())
-					}
+					results[i].stats = results[i].stats.Add(r.Snapshot())
 					results[i].router = r.Stats()
 				}
 			} else {
@@ -173,7 +198,7 @@ func run() error {
 			return fmt.Errorf("client %d: %w", i, r.err)
 		}
 		total.Merge(r.hist)
-		agg = sumClientStats(agg, r.stats)
+		agg = agg.Add(r.stats)
 		rt.Searches += r.router.Searches
 		rt.Writes += r.router.Writes
 		rt.Fanout += r.router.Fanout
@@ -185,7 +210,7 @@ func run() error {
 		float64(s.Count)/elapsed.Seconds()/1e3)
 	fmt.Printf("latency: mean=%v p50=%v p95=%v p99=%v max=%v\n", s.Mean, s.P50, s.P95, s.P99, s.Max)
 	fmt.Printf("fast=%d offload=%d chunk reads=%d torn retries=%d\n",
-		agg.FastSearches, agg.OffloadSearches, agg.ChunksFetched, agg.TornRetries)
+		agg.FastSearches, agg.OffloadSearches, agg.NodesFetched, agg.TornRetries)
 	if *batch > 1 {
 		fmt.Printf("batches: %d containers carrying %d ops (B=%d)\n",
 			agg.BatchesSent, agg.BatchedOps, *batch)
@@ -209,21 +234,6 @@ type conn interface {
 	Insert(r catfish.Rect, ref uint64) error
 	ExecBatch(ops []rpcnet.BatchOp, results []rpcnet.BatchResult) []rpcnet.BatchResult
 	Close() error
-}
-
-func sumClientStats(a, b rpcnet.ClientStats) rpcnet.ClientStats {
-	a.FastSearches += b.FastSearches
-	a.OffloadSearches += b.OffloadSearches
-	a.BatchesSent += b.BatchesSent
-	a.BatchedOps += b.BatchedOps
-	a.TornRetries += b.TornRetries
-	a.ChunksFetched += b.ChunksFetched
-	a.VersionReads += b.VersionReads
-	a.CacheHits += b.CacheHits
-	a.CacheVerifiedHits += b.CacheVerifiedHits
-	a.CacheMisses += b.CacheMisses
-	a.CacheBytesSaved += b.CacheBytesSaved
-	return a
 }
 
 func minf(a, b float64) float64 {

@@ -13,7 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"strconv"
 	"time"
 
 	catfish "github.com/catfish-db/catfish"
@@ -39,6 +41,10 @@ func run() error {
 		shards    = flag.Int("shards", 1, "total shard count of the deployment (1 = unsharded)")
 		shardIdx  = flag.Int("shard-index", 0, "this server's shard index, 0-based; every shard must be started with identical dataset flags")
 		maxInsert = flag.Float64("max-insert-edge", 1e-5, "largest rectangle edge clients will insert (widens shard coverage)")
+
+		metricsAddr = flag.String("metrics-addr", "", "admin HTTP listen address serving /metrics (Prometheus text), /traces (JSON), and /debug/pprof (empty disables)")
+		traceCap    = flag.Int("trace-cap", 1024, "trace ring capacity for /traces")
+		traceEvery  = flag.Int("trace-every", 1, "sample 1 in every N search requests into the trace ring")
 	)
 	flag.Parse()
 
@@ -102,12 +108,35 @@ func run() error {
 	log.Printf("loaded %d rectangles in %v (height %d, region %d MB)",
 		tree.Len(), time.Since(start).Round(time.Millisecond), tree.Height(), reg.Size()>>20)
 
-	srv, err := catfish.Listen(*addr, tree, catfish.NetServerConfig{
+	srvCfg := catfish.NetServerConfig{
 		HeartbeatInterval: *heartbeat,
 		MaxBatch:          *batch,
 		ShardMap:          smap,
 		ShardIndex:        *shardIdx,
-	})
+	}
+
+	// Admin endpoint: a registry (shard-labelled when part of a sharded
+	// deployment) plus a bounded trace ring, served on their own listener so
+	// scrapes never contend with the data port.
+	if *metricsAddr != "" {
+		reg := catfish.NewRegistry()
+		scoped := reg
+		if *shards > 1 {
+			scoped = reg.With("shard", strconv.Itoa(*shardIdx))
+		}
+		tr := catfish.NewTracer(*traceCap, *traceEvery)
+		srvCfg.Metrics = scoped
+		srvCfg.Trace = tr
+		mux := catfish.NewAdminMux(reg, tr)
+		go func() {
+			log.Printf("metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+	}
+
+	srv, err := catfish.Listen(*addr, tree, srvCfg)
 	if err != nil {
 		return err
 	}

@@ -105,7 +105,7 @@ func run() error {
 			st := c.Stats()
 			fmt.Printf("%-8s %d searches in %v (avg %.1f hits, %d chunk reads, %d torn retries)\n",
 				mode.name, n, time.Since(start).Round(time.Millisecond),
-				float64(hits)/n, st.ChunksFetched, st.TornRetries)
+				float64(hits)/n, st.NodesFetched, st.TornRetries)
 		}()
 	}
 	wg.Wait()

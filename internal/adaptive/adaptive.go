@@ -19,6 +19,7 @@
 package adaptive
 
 import (
+	"math"
 	"math/rand"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,11 @@ type Switch struct {
 	t0    time.Duration
 	pred  float64
 
+	// predBits mirrors pred (or, without smoothing, the latest consumed
+	// heartbeat) as atomic float64 bits so telemetry scrapers can read the
+	// prediction without racing Decide.
+	predBits atomic.Uint64
+
 	// HeartbeatsSeen counts consumed heartbeats.
 	HeartbeatsSeen uint64
 }
@@ -99,6 +105,7 @@ func (s *Switch) Decide(now time.Duration, readHB func() float64, clearHB func()
 func (s *Switch) predict(latest float64) float64 {
 	a := s.cfg.PredSmoothing
 	if a <= 0 {
+		s.predBits.Store(math.Float64bits(latest))
 		return latest
 	}
 	if a > 1 {
@@ -109,7 +116,16 @@ func (s *Switch) predict(latest float64) float64 {
 	} else {
 		s.pred = a*latest + (1-a)*s.pred
 	}
+	s.predBits.Store(math.Float64bits(s.pred))
 	return s.pred
+}
+
+// PredictedUtil returns the utilization prediction used by the most recent
+// consumed heartbeat (0 before any heartbeat). Unlike the rest of the
+// switch it is safe to call concurrently with Decide, so telemetry gauges
+// can sample it live.
+func (s *Switch) PredictedUtil() float64 {
+	return math.Float64frombits(s.predBits.Load())
 }
 
 // State exposes the back-off counters for tests and instrumentation.

@@ -2,7 +2,6 @@ package client
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/sim"
@@ -69,10 +68,10 @@ func (c *Client) ExecBatch(p *sim.Proc, ops []BatchOp, results []BatchResult) []
 	for i, op := range ops {
 		switch op.Type {
 		case wire.MsgInsert:
-			atomic.AddUint64(&c.stats.Inserts, 1)
+			c.stats.Inserts.Inc()
 			wireOps = append(wireOps, wireOp{op: i})
 		case wire.MsgDelete:
-			atomic.AddUint64(&c.stats.Deletes, 1)
+			c.stats.Deletes.Inc()
 			wireOps = append(wireOps, wireOp{op: i})
 		case wire.MsgSearch:
 			m := c.cfg.Forced
@@ -80,14 +79,14 @@ func (c *Client) ExecBatch(p *sim.Proc, ops []BatchOp, results []BatchResult) []
 				m = c.decide(p)
 			}
 			if m == MethodOffload {
-				atomic.AddUint64(&c.stats.OffloadSearches, 1)
+				c.stats.OffloadSearches.Inc()
 				results[i].Method = MethodOffload
 				offload = append(offload, i)
 			} else {
 				if wireMethod == MethodTCP {
-					atomic.AddUint64(&c.stats.TCPSearches, 1)
+					c.stats.TCPSearches.Inc()
 				} else {
-					atomic.AddUint64(&c.stats.FastSearches, 1)
+					c.stats.FastSearches.Inc()
 				}
 				wireOps = append(wireOps, wireOp{op: i})
 			}
@@ -110,8 +109,8 @@ func (c *Client) ExecBatch(p *sim.Proc, ops []BatchOp, results []BatchResult) []
 			enc.End()
 		}
 		payload := enc.Bytes()
-		atomic.AddUint64(&c.stats.BatchesSent, 1)
-		atomic.AddUint64(&c.stats.BatchedOps, uint64(len(wireOps)))
+		c.stats.BatchesSent.Inc()
+		c.stats.BatchedOps.Add(uint64(len(wireOps)))
 		if useTCP {
 			c.ep.TCP.Send(p, payload)
 		} else if err := c.ep.ReqWriter.Send(p, payload, wireOps[0].id, true); err != nil {

@@ -10,7 +10,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync/atomic"
 	"time"
 
 	"github.com/catfish-db/catfish/internal/adaptive"
@@ -21,6 +20,7 @@ import (
 	"github.com/catfish-db/catfish/internal/rtree"
 	"github.com/catfish-db/catfish/internal/server"
 	"github.com/catfish-db/catfish/internal/sim"
+	"github.com/catfish-db/catfish/internal/telemetry"
 	"github.com/catfish-db/catfish/internal/wire"
 )
 
@@ -107,33 +107,30 @@ type Config struct {
 	// (default 64).
 	MaxRestarts     int
 	MaxChunkRetries int
+
+	// Metrics, when non-nil, exposes the client's counters, the predicted
+	// server utilization, and a search-latency histogram on the registry
+	// under catfish_client_* names. Callers running several clients against
+	// one registry should hand each client a scoped view (Registry.With) or
+	// accept that callback metrics register first-wins.
+	Metrics *telemetry.Registry
+
+	// Trace, when non-nil, receives one telemetry.Trace per search
+	// recording the adaptive decision path (method, back-off state,
+	// predicted utilization, reads issued, retries, latency).
+	Trace *telemetry.Tracer
+
+	// Shard is the shard index stamped into trace records (routers set it;
+	// 0 for unsharded clients).
+	Shard int
 }
 
-// Stats counts client-side events.
-type Stats struct {
-	FastSearches    uint64
-	OffloadSearches uint64
-	TCPSearches     uint64
-	Inserts         uint64
-	Deletes         uint64
-	TornRetries     uint64 // version-check failures on one-sided reads
-	StaleRestarts   uint64 // traversals restarted after structural change
-	NodesFetched    uint64 // RDMA Reads issued for traversal
-	HeartbeatsSeen  uint64
-	RootCacheHits   uint64 // traversals served from the cached root
-
-	// Node-cache counters (see internal/nodecache).
-	VersionReads      uint64 // version-only revalidation reads issued
-	CacheHits         uint64 // nodes served lease-fresh, zero network
-	CacheVerifiedHits uint64 // nodes served after fingerprint revalidation
-	CacheMisses       uint64
-	CacheEvictions    uint64 // entries displaced by capacity pressure
-	CacheBytesSaved   uint64 // network bytes avoided vs. always-full-fetch
-
-	// Batching counters (see ExecBatch).
-	BatchesSent uint64 // fast-messaging batch containers sent
-	BatchedOps  uint64 // operations carried in those containers
-}
+// Stats is the unified per-client counter snapshot shared with the rpcnet
+// transport.
+//
+// Deprecated: use telemetry.ClientSnapshot (this alias is kept so existing
+// callers compile unchanged).
+type Stats = telemetry.ClientSnapshot
 
 // Client is one Catfish client (the paper runs up to 32 per machine).
 type Client struct {
@@ -169,7 +166,8 @@ type Client struct {
 	benc      wire.BatchEncoder
 	respBuf   wire.Response
 
-	stats Stats
+	stats   telemetry.ClientMetrics
+	latHist *telemetry.Histogram
 }
 
 // New validates the configuration and returns a client.
@@ -210,6 +208,16 @@ func New(cfg Config) (*Client, error) {
 		Inv:           cfg.HeartbeatInv,
 		PredSmoothing: cfg.PredSmoothing,
 	}, cfg.Engine.Rand())
+	if cfg.Metrics != nil {
+		c.stats.Register(cfg.Metrics)
+		telemetry.RegisterCacheFuncs(cfg.Metrics, func() telemetry.CacheStats {
+			ns := c.ncache.Stats()
+			return telemetry.CacheStats{Hits: ns.Hits, VerifiedHits: ns.VerifiedHits,
+				Misses: ns.Misses, Evictions: ns.Evictions, BytesSaved: ns.BytesSaved}
+		})
+		cfg.Metrics.GaugeFunc("catfish_client_pred_util", c.sw.PredictedUtil)
+		c.latHist = cfg.Metrics.Histogram("catfish_client_search_latency_seconds")
+	}
 	return c, nil
 }
 
@@ -217,21 +225,7 @@ func New(cfg Config) (*Client, error) {
 // atomically, so the snapshot is safe to take while the simulation runs
 // (progress meters, tests under -race).
 func (c *Client) Stats() Stats {
-	out := Stats{
-		FastSearches:    atomic.LoadUint64(&c.stats.FastSearches),
-		OffloadSearches: atomic.LoadUint64(&c.stats.OffloadSearches),
-		TCPSearches:     atomic.LoadUint64(&c.stats.TCPSearches),
-		Inserts:         atomic.LoadUint64(&c.stats.Inserts),
-		Deletes:         atomic.LoadUint64(&c.stats.Deletes),
-		TornRetries:     atomic.LoadUint64(&c.stats.TornRetries),
-		StaleRestarts:   atomic.LoadUint64(&c.stats.StaleRestarts),
-		NodesFetched:    atomic.LoadUint64(&c.stats.NodesFetched),
-		RootCacheHits:   atomic.LoadUint64(&c.stats.RootCacheHits),
-		VersionReads:    atomic.LoadUint64(&c.stats.VersionReads),
-		BatchesSent:     atomic.LoadUint64(&c.stats.BatchesSent),
-		BatchedOps:      atomic.LoadUint64(&c.stats.BatchedOps),
-	}
-	out.HeartbeatsSeen = atomic.LoadUint64(&c.sw.HeartbeatsSeen)
+	out := c.stats.Snapshot()
 	ns := c.ncache.Stats()
 	out.CacheHits = ns.Hits
 	out.CacheVerifiedHits = ns.VerifiedHits
@@ -254,26 +248,59 @@ func (c *Client) Search(p *sim.Proc, q geo.Rect) ([]wire.Item, Method, error) {
 	if c.cfg.Adaptive {
 		m = c.decide(p)
 	}
+	tracing := c.cfg.Trace != nil
+	var start time.Duration
+	var readsBefore, tornBefore uint64
+	if tracing || c.latHist != nil {
+		start = p.Now()
+	}
+	if tracing {
+		readsBefore = c.stats.NodesFetched.Load()
+		tornBefore = c.stats.TornRetries.Load()
+	}
+	var items []wire.Item
+	var err error
 	switch m {
 	case MethodOffload:
-		atomic.AddUint64(&c.stats.OffloadSearches, 1)
-		items, err := c.searchOffload(p, q)
-		return items, m, err
+		c.stats.OffloadSearches.Inc()
+		items, err = c.searchOffload(p, q)
 	case MethodTCP:
-		atomic.AddUint64(&c.stats.TCPSearches, 1)
-		items, err := c.searchTCP(p, q)
-		return items, m, err
+		c.stats.TCPSearches.Inc()
+		items, err = c.searchTCP(p, q)
 	default:
-		atomic.AddUint64(&c.stats.FastSearches, 1)
-		items, err := c.searchFast(p, q)
-		return items, MethodFast, err
+		m = MethodFast
+		c.stats.FastSearches.Inc()
+		items, err = c.searchFast(p, q)
 	}
+	if tracing || c.latHist != nil {
+		lat := p.Now() - start
+		c.latHist.Record(lat)
+		if tracing {
+			rbusy, roff := c.sw.State()
+			tr := telemetry.Trace{
+				Start:        start,
+				Method:       m.String(),
+				Shard:        c.cfg.Shard,
+				RBusy:        rbusy,
+				ROff:         roff,
+				PredUtil:     c.sw.PredictedUtil(),
+				OffloadReads: uint32(c.stats.NodesFetched.Load() - readsBefore),
+				TornRetries:  uint32(c.stats.TornRetries.Load() - tornBefore),
+				Latency:      lat,
+			}
+			if err != nil {
+				tr.Err = err.Error()
+			}
+			c.cfg.Trace.Record(tr)
+		}
+	}
+	return items, m, err
 }
 
 // Insert adds a rectangle; R-tree writes always travel by messaging so the
 // server's lock discipline covers them (§III-B).
 func (c *Client) Insert(p *sim.Proc, r geo.Rect, ref uint64) error {
-	atomic.AddUint64(&c.stats.Inserts, 1)
+	c.stats.Inserts.Inc()
 	resp, err := c.roundTrip(p, wire.Request{Type: wire.MsgInsert, ID: c.nextID(), Rect: r, Ref: ref})
 	if err != nil {
 		return err
@@ -286,7 +313,7 @@ func (c *Client) Insert(p *sim.Proc, r geo.Rect, ref uint64) error {
 
 // Delete removes an exact (rect, ref) entry.
 func (c *Client) Delete(p *sim.Proc, r geo.Rect, ref uint64) error {
-	atomic.AddUint64(&c.stats.Deletes, 1)
+	c.stats.Deletes.Inc()
 	resp, err := c.roundTrip(p, wire.Request{Type: wire.MsgDelete, ID: c.nextID(), Rect: r, Ref: ref})
 	if err != nil {
 		return err
@@ -320,8 +347,10 @@ func (c *Client) readHeartbeat() float64 {
 
 // clearHeartbeat is the paper's memset(u_serv, 0). Only the utilization
 // word is cleared: the mailbox's second word carries the root version and
-// must persist for the root-cache invalidation check.
+// must persist for the root-cache invalidation check. The switch invokes it
+// exactly once per consumed heartbeat, so it doubles as the counting point.
 func (c *Client) clearHeartbeat() {
+	c.stats.HeartbeatsSeen.Inc()
 	b := c.ep.HeartbeatM.Bytes()
 	for i := 0; i < 8 && i < len(b); i++ {
 		b[i] = 0

@@ -3,7 +3,6 @@ package client
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
 
 	"github.com/catfish-db/catfish/internal/fabric"
 	"github.com/catfish-db/catfish/internal/geo"
@@ -42,7 +41,7 @@ func (c *Client) searchOffload(p *sim.Proc, q geo.Rect) ([]wire.Item, error) {
 		// full flush conservatively covers them all.
 		c.rootCache = nil
 		c.ncache.Flush()
-		atomic.AddUint64(&c.stats.StaleRestarts, 1)
+		c.stats.StaleRestarts.Inc()
 	}
 	return nil, ErrGaveUp
 }
@@ -71,7 +70,7 @@ func (c *Client) cachedRoot(p *sim.Proc) (*rtree.Node, error) {
 		return nil, nil
 	}
 	if c.rootCache != nil {
-		atomic.AddUint64(&c.stats.RootCacheHits, 1)
+		c.stats.RootCacheHits.Inc()
 		return c.rootCache, nil
 	}
 	if err := c.fetchChunk(p, c.ep.RootChunk, -1); err != nil {
@@ -154,7 +153,7 @@ func (c *Client) chargeTraversal(p *sim.Proc) {
 func (c *Client) fetchChunk(p *sim.Proc, id int, expectLevel int) error {
 	qp := c.ep.DataQP
 	for retry := 0; retry <= c.cfg.MaxChunkRetries; retry++ {
-		atomic.AddUint64(&c.stats.NodesFetched, 1)
+		c.stats.NodesFetched.Inc()
 		raw, err := qp.ReadSync(p, c.ep.RegionMem, c.ep.RegionMem.ChunkOffset(id), c.ep.ChunkSize)
 		if err != nil {
 			return fmt.Errorf("client: chunk %d read: %w", id, err)
@@ -162,7 +161,7 @@ func (c *Client) fetchChunk(p *sim.Proc, id int, expectLevel int) error {
 		payload, ver, derr := region.DecodeChunk(raw, c.payload)
 		if derr != nil {
 			if errors.Is(derr, region.ErrTornRead) {
-				atomic.AddUint64(&c.stats.TornRetries, 1)
+				c.stats.TornRetries.Inc()
 				continue
 			}
 			return derr
@@ -187,7 +186,7 @@ func (c *Client) fetchChunk(p *sim.Proc, id int, expectLevel int) error {
 // full chunk for the default geometry) and returns its fingerprint, or
 // region.ErrTornRead when a writer is mid-publish.
 func (c *Client) readVersions(p *sim.Proc, id int) (uint64, error) {
-	atomic.AddUint64(&c.stats.VersionReads, 1)
+	c.stats.VersionReads.Inc()
 	rv := c.ep.RegionVers
 	raw, err := c.ep.DataQP.ReadSync(p, rv, rv.VersionsOffset(id), rv.VersionsSize())
 	if err != nil {
@@ -305,7 +304,7 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 	issue := func(id, level, tries int) {
 		c.tagSeq++
 		inflight[c.tagSeq] = pending{id: id, level: level, tries: tries}
-		atomic.AddUint64(&c.stats.NodesFetched, 1)
+		c.stats.NodesFetched.Inc()
 		batch = append(batch, fabric.ReadReq{
 			Src: c.ep.RegionMem, Off: c.ep.RegionMem.ChunkOffset(id),
 			Size: c.ep.ChunkSize, Tag: c.tagSeq,
@@ -314,7 +313,7 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 	issueVerify := func(id, level int) {
 		c.tagSeq++
 		inflight[c.tagSeq] = pending{id: id, level: level, verify: true}
-		atomic.AddUint64(&c.stats.VersionReads, 1)
+		c.stats.VersionReads.Inc()
 		rv := c.ep.RegionVers
 		batch = append(batch, fabric.ReadReq{
 			Src: rv, Off: rv.VersionsOffset(id), Size: rv.VersionsSize(), Tag: c.tagSeq,
@@ -441,7 +440,7 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 			if !errors.Is(derr, region.ErrTornRead) {
 				return fail(derr)
 			}
-			atomic.AddUint64(&c.stats.TornRetries, 1)
+			c.stats.TornRetries.Inc()
 			if ctx.tries >= c.cfg.MaxChunkRetries {
 				return fail(ErrGaveUp)
 			}

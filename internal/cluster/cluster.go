@@ -19,6 +19,7 @@ import (
 	"github.com/catfish-db/catfish/internal/server"
 	"github.com/catfish-db/catfish/internal/sim"
 	"github.com/catfish-db/catfish/internal/stats"
+	"github.com/catfish-db/catfish/internal/telemetry"
 	"github.com/catfish-db/catfish/internal/wire"
 	"github.com/catfish-db/catfish/internal/workload"
 )
@@ -158,6 +159,11 @@ type Result struct {
 	ServerTXGbps    float64
 	ServerRXGbps    float64
 
+	// Client is the unified client counter snapshot aggregated over every
+	// client in the run; the flattened counter fields below are derived
+	// from it (kept so existing sweeps and reports read unchanged).
+	Client telemetry.ClientSnapshot
+
 	OffloadFraction float64
 	TornRetries     uint64
 	StaleRestarts   uint64
@@ -200,12 +206,36 @@ type ShardResult struct {
 	Shard   int
 	Entries int    // dataset entries owned at load time
 	Ops     uint64 // server-side searches+inserts+deletes executed
+	// Client aggregates the per-shard client counters of every router's
+	// connection to this shard.
+	Client telemetry.ClientSnapshot
 	// OffloadFraction is the fraction of this shard's sub-searches that ran
 	// as client-side traversals — per-shard Algorithm 1 state made visible.
 	OffloadFraction float64
 	CPUUtil         float64
 	TXGbps          float64
 	RXGbps          float64
+}
+
+// applyClientSnapshot stores the aggregated client counters on the result
+// and derives the legacy flattened fields from them.
+func (r *Result) applyClientSnapshot(agg telemetry.ClientSnapshot) {
+	r.Client = agg
+	r.OffloadFraction = agg.OffloadFraction()
+	r.TornRetries = agg.TornRetries
+	r.StaleRestarts = agg.StaleRestarts
+	r.NodesFetched = agg.NodesFetched
+	r.Batches = agg.BatchesSent
+	r.BatchedOps = agg.BatchedOps
+	r.VersionReads = agg.VersionReads
+	r.CacheHits = agg.CacheHits
+	r.CacheVerified = agg.CacheVerifiedHits
+	r.CacheMisses = agg.CacheMisses
+	r.CacheEvictions = agg.CacheEvictions
+	r.CacheBytesSaved = agg.CacheBytesSaved
+	if agg.OffloadSearches > 0 {
+		r.OffloadReadsPerSearch = float64(agg.NodesFetched) / float64(agg.OffloadSearches)
+	}
 }
 
 func (c *Config) applyDefaults() {
@@ -475,28 +505,10 @@ func Run(cfg Config) (Result, error) {
 		res.ServerCPUUtil = serverCPU.UtilizationTotal()
 		res.ServerUsefulCPU = res.ServerCPUUtil
 	}
-	var fast, off uint64
+	var agg telemetry.ClientSnapshot
 	for _, c := range clients {
-		st := c.Stats()
-		fast += st.FastSearches + st.TCPSearches
-		off += st.OffloadSearches
-		res.TornRetries += st.TornRetries
-		res.StaleRestarts += st.StaleRestarts
-		res.NodesFetched += st.NodesFetched
-		res.Batches += st.BatchesSent
-		res.BatchedOps += st.BatchedOps
-		res.VersionReads += st.VersionReads
-		res.CacheHits += st.CacheHits
-		res.CacheVerified += st.CacheVerifiedHits
-		res.CacheMisses += st.CacheMisses
-		res.CacheEvictions += st.CacheEvictions
-		res.CacheBytesSaved += st.CacheBytesSaved
+		agg = agg.Add(c.Stats())
 	}
-	if fast+off > 0 {
-		res.OffloadFraction = float64(off) / float64(fast+off)
-	}
-	if off > 0 {
-		res.OffloadReadsPerSearch = float64(res.NodesFetched) / float64(off)
-	}
+	res.applyClientSnapshot(agg)
 	return res, nil
 }

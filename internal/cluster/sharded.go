@@ -14,6 +14,7 @@ import (
 	"github.com/catfish-db/catfish/internal/shard"
 	"github.com/catfish-db/catfish/internal/sim"
 	"github.com/catfish-db/catfish/internal/stats"
+	"github.com/catfish-db/catfish/internal/telemetry"
 	"github.com/catfish-db/catfish/internal/wire"
 	"github.com/catfish-db/catfish/internal/workload"
 )
@@ -250,7 +251,7 @@ func runSharded(cfg Config) (Result, error) {
 
 	// Per-shard split plus the single-server-shaped aggregates: server
 	// stats summed, CPU utilization averaged, NIC bandwidth summed.
-	var fastAll, offAll uint64
+	var aggAll telemetry.ClientSnapshot
 	res.PerShard = make([]ShardResult, k)
 	for s := 0; s < k; s++ {
 		st := servers[s].Stats()
@@ -269,28 +270,13 @@ func runSharded(cfg Config) (Result, error) {
 		} else {
 			sr.CPUUtil = serverCPUs[s].UtilizationTotal()
 		}
-		var fast, off uint64
+		var agg telemetry.ClientSnapshot
 		for i := range shardClients {
-			cst := shardClients[i][s].Stats()
-			fast += cst.FastSearches + cst.TCPSearches
-			off += cst.OffloadSearches
-			res.TornRetries += cst.TornRetries
-			res.StaleRestarts += cst.StaleRestarts
-			res.NodesFetched += cst.NodesFetched
-			res.Batches += cst.BatchesSent
-			res.BatchedOps += cst.BatchedOps
-			res.VersionReads += cst.VersionReads
-			res.CacheHits += cst.CacheHits
-			res.CacheVerified += cst.CacheVerifiedHits
-			res.CacheMisses += cst.CacheMisses
-			res.CacheEvictions += cst.CacheEvictions
-			res.CacheBytesSaved += cst.CacheBytesSaved
+			agg = agg.Add(shardClients[i][s].Stats())
 		}
-		if fast+off > 0 {
-			sr.OffloadFraction = float64(off) / float64(fast+off)
-		}
-		fastAll += fast
-		offAll += off
+		sr.Client = agg
+		sr.OffloadFraction = agg.OffloadFraction()
+		aggAll = aggAll.Add(agg)
 
 		res.ServerStats.Searches += st.Searches
 		res.ServerStats.Inserts += st.Inserts
@@ -308,12 +294,7 @@ func runSharded(cfg Config) (Result, error) {
 	if cfg.Scheme.ServerMode != server.ModePolling {
 		res.ServerUsefulCPU = res.ServerCPUUtil
 	}
-	if fastAll+offAll > 0 {
-		res.OffloadFraction = float64(offAll) / float64(fastAll+offAll)
-	}
-	if offAll > 0 {
-		res.OffloadReadsPerSearch = float64(res.NodesFetched) / float64(offAll)
-	}
+	res.applyClientSnapshot(aggAll)
 
 	// Router-level routing counters.
 	var searches, fanout uint64

@@ -6,7 +6,6 @@ package rpcnet
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/wire"
@@ -225,11 +224,11 @@ func (c *Client) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 				m = c.decide()
 			}
 			if m == MethodOffload {
-				atomic.AddUint64(&c.stats.OffloadSearches, 1)
+				c.stats.OffloadSearches.Inc()
 				results[i].Method = MethodOffload
 				offload = append(offload, i)
 			} else {
-				atomic.AddUint64(&c.stats.FastSearches, 1)
+				c.stats.FastSearches.Inc()
 				wireOps = append(wireOps, wireOp{op: i})
 			}
 		default:
@@ -271,8 +270,8 @@ func (c *Client) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 				enc.End()
 			}
 			payload := enc.Bytes()
-			atomic.AddUint64(&c.stats.BatchesSent, 1)
-			atomic.AddUint64(&c.stats.BatchedOps, uint64(len(wireOps)))
+			c.stats.BatchesSent.Inc()
+			c.stats.BatchedOps.Add(uint64(len(wireOps)))
 			c.sendMu.Lock()
 			err := writeFrame(c.conn, payload)
 			c.sendMu.Unlock()

@@ -16,6 +16,7 @@ import (
 	"github.com/catfish-db/catfish/internal/region"
 	"github.com/catfish-db/catfish/internal/rtree"
 	"github.com/catfish-db/catfish/internal/shard"
+	"github.com/catfish-db/catfish/internal/telemetry"
 	"github.com/catfish-db/catfish/internal/wire"
 )
 
@@ -57,30 +58,28 @@ type ClientConfig struct {
 	// they are revalidated with a READ_VERSIONS round trip (an eighth of
 	// a chunk) before being trusted. See internal/nodecache.
 	NodeCache int
+
+	// Metrics, when non-nil, exposes the client counters, the predicted
+	// server utilization, and a search-latency histogram on the registry
+	// under catfish_client_* names (DialRouter hands each per-shard client
+	// a shard-labelled view).
+	Metrics *telemetry.Registry
+
+	// Trace, when non-nil, receives one telemetry.Trace per search.
+	Trace *telemetry.Tracer
+
+	// Shard is the shard index stamped into trace records (DialRouter sets
+	// it; 0 for unsharded clients).
+	Shard int
 }
 
-// ClientStats counts client events.
-type ClientStats struct {
-	FastSearches    uint64
-	OffloadSearches uint64
-	TornRetries     uint64
-	StaleRestarts   uint64
-	ChunksFetched   uint64
-	HeartbeatsSeen  uint64
-
-	// BatchesSent counts ExecBatch containers; BatchedOps the operations
-	// they carried (each also counted in its per-type counter above).
-	BatchesSent uint64
-	BatchedOps  uint64
-
-	// Node-cache counters (see internal/nodecache).
-	VersionReads      uint64 // READ_VERSIONS revalidation round trips
-	CacheHits         uint64 // nodes served lease-fresh, zero network
-	CacheVerifiedHits uint64 // nodes served after fingerprint revalidation
-	CacheMisses       uint64
-	CacheEvictions    uint64
-	CacheBytesSaved   uint64
-}
+// ClientStats is the unified per-client counter snapshot shared with the
+// simulation transport. The traversal read counter is NodesFetched
+// (formerly ChunksFetched — the same quantity).
+//
+// Deprecated: use telemetry.ClientSnapshot (this alias is kept so existing
+// callers compile unchanged).
+type ClientStats = telemetry.ClientSnapshot
 
 // Client is a Catfish client over real TCP. It is safe for use by one
 // goroutine at a time (like net.Conn-based request/response clients); the
@@ -115,8 +114,9 @@ type Client struct {
 	ncache  *nodecache.Cache
 	rootVer atomic.Uint64
 
-	cfg   ClientConfig
-	stats ClientStats
+	cfg     ClientConfig
+	stats   telemetry.ClientMetrics
+	latHist *telemetry.Histogram
 }
 
 // Dial connects to a server and performs the hello exchange.
@@ -169,6 +169,16 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		T:   cfg.T,
 		Inv: time.Duration(hello.HeartbeatMs) * time.Millisecond,
 	}, rand.New(rand.NewSource(cfg.Seed+time.Now().UnixNano())))
+	if cfg.Metrics != nil {
+		c.stats.Register(cfg.Metrics)
+		telemetry.RegisterCacheFuncs(cfg.Metrics, func() telemetry.CacheStats {
+			ns := c.ncache.Stats()
+			return telemetry.CacheStats{Hits: ns.Hits, VerifiedHits: ns.VerifiedHits,
+				Misses: ns.Misses, Evictions: ns.Evictions, BytesSaved: ns.BytesSaved}
+		})
+		cfg.Metrics.GaugeFunc("catfish_client_pred_util", c.sw.PredictedUtil)
+		c.latHist = cfg.Metrics.Histogram("catfish_client_search_latency_seconds")
+	}
 	go c.readLoop()
 	return c, nil
 }
@@ -182,24 +192,14 @@ func (c *Client) Close() error {
 
 // Stats returns a snapshot of the counters.
 func (c *Client) Stats() ClientStats {
+	out := c.stats.Snapshot()
 	ns := c.ncache.Stats()
-	return ClientStats{
-		FastSearches:    atomic.LoadUint64(&c.stats.FastSearches),
-		OffloadSearches: atomic.LoadUint64(&c.stats.OffloadSearches),
-		TornRetries:     atomic.LoadUint64(&c.stats.TornRetries),
-		StaleRestarts:   atomic.LoadUint64(&c.stats.StaleRestarts),
-		ChunksFetched:   atomic.LoadUint64(&c.stats.ChunksFetched),
-		HeartbeatsSeen:  atomic.LoadUint64(&c.stats.HeartbeatsSeen),
-		BatchesSent:     atomic.LoadUint64(&c.stats.BatchesSent),
-		BatchedOps:      atomic.LoadUint64(&c.stats.BatchedOps),
-
-		VersionReads:      atomic.LoadUint64(&c.stats.VersionReads),
-		CacheHits:         ns.Hits,
-		CacheVerifiedHits: ns.VerifiedHits,
-		CacheMisses:       ns.Misses,
-		CacheEvictions:    ns.Evictions,
-		CacheBytesSaved:   ns.BytesSaved,
-	}
+	out.CacheHits = ns.Hits
+	out.CacheVerifiedHits = ns.VerifiedHits
+	out.CacheMisses = ns.Misses
+	out.CacheEvictions = ns.Evictions
+	out.CacheBytesSaved = ns.BytesSaved
+	return out
 }
 
 // Hello returns the server's connection bootstrap info.
@@ -264,7 +264,7 @@ func (c *Client) readLoop() {
 			if hb, err := wire.DecodeHeartbeat(frame); err == nil {
 				c.heartbeat.Store(floatBits(hb.Util))
 				c.lastHB.Store(int64(time.Since(c.start)))
-				atomic.AddUint64(&c.stats.HeartbeatsSeen, 1)
+				c.stats.HeartbeatsSeen.Inc()
 				// A root rewrite demotes every cached node to the
 				// revalidation tier within one heartbeat.
 				if old := c.rootVer.Swap(hb.RootVer); old != hb.RootVer {
@@ -413,24 +413,67 @@ func (c *Client) Search(q geo.Rect) ([]wire.Item, Method, error) {
 	if c.cfg.Adaptive {
 		m = c.decide()
 	}
-	if m == MethodOffload {
-		atomic.AddUint64(&c.stats.OffloadSearches, 1)
-		items, err := c.searchOffload(q)
-		return items, m, err
+	tracing := c.cfg.Trace != nil
+	var start time.Duration
+	var readsBefore, tornBefore uint64
+	if tracing || c.latHist != nil {
+		start = time.Since(c.start)
 	}
-	atomic.AddUint64(&c.stats.FastSearches, 1)
-	resp, err := c.roundTrip(wire.Request{Type: wire.MsgSearch, ID: c.reqID.Add(1), Rect: q})
+	if tracing {
+		readsBefore = c.stats.NodesFetched.Load()
+		tornBefore = c.stats.TornRetries.Load()
+	}
+	var items []wire.Item
+	var err error
+	if m == MethodOffload {
+		c.stats.OffloadSearches.Inc()
+		items, err = c.searchOffload(q)
+	} else {
+		c.stats.FastSearches.Inc()
+		var resp wire.Response
+		resp, err = c.roundTrip(wire.Request{Type: wire.MsgSearch, ID: c.reqID.Add(1), Rect: q})
+		if err == nil && resp.Status != wire.StatusOK {
+			err = fmt.Errorf("%w: status %d", ErrServer, resp.Status)
+		}
+		if err == nil {
+			items = resp.Items
+		}
+	}
+	if tracing || c.latHist != nil {
+		lat := time.Since(c.start) - start
+		c.latHist.Record(lat)
+		if tracing {
+			method := "fast"
+			if m == MethodOffload {
+				method = "offload"
+			}
+			rbusy, roff := c.sw.State()
+			tr := telemetry.Trace{
+				Start:        start,
+				Method:       method,
+				Shard:        c.cfg.Shard,
+				RBusy:        rbusy,
+				ROff:         roff,
+				PredUtil:     c.sw.PredictedUtil(),
+				OffloadReads: uint32(c.stats.NodesFetched.Load() - readsBefore),
+				TornRetries:  uint32(c.stats.TornRetries.Load() - tornBefore),
+				Latency:      lat,
+			}
+			if err != nil {
+				tr.Err = err.Error()
+			}
+			c.cfg.Trace.Record(tr)
+		}
+	}
 	if err != nil {
 		return nil, m, err
 	}
-	if resp.Status != wire.StatusOK {
-		return nil, m, fmt.Errorf("%w: status %d", ErrServer, resp.Status)
-	}
-	return resp.Items, m, nil
+	return items, m, nil
 }
 
 // Insert adds an entry (always by messaging, like the paper).
 func (c *Client) Insert(r geo.Rect, ref uint64) error {
+	c.stats.Inserts.Inc()
 	resp, err := c.roundTrip(wire.Request{Type: wire.MsgInsert, ID: c.reqID.Add(1), Rect: r, Ref: ref})
 	if err != nil {
 		return err
@@ -443,6 +486,7 @@ func (c *Client) Insert(r geo.Rect, ref uint64) error {
 
 // Delete removes an exact entry.
 func (c *Client) Delete(r geo.Rect, ref uint64) error {
+	c.stats.Deletes.Inc()
 	resp, err := c.roundTrip(wire.Request{Type: wire.MsgDelete, ID: c.reqID.Add(1), Rect: r, Ref: ref})
 	if err != nil {
 		return err
@@ -480,7 +524,7 @@ func (c *Client) fetchChunk(id int, expectLevel int, node *rtree.Node) error {
 		}
 	}
 	for retry := 0; retry <= c.cfg.MaxChunkRetries; retry++ {
-		atomic.AddUint64(&c.stats.ChunksFetched, 1)
+		c.stats.NodesFetched.Inc()
 		tag := c.reqID.Add(1)
 		frame, err := c.call(tag, wire.ReadChunk{ID: tag, Chunk: uint32(id)}.Encode(nil))
 		if err != nil {
@@ -496,7 +540,7 @@ func (c *Client) fetchChunk(id int, expectLevel int, node *rtree.Node) error {
 		payload, ver, derr := region.DecodeChunk(cd.Raw, nil)
 		if derr != nil {
 			if errors.Is(derr, region.ErrTornRead) {
-				atomic.AddUint64(&c.stats.TornRetries, 1)
+				c.stats.TornRetries.Inc()
 				continue
 			}
 			return derr
@@ -556,7 +600,7 @@ func (c *Client) fetchCached(id int, expectLevel int, node *rtree.Node) (bool, e
 // fetchVersions performs a READ_VERSIONS round trip for chunk id and
 // returns its version fingerprint.
 func (c *Client) fetchVersions(id int) (uint64, error) {
-	atomic.AddUint64(&c.stats.VersionReads, 1)
+	c.stats.VersionReads.Inc()
 	tag := c.reqID.Add(1)
 	frame, err := c.call(tag, wire.ReadVersions{ID: tag, Chunk: uint32(id)}.Encode(nil))
 	if err != nil {
@@ -588,7 +632,7 @@ func (c *Client) searchOffload(q geo.Rect) ([]wire.Item, error) {
 		// Conservative: the stale entry's ancestors are unknown, so drop
 		// the whole cache before retrying.
 		c.ncache.Flush()
-		atomic.AddUint64(&c.stats.StaleRestarts, 1)
+		c.stats.StaleRestarts.Inc()
 	}
 	return nil, ErrGaveUp
 }

@@ -3,12 +3,14 @@ package rpcnet
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/shard"
+	"github.com/catfish-db/catfish/internal/telemetry"
 	"github.com/catfish-db/catfish/internal/wire"
 )
 
@@ -64,6 +66,11 @@ func DialRouter(addrs []string, cfg RouterConfig) (*Router, error) {
 	for i, addr := range addrs {
 		ccfg := cfg.Client
 		ccfg.Seed += int64(i)
+		ccfg.Shard = i
+		if ccfg.Metrics != nil && len(addrs) > 1 {
+			// Per-shard label so the scraped series separate by shard.
+			ccfg.Metrics = ccfg.Metrics.With("shard", strconv.Itoa(i))
+		}
 		c, err := Dial(addr, ccfg)
 		if err != nil {
 			return nil, fmt.Errorf("rpcnet: shard %d (%s): %w", i, addr, err)
@@ -110,6 +117,16 @@ func (r *Router) Map() *shard.Map { return r.m }
 // Clients returns the per-shard connections, in shard order (for stats
 // collection; routing should go through the router).
 func (r *Router) Clients() []*Client { return r.clients }
+
+// Snapshot aggregates every per-shard client's counters into one unified
+// snapshot.
+func (r *Router) Snapshot() telemetry.ClientSnapshot {
+	var agg telemetry.ClientSnapshot
+	for _, c := range r.clients {
+		agg = agg.Add(c.Stats())
+	}
+	return agg
+}
 
 // Close tears down every shard connection, returning the first error.
 func (r *Router) Close() error { return r.closeAll() }

@@ -308,9 +308,9 @@ func TestNodeCacheOverTCP(t *testing.T) {
 		}
 	}
 	ps, cs := plain.Stats(), cached.Stats()
-	if cs.ChunksFetched >= ps.ChunksFetched {
+	if cs.NodesFetched >= ps.NodesFetched {
 		t.Errorf("cached fetched %d chunks, plain %d — cache saved nothing",
-			cs.ChunksFetched, ps.ChunksFetched)
+			cs.NodesFetched, ps.NodesFetched)
 	}
 	if cs.CacheVerifiedHits == 0 {
 		t.Error("zero-lease cache recorded no verified hits")
@@ -319,7 +319,7 @@ func TestNodeCacheOverTCP(t *testing.T) {
 		t.Error("server answered no READ_VERSIONS requests")
 	}
 	t.Logf("plain=%d cached=%d chunks (verified=%d versionReads=%d saved=%dB)",
-		ps.ChunksFetched, cs.ChunksFetched, cs.CacheVerifiedHits, cs.VersionReads, cs.CacheBytesSaved)
+		ps.NodesFetched, cs.NodesFetched, cs.CacheVerifiedHits, cs.VersionReads, cs.CacheBytesSaved)
 }
 
 func TestNodeCacheLeaseHitsOverTCP(t *testing.T) {

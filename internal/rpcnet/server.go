@@ -25,6 +25,7 @@ import (
 	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/rtree"
 	"github.com/catfish-db/catfish/internal/shard"
+	"github.com/catfish-db/catfish/internal/telemetry"
 	"github.com/catfish-db/catfish/internal/wire"
 )
 
@@ -83,6 +84,17 @@ type ServerConfig struct {
 	// can bootstrap from any member. Nil runs the server unsharded.
 	ShardMap   *shard.Map
 	ShardIndex int
+
+	// Metrics, when non-nil, exposes the server counters, per-op request
+	// latency histograms, and the heartbeat utilization on the registry
+	// under catfish_server_* / catfish_request_latency_seconds names
+	// (catfish-server serves it at -metrics-addr).
+	Metrics *telemetry.Registry
+
+	// Trace, when non-nil, receives one telemetry.Trace per fast-messaging
+	// search request (adaptive fields zero — the server doesn't see the
+	// client's decision state).
+	Trace *telemetry.Tracer
 }
 
 // Server serves a Catfish R-tree over TCP.
@@ -109,6 +121,20 @@ type Server struct {
 	verReads   atomic.Uint64
 	batches    atomic.Uint64
 	batchedOps atomic.Uint64
+
+	// offloadEst estimates offloaded searches: every client traversal
+	// starts with a READ_CHUNK of the root, so root reads ≈ offloaded
+	// searches (root-cache hits aside). rootChunkA mirrors the current root
+	// chunk id (refreshed by heartbeatLoop) so the lock-free read path
+	// doesn't race tree.RootChunk().
+	offloadEst atomic.Uint64
+	rootChunkA atomic.Int64
+	lastUtil   telemetry.Gauge // utilization as last published by heartbeatLoop
+
+	latSearch *telemetry.Histogram
+	latInsert *telemetry.Histogram
+	latDelete *telemetry.Histogram
+	start     time.Time
 }
 
 type srvConn struct {
@@ -138,6 +164,22 @@ func Listen(addr string, tree *rtree.Tree, cfg ServerConfig) (*Server, error) {
 		ln:    ln,
 		conns: make(map[*srvConn]struct{}),
 		epoch: uint64(time.Now().UnixNano()),
+		start: time.Now(),
+	}
+	s.rootChunkA.Store(int64(tree.RootChunk()))
+	if reg := cfg.Metrics; reg != nil {
+		reg.CounterFunc("catfish_server_fast_searches_total", s.searches.Load)
+		reg.CounterFunc("catfish_server_offload_searches_total", s.offloadEst.Load)
+		reg.CounterFunc("catfish_server_offload_chunk_reads_total", s.reads.Load)
+		reg.CounterFunc("catfish_server_version_reads_total", s.verReads.Load)
+		reg.CounterFunc("catfish_server_inserts_total", s.inserts.Load)
+		reg.CounterFunc("catfish_server_deletes_total", s.deletes.Load)
+		reg.CounterFunc("catfish_server_batches_total", s.batches.Load)
+		reg.CounterFunc("catfish_server_batched_ops_total", s.batchedOps.Load)
+		reg.GaugeFunc("catfish_server_utilization", s.lastUtil.Load)
+		s.latSearch = reg.Histogram("catfish_request_latency_seconds", "op", "search")
+		s.latInsert = reg.Histogram("catfish_request_latency_seconds", "op", "insert")
+		s.latDelete = reg.Histogram("catfish_request_latency_seconds", "op", "delete")
 	}
 	if cfg.HeartbeatInterval > 0 {
 		s.wg.Add(1)
@@ -186,6 +228,10 @@ type ServerStats struct {
 	Deletes      uint64
 	ChunkReads   uint64
 	VersionReads uint64
+	// OffloadSearches estimates client-side traversals from root-chunk
+	// reads (every traversal starts at the root; root-cache hits make this
+	// a lower bound).
+	OffloadSearches uint64
 	// Batches counts batch containers executed; BatchedOps the operations
 	// they carried (each also counted in its per-type counter above).
 	Batches    uint64
@@ -195,13 +241,14 @@ type ServerStats struct {
 // Stats returns a snapshot of the op counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Searches:     s.searches.Load(),
-		Inserts:      s.inserts.Load(),
-		Deletes:      s.deletes.Load(),
-		ChunkReads:   s.reads.Load(),
-		VersionReads: s.verReads.Load(),
-		Batches:      s.batches.Load(),
-		BatchedOps:   s.batchedOps.Load(),
+		Searches:        s.searches.Load(),
+		Inserts:         s.inserts.Load(),
+		Deletes:         s.deletes.Load(),
+		ChunkReads:      s.reads.Load(),
+		VersionReads:    s.verReads.Load(),
+		OffloadSearches: s.offloadEst.Load(),
+		Batches:         s.batches.Load(),
+		BatchedOps:      s.batchedOps.Load(),
 	}
 }
 
@@ -254,6 +301,9 @@ func (s *Server) serveConn(sc *srvConn) {
 				return
 			}
 			s.reads.Add(1)
+			if int64(req.Chunk) == s.rootChunkA.Load() {
+				s.offloadEst.Add(1)
+			}
 			out = s.handleReadChunk(req, out[:0])
 			if err := sc.send(out); err != nil {
 				return
@@ -347,6 +397,7 @@ func (s *Server) handleRequest(sc *srvConn, req wire.Request) error {
 	switch req.Type {
 	case wire.MsgSearch:
 		s.searches.Add(1)
+		opStart := time.Now()
 		var items []wire.Item
 		// SearchShared touches no tree scratch state, so concurrent
 		// server-side searches proceed in parallel under the read latch.
@@ -356,6 +407,20 @@ func (s *Server) handleRequest(sc *srvConn, req wire.Request) error {
 			return true
 		})
 		s.latch.RUnlock()
+		lat := time.Since(opStart)
+		s.latSearch.Record(lat)
+		if s.cfg.Trace != nil {
+			tr := telemetry.Trace{
+				Start:   time.Since(s.start) - lat,
+				Method:  "fast",
+				Shard:   s.cfg.ShardIndex,
+				Latency: lat,
+			}
+			if err != nil {
+				tr.Err = err.Error()
+			}
+			s.cfg.Trace.Record(tr)
+		}
 		if err != nil {
 			return sc.send(wire.Response{ID: req.ID, Status: wire.StatusError, Final: true}.Encode(nil))
 		}
@@ -363,9 +428,11 @@ func (s *Server) handleRequest(sc *srvConn, req wire.Request) error {
 
 	case wire.MsgInsert:
 		s.inserts.Add(1)
+		opStart := time.Now()
 		s.latch.Lock()
 		_, err := s.tree.Insert(req.Rect, req.Ref)
 		s.latch.Unlock()
+		s.latInsert.Record(time.Since(opStart))
 		status := wire.StatusOK
 		if err != nil {
 			status = wire.StatusError
@@ -374,9 +441,11 @@ func (s *Server) handleRequest(sc *srvConn, req wire.Request) error {
 
 	case wire.MsgDelete:
 		s.deletes.Add(1)
+		opStart := time.Now()
 		s.latch.Lock()
 		ok, _, err := s.tree.Delete(req.Rect, req.Ref)
 		s.latch.Unlock()
+		s.latDelete.Record(time.Since(opStart))
 		status := wire.StatusOK
 		switch {
 		case err != nil:
@@ -436,9 +505,11 @@ func (s *Server) heartbeatLoop() {
 		if util < 1e-6 {
 			util = 1e-6
 		}
+		s.lastUtil.Set(util)
 		s.latch.RLock()
 		rootChunk := s.tree.RootChunk()
 		s.latch.RUnlock()
+		s.rootChunkA.Store(int64(rootChunk))
 		rootVer, _ := s.tree.Region().Version(rootChunk)
 		payload := wire.Heartbeat{Util: util, RootVer: rootVer}.Encode(nil)
 		s.mu.Lock()

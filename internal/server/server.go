@@ -33,6 +33,7 @@ import (
 	"github.com/catfish-db/catfish/internal/ringbuf"
 	"github.com/catfish-db/catfish/internal/rtree"
 	"github.com/catfish-db/catfish/internal/sim"
+	"github.com/catfish-db/catfish/internal/telemetry"
 	"github.com/catfish-db/catfish/internal/wire"
 )
 
@@ -70,6 +71,11 @@ type Config struct {
 	// MaxSegmentItems caps result items per response segment (CONT/END
 	// framing); 0 selects a segment of ~4 KB.
 	MaxSegmentItems int
+
+	// Metrics, when non-nil, exposes the server counters and the
+	// heartbeat-published utilization on the registry under
+	// catfish_server_* names.
+	Metrics *telemetry.Registry
 }
 
 // Stats aggregates server-side counters. The server mutates them with
@@ -103,6 +109,7 @@ type Server struct {
 
 	hbSeq    uint64 // heartbeat sequence number (mailbox word 2)
 	hbPaused atomic.Bool
+	lastUtil telemetry.Gauge // utilization as last published by heartbeatLoop
 }
 
 // conn is the server side of one client connection.
@@ -180,6 +187,25 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.HeartbeatInterval > 0 {
 		s.e.Spawn("server-heartbeat", s.heartbeatLoop)
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.CounterFunc("catfish_server_fast_searches_total",
+			func() uint64 { return atomic.LoadUint64(&s.stats.Searches) })
+		reg.CounterFunc("catfish_server_inserts_total",
+			func() uint64 { return atomic.LoadUint64(&s.stats.Inserts) })
+		reg.CounterFunc("catfish_server_deletes_total",
+			func() uint64 { return atomic.LoadUint64(&s.stats.Deletes) })
+		reg.CounterFunc("catfish_server_results_total",
+			func() uint64 { return atomic.LoadUint64(&s.stats.Results) })
+		reg.CounterFunc("catfish_server_heartbeats_total",
+			func() uint64 { return atomic.LoadUint64(&s.stats.Heartbeat) })
+		reg.CounterFunc("catfish_server_segments_total",
+			func() uint64 { return atomic.LoadUint64(&s.stats.Segments) })
+		reg.CounterFunc("catfish_server_batches_total",
+			func() uint64 { return atomic.LoadUint64(&s.stats.Batches) })
+		reg.CounterFunc("catfish_server_batched_ops_total",
+			func() uint64 { return atomic.LoadUint64(&s.stats.BatchedOps) })
+		reg.GaugeFunc("catfish_server_utilization", s.lastUtil.Load)
 	}
 	return s, nil
 }
@@ -615,6 +641,7 @@ func (s *Server) heartbeatLoop(p *sim.Proc) {
 		if util < 1e-6 {
 			util = 1e-6
 		}
+		s.lastUtil.Set(util)
 		var buf [HeartbeatMailboxSize]byte
 		putFloat(buf[:8], util)
 		rootVer, err := s.tree.Region().Version(s.tree.RootChunk())

@@ -8,6 +8,7 @@ import (
 	"github.com/catfish-db/catfish/internal/client"
 	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/sim"
+	"github.com/catfish-db/catfish/internal/telemetry"
 	"github.com/catfish-db/catfish/internal/wire"
 )
 
@@ -123,6 +124,16 @@ func (r *Router) Stats() RouterStats {
 		Skipped:         atomic.LoadUint64(&r.stats.Skipped),
 		UnhealthyWrites: atomic.LoadUint64(&r.stats.UnhealthyWrites),
 	}
+}
+
+// Snapshot aggregates every per-shard client's counters into one unified
+// snapshot.
+func (r *Router) Snapshot() telemetry.ClientSnapshot {
+	var agg telemetry.ClientSnapshot
+	for _, c := range r.clients {
+		agg = agg.Add(c.Stats())
+	}
+	return agg
 }
 
 // healthyTargets computes the scatter set for q, dropping unhealthy shards.

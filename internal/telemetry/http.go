@@ -1,0 +1,32 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewAdminMux returns the admin HTTP surface served by -metrics-addr:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/traces       JSON dump of the trace ring (oldest first)
+//	/debug/pprof  the standard net/http/pprof handlers
+//
+// Either argument may be nil; the corresponding endpoint then serves an
+// empty document.
+func NewAdminMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = tr.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAdminMux serves the admin surface over httptest and checks the three
+// endpoints respond with the right content.
+func TestAdminMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("catfish_client_fast_searches_total").Add(9)
+	reg.Histogram("catfish_client_search_latency_seconds").Record(10 * time.Nanosecond)
+	tr := NewTracer(16, 1)
+	tr.Record(Trace{Method: "fast"})
+
+	srv := httptest.NewServer(NewAdminMux(reg, tr))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	for _, want := range []string{
+		"catfish_client_fast_searches_total 9",
+		`catfish_client_search_latency_seconds{quantile="0.99"}`,
+		"catfish_client_search_latency_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	body, ctype = get("/traces")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/traces content type = %q", ctype)
+	}
+	if !strings.Contains(body, `"method": "fast"`) {
+		t.Errorf("/traces missing record:\n%s", body)
+	}
+
+	if body, _ = get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}

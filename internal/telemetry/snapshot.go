@@ -1,0 +1,152 @@
+package telemetry
+
+// ClientMetrics is the live, atomically updated counter set shared by every
+// Catfish client transport: the simulated ring-buffer client and the
+// real-TCP rpcnet client mutate the same fields on the same hot-path
+// events, so the two counter surfaces cannot drift apart again. A client
+// embeds one ClientMetrics and calls Snapshot() to export it.
+type ClientMetrics struct {
+	FastSearches    Counter
+	OffloadSearches Counter
+	TCPSearches     Counter
+	Inserts         Counter
+	Deletes         Counter
+	TornRetries     Counter // version-check failures on one-sided reads
+	StaleRestarts   Counter // traversals restarted after structural change
+	NodesFetched    Counter // chunk reads issued for traversal
+	HeartbeatsSeen  Counter
+	RootCacheHits   Counter // traversals served from the cached root
+	VersionReads    Counter // version-only revalidation reads issued
+	BatchesSent     Counter // fast-messaging batch containers sent
+	BatchedOps      Counter // operations carried in those containers
+}
+
+// Snapshot exports the counters. Cache fields and HeartbeatsSeen come from
+// subsystems that own their counts (node cache, adaptive switch); callers
+// overlay them on the returned snapshot.
+func (m *ClientMetrics) Snapshot() ClientSnapshot {
+	return ClientSnapshot{
+		FastSearches:    m.FastSearches.Load(),
+		OffloadSearches: m.OffloadSearches.Load(),
+		TCPSearches:     m.TCPSearches.Load(),
+		Inserts:         m.Inserts.Load(),
+		Deletes:         m.Deletes.Load(),
+		TornRetries:     m.TornRetries.Load(),
+		StaleRestarts:   m.StaleRestarts.Load(),
+		NodesFetched:    m.NodesFetched.Load(),
+		HeartbeatsSeen:  m.HeartbeatsSeen.Load(),
+		RootCacheHits:   m.RootCacheHits.Load(),
+		VersionReads:    m.VersionReads.Load(),
+		BatchesSent:     m.BatchesSent.Load(),
+		BatchedOps:      m.BatchedOps.Load(),
+	}
+}
+
+// Register exposes every counter on reg under the catfish_client_* names
+// (labels come from the registry scope; routers pass shard-labelled views).
+func (m *ClientMetrics) Register(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("catfish_client_fast_searches_total", m.FastSearches.Load)
+	reg.CounterFunc("catfish_client_offload_searches_total", m.OffloadSearches.Load)
+	reg.CounterFunc("catfish_client_tcp_searches_total", m.TCPSearches.Load)
+	reg.CounterFunc("catfish_client_inserts_total", m.Inserts.Load)
+	reg.CounterFunc("catfish_client_deletes_total", m.Deletes.Load)
+	reg.CounterFunc("catfish_client_torn_retries_total", m.TornRetries.Load)
+	reg.CounterFunc("catfish_client_stale_restarts_total", m.StaleRestarts.Load)
+	reg.CounterFunc("catfish_client_nodes_fetched_total", m.NodesFetched.Load)
+	reg.CounterFunc("catfish_client_heartbeats_seen_total", m.HeartbeatsSeen.Load)
+	reg.CounterFunc("catfish_client_root_cache_hits_total", m.RootCacheHits.Load)
+	reg.CounterFunc("catfish_client_version_reads_total", m.VersionReads.Load)
+	reg.CounterFunc("catfish_client_batches_sent_total", m.BatchesSent.Load)
+	reg.CounterFunc("catfish_client_batched_ops_total", m.BatchedOps.Load)
+}
+
+// CacheStats is the node-cache counter subset sampled by RegisterCacheFuncs
+// (mirrors nodecache.Stats without importing it).
+type CacheStats struct {
+	Hits, VerifiedHits, Misses, Evictions, BytesSaved uint64
+}
+
+// RegisterCacheFuncs exposes the node-cache counters on reg, sampling f at
+// scrape time — both transports share it so the cache series can't drift.
+func RegisterCacheFuncs(reg *Registry, f func() CacheStats) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("catfish_client_cache_hits_total", func() uint64 { return f().Hits })
+	reg.CounterFunc("catfish_client_cache_verified_hits_total", func() uint64 { return f().VerifiedHits })
+	reg.CounterFunc("catfish_client_cache_misses_total", func() uint64 { return f().Misses })
+	reg.CounterFunc("catfish_client_cache_evictions_total", func() uint64 { return f().Evictions })
+	reg.CounterFunc("catfish_client_cache_bytes_saved_total", func() uint64 { return f().BytesSaved })
+}
+
+// ClientSnapshot is the unified client counter snapshot shared by both
+// transports (client.Stats and rpcnet.ClientStats are aliases of it).
+// NodesFetched counts traversal chunk reads — RDMA Reads on the simulated
+// fabric, READ_CHUNK round trips over TCP (formerly rpcnet's
+// "ChunksFetched"; the two were always the same quantity).
+type ClientSnapshot struct {
+	FastSearches    uint64
+	OffloadSearches uint64
+	TCPSearches     uint64
+	Inserts         uint64
+	Deletes         uint64
+	TornRetries     uint64 // version-check failures on one-sided reads
+	StaleRestarts   uint64 // traversals restarted after structural change
+	NodesFetched    uint64 // chunk reads issued for traversal
+	HeartbeatsSeen  uint64
+	RootCacheHits   uint64 // traversals served from the cached root
+
+	// Node-cache counters (see internal/nodecache).
+	VersionReads      uint64 // version-only revalidation reads issued
+	CacheHits         uint64 // nodes served lease-fresh, zero network
+	CacheVerifiedHits uint64 // nodes served after fingerprint revalidation
+	CacheMisses       uint64
+	CacheEvictions    uint64 // entries displaced by capacity pressure
+	CacheBytesSaved   uint64 // network bytes avoided vs. always-full-fetch
+
+	// Batching counters (see the transports' ExecBatch).
+	BatchesSent uint64 // fast-messaging batch containers sent
+	BatchedOps  uint64 // operations carried in those containers
+}
+
+// Add accumulates other into s, field by field, and returns the sum —
+// routers and experiment drivers aggregate per-shard and per-client
+// snapshots with it instead of hand-copied loops.
+func (s ClientSnapshot) Add(other ClientSnapshot) ClientSnapshot {
+	s.FastSearches += other.FastSearches
+	s.OffloadSearches += other.OffloadSearches
+	s.TCPSearches += other.TCPSearches
+	s.Inserts += other.Inserts
+	s.Deletes += other.Deletes
+	s.TornRetries += other.TornRetries
+	s.StaleRestarts += other.StaleRestarts
+	s.NodesFetched += other.NodesFetched
+	s.HeartbeatsSeen += other.HeartbeatsSeen
+	s.RootCacheHits += other.RootCacheHits
+	s.VersionReads += other.VersionReads
+	s.CacheHits += other.CacheHits
+	s.CacheVerifiedHits += other.CacheVerifiedHits
+	s.CacheMisses += other.CacheMisses
+	s.CacheEvictions += other.CacheEvictions
+	s.CacheBytesSaved += other.CacheBytesSaved
+	s.BatchesSent += other.BatchesSent
+	s.BatchedOps += other.BatchedOps
+	return s
+}
+
+// Searches returns the total searches across all three paths.
+func (s ClientSnapshot) Searches() uint64 {
+	return s.FastSearches + s.OffloadSearches + s.TCPSearches
+}
+
+// OffloadFraction returns the fraction of searches that ran as client-side
+// traversals (0 when no searches ran).
+func (s ClientSnapshot) OffloadFraction() float64 {
+	if t := s.Searches(); t > 0 {
+		return float64(s.OffloadSearches) / float64(t)
+	}
+	return 0
+}

@@ -1,0 +1,40 @@
+package catfish
+
+import (
+	"net/http"
+
+	"github.com/catfish-db/catfish/internal/telemetry"
+)
+
+// Telemetry surface: the unified metrics registry, the shared client
+// counter snapshot, and the adaptive-decision trace ring, re-exported next
+// to the Stats() accessors they feed. Wire a Registry/Tracer into
+// client.Config / rpcnet configs (Metrics, Trace fields) and serve them
+// with NewAdminMux — catfish-server does exactly that behind -metrics-addr.
+type (
+	// Registry is a race-safe set of named counters, gauges, and latency
+	// histograms with Prometheus-text exposition.
+	Registry = telemetry.Registry
+	// ClientSnapshot is the unified client counter snapshot produced by
+	// both the simulated and the real-TCP transports.
+	ClientSnapshot = telemetry.ClientSnapshot
+	// Trace is one per-search record of the adaptive decision path.
+	Trace = telemetry.Trace
+	// Tracer is the bounded-memory ring sampler of Traces.
+	Tracer = telemetry.Tracer
+)
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return telemetry.NewRegistry() }
+
+// NewTracer returns a trace ring holding the last capacity records,
+// keeping 1 in every `every` offered records (capacity 0 selects the
+// default; every <= 1 keeps all).
+func NewTracer(capacity, every int) *Tracer { return telemetry.NewTracer(capacity, every) }
+
+// NewAdminMux returns the admin HTTP surface (/metrics Prometheus text,
+// /traces JSON dump, /debug/pprof) over a registry and trace ring; either
+// may be nil.
+func NewAdminMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	return telemetry.NewAdminMux(reg, tr)
+}
