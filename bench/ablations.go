@@ -205,6 +205,73 @@ func AblationNodeCache(o Options) (*stats.Table, error) {
 	return table, nil
 }
 
+// AblationPrefetch sweeps speculative prefetching and merged adjacent
+// reads on the offload-heavy workload (DESIGN.md §5.9), in the two
+// regimes the read path sees. Both run with the node cache sized to the
+// internal levels and the paper's 10 ms heartbeat interval (the bench
+// default of 2 ms quintuples the lease-mandated revalidation traffic and
+// buries the demand floor the sweep is probing; pinned here because the
+// interval is part of what the ablation measures, like the shards
+// ablation's fixed tree size). "point" rows run small-scope queries at
+// the default 4 KB chunk: demand traffic is ~one leaf per search and the
+// question is the absolute WQE floor — the (off, span 1) row is the seed
+// read path bit-for-bit and the full combination targets < 1.2 posted
+// WQEs per offloaded search. "scan" rows run wide queries at a 1 KB
+// chunk, where a search demands runs of dozens of preorder-adjacent
+// leaves and the NIC is bound by per-message overhead rather than
+// bandwidth — the regime where coalescing and revalidation-hinted
+// speculation actually pay. Hits, waste, and the merge ratio are
+// reported separately so the two mechanisms can be judged on their own.
+func AblationPrefetch(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	items := newCache(o).uniformData()
+	clients := o.ablationClients()
+	table := stats.NewTable("workload", "prefetch", "span", "mean_lat_us", "p99_us",
+		"kops", "wqes_per_search", "merge_ratio", "pf_hits", "pf_waste")
+	regimes := []struct {
+		name       string
+		scale      float64
+		chunk      int
+		maxEntries int
+		nodeCache  int
+	}{
+		{"point", 0.00001, 4096, 64, 512},
+		{"scan", 0.05, 1024, 22, 1024},
+	}
+	for _, rg := range regimes {
+		for _, pt := range []struct{ prefetch, span int }{
+			{0, 1}, {0, 4}, {64, 1}, {64, 4}, {64, 8},
+		} {
+			res, err := cluster.Run(cluster.Config{
+				Scheme:            cluster.SchemeOffloadMulti,
+				Dataset:           items,
+				Workload:          searchMix(workload.UniformScale{Scale: rg.scale}),
+				NumClients:        clients,
+				RequestsPerClient: o.Requests,
+				ServerCores:       o.ServerCores,
+				HeartbeatInv:      10 * time.Millisecond,
+				ChunkSize:         rg.chunk,
+				MaxEntries:        rg.maxEntries,
+				NodeCache:         rg.nodeCache,
+				Prefetch:          pt.prefetch,
+				MergeSpan:         pt.span,
+				Seed:              o.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("ablation prefetch=%d span=%d (%s): %w",
+					pt.prefetch, pt.span, rg.name, err)
+			}
+			table.AddRow(rg.name, fmt.Sprintf("%d", pt.prefetch), fmt.Sprintf("%d", pt.span),
+				fmtDur(res.Latency.Mean), fmtDur(res.Latency.P99), fmtKops(res.Kops),
+				fmt.Sprintf("%.2f", res.OffloadWQEsPerSearch),
+				fmt.Sprintf("%.2f", res.MergeRatio),
+				fmt.Sprintf("%d", res.PrefetchHits),
+				fmt.Sprintf("%d", res.PrefetchWaste))
+		}
+	}
+	return table, nil
+}
+
 // AblationBatchSize sweeps the client batch size B under event-mode fast
 // messaging at 32 connections. B=1 is bit-for-bit the unbatched system;
 // larger batches amortize the per-request ring write, completion event,

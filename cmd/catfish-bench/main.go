@@ -34,7 +34,7 @@ func main() {
 func run() error {
 	var (
 		fig      = flag.String("fig", "", "figure to regenerate: 2,7,8,9,10,11,12,13,14,all")
-		ablation = flag.String("ablation", "", "ablation to run: n,t,heartbeat,multiissue,chunk,shards,all")
+		ablation = flag.String("ablation", "", "ablation to run: n,t,heartbeat,multiissue,chunk,prefetch,shards,all")
 		quick    = flag.Bool("quick", false, "smoke-test sizes")
 		full     = flag.Bool("full", false, "the paper's exact parameters (slow)")
 		dataset  = flag.Int("dataset", 0, "override dataset size")
@@ -77,7 +77,7 @@ func run() error {
 		}
 	}
 	if *ablation != "" {
-		for _, a := range expand(*ablation, []string{"n", "t", "heartbeat", "multiissue", "batch", "chunk", "rootcache", "nodecache", "predictor", "shards", "framework"}) {
+		for _, a := range expand(*ablation, []string{"n", "t", "heartbeat", "multiissue", "batch", "chunk", "rootcache", "nodecache", "prefetch", "predictor", "shards", "framework"}) {
 			if err := runAblation(a, opts); err != nil {
 				return err
 			}
@@ -196,6 +196,8 @@ func runAblation(name string, opts bench.Options) error {
 		t, err = bench.AblationRootCache(opts)
 	case "nodecache":
 		t, err = bench.AblationNodeCache(opts)
+	case "prefetch":
+		t, err = bench.AblationPrefetch(opts)
 	case "predictor":
 		t, err = bench.AblationPredictor(opts)
 	case "shards":

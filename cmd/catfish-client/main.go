@@ -43,6 +43,9 @@ func run() error {
 		adaptive   = flag.Bool("adaptive", false, "run Algorithm 1 (overrides -method)")
 		multiIssue = flag.Bool("multiissue", false, "pipeline offloaded chunk reads")
 		nodeCache  = flag.Int("nodecache", 0, "node cache capacity in decoded internal nodes (0 = off)")
+		prefetch   = flag.Bool("prefetch", false, "speculatively extend offload span reads over preorder-adjacent subtrees")
+		prefBudget = flag.Int("prefetch-budget", 64, "prefetch token-bucket capacity (with -prefetch)")
+		mergeSpan  = flag.Int("merge-span", 0, "fold up to N adjacent chunk reads into one span round trip (0/1 = off)")
 		insertFrac = flag.Float64("insert-fraction", 0, "fraction of requests that insert")
 		batch      = flag.Int("batch", 1, "batch size B: coalesce B requests per frame (1 = unbatched)")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -98,7 +101,11 @@ func run() error {
 				Forced:     forced,
 				MultiIssue: *multiIssue,
 				NodeCache:  *nodeCache,
+				MergeSpan:  *mergeSpan,
 				Seed:       *seed + int64(i),
+			}
+			if *prefetch {
+				ccfg.Prefetch = *prefBudget
 			}
 			if reg != nil {
 				// Each worker gets its own labelled view so per-connection
@@ -219,6 +226,14 @@ func run() error {
 		fmt.Printf("cache: hits=%d verified=%d misses=%d version reads=%d saved=%.1fMB\n",
 			agg.CacheHits, agg.CacheVerifiedHits, agg.CacheMisses, agg.VersionReads,
 			float64(agg.CacheBytesSaved)/1e6)
+	}
+	if *prefetch || *mergeSpan > 1 {
+		ratio := 0.0
+		if agg.ReadWQEs > 0 {
+			ratio = float64(agg.NodesFetched+agg.VersionReads+agg.PrefetchIssued) / float64(agg.ReadWQEs)
+		}
+		fmt.Printf("prefetch: issued=%d hits=%d waste=%d  wqes=%d merge ratio=%.2f\n",
+			agg.PrefetchIssued, agg.PrefetchHits, agg.PrefetchWaste, agg.ReadWQEs, ratio)
 	}
 	if len(addrs) > 1 && rt.Searches > 0 {
 		fmt.Printf("shards: %d, fan-out/search=%.2f, skipped searches=%d, unhealthy writes=%d\n",

@@ -102,6 +102,16 @@ type Config struct {
 	// being trusted. See internal/nodecache.
 	NodeCache int
 
+	// Prefetch is the token-bucket capacity for speculative grandchild
+	// reads during multi-issue offloaded traversal (0 disables
+	// prefetching, leaving the read path bit-for-bit identical). While a
+	// fetched internal node decodes, its most query-overlapping children
+	// get speculative span reads posted into the same doorbell batch; the
+	// bucket refills at a rate proportional to the heartbeat-reported idle
+	// fraction of the server fabric, so speculation backs off exactly when
+	// the adaptive switch says the system is busy. See DESIGN.md §5.9.
+	Prefetch int
+
 	// MaxRestarts bounds full-search restarts after structural staleness
 	// (default 8); MaxChunkRetries bounds per-chunk torn-read retries
 	// (default 64).
@@ -154,6 +164,11 @@ type Client struct {
 	// nodes (nil when Config.NodeCache is 0: every lookup misses).
 	ncache *nodecache.Cache
 
+	// Prefetch token bucket: prefTokens tokens remain (≤ Config.Prefetch),
+	// refilled lazily at refill time proportional to fabric idleness.
+	prefTokens     float64
+	prefLastRefill time.Duration
+
 	encBuf  []byte
 	payload []byte
 	node    rtree.Node
@@ -198,6 +213,7 @@ func New(cfg Config) (*Client, error) {
 		}
 	}
 	c := &Client{cfg: cfg, ep: cfg.Endpoint}
+	c.prefTokens = float64(cfg.Prefetch) // start full: idle fabric until told otherwise
 	if cfg.NodeCache > 0 && cfg.Endpoint.RegionVers != nil {
 		c.ncache = nodecache.New(cfg.NodeCache, cfg.HeartbeatInv,
 			cfg.Endpoint.ChunkSize, cfg.Endpoint.RegionVers.VersionsSize())
@@ -213,7 +229,8 @@ func New(cfg Config) (*Client, error) {
 		telemetry.RegisterCacheFuncs(cfg.Metrics, func() telemetry.CacheStats {
 			ns := c.ncache.Stats()
 			return telemetry.CacheStats{Hits: ns.Hits, VerifiedHits: ns.VerifiedHits,
-				Misses: ns.Misses, Evictions: ns.Evictions, BytesSaved: ns.BytesSaved}
+				Misses: ns.Misses, Evictions: ns.Evictions, BytesSaved: ns.BytesSaved,
+				PrefetchHits: ns.PrefetchHits, PrefetchWaste: ns.PrefetchWaste}
 		})
 		cfg.Metrics.GaugeFunc("catfish_client_pred_util", c.sw.PredictedUtil)
 		c.latHist = cfg.Metrics.Histogram("catfish_client_search_latency_seconds")
@@ -232,7 +249,40 @@ func (c *Client) Stats() Stats {
 	out.CacheMisses = ns.Misses
 	out.CacheEvictions = ns.Evictions
 	out.CacheBytesSaved = ns.BytesSaved
+	out.CachePrefetchHits = ns.PrefetchHits
+	out.CachePrefetchWaste = ns.PrefetchWaste
 	return out
+}
+
+// prefetchBudget refills the token bucket and returns how many speculative
+// reads the current wave may post (≤ the remaining whole tokens). The
+// refill rate is Prefetch tokens per heartbeat interval scaled by the
+// fabric's idle fraction (1 − u_serv): an idle server earns the full rate,
+// a server past the busy threshold T earns nothing — RFP-style speculation
+// that never recreates the congestion the adaptive switch avoids.
+func (c *Client) prefetchBudget(now time.Duration) int {
+	if c.cfg.Prefetch <= 0 {
+		return 0
+	}
+	elapsed := now - c.prefLastRefill
+	c.prefLastRefill = now
+	util := c.readHeartbeat()
+	if util < c.cfg.T && elapsed > 0 {
+		rate := float64(c.cfg.Prefetch) * (1 - util) / float64(c.cfg.HeartbeatInv)
+		c.prefTokens += rate * float64(elapsed)
+		if c.prefTokens > float64(c.cfg.Prefetch) {
+			c.prefTokens = float64(c.cfg.Prefetch)
+		}
+	}
+	return int(c.prefTokens)
+}
+
+// spendPrefetch consumes n tokens after a wave posted n speculative reads.
+func (c *Client) spendPrefetch(n int) {
+	c.prefTokens -= float64(n)
+	if c.prefTokens < 0 {
+		c.prefTokens = 0
+	}
 }
 
 func (c *Client) nextID() uint64 {

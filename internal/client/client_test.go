@@ -32,6 +32,7 @@ type rigOpts struct {
 	items     int
 	tcpNet    bool
 	cores     int // server cores (default 28)
+	mergeSpan int // fabric merge span (0 = merging off)
 }
 
 func newRig(t testing.TB, o rigOpts) *rig {
@@ -41,6 +42,7 @@ func newRig(t testing.TB, o rigOpts) *rig {
 	if o.tcpNet {
 		prof = netmodel.Ethernet1G
 	}
+	prof.MergeSpan = o.mergeSpan
 	net := fabric.NewNetwork(e, prof)
 	cores := o.cores
 	if cores == 0 {

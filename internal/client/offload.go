@@ -3,6 +3,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/catfish-db/catfish/internal/fabric"
 	"github.com/catfish-db/catfish/internal/geo"
@@ -71,6 +72,11 @@ func (c *Client) cachedRoot(p *sim.Proc) (*rtree.Node, error) {
 	}
 	if c.rootCache != nil {
 		c.stats.RootCacheHits.Inc()
+		// Examining the cached root costs the same decode/intersection work
+		// as any other node visit; without this charge the cached-leaf-root
+		// fast path would collect items at zero CPU cost, skewing sim
+		// fairness against the uncached path (which pays in fetchChunk).
+		c.chargeTraversal(p)
 		return c.rootCache, nil
 	}
 	if err := c.fetchChunk(p, c.ep.RootChunk, -1); err != nil {
@@ -154,6 +160,7 @@ func (c *Client) fetchChunk(p *sim.Proc, id int, expectLevel int) error {
 	qp := c.ep.DataQP
 	for retry := 0; retry <= c.cfg.MaxChunkRetries; retry++ {
 		c.stats.NodesFetched.Inc()
+		c.stats.ReadWQEs.Inc()
 		raw, err := qp.ReadSync(p, c.ep.RegionMem, c.ep.RegionMem.ChunkOffset(id), c.ep.ChunkSize)
 		if err != nil {
 			return fmt.Errorf("client: chunk %d read: %w", id, err)
@@ -187,6 +194,7 @@ func (c *Client) fetchChunk(p *sim.Proc, id int, expectLevel int) error {
 // region.ErrTornRead when a writer is mid-publish.
 func (c *Client) readVersions(p *sim.Proc, id int) (uint64, error) {
 	c.stats.VersionReads.Inc()
+	c.stats.ReadWQEs.Inc()
 	rv := c.ep.RegionVers
 	raw, err := c.ep.DataQP.ReadSync(p, rv, rv.VersionsOffset(id), rv.VersionsSize())
 	if err != nil {
@@ -288,23 +296,77 @@ func (c *Client) traverseSingleIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, erro
 // revalidation reads of a traversal level share a single SQ submission,
 // so the batch pays one doorbell/setup cost plus per-read wire cost
 // instead of per-message NIC overhead on every child.
+//
+// Two further read-path optimizations ride on the batch (DESIGN.md §5.9):
+//
+//   - Merged adjacent reads: when the fabric's MergeSpan exceeds 1, the
+//     wave is sorted by (source, offset) before posting, so reads of
+//     physically-adjacent chunks — which the STR bulk loader's preorder
+//     layout makes the common case for sibling leaves — coalesce into a
+//     single larger RDMA Read inside ReadBatch.
+//   - Speculative grandchild prefetch: while an internal node at level >= 2
+//     expands, its most query-overlapping children get span reads posted
+//     for the chunks directly behind them (preorder layout puts a child's
+//     own children exactly there), bounded by the utilization-gated token
+//     bucket. A later visit() of a chunk whose speculative read is still
+//     in flight adopts it — re-labelling it as a demand read — instead of
+//     posting a duplicate; completions nobody adopted park internal nodes
+//     in the node cache and count leaves/garbage as prefetch waste.
 func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error) {
 	c.syncLease()
 	type pending struct {
-		id     int
-		level  int
-		tries  int
-		verify bool // a version-only revalidation read
+		id       int
+		level    int
+		tries    int
+		verify   bool // a version-only revalidation read
+		prefetch bool // speculative; not yet claimed by the traversal
 	}
 	qp := c.ep.DataQP
+	mergeSpan := qp.Profile().MergeSpan
 	inflight := make(map[uint64]pending)
+	// chunkTag tracks the in-flight full-chunk read (demand or speculative)
+	// per chunk id, for duplicate suppression and prefetch adoption.
+	chunkTag := make(map[int]uint64)
+	// spare holds speculative chunks that completed before any demand visit
+	// claimed them: with merging on, the pre-post sort can deliver a
+	// speculative read ahead of the revalidation that hinted it, so bytes
+	// are parked here for same-traversal adoption instead of being written
+	// off on arrival. Leftovers are absorbed when the traversal ends.
+	var spare map[int][]byte
 	var stack []*rtree.Node // cache-served nodes awaiting expansion
 	batch := c.readBatch[:0]
+	// absorbSpare drains the unadopted speculative chunks in deterministic
+	// order (map iteration order must not leak into cache state).
+	absorbSpare := func() {
+		if len(spare) == 0 {
+			return
+		}
+		ids := make([]int, 0, len(spare))
+		for id := range spare {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			c.absorbPrefetch(p, id, spare[id])
+		}
+		spare = nil
+	}
 
 	issue := func(id, level, tries int) {
 		c.tagSeq++
 		inflight[c.tagSeq] = pending{id: id, level: level, tries: tries}
+		chunkTag[id] = c.tagSeq
 		c.stats.NodesFetched.Inc()
+		batch = append(batch, fabric.ReadReq{
+			Src: c.ep.RegionMem, Off: c.ep.RegionMem.ChunkOffset(id),
+			Size: c.ep.ChunkSize, Tag: c.tagSeq,
+		})
+	}
+	issueSpec := func(id int) {
+		c.tagSeq++
+		inflight[c.tagSeq] = pending{id: id, level: -1, prefetch: true}
+		chunkTag[id] = c.tagSeq
+		c.stats.PrefetchIssued.Inc()
 		batch = append(batch, fabric.ReadReq{
 			Src: c.ep.RegionMem, Off: c.ep.RegionMem.ChunkOffset(id),
 			Size: c.ep.ChunkSize, Tag: c.tagSeq,
@@ -319,12 +381,36 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 			Src: rv, Off: rv.VersionsOffset(id), Size: rv.VersionsSize(), Tag: c.tagSeq,
 		})
 	}
-	// flushReads posts the accumulated wave as one doorbell batch.
+	// flushReads posts the accumulated wave as one doorbell batch. When
+	// merging is on, the wave is first sorted by (source, offset) so
+	// adjacent chunks sit next to each other in the submission — ReadBatch
+	// only coalesces consecutive requests. With merging off the wave posts
+	// in issue order, bit-for-bit identical to the pre-merge client.
 	flushReads := func() error {
 		if len(batch) == 0 {
 			return nil
 		}
-		err := qp.ReadBatch(p, batch)
+		if mergeSpan > 1 {
+			sort.Slice(batch, func(i, j int) bool {
+				if batch[i].Src != batch[j].Src {
+					return batch[i].Src == fabric.Readable(c.ep.RegionMem)
+				}
+				return batch[i].Off < batch[j].Off
+			})
+		}
+		posted, wqes, err := qp.ReadBatch(p, batch)
+		c.stats.ReadWQEs.Add(uint64(wqes))
+		if err != nil {
+			// The unposted suffix will never complete: drop its tracking
+			// now so fail()'s CQ drain terminates instead of waiting for
+			// completions that cannot arrive.
+			for _, r := range batch[posted:] {
+				if pd, ok := inflight[r.Tag]; ok && !pd.verify && chunkTag[pd.id] == r.Tag {
+					delete(chunkTag, pd.id)
+				}
+				delete(inflight, r.Tag)
+			}
+		}
 		batch = batch[:0]
 		return err
 	}
@@ -338,8 +424,12 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 		batch = batch[:0]
 		for len(inflight) > 0 {
 			comp := qp.CQ().Pop(p)
+			if pd, ok := inflight[comp.Tag]; ok && pd.prefetch {
+				c.stats.PrefetchWaste.Inc()
+			}
 			delete(inflight, comp.Tag)
 		}
+		absorbSpare()
 		c.readBatch = batch
 		return nil, err
 	}
@@ -349,10 +439,85 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 		return fail(err)
 	}
 
-	// visit dispatches one child: cache-fresh nodes expand locally via the
-	// stack, demoted entries post a version-only read, misses post a full
-	// read.
+	// rankChildren returns n's query-intersecting child refs, largest
+	// overlap first: the biggest overlap is the subtree most likely to be
+	// traversed entirely, so its chunks repay speculation best.
+	type cand struct {
+		ref     int
+		rect    geo.Rect
+		overlap float64
+	}
+	var cands []cand // reused scratch
+	rankChildren := func(n *rtree.Node) []cand {
+		cands = cands[:0]
+		for _, e := range n.Entries {
+			if q.Intersects(e.Rect) {
+				cands = append(cands, cand{ref: int(e.Ref), rect: e.Rect, overlap: q.OverlapArea(e.Rect)})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].overlap > cands[j].overlap })
+		return cands
+	}
+	numChunks := c.ep.RegionMem.Region().NumChunks()
+	// hintSpans posts targeted speculative reads for the children of a
+	// cache-demoted node that is being revalidated: the (possibly stale)
+	// cached copy's entries say exactly which chunks the next wave will
+	// demand if the fingerprint confirms, so those reads ride the same
+	// doorbell batch as the version read instead of waiting a full round
+	// trip behind it. A failed confirm leaves them as bounded waste — the
+	// demand path re-reads from scratch, so correctness never leans on the
+	// hint.
+	hintSpans := func(n *rtree.Node) {
+		if c.cfg.Prefetch <= 0 || n.IsLeaf() {
+			return
+		}
+		budget := c.prefetchBudget(p.Now())
+		if budget <= 0 {
+			return
+		}
+		spent := 0
+		for _, cd := range rankChildren(n) {
+			if spent >= budget {
+				break
+			}
+			if cd.ref >= numChunks {
+				continue
+			}
+			if _, busy := chunkTag[cd.ref]; busy {
+				continue
+			}
+			if c.ncache.Peek(cd.ref) {
+				continue
+			}
+			issueSpec(cd.ref)
+			spent++
+		}
+		c.spendPrefetch(spent)
+	}
+
+	// visit dispatches one child: an in-flight speculative read for the
+	// chunk is adopted as the demand read, cache-fresh nodes expand locally
+	// via the stack, demoted entries post a version-only read (with the
+	// cached entries as prefetch hints), and misses post a full read.
 	visit := func(r nodeRef) error {
+		if raw, ok := spare[r.id]; ok {
+			delete(spare, r.id)
+			if n := c.adoptSpare(p, r.id, r.level, raw); n != nil {
+				stack = append(stack, n)
+				return nil
+			}
+			// Torn or mismatched speculation: fall through to the demand
+			// path, which re-reads and restarts on genuine staleness.
+		}
+		if tag, ok := chunkTag[r.id]; ok {
+			if pd := inflight[tag]; pd.prefetch {
+				pd.prefetch = false
+				pd.level = r.level
+				inflight[tag] = pd
+				c.stats.PrefetchHits.Inc()
+			}
+			return nil // already being fetched
+		}
 		if c.ncache != nil {
 			switch v, out := c.ncache.Lookup(r.id, p.Now()); out {
 			case nodecache.Fresh:
@@ -365,11 +530,68 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 				return nil
 			case nodecache.Verify:
 				issueVerify(r.id, r.level)
+				hintSpans(v.(*rtree.Node))
 				return nil
 			}
 		}
 		issue(r.id, r.level, 0)
 		return nil
+	}
+	// prefetchSpans posts speculative reads behind n's most promising
+	// children. Under the preorder layout a child at chunk r keeps its own
+	// children at r+1, r+2, ...; a span of those merges with the demand
+	// read of r itself into one WQE when sorting brings them together.
+	spanK := 2
+	if mergeSpan > 1 {
+		spanK = mergeSpan - 1
+	}
+	prefetchSpans := func(n *rtree.Node) {
+		if c.cfg.Prefetch <= 0 || n.Level < 2 {
+			return
+		}
+		budget := c.prefetchBudget(p.Now())
+		if budget <= 0 {
+			return
+		}
+		spent := 0
+	rank:
+		for _, cd := range rankChildren(n) {
+			// Speculation rides a demand read: a span is only posted behind a
+			// child whose own chunk is being fetched in full this wave, so
+			// the pre-post sort lands the span directly after that read and
+			// ReadBatch folds both into one WQE. A cache-served child is
+			// skipped — speculating behind it would post a WQE of its own
+			// for chunks the next wave will demand (and merge) anyway.
+			if _, busy := chunkTag[cd.ref]; !busy {
+				continue
+			}
+			// Only span behind a child the query CONTAINS: containment
+			// means every descendant intersects, so under the preorder
+			// layout the chunks right after the child are all wanted —
+			// speculation with guaranteed adoption. A partially-overlapped
+			// child would gamble on which of its leaves the query clips.
+			if !q.Contains(cd.rect) {
+				continue
+			}
+			for d := 1; d <= spanK; d++ {
+				if spent >= budget {
+					break rank
+				}
+				id := cd.ref + d
+				if id >= numChunks {
+					break
+				}
+				if _, busy := chunkTag[id]; busy {
+					continue
+				}
+				if c.ncache.Peek(id) {
+					continue
+				}
+				issueSpec(id)
+				spent++
+			}
+		}
+		c.spendPrefetch(spent)
 	}
 	// expand examines one consistent node: leaf entries fold into the
 	// result set, internal entries are dispatched.
@@ -386,6 +608,7 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 				}
 			}
 		}
+		prefetchSpans(n)
 		return nil
 	}
 
@@ -402,8 +625,8 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 				return fail(err)
 			}
 		}
-		// Post the whole wave — full fetches and revalidations alike — as
-		// one doorbell-batched submission.
+		// Post the whole wave — full fetches, revalidations, and
+		// speculative spans alike — as one doorbell-batched submission.
 		if err := flushReads(); err != nil {
 			return fail(err)
 		}
@@ -416,6 +639,25 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 			continue // completion from an abandoned traversal
 		}
 		delete(inflight, comp.Tag)
+		if !ctx.verify && chunkTag[ctx.id] == comp.Tag {
+			delete(chunkTag, ctx.id)
+		}
+		if ctx.prefetch {
+			// Speculation never fails the search. With merging on, the
+			// batch sort can deliver a speculative chunk before the
+			// revalidation that hinted it, so completed bytes are parked
+			// for same-traversal adoption by visit; whatever is left when
+			// the traversal ends is absorbed into the cache or written off.
+			if comp.Err != nil {
+				c.stats.PrefetchWaste.Inc()
+				continue
+			}
+			if spare == nil {
+				spare = make(map[int][]byte)
+			}
+			spare[ctx.id] = append([]byte(nil), comp.Data...)
+			continue
+		}
 		if comp.Err != nil {
 			return fail(fmt.Errorf("client: chunk %d read: %w", ctx.id, comp.Err))
 		}
@@ -460,6 +702,69 @@ func (c *Client) traverseMultiIssue(p *sim.Proc, q geo.Rect) ([]wire.Item, error
 			return fail(err)
 		}
 	}
+	absorbSpare()
 	c.readBatch = batch[:0]
 	return items, nil
+}
+
+// adoptSpare turns the parked bytes of a completed speculative read into
+// the node a demand visit asked for, skipping the read that visit would
+// otherwise post. Torn chunks, garbage, and level mismatches return nil
+// (counted as waste) and the caller falls back to the demand path —
+// speculation never surfaces errStale itself. Adopted internal nodes
+// enter the cache demand-attributed: they are being used right now.
+func (c *Client) adoptSpare(p *sim.Proc, id, level int, raw []byte) *rtree.Node {
+	payload, ver, derr := region.DecodeChunk(raw, c.payload)
+	if derr != nil {
+		c.stats.PrefetchWaste.Inc()
+		return nil
+	}
+	c.payload = payload
+	var spec rtree.Node
+	if err := rtree.DecodeNode(payload, &spec, c.ep.MaxEntries); err != nil {
+		c.stats.PrefetchWaste.Inc()
+		return nil
+	}
+	if level >= 0 && spec.Level != level {
+		c.stats.PrefetchWaste.Inc()
+		return nil
+	}
+	c.stats.PrefetchHits.Inc()
+	n := &rtree.Node{
+		Level:   spec.Level,
+		Entries: append([]rtree.Entry(nil), spec.Entries...),
+	}
+	if !n.IsLeaf() {
+		c.ncache.Put(id, n, ver, p.Now())
+	}
+	return n
+}
+
+// absorbPrefetch consumes the bytes of a speculative read no demand
+// visit adopted. A consistent internal node is parked in the node cache
+// (flagged so its eventual hit or eviction is attributed to prefetching);
+// torn reads, garbage, leaves — and internal nodes with no cache to park
+// them in — count as prefetch waste. Speculation never propagates a
+// failure: the traversal's correctness comes solely from demand reads.
+func (c *Client) absorbPrefetch(p *sim.Proc, id int, raw []byte) {
+	payload, ver, derr := region.DecodeChunk(raw, c.payload)
+	if derr != nil {
+		c.stats.PrefetchWaste.Inc()
+		return
+	}
+	c.payload = payload
+	var spec rtree.Node
+	if err := rtree.DecodeNode(payload, &spec, c.ep.MaxEntries); err != nil || spec.IsLeaf() {
+		c.stats.PrefetchWaste.Inc()
+		return
+	}
+	if c.ncache == nil {
+		c.stats.PrefetchWaste.Inc()
+		return
+	}
+	n := &rtree.Node{
+		Level:   spec.Level,
+		Entries: append([]rtree.Entry(nil), spec.Entries...),
+	}
+	c.ncache.PutPrefetched(id, n, ver, p.Now())
 }

@@ -117,6 +117,15 @@ type Config struct {
 	// see client.Config.PredSmoothing).
 	PredSmoothing float64
 
+	// MergeSpan caps how many physically-adjacent chunk reads one doorbell
+	// batch coalesces into a single RDMA read (0 or 1 disables merging;
+	// extension, see netmodel.Profile.MergeSpan and DESIGN.md §5.9).
+	MergeSpan int
+	// Prefetch is the per-client token-bucket capacity for speculative
+	// grandchild span reads on the offload path; 0 disables prefetching
+	// (extension; see client.Config.Prefetch).
+	Prefetch int
+
 	// StagedWrites opens real torn-read windows during server-side node
 	// publishes (meaningful for workloads with inserts).
 	StagedWrites bool
@@ -178,6 +187,17 @@ type Result struct {
 	// offloaded searches — the mean one-sided chunk reads each offloaded
 	// traversal issued (lower is better; the node cache drives it down).
 	OffloadReadsPerSearch float64
+	// OffloadWQEsPerSearch is ReadWQEs divided by the number of offloaded
+	// searches — the mean one-sided work requests actually posted per
+	// traversal. With merging and prefetching this drops below the read
+	// count: adjacent reads share a WQE (the §5.9 target is < 1.2).
+	OffloadWQEsPerSearch float64
+	// MergeRatio is logical reads per posted WQE (≥ 1; 1 = no merging).
+	MergeRatio float64
+	// Prefetch aggregates over all clients (zero when disabled).
+	PrefetchIssued uint64
+	PrefetchHits   uint64
+	PrefetchWaste  uint64
 	// Node-cache aggregates over all clients (zero when disabled).
 	VersionReads    uint64
 	CacheHits       uint64
@@ -233,8 +253,15 @@ func (r *Result) applyClientSnapshot(agg telemetry.ClientSnapshot) {
 	r.CacheMisses = agg.CacheMisses
 	r.CacheEvictions = agg.CacheEvictions
 	r.CacheBytesSaved = agg.CacheBytesSaved
+	r.PrefetchIssued = agg.PrefetchIssued
+	r.PrefetchHits = agg.PrefetchHits
+	r.PrefetchWaste = agg.PrefetchWaste
 	if agg.OffloadSearches > 0 {
 		r.OffloadReadsPerSearch = float64(agg.NodesFetched) / float64(agg.OffloadSearches)
+		r.OffloadWQEsPerSearch = float64(agg.ReadWQEs) / float64(agg.OffloadSearches)
+	}
+	if agg.ReadWQEs > 0 {
+		r.MergeRatio = float64(agg.NodesFetched+agg.VersionReads+agg.PrefetchIssued) / float64(agg.ReadWQEs)
 	}
 }
 
@@ -304,6 +331,9 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	e := sim.New(cfg.Seed)
+	// Scheme is held by value, so widening the merge span here never leaks
+	// into the shared scheme definitions.
+	cfg.Scheme.Profile.MergeSpan = cfg.MergeSpan
 	net := fabric.NewNetwork(e, cfg.Scheme.Profile)
 
 	serverCPU := sim.NewCPU(e, cfg.ServerCores)
@@ -375,6 +405,7 @@ func Run(cfg Config) (Result, error) {
 			CacheRoot:     cfg.CacheRoot,
 			NodeCache:     cfg.NodeCache,
 			PredSmoothing: cfg.PredSmoothing,
+			Prefetch:      cfg.Prefetch,
 		}
 		if cfg.Scheme.TCP {
 			ep, err := srv.ConnectTCP(host, net)

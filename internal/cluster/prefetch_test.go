@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/workload"
+)
+
+// TestMergeSpanOneEquivalence: Prefetch off with MergeSpan 1 must reproduce
+// the unconfigured baseline bit-for-bit — same makespan, same latency
+// distribution, same counters — across the offload-heavy ring scheme, the
+// full adaptive scheme, the TCP transport, and a sharded deployment. Span 1
+// disables coalescing in the fabric and skips the client's pre-post sort,
+// so the read path is untouched.
+func TestMergeSpanOneEquivalence(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeOffloadMulti, SchemeCatfish, SchemeTCP40G} {
+		scheme := scheme
+		t.Run(scheme.Name, func(t *testing.T) {
+			base, err := Run(smallConfig(scheme, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := smallConfig(scheme, 4)
+			cfg.MergeSpan = 1
+			cfg.Prefetch = 0
+			one, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(base, one) {
+				t.Errorf("merge span 1 diverges from baseline:\nbase: %+v\nspan1: %+v", base, one)
+			}
+		})
+	}
+	t.Run("sharded", func(t *testing.T) {
+		mk := func() Config {
+			cfg := smallConfig(SchemeCatfish, 4)
+			cfg.Shards = 2
+			return cfg
+		}
+		base, err := Run(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := mk()
+		cfg.MergeSpan = 1
+		one, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, one) {
+			t.Error("sharded merge span 1 diverges from baseline")
+		}
+	})
+}
+
+// TestPrefetchAndMergeReduceWQEs: the full §5.9 configuration posts fewer
+// WQEs per offloaded search than the plain offload run, speculation is
+// visible in the counters, and the merge ratio exceeds one. The workload is
+// scan-style (queries wide enough to walk whole leaf runs) with a node
+// cache whose lease is far shorter than a traversal, so every cached
+// internal node revalidates — the regime hinted speculation exists for:
+// the demoted copy's entries say exactly which preorder-adjacent leaves
+// the next wave will demand, and reading them alongside the version read
+// skips a full pipeline level while the merge span folds the run into a
+// handful of WQEs.
+func TestPrefetchAndMergeReduceWQEs(t *testing.T) {
+	mk := func() Config {
+		cfg := smallConfig(SchemeOffloadMulti, 8)
+		cfg.Workload = workload.NewMix(workload.UniformScale{Scale: 0.05},
+			workload.SkewedInserts{Edge: 0.0001}, 0, 1<<32)
+		cfg.RequestsPerClient = 100
+		cfg.NodeCache = 256
+		cfg.HeartbeatInv = 50 * time.Microsecond
+		return cfg
+	}
+	base, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mk()
+	cfg.MergeSpan = 8
+	cfg.Prefetch = 64
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != base.Ops {
+		t.Fatalf("ops diverged: %d vs %d", res.Ops, base.Ops)
+	}
+	if res.PrefetchIssued == 0 {
+		t.Error("no speculative reads issued")
+	}
+	if res.OffloadWQEsPerSearch >= base.OffloadWQEsPerSearch {
+		t.Errorf("WQEs/search %.3f did not improve on baseline %.3f",
+			res.OffloadWQEsPerSearch, base.OffloadWQEsPerSearch)
+	}
+	if res.MergeRatio <= 1 {
+		t.Errorf("merge ratio = %.3f, want > 1", res.MergeRatio)
+	}
+	t.Logf("wqes/search %.3f -> %.3f, merge ratio %.2f, prefetch issued=%d hits=%d waste=%d",
+		base.OffloadWQEsPerSearch, res.OffloadWQEsPerSearch, res.MergeRatio,
+		res.PrefetchIssued, res.PrefetchHits, res.PrefetchWaste)
+}

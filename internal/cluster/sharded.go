@@ -39,6 +39,8 @@ func runSharded(cfg Config) (Result, error) {
 	assign := smap.Assign(cfg.Dataset)
 
 	e := sim.New(cfg.Seed)
+	// Scheme is held by value; see the identical line in Run.
+	cfg.Scheme.Profile.MergeSpan = cfg.MergeSpan
 	net := fabric.NewNetwork(e, cfg.Scheme.Profile)
 
 	// One full server stack per shard. Regions keep the single-server
@@ -119,6 +121,7 @@ func runSharded(cfg Config) (Result, error) {
 				CacheRoot:     cfg.CacheRoot,
 				NodeCache:     cfg.NodeCache,
 				PredSmoothing: cfg.PredSmoothing,
+				Prefetch:      cfg.Prefetch,
 			}
 			if cfg.Scheme.TCP {
 				ep, err := servers[s].ConnectTCP(host, net)

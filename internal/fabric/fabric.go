@@ -173,7 +173,11 @@ type Readable interface {
 }
 
 // RegionMemory adapts a region.Region as an RDMA-readable source. Reads
-// must cover exactly one chunk (the access pattern of R-tree offloading).
+// must be chunk-aligned and cover a whole number of chunks: single chunks
+// for the plain offload access pattern, longer spans for merged adjacent
+// reads. Each chunk of a span is snapshotted through the region's seqlock
+// surface independently, so a concurrent writer tears at most the chunks
+// it actually touched.
 type RegionMemory struct {
 	host *Host
 	reg  *region.Region
@@ -194,13 +198,19 @@ func (m *RegionMemory) Region() *region.Region { return m.reg }
 // Read — the paper's "registered base address + chunk ID as offset".
 func (m *RegionMemory) ChunkOffset(id int) int { return id * m.reg.ChunkSize() }
 
-// ReadAt implements Readable; the read must cover exactly one chunk.
+// ReadAt implements Readable; the read must be chunk-aligned and cover a
+// whole number of chunks.
 func (m *RegionMemory) ReadAt(off int, dst []byte) error {
 	cs := m.reg.ChunkSize()
-	if off%cs != 0 || len(dst) != cs {
+	if off%cs != 0 || len(dst) == 0 || len(dst)%cs != 0 {
 		return fmt.Errorf("%w: off %d len %d", ErrNotAligned, off, len(dst))
 	}
-	return m.reg.ReadChunkRaw(off/cs, dst)
+	for at := 0; at < len(dst); at += cs {
+		if err := m.reg.ReadChunkRaw(off/cs+at/cs, dst[at:at+cs]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 var _ Readable = (*RegionMemory)(nil)

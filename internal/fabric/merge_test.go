@@ -1,0 +1,276 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/netmodel"
+	"github.com/catfish-db/catfish/internal/region"
+	"github.com/catfish-db/catfish/internal/sim"
+)
+
+// mergeNet builds an IB network with a widened merge span and a region of
+// nchunks 256-byte chunks registered on the server.
+func mergeNet(t *testing.T, span, nchunks int) (*sim.Engine, *QP, *region.Region, *RegionMemory) {
+	t.Helper()
+	e := sim.New(1)
+	prof := netmodel.InfiniBand100G
+	prof.MergeSpan = span
+	n := NewNetwork(e, prof)
+	a := n.NewHost("client", sim.NewCPU(e, 4))
+	b := n.NewHost("server", sim.NewCPU(e, 28))
+	reg, err := region.New(nchunks, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := b.RegisterRegion(reg)
+	qa, _ := n.ConnectQP(a, b, 0)
+	return e, qa, reg, rm
+}
+
+func chunkReq(rm *RegionMemory, id int, tag uint64) ReadReq {
+	return ReadReq{Src: rm, Off: rm.ChunkOffset(id), Size: rm.Region().ChunkSize(), Tag: tag}
+}
+
+// TestReadBatchMergesAdjacent folds three physically-adjacent chunk reads
+// into one WQE and demuxes one per-tag completion per chunk, all delivered
+// at the same instant (one wire transfer, one completion event).
+func TestReadBatchMergesAdjacent(t *testing.T) {
+	e, qa, reg, rm := mergeNet(t, 4, 8)
+	for i := 0; i < 8; i++ {
+		if err := reg.WriteChunk(i, []byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Spawn("client", func(p *sim.Proc) {
+		reqs := []ReadReq{chunkReq(rm, 2, 10), chunkReq(rm, 3, 11), chunkReq(rm, 4, 12)}
+		posted, wqes, err := qa.ReadBatch(p, reqs)
+		if err != nil || posted != 3 {
+			t.Errorf("posted=%d err=%v", posted, err)
+			return
+		}
+		if wqes != 1 {
+			t.Errorf("wqes = %d, want 1 merged WQE", wqes)
+		}
+		var at time.Duration
+		seen := map[uint64]byte{}
+		for i := 0; i < 3; i++ {
+			c := qa.CQ().Pop(p)
+			if c.Err != nil {
+				t.Errorf("completion err: %v", c.Err)
+				return
+			}
+			if i == 0 {
+				at = p.Now()
+			} else if p.Now() != at {
+				t.Errorf("completion %d at %v, want all at %v", i, p.Now(), at)
+			}
+			payload, _, err := region.DecodeChunk(c.Data, nil)
+			if err != nil {
+				t.Errorf("tag %d decode: %v", c.Tag, err)
+				return
+			}
+			seen[c.Tag] = payload[0]
+		}
+		for tag, want := range map[uint64]byte{10: 'c', 11: 'd', 12: 'e'} {
+			if seen[tag] != want {
+				t.Errorf("tag %d payload = %q, want %q", tag, seen[tag], want)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadBatchSpanOneBaseline: with merging disabled every request is its
+// own WQE — the pre-merge read path, bit for bit.
+func TestReadBatchSpanOneBaseline(t *testing.T) {
+	for _, span := range []int{0, 1} {
+		e, qa, reg, rm := mergeNet(t, span, 8)
+		if err := reg.WriteChunk(0, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		e.Spawn("client", func(p *sim.Proc) {
+			reqs := []ReadReq{chunkReq(rm, 0, 1), chunkReq(rm, 1, 2), chunkReq(rm, 2, 3)}
+			posted, wqes, err := qa.ReadBatch(p, reqs)
+			if err != nil || posted != 3 {
+				t.Errorf("span=%d posted=%d err=%v", span, posted, err)
+				return
+			}
+			if wqes != 3 {
+				t.Errorf("span=%d wqes = %d, want 3", span, wqes)
+			}
+			for i := 0; i < 3; i++ {
+				qa.CQ().Pop(p)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestReadBatchNonAdjacentNotMerged: a gap between chunks splits the run.
+func TestReadBatchNonAdjacentNotMerged(t *testing.T) {
+	e, qa, _, rm := mergeNet(t, 8, 8)
+	e.Spawn("client", func(p *sim.Proc) {
+		reqs := []ReadReq{chunkReq(rm, 0, 1), chunkReq(rm, 2, 2), chunkReq(rm, 3, 3)}
+		posted, wqes, err := qa.ReadBatch(p, reqs)
+		if err != nil || posted != 3 {
+			t.Errorf("posted=%d err=%v", posted, err)
+			return
+		}
+		if wqes != 2 { // {0} and {2,3}
+			t.Errorf("wqes = %d, want 2", wqes)
+		}
+		for i := 0; i < 3; i++ {
+			qa.CQ().Pop(p)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadBatchPartialPostPrefix: when a request in the middle of a batch
+// fails to post, ReadBatch reports the posted prefix and no completion for
+// the unposted remainder ever arrives — the contract the client's cleanup
+// path (fail-between-issue-and-flush) depends on.
+func TestReadBatchPartialPostPrefix(t *testing.T) {
+	e := sim.New(1)
+	prof := netmodel.InfiniBand100G
+	prof.MergeSpan = 4
+	n := NewNetwork(e, prof)
+	a := n.NewHost("client", sim.NewCPU(e, 4))
+	b := n.NewHost("server", sim.NewCPU(e, 28))
+	regB, err := region.New(4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regB.WriteChunk(0, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	regA, err := region.New(4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmB := b.RegisterRegion(regB)
+	rmA := a.RegisterRegion(regA) // wrong host: posting to it must fail
+	qa, _ := n.ConnectQP(a, b, 0)
+	e.Spawn("client", func(p *sim.Proc) {
+		reqs := []ReadReq{chunkReq(rmB, 0, 1), chunkReq(rmA, 0, 2)}
+		posted, wqes, err := qa.ReadBatch(p, reqs)
+		if !errors.Is(err, ErrWrongHost) {
+			t.Errorf("err = %v, want ErrWrongHost", err)
+		}
+		if posted != 1 || wqes != 1 {
+			t.Errorf("posted=%d wqes=%d, want 1/1", posted, wqes)
+		}
+		c := qa.CQ().Pop(p)
+		if c.Tag != 1 || c.Err != nil {
+			t.Errorf("completion = %+v, want tag 1", c)
+		}
+		// The CQ must hold nothing for the unposted request: a later
+		// synchronous read would otherwise pop the stray first.
+		raw, err := qa.ReadSync(p, rmB, rmB.ChunkOffset(0), regB.ChunkSize())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if payload, _, err := region.DecodeChunk(raw, nil); err != nil || string(payload[:2]) != "ok" {
+			t.Errorf("stray completion corrupted later sync read: %q %v", payload[:2], err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergedReadPastRegionEnd: a merged span reaching past the region's
+// last chunk fails the whole transfer with per-tag error completions (the
+// client never issues such spans; the fabric must still stay sane).
+func TestMergedReadPastRegionEnd(t *testing.T) {
+	e, qa, reg, rm := mergeNet(t, 4, 4)
+	if err := reg.WriteChunk(3, []byte("last")); err != nil {
+		t.Fatal(err)
+	}
+	e.Spawn("client", func(p *sim.Proc) {
+		cs := reg.ChunkSize()
+		reqs := []ReadReq{
+			chunkReq(rm, 3, 7),
+			{Src: rm, Off: 4 * cs, Size: cs, Tag: 8}, // one past the end
+		}
+		posted, wqes, err := qa.ReadBatch(p, reqs)
+		if err != nil || posted != 2 || wqes != 1 {
+			t.Errorf("posted=%d wqes=%d err=%v", posted, wqes, err)
+			return
+		}
+		for i := 0; i < 2; i++ {
+			if c := qa.CQ().Pop(p); c.Err == nil {
+				t.Errorf("tag %d: expected error completion for out-of-range span", c.Tag)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergedReadTornChunkIsolated: each chunk of a merged span snapshots
+// independently, so a write racing one chunk tears only that chunk's image
+// — the others decode cleanly and only the torn one needs re-reading.
+func TestMergedReadTornChunkIsolated(t *testing.T) {
+	e, qa, reg, rm := mergeNet(t, 4, 4)
+	for i := 0; i < 3; i++ {
+		if err := reg.WriteChunk(i, []byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Spawn("server-writer", func(p *sim.Proc) {
+		w, err := reg.BeginWrite(1, []byte("B"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(100 * time.Microsecond) // hold chunk 1 torn across the read
+		w.Finish()
+	})
+	e.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(time.Microsecond) // land inside the window
+		reqs := []ReadReq{chunkReq(rm, 0, 1), chunkReq(rm, 1, 2), chunkReq(rm, 2, 3)}
+		posted, wqes, err := qa.ReadBatch(p, reqs)
+		if err != nil || posted != 3 || wqes != 1 {
+			t.Errorf("posted=%d wqes=%d err=%v", posted, wqes, err)
+			return
+		}
+		torn := 0
+		for i := 0; i < 3; i++ {
+			c := qa.CQ().Pop(p)
+			if c.Err != nil {
+				t.Errorf("tag %d: %v", c.Tag, c.Err)
+				return
+			}
+			_, _, derr := region.DecodeChunk(c.Data, nil)
+			switch c.Tag {
+			case 2:
+				if errors.Is(derr, region.ErrTornRead) {
+					torn++
+				} else if derr != nil {
+					t.Errorf("tag 2: %v", derr)
+				}
+			default:
+				if derr != nil {
+					t.Errorf("tag %d decoded torn, want clean: %v", c.Tag, derr)
+				}
+			}
+		}
+		if torn != 1 {
+			t.Errorf("torn chunks = %d, want exactly the racing one", torn)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/catfish-db/catfish/internal/netmodel"
 	"github.com/catfish-db/catfish/internal/sim"
 )
 
@@ -76,6 +77,9 @@ func (n *Network) ConnectQP(a, b *Host, sqDepth int) (*QP, *QP) {
 
 // CQ returns the endpoint's completion queue / event channel.
 func (qp *QP) CQ() *sim.Queue[Completion] { return qp.cq }
+
+// Profile returns the profile of the fabric this endpoint belongs to.
+func (qp *QP) Profile() netmodel.Profile { return qp.net.prof }
 
 // Peer returns the other endpoint of the connection.
 func (qp *QP) Peer() *QP { return qp.peer }
@@ -182,19 +186,98 @@ type ReadReq struct {
 // multi-WQE post): the first WQE pays the fabric's full per-message NIC
 // setup cost, each later WQE only DoorbellPerWQE, while every read still
 // pays its own wire (serialization + propagation) cost and full completion
-// overhead. Completions arrive individually, tagged per request. With one
-// request — or on a fabric whose DoorbellPerWQE is zero — ReadBatch is
-// identical to posting each Read in order.
-func (qp *QP) ReadBatch(p *sim.Proc, reqs []ReadReq) error {
-	for i, r := range reqs {
+// overhead. Completions arrive individually, tagged per request.
+//
+// When the profile's MergeSpan exceeds 1, a coalescing pass folds runs of
+// consecutive requests that target physically-adjacent offsets of the same
+// Readable into a single larger read: one WQE and one data transfer, whose
+// arrival is demuxed into per-request completions on the requester side.
+// Only requests adjacent in reqs merge — callers control merge opportunity
+// by ordering the batch. With MergeSpan <= 1 — or with one request, or on
+// a fabric whose DoorbellPerWQE is zero — ReadBatch is identical to
+// posting each Read in order.
+//
+// It returns the number of requests actually posted (always a prefix of
+// reqs) and the number of WQEs those posts consumed. On error the
+// remaining requests were never posted and will produce no completions;
+// callers tracking in-flight tags must drop the unposted suffix.
+func (qp *QP) ReadBatch(p *sim.Proc, reqs []ReadReq) (posted, wqes int, err error) {
+	span := qp.net.prof.MergeSpan
+	for posted < len(reqs) {
+		run := 1
+		if span > 1 {
+			for posted+run < len(reqs) && run < span {
+				prev, next := reqs[posted+run-1], reqs[posted+run]
+				if next.Src != prev.Src || next.Off != prev.Off+prev.Size {
+					break
+				}
+				run++
+			}
+		}
 		postOH := qp.net.prof.NICOverhead
-		if i > 0 && qp.net.prof.DoorbellPerWQE > 0 {
+		if wqes > 0 && qp.net.prof.DoorbellPerWQE > 0 {
 			postOH = qp.net.prof.DoorbellPerWQE
 		}
-		if err := qp.readPost(p, r.Src, r.Off, r.Size, r.Tag, postOH); err != nil {
-			return err
+		if run == 1 {
+			r := reqs[posted]
+			err = qp.readPost(p, r.Src, r.Off, r.Size, r.Tag, postOH)
+		} else {
+			err = qp.readPostMerged(p, reqs[posted:posted+run], postOH)
 		}
+		if err != nil {
+			return posted, wqes, err
+		}
+		posted += run
+		wqes++
 	}
+	return posted, wqes, nil
+}
+
+// readPostMerged posts one RDMA Read covering every request of the
+// contiguous run and, at the delivery instant, synthesizes one completion
+// per original request, each carrying its slice of the fetched bytes. A
+// validation failure (out of bounds, torn span read surface) fails every
+// request in the run with per-request error completions.
+func (qp *QP) readPostMerged(p *sim.Proc, run []ReadReq, postOH time.Duration) error {
+	src := run[0].Src
+	if src.Host() != qp.remote {
+		return ErrWrongHost
+	}
+	// The run aliases the caller's batch buffer, which is reused as soon as
+	// the post returns; capture the demux plan (offsets come implicitly from
+	// the order).
+	off := run[0].Off
+	total := 0
+	sizes := make([]int, len(run))
+	tags := make([]uint64, len(run))
+	for i, r := range run {
+		sizes[i] = r.Size
+		tags[i] = r.Tag
+		total += r.Size
+	}
+	qp.sq.Acquire(p, 1)
+	n := qp.net
+	ctrlArrive := n.deliverPost(qp.local, qp.remote, readCtrlBytes, false, postOH)
+	n.e.After(ctrlArrive-n.e.Now(), func() {
+		data := make([]byte, total)
+		if err := src.ReadAt(off, data); err != nil {
+			for _, tag := range tags {
+				qp.cq.Push(Completion{QP: qp, Op: OpReadDone, Tag: tag, Err: err})
+			}
+			qp.sq.Release(1)
+			return
+		}
+		dataArrive := n.deliver(qp.remote, qp.local, total, false)
+		n.e.After(dataArrive-n.e.Now(), func() {
+			at := 0
+			for i, tag := range tags {
+				qp.cq.Push(Completion{QP: qp, Op: OpReadDone, Tag: tag,
+					Data: data[at : at+sizes[i]], Len: sizes[i]})
+				at += sizes[i]
+			}
+			qp.sq.Release(1)
+		})
+	})
 	return nil
 }
 

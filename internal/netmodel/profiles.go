@@ -41,6 +41,14 @@ type Profile struct {
 	// (RDMAbox-style doorbell batching). Zero means the fabric does not
 	// batch doorbells and every WQE pays NICOverhead.
 	DoorbellPerWQE time.Duration
+	// MergeSpan is the maximum number of physically-adjacent reads a
+	// doorbell batch may coalesce into one larger RDMA Read (one WQE, one
+	// completion, demuxed per-request on the requester). RDMAbox-style
+	// request merging: the merged read pays a single per-message setup and
+	// completion cost while still serializing every byte on the wire.
+	// 0 or 1 disables merging, leaving ReadBatch identical to posting each
+	// read separately.
+	MergeSpan int
 }
 
 // The three fabrics of the paper's evaluation cluster.

@@ -64,16 +64,19 @@ type Stats struct {
 	Evictions     uint64 // entries displaced by capacity pressure
 	Invalidations uint64 // entries dropped by Evict/Flush/failed Confirm
 	BytesSaved    uint64 // network bytes avoided vs. always-full-fetch
+	PrefetchHits  uint64 // speculative entries later served to a demand lookup
+	PrefetchWaste uint64 // speculative entries dropped or overwritten unused
 }
 
 type entry struct {
-	chunk     int
-	node      any
-	version   uint64
-	validated time.Duration // clock reading of the last validation
-	epoch     uint64        // cache epoch at the last validation
-	prev      *entry
-	next      *entry
+	chunk      int
+	node       any
+	version    uint64
+	validated  time.Duration // clock reading of the last validation
+	epoch      uint64        // cache epoch at the last validation
+	prefetched bool          // inserted speculatively; unset at first demand hit
+	prev       *entry
+	next       *entry
 }
 
 // Cache is the bounded LRU. It is safe for concurrent use (the rpcnet
@@ -129,9 +132,22 @@ func (c *Cache) Lookup(chunk int, now time.Duration) (any, Outcome) {
 		c.moveFront(e)
 		c.stats.Hits++
 		c.stats.BytesSaved += uint64(c.chunk)
+		c.creditPrefetch(e)
 		return e.node, Fresh
 	}
-	return nil, Verify
+	// The demoted node rides along as a hint: its fingerprint has not been
+	// reconfirmed, so the caller must not serve it — but its entries may
+	// seed speculative reads that overlap the revalidation (DESIGN.md
+	// §5.9). Only Confirm promotes it back to servable.
+	return e.node, Verify
+}
+
+// creditPrefetch records the first demand hit on a speculative entry.
+func (c *Cache) creditPrefetch(e *entry) {
+	if e.prefetched {
+		e.prefetched = false
+		c.stats.PrefetchHits++
+	}
 }
 
 // Confirm resolves a Verify outcome: if the freshly-read version
@@ -162,6 +178,7 @@ func (c *Cache) Confirm(chunk int, version uint64, now time.Duration) (any, bool
 	if c.chunk > c.versions {
 		c.stats.BytesSaved += uint64(c.chunk - c.versions)
 	}
+	c.creditPrefetch(e)
 	return e.node, true
 }
 
@@ -170,6 +187,38 @@ func (c *Cache) Confirm(chunk int, version uint64, now time.Duration) (any, bool
 // Callers must only Put internal (non-leaf) nodes, and must pass a node
 // the cache may retain (not a reused decode buffer).
 func (c *Cache) Put(chunk int, node any, version uint64, now time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[chunk]; ok {
+		// A demand fetch replacing a still-unused speculative entry means
+		// the prefetched bytes never saved a read.
+		if e.prefetched {
+			e.prefetched = false
+			c.stats.PrefetchWaste++
+		}
+		e.node = node
+		e.version = version
+		e.validated = now
+		e.epoch = c.epoch
+		c.moveFront(e)
+		return
+	}
+	if len(c.entries) >= c.capacity {
+		c.stats.Evictions++
+		c.removeLocked(c.tail)
+	}
+	e := &entry{chunk: chunk, node: node, version: version, validated: now, epoch: c.epoch}
+	c.entries[chunk] = e
+	c.pushFront(e)
+}
+
+// PutPrefetched inserts a speculatively fetched node, marked so the stats
+// can attribute its eventual hit or waste to prefetching. An existing
+// entry is refreshed in place and keeps its current attribution.
+func (c *Cache) PutPrefetched(chunk int, node any, version uint64, now time.Duration) {
 	if c == nil {
 		return
 	}
@@ -187,9 +236,23 @@ func (c *Cache) Put(chunk int, node any, version uint64, now time.Duration) {
 		c.stats.Evictions++
 		c.removeLocked(c.tail)
 	}
-	e := &entry{chunk: chunk, node: node, version: version, validated: now, epoch: c.epoch}
+	e := &entry{chunk: chunk, node: node, version: version, validated: now,
+		epoch: c.epoch, prefetched: true}
 	c.entries[chunk] = e
 	c.pushFront(e)
+}
+
+// Peek reports whether chunk is cached, without touching LRU order or
+// stats. The prefetcher uses it to avoid speculating on chunks already
+// resident.
+func (c *Cache) Peek(chunk int) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[chunk]
+	return ok
 }
 
 // Evict drops a single entry (level mismatch on a cached node).
@@ -226,6 +289,11 @@ func (c *Cache) Flush() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Invalidations += uint64(len(c.entries))
+	for _, e := range c.entries {
+		if e.prefetched {
+			c.stats.PrefetchWaste++
+		}
+	}
 	c.entries = make(map[int]*entry, c.capacity)
 	c.head, c.tail = nil, nil
 }
@@ -286,6 +354,9 @@ func (c *Cache) unlink(e *entry) {
 }
 
 func (c *Cache) removeLocked(e *entry) {
+	if e.prefetched {
+		c.stats.PrefetchWaste++
+	}
 	c.unlink(e)
 	delete(c.entries, e.chunk)
 }

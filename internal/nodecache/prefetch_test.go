@@ -1,0 +1,121 @@
+package nodecache
+
+import (
+	"testing"
+	"time"
+)
+
+func newPrefCache(capacity int) *Cache {
+	return New(capacity, 10*time.Millisecond, 4096, 512)
+}
+
+// TestPrefetchCreditOnFreshHit: the first demand lookup of a speculative
+// entry counts one prefetch hit, exactly once.
+func TestPrefetchCreditOnFreshHit(t *testing.T) {
+	c := newPrefCache(4)
+	c.PutPrefetched(7, "n7", 1, 0)
+	if _, out := c.Lookup(7, time.Millisecond); out != Fresh {
+		t.Fatalf("outcome = %v, want Fresh", out)
+	}
+	if s := c.Stats(); s.PrefetchHits != 1 || s.PrefetchWaste != 0 {
+		t.Errorf("stats = %+v, want one hit", s)
+	}
+	// Attribution is one-shot: later hits are ordinary cache hits.
+	c.Lookup(7, 2*time.Millisecond)
+	if s := c.Stats(); s.PrefetchHits != 1 {
+		t.Errorf("second lookup re-credited prefetch: %+v", s)
+	}
+}
+
+// TestPrefetchCreditOnConfirm: an entry demoted past its lease that
+// revalidates successfully still credits the speculation.
+func TestPrefetchCreditOnConfirm(t *testing.T) {
+	c := newPrefCache(4)
+	c.PutPrefetched(3, "n3", 42, 0)
+	if _, out := c.Lookup(3, time.Hour); out != Verify {
+		t.Fatalf("outcome = %v, want Verify past the lease", out)
+	}
+	if _, ok := c.Confirm(3, 42, time.Hour); !ok {
+		t.Fatal("confirm with matching version failed")
+	}
+	if s := c.Stats(); s.PrefetchHits != 1 || s.PrefetchWaste != 0 {
+		t.Errorf("stats = %+v, want one hit via confirm", s)
+	}
+}
+
+// TestPrefetchWasteTransitions: a speculative entry that is overwritten by
+// a demand Put, dropped by Evict, displaced by capacity, invalidated by a
+// version mismatch, or flushed — all before any demand hit — counts as
+// waste exactly once per entry.
+func TestPrefetchWasteTransitions(t *testing.T) {
+	t.Run("overwritten-by-demand-put", func(t *testing.T) {
+		c := newPrefCache(4)
+		c.PutPrefetched(1, "spec", 1, 0)
+		c.Put(1, "demand", 2, 0)
+		if s := c.Stats(); s.PrefetchWaste != 1 || s.PrefetchHits != 0 {
+			t.Errorf("stats = %+v, want one waste", s)
+		}
+		// The refreshed entry is now demand-attributed: a hit is ordinary.
+		c.Lookup(1, time.Millisecond)
+		if s := c.Stats(); s.PrefetchHits != 0 {
+			t.Errorf("demand-overwritten entry credited prefetch: %+v", s)
+		}
+	})
+	t.Run("evicted", func(t *testing.T) {
+		c := newPrefCache(4)
+		c.PutPrefetched(1, "spec", 1, 0)
+		c.Evict(1)
+		if s := c.Stats(); s.PrefetchWaste != 1 {
+			t.Errorf("stats = %+v, want one waste", s)
+		}
+	})
+	t.Run("capacity-displaced", func(t *testing.T) {
+		c := newPrefCache(2)
+		c.PutPrefetched(1, "spec", 1, 0)
+		c.Put(2, "a", 1, 0)
+		c.Put(3, "b", 1, 0) // displaces chunk 1, the LRU
+		if s := c.Stats(); s.PrefetchWaste != 1 || s.Evictions != 1 {
+			t.Errorf("stats = %+v, want one waste + one eviction", s)
+		}
+	})
+	t.Run("version-mismatch", func(t *testing.T) {
+		c := newPrefCache(4)
+		c.PutPrefetched(1, "spec", 1, 0)
+		if _, ok := c.Confirm(1, 99, time.Hour); ok {
+			t.Fatal("confirm with wrong version succeeded")
+		}
+		if s := c.Stats(); s.PrefetchWaste != 1 {
+			t.Errorf("stats = %+v, want one waste", s)
+		}
+	})
+	t.Run("flushed", func(t *testing.T) {
+		c := newPrefCache(4)
+		c.PutPrefetched(1, "spec", 1, 0)
+		c.PutPrefetched(2, "spec", 1, 0)
+		c.Put(3, "demand", 1, 0)
+		c.Flush()
+		if s := c.Stats(); s.PrefetchWaste != 2 {
+			t.Errorf("stats = %+v, want two waste (demand entries don't count)", s)
+		}
+	})
+}
+
+// TestPeekIsInvisible: Peek reports residency without disturbing stats,
+// attribution, or LRU order.
+func TestPeekIsInvisible(t *testing.T) {
+	c := newPrefCache(2)
+	c.PutPrefetched(1, "spec", 1, 0)
+	c.Put(2, "demand", 1, 0)
+	if !c.Peek(1) || !c.Peek(2) || c.Peek(3) {
+		t.Error("peek residency wrong")
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("peek mutated stats: %+v", s)
+	}
+	// Peeking chunk 1 must not have promoted it: inserting a third entry
+	// still displaces the LRU by insertion/use order (chunk 1).
+	c.Put(3, "c", 1, 0)
+	if c.Peek(1) {
+		t.Error("peek promoted the entry in LRU order")
+	}
+}

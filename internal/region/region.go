@@ -135,6 +135,24 @@ func (r *Region) Free(id int) error {
 	return nil
 }
 
+// SortFreeList relinks the free list in ascending chunk-id order, so a run
+// of subsequent Allocs hands out the lowest free ids sequentially. Bulk
+// loaders call this before laying out a tree: with an ascending allocator,
+// preorder allocation makes sibling subtrees physically contiguous, which
+// is what lets adjacent-read merging and subtree prefetching find whole
+// runs of children at consecutive chunk offsets.
+func (r *Region) SortFreeList() {
+	prev := int32(-1)
+	for id := r.nchunks - 1; id >= 0; id-- {
+		if r.freeNext[id] == -2 {
+			continue
+		}
+		r.freeNext[id] = prev
+		prev = int32(id)
+	}
+	r.freeHead = prev
+}
+
 func (r *Region) checkID(id int) error {
 	if id < 0 || id >= r.nchunks {
 		return ErrBadChunk

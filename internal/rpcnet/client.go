@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,20 @@ type ClientConfig struct {
 	// they are revalidated with a READ_VERSIONS round trip (an eighth of
 	// a chunk) before being trusted. See internal/nodecache.
 	NodeCache int
+
+	// MergeSpan is the maximum number of physically-adjacent chunk reads
+	// one multi-issue frontier folds into a single READ_SPAN round trip —
+	// the TCP analogue of merged adjacent RDMA reads. 0 or 1 disables
+	// merging, leaving the read path identical to per-chunk READ_CHUNK.
+	MergeSpan int
+
+	// Prefetch is the token-bucket capacity for speculative span
+	// extensions: a span read behind an internal node is stretched past
+	// its demand chunks to cover the node's preorder-contiguous children,
+	// and the extra raw chunks are kept for the next frontier round. The
+	// bucket refills proportionally to the heartbeat-reported idle
+	// fraction. 0 disables prefetching.
+	Prefetch int
 
 	// Metrics, when non-nil, exposes the client counters, the predicted
 	// server utilization, and a search-latency histogram on the registry
@@ -114,6 +129,10 @@ type Client struct {
 	ncache  *nodecache.Cache
 	rootVer atomic.Uint64
 
+	// Prefetch token bucket, touched only by the single search goroutine.
+	prefTokens float64
+	prefLast   time.Duration
+
 	cfg     ClientConfig
 	stats   telemetry.ClientMetrics
 	latHist *telemetry.Histogram
@@ -147,6 +166,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		start:   time.Now(),
 		cfg:     cfg,
 	}
+	c.prefTokens = float64(cfg.Prefetch) // start full: idle until told otherwise
 	frame, err := readFrame(conn, nil)
 	if err != nil {
 		conn.Close()
@@ -174,7 +194,8 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		telemetry.RegisterCacheFuncs(cfg.Metrics, func() telemetry.CacheStats {
 			ns := c.ncache.Stats()
 			return telemetry.CacheStats{Hits: ns.Hits, VerifiedHits: ns.VerifiedHits,
-				Misses: ns.Misses, Evictions: ns.Evictions, BytesSaved: ns.BytesSaved}
+				Misses: ns.Misses, Evictions: ns.Evictions, BytesSaved: ns.BytesSaved,
+				PrefetchHits: ns.PrefetchHits, PrefetchWaste: ns.PrefetchWaste}
 		})
 		cfg.Metrics.GaugeFunc("catfish_client_pred_util", c.sw.PredictedUtil)
 		c.latHist = cfg.Metrics.Histogram("catfish_client_search_latency_seconds")
@@ -199,6 +220,8 @@ func (c *Client) Stats() ClientStats {
 	out.CacheMisses = ns.Misses
 	out.CacheEvictions = ns.Evictions
 	out.CacheBytesSaved = ns.BytesSaved
+	out.CachePrefetchHits = ns.PrefetchHits
+	out.CachePrefetchWaste = ns.PrefetchWaste
 	return out
 }
 
@@ -282,6 +305,10 @@ func (c *Client) readLoop() {
 		case wire.MsgVersionData:
 			if vd, err := wire.DecodeVersionData(frame); err == nil {
 				c.deliver(vd.ID, frame)
+			}
+		case wire.MsgSpanData:
+			if sd, err := wire.DecodeSpanData(frame); err == nil {
+				c.deliver(sd.ID, frame)
 			}
 		case wire.MsgShardMapData:
 			if md, err := wire.DecodeShardMapData(frame); err == nil {
@@ -525,6 +552,7 @@ func (c *Client) fetchChunk(id int, expectLevel int, node *rtree.Node) error {
 	}
 	for retry := 0; retry <= c.cfg.MaxChunkRetries; retry++ {
 		c.stats.NodesFetched.Inc()
+		c.stats.ReadWQEs.Inc()
 		tag := c.reqID.Add(1)
 		frame, err := c.call(tag, wire.ReadChunk{ID: tag, Chunk: uint32(id)}.Encode(nil))
 		if err != nil {
@@ -601,6 +629,7 @@ func (c *Client) fetchCached(id int, expectLevel int, node *rtree.Node) (bool, e
 // returns its version fingerprint.
 func (c *Client) fetchVersions(id int) (uint64, error) {
 	c.stats.VersionReads.Inc()
+	c.stats.ReadWQEs.Inc()
 	tag := c.reqID.Add(1)
 	frame, err := c.call(tag, wire.ReadVersions{ID: tag, Chunk: uint32(id)}.Encode(nil))
 	if err != nil {
@@ -638,8 +667,9 @@ func (c *Client) searchOffload(q geo.Rect) ([]wire.Item, error) {
 }
 
 type chunkRef struct {
-	id    int
-	level int
+	id        int
+	level     int
+	contained bool // the query fully contains this subtree's MBR
 }
 
 func (c *Client) traverse(q geo.Rect) ([]wire.Item, error) {
@@ -676,6 +706,9 @@ func (c *Client) traverse(q geo.Rect) ([]wire.Item, error) {
 // analogue of §IV-C's multi-issue pipeline (requests for all intersecting
 // children are in flight simultaneously over the shared connection).
 func (c *Client) traverseMulti(q geo.Rect) ([]wire.Item, error) {
+	if c.cfg.MergeSpan > 1 || c.cfg.Prefetch > 0 {
+		return c.traverseMultiSpans(q)
+	}
 	var items []wire.Item
 	frontier := []chunkRef{{id: int(c.hello.RootChunk), level: -1}}
 	for len(frontier) > 0 {
@@ -714,6 +747,302 @@ func (c *Client) traverseMulti(q geo.Rect) ([]wire.Item, error) {
 		frontier = next
 	}
 	return items, nil
+}
+
+// spanRun is one contiguous stretch of a multi-issue frontier: demand
+// chunks (frontier indices idxs) plus ext speculative chunks extending the
+// span past its last demand chunk, all fetched in one READ_SPAN.
+type spanRun struct {
+	idxs []int  // indices into the frontier, contiguous ascending chunk ids
+	ext  int    // speculative chunks appended past the last demand chunk
+	spec []byte // raw bytes of those ext chunks, filled after the fetch
+}
+
+// traverseMultiSpans is traverseMulti with merged reads and speculative
+// span extension — the TCP analogue of the simulated client's coalesced
+// doorbell batch (DESIGN.md §5.9). Each frontier round sorts the uncached
+// refs by chunk id, folds physically-adjacent ones into spans of at most
+// MergeSpan chunks (one round trip each), and — budget permitting —
+// stretches a span behind an internal node to cover that node's
+// preorder-contiguous children. The extra raw chunks are parked in spare
+// and adopted by the next round; leftovers at the end are waste.
+func (c *Client) traverseMultiSpans(q geo.Rect) ([]wire.Item, error) {
+	span := c.cfg.MergeSpan
+	if span < 1 {
+		span = 1
+	}
+	if span > maxSpanChunks {
+		span = maxSpanChunks
+	}
+	spanK := 2
+	if span > 1 {
+		spanK = span - 1
+	}
+	numChunks := int(c.hello.NumChunks)
+	spare := make(map[int][]byte)
+	defer func() {
+		for range spare {
+			c.stats.PrefetchWaste.Inc()
+		}
+	}()
+	var items []wire.Item
+	frontier := []chunkRef{{id: int(c.hello.RootChunk), level: -1}}
+	for len(frontier) > 0 {
+		nodes := make([]*rtree.Node, len(frontier))
+		// Serve what we can without the network: parked speculative
+		// chunks first, then the node cache.
+		var fetchIdx []int
+		for i, r := range frontier {
+			if raw, ok := spare[r.id]; ok {
+				delete(spare, r.id)
+				if n := c.adoptSpare(r, raw); n != nil {
+					nodes[i] = n
+					continue
+				}
+			}
+			if c.ncache != nil {
+				var n rtree.Node
+				cached, err := c.fetchCached(r.id, r.level, &n)
+				if err != nil {
+					return nil, err
+				}
+				if cached {
+					nodes[i] = &n
+					continue
+				}
+			}
+			fetchIdx = append(fetchIdx, i)
+		}
+		// Group the remaining refs into contiguous runs of ≤ span chunks.
+		sort.Slice(fetchIdx, func(a, b int) bool {
+			return frontier[fetchIdx[a]].id < frontier[fetchIdx[b]].id
+		})
+		var runs []*spanRun
+		for k := 0; k < len(fetchIdx); {
+			j := k + 1
+			for j < len(fetchIdx) && j-k < span &&
+				frontier[fetchIdx[j]].id == frontier[fetchIdx[j-1]].id+1 {
+				j++
+			}
+			runs = append(runs, &spanRun{idxs: fetchIdx[k:j]})
+			k = j
+		}
+		// Stretch runs that end on an internal node: its children sit at
+		// the immediately following chunks (preorder layout), so a few
+		// extra chunks on the same round trip pre-pay the next frontier.
+		if c.cfg.Prefetch > 0 {
+			budget := c.prefetchBudgetNet()
+			spent := 0
+			for _, r := range runs {
+				if budget <= 0 {
+					break
+				}
+				last := frontier[r.idxs[len(r.idxs)-1]]
+				if last.level != -1 && last.level < 1 {
+					continue // leaves have no children to prefetch
+				}
+				// Only stretch behind a subtree the query CONTAINS:
+				// every descendant intersects, so the preorder chunks
+				// right after it are all wanted. A partially-overlapped
+				// child would gamble on which leaves the query clips.
+				if !last.contained {
+					continue
+				}
+				ext := spanK
+				if ext > budget {
+					ext = budget
+				}
+				if len(r.idxs)+ext > maxSpanChunks {
+					ext = maxSpanChunks - len(r.idxs)
+				}
+				if last.id+ext >= numChunks {
+					ext = numChunks - 1 - last.id
+				}
+				if ext <= 0 {
+					continue
+				}
+				r.ext = ext
+				budget -= ext
+				spent += ext
+				c.stats.PrefetchIssued.Add(uint64(ext))
+			}
+			c.spendPrefetchNet(spent)
+		}
+		// Fetch every run concurrently, one round trip per run.
+		errs := make([]error, len(runs))
+		var wg sync.WaitGroup
+		for ri, r := range runs {
+			ri, r := ri, r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs[ri] = c.fetchRun(frontier, r, nodes)
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Park the speculative tails for the next round.
+		cs := int(c.hello.ChunkSize)
+		for _, r := range runs {
+			base := frontier[r.idxs[len(r.idxs)-1]].id + 1
+			for e := 0; e < r.ext; e++ {
+				spare[base+e] = r.spec[e*cs : (e+1)*cs]
+			}
+		}
+		var next []chunkRef
+		for i := range nodes {
+			n := nodes[i]
+			if n.IsLeaf() {
+				for _, e := range n.Entries {
+					if q.Intersects(e.Rect) {
+						items = append(items, wire.Item{Rect: e.Rect, Ref: e.Ref})
+					}
+				}
+				continue
+			}
+			for _, e := range n.Entries {
+				if q.Intersects(e.Rect) {
+					next = append(next, chunkRef{id: int(e.Ref), level: n.Level - 1,
+						contained: q.Contains(e.Rect)})
+				}
+			}
+		}
+		frontier = next
+	}
+	return items, nil
+}
+
+// fetchRun resolves one spanRun. Single-chunk runs with no extension fall
+// back to the ordinary READ_CHUNK path; everything else is one READ_SPAN
+// whose reply is demuxed — and version-validated — per chunk. A torn chunk
+// inside the span taints only itself: just that chunk is re-read through
+// fetchChunk's retry loop.
+func (c *Client) fetchRun(frontier []chunkRef, r *spanRun, nodes []*rtree.Node) error {
+	if len(r.idxs) == 1 && r.ext == 0 {
+		i := r.idxs[0]
+		nodes[i] = new(rtree.Node)
+		return c.fetchChunk(frontier[i].id, frontier[i].level, nodes[i])
+	}
+	total := len(r.idxs) + r.ext
+	first := frontier[r.idxs[0]].id
+	c.stats.ReadWQEs.Inc()
+	c.stats.NodesFetched.Add(uint64(len(r.idxs)))
+	tag := c.reqID.Add(1)
+	frame, err := c.call(tag, wire.ReadSpan{ID: tag, Chunk: uint32(first), Count: uint32(total)}.Encode(nil))
+	if err != nil {
+		return err
+	}
+	sd, err := wire.DecodeSpanData(frame)
+	if err != nil {
+		return err
+	}
+	if sd.Status != wire.StatusOK {
+		return fmt.Errorf("%w: span %d+%d status %d", ErrServer, first, total, sd.Status)
+	}
+	cs := int(c.hello.ChunkSize)
+	if len(sd.Raw) != total*cs {
+		return fmt.Errorf("%w: span %d+%d short reply", ErrServer, first, total)
+	}
+	for k, i := range r.idxs {
+		ref := frontier[i]
+		nodes[i] = new(rtree.Node)
+		if err := c.decodeSpanChunk(ref, sd.Raw[k*cs:(k+1)*cs], nodes[i]); err != nil {
+			return err
+		}
+	}
+	r.spec = sd.Raw[len(r.idxs)*cs:]
+	return nil
+}
+
+// decodeSpanChunk validates and decodes one demand chunk out of a span
+// reply, retrying through the single-chunk path if the image was torn.
+func (c *Client) decodeSpanChunk(ref chunkRef, raw []byte, node *rtree.Node) error {
+	payload, ver, derr := region.DecodeChunk(raw, nil)
+	if derr != nil {
+		if errors.Is(derr, region.ErrTornRead) {
+			c.stats.TornRetries.Inc()
+			return c.fetchChunk(ref.id, ref.level, node)
+		}
+		return derr
+	}
+	if err := rtree.DecodeNode(payload, node, int(c.hello.MaxEntries)); err != nil {
+		return errStale
+	}
+	if ref.level >= 0 && node.Level != ref.level {
+		return errStale
+	}
+	if c.ncache != nil && !node.IsLeaf() {
+		cp := &rtree.Node{
+			Level:   node.Level,
+			Entries: append([]rtree.Entry(nil), node.Entries...),
+		}
+		c.ncache.Put(ref.id, cp, ver, time.Since(c.start))
+	}
+	return nil
+}
+
+// adoptSpare tries to turn a parked speculative chunk into this frontier
+// ref's node. Any mismatch (torn image, garbage, wrong level) silently
+// falls back to a normal fetch and counts as waste — speculation must
+// never fail a search.
+func (c *Client) adoptSpare(ref chunkRef, raw []byte) *rtree.Node {
+	payload, ver, derr := region.DecodeChunk(raw, nil)
+	if derr != nil {
+		c.stats.PrefetchWaste.Inc()
+		return nil
+	}
+	var n rtree.Node
+	if err := rtree.DecodeNode(payload, &n, int(c.hello.MaxEntries)); err != nil {
+		c.stats.PrefetchWaste.Inc()
+		return nil
+	}
+	if ref.level >= 0 && n.Level != ref.level {
+		c.stats.PrefetchWaste.Inc()
+		return nil
+	}
+	c.stats.PrefetchHits.Inc()
+	if c.ncache != nil && !n.IsLeaf() {
+		cp := &rtree.Node{Level: n.Level, Entries: append([]rtree.Entry(nil), n.Entries...)}
+		c.ncache.Put(ref.id, cp, ver, time.Since(c.start))
+	}
+	return &n
+}
+
+// prefetchBudgetNet refills the speculative-read token bucket from the
+// heartbeat-reported server utilization and returns the whole tokens
+// available. Mirrors the simulated client's bucket: refill is proportional
+// to the idle fraction, paused entirely above the switch threshold T.
+func (c *Client) prefetchBudgetNet() int {
+	if c.cfg.Prefetch <= 0 {
+		return 0
+	}
+	now := time.Since(c.start)
+	elapsed := now - c.prefLast
+	c.prefLast = now
+	util := floatFromBits(c.heartbeat.Load())
+	inv := time.Duration(c.hello.HeartbeatMs) * time.Millisecond
+	if inv <= 0 {
+		inv = 10 * time.Millisecond
+	}
+	if util < c.cfg.T && elapsed > 0 {
+		rate := float64(c.cfg.Prefetch) * (1 - util) / float64(inv)
+		c.prefTokens += rate * float64(elapsed)
+		if c.prefTokens > float64(c.cfg.Prefetch) {
+			c.prefTokens = float64(c.cfg.Prefetch)
+		}
+	}
+	return int(c.prefTokens)
+}
+
+func (c *Client) spendPrefetchNet(n int) {
+	c.prefTokens -= float64(n)
+	if c.prefTokens < 0 {
+		c.prefTokens = 0
+	}
 }
 
 func floatBits(f float64) uint64 { return math.Float64bits(f) }

@@ -119,6 +119,8 @@ type Server struct {
 	deletes    atomic.Uint64
 	reads      atomic.Uint64
 	verReads   atomic.Uint64
+	spanReads  atomic.Uint64
+	spanChunks atomic.Uint64
 	batches    atomic.Uint64
 	batchedOps atomic.Uint64
 
@@ -172,6 +174,8 @@ func Listen(addr string, tree *rtree.Tree, cfg ServerConfig) (*Server, error) {
 		reg.CounterFunc("catfish_server_offload_searches_total", s.offloadEst.Load)
 		reg.CounterFunc("catfish_server_offload_chunk_reads_total", s.reads.Load)
 		reg.CounterFunc("catfish_server_version_reads_total", s.verReads.Load)
+		reg.CounterFunc("catfish_server_span_reads_total", s.spanReads.Load)
+		reg.CounterFunc("catfish_server_span_chunks_total", s.spanChunks.Load)
 		reg.CounterFunc("catfish_server_inserts_total", s.inserts.Load)
 		reg.CounterFunc("catfish_server_deletes_total", s.deletes.Load)
 		reg.CounterFunc("catfish_server_batches_total", s.batches.Load)
@@ -200,9 +204,6 @@ func (s *Server) Serve() error {
 			return err
 		}
 		sc := &srvConn{c: conn}
-		s.mu.Lock()
-		s.conns[sc] = struct{}{}
-		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(sc)
 	}
@@ -228,6 +229,10 @@ type ServerStats struct {
 	Deletes      uint64
 	ChunkReads   uint64
 	VersionReads uint64
+	// SpanReads counts READ_SPAN round trips; SpanChunks the chunks they
+	// carried (merged adjacent reads plus speculative prefetch extensions).
+	SpanReads  uint64
+	SpanChunks uint64
 	// OffloadSearches estimates client-side traversals from root-chunk
 	// reads (every traversal starts at the root; root-cache hits make this
 	// a lower bound).
@@ -246,6 +251,8 @@ func (s *Server) Stats() ServerStats {
 		Deletes:         s.deletes.Load(),
 		ChunkReads:      s.reads.Load(),
 		VersionReads:    s.verReads.Load(),
+		SpanReads:       s.spanReads.Load(),
+		SpanChunks:      s.spanChunks.Load(),
 		OffloadSearches: s.offloadEst.Load(),
 		Batches:         s.batches.Load(),
 		BatchedOps:      s.batchedOps.Load(),
@@ -277,6 +284,16 @@ func (s *Server) serveConn(sc *srvConn) {
 	if err := sc.send(hello.Encode(nil)); err != nil {
 		return
 	}
+	// Join the heartbeat broadcast set only after the hello is on the
+	// wire: a tick between accept and the handshake would otherwise push
+	// a heartbeat frame ahead of the hello and corrupt the client's
+	// first read. Registration races Close's sweep, so re-check closed.
+	s.mu.Lock()
+	s.conns[sc] = struct{}{}
+	s.mu.Unlock()
+	if s.closed.Load() {
+		return
+	}
 
 	var frame []byte
 	var out []byte
@@ -305,6 +322,23 @@ func (s *Server) serveConn(sc *srvConn) {
 				s.offloadEst.Add(1)
 			}
 			out = s.handleReadChunk(req, out[:0])
+			if err := sc.send(out); err != nil {
+				return
+			}
+		case wire.MsgReadSpan:
+			// Merged adjacent read: Count consecutive chunks in one round
+			// trip, answered latch-free like READ_CHUNK; the client
+			// validates each chunk's versions independently.
+			req, err := wire.DecodeReadSpan(frame)
+			if err != nil {
+				return
+			}
+			s.spanReads.Add(1)
+			s.spanChunks.Add(uint64(req.Count))
+			if rc := s.rootChunkA.Load(); int64(req.Chunk) <= rc && rc < int64(req.Chunk)+int64(req.Count) {
+				s.offloadEst.Add(1)
+			}
+			out = s.handleReadSpan(req, out[:0])
 			if err := sc.send(out); err != nil {
 				return
 			}
@@ -378,6 +412,30 @@ func (s *Server) handleReadChunk(req wire.ReadChunk, out []byte) []byte {
 	} else {
 		resp.Raw = raw
 	}
+	return resp.Encode(out)
+}
+
+// maxSpanChunks bounds one READ_SPAN (a corrupt count would otherwise ask
+// the server to allocate Count × chunkSize bytes).
+const maxSpanChunks = 64
+
+func (s *Server) handleReadSpan(req wire.ReadSpan, out []byte) []byte {
+	reg := s.tree.Region()
+	cs := reg.ChunkSize()
+	resp := wire.SpanData{ID: req.ID, Status: wire.StatusOK}
+	if req.Count == 0 || req.Count > maxSpanChunks ||
+		int(req.Chunk)+int(req.Count) > reg.NumChunks() {
+		resp.Status = wire.StatusError
+		return resp.Encode(out)
+	}
+	raw := make([]byte, int(req.Count)*cs)
+	for i := 0; i < int(req.Count); i++ {
+		if err := reg.ReadChunkRaw(int(req.Chunk)+i, raw[i*cs:(i+1)*cs]); err != nil {
+			resp.Status = wire.StatusError
+			return resp.Encode(out)
+		}
+	}
+	resp.Raw = raw
 	return resp.Encode(out)
 }
 

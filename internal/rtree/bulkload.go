@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"slices"
+
+	"github.com/catfish-db/catfish/internal/geo"
 )
 
 // ErrNotEmpty is returned by BulkLoad when the tree already contains items.
@@ -55,35 +57,114 @@ func (t *Tree) BulkLoad(items []Entry, fillFactor float64) error {
 		return nil
 	}
 
+	// Phase 1: build the whole tree in memory, bottom-up, exactly as the
+	// chunk-at-a-time loader did — but defer chunk assignment so the layout
+	// can be chosen afterwards. Parent entries carry the child's index into
+	// the current level's node slice in Ref; strTile reorders entries freely
+	// and the index travels with them.
 	level := 0
 	entries := append([]Entry(nil), items...)
-	var nodeIDs []int
+	var cur []*buildNode
 	for len(entries) > capPerNode {
 		groups := strTile(entries, capPerNode, t.minEntries)
-		next := make([]Entry, 0, len(groups))
-		nodeIDs = nodeIDs[:0]
+		next := make([]*buildNode, 0, len(groups))
+		parents := make([]Entry, 0, len(groups))
 		for _, g := range groups {
-			id, err := t.reg.Alloc()
-			if err != nil {
-				return fmt.Errorf("rtree: bulk load alloc: %w", err)
+			bn := &buildNode{level: level, mbr: (&Node{Entries: g}).MBR()}
+			if level == 0 {
+				bn.entries = g
+			} else {
+				bn.children = make([]*buildNode, len(g))
+				for j, e := range g {
+					bn.children[j] = cur[e.Ref]
+				}
 			}
-			n := &Node{Level: level, Entries: g}
-			if err := t.writeNode(id, n); err != nil {
-				return err
-			}
-			next = append(next, Entry{Rect: n.MBR(), Ref: uint64(id)})
-			nodeIDs = append(nodeIDs, id)
+			parents = append(parents, Entry{Rect: bn.mbr, Ref: uint64(len(next))})
+			next = append(next, bn)
 		}
-		entries = next
+		cur = next
+		entries = parents
 		level++
 	}
-	root := &Node{Level: level, Entries: entries}
-	if err := t.writeNode(t.rootChunk, root); err != nil {
+	root := &buildNode{level: level, children: make([]*buildNode, len(entries))}
+	for i, e := range entries {
+		root.children[i] = cur[e.Ref]
+	}
+
+	// Phase 2: assign chunks in DFS preorder — each child's entire subtree
+	// is laid out before its next sibling starts. With an ascending
+	// allocator (SortFreeList) this makes every subtree a contiguous run of
+	// chunk ids; in particular a level-1 node at chunk c has its leaf
+	// children at exactly c+1..c+n, so sibling leaf reads coalesce into one
+	// merged RDMA Read and a speculative span read behind the parent
+	// prefetches precisely those leaves.
+	t.reg.SortFreeList()
+	root.chunk = t.rootChunk
+	if err := t.assignPreorder(root); err != nil {
+		return err
+	}
+
+	// Phase 3: publish. The root is written last so a concurrent offload
+	// client never follows a ref into an unwritten chunk.
+	for _, c := range root.children {
+		if err := t.writeSubtree(c); err != nil {
+			return err
+		}
+	}
+	if err := t.writeBuildNode(root); err != nil {
 		return err
 	}
 	t.size = len(items)
 	t.height = level + 1
 	return nil
+}
+
+// buildNode is one node of the in-memory tree BulkLoad assembles before
+// chunk assignment: leaf payload at level 0, child pointers above.
+type buildNode struct {
+	level    int
+	mbr      geo.Rect
+	entries  []Entry
+	children []*buildNode
+	chunk    int
+}
+
+// assignPreorder allocates chunks for n's descendants in DFS preorder
+// (n itself is already assigned).
+func (t *Tree) assignPreorder(n *buildNode) error {
+	for _, c := range n.children {
+		id, err := t.reg.Alloc()
+		if err != nil {
+			return fmt.Errorf("rtree: bulk load alloc: %w", err)
+		}
+		c.chunk = id
+		if err := t.assignPreorder(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSubtree publishes n's subtree children-first.
+func (t *Tree) writeSubtree(n *buildNode) error {
+	for _, c := range n.children {
+		if err := t.writeSubtree(c); err != nil {
+			return err
+		}
+	}
+	return t.writeBuildNode(n)
+}
+
+// writeBuildNode publishes one assembled node into its assigned chunk.
+func (t *Tree) writeBuildNode(bn *buildNode) error {
+	n := &Node{Level: bn.level, Entries: bn.entries}
+	if bn.level > 0 {
+		n.Entries = make([]Entry, len(bn.children))
+		for i, c := range bn.children {
+			n.Entries[i] = Entry{Rect: c.mbr, Ref: uint64(c.chunk)}
+		}
+	}
+	return t.writeNode(bn.chunk, n)
 }
 
 // strTile partitions entries into groups of at most capPerNode (and at

@@ -19,6 +19,10 @@ type ClientMetrics struct {
 	VersionReads    Counter // version-only revalidation reads issued
 	BatchesSent     Counter // fast-messaging batch containers sent
 	BatchedOps      Counter // operations carried in those containers
+	PrefetchIssued  Counter // speculative chunk reads posted
+	PrefetchHits    Counter // speculative reads a demand lookup later used
+	PrefetchWaste   Counter // speculative reads discarded unused
+	ReadWQEs        Counter // read messages posted (merged spans count once)
 }
 
 // Snapshot exports the counters. Cache fields and HeartbeatsSeen come from
@@ -39,7 +43,23 @@ func (m *ClientMetrics) Snapshot() ClientSnapshot {
 		VersionReads:    m.VersionReads.Load(),
 		BatchesSent:     m.BatchesSent.Load(),
 		BatchedOps:      m.BatchedOps.Load(),
+		PrefetchIssued:  m.PrefetchIssued.Load(),
+		PrefetchHits:    m.PrefetchHits.Load(),
+		PrefetchWaste:   m.PrefetchWaste.Load(),
+		ReadWQEs:        m.ReadWQEs.Load(),
 	}
+}
+
+// MergeRatio returns reads-per-WQE: how many logical chunk or version
+// reads each posted read message carried on average. 1.0 means no merging;
+// higher means adjacent reads coalesced. Zero when no WQEs were posted.
+func (m *ClientMetrics) MergeRatio() float64 {
+	wqes := m.ReadWQEs.Load()
+	if wqes == 0 {
+		return 0
+	}
+	reads := m.NodesFetched.Load() + m.VersionReads.Load() + m.PrefetchIssued.Load()
+	return float64(reads) / float64(wqes)
 }
 
 // Register exposes every counter on reg under the catfish_client_* names
@@ -61,12 +81,18 @@ func (m *ClientMetrics) Register(reg *Registry) {
 	reg.CounterFunc("catfish_client_version_reads_total", m.VersionReads.Load)
 	reg.CounterFunc("catfish_client_batches_sent_total", m.BatchesSent.Load)
 	reg.CounterFunc("catfish_client_batched_ops_total", m.BatchedOps.Load)
+	reg.CounterFunc("catfish_prefetch_issued_total", m.PrefetchIssued.Load)
+	reg.CounterFunc("catfish_prefetch_hits_total", m.PrefetchHits.Load)
+	reg.CounterFunc("catfish_prefetch_waste_total", m.PrefetchWaste.Load)
+	reg.CounterFunc("catfish_client_read_wqes_total", m.ReadWQEs.Load)
+	reg.GaugeFunc("catfish_client_merge_ratio", m.MergeRatio)
 }
 
 // CacheStats is the node-cache counter subset sampled by RegisterCacheFuncs
 // (mirrors nodecache.Stats without importing it).
 type CacheStats struct {
 	Hits, VerifiedHits, Misses, Evictions, BytesSaved uint64
+	PrefetchHits, PrefetchWaste                       uint64
 }
 
 // RegisterCacheFuncs exposes the node-cache counters on reg, sampling f at
@@ -80,6 +106,8 @@ func RegisterCacheFuncs(reg *Registry, f func() CacheStats) {
 	reg.CounterFunc("catfish_client_cache_misses_total", func() uint64 { return f().Misses })
 	reg.CounterFunc("catfish_client_cache_evictions_total", func() uint64 { return f().Evictions })
 	reg.CounterFunc("catfish_client_cache_bytes_saved_total", func() uint64 { return f().BytesSaved })
+	reg.CounterFunc("catfish_client_cache_prefetch_hits_total", func() uint64 { return f().PrefetchHits })
+	reg.CounterFunc("catfish_client_cache_prefetch_waste_total", func() uint64 { return f().PrefetchWaste })
 }
 
 // ClientSnapshot is the unified client counter snapshot shared by both
@@ -110,6 +138,14 @@ type ClientSnapshot struct {
 	// Batching counters (see the transports' ExecBatch).
 	BatchesSent uint64 // fast-messaging batch containers sent
 	BatchedOps  uint64 // operations carried in those containers
+
+	// Prefetch and read-merging counters (see DESIGN.md §5.9).
+	PrefetchIssued     uint64 // speculative chunk reads posted
+	PrefetchHits       uint64 // speculative reads a demand lookup later used
+	PrefetchWaste      uint64 // speculative reads discarded unused
+	ReadWQEs           uint64 // read messages posted (merged spans count once)
+	CachePrefetchHits  uint64 // prefetched cache entries later demanded
+	CachePrefetchWaste uint64 // prefetched cache entries dropped unused
 }
 
 // Add accumulates other into s, field by field, and returns the sum —
@@ -134,6 +170,12 @@ func (s ClientSnapshot) Add(other ClientSnapshot) ClientSnapshot {
 	s.CacheBytesSaved += other.CacheBytesSaved
 	s.BatchesSent += other.BatchesSent
 	s.BatchedOps += other.BatchedOps
+	s.PrefetchIssued += other.PrefetchIssued
+	s.PrefetchHits += other.PrefetchHits
+	s.PrefetchWaste += other.PrefetchWaste
+	s.ReadWQEs += other.ReadWQEs
+	s.CachePrefetchHits += other.CachePrefetchHits
+	s.CachePrefetchWaste += other.CachePrefetchWaste
 	return s
 }
 
