@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/catfish-db/catfish/internal/cluster"
+	"github.com/catfish-db/catfish/internal/netmodel"
 	"github.com/catfish-db/catfish/internal/stats"
 	"github.com/catfish-db/catfish/internal/workload"
 )
@@ -369,6 +370,79 @@ func AblationShards(o Options) (*stats.Table, error) {
 			fmt.Sprintf("%.2f", fanout),
 			fmt.Sprintf("%.1f", res.OffloadFraction*100),
 			fmt.Sprintf("%.1f", res.ServerCPUUtil*100))
+	}
+	return table, nil
+}
+
+// AblationFetch compares the three access methods and both switch policies
+// in the two regimes remote result fetching targets (DESIGN.md §5.10). The
+// "large-scope" regime runs wide queries on the full-rate fabric: results
+// dominate the server's send-engine traffic, and the fetch arm must move
+// that payload onto the responder engine (readTX), cutting send-engine
+// bytes per search well below the fast-messaging arm's. The "mixed" regime
+// draws query scales from a power law spanning point lookups to wide scans
+// and narrows the NIC to a fraction of line rate, so the send engine — not
+// the CPU — saturates first: point lookups still favor fast messaging,
+// wide scans drown the send engine, and offloaded traversal pays for every
+// 4 KB node over the narrow wire. No static method wins both, which is
+// exactly the case for the 3-way switch. The inline threshold is pinned low
+// so result size, not the threshold, decides delivery; non-fetch arms
+// ignore it.
+func AblationFetch(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	items := newCache(o).uniformData()
+	clients := o.ablationClients()
+	table := stats.NewTable("workload", "scheme", "kops", "mean_lat_us",
+		"sendTX_KB_per_op", "readTX_gbps", "fetch%", "offload%", "serverCPU%")
+	// The mixed regime's fabric: InfiniBand timing with the line rate
+	// narrowed so wide-scan result traffic saturates the send engine.
+	narrow := netmodel.InfiniBand100G
+	narrow.Name = "ib-narrow"
+	narrow.BandwidthBps = 10e9
+	regimes := []struct {
+		name    string
+		gen     workload.QueryGen
+		profile netmodel.Profile
+	}{
+		{"large-scope", workload.UniformScale{Scale: 0.05}, netmodel.InfiniBand100G},
+		{"mixed", workload.PowerLawScale{Min: 0.00001, Max: 0.05, Exponent: -0.5}, narrow},
+	}
+	arms := []struct {
+		name   string
+		scheme cluster.Scheme
+	}{
+		{"fastmsg", cluster.SchemeFastEvent},
+		{"offload", cluster.SchemeOffloadMulti},
+		{"fetch", cluster.SchemeFetch},
+		{"catfish-2way", cluster.SchemeCatfish},
+		{"catfish-3way", cluster.SchemeCatfish3},
+	}
+	for _, rg := range regimes {
+		for _, arm := range arms {
+			sch := arm.scheme
+			sch.Profile = rg.profile
+			res, err := cluster.Run(cluster.Config{
+				Scheme:            sch,
+				Dataset:           items,
+				Workload:          searchMix(rg.gen),
+				NumClients:        clients,
+				RequestsPerClient: o.Requests,
+				ServerCores:       o.ServerCores,
+				HeartbeatInv:      o.HeartbeatInv,
+				FetchInlineMax:    16,
+				Seed:              o.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("ablation fetch %s/%s: %w", rg.name, arm.name, err)
+			}
+			sendBytes := res.ServerTXGbps * 1e9 / 8 * res.Makespan.Seconds()
+			table.AddRow(rg.name, arm.name, fmtKops(res.Kops), fmtDur(res.Latency.Mean),
+				fmt.Sprintf("%.2f", sendBytes/float64(res.Ops)/1024),
+				fmt.Sprintf("%.2f", res.ServerReadTXGbps),
+				fmt.Sprintf("%.1f", res.FetchFraction*100),
+				fmt.Sprintf("%.1f", res.OffloadFraction*100),
+				fmt.Sprintf("%.1f", res.ServerCPUUtil*100))
+		}
 	}
 	return table, nil
 }

@@ -257,6 +257,18 @@ func BenchmarkAblationChunkSize(b *testing.B) {
 	}
 }
 
+func BenchmarkAblationFetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := bench.AblationFetch(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.String())
+		}
+	}
+}
+
 func BenchmarkFrameworkKV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		table, err := bench.Framework(benchOptions())

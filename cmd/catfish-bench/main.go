@@ -34,7 +34,7 @@ func main() {
 func run() error {
 	var (
 		fig      = flag.String("fig", "", "figure to regenerate: 2,7,8,9,10,11,12,13,14,all")
-		ablation = flag.String("ablation", "", "ablation to run: n,t,heartbeat,multiissue,chunk,prefetch,shards,all")
+		ablation = flag.String("ablation", "", "ablation to run: n,t,heartbeat,multiissue,chunk,prefetch,fetch,shards,all")
 		quick    = flag.Bool("quick", false, "smoke-test sizes")
 		full     = flag.Bool("full", false, "the paper's exact parameters (slow)")
 		dataset  = flag.Int("dataset", 0, "override dataset size")
@@ -77,7 +77,7 @@ func run() error {
 		}
 	}
 	if *ablation != "" {
-		for _, a := range expand(*ablation, []string{"n", "t", "heartbeat", "multiissue", "batch", "chunk", "rootcache", "nodecache", "prefetch", "predictor", "shards", "framework"}) {
+		for _, a := range expand(*ablation, []string{"n", "t", "heartbeat", "multiissue", "batch", "chunk", "rootcache", "nodecache", "prefetch", "predictor", "fetch", "shards", "framework"}) {
 			if err := runAblation(a, opts); err != nil {
 				return err
 			}
@@ -200,6 +200,8 @@ func runAblation(name string, opts bench.Options) error {
 		t, err = bench.AblationPrefetch(opts)
 	case "predictor":
 		t, err = bench.AblationPredictor(opts)
+	case "fetch":
+		t, err = bench.AblationFetch(opts)
 	case "shards":
 		t, err = bench.AblationShards(opts)
 	case "framework":

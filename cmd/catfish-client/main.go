@@ -39,8 +39,10 @@ func run() error {
 		clients    = flag.Int("clients", 4, "concurrent client connections")
 		requests   = flag.Int("requests", 2000, "requests per client")
 		scale      = flag.Float64("scale", 0.001, "query scale (edges uniform in (0, scale])")
-		method     = flag.String("method", "fast", "search method: fast | offload")
+		method     = flag.String("method", "fast", "search method: fast | offload | fetch")
 		adaptive   = flag.Bool("adaptive", false, "run Algorithm 1 (overrides -method)")
+		fetch      = flag.Bool("fetch", false, "with -adaptive: enable the 3-way fetch branch")
+		txT        = flag.Float64("txt", 0, "TX-utilization threshold for the fetch branch (0 = default)")
 		multiIssue = flag.Bool("multiissue", false, "pipeline offloaded chunk reads")
 		nodeCache  = flag.Int("nodecache", 0, "node cache capacity in decoded internal nodes (0 = off)")
 		prefetch   = flag.Bool("prefetch", false, "speculatively extend offload span reads over preorder-adjacent subtrees")
@@ -73,16 +75,20 @@ func run() error {
 	}
 
 	forced := rpcnet.MethodFast
-	if *method == "offload" {
+	switch *method {
+	case "fast":
+	case "offload":
 		forced = rpcnet.MethodOffload
-	} else if *method != "fast" {
+	case "fetch":
+		forced = rpcnet.MethodFetch
+	default:
 		return fmt.Errorf("unknown method %q", *method)
 	}
 	addrs := strings.Split(*addr, ",")
 
 	type result struct {
 		hist   *stats.Histogram
-		stats  rpcnet.ClientStats
+		stats  catfish.ClientSnapshot
 		router catfish.ShardRouterStats
 		err    error
 	}
@@ -99,6 +105,8 @@ func run() error {
 			ccfg := catfish.NetClientConfig{
 				Adaptive:   *adaptive,
 				Forced:     forced,
+				Fetch:      *fetch || forced == rpcnet.MethodFetch,
+				TxT:        *txT,
 				MultiIssue: *multiIssue,
 				NodeCache:  *nodeCache,
 				MergeSpan:  *mergeSpan,
@@ -198,7 +206,7 @@ func run() error {
 	elapsed := time.Since(start)
 
 	total := stats.NewHistogram()
-	var agg rpcnet.ClientStats
+	var agg catfish.ClientSnapshot
 	var rt catfish.ShardRouterStats
 	for i, r := range results {
 		if r.err != nil {
@@ -216,8 +224,12 @@ func run() error {
 	fmt.Printf("ops: %d in %v  =>  %.1f Kops\n", s.Count, elapsed.Round(time.Millisecond),
 		float64(s.Count)/elapsed.Seconds()/1e3)
 	fmt.Printf("latency: mean=%v p50=%v p95=%v p99=%v max=%v\n", s.Mean, s.P50, s.P95, s.P99, s.Max)
-	fmt.Printf("fast=%d offload=%d chunk reads=%d torn retries=%d\n",
-		agg.FastSearches, agg.OffloadSearches, agg.NodesFetched, agg.TornRetries)
+	fmt.Printf("fast=%d offload=%d fetch=%d chunk reads=%d torn retries=%d\n",
+		agg.FastSearches, agg.OffloadSearches, agg.FetchSearches, agg.NodesFetched, agg.TornRetries)
+	if agg.FetchSearches > 0 {
+		fmt.Printf("fetch: pulls=%d bytes=%d inline=%d retries=%d fallbacks=%d\n",
+			agg.FetchPulls, agg.FetchBytes, agg.FetchInline, agg.FetchRetries, agg.FetchFallbacks)
+	}
 	if *batch > 1 {
 		fmt.Printf("batches: %d containers carrying %d ops (B=%d)\n",
 			agg.BatchesSent, agg.BatchedOps, *batch)

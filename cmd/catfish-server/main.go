@@ -42,6 +42,11 @@ func run() error {
 		shardIdx  = flag.Int("shard-index", 0, "this server's shard index, 0-based; every shard must be started with identical dataset flags")
 		maxInsert = flag.Float64("max-insert-edge", 1e-5, "largest rectangle edge clients will insert (widens shard coverage)")
 
+		fetchSlots  = flag.Int("fetch-slots", 0, "result-mailbox slots for remote result fetching (0 disables)")
+		fetchChunks = flag.Int("fetch-slot-chunks", 0, "chunks per mailbox slot (0 = default)")
+		fetchInline = flag.Int("fetch-inline", 0, "largest result answered inline instead of via the mailbox, in items (0 = default)")
+		txLineRate  = flag.Float64("tx-gbps", 0, "modelled NIC TX line rate in Gb/s for the heartbeat TX-utilization signal (0 disables the signal)")
+
 		metricsAddr = flag.String("metrics-addr", "", "admin HTTP listen address serving /metrics (Prometheus text), /traces (JSON), and /debug/pprof (empty disables)")
 		traceCap    = flag.Int("trace-cap", 1024, "trace ring capacity for /traces")
 		traceEvery  = flag.Int("trace-every", 1, "sample 1 in every N search requests into the trace ring")
@@ -113,6 +118,10 @@ func run() error {
 		MaxBatch:          *batch,
 		ShardMap:          smap,
 		ShardIndex:        *shardIdx,
+		FetchSlots:        *fetchSlots,
+		FetchSlotChunks:   *fetchChunks,
+		FetchInlineMax:    *fetchInline,
+		TXLineRateBps:     *txLineRate * 1e9,
 	}
 
 	// Admin endpoint: a registry (shard-labelled when part of a sharded

@@ -36,6 +36,14 @@ type Config struct {
 	// PredSmoothing > 0 selects an EWMA predictor with coefficient α;
 	// zero selects the paper's most-recent-value predictor.
 	PredSmoothing float64
+	// EnableFetch arms the third method: when the request is not inside an
+	// offload window and the predicted server TX (send-engine) utilization
+	// exceeds TxT, DecideMethod returns ChooseFetch. With EnableFetch false
+	// the switch is bit-for-bit the binary Algorithm 1 policy — the fetch
+	// branch consumes no randomness and touches none of the back-off state.
+	EnableFetch bool
+	// TxT is the busy threshold on predicted TX utilization (default 0.8).
+	TxT float64
 }
 
 func (c Config) withDefaults() Config {
@@ -48,7 +56,34 @@ func (c Config) withDefaults() Config {
 	if c.Inv == 0 {
 		c.Inv = 10 * time.Millisecond
 	}
+	if c.TxT == 0 {
+		c.TxT = 0.8
+	}
 	return c
+}
+
+// Choice is a 3-way access-method decision.
+type Choice int
+
+// The three access methods, in decision priority order: an open offload
+// window always wins (CPU saturation is the paper's primary signal); fetch
+// engages only when the CPU side is calm but the server's send engine is
+// the predicted bottleneck.
+const (
+	ChooseFast Choice = iota
+	ChooseOffload
+	ChooseFetch
+)
+
+func (c Choice) String() string {
+	switch c {
+	case ChooseOffload:
+		return "offload"
+	case ChooseFetch:
+		return "fetch"
+	default:
+		return "fast"
+	}
 }
 
 // Switch is the per-client Algorithm 1 state. Not safe for concurrent use.
@@ -66,6 +101,11 @@ type Switch struct {
 	// prediction without racing Decide.
 	predBits atomic.Uint64
 
+	// predTX / predTXBits are the TX-utilization twin of pred/predBits,
+	// fed by the heartbeat's TX word.
+	predTX     float64
+	predTXBits atomic.Uint64
+
 	// HeartbeatsSeen counts consumed heartbeats.
 	HeartbeatsSeen uint64
 }
@@ -80,10 +120,23 @@ func New(cfg Config, rng *rand.Rand) *Switch {
 // mailbox utilization (0 = no heartbeat, per the paper's u_serv ≠ 0
 // check) and clearHB performs the paper's memset(u_serv, 0).
 func (s *Switch) Decide(now time.Duration, readHB func() float64, clearHB func()) bool {
+	return s.DecideMethod(now, func() (float64, float64) { return readHB(), 0 }, clearHB) == ChooseOffload
+}
+
+// DecideMethod is the 3-way extension of Decide: readHB additionally
+// returns the heartbeat's TX-utilization word (0 when the server predates
+// the widened mailbox). The CPU-side back-off machinery is byte-identical
+// to Decide — same heartbeat gate, same predictor, same randomized window —
+// so with EnableFetch false (or a TX word that never crosses TxT) the
+// decision sequence is bit-for-bit the binary baseline. The fetch branch
+// is deterministic: it consumes no randomness, so arming it cannot perturb
+// the offload windows either.
+func (s *Switch) DecideMethod(now time.Duration, readHB func() (cpu, tx float64), clearHB func()) Choice {
 	if now-s.t0 > s.cfg.Inv {
-		if u := readHB(); u != 0 {
+		if u, utx := readHB(); u != 0 {
 			atomic.AddUint64(&s.HeartbeatsSeen, 1)
 			util := s.predict(u)
+			s.predictTX(utx)
 			clearHB()
 			s.t0 = now
 			if util > s.cfg.T && s.roff <= s.rbusy*s.cfg.N {
@@ -96,9 +149,12 @@ func (s *Switch) Decide(now time.Duration, readHB func() float64, clearHB func()
 	}
 	if s.roff > 0 {
 		s.roff--
-		return true
+		return ChooseOffload
 	}
-	return false
+	if s.cfg.EnableFetch && s.PredictedTX() > s.cfg.TxT {
+		return ChooseFetch
+	}
+	return ChooseFast
 }
 
 // predict applies the configured utilization predictor.
@@ -120,12 +176,37 @@ func (s *Switch) predict(latest float64) float64 {
 	return s.pred
 }
 
+// predictTX applies the same predictor to the TX-utilization word.
+func (s *Switch) predictTX(latest float64) {
+	a := s.cfg.PredSmoothing
+	if a <= 0 {
+		s.predTXBits.Store(math.Float64bits(latest))
+		return
+	}
+	if a > 1 {
+		a = 1
+	}
+	if s.predTX == 0 {
+		s.predTX = latest
+	} else {
+		s.predTX = a*latest + (1-a)*s.predTX
+	}
+	s.predTXBits.Store(math.Float64bits(s.predTX))
+}
+
 // PredictedUtil returns the utilization prediction used by the most recent
 // consumed heartbeat (0 before any heartbeat). Unlike the rest of the
 // switch it is safe to call concurrently with Decide, so telemetry gauges
 // can sample it live.
 func (s *Switch) PredictedUtil() float64 {
 	return math.Float64frombits(s.predBits.Load())
+}
+
+// PredictedTX returns the TX-utilization prediction from the most recent
+// consumed heartbeat (0 before any heartbeat, and always 0 against servers
+// whose heartbeats predate the TX word). Safe to call concurrently.
+func (s *Switch) PredictedTX() float64 {
+	return math.Float64frombits(s.predTXBits.Load())
 }
 
 // State exposes the back-off counters for tests and instrumentation.

@@ -2,6 +2,7 @@ package client
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/sim"
@@ -78,11 +79,19 @@ func (c *Client) ExecBatch(p *sim.Proc, ops []BatchOp, results []BatchResult) []
 			if c.cfg.Adaptive {
 				m = c.decide(p)
 			}
-			if m == MethodOffload {
+			switch {
+			case m == MethodOffload:
 				c.stats.OffloadSearches.Inc()
 				results[i].Method = MethodOffload
 				offload = append(offload, i)
-			} else {
+			case m == MethodFetch && !useTCP && c.ep.MailboxMem != nil && c.ep.FetchQP != nil:
+				// The request rides the same container, retyped; its result
+				// comes back as a descriptor (or inline segments) and the
+				// mailbox pulls run after the batch collect completes.
+				c.stats.FetchSearches.Inc()
+				results[i].Method = MethodFetch
+				wireOps = append(wireOps, wireOp{op: i, fetch: true})
+			default:
 				if wireMethod == MethodTCP {
 					c.stats.TCPSearches.Inc()
 				} else {
@@ -103,9 +112,14 @@ func (c *Client) ExecBatch(p *sim.Proc, ops []BatchOp, results []BatchResult) []
 		for j := range wireOps {
 			wireOps[j].id = c.nextID()
 			op := ops[wireOps[j].op]
-			results[wireOps[j].op].Method = wireMethod
+			typ := op.Type
+			if wireOps[j].fetch {
+				typ = wire.MsgSearchFetch
+			} else {
+				results[wireOps[j].op].Method = wireMethod
+			}
 			enc.Begin()
-			enc.Buf = wire.Request{Type: op.Type, ID: wireOps[j].id, Rect: op.Rect, Ref: op.Ref}.Encode(enc.Buf)
+			enc.Buf = wire.Request{Type: typ, ID: wireOps[j].id, Rect: op.Rect, Ref: op.Ref}.Encode(enc.Buf)
 			enc.End()
 		}
 		payload := enc.Bytes()
@@ -136,8 +150,9 @@ func (c *Client) ExecBatch(p *sim.Proc, ops []BatchOp, results []BatchResult) []
 
 // wireOp ties a messaging-group request ID back to its batch slot.
 type wireOp struct {
-	op int // index into ops/results
-	id uint64
+	op    int // index into ops/results
+	id    uint64
+	fetch bool // search routed to remote result fetching
 }
 
 // collectBatch folds batch response frames into results until every
@@ -149,11 +164,36 @@ func (c *Client) collectBatch(p *sim.Proc, ops []BatchOp, results []BatchResult,
 		idx[w.id] = w.op
 	}
 	remaining := len(wireOps)
+	// Descriptors of fetch-routed searches, pulled after the collect loop so
+	// the batch exchange itself never blocks on mailbox reads.
+	type pendingDesc struct {
+		op   int
+		desc wire.FetchDesc
+	}
+	var descs []pendingDesc
 
 	// handle folds one response segment; fold unwraps one transport frame.
 	handle := func(msg []byte) error {
-		if t, err := wire.PeekType(msg); err != nil || t != wire.MsgResponse {
-			return err // nil for stray non-response messages
+		t, err := wire.PeekType(msg)
+		if err != nil {
+			return err
+		}
+		if t == wire.MsgFetchDesc {
+			d, derr := wire.DecodeFetchDesc(msg)
+			if derr != nil {
+				return derr
+			}
+			i, ok := idx[d.ID]
+			if !ok {
+				return nil // descriptor from an abandoned exchange
+			}
+			descs = append(descs, pendingDesc{op: i, desc: d})
+			delete(idx, d.ID)
+			remaining--
+			return nil
+		}
+		if t != wire.MsgResponse {
+			return nil // stray non-response message
 		}
 		if err := wire.DecodeResponseInto(msg, &c.respBuf); err != nil {
 			return err
@@ -165,6 +205,9 @@ func (c *Client) collectBatch(p *sim.Proc, ops []BatchOp, results []BatchResult,
 		results[i].Items = append(results[i].Items, c.respBuf.Items...)
 		if c.respBuf.Final {
 			results[i].Err = opError(ops[i].Type, c.respBuf.Status)
+			if results[i].Method == MethodFetch {
+				c.stats.FetchInline.Inc()
+			}
 			delete(idx, c.respBuf.ID)
 			remaining--
 		}
@@ -199,6 +242,11 @@ func (c *Client) collectBatch(p *sim.Proc, ops []BatchOp, results []BatchResult,
 				results[i].Err = err
 			}
 		}
+		for _, pd := range descs {
+			if results[pd.op].Err == nil {
+				results[pd.op].Err = err
+			}
+		}
 	}
 
 	for remaining > 0 {
@@ -228,6 +276,25 @@ func (c *Client) collectBatch(p *sim.Proc, ops []BatchOp, results []BatchResult,
 			failAll(err)
 			return
 		}
+	}
+
+	// Pull phase: resolve every descriptor against the mailbox, in batch
+	// order for determinism. A pull past its retry budget re-executes the
+	// search over fast messaging, exactly like the unbatched fetch path.
+	sort.Slice(descs, func(i, j int) bool { return descs[i].op < descs[j].op })
+	for _, pd := range descs {
+		i := pd.op
+		if pd.desc.Status != wire.StatusOK {
+			results[i].Err = opError(wire.MsgSearch, pd.desc.Status)
+			continue
+		}
+		items, err := c.pullMailbox(p, pd.desc)
+		if err != nil {
+			c.stats.FetchFallbacks.Inc()
+			items, err = c.searchFast(p, ops[i].Rect)
+		}
+		results[i].Items = append(results[i].Items, items...)
+		results[i].Err = err
 	}
 }
 

@@ -35,6 +35,10 @@ const (
 	MethodOffload
 	// MethodTCP is the kernel-TCP baseline path.
 	MethodTCP
+	// MethodFetch is RFP-style remote result fetching: the server executes
+	// the search and deposits the result in a mailbox slot; the client pulls
+	// it with one-sided RDMA Reads (DESIGN.md §5.10).
+	MethodFetch
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +50,8 @@ func (m Method) String() string {
 		return "offload"
 	case MethodTCP:
 		return "tcp"
+	case MethodFetch:
+		return "fetch"
 	default:
 		return fmt.Sprintf("method(%d)", int(m))
 	}
@@ -86,6 +92,16 @@ type Config struct {
 	// keeps the paper's predictor (the most recent heartbeat value); the
 	// paper's §VI names smarter prediction as an extension point.
 	PredSmoothing float64
+
+	// Fetch arms the third access method in the adaptive switch: when the
+	// request is outside any offload window and the heartbeat's predicted
+	// send-engine TX utilization exceeds TxT, the search is executed by the
+	// server but its result is pulled from a mailbox slot with one-sided
+	// reads instead of being streamed back (DESIGN.md §5.10). Off, the
+	// decision sequence is bit-for-bit the binary Algorithm 1 policy.
+	Fetch bool
+	// TxT is the busy threshold on predicted TX utilization (default 0.8).
+	TxT float64
 
 	// CacheRoot keeps the last consistently-read root node and starts
 	// offloaded traversals from it, saving one RDMA Read per search (the
@@ -134,13 +150,6 @@ type Config struct {
 	// 0 for unsharded clients).
 	Shard int
 }
-
-// Stats is the unified per-client counter snapshot shared with the rpcnet
-// transport.
-//
-// Deprecated: use telemetry.ClientSnapshot (this alias is kept so existing
-// callers compile unchanged).
-type Stats = telemetry.ClientSnapshot
 
 // Client is one Catfish client (the paper runs up to 32 per machine).
 type Client struct {
@@ -223,6 +232,8 @@ func New(cfg Config) (*Client, error) {
 		T:             cfg.T,
 		Inv:           cfg.HeartbeatInv,
 		PredSmoothing: cfg.PredSmoothing,
+		EnableFetch:   cfg.Fetch,
+		TxT:           cfg.TxT,
 	}, cfg.Engine.Rand())
 	if cfg.Metrics != nil {
 		c.stats.Register(cfg.Metrics)
@@ -241,7 +252,7 @@ func New(cfg Config) (*Client, error) {
 // Stats returns a snapshot of the client counters. Counters are mutated
 // atomically, so the snapshot is safe to take while the simulation runs
 // (progress meters, tests under -race).
-func (c *Client) Stats() Stats {
+func (c *Client) Stats() telemetry.ClientSnapshot {
 	out := c.stats.Snapshot()
 	ns := c.ncache.Stats()
 	out.CacheHits = ns.Hits
@@ -317,6 +328,9 @@ func (c *Client) Search(p *sim.Proc, q geo.Rect) ([]wire.Item, Method, error) {
 	case MethodTCP:
 		c.stats.TCPSearches.Inc()
 		items, err = c.searchTCP(p, q)
+	case MethodFetch:
+		c.stats.FetchSearches.Inc()
+		items, err = c.searchFetch(p, q)
 	default:
 		m = MethodFast
 		c.stats.FastSearches.Inc()
@@ -334,6 +348,7 @@ func (c *Client) Search(p *sim.Proc, q geo.Rect) ([]wire.Item, Method, error) {
 				RBusy:        rbusy,
 				ROff:         roff,
 				PredUtil:     c.sw.PredictedUtil(),
+				PredTX:       c.sw.PredictedTX(),
 				OffloadReads: uint32(c.stats.NodesFetched.Load() - readsBefore),
 				TornRetries:  uint32(c.stats.TornRetries.Load() - tornBefore),
 				Latency:      lat,
@@ -379,20 +394,41 @@ func (c *Client) Delete(p *sim.Proc, r geo.Rect, ref uint64) error {
 }
 
 // decide runs the client module of the adaptive coordination
-// (Algorithm 1), delegating to the shared adaptive.Switch state machine —
-// see that package for the policy and its one documented deviation from
-// the paper's pseudocode.
+// (Algorithm 1 extended with the 3-way fetch branch), delegating to the
+// shared adaptive.Switch state machine — see that package for the policy
+// and its one documented deviation from the paper's pseudocode. A fetch
+// verdict against an endpoint without a mailbox (server started with
+// FetchSlots = 0) degrades to fast messaging.
 func (c *Client) decide(p *sim.Proc) Method {
-	if c.sw.Decide(p.Now(), c.readHeartbeat, c.clearHeartbeat) {
+	switch c.sw.DecideMethod(p.Now(), c.readHeartbeatBoth, c.clearHeartbeat) {
+	case adaptive.ChooseOffload:
 		return MethodOffload
+	case adaptive.ChooseFetch:
+		if c.ep.MailboxMem != nil {
+			return MethodFetch
+		}
+		return MethodFast
+	default:
+		return MethodFast
 	}
-	return MethodFast
 }
 
 // readHeartbeat returns the mailbox utilization (0 = no heartbeat, per the
 // paper's u_serv != 0 check).
 func (c *Client) readHeartbeat() float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(c.ep.HeartbeatM.Bytes()))
+}
+
+// readHeartbeatBoth additionally returns the heartbeat's TX-utilization
+// word (0 against servers whose mailboxes predate the widened layout).
+func (c *Client) readHeartbeatBoth() (float64, float64) {
+	b := c.ep.HeartbeatM.Bytes()
+	cpu := math.Float64frombits(binary.LittleEndian.Uint64(b))
+	tx := 0.0
+	if len(b) >= server.HeartbeatMailboxSize {
+		tx = math.Float64frombits(binary.LittleEndian.Uint64(b[24:]))
+	}
+	return cpu, tx
 }
 
 // clearHeartbeat is the paper's memset(u_serv, 0). Only the utilization

@@ -26,13 +26,15 @@ type rig struct {
 }
 
 type rigOpts struct {
-	mode      server.Mode
-	heartbeat time.Duration
-	staged    bool
-	items     int
-	tcpNet    bool
-	cores     int // server cores (default 28)
-	mergeSpan int // fabric merge span (0 = merging off)
+	mode        server.Mode
+	heartbeat   time.Duration
+	staged      bool
+	items       int
+	tcpNet      bool
+	cores       int // server cores (default 28)
+	mergeSpan   int // fabric merge span (0 = merging off)
+	fetchSlots  int // result-mailbox slots (0 = fetch disabled)
+	fetchInline int // inline threshold in items (0 = server default)
 }
 
 func newRig(t testing.TB, o rigOpts) *rig {
@@ -76,6 +78,8 @@ func newRig(t testing.TB, o rigOpts) *rig {
 		Mode:              o.mode,
 		HeartbeatInterval: o.heartbeat,
 		StagedNodeWrites:  o.staged,
+		FetchSlots:        o.fetchSlots,
+		FetchInlineMax:    o.fetchInline,
 	}
 	if o.mode == server.ModePolling {
 		cfg.PollCPU = sim.NewPollCPU(e, 28, 5*time.Microsecond)

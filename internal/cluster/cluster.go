@@ -41,7 +41,15 @@ type Scheme struct {
 	MultiIssue bool
 	// Heartbeats enables the utilization heartbeat (needed by Adaptive).
 	Heartbeats bool
+	// Fetch enables remote result fetching (DESIGN.md §5.10): the server
+	// registers a result mailbox and, with Adaptive, the switch runs the
+	// 3-way policy keyed on both the CPU and the TX heartbeat words. A
+	// Forced of client.MethodFetch implies the mailbox too.
+	Fetch bool
 }
+
+// fetchEnabled reports whether the server must register a result mailbox.
+func (s Scheme) fetchEnabled() bool { return s.Fetch || s.Forced == client.MethodFetch }
 
 // The paper's five schemes.
 var (
@@ -63,6 +71,14 @@ var (
 	SchemeFastEvent = Scheme{Name: "fastmsg-event", Profile: netmodel.InfiniBand100G, ServerMode: server.ModeEvent, Forced: client.MethodFast}
 	// SchemeOffloadMulti isolates multi-issue offloading (§IV-C ablation).
 	SchemeOffloadMulti = Scheme{Name: "offload-multi", Profile: netmodel.InfiniBand100G, ServerMode: server.ModePolling, Forced: client.MethodOffload, MultiIssue: true}
+	// SchemeFetch forces the RFP-style fetch access method for every search
+	// (DESIGN.md §5.10): server-executed searches, mailbox delivery, client
+	// pulls by one-sided READ.
+	SchemeFetch = Scheme{Name: "fetch", Profile: netmodel.InfiniBand100G, ServerMode: server.ModeEvent, Forced: client.MethodFetch, Fetch: true}
+	// SchemeCatfish3 is Catfish with the 3-way adaptive switch: fast
+	// messaging, offloading, or remote result fetching, keyed on the
+	// heartbeat's CPU and TX utilization words.
+	SchemeCatfish3 = Scheme{Name: "catfish-3way", Profile: netmodel.InfiniBand100G, ServerMode: server.ModeEvent, Adaptive: true, MultiIssue: true, Heartbeats: true, Fetch: true}
 )
 
 // Config describes one experiment run.
@@ -102,6 +118,18 @@ type Config struct {
 	N            int
 	T            float64
 	HeartbeatInv time.Duration
+
+	// TxT is the TX-utilization threshold of the 3-way switch's fetch
+	// branch (0 selects the adaptive package default). Only meaningful on a
+	// scheme with Fetch and Adaptive set.
+	TxT float64
+	// FetchSlots / FetchSlotChunks / FetchInlineMax shape the server's
+	// result mailbox on fetch-enabled schemes (0 selects the server
+	// defaults: slots = 4×NumClients capped to 256, 64-chunk slots,
+	// inline below one response segment).
+	FetchSlots      int
+	FetchSlotChunks int
+	FetchInlineMax  int
 
 	// MultiIssueDepth is the data QP send-queue depth (outstanding reads).
 	MultiIssueDepth int
@@ -165,8 +193,13 @@ type Result struct {
 
 	ServerCPUUtil   float64 // mean utilization over the run (0..1)
 	ServerUsefulCPU float64 // polling mode: fraction doing request work
-	ServerTXGbps    float64
-	ServerRXGbps    float64
+	// ServerTXGbps is the server NIC's send-engine rate — bytes the server
+	// CPU posted. ServerReadTXGbps is the responder-engine rate: READ
+	// response data (offload traversals, mailbox pulls) the NIC serves
+	// without CPU involvement. Their sum is the port rate.
+	ServerTXGbps     float64
+	ServerReadTXGbps float64
+	ServerRXGbps     float64
 
 	// Client is the unified client counter snapshot aggregated over every
 	// client in the run; the flattened counter fields below are derived
@@ -177,6 +210,13 @@ type Result struct {
 	TornRetries     uint64
 	StaleRestarts   uint64
 	NodesFetched    uint64
+
+	// FetchFraction is the share of searches served by remote result
+	// fetching; FetchSearches/FetchBytes flatten the corresponding Client
+	// counters for sweeps (zero on non-fetch schemes).
+	FetchFraction float64
+	FetchSearches uint64
+	FetchBytes    uint64
 
 	// Batches / BatchedOps aggregate the clients' batch containers sent and
 	// the operations they carried (zero when BatchSize <= 1).
@@ -234,6 +274,7 @@ type ShardResult struct {
 	OffloadFraction float64
 	CPUUtil         float64
 	TXGbps          float64
+	ReadTXGbps      float64
 	RXGbps          float64
 }
 
@@ -247,6 +288,9 @@ func (r *Result) applyClientSnapshot(agg telemetry.ClientSnapshot) {
 	r.NodesFetched = agg.NodesFetched
 	r.Batches = agg.BatchesSent
 	r.BatchedOps = agg.BatchedOps
+	r.FetchFraction = agg.FetchFraction()
+	r.FetchSearches = agg.FetchSearches
+	r.FetchBytes = agg.FetchBytes
 	r.VersionReads = agg.VersionReads
 	r.CacheHits = agg.CacheHits
 	r.CacheVerified = agg.CacheVerifiedHits
@@ -304,6 +348,14 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Cost == (netmodel.CostModel{}) {
 		c.Cost = netmodel.DefaultCostModel()
+	}
+	if c.Scheme.fetchEnabled() && c.FetchSlots == 0 {
+		// Enough slots that a full client population in fetch mode rarely
+		// exhausts the mailbox, without registering an unbounded region.
+		c.FetchSlots = 4 * c.NumClients
+		if c.FetchSlots > 256 {
+			c.FetchSlots = 256
+		}
 	}
 }
 
@@ -374,6 +426,11 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Scheme.Heartbeats {
 		srvCfg.HeartbeatInterval = cfg.HeartbeatInv
 	}
+	if cfg.Scheme.fetchEnabled() {
+		srvCfg.FetchSlots = cfg.FetchSlots
+		srvCfg.FetchSlotChunks = cfg.FetchSlotChunks
+		srvCfg.FetchInlineMax = cfg.FetchInlineMax
+	}
 	if cfg.Scheme.ServerMode == server.ModePolling {
 		srvCfg.PollCPU = sim.NewPollCPU(e, cfg.ServerCores, cfg.Cost.PollSlice)
 	}
@@ -406,6 +463,8 @@ func Run(cfg Config) (Result, error) {
 			NodeCache:     cfg.NodeCache,
 			PredSmoothing: cfg.PredSmoothing,
 			Prefetch:      cfg.Prefetch,
+			Fetch:         cfg.Scheme.fetchEnabled(),
+			TxT:           cfg.TxT,
 		}
 		if cfg.Scheme.TCP {
 			ep, err := srv.ConnectTCP(host, net)
@@ -527,6 +586,7 @@ func Run(cfg Config) (Result, error) {
 	if makespan > 0 {
 		res.Kops = float64(ops) / makespan.Seconds() / 1e3
 		res.ServerTXGbps = serverHost.TXGbps(makespan)
+		res.ServerReadTXGbps = serverHost.ReadTXGbps(makespan)
 		res.ServerRXGbps = serverHost.RXGbps(makespan)
 	}
 	if cfg.Scheme.ServerMode == server.ModePolling {

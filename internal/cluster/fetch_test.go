@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/catfish-db/catfish/internal/workload"
+)
+
+// TestNeverFetchMatchesBinaryBaseline pins the 3-way switch's compatibility
+// guarantee: with the fetch branch unreachable (TX threshold far above any
+// attainable utilization), catfish-3way must reproduce the binary catfish
+// baseline bit-for-bit — same makespan, same latency histogram, same counter
+// values — across batching and sharding variants.
+func TestNeverFetchMatchesBinaryBaseline(t *testing.T) {
+	cases := []struct {
+		name    string
+		seed    int64
+		clients int
+		batch   int
+		shards  int
+	}{
+		{"plain", 1, 4, 0, 1},
+		{"batched", 7, 3, 4, 1},
+		{"sharded", 11, 4, 0, 4},
+		{"sharded-batched", 3, 2, 4, 4},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			base := smallConfig(SchemeCatfish, tc.clients)
+			base.Seed = tc.seed
+			base.BatchSize = tc.batch
+			base.Shards = tc.shards
+
+			resBin, err := Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg3 := base
+			cfg3.Scheme = SchemeCatfish3
+			cfg3.TxT = 10 // unreachable: the fetch branch never fires
+			res3, err := Run(cfg3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res3.FetchSearches != 0 {
+				t.Fatalf("never-fetch run routed %d searches to fetch", res3.FetchSearches)
+			}
+
+			res3.Scheme = resBin.Scheme // the only field allowed to differ
+			if !reflect.DeepEqual(resBin, res3) {
+				t.Errorf("results diverged:\n  binary: makespan=%v kops=%v lat=%+v offload=%v\n  3-way:  makespan=%v kops=%v lat=%+v offload=%v",
+					resBin.Makespan, resBin.Kops, resBin.Latency, resBin.OffloadFraction,
+					res3.Makespan, res3.Kops, res3.Latency, res3.OffloadFraction)
+			}
+		})
+	}
+}
+
+// TestTCPSchemeIgnoresFetch checks the other compatibility edge: a TCP
+// scheme with the fetch flag set has no registered mailbox at the endpoint,
+// so the flag must be inert.
+func TestTCPSchemeIgnoresFetch(t *testing.T) {
+	base := smallConfig(SchemeTCP40G, 3)
+	resPlain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFetch := base
+	withFetch.Scheme.Fetch = true
+	resFetch, err := Run(withFetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resFetch.FetchSearches != 0 {
+		t.Fatalf("TCP run routed %d searches to fetch", resFetch.FetchSearches)
+	}
+	if !reflect.DeepEqual(resPlain, resFetch) {
+		t.Errorf("fetch flag changed a TCP run: %+v vs %+v", resPlain, resFetch)
+	}
+}
+
+// TestSchemeFetchDelivers runs the forced-fetch scheme with a query scale
+// big enough for multi-item results and an inline threshold of one item, so
+// mailbox delivery must actually happen and show up in both the client
+// counters and the responder-engine NIC split.
+func TestSchemeFetchDelivers(t *testing.T) {
+	cfg := smallConfig(SchemeFetch, 4)
+	cfg.Workload = workload.NewMix(workload.UniformScale{Scale: 0.02}, workload.SkewedInserts{Edge: 0.0001}, 0, 1<<32)
+	cfg.FetchInlineMax = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 4*50 {
+		t.Errorf("ops = %d, want 200", res.Ops)
+	}
+	if res.FetchSearches == 0 {
+		t.Fatal("forced-fetch run recorded no fetch searches")
+	}
+	if res.FetchFraction != 1 {
+		t.Errorf("fetch fraction = %v, want 1 under forced fetch", res.FetchFraction)
+	}
+	if res.FetchBytes == 0 {
+		t.Error("no mailbox bytes delivered despite inline threshold 1")
+	}
+	if res.Client.FetchFallbacks != 0 {
+		t.Errorf("fetch fallbacks = %d", res.Client.FetchFallbacks)
+	}
+	if res.ServerReadTXGbps <= 0 {
+		t.Errorf("responder-engine TX = %v, want > 0 (mailbox pulls)", res.ServerReadTXGbps)
+	}
+	if res.ServerStats.FetchSearches == 0 || res.ServerStats.FetchBytes == 0 {
+		t.Errorf("server fetch counters empty: %+v", res.ServerStats)
+	}
+}
+
+// TestSchemeCatfish3Runs exercises the 3-way scheme end to end with the
+// default thresholds — the adaptive path with fetch armed must complete and
+// stay correct regardless of which methods the switch picks.
+func TestSchemeCatfish3Runs(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		cfg := smallConfig(SchemeCatfish3, 4)
+		cfg.Shards = shards
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops != 4*50 {
+			t.Errorf("shards=%d: ops = %d, want 200", shards, res.Ops)
+		}
+		if res.Kops <= 0 || res.Makespan <= 0 {
+			t.Errorf("shards=%d: empty result %+v", shards, res)
+		}
+	}
+}

@@ -79,6 +79,11 @@ func runSharded(cfg Config) (Result, error) {
 		if cfg.Scheme.Heartbeats {
 			srvCfg.HeartbeatInterval = cfg.HeartbeatInv
 		}
+		if cfg.Scheme.fetchEnabled() {
+			srvCfg.FetchSlots = cfg.FetchSlots
+			srvCfg.FetchSlotChunks = cfg.FetchSlotChunks
+			srvCfg.FetchInlineMax = cfg.FetchInlineMax
+		}
 		if cfg.Scheme.ServerMode == server.ModePolling {
 			pollCPUs[s] = sim.NewPollCPU(e, cfg.ServerCores, cfg.Cost.PollSlice)
 			srvCfg.PollCPU = pollCPUs[s]
@@ -122,6 +127,8 @@ func runSharded(cfg Config) (Result, error) {
 				NodeCache:     cfg.NodeCache,
 				PredSmoothing: cfg.PredSmoothing,
 				Prefetch:      cfg.Prefetch,
+				Fetch:         cfg.Scheme.fetchEnabled(),
+				TxT:           cfg.TxT,
 			}
 			if cfg.Scheme.TCP {
 				ep, err := servers[s].ConnectTCP(host, net)
@@ -265,6 +272,7 @@ func runSharded(cfg Config) (Result, error) {
 		}
 		if makespan > 0 {
 			sr.TXGbps = serverHosts[s].TXGbps(makespan)
+			sr.ReadTXGbps = serverHosts[s].ReadTXGbps(makespan)
 			sr.RXGbps = serverHosts[s].RXGbps(makespan)
 		}
 		if cfg.Scheme.ServerMode == server.ModePolling {
@@ -289,8 +297,12 @@ func runSharded(cfg Config) (Result, error) {
 		res.ServerStats.Segments += st.Segments
 		res.ServerStats.Batches += st.Batches
 		res.ServerStats.BatchedOps += st.BatchedOps
+		res.ServerStats.FetchSearches += st.FetchSearches
+		res.ServerStats.FetchInline += st.FetchInline
+		res.ServerStats.FetchBytes += st.FetchBytes
 		res.ServerCPUUtil += sr.CPUUtil / float64(k)
 		res.ServerTXGbps += sr.TXGbps
+		res.ServerReadTXGbps += sr.ReadTXGbps
 		res.ServerRXGbps += sr.RXGbps
 		res.PerShard[s] = sr
 	}

@@ -48,12 +48,22 @@ func (n *Network) Engine() *sim.Engine { return n.e }
 func (n *Network) Profile() netmodel.Profile { return n.prof }
 
 // Host is one machine attached to the network: a NIC (TX/RX serialization
-// pipes) and optionally a CPU that kernel TCP processing is charged to.
+// pipes plus a responder-direction pipe for one-sided READ response data)
+// and optionally a CPU that kernel TCP processing is charged to.
 type Host struct {
 	name string
 	net  *Network
 	tx   *sim.Pipe
 	rx   *sim.Pipe
+	// rdtx serializes the TX-direction data of inbound one-sided READs:
+	// the NIC's hardware responder engine DMAs the requested bytes out
+	// without involving the host CPU or its send queue. Modelling it as a
+	// separate pipe captures RFP's verb asymmetry (arXiv:1512.07805):
+	// in-bound requests plus out-bound remote fetches leave the host's
+	// *send engine* (tx) carrying only what the CPU actually posts, which
+	// is exactly the signal the heartbeat's TX-utilization word reports
+	// and the 3-way switch acts on. Port-level TX is tx + rdtx.
+	rdtx *sim.Pipe
 	cpu  *sim.CPU
 }
 
@@ -66,6 +76,7 @@ func (n *Network) NewHost(name string, cpu *sim.CPU) *Host {
 		net:  n,
 		tx:   sim.NewPipe(n.prof.BandwidthBps),
 		rx:   sim.NewPipe(n.prof.BandwidthBps),
+		rdtx: sim.NewPipe(n.prof.BandwidthBps),
 		cpu:  cpu,
 	}
 }
@@ -76,17 +87,33 @@ func (h *Host) Name() string { return h.name }
 // CPU returns the host CPU (may be nil).
 func (h *Host) CPU() *sim.CPU { return h.cpu }
 
-// TXBytes returns total bytes sent (wire overhead included).
+// TXBytes returns total bytes sent by the host's send engine — messages
+// the CPU posted (wire overhead included). READ response data served by
+// the responder engine is accounted separately in ReadTXBytes.
 func (h *Host) TXBytes() uint64 { return h.tx.Bytes() }
+
+// ReadTXBytes returns total TX-direction bytes the NIC's responder engine
+// served for inbound one-sided READs (wire overhead included).
+func (h *Host) ReadTXBytes() uint64 { return h.rdtx.Bytes() }
+
+// PortTXBytes returns total TX-direction bytes on the wire: send engine
+// plus responder engine.
+func (h *Host) PortTXBytes() uint64 { return h.tx.Bytes() + h.rdtx.Bytes() }
 
 // RXBytes returns total bytes received (wire overhead included).
 func (h *Host) RXBytes() uint64 { return h.rx.Bytes() }
 
-// TXGbps returns the mean transmit rate over elapsed.
+// TXGbps returns the mean send-engine transmit rate over elapsed.
 func (h *Host) TXGbps(elapsed time.Duration) float64 { return h.tx.Gbps(elapsed) }
+
+// ReadTXGbps returns the mean responder-engine transmit rate over elapsed.
+func (h *Host) ReadTXGbps(elapsed time.Duration) float64 { return h.rdtx.Gbps(elapsed) }
 
 // RXGbps returns the mean receive rate over elapsed.
 func (h *Host) RXGbps(elapsed time.Duration) float64 { return h.rx.Gbps(elapsed) }
+
+// LineRateBps returns the NIC line rate, for windowed utilization math.
+func (h *Host) LineRateBps() float64 { return h.net.prof.BandwidthBps }
 
 // deliver books a message of size payload bytes from a to b posted at the
 // current virtual time and returns its delivery instant (remote memory
@@ -121,6 +148,23 @@ func (n *Network) deliverPost(from, to *Host, size int, kernel bool, postOH time
 		d = d - n.prof.KernelLatency + extra // sender-side latency already in post
 	}
 	return d
+}
+
+// deliverRead books the data leg of a one-sided READ response from the
+// target host back to the reader: the target's hardware responder engine
+// (rdtx pipe) serializes the bytes — its send engine and CPU are not
+// involved — and the reader's RX pipe receives them as usual.
+func (n *Network) deliverRead(from, to *Host, size int) time.Duration {
+	s := size + n.prof.WireOverheadBytes
+	now := n.e.Now()
+	post := now + n.prof.NICOverhead
+	txDone := from.rdtx.Reserve(post, s)
+	rxDone := to.rx.Reserve(post+n.prof.PropagationDelay, s)
+	d := txDone + n.prof.PropagationDelay
+	if rxDone > d {
+		d = rxDone
+	}
+	return d + n.prof.NICOverhead
 }
 
 // kernelDemand is the CPU cost of pushing one message of size bytes through

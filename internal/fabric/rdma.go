@@ -165,7 +165,9 @@ func (qp *QP) readPost(p *sim.Proc, src Readable, off, size int, tag uint64, pos
 			qp.sq.Release(1)
 			return
 		}
-		dataArrive := n.deliver(qp.remote, qp.local, size, false)
+		// Response data is served by the responder NIC's hardware read
+		// engine, not the remote host's send engine (see Host.rdtx).
+		dataArrive := n.deliverRead(qp.remote, qp.local, size)
 		n.e.After(dataArrive-n.e.Now(), func() {
 			qp.cq.Push(Completion{QP: qp, Op: OpReadDone, Tag: tag, Data: data, Len: size})
 			qp.sq.Release(1)
@@ -267,7 +269,7 @@ func (qp *QP) readPostMerged(p *sim.Proc, run []ReadReq, postOH time.Duration) e
 			qp.sq.Release(1)
 			return
 		}
-		dataArrive := n.deliver(qp.remote, qp.local, total, false)
+		dataArrive := n.deliverRead(qp.remote, qp.local, total)
 		n.e.After(dataArrive-n.e.Now(), func() {
 			at := 0
 			for i, tag := range tags {

@@ -101,6 +101,14 @@ type CostModel struct {
 	PerNodeWrite  time.Duration // per tree node republished
 	PerResultItem time.Duration // per result rectangle serialized
 
+	// PerFetchItem replaces PerResultItem when the result is delivered by
+	// remote fetch (RFP, arXiv:1512.07805): the server memcpys rectangles
+	// into the local mailbox slot instead of marshalling them into response
+	// frames and feeding the send engine, so the per-item CPU cost is a
+	// fraction of the messaging cost. The NIC's responder hardware serves
+	// the client's one-sided pull without server CPU involvement.
+	PerFetchItem time.Duration
+
 	// Client-side offloaded traversal.
 	ClientFixed   time.Duration // per-search setup
 	ClientPerNode time.Duration // decode + intersection checks per node
@@ -126,6 +134,7 @@ func DefaultCostModel() CostModel {
 		PerNodeRead:    1200 * time.Nanosecond,
 		PerNodeWrite:   2 * time.Microsecond,
 		PerResultItem:  60 * time.Nanosecond,
+		PerFetchItem:   15 * time.Nanosecond,
 		ClientFixed:    2 * time.Microsecond,
 		ClientPerNode:  1500 * time.Nanosecond,
 		BatchedOpFixed: 6 * time.Microsecond,
@@ -178,4 +187,28 @@ func (c CostModel) InsertDemand(nodesRead, nodesWritten int) time.Duration {
 // fetched node during offloaded traversal.
 func (c CostModel) ClientTraversalDemand(nodes int) time.Duration {
 	return time.Duration(nodes) * c.ClientPerNode
+}
+
+// FetchDemand returns the server CPU demand of a fetch-delivered search:
+// the traversal is identical to fast messaging, but results are copied
+// into the mailbox slot at PerFetchItem instead of marshalled and sent at
+// PerResultItem.
+func (c CostModel) FetchDemand(nodesRead, results int) time.Duration {
+	return c.SearchFixed +
+		time.Duration(nodesRead)*c.PerNodeRead +
+		time.Duration(results)*c.PerFetchItem
+}
+
+// FetchDemandBatched is FetchDemand for the i-th operation of a batch.
+func (c CostModel) FetchDemandBatched(i, nodesRead, results int) time.Duration {
+	return c.batchedFixed(i, c.SearchFixed) +
+		time.Duration(nodesRead)*c.PerNodeRead +
+		time.Duration(results)*c.PerFetchItem
+}
+
+// ClientFetchDemand returns the client CPU demand of pulling and decoding
+// a fetch result of the given item count — the work the client takes over
+// from the server in exchange for the server's TX/CPU savings.
+func (c CostModel) ClientFetchDemand(results int) time.Duration {
+	return c.ClientFixed + time.Duration(results)*c.PerResultItem
 }

@@ -1,0 +1,211 @@
+package region
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func newTestMailbox(t *testing.T, slots, slotChunks, chunkSize int) *Mailbox {
+	t.Helper()
+	reg, err := New(slots*slotChunks, chunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMailbox(reg, slots, slotChunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// pullSlot reads a slot the way a client does: DecodeChunk per chunk, then
+// AssembleMailbox against the descriptor.
+func pullSlot(t *testing.T, m *Mailbox, ref SlotRef) ([]byte, error) {
+	t.Helper()
+	reg := m.reg
+	cs := reg.ChunkSize()
+	first := ref.Slot * m.SlotChunks()
+	payloads := make([][]byte, ref.Chunks)
+	raw := make([]byte, cs)
+	for i := 0; i < ref.Chunks; i++ {
+		if err := reg.ReadChunkRaw(first+i, raw); err != nil {
+			return nil, err
+		}
+		p, _, err := DecodeChunk(raw, nil)
+		if err != nil {
+			return nil, err
+		}
+		payloads[i] = p
+	}
+	return AssembleMailbox(payloads, ref.Seq, ref.Bytes)
+}
+
+func TestMailboxRoundtrip(t *testing.T) {
+	m := newTestMailbox(t, 4, 4, 256)
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 20; round++ {
+		n := rng.Intn(m.Capacity() + 1)
+		payload := make([]byte, n)
+		rng.Read(payload)
+		slot, ok := m.Grant()
+		if !ok {
+			t.Fatalf("round %d: grant failed with free slots", round)
+		}
+		ref, err := m.WriteResult(slot, payload)
+		if err != nil {
+			t.Fatalf("round %d: write: %v", round, err)
+		}
+		if ref.Slot != slot || ref.Bytes != n {
+			t.Fatalf("round %d: descriptor %+v for slot %d / %d bytes", round, ref, slot, n)
+		}
+		if ref.Chunks != MailboxChunks(n, m.reg.PayloadSize()) {
+			t.Fatalf("round %d: descriptor chunks %d, MailboxChunks says %d",
+				round, ref.Chunks, MailboxChunks(n, m.reg.PayloadSize()))
+		}
+		got, err := pullSlot(t, m, ref)
+		if err != nil {
+			t.Fatalf("round %d: pull: %v", round, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round %d: payload mismatch (%d bytes)", round, n)
+		}
+		if !m.Reclaim(slot, ref.Seq) {
+			t.Fatalf("round %d: reclaim rejected fresh seq", round)
+		}
+	}
+}
+
+func TestMailboxStaleSlot(t *testing.T) {
+	m := newTestMailbox(t, 2, 2, 256)
+	slot, _ := m.Grant()
+	ref1, err := m.WriteResult(slot, bytes.Repeat([]byte{0xAA}, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slot is reused before the first descriptor's pull lands.
+	m.Reclaim(slot, ref1.Seq)
+	slot2, _ := m.Grant()
+	if _, err := m.WriteResult(slot2, bytes.Repeat([]byte{0xBB}, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if slot2 == slot {
+		if _, err := pullSlot(t, m, ref1); !errors.Is(err, ErrStaleSlot) {
+			t.Fatalf("stale pull error = %v, want ErrStaleSlot", err)
+		}
+	}
+	// A stale ack must not free the reused slot.
+	if m.Reclaim(slot, ref1.Seq) {
+		t.Fatal("stale ack reclaimed a reused slot")
+	}
+}
+
+func TestMailboxExhaustionAndCancel(t *testing.T) {
+	m := newTestMailbox(t, 2, 2, 256)
+	a, ok := m.Grant()
+	if !ok {
+		t.Fatal("grant a")
+	}
+	b, ok := m.Grant()
+	if !ok {
+		t.Fatal("grant b")
+	}
+	if _, ok := m.Grant(); ok {
+		t.Fatal("grant succeeded with no free slots")
+	}
+	if m.Exhausted() != 1 {
+		t.Fatalf("exhausted = %d, want 1", m.Exhausted())
+	}
+	used, total := m.Occupancy()
+	if used != 2 || total != 2 {
+		t.Fatalf("occupancy = %d/%d, want 2/2", used, total)
+	}
+	m.Cancel(a)
+	if used, _ := m.Occupancy(); used != 1 {
+		t.Fatalf("occupancy after cancel = %d, want 1", used)
+	}
+	ref, err := m.WriteResult(b, []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Reclaim(b, ref.Seq) {
+		t.Fatal("reclaim b")
+	}
+	if m.Granted() != 2 {
+		t.Fatalf("granted = %d, want 2", m.Granted())
+	}
+}
+
+func TestMailboxCapacityEnforced(t *testing.T) {
+	m := newTestMailbox(t, 1, 2, 256)
+	slot, _ := m.Grant()
+	if _, err := m.WriteResult(slot, make([]byte, m.Capacity()+1)); err == nil {
+		t.Fatal("over-capacity write accepted")
+	}
+	if _, err := m.WriteResult(slot, make([]byte, m.Capacity())); err != nil {
+		t.Fatalf("at-capacity write rejected: %v", err)
+	}
+}
+
+func TestMailboxRequiresFreshContiguousRegion(t *testing.T) {
+	reg, err := New(8, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMailbox(reg, 2, 2); err == nil {
+		t.Fatal("mailbox accepted a region with prior allocations")
+	}
+	reg2, err := New(8, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMailbox(reg2, 3, 4); err == nil {
+		t.Fatal("mailbox accepted a region too small for its geometry")
+	}
+}
+
+// TestMailboxConcurrentHammer drives Grant/WriteResult/pull/Reclaim from
+// many goroutines; run under -race this pins the allocator's and the
+// write path's synchronization (distinct slots touch distinct chunks).
+func TestMailboxConcurrentHammer(t *testing.T) {
+	m := newTestMailbox(t, 8, 2, 256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200; i++ {
+				slot, ok := m.Grant()
+				if !ok {
+					continue // every slot in flight; the server would go inline
+				}
+				n := rng.Intn(m.Capacity() + 1)
+				payload := make([]byte, n)
+				rng.Read(payload)
+				ref, err := m.WriteResult(slot, payload)
+				if err != nil {
+					t.Errorf("goroutine %d: write: %v", g, err)
+					m.Cancel(slot)
+					return
+				}
+				got, err := pullSlot(t, m, ref)
+				if err == nil && !bytes.Equal(got, payload) {
+					t.Errorf("goroutine %d: payload mismatch", g)
+					return
+				}
+				m.Reclaim(slot, ref.Seq)
+			}
+		}()
+	}
+	wg.Wait()
+	if used, _ := m.Occupancy(); used != 0 {
+		t.Fatalf("slots leaked: %d still in flight", used)
+	}
+}

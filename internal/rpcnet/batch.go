@@ -6,17 +6,22 @@ package rpcnet
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/wire"
 )
 
 // batchResult buffers one operation's outcome until the batch latch is
-// released and the segmented batch response can be written.
+// released and the segmented batch response can be written. A fetch-routed
+// search that made it into a mailbox slot carries its descriptor instead
+// of items.
 type batchResult struct {
-	id     uint64
-	status uint8
-	items  []wire.Item
+	id      uint64
+	status  uint8
+	items   []wire.Item
+	desc    wire.FetchDesc
+	hasDesc bool
 }
 
 // handleBatch executes a batch container under one latch acquisition: a
@@ -39,7 +44,7 @@ func (s *Server) handleBatch(sc *srvConn, payload []byte) error {
 		req, err := wire.DecodeRequest(msg)
 		if err != nil {
 			req = wire.Request{} // answered with an error response below
-		} else if req.Type != wire.MsgSearch {
+		} else if req.Type != wire.MsgSearch && req.Type != wire.MsgSearchFetch {
 			hasWrite = true
 		}
 		reqs = append(reqs, req)
@@ -80,6 +85,24 @@ func (s *Server) handleBatch(sc *srvConn, payload []byte) error {
 			if err == nil {
 				out.status = wire.StatusOK
 				out.items = items
+			}
+		case wire.MsgSearchFetch:
+			s.fetchSearches.Add(1)
+			var items []wire.Item
+			_, err := s.tree.SearchShared(req.Rect, func(r geo.Rect, ref uint64) bool {
+				items = append(items, wire.Item{Rect: r, Ref: ref})
+				return true
+			})
+			if err == nil {
+				out.status = wire.StatusOK
+				if desc, ok := s.tryMailboxDeliver(req.ID, items); ok {
+					s.fetchBytes.Add(uint64(desc.Bytes))
+					out.desc = desc
+					out.hasDesc = true
+				} else {
+					s.fetchInline.Add(1)
+					out.items = items
+				}
 			}
 		case wire.MsgInsert:
 			s.inserts.Add(1)
@@ -134,6 +157,17 @@ func (s *Server) respondBatch(sc *srvConn, res []batchResult) error {
 		return err
 	}
 	for _, r := range res {
+		if r.hasDesc {
+			if enc.Count() > 0 && enc.Len()+wire.FetchDescSize+wire.BatchOverhead(1) > limit {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+			enc.Begin()
+			enc.Buf = r.desc.Encode(enc.Buf)
+			enc.End()
+			continue
+		}
 		items := r.items
 		for {
 			seg := wire.Response{ID: r.id, Status: r.status}
@@ -179,8 +213,9 @@ type BatchResult struct {
 
 // wireOp ties a messaging-group request ID back to its batch slot.
 type wireOp struct {
-	op int // index into ops/results
-	id uint64
+	op    int // index into ops/results
+	id    uint64
+	fetch bool // search routed to remote result fetching
 }
 
 // ExecBatch executes ops as one client batch over the multiplexed TCP
@@ -223,11 +258,19 @@ func (c *Client) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 			if c.cfg.Adaptive {
 				m = c.decide()
 			}
-			if m == MethodOffload {
+			switch {
+			case m == MethodOffload:
 				c.stats.OffloadSearches.Inc()
 				results[i].Method = MethodOffload
 				offload = append(offload, i)
-			} else {
+			case m == MethodFetch && c.hello.FetchSlots > 0:
+				// The request rides the same container, retyped; its result
+				// comes back as a descriptor (or inline segments) and the
+				// mailbox pulls run after the batch collect completes.
+				c.stats.FetchSearches.Inc()
+				results[i].Method = MethodFetch
+				wireOps = append(wireOps, wireOp{op: i, fetch: true})
+			default:
 				c.stats.FastSearches.Inc()
 				wireOps = append(wireOps, wireOp{op: i})
 			}
@@ -241,6 +284,7 @@ func (c *Client) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 	// the offloaded traversals (a blocked collector would stall the read
 	// loop and deadlock the chunk reads).
 	var done chan struct{}
+	var descs []pendingDesc
 	if len(wireOps) > 0 {
 		ch := make(chan []byte, 64)
 		c.mu.Lock()
@@ -264,9 +308,14 @@ func (c *Client) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 			enc.Reset((*buf)[:0])
 			for _, w := range wireOps {
 				op := ops[w.op]
-				results[w.op].Method = MethodFast
+				typ := op.Type
+				if w.fetch {
+					typ = wire.MsgSearchFetch
+				} else {
+					results[w.op].Method = MethodFast
+				}
 				enc.Begin()
-				enc.Buf = wire.Request{Type: op.Type, ID: w.id, Rect: op.Rect, Ref: op.Ref}.Encode(enc.Buf)
+				enc.Buf = wire.Request{Type: typ, ID: w.id, Rect: op.Rect, Ref: op.Ref}.Encode(enc.Buf)
 				enc.End()
 			}
 			payload := enc.Bytes()
@@ -283,7 +332,7 @@ func (c *Client) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 				}
 			} else {
 				done = make(chan struct{})
-				go c.collectBatch(ch, ops, results, wireOps, done)
+				go c.collectBatch(ch, ops, results, wireOps, &descs, done)
 			}
 		}
 	}
@@ -304,13 +353,42 @@ func (c *Client) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 		}
 		c.mu.Unlock()
 	}
+
+	// Pull phase: resolve every fetch descriptor against the mailbox, in
+	// batch order for determinism. A pull past its retry budget re-executes
+	// the search over fast messaging, exactly like the unbatched fetch path.
+	sort.Slice(descs, func(i, j int) bool { return descs[i].op < descs[j].op })
+	for _, pd := range descs {
+		i := pd.op
+		if pd.desc.Status != wire.StatusOK {
+			results[i].Err = batchOpError(wire.MsgSearch, pd.desc.Status)
+			continue
+		}
+		items, err := c.pullMailbox(pd.desc)
+		if err != nil {
+			c.stats.FetchFallbacks.Inc()
+			items, err = c.searchFast(ops[i].Rect)
+		}
+		results[i].Items = append(results[i].Items, items...)
+		results[i].Err = err
+	}
 	return results
 }
 
+// pendingDesc is a fetch descriptor collected during the batch exchange,
+// pulled after the collect loop completes so the batch itself never blocks
+// on mailbox reads.
+type pendingDesc struct {
+	op   int
+	desc wire.FetchDesc
+}
+
 // collectBatch folds delivered response segments into results until every
-// messaging-group operation has received its END segment.
+// messaging-group operation has received its END segment or, for a
+// fetch-routed search, its mailbox descriptor (recorded into descs for the
+// pull phase that runs after this collector finishes).
 func (c *Client) collectBatch(ch chan []byte, ops []BatchOp, results []BatchResult,
-	wireOps []wireOp, done chan struct{}) {
+	wireOps []wireOp, descs *[]pendingDesc, done chan struct{}) {
 	defer close(done)
 	idx := make(map[uint64]int, len(wireOps))
 	for _, w := range wireOps {
@@ -325,7 +403,30 @@ func (c *Client) collectBatch(ch chan []byte, ops []BatchOp, results []BatchResu
 					results[i].Err = ErrClosed
 				}
 			}
+			for _, pd := range *descs {
+				if results[pd.op].Err == nil {
+					results[pd.op].Err = ErrClosed
+				}
+			}
 			return
+		}
+		typ, terr := wire.PeekType(frame)
+		if terr != nil {
+			continue
+		}
+		if typ == wire.MsgFetchDesc {
+			d, derr := wire.DecodeFetchDesc(frame)
+			if derr != nil {
+				continue
+			}
+			i, ok := idx[d.ID]
+			if !ok {
+				continue
+			}
+			*descs = append(*descs, pendingDesc{op: i, desc: d})
+			delete(idx, d.ID)
+			remaining--
+			continue
 		}
 		resp, err := wire.DecodeResponse(frame)
 		if err != nil {
@@ -338,6 +439,9 @@ func (c *Client) collectBatch(ch chan []byte, ops []BatchOp, results []BatchResu
 		results[i].Items = append(results[i].Items, resp.Items...)
 		if resp.Final {
 			results[i].Err = batchOpError(ops[i].Type, resp.Status)
+			if results[i].Method == MethodFetch {
+				c.stats.FetchInline.Inc()
+			}
 			delete(idx, resp.ID)
 			remaining--
 		}

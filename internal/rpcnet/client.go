@@ -28,7 +28,23 @@ type Method int
 const (
 	MethodFast Method = iota + 1
 	MethodOffload
+	// MethodFetch is RFP-style remote result fetching: the server executes
+	// the search into a mailbox slot and the client pulls the slot with
+	// READ_MAILBOX requests (DESIGN.md §5.10).
+	MethodFetch
 )
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodOffload:
+		return "offload"
+	case MethodFetch:
+		return "fetch"
+	default:
+		return "fast"
+	}
+}
 
 // Errors.
 var (
@@ -46,6 +62,11 @@ type ClientConfig struct {
 	// N and T are Algorithm 1's parameters (defaults 8 and 0.95).
 	N int
 	T float64
+	// Fetch arms the 3-way switch's fetch branch (effective only against a
+	// server whose hello advertises mailbox slots); TxT is its threshold on
+	// the heartbeat's predicted TX utilization (default 0.8).
+	Fetch bool
+	TxT   float64
 	// MultiIssue pipelines chunk reads during offloaded traversal.
 	MultiIssue bool
 	// MaxRestarts / MaxChunkRetries bound staleness recovery.
@@ -88,14 +109,6 @@ type ClientConfig struct {
 	Shard int
 }
 
-// ClientStats is the unified per-client counter snapshot shared with the
-// simulation transport. The traversal read counter is NodesFetched
-// (formerly ChunksFetched — the same quantity).
-//
-// Deprecated: use telemetry.ClientSnapshot (this alias is kept so existing
-// callers compile unchanged).
-type ClientStats = telemetry.ClientSnapshot
-
 // Client is a Catfish client over real TCP. It is safe for use by one
 // goroutine at a time (like net.Conn-based request/response clients); the
 // internal reader goroutine handles asynchronous heartbeats.
@@ -113,8 +126,11 @@ type Client struct {
 	readerr error
 	done    chan struct{}
 
-	// u_serv: the latest unconsumed heartbeat (0 = none).
-	heartbeat atomic.Uint64 // float64 bits
+	// u_serv: the latest unconsumed heartbeat (0 = none); heartbeatTX is
+	// the TX-utilization word riding the same frame (0 against servers
+	// that predate it).
+	heartbeat   atomic.Uint64 // float64 bits
+	heartbeatTX atomic.Uint64 // float64 bits
 	// lastHB is the arrival time of the most recent heartbeat frame (as
 	// nanoseconds since c.start; 0 = none yet). Unlike the u_serv word,
 	// which Algorithm 1 consumes, arrival time survives reads — it is what
@@ -185,9 +201,11 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 			int(hello.ChunkSize), versionsSize)
 	}
 	c.sw = adaptive.New(adaptive.Config{
-		N:   cfg.N,
-		T:   cfg.T,
-		Inv: time.Duration(hello.HeartbeatMs) * time.Millisecond,
+		N:           cfg.N,
+		T:           cfg.T,
+		Inv:         time.Duration(hello.HeartbeatMs) * time.Millisecond,
+		EnableFetch: cfg.Fetch && hello.FetchSlots > 0,
+		TxT:         cfg.TxT,
 	}, rand.New(rand.NewSource(cfg.Seed+time.Now().UnixNano())))
 	if cfg.Metrics != nil {
 		c.stats.Register(cfg.Metrics)
@@ -212,7 +230,7 @@ func (c *Client) Close() error {
 }
 
 // Stats returns a snapshot of the counters.
-func (c *Client) Stats() ClientStats {
+func (c *Client) Stats() telemetry.ClientSnapshot {
 	out := c.stats.Snapshot()
 	ns := c.ncache.Stats()
 	out.CacheHits = ns.Hits
@@ -286,6 +304,7 @@ func (c *Client) readLoop() {
 		case wire.MsgHeartbeat:
 			if hb, err := wire.DecodeHeartbeat(frame); err == nil {
 				c.heartbeat.Store(floatBits(hb.Util))
+				c.heartbeatTX.Store(floatBits(hb.TXUtil))
 				c.lastHB.Store(int64(time.Since(c.start)))
 				c.stats.HeartbeatsSeen.Inc()
 				// A root rewrite demotes every cached node to the
@@ -310,6 +329,10 @@ func (c *Client) readLoop() {
 			if sd, err := wire.DecodeSpanData(frame); err == nil {
 				c.deliver(sd.ID, frame)
 			}
+		case wire.MsgFetchDesc:
+			if d, err := wire.DecodeFetchDesc(frame); err == nil {
+				c.deliver(d.ID, frame)
+			}
 		case wire.MsgShardMapData:
 			if md, err := wire.DecodeShardMapData(frame); err == nil {
 				c.deliver(md.ID, frame)
@@ -326,7 +349,17 @@ func (c *Client) readLoop() {
 				if !ok {
 					break
 				}
-				if t, err := wire.PeekType(msg); err != nil || t != wire.MsgResponse {
+				t, err := wire.PeekType(msg)
+				if err != nil {
+					continue
+				}
+				if t == wire.MsgFetchDesc {
+					if d, err := wire.DecodeFetchDesc(msg); err == nil {
+						c.deliver(d.ID, msg)
+					}
+					continue
+				}
+				if t != wire.MsgResponse {
 					continue
 				}
 				if resp, err := wire.DecodeResponse(msg); err == nil {
@@ -452,36 +485,30 @@ func (c *Client) Search(q geo.Rect) ([]wire.Item, Method, error) {
 	}
 	var items []wire.Item
 	var err error
-	if m == MethodOffload {
+	switch m {
+	case MethodOffload:
 		c.stats.OffloadSearches.Inc()
 		items, err = c.searchOffload(q)
-	} else {
+	case MethodFetch:
+		c.stats.FetchSearches.Inc()
+		items, err = c.searchFetch(q)
+	default:
 		c.stats.FastSearches.Inc()
-		var resp wire.Response
-		resp, err = c.roundTrip(wire.Request{Type: wire.MsgSearch, ID: c.reqID.Add(1), Rect: q})
-		if err == nil && resp.Status != wire.StatusOK {
-			err = fmt.Errorf("%w: status %d", ErrServer, resp.Status)
-		}
-		if err == nil {
-			items = resp.Items
-		}
+		items, err = c.searchFast(q)
 	}
 	if tracing || c.latHist != nil {
 		lat := time.Since(c.start) - start
 		c.latHist.Record(lat)
 		if tracing {
-			method := "fast"
-			if m == MethodOffload {
-				method = "offload"
-			}
 			rbusy, roff := c.sw.State()
 			tr := telemetry.Trace{
 				Start:        start,
-				Method:       method,
+				Method:       m.String(),
 				Shard:        c.cfg.Shard,
 				RBusy:        rbusy,
 				ROff:         roff,
 				PredUtil:     c.sw.PredictedUtil(),
+				PredTX:       c.sw.PredictedTX(),
 				OffloadReads: uint32(c.stats.NodesFetched.Load() - readsBefore),
 				TornRetries:  uint32(c.stats.TornRetries.Load() - tornBefore),
 				Latency:      lat,
@@ -528,16 +555,193 @@ func (c *Client) Delete(r geo.Rect, ref uint64) error {
 	}
 }
 
-// decide runs Algorithm 1 against wall-clock time via the shared
-// adaptive.Switch (see that package for the policy).
+// decide runs Algorithm 1 (extended with the 3-way fetch branch) against
+// wall-clock time via the shared adaptive.Switch (see that package for the
+// policy).
 func (c *Client) decide() Method {
-	off := c.sw.Decide(time.Since(c.start),
-		func() float64 { return floatFromBits(c.heartbeat.Load()) },
-		func() { c.heartbeat.Store(0) })
-	if off {
+	switch c.sw.DecideMethod(time.Since(c.start),
+		func() (float64, float64) {
+			return floatFromBits(c.heartbeat.Load()), floatFromBits(c.heartbeatTX.Load())
+		},
+		func() { c.heartbeat.Store(0) }) {
+	case adaptive.ChooseOffload:
 		return MethodOffload
+	case adaptive.ChooseFetch:
+		if c.hello.FetchSlots > 0 {
+			return MethodFetch
+		}
+		return MethodFast
+	default:
+		return MethodFast
 	}
-	return MethodFast
+}
+
+// searchFast runs a plain fast-messaging search round trip.
+func (c *Client) searchFast(q geo.Rect) ([]wire.Item, error) {
+	resp, err := c.roundTrip(wire.Request{Type: wire.MsgSearch, ID: c.reqID.Add(1), Rect: q})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != wire.StatusOK {
+		return nil, fmt.Errorf("%w: status %d", ErrServer, resp.Status)
+	}
+	return resp.Items, nil
+}
+
+// searchFetch executes a search by remote result fetching: SEARCH_FETCH,
+// then either an inline response or a descriptor followed by READ_MAILBOX
+// pulls of the slot (DESIGN.md §5.10). A pull past its retry budget falls
+// back to a fast-messaging re-execution.
+func (c *Client) searchFetch(q geo.Rect) ([]wire.Item, error) {
+	if c.hello.FetchSlots == 0 {
+		return c.searchFast(q)
+	}
+	id := c.reqID.Add(1)
+	ch := make(chan []byte, 8)
+	c.mu.Lock()
+	if c.readerr != nil {
+		err := c.readerr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	c.waiters[id] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+	}()
+
+	buf := wire.GetBuf()
+	*buf = wire.Request{Type: wire.MsgSearchFetch, ID: id, Rect: q}.Encode((*buf)[:0])
+	c.sendMu.Lock()
+	err := writeFrame(c.conn, *buf)
+	c.sendMu.Unlock()
+	wire.PutBuf(buf)
+	if err != nil {
+		return nil, err
+	}
+	var out wire.Response
+	for {
+		frame, err := waitMore(ch)
+		if err != nil {
+			return nil, err
+		}
+		typ, err := wire.PeekType(frame)
+		if err != nil {
+			return nil, err
+		}
+		if typ == wire.MsgFetchDesc {
+			desc, derr := wire.DecodeFetchDesc(frame)
+			if derr != nil {
+				return nil, derr
+			}
+			if desc.Status != wire.StatusOK {
+				return nil, fmt.Errorf("%w: fetch status %d", ErrServer, desc.Status)
+			}
+			items, perr := c.pullMailbox(desc)
+			if perr != nil {
+				c.stats.FetchFallbacks.Inc()
+				return c.searchFast(q)
+			}
+			return items, nil
+		}
+		resp, derr := wire.DecodeResponse(frame)
+		if derr != nil {
+			return nil, derr
+		}
+		out.Status = resp.Status
+		out.Items = append(out.Items, resp.Items...)
+		if resp.Final {
+			if out.Status != wire.StatusOK {
+				return nil, fmt.Errorf("%w: fetch status %d", ErrServer, out.Status)
+			}
+			c.stats.FetchInline.Inc()
+			return out.Items, nil
+		}
+	}
+}
+
+// pullMailbox reads the slot named by desc with READ_MAILBOX round trips
+// (the TCP stand-in for one-sided reads), validating each chunk through the
+// seqlock surface and the slot header, and acknowledges the slot on
+// success. Torn or stale snapshots retry up to MaxChunkRetries.
+func (c *Client) pullMailbox(desc wire.FetchDesc) ([]wire.Item, error) {
+	cs := int(c.hello.ChunkSize)
+	payloadSize := cs / region.CacheLine * region.LineData
+	chunks := region.MailboxChunks(int(desc.Bytes), payloadSize)
+	slotChunks := int(c.hello.FetchSlotChunks)
+	if chunks > slotChunks {
+		return nil, fmt.Errorf("%w: descriptor %d B exceeds slot", ErrServer, desc.Bytes)
+	}
+	base := int(desc.Slot) * slotChunks
+	payloads := make([][]byte, chunks)
+	for retry := 0; retry <= c.cfg.MaxChunkRetries; retry++ {
+		torn := false
+		for at := 0; at < chunks; {
+			cnt := chunks - at
+			if cnt > maxSpanChunks {
+				cnt = maxSpanChunks
+			}
+			tag := c.reqID.Add(1)
+			c.stats.FetchPulls.Add(uint64(cnt))
+			c.stats.ReadWQEs.Inc()
+			frame, err := c.call(tag, wire.ReadMailbox{ID: tag, Chunk: uint32(base + at), Count: uint32(cnt)}.Encode(nil))
+			if err != nil {
+				return nil, err
+			}
+			sd, err := wire.DecodeSpanData(frame)
+			if err != nil {
+				return nil, err
+			}
+			if sd.Status != wire.StatusOK {
+				return nil, fmt.Errorf("%w: mailbox read status %d", ErrServer, sd.Status)
+			}
+			if len(sd.Raw) != cnt*cs {
+				return nil, fmt.Errorf("%w: mailbox read short reply", ErrServer)
+			}
+			for k := 0; k < cnt; k++ {
+				payload, _, derr := region.DecodeChunk(sd.Raw[k*cs:(k+1)*cs], nil)
+				if derr != nil {
+					if errors.Is(derr, region.ErrTornRead) {
+						torn = true
+						continue
+					}
+					return nil, derr
+				}
+				payloads[at+k] = payload
+			}
+			at += cnt
+		}
+		if torn {
+			c.stats.FetchRetries.Inc()
+			continue
+		}
+		buf, err := region.AssembleMailbox(payloads[:chunks], desc.Seq, int(desc.Bytes))
+		if err != nil {
+			if errors.Is(err, region.ErrStaleSlot) {
+				c.stats.FetchRetries.Inc()
+				continue
+			}
+			return nil, err
+		}
+		items, err := wire.DecodeItems(buf, int(desc.Count))
+		if err != nil {
+			return nil, err
+		}
+		c.stats.FetchBytes.Add(uint64(desc.Bytes))
+		c.sendFetchAck(desc)
+		return items, nil
+	}
+	return nil, ErrGaveUp
+}
+
+// sendFetchAck returns the slot to the server, fire-and-forget.
+func (c *Client) sendFetchAck(desc wire.FetchDesc) {
+	payload := wire.FetchAck{Slot: desc.Slot, Seq: desc.Seq}.Encode(nil)
+	c.sendMu.Lock()
+	_ = writeFrame(c.conn, payload)
+	c.sendMu.Unlock()
 }
 
 // fetchChunk reads one chunk with version validation and decodes it,

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/region"
 	"github.com/catfish-db/catfish/internal/rtree"
 	"github.com/catfish-db/catfish/internal/shard"
 	"github.com/catfish-db/catfish/internal/telemetry"
@@ -78,6 +79,24 @@ type ServerConfig struct {
 	// answered with a single error response (0 selects the wire limit).
 	MaxBatch int
 
+	// FetchSlots enables remote result fetching (DESIGN.md §5.10): the
+	// server keeps that many mailbox slots in a dedicated region and
+	// answers SEARCH_FETCH requests with a descriptor instead of streaming
+	// items, the client pulling the slot with READ_MAILBOX requests. 0
+	// disables fetch (the hello advertises no mailbox).
+	FetchSlots int
+	// FetchSlotChunks is the size of one mailbox slot in region chunks
+	// (0 selects 64).
+	FetchSlotChunks int
+	// FetchInlineMax is the result size, in items, at or below which a
+	// SEARCH_FETCH is answered inline (0 selects MaxSegmentItems).
+	FetchInlineMax int
+	// TXLineRateBps is the NIC line rate, in bits per second, used to turn
+	// the server's measured outbound byte rate into the heartbeat's
+	// TX-utilization word. 0 reports 0 TX utilization (the 3-way switch
+	// never picks fetch adaptively; forced fetch still works).
+	TXLineRateBps float64
+
 	// ShardMap and ShardIndex identify this server's place in a sharded
 	// deployment: the hello advertises the map version and shard position,
 	// and MsgShardMap requests are answered with the full map so routers
@@ -124,6 +143,20 @@ type Server struct {
 	batches    atomic.Uint64
 	batchedOps atomic.Uint64
 
+	// Remote result fetching: the mailbox lives in its own region so slot
+	// traffic never touches the tree region's allocator. txBytes counts
+	// every outbound frame byte (the send-engine analogue the heartbeat's
+	// TX word reports); hbTXBytes is its value at the last heartbeat.
+	mailbox       *region.Mailbox
+	mreg          *region.Region
+	txBytes       atomic.Uint64
+	hbTXBytes     atomic.Uint64
+	fetchSearches atomic.Uint64
+	fetchInline   atomic.Uint64
+	fetchBytes    atomic.Uint64
+	mailboxReads  atomic.Uint64
+	lastTXUtil    telemetry.Gauge
+
 	// offloadEst estimates offloaded searches: every client traversal
 	// starts with a READ_CHUNK of the root, so root reads ≈ offloaded
 	// searches (root-cache hits aside). rootChunkA mirrors the current root
@@ -141,12 +174,16 @@ type Server struct {
 
 type srvConn struct {
 	c  net.Conn
-	mu sync.Mutex // serializes frame writes
+	mu sync.Mutex     // serializes frame writes
+	tx *atomic.Uint64 // server-wide outbound byte counter
 }
 
 func (sc *srvConn) send(payload []byte) error {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
+	if sc.tx != nil {
+		sc.tx.Add(uint64(len(payload)) + 4)
+	}
 	return writeFrame(sc.c, payload)
 }
 
@@ -160,6 +197,12 @@ func Listen(addr string, tree *rtree.Tree, cfg ServerConfig) (*Server, error) {
 	if cfg.MaxSegmentItems == 0 {
 		cfg.MaxSegmentItems = 4096 / wire.ItemSize
 	}
+	if cfg.FetchSlotChunks == 0 {
+		cfg.FetchSlotChunks = 64
+	}
+	if cfg.FetchInlineMax == 0 {
+		cfg.FetchInlineMax = cfg.MaxSegmentItems
+	}
 	s := &Server{
 		cfg:   cfg,
 		tree:  tree,
@@ -169,6 +212,20 @@ func Listen(addr string, tree *rtree.Tree, cfg ServerConfig) (*Server, error) {
 		start: time.Now(),
 	}
 	s.rootChunkA.Store(int64(tree.RootChunk()))
+	if cfg.FetchSlots > 0 {
+		mreg, err := region.New(cfg.FetchSlots*cfg.FetchSlotChunks, tree.Region().ChunkSize())
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		mb, err := region.NewMailbox(mreg, cfg.FetchSlots, cfg.FetchSlotChunks)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.mreg = mreg
+		s.mailbox = mb
+	}
 	if reg := cfg.Metrics; reg != nil {
 		reg.CounterFunc("catfish_server_fast_searches_total", s.searches.Load)
 		reg.CounterFunc("catfish_server_offload_searches_total", s.offloadEst.Load)
@@ -181,6 +238,22 @@ func Listen(addr string, tree *rtree.Tree, cfg ServerConfig) (*Server, error) {
 		reg.CounterFunc("catfish_server_batches_total", s.batches.Load)
 		reg.CounterFunc("catfish_server_batched_ops_total", s.batchedOps.Load)
 		reg.GaugeFunc("catfish_server_utilization", s.lastUtil.Load)
+		reg.GaugeFunc("catfish_server_tx_utilization", s.lastTXUtil.Load)
+		reg.CounterFunc("catfish_server_fetch_searches_total", s.fetchSearches.Load)
+		reg.CounterFunc("catfish_server_fetch_inline_total", s.fetchInline.Load)
+		reg.CounterFunc("catfish_server_fetch_bytes_total", s.fetchBytes.Load)
+		reg.CounterFunc("catfish_server_mailbox_reads_total", s.mailboxReads.Load)
+		if s.mailbox != nil {
+			reg.CounterFunc("catfish_server_fetch_exhausted_total", s.mailbox.Exhausted)
+			reg.GaugeFunc("catfish_server_mailbox_slots_used", func() float64 {
+				used, _ := s.mailbox.Occupancy()
+				return float64(used)
+			})
+			reg.GaugeFunc("catfish_server_mailbox_slots_total", func() float64 {
+				_, total := s.mailbox.Occupancy()
+				return float64(total)
+			})
+		}
 		s.latSearch = reg.Histogram("catfish_request_latency_seconds", "op", "search")
 		s.latInsert = reg.Histogram("catfish_request_latency_seconds", "op", "insert")
 		s.latDelete = reg.Histogram("catfish_request_latency_seconds", "op", "delete")
@@ -203,7 +276,7 @@ func (s *Server) Serve() error {
 		if err != nil {
 			return err
 		}
-		sc := &srvConn{c: conn}
+		sc := &srvConn{c: conn, tx: &s.txBytes}
 		s.wg.Add(1)
 		go s.serveConn(sc)
 	}
@@ -241,6 +314,17 @@ type ServerStats struct {
 	// they carried (each also counted in its per-type counter above).
 	Batches    uint64
 	BatchedOps uint64
+	// FetchSearches counts SEARCH_FETCH requests; FetchInline the ones
+	// answered inline; FetchBytes the payload bytes deposited in mailbox
+	// slots; MailboxReads the READ_MAILBOX pulls served.
+	FetchSearches uint64
+	FetchInline   uint64
+	FetchBytes    uint64
+	MailboxReads  uint64
+	// TXBytes counts every outbound frame byte the server sent (payload
+	// plus length prefixes) — the send-engine signal behind the
+	// heartbeat's TX-utilization word.
+	TXBytes uint64
 }
 
 // Stats returns a snapshot of the op counters.
@@ -256,6 +340,11 @@ func (s *Server) Stats() ServerStats {
 		OffloadSearches: s.offloadEst.Load(),
 		Batches:         s.batches.Load(),
 		BatchedOps:      s.batchedOps.Load(),
+		FetchSearches:   s.fetchSearches.Load(),
+		FetchInline:     s.fetchInline.Load(),
+		FetchBytes:      s.fetchBytes.Load(),
+		MailboxReads:    s.mailboxReads.Load(),
+		TXBytes:         s.txBytes.Load(),
 	}
 }
 
@@ -280,6 +369,10 @@ func (s *Server) serveConn(sc *srvConn) {
 		hello.ShardIndex = uint32(s.cfg.ShardIndex)
 		hello.ShardCount = uint32(m.K())
 		hello.MapVersion = m.Version
+	}
+	if s.mailbox != nil {
+		hello.FetchSlots = uint32(s.mailbox.Slots())
+		hello.FetchSlotChunks = uint32(s.mailbox.SlotChunks())
 	}
 	if err := sc.send(hello.Encode(nil)); err != nil {
 		return
@@ -354,13 +447,33 @@ func (s *Server) serveConn(sc *srvConn) {
 			if err := sc.send(out); err != nil {
 				return
 			}
-		case wire.MsgSearch, wire.MsgInsert, wire.MsgDelete:
+		case wire.MsgSearch, wire.MsgInsert, wire.MsgDelete, wire.MsgSearchFetch:
 			req, err := wire.DecodeRequest(frame)
 			if err != nil {
 				return
 			}
 			if err := s.handleRequest(sc, req); err != nil {
 				return
+			}
+		case wire.MsgReadMailbox:
+			// Mailbox pull: the TCP stand-in for the one-sided reads of the
+			// fetch path, answered from the mailbox region latch-free.
+			req, err := wire.DecodeReadMailbox(frame)
+			if err != nil {
+				return
+			}
+			s.mailboxReads.Add(1)
+			out = s.handleReadMailbox(req, out[:0])
+			if err := sc.send(out); err != nil {
+				return
+			}
+		case wire.MsgFetchAck:
+			ack, err := wire.DecodeFetchAck(frame)
+			if err != nil {
+				return
+			}
+			if s.mailbox != nil {
+				s.mailbox.Reclaim(int(ack.Slot), ack.Seq)
 			}
 		case wire.MsgBatch:
 			if err := s.handleBatch(sc, frame); err != nil {
@@ -439,6 +552,62 @@ func (s *Server) handleReadSpan(req wire.ReadSpan, out []byte) []byte {
 	return resp.Encode(out)
 }
 
+// tryMailboxDeliver writes items into a granted mailbox slot and returns
+// the descriptor for them. It declines — sending the caller down the inline
+// path — when fetch is disabled, the result is small enough that inline
+// delivery is cheaper, the payload exceeds a slot, or every slot is taken.
+func (s *Server) tryMailboxDeliver(id uint64, items []wire.Item) (wire.FetchDesc, bool) {
+	if s.mailbox == nil || len(items) <= s.cfg.FetchInlineMax {
+		return wire.FetchDesc{}, false
+	}
+	if len(items)*wire.ItemSize+region.MailboxHeaderSize > s.mailbox.Capacity() {
+		return wire.FetchDesc{}, false
+	}
+	slot, ok := s.mailbox.Grant()
+	if !ok {
+		return wire.FetchDesc{}, false
+	}
+	payload := wire.EncodeItems(nil, items)
+	ref, err := s.mailbox.WriteResult(slot, payload)
+	if err != nil {
+		s.mailbox.Cancel(slot)
+		return wire.FetchDesc{}, false
+	}
+	return wire.FetchDesc{
+		ID:     id,
+		Status: wire.StatusOK,
+		Slot:   uint32(ref.Slot),
+		Bytes:  uint32(ref.Bytes),
+		Count:  uint32(len(items)),
+		Seq:    ref.Seq,
+	}, true
+}
+
+// handleReadMailbox answers a mailbox pull with a SPAN_DATA frame carrying
+// the requested chunks of the mailbox region, latch-free like READ_SPAN.
+func (s *Server) handleReadMailbox(req wire.ReadMailbox, out []byte) []byte {
+	resp := wire.SpanData{ID: req.ID, Status: wire.StatusOK}
+	if s.mreg == nil {
+		resp.Status = wire.StatusError
+		return resp.Encode(out)
+	}
+	cs := s.mreg.ChunkSize()
+	if req.Count == 0 || req.Count > maxSpanChunks ||
+		int(req.Chunk)+int(req.Count) > s.mreg.NumChunks() {
+		resp.Status = wire.StatusError
+		return resp.Encode(out)
+	}
+	raw := make([]byte, int(req.Count)*cs)
+	for i := 0; i < int(req.Count); i++ {
+		if err := s.mreg.ReadChunkRaw(int(req.Chunk)+i, raw[i*cs:(i+1)*cs]); err != nil {
+			resp.Status = wire.StatusError
+			return resp.Encode(out)
+		}
+	}
+	resp.Raw = raw
+	return resp.Encode(out)
+}
+
 func (s *Server) handleReadVersions(req wire.ReadVersions, out []byte) []byte {
 	reg := s.tree.Region()
 	raw := make([]byte, reg.VersionsSize())
@@ -453,6 +622,40 @@ func (s *Server) handleReadVersions(req wire.ReadVersions, out []byte) []byte {
 
 func (s *Server) handleRequest(sc *srvConn, req wire.Request) error {
 	switch req.Type {
+	case wire.MsgSearchFetch:
+		s.fetchSearches.Add(1)
+		opStart := time.Now()
+		var items []wire.Item
+		s.latch.RLock()
+		_, err := s.tree.SearchShared(req.Rect, func(r geo.Rect, ref uint64) bool {
+			items = append(items, wire.Item{Rect: r, Ref: ref})
+			return true
+		})
+		s.latch.RUnlock()
+		lat := time.Since(opStart)
+		s.latSearch.Record(lat)
+		if s.cfg.Trace != nil {
+			tr := telemetry.Trace{
+				Start:   time.Since(s.start) - lat,
+				Method:  "fetch",
+				Shard:   s.cfg.ShardIndex,
+				Latency: lat,
+			}
+			if err != nil {
+				tr.Err = err.Error()
+			}
+			s.cfg.Trace.Record(tr)
+		}
+		if err != nil {
+			return sc.send(wire.Response{ID: req.ID, Status: wire.StatusError, Final: true}.Encode(nil))
+		}
+		if desc, ok := s.tryMailboxDeliver(req.ID, items); ok {
+			s.fetchBytes.Add(uint64(desc.Bytes))
+			return sc.send(desc.Encode(nil))
+		}
+		s.fetchInline.Add(1)
+		return s.sendSegmented(sc, req.ID, items)
+
 	case wire.MsgSearch:
 		s.searches.Add(1)
 		opStart := time.Now()
@@ -564,12 +767,23 @@ func (s *Server) heartbeatLoop() {
 			util = 1e-6
 		}
 		s.lastUtil.Set(util)
+		txUtil := 0.0
+		if s.cfg.TXLineRateBps > 0 {
+			tx := s.txBytes.Load()
+			window := tx - s.hbTXBytes.Load()
+			s.hbTXBytes.Store(tx)
+			txUtil = float64(window) * 8 / (s.cfg.HeartbeatInterval.Seconds() * s.cfg.TXLineRateBps)
+			if txUtil > 1 {
+				txUtil = 1
+			}
+		}
+		s.lastTXUtil.Set(txUtil)
 		s.latch.RLock()
 		rootChunk := s.tree.RootChunk()
 		s.latch.RUnlock()
 		s.rootChunkA.Store(int64(rootChunk))
 		rootVer, _ := s.tree.Region().Version(rootChunk)
-		payload := wire.Heartbeat{Util: util, RootVer: rootVer}.Encode(nil)
+		payload := wire.Heartbeat{Util: util, RootVer: rootVer, TXUtil: txUtil}.Encode(nil)
 		s.mu.Lock()
 		for sc := range s.conns {
 			// Best effort; a dead connection is reaped by its reader.

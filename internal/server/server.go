@@ -30,6 +30,7 @@ import (
 	"github.com/catfish-db/catfish/internal/fabric"
 	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/netmodel"
+	"github.com/catfish-db/catfish/internal/region"
 	"github.com/catfish-db/catfish/internal/ringbuf"
 	"github.com/catfish-db/catfish/internal/rtree"
 	"github.com/catfish-db/catfish/internal/sim"
@@ -72,6 +73,22 @@ type Config struct {
 	// framing); 0 selects a segment of ~4 KB.
 	MaxSegmentItems int
 
+	// FetchSlots > 0 enables the RFP-style fetch access method: the server
+	// registers a dedicated mailbox region of FetchSlots result slots and
+	// answers MsgSearchFetch requests with (slot, length, version)
+	// descriptors instead of streaming the items back (PAPERS.md,
+	// arXiv:1512.07805). Zero disables fetch; MsgSearchFetch then degrades
+	// to inline delivery.
+	FetchSlots int
+	// FetchSlotChunks is the chunks per mailbox slot (0 selects 64, which
+	// holds ~5600 result items at the default 4 KB chunk geometry).
+	FetchSlotChunks int
+	// FetchInlineMax is the result count at or below which a fetch search
+	// falls back to inline delivery — small results are cheaper to send
+	// than to pull (0 selects MaxSegmentItems: anything fitting one
+	// response segment stays inline).
+	FetchInlineMax int
+
 	// Metrics, when non-nil, exposes the server counters and the
 	// heartbeat-published utilization on the registry under
 	// catfish_server_* names.
@@ -92,6 +109,12 @@ type Stats struct {
 	// they carried (single-latch, single-charge fast-messaging batching).
 	Batches    uint64
 	BatchedOps uint64
+	// FetchSearches counts MsgSearchFetch requests; FetchInline the subset
+	// answered inline (small result, no free slot, or fetch disabled);
+	// FetchBytes the payload bytes delivered through mailbox slots.
+	FetchSearches uint64
+	FetchInline   uint64
+	FetchBytes    uint64
 }
 
 // Server is the Catfish R-tree server.
@@ -107,9 +130,17 @@ type Server struct {
 	regionVers *fabric.RegionVersions
 	publishP   *sim.Proc // process context for staged publishes
 
-	hbSeq    uint64 // heartbeat sequence number (mailbox word 2)
-	hbPaused atomic.Bool
-	lastUtil telemetry.Gauge // utilization as last published by heartbeatLoop
+	// Fetch mailbox: a dedicated registered region divided into result
+	// slots (nil when FetchSlots is zero).
+	mailbox    *region.Mailbox
+	mailboxMem *fabric.RegionMemory
+
+	hbSeq      uint64 // heartbeat sequence number (mailbox word 2)
+	hbPaused   atomic.Bool
+	lastUtil   telemetry.Gauge // utilization as last published by heartbeatLoop
+	lastTXUtil telemetry.Gauge // TX (send engine) utilization as last published
+	hbTXBytes  uint64          // send-engine bytes at the previous heartbeat
+	hbTXTime   time.Duration   // virtual time of the previous heartbeat
 }
 
 // conn is the server side of one client connection.
@@ -129,11 +160,14 @@ type conn struct {
 }
 
 // batchResult is one operation's outcome, buffered until the whole batch
-// has executed and the latch is released.
+// has executed and the latch is released. A fetch-delivered search carries
+// its mailbox descriptor instead of items.
 type batchResult struct {
-	id     uint64
-	status uint8
-	items  []wire.Item
+	id      uint64
+	status  uint8
+	items   []wire.Item
+	desc    wire.FetchDesc
+	hasDesc bool
 }
 
 // Endpoint is what a client needs to talk to the server; returned by
@@ -150,6 +184,14 @@ type Endpoint struct {
 	ChunkSize  int
 	MaxEntries int
 	TCP        *fabric.TCPConn // client endpoint (TCP mode only)
+
+	// Fetch access method (nil/0 when the server has no mailbox): the
+	// mailbox region for one-sided result pulls, a dedicated QP so pull
+	// completions never interleave with traversal reads, and the slot
+	// geometry locating slot i at chunk i×FetchSlotChunks.
+	MailboxMem      *fabric.RegionMemory
+	FetchQP         *fabric.QP
+	FetchSlotChunks int
 }
 
 // New creates a server and installs its staged-write publisher when
@@ -174,6 +216,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxSegmentItems == 0 {
 		cfg.MaxSegmentItems = 4096 / wire.ItemSize
 	}
+	if cfg.FetchSlotChunks == 0 {
+		cfg.FetchSlotChunks = 64
+	}
+	if cfg.FetchInlineMax == 0 {
+		cfg.FetchInlineMax = cfg.MaxSegmentItems
+	}
 	s := &Server{
 		cfg:   cfg,
 		e:     cfg.Engine,
@@ -182,6 +230,17 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.regionMem = cfg.Host.RegisterRegion(cfg.Tree.Region())
 	s.regionVers = cfg.Host.RegisterRegionVersions(cfg.Tree.Region())
+	if cfg.FetchSlots > 0 {
+		mreg, err := region.New(cfg.FetchSlots*cfg.FetchSlotChunks, cfg.Tree.Region().ChunkSize())
+		if err != nil {
+			return nil, fmt.Errorf("server: mailbox region: %w", err)
+		}
+		s.mailbox, err = region.NewMailbox(mreg, cfg.FetchSlots, cfg.FetchSlotChunks)
+		if err != nil {
+			return nil, fmt.Errorf("server: mailbox: %w", err)
+		}
+		s.mailboxMem = cfg.Host.RegisterRegion(mreg)
+	}
 	if cfg.StagedNodeWrites {
 		cfg.Tree.SetPublisher(s.stagedPublish)
 	}
@@ -206,6 +265,24 @@ func New(cfg Config) (*Server, error) {
 		reg.CounterFunc("catfish_server_batched_ops_total",
 			func() uint64 { return atomic.LoadUint64(&s.stats.BatchedOps) })
 		reg.GaugeFunc("catfish_server_utilization", s.lastUtil.Load)
+		reg.GaugeFunc("catfish_server_tx_utilization", s.lastTXUtil.Load)
+		reg.CounterFunc("catfish_server_fetch_searches_total",
+			func() uint64 { return atomic.LoadUint64(&s.stats.FetchSearches) })
+		reg.CounterFunc("catfish_server_fetch_inline_total",
+			func() uint64 { return atomic.LoadUint64(&s.stats.FetchInline) })
+		reg.CounterFunc("catfish_server_fetch_bytes_total",
+			func() uint64 { return atomic.LoadUint64(&s.stats.FetchBytes) })
+		if s.mailbox != nil {
+			reg.CounterFunc("catfish_server_fetch_exhausted_total", s.mailbox.Exhausted)
+			reg.GaugeFunc("catfish_server_mailbox_slots_used", func() float64 {
+				used, _ := s.mailbox.Occupancy()
+				return float64(used)
+			})
+			reg.GaugeFunc("catfish_server_mailbox_slots_total", func() float64 {
+				_, total := s.mailbox.Occupancy()
+				return float64(total)
+			})
+		}
 	}
 	return s, nil
 }
@@ -222,8 +299,16 @@ func (s *Server) Stats() Stats {
 		Segments:   atomic.LoadUint64(&s.stats.Segments),
 		Batches:    atomic.LoadUint64(&s.stats.Batches),
 		BatchedOps: atomic.LoadUint64(&s.stats.BatchedOps),
+
+		FetchSearches: atomic.LoadUint64(&s.stats.FetchSearches),
+		FetchInline:   atomic.LoadUint64(&s.stats.FetchInline),
+		FetchBytes:    atomic.LoadUint64(&s.stats.FetchBytes),
 	}
 }
+
+// Mailbox exposes the fetch mailbox (nil when fetch is disabled) for
+// instrumentation.
+func (s *Server) Mailbox() *region.Mailbox { return s.mailbox }
 
 // Tree returns the served tree (the harness pre-loads it).
 func (s *Server) Tree() *rtree.Tree { return s.tree }
@@ -256,7 +341,7 @@ func (s *Server) Connect(clientHost *fabric.Host, net *fabric.Network, dataSQDep
 	s.e.Spawn(fmt.Sprintf("server-worker-%d", id), func(p *sim.Proc) {
 		s.serveRDMA(p, c)
 	})
-	return &Endpoint{
+	ep := &Endpoint{
 		ConnID:     id,
 		ReqWriter:  reqW,
 		RespReader: respR,
@@ -267,7 +352,14 @@ func (s *Server) Connect(clientHost *fabric.Host, net *fabric.Network, dataSQDep
 		RootChunk:  s.tree.RootChunk(),
 		ChunkSize:  s.tree.Region().ChunkSize(),
 		MaxEntries: s.tree.MaxEntries(),
-	}, nil
+	}
+	if s.mailbox != nil {
+		fetchQP, _ := net.ConnectQP(clientHost, s.cfg.Host, dataSQDepth)
+		ep.MailboxMem = s.mailboxMem
+		ep.FetchQP = fetchQP
+		ep.FetchSlotChunks = s.cfg.FetchSlotChunks
+	}
+	return ep, nil
 }
 
 // ConnectTCP establishes a kernel-TCP connection and spawns its worker.
@@ -333,6 +425,13 @@ func (s *Server) dispatch(p *sim.Proc, c *conn, payload []byte) {
 		s.handleBatch(p, c, payload)
 		return
 	}
+	if len(payload) > 0 && wire.MsgType(payload[0]) == wire.MsgFetchAck {
+		// Fire-and-forget slot release; a malformed or stale ack is dropped.
+		if ack, err := wire.DecodeFetchAck(payload); err == nil && s.mailbox != nil {
+			s.mailbox.Reclaim(int(ack.Slot), ack.Seq)
+		}
+		return
+	}
 	req, err := wire.DecodeRequest(payload)
 	if err != nil {
 		s.respond(p, c, wire.Response{Status: wire.StatusError, Final: true}, nil)
@@ -363,6 +462,32 @@ func (s *Server) handle(p *sim.Proc, c *conn, req wire.Request) {
 			return
 		}
 		atomic.AddUint64(&s.stats.Results, uint64(len(items)))
+		s.charge(p, c, s.cfg.Cost.SearchDemand(st.NodesRead, st.Results))
+		s.respond(p, c, wire.Response{ID: req.ID, Status: wire.StatusOK}, items)
+
+	case wire.MsgSearchFetch:
+		atomic.AddUint64(&s.stats.Searches, 1)
+		atomic.AddUint64(&s.stats.FetchSearches, 1)
+		s.latch.RLock(p)
+		items, st, err := s.searchCollect(req.Rect)
+		s.latch.RUnlock()
+		if err != nil {
+			s.respond(p, c, wire.Response{ID: req.ID, Status: wire.StatusError, Final: true}, nil)
+			return
+		}
+		atomic.AddUint64(&s.stats.Results, uint64(len(items)))
+		if desc, ok := s.tryMailboxDeliver(items); ok {
+			// Mailbox delivery: the per-item cost drops to a memcpy and the
+			// response is a FetchDescSize-byte descriptor; the client's
+			// one-sided pull is served by the NIC responder engine.
+			s.charge(p, c, s.cfg.Cost.FetchDemand(st.NodesRead, st.Results))
+			desc.ID = req.ID
+			s.send(p, c, desc.Encode(nil))
+			return
+		}
+		// Inline fallback: small result, oversized result, exhausted
+		// mailbox, or fetch disabled — same path as a plain search.
+		atomic.AddUint64(&s.stats.FetchInline, 1)
 		s.charge(p, c, s.cfg.Cost.SearchDemand(st.NodesRead, st.Results))
 		s.respond(p, c, wire.Response{ID: req.ID, Status: wire.StatusOK}, items)
 
@@ -420,7 +545,7 @@ func (s *Server) handleBatch(p *sim.Proc, c *conn, payload []byte) {
 		req, err := wire.DecodeRequest(msg)
 		if err != nil {
 			req = wire.Request{} // answered with an error response below
-		} else if req.Type != wire.MsgSearch {
+		} else if req.Type != wire.MsgSearch && req.Type != wire.MsgSearchFetch {
 			hasWrite = true
 		}
 		reqs = append(reqs, req)
@@ -454,6 +579,23 @@ func (s *Server) handleBatch(p *sim.Proc, c *conn, payload []byte) {
 				out.items = items
 				atomic.AddUint64(&s.stats.Results, uint64(len(items)))
 				demand += s.cfg.Cost.SearchDemandBatched(i, st.NodesRead, st.Results)
+			}
+		case wire.MsgSearchFetch:
+			atomic.AddUint64(&s.stats.Searches, 1)
+			atomic.AddUint64(&s.stats.FetchSearches, 1)
+			items, st, err := s.searchCollect(req.Rect)
+			if err == nil {
+				out.status = wire.StatusOK
+				atomic.AddUint64(&s.stats.Results, uint64(len(items)))
+				if desc, ok := s.tryMailboxDeliver(items); ok {
+					desc.ID = req.ID
+					out.desc, out.hasDesc = desc, true
+					demand += s.cfg.Cost.FetchDemandBatched(i, st.NodesRead, st.Results)
+				} else {
+					atomic.AddUint64(&s.stats.FetchInline, 1)
+					out.items = items
+					demand += s.cfg.Cost.SearchDemandBatched(i, st.NodesRead, st.Results)
+				}
 			}
 		case wire.MsgInsert:
 			atomic.AddUint64(&s.stats.Inserts, 1)
@@ -516,6 +658,17 @@ func (s *Server) respondBatch(p *sim.Proc, c *conn, res []batchResult) {
 		enc.Reset(c.encBuf)
 	}
 	for _, r := range res {
+		if r.hasDesc {
+			// Fetch-delivered: one descriptor sub-message replaces the
+			// response segments.
+			if enc.Count() > 0 && enc.Len()+wire.FetchDescSize+wire.BatchOverhead(1) > limit {
+				flush()
+			}
+			enc.Begin()
+			enc.Buf = r.desc.Encode(enc.Buf)
+			enc.End()
+			continue
+		}
 		items := r.items
 		for {
 			seg := wire.Response{ID: r.id, Status: r.status}
@@ -541,6 +694,37 @@ func (s *Server) respondBatch(p *sim.Proc, c *conn, res []batchResult) {
 	}
 	flush()
 	c.encBuf = enc.Buf[:0]
+}
+
+// tryMailboxDeliver attempts mailbox delivery of a fetch search's result:
+// grant a slot, write the packed items under a fresh sequence number, and
+// return the descriptor. It declines (inline fallback) when the result is
+// small enough that sending beats pulling, when no slot is free, when the
+// payload exceeds slot capacity, or when fetch is disabled.
+func (s *Server) tryMailboxDeliver(items []wire.Item) (wire.FetchDesc, bool) {
+	if s.mailbox == nil || len(items) <= s.cfg.FetchInlineMax {
+		return wire.FetchDesc{}, false
+	}
+	if len(items)*wire.ItemSize > s.mailbox.Capacity() {
+		return wire.FetchDesc{}, false
+	}
+	slot, ok := s.mailbox.Grant()
+	if !ok {
+		return wire.FetchDesc{}, false
+	}
+	ref, err := s.mailbox.WriteResult(slot, wire.EncodeItems(nil, items))
+	if err != nil {
+		s.mailbox.Cancel(slot)
+		return wire.FetchDesc{}, false
+	}
+	atomic.AddUint64(&s.stats.FetchBytes, uint64(ref.Bytes))
+	return wire.FetchDesc{
+		Status: wire.StatusOK,
+		Slot:   uint32(ref.Slot),
+		Bytes:  uint32(ref.Bytes),
+		Count:  uint32(len(items)),
+		Seq:    ref.Seq,
+	}, true
 }
 
 // searchCollect runs the search, collecting items.
@@ -616,11 +800,48 @@ func (s *Server) send(p *sim.Proc, c *conn, payload []byte) {
 // HeartbeatMailboxSize is the registered per-client heartbeat mailbox:
 // word 0 carries the utilization (u_serv), word 1 the root chunk's region
 // version, which lets root-caching clients invalidate within one heartbeat
-// interval of a root rewrite, and word 2 a sequence number incremented per
+// interval of a root rewrite, word 2 a sequence number incremented per
 // heartbeat write so liveness trackers can detect arrivals (Algorithm 1's
 // clear-after-read convention zeroes only word 0, and non-adaptive clients
-// never clear at all, so the utilization word cannot signal arrival).
-const HeartbeatMailboxSize = 24
+// never clear at all, so the utilization word cannot signal arrival), and
+// word 3 the send-engine (TX NIC) utilization feeding the 3-way switch's
+// TX predictor. Decoders tolerate the pre-fetch 24-byte layout — a short
+// mailbox simply reads as TX utilization zero (see DecodeHeartbeatMailbox).
+const HeartbeatMailboxSize = 32
+
+// HeartbeatMailboxSizeLegacy is the pre-fetch mailbox layout without the
+// TX word, kept for layout-compatibility tests and mixed-version runs.
+const HeartbeatMailboxSizeLegacy = 24
+
+// HeartbeatView is a decoded heartbeat mailbox.
+type HeartbeatView struct {
+	Util    float64
+	RootVer uint64
+	Seq     uint64
+	TXUtil  float64
+}
+
+// DecodeHeartbeatMailbox decodes a heartbeat mailbox image, tolerating
+// both the legacy (24-byte, no TX word) and widened (32-byte) layouts; on
+// the legacy layout TXUtil reads as zero, which keeps the 3-way switch in
+// its binary behaviour. Shorter images decode to the zero view ("no
+// heartbeat yet").
+func DecodeHeartbeatMailbox(b []byte) HeartbeatView {
+	var v HeartbeatView
+	if len(b) >= 8 {
+		v.Util = math.Float64frombits(binary.LittleEndian.Uint64(b[0:]))
+	}
+	if len(b) >= 16 {
+		v.RootVer = binary.LittleEndian.Uint64(b[8:])
+	}
+	if len(b) >= HeartbeatMailboxSizeLegacy {
+		v.Seq = binary.LittleEndian.Uint64(b[16:])
+	}
+	if len(b) >= HeartbeatMailboxSize {
+		v.TXUtil = math.Float64frombits(binary.LittleEndian.Uint64(b[24:]))
+	}
+	return v
+}
 
 // PauseHeartbeats suspends (true) or resumes (false) heartbeat publication,
 // simulating a wedged or partitioned server for liveness tests. The data
@@ -642,6 +863,8 @@ func (s *Server) heartbeatLoop(p *sim.Proc) {
 			util = 1e-6
 		}
 		s.lastUtil.Set(util)
+		txUtil := s.txUtilization()
+		s.lastTXUtil.Set(txUtil)
 		var buf [HeartbeatMailboxSize]byte
 		putFloat(buf[:8], util)
 		rootVer, err := s.tree.Region().Version(s.tree.RootChunk())
@@ -650,6 +873,7 @@ func (s *Server) heartbeatLoop(p *sim.Proc) {
 		}
 		s.hbSeq++
 		binary.LittleEndian.PutUint64(buf[16:], s.hbSeq)
+		putFloat(buf[24:], txUtil)
 		for _, c := range s.conns {
 			if c.hbMem == nil {
 				continue
@@ -680,6 +904,27 @@ func (s *Server) utilization() float64 {
 		return s.cfg.PollCPU.UtilizationWindow()
 	}
 	return s.cfg.Host.CPU().UtilizationWindow()
+}
+
+// txUtilization returns the send engine's utilization since the previous
+// heartbeat: bytes the CPU posted over the interval, as a fraction of line
+// rate. One-sided READ responses (responder engine) are deliberately
+// excluded — they impose no send-queue pressure, which is exactly why the
+// fetch method relieves a send-engine-bound server.
+func (s *Server) txUtilization() float64 {
+	now := s.e.Now()
+	cur := s.cfg.Host.TXBytes()
+	elapsed := now - s.hbTXTime
+	delta := cur - s.hbTXBytes
+	s.hbTXTime, s.hbTXBytes = now, cur
+	if elapsed <= 0 {
+		return 0
+	}
+	util := float64(delta) * 8 / (elapsed.Seconds() * s.cfg.Host.LineRateBps())
+	if util > 1 {
+		util = 1
+	}
+	return util
 }
 
 func putFloat(b []byte, f float64) {

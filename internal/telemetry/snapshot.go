@@ -23,6 +23,14 @@ type ClientMetrics struct {
 	PrefetchHits    Counter // speculative reads a demand lookup later used
 	PrefetchWaste   Counter // speculative reads discarded unused
 	ReadWQEs        Counter // read messages posted (merged spans count once)
+
+	// Remote-result-fetch counters (the RFP-style third access method).
+	FetchSearches  Counter // searches routed to the fetch method
+	FetchPulls     Counter // mailbox chunk reads issued for result pulls
+	FetchBytes     Counter // result payload bytes delivered via mailbox pulls
+	FetchRetries   Counter // pulls retried after a torn or stale slot read
+	FetchInline    Counter // fetch searches the server answered inline
+	FetchFallbacks Counter // fetch searches that gave up and re-ran as fast
 }
 
 // Snapshot exports the counters. Cache fields and HeartbeatsSeen come from
@@ -47,6 +55,12 @@ func (m *ClientMetrics) Snapshot() ClientSnapshot {
 		PrefetchHits:    m.PrefetchHits.Load(),
 		PrefetchWaste:   m.PrefetchWaste.Load(),
 		ReadWQEs:        m.ReadWQEs.Load(),
+		FetchSearches:   m.FetchSearches.Load(),
+		FetchPulls:      m.FetchPulls.Load(),
+		FetchBytes:      m.FetchBytes.Load(),
+		FetchRetries:    m.FetchRetries.Load(),
+		FetchInline:     m.FetchInline.Load(),
+		FetchFallbacks:  m.FetchFallbacks.Load(),
 	}
 }
 
@@ -86,6 +100,18 @@ func (m *ClientMetrics) Register(reg *Registry) {
 	reg.CounterFunc("catfish_prefetch_waste_total", m.PrefetchWaste.Load)
 	reg.CounterFunc("catfish_client_read_wqes_total", m.ReadWQEs.Load)
 	reg.GaugeFunc("catfish_client_merge_ratio", m.MergeRatio)
+	reg.CounterFunc("catfish_client_fetch_searches_total", m.FetchSearches.Load)
+	reg.CounterFunc("catfish_client_fetch_pulls_total", m.FetchPulls.Load)
+	reg.CounterFunc("catfish_client_fetch_bytes_total", m.FetchBytes.Load)
+	reg.CounterFunc("catfish_client_fetch_retries_total", m.FetchRetries.Load)
+	reg.CounterFunc("catfish_client_fetch_inline_total", m.FetchInline.Load)
+	reg.CounterFunc("catfish_client_fetch_fallbacks_total", m.FetchFallbacks.Load)
+	// Per-method totals under one name, method-labelled, so dashboards and
+	// the fetch ablation can attribute traffic across the access methods.
+	reg.CounterFunc("catfish_method_total", m.FastSearches.Load, "method", "fast")
+	reg.CounterFunc("catfish_method_total", m.OffloadSearches.Load, "method", "offload")
+	reg.CounterFunc("catfish_method_total", m.TCPSearches.Load, "method", "tcp")
+	reg.CounterFunc("catfish_method_total", m.FetchSearches.Load, "method", "fetch")
 }
 
 // CacheStats is the node-cache counter subset sampled by RegisterCacheFuncs
@@ -111,9 +137,8 @@ func RegisterCacheFuncs(reg *Registry, f func() CacheStats) {
 }
 
 // ClientSnapshot is the unified client counter snapshot shared by both
-// transports (client.Stats and rpcnet.ClientStats are aliases of it).
-// NodesFetched counts traversal chunk reads — RDMA Reads on the simulated
-// fabric, READ_CHUNK round trips over TCP (formerly rpcnet's
+// transports. NodesFetched counts traversal chunk reads — RDMA Reads on
+// the simulated fabric, READ_CHUNK round trips over TCP (formerly rpcnet's
 // "ChunksFetched"; the two were always the same quantity).
 type ClientSnapshot struct {
 	FastSearches    uint64
@@ -146,6 +171,14 @@ type ClientSnapshot struct {
 	ReadWQEs           uint64 // read messages posted (merged spans count once)
 	CachePrefetchHits  uint64 // prefetched cache entries later demanded
 	CachePrefetchWaste uint64 // prefetched cache entries dropped unused
+
+	// Remote-result-fetch counters (see DESIGN.md §5.10).
+	FetchSearches  uint64 // searches routed to the fetch method
+	FetchPulls     uint64 // mailbox chunk reads issued for result pulls
+	FetchBytes     uint64 // result payload bytes delivered via mailbox pulls
+	FetchRetries   uint64 // pulls retried after a torn or stale slot read
+	FetchInline    uint64 // fetch searches the server answered inline
+	FetchFallbacks uint64 // fetch searches that gave up and re-ran as fast
 }
 
 // Add accumulates other into s, field by field, and returns the sum —
@@ -176,12 +209,27 @@ func (s ClientSnapshot) Add(other ClientSnapshot) ClientSnapshot {
 	s.ReadWQEs += other.ReadWQEs
 	s.CachePrefetchHits += other.CachePrefetchHits
 	s.CachePrefetchWaste += other.CachePrefetchWaste
+	s.FetchSearches += other.FetchSearches
+	s.FetchPulls += other.FetchPulls
+	s.FetchBytes += other.FetchBytes
+	s.FetchRetries += other.FetchRetries
+	s.FetchInline += other.FetchInline
+	s.FetchFallbacks += other.FetchFallbacks
 	return s
 }
 
-// Searches returns the total searches across all three paths.
+// Searches returns the total searches across all four paths.
 func (s ClientSnapshot) Searches() uint64 {
-	return s.FastSearches + s.OffloadSearches + s.TCPSearches
+	return s.FastSearches + s.OffloadSearches + s.TCPSearches + s.FetchSearches
+}
+
+// FetchFraction returns the fraction of searches delivered by remote fetch
+// (0 when no searches ran).
+func (s ClientSnapshot) FetchFraction() float64 {
+	if t := s.Searches(); t > 0 {
+		return float64(s.FetchSearches) / float64(t)
+	}
+	return 0
 }
 
 // OffloadFraction returns the fraction of searches that ran as client-side

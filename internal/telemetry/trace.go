@@ -18,7 +18,7 @@ type Trace struct {
 	// Start is the operation start time — virtual time on the simulated
 	// fabric, time since process start over real sockets (nanoseconds).
 	Start time.Duration `json:"start_ns"`
-	// Method is the executed path: "fast", "offload", or "tcp".
+	// Method is the executed path: "fast", "offload", "fetch", or "tcp".
 	Method string `json:"method"`
 	// Shard is the shard index the operation ran against (0 unsharded).
 	Shard int `json:"shard"`
@@ -30,6 +30,9 @@ type Trace struct {
 	// PredUtil is the predicted server CPU utilization the decision used
 	// (the latest consumed heartbeat, or the EWMA when smoothing is on).
 	PredUtil float64 `json:"pred_util"`
+	// PredTX is the predicted server send-engine TX utilization the 3-way
+	// decision used (0 against servers without the widened heartbeat).
+	PredTX float64 `json:"pred_tx"`
 	// OffloadReads is the number of chunk reads this search issued;
 	// TornRetries the version-check retries among them.
 	OffloadReads uint32 `json:"offload_reads"`

@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/catfish-db/catfish/internal/geo"
+)
+
+func TestFetchDescRoundtrip(t *testing.T) {
+	d := FetchDesc{ID: 99, Status: StatusOK, Slot: 7, Bytes: 4000, Count: 100, Seq: 1 << 40}
+	buf := d.Encode(nil)
+	if len(buf) != FetchDescSize {
+		t.Fatalf("encoded size %d, want %d", len(buf), FetchDescSize)
+	}
+	got, err := DecodeFetchDesc(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d {
+		t.Fatalf("roundtrip %+v != %+v", got, d)
+	}
+	if typ, err := PeekType(buf); err != nil || typ != MsgFetchDesc {
+		t.Fatalf("peek = %v, %v", typ, err)
+	}
+	if _, err := DecodeFetchDesc(buf[:5]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated decode error = %v", err)
+	}
+}
+
+func TestFetchAckAndReadMailboxRoundtrip(t *testing.T) {
+	a := FetchAck{Slot: 3, Seq: 12345}
+	got, err := DecodeFetchAck(a.Encode(nil))
+	if err != nil || got != a {
+		t.Fatalf("ack roundtrip %+v, %v", got, err)
+	}
+	r := ReadMailbox{ID: 8, Chunk: 640, Count: 16}
+	rgot, err := DecodeReadMailbox(r.Encode(nil))
+	if err != nil || rgot != r {
+		t.Fatalf("read-mailbox roundtrip %+v, %v", rgot, err)
+	}
+}
+
+func TestPackedItemsRoundtrip(t *testing.T) {
+	items := []Item{
+		{Rect: geo.Rect{MinX: 0.1, MinY: 0.2, MaxX: 0.3, MaxY: 0.4}, Ref: 11},
+		{Rect: geo.Rect{MinX: 0.5, MinY: 0.6, MaxX: 0.7, MaxY: 0.8}, Ref: 22},
+	}
+	buf := EncodeItems(nil, items)
+	if len(buf) != len(items)*ItemSize {
+		t.Fatalf("packed size %d, want %d", len(buf), len(items)*ItemSize)
+	}
+	got, err := DecodeItems(buf, len(items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range items {
+		if got[i] != items[i] {
+			t.Fatalf("item %d: %+v != %+v", i, got[i], items[i])
+		}
+	}
+	if _, err := DecodeItems(buf, len(items)+1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("over-count decode error = %v", err)
+	}
+}
+
+// TestHeartbeatLegacyLayout pins the widened heartbeat frame against the
+// pre-fetch layout: a legacy-length frame still decodes (TXUtil zero), and
+// the widened frame decodes the legacy words identically.
+func TestHeartbeatLegacyLayout(t *testing.T) {
+	h := Heartbeat{Util: 0.5, RootVer: 9, TXUtil: 0.25}
+	buf := h.Encode(nil)
+	if len(buf) != HeartbeatSize {
+		t.Fatalf("encoded size %d, want %d", len(buf), HeartbeatSize)
+	}
+	wide, err := DecodeHeartbeat(buf)
+	if err != nil || wide != h {
+		t.Fatalf("wide decode %+v, %v", wide, err)
+	}
+	legacy, err := DecodeHeartbeat(buf[:HeartbeatSizeLegacy])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Util != h.Util || legacy.RootVer != h.RootVer {
+		t.Fatalf("legacy words changed: %+v", legacy)
+	}
+	if legacy.TXUtil != 0 {
+		t.Fatalf("legacy TXUtil = %v, want 0", legacy.TXUtil)
+	}
+}
+
+// TestHelloLegacyLayout pins the widened hello against the pre-fetch layout:
+// a legacy-length hello reads as fetch-unsupported.
+func TestHelloLegacyLayout(t *testing.T) {
+	h := Hello{
+		RootChunk: 5, ChunkSize: 4096, MaxEntries: 64, NumChunks: 1000,
+		HeartbeatMs: 10, ServerEpoch: math.MaxUint64, ShardIndex: 1,
+		ShardCount: 4, MapVersion: 77, FetchSlots: 32, FetchSlotChunks: 64,
+	}
+	buf := h.Encode(nil)
+	if len(buf) != HelloSize {
+		t.Fatalf("encoded size %d, want %d", len(buf), HelloSize)
+	}
+	wide, err := DecodeHello(buf)
+	if err != nil || wide != h {
+		t.Fatalf("wide decode %+v, %v", wide, err)
+	}
+	legacy, err := DecodeHello(buf[:helloSizeLegacy])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := h
+	want.FetchSlots, want.FetchSlotChunks = 0, 0
+	if legacy != want {
+		t.Fatalf("legacy decode %+v, want %+v", legacy, want)
+	}
+}

@@ -74,7 +74,7 @@ func DecodeRequest(b []byte) (Request, error) {
 		return Request{}, fmt.Errorf("%w: request %d bytes", ErrCorrupt, len(b))
 	}
 	typ := MsgType(b[0])
-	if typ != MsgSearch && typ != MsgInsert && typ != MsgDelete {
+	if typ != MsgSearch && typ != MsgInsert && typ != MsgDelete && typ != MsgSearchFetch {
 		return Request{}, fmt.Errorf("%w: request type %d", ErrCorrupt, typ)
 	}
 	return Request{
@@ -166,10 +166,17 @@ func DecodeResponse(b []byte) (Response, error) {
 type Heartbeat struct {
 	Util    float64
 	RootVer uint64
+	TXUtil  float64 // windowed send-engine (TX NIC) utilization, 0..1
 }
 
-// HeartbeatSize is the encoded size of a Heartbeat.
-const HeartbeatSize = 1 + 8 + 8
+// HeartbeatSize is the encoded size of a Heartbeat (with the TX word).
+const HeartbeatSize = 1 + 8 + 8 + 8
+
+// HeartbeatSizeLegacy is the pre-fetch layout without the TX word.
+// DecodeHeartbeat still accepts it (TXUtil reads as zero) so widened
+// servers interoperate with clients speaking the old frame length and
+// vice versa.
+const HeartbeatSizeLegacy = 1 + 8 + 8
 
 // Encode appends the heartbeat encoding to buf and returns it.
 func (h Heartbeat) Encode(buf []byte) []byte {
@@ -179,18 +186,24 @@ func (h Heartbeat) Encode(buf []byte) []byte {
 	b[0] = byte(MsgHeartbeat)
 	binary.LittleEndian.PutUint64(b[1:], math.Float64bits(h.Util))
 	binary.LittleEndian.PutUint64(b[9:], h.RootVer)
+	binary.LittleEndian.PutUint64(b[17:], math.Float64bits(h.TXUtil))
 	return buf
 }
 
-// DecodeHeartbeat parses a heartbeat.
+// DecodeHeartbeat parses a heartbeat, tolerating both the legacy (no TX
+// word) and the widened layout.
 func DecodeHeartbeat(b []byte) (Heartbeat, error) {
-	if len(b) < HeartbeatSize || MsgType(b[0]) != MsgHeartbeat {
+	if len(b) < HeartbeatSizeLegacy || MsgType(b[0]) != MsgHeartbeat {
 		return Heartbeat{}, fmt.Errorf("%w: heartbeat", ErrCorrupt)
 	}
-	return Heartbeat{
+	h := Heartbeat{
 		Util:    math.Float64frombits(binary.LittleEndian.Uint64(b[1:])),
 		RootVer: binary.LittleEndian.Uint64(b[9:]),
-	}, nil
+	}
+	if len(b) >= HeartbeatSize {
+		h.TXUtil = math.Float64frombits(binary.LittleEndian.Uint64(b[17:]))
+	}
+	return h, nil
 }
 
 // PeekType returns the type of an encoded message.
@@ -199,7 +212,7 @@ func PeekType(b []byte) (MsgType, error) {
 		return 0, ErrCorrupt
 	}
 	t := MsgType(b[0])
-	if t < MsgSearch || t > MsgSpanData {
+	if t < MsgSearch || t > MsgReadMailbox {
 		return 0, fmt.Errorf("%w: type %d", ErrCorrupt, t)
 	}
 	return t, nil
@@ -218,10 +231,19 @@ type Hello struct {
 	ShardIndex  uint32 // this server's shard in the deployment
 	ShardCount  uint32 // total shards (0 or 1 = unsharded)
 	MapVersion  uint64 // shard-map version; routers verify agreement
+	// Fetch mailbox geometry: the mailbox region has FetchSlots slots of
+	// FetchSlotChunks chunks each (chunk size = ChunkSize). Zero slots
+	// means the server does not support result fetching.
+	FetchSlots      uint32
+	FetchSlotChunks uint32
 }
 
-// HelloSize is the encoded size of a Hello.
-const HelloSize = 1 + 4*5 + 8 + 4 + 4 + 8
+// HelloSize is the encoded size of a Hello (with the fetch geometry).
+const HelloSize = 1 + 4*5 + 8 + 4 + 4 + 8 + 4 + 4
+
+// helloSizeLegacy is the pre-fetch layout; DecodeHello still accepts it
+// (fetch geometry reads as zero → fetch unsupported).
+const helloSizeLegacy = 1 + 4*5 + 8 + 4 + 4 + 8
 
 // Encode appends the hello encoding to buf and returns it.
 func (h Hello) Encode(buf []byte) []byte {
@@ -238,15 +260,18 @@ func (h Hello) Encode(buf []byte) []byte {
 	binary.LittleEndian.PutUint32(b[29:], h.ShardIndex)
 	binary.LittleEndian.PutUint32(b[33:], h.ShardCount)
 	binary.LittleEndian.PutUint64(b[37:], h.MapVersion)
+	binary.LittleEndian.PutUint32(b[45:], h.FetchSlots)
+	binary.LittleEndian.PutUint32(b[49:], h.FetchSlotChunks)
 	return buf
 }
 
-// DecodeHello parses a hello.
+// DecodeHello parses a hello, tolerating the legacy layout without the
+// fetch geometry words.
 func DecodeHello(b []byte) (Hello, error) {
-	if len(b) < HelloSize || MsgType(b[0]) != MsgHello {
+	if len(b) < helloSizeLegacy || MsgType(b[0]) != MsgHello {
 		return Hello{}, fmt.Errorf("%w: hello", ErrCorrupt)
 	}
-	return Hello{
+	h := Hello{
 		RootChunk:   binary.LittleEndian.Uint32(b[1:]),
 		ChunkSize:   binary.LittleEndian.Uint32(b[5:]),
 		MaxEntries:  binary.LittleEndian.Uint32(b[9:]),
@@ -256,7 +281,12 @@ func DecodeHello(b []byte) (Hello, error) {
 		ShardIndex:  binary.LittleEndian.Uint32(b[29:]),
 		ShardCount:  binary.LittleEndian.Uint32(b[33:]),
 		MapVersion:  binary.LittleEndian.Uint64(b[37:]),
-	}, nil
+	}
+	if len(b) >= HelloSize {
+		h.FetchSlots = binary.LittleEndian.Uint32(b[45:])
+		h.FetchSlotChunks = binary.LittleEndian.Uint32(b[49:])
+	}
+	return h, nil
 }
 
 // ReadChunk requests a raw chunk image (the rpcnet stand-in for a one-sided
