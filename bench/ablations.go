@@ -478,3 +478,56 @@ func AblationChunkSize(o Options) (*stats.Table, error) {
 	}
 	return table, nil
 }
+
+// AblationFailover measures the cost of synchronous replication and the
+// effect of a mid-run primary crash (DESIGN.md §5.11). R=1 is the
+// unreplicated sharded baseline; R=2/R=3 pay one synchronous backup ack
+// per write. The "kill" rows crash shard 0's primary mid-run: writes to
+// that shard stall for at most one health window, the router promotes the
+// highest-caught-up backup, and the post-run verification replays random
+// queries against a brute-force ground truth including every acknowledged
+// insert — zero lost acknowledged writes or the run fails.
+func AblationFailover(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	cache := newCache(o)
+	clients := o.ablationClients()
+	table := stats.NewTable("R", "kill", "kops", "mean_lat_us", "promotions",
+		"backup_reads", "repl_records", "skipped", "verified")
+	for _, r := range []int{1, 2, 3} {
+		for _, kill := range []bool{false, true} {
+			if r == 1 && kill {
+				continue // no backup to promote: an unreplicated crash is data loss
+			}
+			cfg := cluster.Config{
+				Scheme:  cluster.SchemeCatfish,
+				Dataset: cache.uniformData(),
+				Workload: workload.NewMix(workload.UniformScale{Scale: 0.00001},
+					workload.SkewedInserts{Edge: 0.0001}, 0.1, 1<<32),
+				NumClients:        clients,
+				RequestsPerClient: o.Requests,
+				ServerCores:       o.ServerCores,
+				HeartbeatInv:      o.HeartbeatInv,
+				Shards:            2,
+				Replicas:          r,
+				VerifyQueries:     40,
+				Seed:              o.Seed,
+			}
+			if kill {
+				cfg.FailAfter = 50 * time.Microsecond
+				cfg.FailShard = 0
+			}
+			res, err := cluster.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("ablation failover R=%d kill=%v: %w", r, kill, err)
+			}
+			table.AddRow(fmt.Sprintf("%d", r), fmt.Sprintf("%v", kill),
+				fmtKops(res.Kops), fmtDur(res.Latency.Mean),
+				fmt.Sprintf("%d", res.Promotions),
+				fmt.Sprintf("%d", res.BackupReads),
+				fmt.Sprintf("%d", res.ReplRecords),
+				fmt.Sprintf("%d", res.SkippedSearches),
+				"ok")
+		}
+	}
+	return table, nil
+}

@@ -77,7 +77,7 @@ func run() error {
 		}
 	}
 	if *ablation != "" {
-		for _, a := range expand(*ablation, []string{"n", "t", "heartbeat", "multiissue", "batch", "chunk", "rootcache", "nodecache", "prefetch", "predictor", "fetch", "shards", "framework"}) {
+		for _, a := range expand(*ablation, []string{"n", "t", "heartbeat", "multiissue", "batch", "chunk", "rootcache", "nodecache", "prefetch", "predictor", "fetch", "shards", "failover", "framework"}) {
 			if err := runAblation(a, opts); err != nil {
 				return err
 			}
@@ -204,6 +204,8 @@ func runAblation(name string, opts bench.Options) error {
 		t, err = bench.AblationFetch(opts)
 	case "shards":
 		t, err = bench.AblationShards(opts)
+	case "failover":
+		t, err = bench.AblationFailover(opts)
 	case "framework":
 		t, err = bench.Framework(opts)
 	default:

@@ -51,6 +51,9 @@ func run() error {
 		insertFrac = flag.Float64("insert-fraction", 0, "fraction of requests that insert")
 		batch      = flag.Int("batch", 1, "batch size B: coalesce B requests per frame (1 = unbatched)")
 		seed       = flag.Int64("seed", 1, "random seed")
+		healthMult = flag.Int("health-multiple", 0, "shard-liveness window in heartbeat intervals (0 = default 10); sharded runs only")
+		backupsFl  = flag.String("backups", "", "per-shard backup addresses for failover and replica reads: semicolon-separated groups (one per shard, in shard order) of comma-separated addresses; empty groups allowed")
+		replUtil   = flag.Float64("read-replica-util", 0, "predicted-utilization threshold above which searches route to the least-loaded backup (0 = off)")
 
 		metricsAddr = flag.String("metrics-addr", "", "admin HTTP listen address serving live /metrics, /traces, and /debug/pprof for this driver (empty disables)")
 		traceCap    = flag.Int("trace-cap", 1024, "trace ring capacity for /traces")
@@ -85,6 +88,19 @@ func run() error {
 		return fmt.Errorf("unknown method %q", *method)
 	}
 	addrs := strings.Split(*addr, ",")
+	var shardBackups [][]string
+	if *backupsFl != "" {
+		groups := strings.Split(*backupsFl, ";")
+		if len(groups) != len(addrs) {
+			return fmt.Errorf("-backups lists %d groups for %d shards", len(groups), len(addrs))
+		}
+		shardBackups = make([][]string, len(groups))
+		for i, g := range groups {
+			if g != "" {
+				shardBackups[i] = strings.Split(g, ",")
+			}
+		}
+	}
 
 	type result struct {
 		hist   *stats.Histogram
@@ -123,8 +139,16 @@ func run() error {
 			}
 			var c conn
 			collect := func() {}
-			if len(addrs) > 1 {
-				r, err := catfish.DialRouter(addrs, catfish.NetRouterConfig{Client: ccfg})
+			// Backups imply the router even for a single shard: failover
+			// (election, fencing, re-dial) lives in the router, not the
+			// plain client.
+			if len(addrs) > 1 || len(shardBackups) > 0 {
+				r, err := catfish.DialRouter(addrs, catfish.NetRouterConfig{
+					Client:          ccfg,
+					HealthMultiple:  *healthMult,
+					Backups:         shardBackups,
+					ReadReplicaUtil: *replUtil,
+				})
 				if err != nil {
 					results[i].err = err
 					return
@@ -219,6 +243,9 @@ func run() error {
 		rt.Fanout += r.router.Fanout
 		rt.Skipped += r.router.Skipped
 		rt.UnhealthyWrites += r.router.UnhealthyWrites
+		rt.Promotions += r.router.Promotions
+		rt.BackupReads += r.router.BackupReads
+		rt.MapAdoptions += r.router.MapAdoptions
 	}
 	s := total.Summarize()
 	fmt.Printf("ops: %d in %v  =>  %.1f Kops\n", s.Count, elapsed.Round(time.Millisecond),
@@ -250,6 +277,10 @@ func run() error {
 	if len(addrs) > 1 && rt.Searches > 0 {
 		fmt.Printf("shards: %d, fan-out/search=%.2f, skipped searches=%d, unhealthy writes=%d\n",
 			len(addrs), float64(rt.Fanout)/float64(rt.Searches), rt.Skipped, rt.UnhealthyWrites)
+	}
+	if rt.Promotions > 0 || rt.BackupReads > 0 || rt.MapAdoptions > 0 {
+		fmt.Printf("availability: promotions=%d backup reads=%d map adoptions=%d\n",
+			rt.Promotions, rt.BackupReads, rt.MapAdoptions)
 	}
 	return nil
 }

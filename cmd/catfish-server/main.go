@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	catfish "github.com/catfish-db/catfish"
@@ -41,6 +42,12 @@ func run() error {
 		shards    = flag.Int("shards", 1, "total shard count of the deployment (1 = unsharded)")
 		shardIdx  = flag.Int("shard-index", 0, "this server's shard index, 0-based; every shard must be started with identical dataset flags")
 		maxInsert = flag.Float64("max-insert-edge", 1e-5, "largest rectangle edge clients will insert (widens shard coverage)")
+
+		shardAddrs = flag.String("shard-addrs", "", "comma-separated client-reachable addresses of every shard, in shard order (served with the shard map so routers can dial shards that appear mid-run)")
+		backups    = flag.String("backups", "", "comma-separated backup addresses this primary replicates to (arms replication)")
+		backup     = flag.Bool("backup", false, "start as a backup: reject client writes until promoted")
+		replEpoch  = flag.Uint64("repl-epoch", 0, "starting replication epoch (0 = 1); all replicas of a shard must agree")
+		healthMult = flag.Int("health-multiple", 0, "shard-liveness window in heartbeat intervals (0 = default); bounds the replication ack deadline")
 
 		fetchSlots  = flag.Int("fetch-slots", 0, "result-mailbox slots for remote result fetching (0 disables)")
 		fetchChunks = flag.Int("fetch-slot-chunks", 0, "chunks per mailbox slot (0 = default)")
@@ -122,6 +129,32 @@ func run() error {
 		FetchSlotChunks:   *fetchChunks,
 		FetchInlineMax:    *fetchInline,
 		TXLineRateBps:     *txLineRate * 1e9,
+	}
+	if *shardAddrs != "" {
+		srvCfg.ShardAddrs = strings.Split(*shardAddrs, ",")
+		if len(srvCfg.ShardAddrs) != *shards {
+			return fmt.Errorf("-shard-addrs lists %d addresses for -shards %d", len(srvCfg.ShardAddrs), *shards)
+		}
+	}
+	if *backups != "" || *backup {
+		rc := &catfish.NetReplicaConfig{
+			Primary: !*backup,
+			Epoch:   *replEpoch,
+		}
+		if *backups != "" {
+			rc.Backups = strings.Split(*backups, ",")
+		}
+		// The ack deadline mirrors the routers' liveness window: a backup
+		// slower than a missed-heartbeat verdict is dropped from the stream.
+		if *healthMult > 0 && *heartbeat > 0 {
+			rc.AckTimeout = time.Duration(*healthMult) * *heartbeat
+		}
+		srvCfg.Replica = rc
+		role := "primary"
+		if *backup {
+			role = "backup"
+		}
+		log.Printf("replication armed: role=%s backups=%d epoch=%d", role, len(rc.Backups), *replEpoch)
 	}
 
 	// Admin endpoint: a registry (shard-labelled when part of a sharded

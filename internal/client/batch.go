@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/replica"
 	"github.com/catfish-db/catfish/internal/sim"
 	"github.com/catfish-db/catfish/internal/wire"
 )
@@ -301,6 +302,9 @@ func (c *Client) collectBatch(p *sim.Proc, ops []BatchOp, results []BatchResult,
 // opError maps a response status to the unbatched API's error for the
 // given operation type.
 func opError(t wire.MsgType, status uint8) error {
+	if rerr := replica.StatusError(status); rerr != nil {
+		return rerr
+	}
 	switch {
 	case status == wire.StatusOK:
 		return nil

@@ -17,6 +17,7 @@ import (
 	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/netmodel"
 	"github.com/catfish-db/catfish/internal/nodecache"
+	"github.com/catfish-db/catfish/internal/replica"
 	"github.com/catfish-db/catfish/internal/rtree"
 	"github.com/catfish-db/catfish/internal/server"
 	"github.com/catfish-db/catfish/internal/sim"
@@ -371,6 +372,9 @@ func (c *Client) Insert(p *sim.Proc, r geo.Rect, ref uint64) error {
 		return err
 	}
 	if resp.Status != wire.StatusOK {
+		if rerr := replica.StatusError(resp.Status); rerr != nil {
+			return rerr
+		}
 		return fmt.Errorf("%w: insert status %d", ErrServer, resp.Status)
 	}
 	return nil
@@ -389,8 +393,29 @@ func (c *Client) Delete(p *sim.Proc, r geo.Rect, ref uint64) error {
 	case wire.StatusNotFound:
 		return ErrNotFound
 	default:
+		if rerr := replica.StatusError(resp.Status); rerr != nil {
+			return rerr
+		}
 		return fmt.Errorf("%w: delete status %d", ErrServer, resp.Status)
 	}
+}
+
+// Promote asks the server to adopt epoch and start accepting writes — the
+// router's failover control message. It travels as a plain request so a
+// killed server answers StatusUnavailable and the router moves on to the
+// next candidate.
+func (c *Client) Promote(p *sim.Proc, epoch uint64) error {
+	resp, err := c.roundTrip(p, wire.Request{Type: wire.MsgPromote, ID: c.nextID(), Ref: epoch})
+	if err != nil {
+		return err
+	}
+	if resp.Status != wire.StatusOK {
+		if rerr := replica.StatusError(resp.Status); rerr != nil {
+			return rerr
+		}
+		return fmt.Errorf("%w: promote status %d", ErrServer, resp.Status)
+	}
+	return nil
 }
 
 // decide runs the client module of the adaptive coordination
@@ -477,6 +502,9 @@ func (c *Client) searchFast(p *sim.Proc, q geo.Rect) ([]wire.Item, error) {
 		return nil, err
 	}
 	if resp.Status != wire.StatusOK {
+		if rerr := replica.StatusError(resp.Status); rerr != nil {
+			return nil, rerr
+		}
 		return nil, fmt.Errorf("%w: search status %d", ErrServer, resp.Status)
 	}
 	return resp.Items, nil
@@ -575,6 +603,9 @@ func (c *Client) searchTCP(p *sim.Proc, q geo.Rect) ([]wire.Item, error) {
 		return nil, err
 	}
 	if resp.Status != wire.StatusOK {
+		if rerr := replica.StatusError(resp.Status); rerr != nil {
+			return nil, rerr
+		}
 		return nil, fmt.Errorf("%w: search status %d", ErrServer, resp.Status)
 	}
 	return resp.Items, nil

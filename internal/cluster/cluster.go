@@ -178,6 +178,24 @@ type Config struct {
 	// on a heartbeating scheme.
 	HealthMultiple int
 
+	// Replicas is the per-shard replication factor: each shard gets
+	// Replicas-1 synchronously updated backup servers, and routers promote
+	// the best backup when the primary refuses service or its health window
+	// lapses. 0 or 1 disables replication, leaving the sharded path
+	// bit-for-bit unchanged. Only meaningful with Shards > 1.
+	Replicas int
+	// FailAfter > 0 injects a primary crash: shard FailShard's primary is
+	// killed at that virtual time (heartbeats freeze, requests answer
+	// StatusUnavailable). Zero disables fault injection.
+	FailAfter time.Duration
+	FailShard int
+	// VerifyQueries > 0 replays that many random queries through a router
+	// after the workload drains and compares each result against a
+	// brute-force scan of the dataset plus every acknowledged insert; a
+	// mismatch fails the run. This is the zero-lost-acknowledged-writes
+	// check of the failover tests.
+	VerifyQueries int
+
 	Seed int64
 }
 
@@ -259,6 +277,13 @@ type Result struct {
 	// unhealthy; UnhealthyWrites counts writes rejected for a dead owner.
 	SkippedSearches uint64
 	UnhealthyWrites uint64
+	// Promotions counts backup promotions routers performed (failovers);
+	// BackupReads the sub-searches a backup replica answered while its
+	// primary refused service; ReplRecords the replicated mutations the
+	// backups applied. All zero at Replicas <= 1.
+	Promotions  uint64
+	BackupReads uint64
+	ReplRecords uint64
 }
 
 // ShardResult is one shard's share of a sharded run.

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestReplicasOneEquivalence(t *testing.T) {
+	// Replicas <= 1 must leave the sharded path bit for bit unchanged:
+	// no backup stacks, no replica state, no hook — same makespan, same
+	// latency distribution, same counters. Randomized via per-seed runs on
+	// both transports, plain and batched.
+	for _, tc := range []struct {
+		name  string
+		sch   Scheme
+		batch int
+	}{
+		{"catfish", SchemeCatfish, 0},
+		{"tcp", SchemeTCP40G, 0},
+		{"catfish-batched", SchemeFastEvent, 8},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for _, seed := range []int64{1, 42} {
+				base := hybridConfig(tc.sch, 4)
+				base.Shards = 2
+				base.BatchSize = tc.batch
+				base.Seed = seed
+				a, err := Run(base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep := base
+				rep.Replicas = 1
+				b, err := Run(rep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Errorf("seed %d: Replicas=1 diverges from baseline:\nbase: %+v\nR=1:  %+v", seed, a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestShardedFailoverKillPrimary(t *testing.T) {
+	// Kill shard 0's primary early in the run. Every write must still be
+	// acknowledged (the router promotes the synchronously updated backup),
+	// searches keep answering from backups, and the post-run equivalence
+	// check proves no acknowledged write was lost.
+	for _, tc := range []struct {
+		name  string
+		sch   Scheme
+		batch int
+	}{
+		{"catfish", SchemeCatfish, 0},
+		{"tcp", SchemeTCP40G, 0},
+		{"catfish-batched", SchemeFastEvent, 8},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := hybridConfig(tc.sch, 4)
+			cfg.Shards = 2
+			cfg.Replicas = 2
+			cfg.BatchSize = tc.batch
+			cfg.FailAfter = 50 * time.Microsecond
+			cfg.FailShard = 0
+			cfg.VerifyQueries = 40
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != 4*50 {
+				t.Errorf("ops = %d, want 200", res.Ops)
+			}
+			if res.Promotions == 0 {
+				t.Error("no promotions recorded after killing a primary")
+			}
+			if res.ReplRecords == 0 {
+				t.Error("no replicated records applied on backups")
+			}
+		})
+	}
+}
+
+func TestShardedFailoverDeterminism(t *testing.T) {
+	cfg := hybridConfig(SchemeCatfish, 4)
+	cfg.Shards = 2
+	cfg.Replicas = 2
+	cfg.FailAfter = 50 * time.Microsecond
+	cfg.VerifyQueries = 10
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("failover runs nondeterministic:\na: %+v\nb: %+v", a, b)
+	}
+}

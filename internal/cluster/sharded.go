@@ -9,6 +9,7 @@ import (
 	"github.com/catfish-db/catfish/internal/client"
 	"github.com/catfish-db/catfish/internal/fabric"
 	"github.com/catfish-db/catfish/internal/region"
+	"github.com/catfish-db/catfish/internal/replica"
 	"github.com/catfish-db/catfish/internal/rtree"
 	"github.com/catfish-db/catfish/internal/server"
 	"github.com/catfish-db/catfish/internal/shard"
@@ -45,36 +46,47 @@ func runSharded(cfg Config) (Result, error) {
 
 	// One full server stack per shard. Regions keep the single-server
 	// insert headroom: ownership skew means one shard can absorb most of
-	// the write stream.
+	// the write stream. With Replicas > 1 each shard additionally gets
+	// backup stacks bulk-loaded from the same partition; the primary's
+	// Replicate hook keeps them synchronously updated under its write
+	// latch, so an acknowledged write is always on every live backup.
+	reps := cfg.Replicas
+	if reps < 1 {
+		reps = 1
+	}
 	serverCPUs := make([]*sim.CPU, k)
 	serverHosts := make([]*fabric.Host, k)
 	pollCPUs := make([]*sim.PollCPU, k)
 	servers := make([]*server.Server, k)
-	for s := 0; s < k; s++ {
-		serverCPUs[s] = sim.NewCPU(e, cfg.ServerCores)
-		serverHosts[s] = net.NewHost(fmt.Sprintf("shard-%d", s), serverCPUs[s])
+	backupSrvs := make([][]*server.Server, k)
+	buildStack := func(s int, name string, rep *replica.State,
+		hook func(*sim.Proc, replica.Record) error) (*server.Server, *sim.CPU, *fabric.Host, *sim.PollCPU, error) {
+		cpu := sim.NewCPU(e, cfg.ServerCores)
+		host := net.NewHost(name, cpu)
 		reg, err := region.New(cfg.regionChunks(), cfg.ChunkSize)
 		if err != nil {
-			return Result{}, err
+			return nil, nil, nil, nil, err
 		}
 		tree, err := rtree.New(reg, rtree.Config{MaxEntries: cfg.MaxEntries})
 		if err != nil {
-			return Result{}, err
+			return nil, nil, nil, nil, err
 		}
 		if len(assign[s]) > 0 {
 			data := append([]rtree.Entry(nil), assign[s]...)
 			if err := tree.BulkLoad(data, 0); err != nil {
-				return Result{}, fmt.Errorf("cluster: shard %d bulk load: %w", s, err)
+				return nil, nil, nil, nil, fmt.Errorf("cluster: shard %d bulk load: %w", s, err)
 			}
 		}
 		srvCfg := server.Config{
 			Engine:           e,
-			Host:             serverHosts[s],
+			Host:             host,
 			Tree:             tree,
 			Cost:             cfg.Cost,
 			Mode:             cfg.Scheme.ServerMode,
 			RingSize:         cfg.RingSize,
 			StagedNodeWrites: cfg.StagedWrites,
+			Replica:          rep,
+			Replicate:        hook,
 		}
 		if cfg.Scheme.Heartbeats {
 			srvCfg.HeartbeatInterval = cfg.HeartbeatInv
@@ -84,13 +96,54 @@ func runSharded(cfg Config) (Result, error) {
 			srvCfg.FetchSlotChunks = cfg.FetchSlotChunks
 			srvCfg.FetchInlineMax = cfg.FetchInlineMax
 		}
+		var pollCPU *sim.PollCPU
 		if cfg.Scheme.ServerMode == server.ModePolling {
-			pollCPUs[s] = sim.NewPollCPU(e, cfg.ServerCores, cfg.Cost.PollSlice)
-			srvCfg.PollCPU = pollCPUs[s]
+			pollCPU = sim.NewPollCPU(e, cfg.ServerCores, cfg.Cost.PollSlice)
+			srvCfg.PollCPU = pollCPU
 		}
-		servers[s], err = server.New(srvCfg)
+		srv, err := server.New(srvCfg)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		return srv, cpu, host, pollCPU, nil
+	}
+	for s := 0; s < k; s++ {
+		var rep *replica.State
+		var hook func(*sim.Proc, replica.Record) error
+		if reps > 1 {
+			s := s
+			rep = replica.NewState(1, true)
+			// The hook runs under the primary's exclusive latch before the
+			// write is acknowledged. A killed backup is dropped from the
+			// stream; a fencing rejection (the backup was promoted past us)
+			// surfaces to the client, which never acks the write.
+			hook = func(p *sim.Proc, rec replica.Record) error {
+				var firstErr error
+				for _, b := range backupSrvs[s] {
+					if err := b.ApplyReplica(p, rec); err != nil {
+						if errors.Is(err, replica.ErrUnavailable) {
+							continue
+						}
+						if firstErr == nil {
+							firstErr = err
+						}
+					}
+				}
+				return firstErr
+			}
+		}
+		srv, cpu, host, pollCPU, err := buildStack(s, fmt.Sprintf("shard-%d", s), rep, hook)
 		if err != nil {
 			return Result{}, err
+		}
+		servers[s], serverCPUs[s], serverHosts[s], pollCPUs[s] = srv, cpu, host, pollCPU
+		for b := 1; b < reps; b++ {
+			bsrv, _, _, _, err := buildStack(s, fmt.Sprintf("shard-%d-backup-%d", s, b),
+				replica.NewState(1, false), nil)
+			if err != nil {
+				return Result{}, err
+			}
+			backupSrvs[s] = append(backupSrvs[s], bsrv)
 		}
 	}
 
@@ -111,8 +164,7 @@ func runSharded(cfg Config) (Result, error) {
 	shardClients := make([][]*client.Client, cfg.NumClients)
 	for i := 0; i < cfg.NumClients; i++ {
 		host := hosts[i/cfg.ClientsPerHost]
-		cs := make([]*client.Client, k)
-		for s := 0; s < k; s++ {
+		mkClient := func(srv *server.Server) (*client.Client, error) {
 			ccfg := client.Config{
 				Engine:        e,
 				Host:          host,
@@ -131,23 +183,38 @@ func runSharded(cfg Config) (Result, error) {
 				TxT:           cfg.TxT,
 			}
 			if cfg.Scheme.TCP {
-				ep, err := servers[s].ConnectTCP(host, net)
+				ep, err := srv.ConnectTCP(host, net)
 				if err != nil {
-					return Result{}, err
+					return nil, err
 				}
 				ccfg.Endpoint = ep
 			} else {
-				ep, err := servers[s].Connect(host, net, cfg.MultiIssueDepth)
+				ep, err := srv.Connect(host, net, cfg.MultiIssueDepth)
 				if err != nil {
-					return Result{}, err
+					return nil, err
 				}
 				ccfg.Endpoint = ep
 			}
-			c, err := client.New(ccfg)
+			return client.New(ccfg)
+		}
+		cs := make([]*client.Client, k)
+		var bcs [][]*client.Client
+		if reps > 1 {
+			bcs = make([][]*client.Client, k)
+		}
+		for s := 0; s < k; s++ {
+			c, err := mkClient(servers[s])
 			if err != nil {
 				return Result{}, err
 			}
 			cs[s] = c
+			for _, bsrv := range backupSrvs[s] {
+				bc, err := mkClient(bsrv)
+				if err != nil {
+					return Result{}, err
+				}
+				bcs[s] = append(bcs[s], bc)
+			}
 		}
 		shardClients[i] = cs
 		routers[i], err = shard.NewRouter(shard.RouterConfig{
@@ -156,6 +223,7 @@ func runSharded(cfg Config) (Result, error) {
 			Clients:           cs,
 			HeartbeatInterval: hbForHealth,
 			HealthMultiple:    cfg.HealthMultiple,
+			Backups:           bcs,
 		})
 		if err != nil {
 			return Result{}, err
@@ -168,6 +236,14 @@ func runSharded(cfg Config) (Result, error) {
 	var makespan time.Duration
 	var runErr error
 	wg := sim.NewWaitGroup(e)
+
+	// Per-driver acknowledged inserts, recorded only when the post-run
+	// equivalence check is armed: an acked write that a later search cannot
+	// find is a lost write.
+	var acked [][]rtree.Entry
+	if cfg.VerifyQueries > 0 {
+		acked = make([][]rtree.Entry, cfg.NumClients)
+	}
 
 	for i := range routers {
 		i, r := i, routers[i]
@@ -201,6 +277,9 @@ func runSharded(cfg Config) (Result, error) {
 						}
 						if batch[j].Type == wire.MsgInsert {
 							insertLat.Record(elapsed)
+							if acked != nil {
+								acked[i] = append(acked[i], rtree.Entry{Rect: batch[j].Rect, Ref: batch[j].Ref})
+							}
 						} else {
 							searchLat.Record(elapsed)
 						}
@@ -222,6 +301,9 @@ func runSharded(cfg Config) (Result, error) {
 						return
 					}
 					insertLat.Record(p.Now() - start)
+					if acked != nil {
+						acked[i] = append(acked[i], rtree.Entry{Rect: op.Rect, Ref: op.Ref + uint64(i)<<32})
+					}
 				default:
 					if _, _, err := r.Search(p, op.Rect); err != nil {
 						runErr = fmt.Errorf("client %d search: %w", i, err)
@@ -236,8 +318,21 @@ func runSharded(cfg Config) (Result, error) {
 			}
 		})
 	}
+	if cfg.FailAfter > 0 {
+		e.Spawn("fault-injector", func(p *sim.Proc) {
+			p.Sleep(cfg.FailAfter)
+			servers[cfg.FailShard].Kill()
+		})
+	}
 	e.Spawn("coordinator", func(p *sim.Proc) {
 		wg.Wait(p)
+		if runErr == nil && cfg.VerifyQueries > 0 {
+			want := append([]rtree.Entry(nil), cfg.Dataset...)
+			for _, a := range acked {
+				want = append(want, a...)
+			}
+			runErr = verifySharded(p, routers[0], cfg, want)
+		}
 		p.Engine().Stop()
 	})
 	if err := e.Run(); err != nil {
@@ -319,9 +414,55 @@ func runSharded(cfg Config) (Result, error) {
 		fanout += rs.Fanout
 		res.SkippedSearches += rs.Skipped
 		res.UnhealthyWrites += rs.UnhealthyWrites
+		res.Promotions += rs.Promotions
+		res.BackupReads += rs.BackupReads
+	}
+	for s := range backupSrvs {
+		for _, b := range backupSrvs[s] {
+			res.ReplRecords += b.Stats().ReplRecords
+		}
 	}
 	if searches > 0 {
 		res.FanoutPerSearch = float64(fanout) / float64(searches)
 	}
 	return res, nil
+}
+
+// verifySharded replays VerifyQueries random range queries through r and
+// compares every merged result against a brute-force scan of want — the
+// post-failover ground-truth equivalence check: each acknowledged write
+// must be visible, and nothing else.
+func verifySharded(p *sim.Proc, r *shard.Router, cfg Config, want []rtree.Entry) error {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x7ef1ca))
+	mix := *cfg.Workload
+	done := 0
+	for attempts := 0; done < cfg.VerifyQueries && attempts < cfg.VerifyQueries*100; attempts++ {
+		op := mix.Next(rng)
+		if op.Type != workload.OpSearch {
+			continue
+		}
+		done++
+		items, _, err := r.Search(p, op.Rect)
+		if err != nil {
+			return fmt.Errorf("cluster: verify query %d: %w", done, err)
+		}
+		got := make(map[uint64]int, len(items))
+		for _, it := range items {
+			got[it.Ref]++
+		}
+		n := 0
+		for _, e := range want {
+			if e.Rect.Intersects(op.Rect) {
+				n++
+				if got[e.Ref] == 0 {
+					return fmt.Errorf("cluster: verify query %d: ref %#x missing — acknowledged write lost", done, e.Ref)
+				}
+				got[e.Ref]--
+			}
+		}
+		if len(items) != n {
+			return fmt.Errorf("cluster: verify query %d: %d items, brute force says %d", done, len(items), n)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,83 @@
+package region
+
+import "sync"
+
+// Span is a contiguous run of chunks [Start, Start+Count) — the unit the
+// replication stream ships: coalescing adjacent dirty chunks into one span
+// turns many small backup writes into few large ones, the same merged-read
+// trick the offload path plays on its fetch side.
+type Span struct {
+	Start int
+	Count int
+}
+
+// End returns the first chunk past the span.
+func (s Span) End() int { return s.Start + s.Count }
+
+// DirtyTracker accumulates the chunk IDs a primary's writes touch between
+// replication rounds and drains them as merged spans. It is safe for
+// concurrent use: the write path marks under the tree latch while the
+// replication stream drains from its own goroutine.
+type DirtyTracker struct {
+	mu    sync.Mutex
+	dirty map[int]struct{}
+	marks uint64
+}
+
+// NewDirtyTracker returns an empty tracker.
+func NewDirtyTracker() *DirtyTracker {
+	return &DirtyTracker{dirty: make(map[int]struct{})}
+}
+
+// Mark records chunk id as dirty.
+func (t *DirtyTracker) Mark(id int) {
+	t.mu.Lock()
+	t.dirty[id] = struct{}{}
+	t.marks++
+	t.mu.Unlock()
+}
+
+// Marks returns the total number of Mark calls — pairs with Len to expose
+// how much coalescing the tracker achieved.
+func (t *DirtyTracker) Marks() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.marks
+}
+
+// Len returns the number of distinct dirty chunks pending.
+func (t *DirtyTracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.dirty)
+}
+
+// TakeSpans drains the tracker, returning the pending dirty chunks merged
+// into sorted, maximally coalesced spans. Returns nil when clean.
+func (t *DirtyTracker) TakeSpans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.dirty) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(t.dirty))
+	for id := range t.dirty {
+		ids = append(ids, id)
+	}
+	clear(t.dirty)
+	// Insertion sort: span batches are small and usually nearly sorted.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	spans := []Span{{Start: ids[0], Count: 1}}
+	for _, id := range ids[1:] {
+		if last := &spans[len(spans)-1]; id == last.End() {
+			last.Count++
+		} else {
+			spans = append(spans, Span{Start: id, Count: 1})
+		}
+	}
+	return spans
+}

@@ -1,0 +1,34 @@
+package region
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDirtyTrackerCoalesce(t *testing.T) {
+	tr := NewDirtyTracker()
+	if got := tr.TakeSpans(); got != nil {
+		t.Fatalf("clean tracker TakeSpans = %v", got)
+	}
+	for _, id := range []int{7, 3, 4, 5, 9, 3, 12, 11} {
+		tr.Mark(id)
+	}
+	if tr.Len() != 7 {
+		t.Fatalf("Len = %d, want 7 distinct", tr.Len())
+	}
+	if tr.Marks() != 8 {
+		t.Fatalf("Marks = %d, want 8", tr.Marks())
+	}
+	want := []Span{{3, 3}, {7, 1}, {9, 1}, {11, 2}}
+	if got := tr.TakeSpans(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("TakeSpans = %v, want %v", got, want)
+	}
+	// Drained: next take is clean, and marks keep accumulating.
+	if got := tr.TakeSpans(); got != nil {
+		t.Fatalf("drained tracker TakeSpans = %v", got)
+	}
+	tr.Mark(0)
+	if got := tr.TakeSpans(); !reflect.DeepEqual(got, []Span{{0, 1}}) {
+		t.Fatalf("second round TakeSpans = %v", got)
+	}
+}

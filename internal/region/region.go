@@ -71,7 +71,18 @@ type Region struct {
 	freeHead int32
 	freeNext []int32
 	allocs   int
+
+	// dirty, when attached via Track, records every chunk mutated through
+	// the write paths so a replication stream can coalesce the touched
+	// chunks into merged spans (DESIGN.md §5.11).
+	dirty *DirtyTracker
 }
+
+// Track attaches a DirtyTracker that is marked on every chunk write
+// (WriteChunk, WriteChunkPrefix, and staged writes). Nil detaches. Attach
+// before the region sees writes; the tracker itself is safe for concurrent
+// marking.
+func (r *Region) Track(t *DirtyTracker) { r.dirty = t }
 
 // New returns a region with nchunks chunks of chunkSize bytes each.
 // chunkSize must be a positive multiple of CacheLine.
@@ -216,6 +227,9 @@ func (r *Region) WriteChunk(id int, payload []byte) error {
 	for l := 0; l < r.lines; l++ {
 		r.writeLine(id, l, v, payload)
 	}
+	if r.dirty != nil {
+		r.dirty.Mark(id)
+	}
 	return nil
 }
 
@@ -241,6 +255,9 @@ func (r *Region) WriteChunkPrefix(id int, payload []byte) error {
 	for l := covered; l < r.lines; l++ {
 		base := r.lineBase(id, l)
 		atomic.StoreUint64(&r.words[base], v)
+	}
+	if r.dirty != nil {
+		r.dirty.Mark(id)
 	}
 	return nil
 }
@@ -276,6 +293,9 @@ func (r *Region) BeginWrite(id int, payload []byte) (*StagedWrite, error) {
 	}
 	for l := 0; l < w.half; l++ {
 		r.writeLine(id, l, w.version, w.payload)
+	}
+	if r.dirty != nil {
+		r.dirty.Mark(id)
 	}
 	return w, nil
 }

@@ -1,0 +1,166 @@
+package replica
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/wire"
+)
+
+func TestLogSince(t *testing.T) {
+	var l Log
+	if l.LastSeq() != 0 {
+		t.Fatalf("empty log LastSeq = %d", l.LastSeq())
+	}
+	if got := l.Since(0); got != nil {
+		t.Fatalf("empty log Since(0) = %v", got)
+	}
+	for i := uint64(1); i <= 10; i++ {
+		l.Append(Record{Epoch: 1, Seq: i, Op: wire.MsgInsert, Ref: i})
+	}
+	if l.LastSeq() != 10 {
+		t.Fatalf("LastSeq = %d, want 10", l.LastSeq())
+	}
+	for _, tc := range []struct {
+		since uint64
+		first uint64
+		n     int
+	}{
+		{0, 1, 10}, {1, 2, 9}, {5, 6, 5}, {9, 10, 1}, {10, 0, 0}, {99, 0, 0},
+	} {
+		got := l.Since(tc.since)
+		if len(got) != tc.n {
+			t.Fatalf("Since(%d): %d records, want %d", tc.since, len(got), tc.n)
+		}
+		if tc.n > 0 && got[0].Seq != tc.first {
+			t.Fatalf("Since(%d): first seq %d, want %d", tc.since, got[0].Seq, tc.first)
+		}
+	}
+}
+
+func TestStateSequencing(t *testing.T) {
+	s := NewState(1, true)
+	for i := uint64(1); i <= 3; i++ {
+		ep, seq, err := s.Next()
+		if err != nil || ep != 1 || seq != i {
+			t.Fatalf("Next = (%d, %d, %v), want (1, %d, nil)", ep, seq, err, i)
+		}
+	}
+	b := NewState(1, false)
+	if _, _, err := b.Next(); !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("backup Next err = %v, want ErrNotPrimary", err)
+	}
+}
+
+func TestAcceptFencingAndGaps(t *testing.T) {
+	b := NewState(2, false)
+	if err := b.Accept(1, 1); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale epoch: err = %v, want ErrFenced", err)
+	}
+	if err := b.Accept(2, 1); err != nil {
+		t.Fatalf("seq 1: %v", err)
+	}
+	// Gap: seq 3 with only 1 applied.
+	err := b.Accept(2, 3)
+	var gap *GapError
+	if !errors.As(err, &gap) || gap.Applied != 1 || gap.Got != 3 {
+		t.Fatalf("gap err = %v", err)
+	}
+	if err := b.Accept(2, 2); err != nil {
+		t.Fatalf("seq 2: %v", err)
+	}
+	// Higher epoch adopts and demotes.
+	b.Promote(3)
+	if !b.Primary() {
+		t.Fatal("promote failed")
+	}
+	if err := b.Accept(4, 3); err != nil {
+		t.Fatalf("higher-epoch record: %v", err)
+	}
+	if b.Primary() || b.Epoch() != 4 {
+		t.Fatalf("after higher-epoch record: primary=%v epoch=%d", b.Primary(), b.Epoch())
+	}
+}
+
+func TestPromoteIdempotent(t *testing.T) {
+	s := NewState(1, false)
+	if !s.Promote(2) {
+		t.Fatal("first promote should change state")
+	}
+	if s.Promote(2) {
+		t.Fatal("same-epoch re-promote should be a no-op")
+	}
+	if s.Promote(1) {
+		t.Fatal("lower-epoch promote should be a no-op")
+	}
+	if s.Epoch() != 2 || !s.Primary() {
+		t.Fatalf("epoch=%d primary=%v", s.Epoch(), s.Primary())
+	}
+	// A demoted server can be re-promoted at the same epoch it was fenced
+	// to only via a higher epoch.
+	s.Fence(3)
+	if s.Primary() {
+		t.Fatal("fence should demote")
+	}
+	if !s.Promote(3) {
+		t.Fatal("promote at fenced epoch should succeed (not primary yet)")
+	}
+}
+
+func TestPickSuccessor(t *testing.T) {
+	for _, tc := range []struct {
+		applied []uint64
+		healthy []bool
+		want    int
+	}{
+		{[]uint64{5, 7, 7}, []bool{true, true, true}, 1},
+		{[]uint64{5, 7, 9}, []bool{true, true, false}, 1},
+		{[]uint64{5, 7, 9}, []bool{false, false, false}, -1},
+		{[]uint64{0, 0}, []bool{true, true}, 0},
+		{nil, nil, -1},
+	} {
+		if got := PickSuccessor(tc.applied, tc.healthy); got != tc.want {
+			t.Fatalf("PickSuccessor(%v, %v) = %d, want %d", tc.applied, tc.healthy, got, tc.want)
+		}
+	}
+}
+
+func TestStatusError(t *testing.T) {
+	if err := StatusError(wire.StatusOK); err != nil {
+		t.Fatalf("StatusOK → %v", err)
+	}
+	if err := StatusError(wire.StatusUnavailable); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("unavailable → %v", err)
+	}
+	if err := StatusError(wire.StatusFenced); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced → %v", err)
+	}
+	if err := StatusError(wire.StatusNotPrimary); !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("not-primary → %v", err)
+	}
+	for _, err := range []error{ErrUnavailable, ErrFenced, ErrNotPrimary} {
+		if !Failover(err) {
+			t.Fatalf("Failover(%v) = false", err)
+		}
+	}
+	if Failover(errors.New("other")) {
+		t.Fatal("Failover(other) = true")
+	}
+}
+
+func TestRecordWireRoundTrip(t *testing.T) {
+	rec := Record{Epoch: 3, Seq: 42, Op: wire.MsgDelete,
+		Rect: geo.Rect{MinX: 1, MaxX: 2, MinY: 3, MaxY: 4}, Ref: 99}
+	enc := wire.Replicate{ID: 7, Records: []wire.ReplRecord{rec.Wire()}}.Encode(nil)
+	dec, err := wire.DecodeReplicate(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ID != 7 || len(dec.Records) != 1 {
+		t.Fatalf("decoded %+v", dec)
+	}
+	if got := FromWire(dec.Records[0]); got != rec {
+		t.Fatalf("round trip: got %+v, want %+v", got, rec)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/replica"
 	"github.com/catfish-db/catfish/internal/wire"
 )
 
@@ -63,6 +64,13 @@ func (s *Server) handleBatch(sc *srvConn, payload []byte) error {
 	if len(reqs) == 0 {
 		return nil
 	}
+	if s.killed.Load() {
+		res := make([]batchResult, 0, len(reqs))
+		for _, req := range reqs {
+			res = append(res, batchResult{id: req.ID, status: wire.StatusUnavailable})
+		}
+		return s.respondBatch(sc, res)
+	}
 	s.batches.Add(1)
 	s.batchedOps.Add(uint64(len(reqs)))
 
@@ -106,18 +114,48 @@ func (s *Server) handleBatch(sc *srvConn, payload []byte) error {
 			}
 		case wire.MsgInsert:
 			s.inserts.Add(1)
-			if _, err := s.tree.Insert(req.Rect, req.Ref); err == nil {
-				out.status = wire.StatusOK
+			switch {
+			case s.repl != nil && !s.repl.Primary():
+				out.status = wire.StatusNotPrimary
+			default:
+				if _, err := s.tree.Insert(req.Rect, req.Ref); err == nil {
+					out.status = wire.StatusOK
+					if s.repl != nil {
+						if rerr := s.replicate(wire.MsgInsert, req.Rect, req.Ref); rerr != nil {
+							out.status = replStatus(rerr)
+						}
+					}
+				}
+				if out.status == wire.StatusOK {
+					if ferr := s.forwardSplit(wire.MsgInsert, req.Rect, req.Ref); ferr != nil {
+						out.status = wire.StatusError
+					}
+				}
 			}
 		case wire.MsgDelete:
 			s.deletes.Add(1)
-			ok, _, err := s.tree.Delete(req.Rect, req.Ref)
 			switch {
-			case err != nil:
-			case !ok:
-				out.status = wire.StatusNotFound
+			case s.repl != nil && !s.repl.Primary():
+				out.status = wire.StatusNotPrimary
 			default:
-				out.status = wire.StatusOK
+				ok, _, err := s.tree.Delete(req.Rect, req.Ref)
+				switch {
+				case err != nil:
+				case !ok:
+					out.status = wire.StatusNotFound
+				default:
+					out.status = wire.StatusOK
+					if s.repl != nil {
+						if rerr := s.replicate(wire.MsgDelete, req.Rect, req.Ref); rerr != nil {
+							out.status = replStatus(rerr)
+						}
+					}
+				}
+				if out.status == wire.StatusOK {
+					if ferr := s.forwardSplit(wire.MsgDelete, req.Rect, req.Ref); ferr != nil {
+						out.status = wire.StatusError
+					}
+				}
 			}
 		}
 		res = append(res, out)
@@ -451,6 +489,9 @@ func (c *Client) collectBatch(ch chan []byte, ops []BatchOp, results []BatchResu
 // batchOpError maps a response status to the unbatched API's error for the
 // given operation type.
 func batchOpError(t wire.MsgType, status uint8) error {
+	if rerr := replica.StatusError(status); rerr != nil {
+		return rerr
+	}
 	switch {
 	case status == wire.StatusOK:
 		return nil

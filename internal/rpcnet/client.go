@@ -15,6 +15,7 @@ import (
 	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/nodecache"
 	"github.com/catfish-db/catfish/internal/region"
+	"github.com/catfish-db/catfish/internal/replica"
 	"github.com/catfish-db/catfish/internal/rtree"
 	"github.com/catfish-db/catfish/internal/shard"
 	"github.com/catfish-db/catfish/internal/telemetry"
@@ -114,6 +115,7 @@ type ClientConfig struct {
 // internal reader goroutine handles asynchronous heartbeats.
 type Client struct {
 	conn  net.Conn
+	addr  string
 	hello wire.Hello
 
 	sendMu sync.Mutex
@@ -138,6 +140,14 @@ type Client struct {
 	lastHB atomic.Int64
 	start  time.Time
 	sw     *adaptive.Switch
+
+	// Replication words riding the heartbeat (0 against servers that
+	// predate them): the shard's epoch, the server's applied sequence, and
+	// the version of the shard map it serves. Routers read these to elect
+	// failover successors and to notice a resharding's map bump mid-run.
+	hbEpoch   atomic.Uint64
+	hbApplied atomic.Uint64
+	hbMapVer  atomic.Uint64
 
 	// ncache is the version-validated internal-node cache (nil when
 	// disabled); rootVer tracks the heartbeat's root version so a root
@@ -177,6 +187,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	}
 	c := &Client{
 		conn:    conn,
+		addr:    addr,
 		waiters: make(map[uint64]chan []byte),
 		done:    make(chan struct{}),
 		start:   time.Now(),
@@ -259,19 +270,74 @@ func (c *Client) HeartbeatAge() (time.Duration, bool) {
 // FetchShardMap retrieves and verifies the server's shard map (the server
 // must be part of a sharded deployment).
 func (c *Client) FetchShardMap() (*shard.Map, error) {
+	m, _, err := c.FetchShardMapFull()
+	return m, err
+}
+
+// FetchShardMapFull retrieves the server's shard map plus, when the server
+// knows it, the per-cell address table — what a router needs to dial a
+// shard that appeared mid-run. The addrs slice is nil when the server has
+// no address table.
+func (c *Client) FetchShardMapFull() (*shard.Map, []string, error) {
 	tag := c.reqID.Add(1)
 	frame, err := c.call(tag, wire.ShardMapRequest{ID: tag}.Encode(nil))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	md, err := wire.DecodeShardMapData(frame)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if md.Status != wire.StatusOK {
-		return nil, fmt.Errorf("%w: shard map status %d (server not sharded?)", ErrServer, md.Status)
+		return nil, nil, fmt.Errorf("%w: shard map status %d (server not sharded?)", ErrServer, md.Status)
 	}
-	return shard.FromParts(md.Version, md.PadX, md.PadY, md.Cells)
+	m, err := shard.FromParts(md.Version, md.PadX, md.PadY, md.Cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, md.Addrs, nil
+}
+
+// Promote asks the server to become its shard's primary at the given epoch,
+// fencing lower-epoch lineages. Idempotent on the server.
+func (c *Client) Promote(epoch uint64) error {
+	resp, err := c.roundTrip(wire.Request{Type: wire.MsgPromote, ID: c.reqID.Add(1), Ref: epoch})
+	if err != nil {
+		return err
+	}
+	if resp.Status != wire.StatusOK {
+		return statusErr(resp.Status, "promote")
+	}
+	return nil
+}
+
+// ReplicaState returns the replication epoch and applied sequence from the
+// most recent heartbeat (0, 0 before the first one, or against a server
+// without replication).
+func (c *Client) ReplicaState() (epoch, applied uint64) {
+	return c.hbEpoch.Load(), c.hbApplied.Load()
+}
+
+// HeartbeatMapVersion returns the shard-map version the server most
+// recently advertised in a heartbeat (0 before the first heartbeat).
+func (c *Client) HeartbeatMapVersion() uint64 { return c.hbMapVer.Load() }
+
+// Addr returns the address this client dialed.
+func (c *Client) Addr() string { return c.addr }
+
+// PredictedUtil returns the adaptive switch's decayed estimate of the
+// server's utilization — the signal the router's read-replica policy keys
+// on.
+func (c *Client) PredictedUtil() float64 { return c.sw.PredictedUtil() }
+
+// statusErr maps a response status to the typed error clients surface: the
+// replica sentinels first, so errors.Is failover checks work identically
+// across transports, then the generic server-error wrap.
+func statusErr(status uint8, what string) error {
+	if rerr := replica.StatusError(status); rerr != nil {
+		return rerr
+	}
+	return fmt.Errorf("%w: %s status %d", ErrServer, what, status)
 }
 
 func (c *Client) readLoop() {
@@ -305,6 +371,9 @@ func (c *Client) readLoop() {
 			if hb, err := wire.DecodeHeartbeat(frame); err == nil {
 				c.heartbeat.Store(floatBits(hb.Util))
 				c.heartbeatTX.Store(floatBits(hb.TXUtil))
+				c.hbEpoch.Store(hb.Epoch)
+				c.hbApplied.Store(hb.AppliedSeq)
+				c.hbMapVer.Store(hb.MapVersion)
 				c.lastHB.Store(int64(time.Since(c.start)))
 				c.stats.HeartbeatsSeen.Inc()
 				// A root rewrite demotes every cached node to the
@@ -533,7 +602,7 @@ func (c *Client) Insert(r geo.Rect, ref uint64) error {
 		return err
 	}
 	if resp.Status != wire.StatusOK {
-		return fmt.Errorf("%w: insert status %d", ErrServer, resp.Status)
+		return statusErr(resp.Status, "insert")
 	}
 	return nil
 }
@@ -551,7 +620,7 @@ func (c *Client) Delete(r geo.Rect, ref uint64) error {
 	case wire.StatusNotFound:
 		return ErrNotFound
 	default:
-		return fmt.Errorf("%w: delete status %d", ErrServer, resp.Status)
+		return statusErr(resp.Status, "delete")
 	}
 }
 
@@ -583,7 +652,7 @@ func (c *Client) searchFast(q geo.Rect) ([]wire.Item, error) {
 		return nil, err
 	}
 	if resp.Status != wire.StatusOK {
-		return nil, fmt.Errorf("%w: status %d", ErrServer, resp.Status)
+		return nil, statusErr(resp.Status, "search")
 	}
 	return resp.Items, nil
 }
@@ -637,7 +706,7 @@ func (c *Client) searchFetch(q geo.Rect) ([]wire.Item, error) {
 				return nil, derr
 			}
 			if desc.Status != wire.StatusOK {
-				return nil, fmt.Errorf("%w: fetch status %d", ErrServer, desc.Status)
+				return nil, statusErr(desc.Status, "fetch")
 			}
 			items, perr := c.pullMailbox(desc)
 			if perr != nil {
@@ -654,7 +723,7 @@ func (c *Client) searchFetch(q geo.Rect) ([]wire.Item, error) {
 		out.Items = append(out.Items, resp.Items...)
 		if resp.Final {
 			if out.Status != wire.StatusOK {
-				return nil, fmt.Errorf("%w: fetch status %d", ErrServer, out.Status)
+				return nil, statusErr(out.Status, "fetch")
 			}
 			c.stats.FetchInline.Inc()
 			return out.Items, nil
@@ -695,7 +764,7 @@ func (c *Client) pullMailbox(desc wire.FetchDesc) ([]wire.Item, error) {
 				return nil, err
 			}
 			if sd.Status != wire.StatusOK {
-				return nil, fmt.Errorf("%w: mailbox read status %d", ErrServer, sd.Status)
+				return nil, statusErr(sd.Status, "mailbox read")
 			}
 			if len(sd.Raw) != cnt*cs {
 				return nil, fmt.Errorf("%w: mailbox read short reply", ErrServer)
@@ -767,7 +836,7 @@ func (c *Client) fetchChunk(id int, expectLevel int, node *rtree.Node) error {
 			return err
 		}
 		if cd.Status != wire.StatusOK {
-			return fmt.Errorf("%w: chunk %d status %d", ErrServer, id, cd.Status)
+			return statusErr(cd.Status, "chunk read")
 		}
 		payload, ver, derr := region.DecodeChunk(cd.Raw, nil)
 		if derr != nil {
@@ -844,7 +913,7 @@ func (c *Client) fetchVersions(id int) (uint64, error) {
 		return 0, err
 	}
 	if vd.Status != wire.StatusOK {
-		return 0, fmt.Errorf("%w: versions %d status %d", ErrServer, id, vd.Status)
+		return 0, statusErr(vd.Status, "version read")
 	}
 	return region.DecodeVersions(vd.Versions)
 }
@@ -1145,7 +1214,7 @@ func (c *Client) fetchRun(frontier []chunkRef, r *spanRun, nodes []*rtree.Node) 
 		return err
 	}
 	if sd.Status != wire.StatusOK {
-		return fmt.Errorf("%w: span %d+%d status %d", ErrServer, first, total, sd.Status)
+		return statusErr(sd.Status, "span read")
 	}
 	cs := int(c.hello.ChunkSize)
 	if len(sd.Raw) != total*cs {

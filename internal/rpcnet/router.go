@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/replica"
 	"github.com/catfish-db/catfish/internal/shard"
 	"github.com/catfish-db/catfish/internal/telemetry"
 	"github.com/catfish-db/catfish/internal/wire"
@@ -24,6 +25,15 @@ type RouterConfig struct {
 	// (shard.DefaultHealthMultiple when 0); liveness tracking is disabled
 	// when the servers do not heartbeat.
 	HealthMultiple int
+	// Backups holds, per shard, backup server addresses in preference
+	// order. Nil (or empty inner slices) disables failover for that shard,
+	// leaving routing identical to an unreplicated deployment.
+	Backups [][]string
+	// ReadReplicaUtil, when > 0, routes a sub-search to the least-loaded
+	// replica of its shard whenever the active server's predicted
+	// utilization exceeds this threshold — backups absorb reads from a
+	// predicted-hot primary without any failover.
+	ReadReplicaUtil float64
 }
 
 // RouterStats mirrors shard.RouterStats for the real-socket router.
@@ -32,15 +42,34 @@ type RouterStats = shard.RouterStats
 // Router is the real-socket scatter-gather client of a sharded deployment:
 // one TCP connection — and one adaptive switch — per shard, searches fanned
 // out as parallel goroutines to every healthy shard whose coverage
-// intersects the query, writes routed to the unique owner. Like Client it
-// serves one goroutine at a time; per-search scatter concurrency is
-// internal.
+// intersects the query, writes routed to the unique owner. With backups
+// configured it also runs the availability protocol (DESIGN.md §5.11):
+// reads fall back to backup replicas when the active server refuses
+// service, writes promote the most-caught-up backup behind a bumped fencing
+// epoch, and a served shard map whose version differs from the router's is
+// adopted mid-run (live resharding). Like Client it serves one goroutine at
+// a time; per-search scatter concurrency is internal.
 type Router struct {
-	m       *shard.Map
-	clients []*Client
-	health  *shard.Health
-	start   time.Time
-	stats   shard.RouterStats
+	// mu guards the shape fields (m, cands, active, epochs) against the
+	// metrics scrape goroutine; the driving goroutine is the only mutator.
+	mu     sync.RWMutex
+	m      *shard.Map
+	cands  [][]*Client // per shard: [active-preference candidates...]
+	active []int       // index into cands[s] of the serving replica
+	epochs []uint64    // epoch this router last knew the shard at
+
+	health *shard.Health
+	window time.Duration // liveness window (0 = no tracking)
+	hbInv  time.Duration
+	cfg    RouterConfig
+	start  time.Time
+	stats  shard.RouterStats
+
+	// dedup turns on merged-result deduplication after the first map
+	// adoption: between a reshard's commit and its drain the moved entries
+	// exist on both the old and the new shard, so a scatter that hits both
+	// must collapse duplicates.
+	dedup bool
 
 	targets []int
 	subOps  [][]BatchOp
@@ -56,26 +85,20 @@ func DialRouter(addrs []string, cfg RouterConfig) (*Router, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("rpcnet: router needs at least one address")
 	}
-	r := &Router{start: time.Now()}
+	r := &Router{start: time.Now(), cfg: cfg}
 	ok := false
 	defer func() {
 		if !ok {
 			r.closeAll()
 		}
 	}()
+	clients := make([]*Client, 0, len(addrs))
 	for i, addr := range addrs {
-		ccfg := cfg.Client
-		ccfg.Seed += int64(i)
-		ccfg.Shard = i
-		if ccfg.Metrics != nil && len(addrs) > 1 {
-			// Per-shard label so the scraped series separate by shard.
-			ccfg.Metrics = ccfg.Metrics.With("shard", strconv.Itoa(i))
-		}
-		c, err := Dial(addr, ccfg)
+		c, err := r.dialShard(addr, i)
 		if err != nil {
-			return nil, fmt.Errorf("rpcnet: shard %d (%s): %w", i, addr, err)
+			return nil, err
 		}
-		r.clients = append(r.clients, c)
+		clients = append(clients, c)
 		h := c.Hello()
 		if h.ShardCount <= 1 && len(addrs) == 1 {
 			continue // unsharded single server: trivial map below
@@ -88,15 +111,18 @@ func DialRouter(addrs []string, cfg RouterConfig) (*Router, error) {
 			return nil, fmt.Errorf("rpcnet: address %d (%s) is shard %d; list addresses in shard order",
 				i, addr, h.ShardIndex)
 		}
-		if h.MapVersion != r.clients[0].Hello().MapVersion {
+		if h.MapVersion != clients[0].Hello().MapVersion {
 			return nil, fmt.Errorf("%w: shard %d (%s)", shard.ErrVersionMismatch, i, addr)
 		}
 	}
-	if len(addrs) == 1 && r.clients[0].Hello().ShardCount <= 1 {
+	if len(addrs) == 1 && clients[0].Hello().ShardCount <= 1 {
 		r.m = shard.Single()
 	} else {
-		m, err := r.clients[0].FetchShardMap()
+		m, err := clients[0].FetchShardMap()
 		if err != nil {
+			return nil, err
+		}
+		if err := m.Validate(); err != nil {
 			return nil, err
 		}
 		if m.K() != len(addrs) {
@@ -104,38 +130,130 @@ func DialRouter(addrs []string, cfg RouterConfig) (*Router, error) {
 		}
 		r.m = m
 	}
-	if hb := time.Duration(r.clients[0].Hello().HeartbeatMs) * time.Millisecond; hb > 0 {
-		r.health = shard.NewHealth(len(r.clients), hb, cfg.HealthMultiple, time.Since(r.start))
+	r.cands = make([][]*Client, len(clients))
+	r.active = make([]int, len(clients))
+	r.epochs = make([]uint64, len(clients))
+	for s, c := range clients {
+		r.cands[s] = append(r.cands[s], c)
+		r.epochs[s] = 1
+		if e := c.Hello().ReplicaEpoch; e > r.epochs[s] {
+			r.epochs[s] = e
+		}
+	}
+	for s := range r.cands {
+		if s >= len(cfg.Backups) {
+			break
+		}
+		for _, baddr := range cfg.Backups[s] {
+			c, err := r.dialShard(baddr, s)
+			if err != nil {
+				return nil, fmt.Errorf("rpcnet: shard %d backup: %w", s, err)
+			}
+			r.cands[s] = append(r.cands[s], c)
+		}
+	}
+	r.hbInv = time.Duration(clients[0].Hello().HeartbeatMs) * time.Millisecond
+	if r.hbInv > 0 {
+		r.health = shard.NewHealth(len(r.cands), r.hbInv, cfg.HealthMultiple, time.Since(r.start))
+		mult := cfg.HealthMultiple
+		if mult <= 0 {
+			mult = shard.DefaultHealthMultiple
+		}
+		r.window = r.hbInv * time.Duration(mult)
+	}
+	if reg := cfg.Client.Metrics; reg != nil {
+		// Per-shard liveness gauges and the availability counters
+		// (satellites of DESIGN.md §5.11). The gauges read only heartbeat
+		// arrival atomics — never the health tracker, which is owned by the
+		// routing goroutine.
+		for i := range r.cands {
+			i := i
+			reg.With("shard", strconv.Itoa(i)).GaugeFunc("catfish_shard_healthy", func() float64 {
+				if r.candAlive(i) {
+					return 1
+				}
+				return 0
+			})
+		}
+		reg.CounterFunc("catfish_shard_skipped_searches_total", func() uint64 {
+			return atomic.LoadUint64(&r.stats.Skipped)
+		})
+		reg.CounterFunc("catfish_router_promotions_total", func() uint64 {
+			return atomic.LoadUint64(&r.stats.Promotions)
+		})
+		reg.CounterFunc("catfish_router_backup_reads_total", func() uint64 {
+			return atomic.LoadUint64(&r.stats.BackupReads)
+		})
+		reg.CounterFunc("catfish_router_map_adoptions_total", func() uint64 {
+			return atomic.LoadUint64(&r.stats.MapAdoptions)
+		})
 	}
 	ok = true
 	return r, nil
 }
 
-// Map returns the deployment's verified shard map.
-func (r *Router) Map() *shard.Map { return r.m }
+// dialShard dials one replica of shard i with the per-shard client config.
+func (r *Router) dialShard(addr string, i int) (*Client, error) {
+	ccfg := r.cfg.Client
+	ccfg.Seed += int64(i)
+	ccfg.Shard = i
+	if ccfg.Metrics != nil {
+		// Per-shard label so the scraped series separate by shard.
+		ccfg.Metrics = ccfg.Metrics.With("shard", strconv.Itoa(i))
+	}
+	c, err := Dial(addr, ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("rpcnet: shard %d (%s): %w", i, addr, err)
+	}
+	return c, nil
+}
 
-// Clients returns the per-shard connections, in shard order (for stats
-// collection; routing should go through the router).
-func (r *Router) Clients() []*Client { return r.clients }
+// Map returns the deployment's verified shard map (the adopted successor
+// after a live reshard).
+func (r *Router) Map() *shard.Map {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m
+}
 
-// Snapshot aggregates every per-shard client's counters into one unified
+// Clients returns the serving connection per shard, in shard order (for
+// stats collection; routing should go through the router).
+func (r *Router) Clients() []*Client {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Client, len(r.cands))
+	for s := range r.cands {
+		out[s] = r.cands[s][r.active[s]]
+	}
+	return out
+}
+
+// Snapshot aggregates every connection's counters into one unified
 // snapshot.
 func (r *Router) Snapshot() telemetry.ClientSnapshot {
 	var agg telemetry.ClientSnapshot
-	for _, c := range r.clients {
-		agg = agg.Add(c.Stats())
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, cs := range r.cands {
+		for _, c := range cs {
+			agg = agg.Add(c.Stats())
+		}
 	}
 	return agg
 }
 
-// Close tears down every shard connection, returning the first error.
+// Close tears down every connection, returning the first error.
 func (r *Router) Close() error { return r.closeAll() }
 
 func (r *Router) closeAll() error {
 	var first error
-	for _, c := range r.clients {
-		if err := c.Close(); err != nil && first == nil {
-			first = err
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, cs := range r.cands {
+		for _, c := range cs {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	return first
@@ -149,27 +267,197 @@ func (r *Router) Stats() shard.RouterStats {
 		Fanout:          atomic.LoadUint64(&r.stats.Fanout),
 		Skipped:         atomic.LoadUint64(&r.stats.Skipped),
 		UnhealthyWrites: atomic.LoadUint64(&r.stats.UnhealthyWrites),
+		Promotions:      atomic.LoadUint64(&r.stats.Promotions),
+		BackupReads:     atomic.LoadUint64(&r.stats.BackupReads),
+		MapAdoptions:    atomic.LoadUint64(&r.stats.MapAdoptions),
 	}
 }
 
-// healthy reports shard i's liveness from its connection's last heartbeat
-// arrival.
-func (r *Router) healthy(i int) bool {
+// shardClient returns the connection serving shard s — the primary until a
+// failover swaps in a promoted backup.
+func (r *Router) shardClient(s int) *Client { return r.cands[s][r.active[s]] }
+
+// alive reports whether c's last heartbeat is within the liveness window
+// from arrival atomics alone (no health-tracker state), so it is safe from
+// any goroutine. Before the first heartbeat the connection gets the same
+// one-window grace the tracker gives.
+func (r *Router) alive(c *Client) bool {
+	if r.window == 0 {
+		return true
+	}
+	age, seen := c.HeartbeatAge()
+	if !seen {
+		return time.Since(r.start) <= r.window
+	}
+	return age <= r.window
+}
+
+// candAlive reports whether any replica of shard s is heartbeating — the
+// catfish_shard_healthy gauge.
+func (r *Router) candAlive(s int) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if s >= len(r.cands) {
+		return false
+	}
+	for _, c := range r.cands[s] {
+		if r.alive(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// healthy reports shard s's liveness from its serving connection's last
+// heartbeat arrival. Driving goroutine only (feeds the health tracker).
+func (r *Router) healthy(s int) bool {
 	if r.health == nil {
 		return true
 	}
 	now := time.Since(r.start)
-	if _, seen := r.clients[i].HeartbeatAge(); seen {
+	if age, seen := r.shardClient(s).HeartbeatAge(); seen {
 		// Observation is lazy — arrival times live on the connections — so
 		// refresh the tracker before asking it.
-		age, _ := r.clients[i].HeartbeatAge()
-		r.health.Observe(i, now-age)
+		r.health.Observe(s, now-age)
 	}
-	return r.health.Healthy(i, now)
+	return r.health.Healthy(s, now)
 }
 
 // Healthy reports shard i's current liveness.
 func (r *Router) Healthy(i int) bool { return r.healthy(i) }
+
+// failoverErr reports whether err should trigger replica fallback or
+// promotion: the shared replica sentinels, plus a torn-down connection
+// (the TCP-only case where the process died outright).
+func failoverErr(err error) bool {
+	return replica.Failover(err) || errors.Is(err, ErrClosed)
+}
+
+// failover promotes the best remaining candidate of shard s to a bumped
+// epoch and makes it the serving replica. The electorate is every
+// heartbeating candidate; the winner is the one with the highest applied
+// sequence from its last heartbeat (ties to the lowest index, so every
+// router elects the same successor). A candidate that fails the promote
+// round trip leaves the electorate and the election reruns. Reports whether
+// a promotion succeeded.
+func (r *Router) failover(s int) bool {
+	if len(r.cands[s]) <= 1 {
+		return false
+	}
+	epoch := r.epochs[s] + 1
+	applied := make([]uint64, len(r.cands[s]))
+	healthy := make([]bool, len(r.cands[s]))
+	for i, c := range r.cands[s] {
+		_, applied[i] = c.ReplicaState()
+		healthy[i] = r.alive(c)
+	}
+	for range r.cands[s] {
+		idx := replica.PickSuccessor(applied, healthy)
+		if idx < 0 {
+			return false
+		}
+		if err := r.cands[s][idx].Promote(epoch); err != nil {
+			healthy[idx] = false
+			continue
+		}
+		r.mu.Lock()
+		r.epochs[s] = epoch
+		r.active[s] = idx
+		r.mu.Unlock()
+		if r.health != nil {
+			// The promoted replica gets a fresh liveness window; its own
+			// heartbeats take over from here.
+			r.health.Observe(s, time.Since(r.start))
+		}
+		atomic.AddUint64(&r.stats.Promotions, 1)
+		return true
+	}
+	return false
+}
+
+// maybeAdopt checks each shard's heartbeat for a served map version that
+// differs from the router's and, when found, adopts the successor map.
+// Driving goroutine only; called at the top of each routed operation.
+func (r *Router) maybeAdopt() {
+	for s := range r.cands {
+		c := r.shardClient(s)
+		if v := c.HeartbeatMapVersion(); v != 0 && v != r.m.Version {
+			if r.adoptFrom(c) {
+				return
+			}
+		}
+	}
+}
+
+// adoptFrom fetches the map a server now serves and installs it when it is
+// a valid successor: checksum intact, strictly more cells than the current
+// map (versions are content hashes, not ordered, so growth is the staleness
+// check), and a full address table so the new shards can be dialed. The
+// new shard positions get fresh connections whose hellos must agree on the
+// adopted version; existing positions keep their connections and candidate
+// lists. Reports whether the map was adopted.
+func (r *Router) adoptFrom(from *Client) bool {
+	m, addrs, err := from.FetchShardMapFull()
+	if err != nil {
+		return false
+	}
+	if m.Validate() != nil || m.K() <= r.m.K() || len(addrs) != m.K() {
+		return false
+	}
+	fresh := make([]*Client, 0, m.K()-r.m.K())
+	abort := func() bool {
+		for _, c := range fresh {
+			c.Close()
+		}
+		return false
+	}
+	for s := r.m.K(); s < m.K(); s++ {
+		c, derr := r.dialShard(addrs[s], s)
+		if derr != nil {
+			return abort()
+		}
+		fresh = append(fresh, c)
+		if hv := c.Hello().MapVersion; hv != 0 && hv != m.Version {
+			return abort()
+		}
+	}
+	k := m.K()
+	cands := make([][]*Client, k)
+	active := make([]int, k)
+	epochs := make([]uint64, k)
+	copy(cands, r.cands)
+	copy(active, r.active)
+	copy(epochs, r.epochs)
+	for i, c := range fresh {
+		s := r.m.K() + i
+		cands[s] = []*Client{c}
+		epochs[s] = 1
+		if e := c.Hello().ReplicaEpoch; e > 1 {
+			epochs[s] = e
+		}
+	}
+	if r.health != nil {
+		now := time.Since(r.start)
+		h := shard.NewHealth(k, r.hbInv, r.cfg.HealthMultiple, now)
+		for s := 0; s < k; s++ {
+			if age, seen := cands[s][active[s]].HeartbeatAge(); seen && age < now {
+				h.Observe(s, now-age)
+			}
+		}
+		r.health = h
+	}
+	r.mu.Lock()
+	r.m = m
+	r.cands = cands
+	r.active = active
+	r.epochs = epochs
+	r.mu.Unlock()
+	// Until the old shard drains its moved entries, both servers answer for
+	// the split region; merged results must collapse the duplicates.
+	r.dedup = true
+	atomic.AddUint64(&r.stats.MapAdoptions, 1)
+	return true
+}
 
 // healthyTargets computes the scatter set for q, dropping unhealthy shards.
 func (r *Router) healthyTargets(q geo.Rect) ([]int, bool) {
@@ -179,12 +467,79 @@ func (r *Router) healthyTargets(q geo.Rect) ([]int, bool) {
 	}
 	healthy := r.targets[:0]
 	for _, t := range r.targets {
-		if r.healthy(t) {
+		// A replicated shard stays in the scatter set even when its active
+		// server looks dead: searchShard falls back to a backup replica.
+		if len(r.cands[t]) > 1 || r.healthy(t) {
 			healthy = append(healthy, t)
 		}
 	}
 	r.targets = healthy
 	return r.targets, len(healthy) > 0
+}
+
+// searchShard runs one sub-search on shard s. A predicted-hot active server
+// (past ReadReplicaUtil) hands the read to the least-loaded replica; an
+// active server refusing service (killed, fenced, demoted) makes the search
+// retry on the shard's other replicas — backups answer reads without
+// promotion, so read availability outlives a dying primary. Runs on scatter
+// goroutines: reads shape state, never mutates it.
+func (r *Router) searchShard(s int, q geo.Rect) ([]wire.Item, Method, error) {
+	cands, active := r.cands[s], r.active[s]
+	c := cands[active]
+	if u := r.cfg.ReadReplicaUtil; u > 0 && len(cands) > 1 && c.PredictedUtil() > u {
+		best := c
+		for _, cand := range cands {
+			if r.alive(cand) && cand.PredictedUtil() < best.PredictedUtil() {
+				best = cand
+			}
+		}
+		if best != c {
+			if items, m, err := best.Search(q); err == nil {
+				atomic.AddUint64(&r.stats.BackupReads, 1)
+				return items, m, nil
+			}
+		}
+	}
+	items, m, err := c.Search(q)
+	if err == nil || !failoverErr(err) {
+		return items, m, err
+	}
+	for idx, cand := range cands {
+		if idx == active {
+			continue
+		}
+		bItems, bm, berr := cand.Search(q)
+		if berr == nil {
+			atomic.AddUint64(&r.stats.BackupReads, 1)
+			return bItems, bm, nil
+		}
+		if !failoverErr(berr) {
+			return bItems, bm, berr
+		}
+	}
+	return nil, m, err
+}
+
+// itemKey identifies one entry for post-adoption deduplication.
+type itemKey struct {
+	ref  uint64
+	rect geo.Rect
+}
+
+// dedupItems collapses duplicate (ref, rect) entries in place, keeping
+// first occurrences in merge order.
+func dedupItems(items []wire.Item) []wire.Item {
+	seen := make(map[itemKey]struct{}, len(items))
+	out := items[:0]
+	for _, it := range items {
+		k := itemKey{ref: it.Ref, rect: it.Rect}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, it)
+	}
+	return out
 }
 
 // Search scatters q to every healthy shard whose coverage intersects it
@@ -193,6 +548,7 @@ func (r *Router) healthyTargets(q geo.Rect) ([]int, bool) {
 // set rather than blocking.
 func (r *Router) Search(q geo.Rect) ([]wire.Item, Method, error) {
 	atomic.AddUint64(&r.stats.Searches, 1)
+	r.maybeAdopt()
 	targets, ok := r.healthyTargets(q)
 	if !ok {
 		atomic.AddUint64(&r.stats.Skipped, 1)
@@ -200,7 +556,7 @@ func (r *Router) Search(q geo.Rect) ([]wire.Item, Method, error) {
 	}
 	atomic.AddUint64(&r.stats.Fanout, uint64(len(targets)))
 	if len(targets) == 1 {
-		return r.clients[targets[0]].Search(q)
+		return r.searchShard(targets[0], q)
 	}
 	n := len(targets)
 	tg := append([]int(nil), targets...)
@@ -213,10 +569,10 @@ func (r *Router) Search(q geo.Rect) ([]wire.Item, Method, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			itemsBy[slot], methods[slot], errs[slot] = r.clients[tg[slot]].Search(q)
+			itemsBy[slot], methods[slot], errs[slot] = r.searchShard(tg[slot], q)
 		}()
 	}
-	itemsBy[0], methods[0], errs[0] = r.clients[tg[0]].Search(q)
+	itemsBy[0], methods[0], errs[0] = r.searchShard(tg[0], q)
 	wg.Wait()
 	var items []wire.Item
 	for slot := 0; slot < n; slot++ {
@@ -225,35 +581,68 @@ func (r *Router) Search(q geo.Rect) ([]wire.Item, Method, error) {
 		}
 		items = append(items, itemsBy[slot]...)
 	}
+	if r.dedup {
+		items = dedupItems(items)
+	}
 	return items, methods[0], nil
 }
 
-// Insert routes the insert to the owning shard, failing with
-// shard.UnhealthyError when that shard has stopped heartbeating.
+// Insert routes the insert to the owning shard, promoting a backup when the
+// owner has stopped heartbeating and failing with shard.UnhealthyError when
+// no replica can take the write.
 func (r *Router) Insert(rect geo.Rect, ref uint64) error {
+	r.maybeAdopt()
 	owner, err := r.writeTarget(rect)
 	if err != nil {
 		return err
 	}
-	return r.clients[owner].Insert(rect, ref)
+	return r.writeShard(owner, func(c *Client) error {
+		return c.Insert(rect, ref)
+	})
 }
 
-// Delete routes the delete to the owning shard, failing with
-// shard.UnhealthyError when that shard has stopped heartbeating.
+// Delete routes the delete to the owning shard, promoting a backup when the
+// owner has stopped heartbeating and failing with shard.UnhealthyError when
+// no replica can take the write.
 func (r *Router) Delete(rect geo.Rect, ref uint64) error {
+	r.maybeAdopt()
 	owner, err := r.writeTarget(rect)
 	if err != nil {
 		return err
 	}
-	return r.clients[owner].Delete(rect, ref)
+	return r.writeShard(owner, func(c *Client) error {
+		return c.Delete(rect, ref)
+	})
+}
+
+// writeShard runs op against shard s's serving replica, promoting a backup
+// and retrying when the server refuses service. Attempts are bounded by the
+// candidate count so a fully dead shard terminates with the unified
+// UnhealthyError rather than looping.
+func (r *Router) writeShard(s int, op func(*Client) error) error {
+	for attempt := 0; ; attempt++ {
+		err := op(r.shardClient(s))
+		if err == nil || !failoverErr(err) {
+			return err
+		}
+		if attempt >= len(r.cands[s]) || !r.failover(s) {
+			atomic.AddUint64(&r.stats.UnhealthyWrites, 1)
+			return &shard.UnhealthyError{Shard: s}
+		}
+	}
 }
 
 func (r *Router) writeTarget(rect geo.Rect) (int, error) {
 	atomic.AddUint64(&r.stats.Writes, 1)
 	owner := r.m.Owner(rect)
-	if !r.healthy(owner) {
-		atomic.AddUint64(&r.stats.UnhealthyWrites, 1)
-		return 0, &shard.UnhealthyError{Shard: owner}
+	if r.health != nil && !r.healthy(owner) {
+		// A lapsed liveness window is the failover trigger: promote the
+		// best backup and write there. Without backups the write fails
+		// with the unified unhealthy error.
+		if !r.failover(owner) {
+			atomic.AddUint64(&r.stats.UnhealthyWrites, 1)
+			return 0, &shard.UnhealthyError{Shard: owner}
+		}
 	}
 	return owner, nil
 }
@@ -261,8 +650,11 @@ func (r *Router) writeTarget(rect geo.Rect) (int, error) {
 // ExecBatch routes a batch through the shards: searches are duplicated
 // into the sub-batch of every healthy intersecting shard, writes go to
 // their owner's sub-batch (or fail with shard.UnhealthyError when the
-// owner is down), per-shard sub-batches run as concurrent client batches,
-// and partial results merge back into submission order.
+// owner is down and no backup can be promoted), per-shard sub-batches run
+// as concurrent client batches, and partial results merge back into
+// submission order. Operations that hit a server refusing service retry
+// individually through the routed single-op paths, which promote a backup
+// (writes) or fall back to one (reads).
 func (r *Router) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 	results = results[:0]
 	for range ops {
@@ -271,17 +663,16 @@ func (r *Router) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 	if len(ops) == 0 {
 		return results
 	}
-	k := len(r.clients)
+	r.maybeAdopt()
+	k := len(r.cands)
 	r.subOps = resizeSlices(r.subOps, k)
 	r.subIdx = resizeIdx(r.subIdx, k)
 	for i, op := range ops {
 		switch op.Type {
 		case wire.MsgInsert, wire.MsgDelete:
-			atomic.AddUint64(&r.stats.Writes, 1)
-			owner := r.m.Owner(op.Rect)
-			if !r.healthy(owner) {
-				atomic.AddUint64(&r.stats.UnhealthyWrites, 1)
-				results[i].Err = &shard.UnhealthyError{Shard: owner}
+			owner, err := r.writeTarget(op.Rect)
+			if err != nil {
+				results[i].Err = err
 				continue
 			}
 			r.subOps[owner] = append(r.subOps[owner], op)
@@ -318,11 +709,11 @@ func (r *Router) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r.subRes[s] = r.clients[s].ExecBatch(r.subOps[s], r.subRes[s])
+			r.subRes[s] = r.shardClient(s).ExecBatch(r.subOps[s], r.subRes[s])
 		}()
 	}
 	s0 := busy[0]
-	r.subRes[s0] = r.clients[s0].ExecBatch(r.subOps[s0], r.subRes[s0])
+	r.subRes[s0] = r.shardClient(s0).ExecBatch(r.subOps[s0], r.subRes[s0])
 	wg.Wait()
 	for _, s := range busy {
 		for j, res := range r.subRes[s] {
@@ -335,6 +726,33 @@ func (r *Router) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 			// shard's sub-search ran as a client-side traversal.
 			if results[i].Method != MethodOffload {
 				results[i].Method = res.Method
+			}
+		}
+	}
+	// Failover repair: replica-class failures retry through the routed
+	// single-op paths. Inert at R=1, where those statuses never occur.
+	for i := range results {
+		if results[i].Err == nil || !failoverErr(results[i].Err) {
+			continue
+		}
+		op := ops[i]
+		results[i].Items = results[i].Items[:0]
+		switch op.Type {
+		case wire.MsgInsert:
+			results[i].Err = r.Insert(op.Rect, op.Ref)
+		case wire.MsgDelete:
+			results[i].Err = r.Delete(op.Rect, op.Ref)
+		default:
+			items, m, err := r.Search(op.Rect)
+			results[i].Items = append(results[i].Items, items...)
+			results[i].Method = m
+			results[i].Err = err
+		}
+	}
+	if r.dedup {
+		for i := range results {
+			if len(results[i].Items) > 1 {
+				results[i].Items = dedupItems(results[i].Items)
 			}
 		}
 	}

@@ -24,6 +24,7 @@ import (
 
 	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/region"
+	"github.com/catfish-db/catfish/internal/replica"
 	"github.com/catfish-db/catfish/internal/rtree"
 	"github.com/catfish-db/catfish/internal/shard"
 	"github.com/catfish-db/catfish/internal/telemetry"
@@ -103,6 +104,17 @@ type ServerConfig struct {
 	// can bootstrap from any member. Nil runs the server unsharded.
 	ShardMap   *shard.Map
 	ShardIndex int
+	// ShardAddrs optionally lists every shard's client-reachable address,
+	// in cell order. It is served with the shard map so routers can dial
+	// shards that appear mid-run (live resharding), and it seeds the
+	// address table PrepareReshard extends.
+	ShardAddrs []string
+
+	// Replica arms shard replication (DESIGN.md §5.11): a primary streams
+	// its op-log to the configured backups before acknowledging writes; a
+	// backup validates the stream and rejects client writes until promoted.
+	// Nil disables replication entirely.
+	Replica *ReplicaConfig
 
 	// Metrics, when non-nil, exposes the server counters, per-op request
 	// latency histograms, and the heartbeat utilization on the registry
@@ -170,7 +182,43 @@ type Server struct {
 	latInsert *telemetry.Histogram
 	latDelete *telemetry.Histogram
 	start     time.Time
+
+	// Replication and failover state (nil repl = replication disabled);
+	// the machinery lives in replica.go.
+	repl        *replica.State
+	rlog        *replica.Log
+	dirty       *region.DirtyTracker
+	replMu      sync.Mutex // serializes the backup stream (send order = seq order)
+	replSess    []*replSess
+	replDialed  bool
+	killed      atomic.Bool
+	promotions  atomic.Uint64
+	replRecords atomic.Uint64 // records applied as a backup
+	replShipped atomic.Uint64 // records shipped to backups
+	replResends atomic.Uint64 // gap-triggered op-log re-sends
+	replSpans   atomic.Uint64 // coalesced dirty spans behind the stream
+	replSpanCh  atomic.Uint64 // chunks those spans covered
+
+	// Live resharding state (PrepareReshard/CommitReshard/DrainSplit in
+	// replica.go). served is the shard identity currently advertised —
+	// hello, MsgShardMap, and heartbeats all read it — swapped atomically
+	// when a reshard commits or a fresh server adopts a map.
+	served       atomic.Pointer[servedMap]
+	shardIdx     atomic.Int32
+	split        atomic.Pointer[splitState]
+	reshardPhase atomic.Int64
+	reshardMoved atomic.Uint64
 }
+
+// servedMap is the shard identity a server advertises: the map plus the
+// optional per-cell address table.
+type servedMap struct {
+	m     *shard.Map
+	addrs []string
+}
+
+// servedShardMap returns the currently-advertised map (nil when unsharded).
+func (s *Server) servedShardMap() *servedMap { return s.served.Load() }
 
 type srvConn struct {
 	c  net.Conn
@@ -212,6 +260,18 @@ func Listen(addr string, tree *rtree.Tree, cfg ServerConfig) (*Server, error) {
 		start: time.Now(),
 	}
 	s.rootChunkA.Store(int64(tree.RootChunk()))
+	s.shardIdx.Store(int32(cfg.ShardIndex))
+	if cfg.ShardMap != nil {
+		s.served.Store(&servedMap{m: cfg.ShardMap, addrs: cfg.ShardAddrs})
+	}
+	if cfg.Replica != nil {
+		s.repl = replica.NewState(cfg.Replica.Epoch, cfg.Replica.Primary)
+		s.rlog = &replica.Log{}
+		// Every chunk the tree mutates is recorded so the replication
+		// stream can coalesce the touched chunks into merged spans.
+		s.dirty = region.NewDirtyTracker()
+		tree.Region().Track(s.dirty)
+	}
 	if cfg.FetchSlots > 0 {
 		mreg, err := region.New(cfg.FetchSlots*cfg.FetchSlotChunks, tree.Region().ChunkSize())
 		if err != nil {
@@ -257,6 +317,19 @@ func Listen(addr string, tree *rtree.Tree, cfg ServerConfig) (*Server, error) {
 		s.latSearch = reg.Histogram("catfish_request_latency_seconds", "op", "search")
 		s.latInsert = reg.Histogram("catfish_request_latency_seconds", "op", "insert")
 		s.latDelete = reg.Histogram("catfish_request_latency_seconds", "op", "delete")
+		if s.repl != nil {
+			reg.CounterFunc("catfish_server_promotions_total", s.promotions.Load)
+			reg.CounterFunc("catfish_server_repl_records_total", s.replRecords.Load)
+			reg.CounterFunc("catfish_server_repl_shipped_total", s.replShipped.Load)
+			reg.CounterFunc("catfish_server_repl_resends_total", s.replResends.Load)
+			reg.CounterFunc("catfish_server_repl_spans_total", s.replSpans.Load)
+			reg.CounterFunc("catfish_server_repl_span_chunks_total", s.replSpanCh.Load)
+			reg.GaugeFunc("catfish_server_repl_lag", s.replLag)
+		}
+		reg.CounterFunc("catfish_server_reshard_moved_total", s.reshardMoved.Load)
+		reg.GaugeFunc("catfish_server_reshard_state", func() float64 {
+			return float64(s.reshardPhase.Load())
+		})
 	}
 	if cfg.HeartbeatInterval > 0 {
 		s.wg.Add(1)
@@ -291,6 +364,7 @@ func (s *Server) Close() error {
 		sc.c.Close()
 	}
 	s.mu.Unlock()
+	s.closeReplSessions()
 	s.wg.Wait()
 	return err
 }
@@ -325,6 +399,14 @@ type ServerStats struct {
 	// plus length prefixes) — the send-engine signal behind the
 	// heartbeat's TX-utilization word.
 	TXBytes uint64
+	// Promotions counts accepted MsgPromote requests; ReplRecords the
+	// op-log records applied as a backup; ReplShipped the records streamed
+	// to backups as a primary; ReshardMoved the entries streamed off this
+	// server by PrepareReshard.
+	Promotions   uint64
+	ReplRecords  uint64
+	ReplShipped  uint64
+	ReshardMoved uint64
 }
 
 // Stats returns a snapshot of the op counters.
@@ -345,6 +427,10 @@ func (s *Server) Stats() ServerStats {
 		FetchBytes:      s.fetchBytes.Load(),
 		MailboxReads:    s.mailboxReads.Load(),
 		TXBytes:         s.txBytes.Load(),
+		Promotions:      s.promotions.Load(),
+		ReplRecords:     s.replRecords.Load(),
+		ReplShipped:     s.replShipped.Load(),
+		ReshardMoved:    s.reshardMoved.Load(),
 	}
 }
 
@@ -365,10 +451,13 @@ func (s *Server) serveConn(sc *srvConn) {
 		HeartbeatMs: uint32(s.cfg.HeartbeatInterval / time.Millisecond),
 		ServerEpoch: s.epoch,
 	}
-	if m := s.cfg.ShardMap; m != nil {
-		hello.ShardIndex = uint32(s.cfg.ShardIndex)
-		hello.ShardCount = uint32(m.K())
-		hello.MapVersion = m.Version
+	if sm := s.servedShardMap(); sm != nil {
+		hello.ShardIndex = uint32(s.shardIdx.Load())
+		hello.ShardCount = uint32(sm.m.K())
+		hello.MapVersion = sm.m.Version
+	}
+	if s.repl != nil {
+		hello.ReplicaEpoch, _ = s.repl.Snapshot()
 	}
 	if s.mailbox != nil {
 		hello.FetchSlots = uint32(s.mailbox.Slots())
@@ -447,12 +536,16 @@ func (s *Server) serveConn(sc *srvConn) {
 			if err := sc.send(out); err != nil {
 				return
 			}
-		case wire.MsgSearch, wire.MsgInsert, wire.MsgDelete, wire.MsgSearchFetch:
+		case wire.MsgSearch, wire.MsgInsert, wire.MsgDelete, wire.MsgSearchFetch, wire.MsgPromote:
 			req, err := wire.DecodeRequest(frame)
 			if err != nil {
 				return
 			}
 			if err := s.handleRequest(sc, req); err != nil {
+				return
+			}
+		case wire.MsgReplicate:
+			if err := s.handleReplicate(sc, frame); err != nil {
 				return
 			}
 		case wire.MsgReadMailbox:
@@ -495,21 +588,27 @@ func (s *Server) serveConn(sc *srvConn) {
 	}
 }
 
-// handleShardMap answers a shard-map fetch; an unsharded server reports an
-// error status so misdirected routers fail loudly.
+// handleShardMap answers a shard-map fetch with the currently-served map —
+// the successor map once a reshard commits — plus the per-cell address
+// table when the deployment's addresses are known; an unsharded server
+// reports an error status so misdirected routers fail loudly.
 func (s *Server) handleShardMap(req wire.ShardMapRequest, out []byte) []byte {
-	m := s.cfg.ShardMap
-	if m == nil {
+	sm := s.servedShardMap()
+	if sm == nil || s.killed.Load() {
 		return wire.ShardMapData{ID: req.ID, Status: wire.StatusError}.Encode(out)
 	}
-	return wire.ShardMapData{
+	md := wire.ShardMapData{
 		ID:      req.ID,
 		Status:  wire.StatusOK,
-		Version: m.Version,
-		PadX:    m.PadX,
-		PadY:    m.PadY,
-		Cells:   m.Cells,
-	}.Encode(out)
+		Version: sm.m.Version,
+		PadX:    sm.m.PadX,
+		PadY:    sm.m.PadY,
+		Cells:   sm.m.Cells,
+	}
+	if len(sm.addrs) == sm.m.K() {
+		md.Addrs = sm.addrs
+	}
+	return md.Encode(out)
 }
 
 // PauseHeartbeats suspends (true) or resumes (false) heartbeat pushes,
@@ -517,9 +616,22 @@ func (s *Server) handleShardMap(req wire.ShardMapRequest, out []byte) []byte {
 // path keeps serving.
 func (s *Server) PauseHeartbeats(paused bool) { s.hbPaused.Store(paused) }
 
+// Kill makes the server refuse all service: every data request answers
+// StatusUnavailable and heartbeats stop, simulating a failed primary while
+// keeping the TCP endpoint alive so the failure is observed as a missed
+// liveness window rather than a connection reset. Irreversible.
+func (s *Server) Kill() { s.killed.Store(true) }
+
+// Killed reports whether Kill has been called.
+func (s *Server) Killed() bool { return s.killed.Load() }
+
 func (s *Server) handleReadChunk(req wire.ReadChunk, out []byte) []byte {
 	raw := make([]byte, s.tree.Region().ChunkSize())
 	resp := wire.ChunkData{ID: req.ID, Status: wire.StatusOK}
+	if s.killed.Load() {
+		resp.Status = wire.StatusUnavailable
+		return resp.Encode(out)
+	}
 	if err := s.tree.Region().ReadChunkRaw(int(req.Chunk), raw); err != nil {
 		resp.Status = wire.StatusError
 	} else {
@@ -536,6 +648,10 @@ func (s *Server) handleReadSpan(req wire.ReadSpan, out []byte) []byte {
 	reg := s.tree.Region()
 	cs := reg.ChunkSize()
 	resp := wire.SpanData{ID: req.ID, Status: wire.StatusOK}
+	if s.killed.Load() {
+		resp.Status = wire.StatusUnavailable
+		return resp.Encode(out)
+	}
 	if req.Count == 0 || req.Count > maxSpanChunks ||
 		int(req.Chunk)+int(req.Count) > reg.NumChunks() {
 		resp.Status = wire.StatusError
@@ -587,6 +703,10 @@ func (s *Server) tryMailboxDeliver(id uint64, items []wire.Item) (wire.FetchDesc
 // the requested chunks of the mailbox region, latch-free like READ_SPAN.
 func (s *Server) handleReadMailbox(req wire.ReadMailbox, out []byte) []byte {
 	resp := wire.SpanData{ID: req.ID, Status: wire.StatusOK}
+	if s.killed.Load() {
+		resp.Status = wire.StatusUnavailable
+		return resp.Encode(out)
+	}
 	if s.mreg == nil {
 		resp.Status = wire.StatusError
 		return resp.Encode(out)
@@ -612,6 +732,10 @@ func (s *Server) handleReadVersions(req wire.ReadVersions, out []byte) []byte {
 	reg := s.tree.Region()
 	raw := make([]byte, reg.VersionsSize())
 	resp := wire.VersionData{ID: req.ID, Status: wire.StatusOK}
+	if s.killed.Load() {
+		resp.Status = wire.StatusUnavailable
+		return resp.Encode(out)
+	}
 	if err := reg.ReadVersions(int(req.Chunk), raw); err != nil {
 		resp.Status = wire.StatusError
 	} else {
@@ -621,7 +745,21 @@ func (s *Server) handleReadVersions(req wire.ReadVersions, out []byte) []byte {
 }
 
 func (s *Server) handleRequest(sc *srvConn, req wire.Request) error {
+	if s.killed.Load() {
+		return sc.send(wire.Response{ID: req.ID, Status: wire.StatusUnavailable, Final: true}.Encode(nil))
+	}
 	switch req.Type {
+	case wire.MsgPromote:
+		// Router-driven failover: promote this backup to primary at the
+		// epoch carried in Ref, fencing the deposed primary's lineage.
+		if s.repl == nil {
+			return sc.send(wire.Response{ID: req.ID, Status: wire.StatusError, Final: true}.Encode(nil))
+		}
+		if s.repl.Promote(req.Ref) {
+			s.promotions.Add(1)
+		}
+		return sc.send(wire.Response{ID: req.ID, Status: wire.StatusOK, Final: true}.Encode(nil))
+
 	case wire.MsgSearchFetch:
 		s.fetchSearches.Add(1)
 		opStart := time.Now()
@@ -638,7 +776,7 @@ func (s *Server) handleRequest(sc *srvConn, req wire.Request) error {
 			tr := telemetry.Trace{
 				Start:   time.Since(s.start) - lat,
 				Method:  "fetch",
-				Shard:   s.cfg.ShardIndex,
+				Shard:   int(s.shardIdx.Load()),
 				Latency: lat,
 			}
 			if err != nil {
@@ -674,7 +812,7 @@ func (s *Server) handleRequest(sc *srvConn, req wire.Request) error {
 			tr := telemetry.Trace{
 				Start:   time.Since(s.start) - lat,
 				Method:  "fast",
-				Shard:   s.cfg.ShardIndex,
+				Shard:   int(s.shardIdx.Load()),
 				Latency: lat,
 			}
 			if err != nil {
@@ -691,29 +829,56 @@ func (s *Server) handleRequest(sc *srvConn, req wire.Request) error {
 		s.inserts.Add(1)
 		opStart := time.Now()
 		s.latch.Lock()
-		_, err := s.tree.Insert(req.Rect, req.Ref)
+		status := wire.StatusOK
+		if s.repl != nil && !s.repl.Primary() {
+			status = wire.StatusNotPrimary
+		} else if _, err := s.tree.Insert(req.Rect, req.Ref); err != nil {
+			status = wire.StatusError
+		} else if s.repl != nil {
+			// Stream to the backups before the latch drops: an acknowledged
+			// write is on every live backup, so failover loses nothing.
+			if rerr := s.replicate(wire.MsgInsert, req.Rect, req.Ref); rerr != nil {
+				status = replStatus(rerr)
+			}
+		}
+		if status == wire.StatusOK {
+			if ferr := s.forwardSplit(wire.MsgInsert, req.Rect, req.Ref); ferr != nil {
+				status = wire.StatusError
+			}
+		}
 		s.latch.Unlock()
 		s.latInsert.Record(time.Since(opStart))
-		status := wire.StatusOK
-		if err != nil {
-			status = wire.StatusError
-		}
 		return sc.send(wire.Response{ID: req.ID, Status: status, Final: true}.Encode(nil))
 
 	case wire.MsgDelete:
 		s.deletes.Add(1)
 		opStart := time.Now()
 		s.latch.Lock()
-		ok, _, err := s.tree.Delete(req.Rect, req.Ref)
+		status := wire.StatusOK
+		if s.repl != nil && !s.repl.Primary() {
+			status = wire.StatusNotPrimary
+		} else {
+			ok, _, err := s.tree.Delete(req.Rect, req.Ref)
+			switch {
+			case err != nil:
+				status = wire.StatusError
+			case !ok:
+				status = wire.StatusNotFound
+			default:
+				if s.repl != nil {
+					if rerr := s.replicate(wire.MsgDelete, req.Rect, req.Ref); rerr != nil {
+						status = replStatus(rerr)
+					}
+				}
+			}
+		}
+		if status == wire.StatusOK {
+			if ferr := s.forwardSplit(wire.MsgDelete, req.Rect, req.Ref); ferr != nil {
+				status = wire.StatusError
+			}
+		}
 		s.latch.Unlock()
 		s.latDelete.Record(time.Since(opStart))
-		status := wire.StatusOK
-		switch {
-		case err != nil:
-			status = wire.StatusError
-		case !ok:
-			status = wire.StatusNotFound
-		}
 		return sc.send(wire.Response{ID: req.ID, Status: status, Final: true}.Encode(nil))
 	}
 	return fmt.Errorf("rpcnet: unhandled request type %d", req.Type)
@@ -753,7 +918,9 @@ func (s *Server) heartbeatLoop() {
 		if s.closed.Load() {
 			return
 		}
-		if s.hbPaused.Load() {
+		if s.hbPaused.Load() || s.killed.Load() {
+			// A killed server freezes its heartbeats so routers observe a
+			// missed liveness window, exactly like a crashed process.
 			continue
 		}
 		busy := s.busyNanos.Load()
@@ -783,7 +950,14 @@ func (s *Server) heartbeatLoop() {
 		s.latch.RUnlock()
 		s.rootChunkA.Store(int64(rootChunk))
 		rootVer, _ := s.tree.Region().Version(rootChunk)
-		payload := wire.Heartbeat{Util: util, RootVer: rootVer, TXUtil: txUtil}.Encode(nil)
+		hb := wire.Heartbeat{Util: util, RootVer: rootVer, TXUtil: txUtil}
+		if s.repl != nil {
+			hb.Epoch, hb.AppliedSeq = s.repl.Snapshot()
+		}
+		if sm := s.servedShardMap(); sm != nil {
+			hb.MapVersion = sm.m.Version
+		}
+		payload := hb.Encode(nil)
 		s.mu.Lock()
 		for sc := range s.conns {
 			// Best effort; a dead connection is reaped by its reader.

@@ -31,6 +31,7 @@ import (
 	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/netmodel"
 	"github.com/catfish-db/catfish/internal/region"
+	"github.com/catfish-db/catfish/internal/replica"
 	"github.com/catfish-db/catfish/internal/ringbuf"
 	"github.com/catfish-db/catfish/internal/rtree"
 	"github.com/catfish-db/catfish/internal/sim"
@@ -93,6 +94,19 @@ type Config struct {
 	// heartbeat-published utilization on the registry under
 	// catfish_server_* names.
 	Metrics *telemetry.Registry
+
+	// Replica, when non-nil, arms the availability subsystem on this
+	// server: epoch fencing, op-log sequencing, and rejection of client
+	// writes while the state says backup (StatusNotPrimary). Nil leaves
+	// every path bit-for-bit identical to an unreplicated server.
+	Replica *replica.State
+	// Replicate, when non-nil, ships one applied mutation to the shard's
+	// backups. A primary invokes it under the exclusive tree latch, before
+	// the write is acknowledged, so an acked write is on every live backup
+	// (synchronous replication — the sim stand-in for the one-sided
+	// dirty-span write plus op-log record of DESIGN.md §5.11). A non-nil
+	// error is surfaced to the client as the corresponding status.
+	Replicate func(p *sim.Proc, rec replica.Record) error
 }
 
 // Stats aggregates server-side counters. The server mutates them with
@@ -115,6 +129,10 @@ type Stats struct {
 	FetchSearches uint64
 	FetchInline   uint64
 	FetchBytes    uint64
+	// Promotions counts accepted MsgPromote requests; ReplRecords the
+	// replicated mutations applied on this server as a backup.
+	Promotions  uint64
+	ReplRecords uint64
 }
 
 // Server is the Catfish R-tree server.
@@ -137,6 +155,7 @@ type Server struct {
 
 	hbSeq      uint64 // heartbeat sequence number (mailbox word 2)
 	hbPaused   atomic.Bool
+	killed     atomic.Bool
 	lastUtil   telemetry.Gauge // utilization as last published by heartbeatLoop
 	lastTXUtil telemetry.Gauge // TX (send engine) utilization as last published
 	hbTXBytes  uint64          // send-engine bytes at the previous heartbeat
@@ -303,6 +322,9 @@ func (s *Server) Stats() Stats {
 		FetchSearches: atomic.LoadUint64(&s.stats.FetchSearches),
 		FetchInline:   atomic.LoadUint64(&s.stats.FetchInline),
 		FetchBytes:    atomic.LoadUint64(&s.stats.FetchBytes),
+
+		Promotions:  atomic.LoadUint64(&s.stats.Promotions),
+		ReplRecords: atomic.LoadUint64(&s.stats.ReplRecords),
 	}
 }
 
@@ -451,6 +473,12 @@ func (s *Server) charge(p *sim.Proc, c *conn, demand time.Duration) {
 
 // handle executes one request and sends the response.
 func (s *Server) handle(p *sim.Proc, c *conn, req wire.Request) {
+	if s.killed.Load() {
+		// A killed server still answers — a silently dropped request would
+		// wedge the discrete-event simulation — but refuses all work.
+		s.respond(p, c, wire.Response{ID: req.ID, Status: wire.StatusUnavailable, Final: true}, nil)
+		return
+	}
 	switch req.Type {
 	case wire.MsgSearch:
 		atomic.AddUint64(&s.stats.Searches, 1)
@@ -494,28 +522,58 @@ func (s *Server) handle(p *sim.Proc, c *conn, req wire.Request) {
 	case wire.MsgInsert:
 		atomic.AddUint64(&s.stats.Inserts, 1)
 		s.latch.Lock(p)
-		st, err := s.insertStaged(p, req.Rect, req.Ref)
-		s.latch.Unlock()
 		status := wire.StatusOK
-		if err != nil {
-			status = wire.StatusError
+		var st rtree.OpStats
+		if s.cfg.Replica != nil && !s.cfg.Replica.Primary() {
+			status = wire.StatusNotPrimary
+		} else {
+			var err error
+			st, err = s.insertStaged(p, req.Rect, req.Ref)
+			if err != nil {
+				status = wire.StatusError
+			} else if rerr := s.replicate(p, wire.MsgInsert, req.Rect, req.Ref); rerr != nil {
+				status = replStatus(rerr)
+			}
 		}
+		s.latch.Unlock()
 		s.charge(p, c, s.cfg.Cost.InsertDemand(st.NodesRead, st.NodesWritten))
 		s.respond(p, c, wire.Response{ID: req.ID, Status: status, Final: true}, nil)
 
 	case wire.MsgDelete:
 		atomic.AddUint64(&s.stats.Deletes, 1)
 		s.latch.Lock(p)
-		ok, st, err := s.tree.Delete(req.Rect, req.Ref)
-		s.latch.Unlock()
 		status := wire.StatusOK
-		switch {
-		case err != nil:
-			status = wire.StatusError
-		case !ok:
-			status = wire.StatusNotFound
+		var st rtree.OpStats
+		if s.cfg.Replica != nil && !s.cfg.Replica.Primary() {
+			status = wire.StatusNotPrimary
+		} else {
+			ok, dst, err := s.tree.Delete(req.Rect, req.Ref)
+			st = dst
+			switch {
+			case err != nil:
+				status = wire.StatusError
+			case !ok:
+				status = wire.StatusNotFound
+			default:
+				if rerr := s.replicate(p, wire.MsgDelete, req.Rect, req.Ref); rerr != nil {
+					status = replStatus(rerr)
+				}
+			}
 		}
+		s.latch.Unlock()
 		s.charge(p, c, s.cfg.Cost.InsertDemand(st.NodesRead, st.NodesWritten))
+		s.respond(p, c, wire.Response{ID: req.ID, Status: status, Final: true}, nil)
+
+	case wire.MsgPromote:
+		// Failover control plane: adopt req.Ref as the shard's new epoch and
+		// start accepting client writes. Riding the Request frame keeps the
+		// message inside the existing demux on both transports.
+		status := wire.StatusOK
+		if s.cfg.Replica == nil {
+			status = wire.StatusError
+		} else if s.cfg.Replica.Promote(req.Ref) {
+			atomic.AddUint64(&s.stats.Promotions, 1)
+		}
 		s.respond(p, c, wire.Response{ID: req.ID, Status: status, Final: true}, nil)
 
 	default:
@@ -556,6 +614,15 @@ func (s *Server) handleBatch(p *sim.Proc, c *conn, payload []byte) {
 		return
 	}
 	if len(reqs) == 0 {
+		return
+	}
+	if s.killed.Load() {
+		res := c.batchRes[:0]
+		for _, req := range reqs {
+			res = append(res, batchResult{id: req.ID, status: wire.StatusUnavailable})
+		}
+		c.batchRes = res
+		s.respondBatch(p, c, res)
 		return
 	}
 	atomic.AddUint64(&s.stats.Batches, 1)
@@ -599,13 +666,24 @@ func (s *Server) handleBatch(p *sim.Proc, c *conn, payload []byte) {
 			}
 		case wire.MsgInsert:
 			atomic.AddUint64(&s.stats.Inserts, 1)
+			if s.cfg.Replica != nil && !s.cfg.Replica.Primary() {
+				out.status = wire.StatusNotPrimary
+				break
+			}
 			st, err := s.insertStaged(p, req.Rect, req.Ref)
 			if err == nil {
 				out.status = wire.StatusOK
+				if rerr := s.replicate(p, wire.MsgInsert, req.Rect, req.Ref); rerr != nil {
+					out.status = replStatus(rerr)
+				}
 			}
 			demand += s.cfg.Cost.InsertDemandBatched(i, st.NodesRead, st.NodesWritten)
 		case wire.MsgDelete:
 			atomic.AddUint64(&s.stats.Deletes, 1)
+			if s.cfg.Replica != nil && !s.cfg.Replica.Primary() {
+				out.status = wire.StatusNotPrimary
+				break
+			}
 			ok, st, err := s.tree.Delete(req.Rect, req.Ref)
 			switch {
 			case err != nil:
@@ -613,6 +691,9 @@ func (s *Server) handleBatch(p *sim.Proc, c *conn, payload []byte) {
 				out.status = wire.StatusNotFound
 			default:
 				out.status = wire.StatusOK
+				if rerr := s.replicate(p, wire.MsgDelete, req.Rect, req.Ref); rerr != nil {
+					out.status = replStatus(rerr)
+				}
 			}
 			demand += s.cfg.Cost.InsertDemandBatched(i, st.NodesRead, st.NodesWritten)
 		}
@@ -848,6 +929,85 @@ func DecodeHeartbeatMailbox(b []byte) HeartbeatView {
 // path keeps serving.
 func (s *Server) PauseHeartbeats(paused bool) { s.hbPaused.Store(paused) }
 
+// Kill simulates a crashed process: heartbeats freeze and every subsequent
+// request — including batches and promote attempts — is answered with
+// StatusUnavailable. Requests must still be answered: a silent drop would
+// leave the waiting client proc blocked forever and wedge the
+// discrete-event engine.
+func (s *Server) Kill() { s.killed.Store(true) }
+
+// Killed reports whether Kill has been called.
+func (s *Server) Killed() bool { return s.killed.Load() }
+
+// replicate stamps one applied mutation with the shard's (epoch, seq) and
+// ships it to the backups via the Replicate hook. The caller holds the
+// exclusive tree latch, so sequence order matches apply order. A nil
+// Replica makes this a no-op, keeping unreplicated deployments untouched.
+func (s *Server) replicate(p *sim.Proc, op wire.MsgType, r geo.Rect, ref uint64) error {
+	if s.cfg.Replica == nil {
+		return nil
+	}
+	epoch, seq, err := s.cfg.Replica.Next()
+	if err != nil {
+		return err
+	}
+	if s.cfg.Replicate == nil {
+		return nil
+	}
+	return s.cfg.Replicate(p, replica.Record{Epoch: epoch, Seq: seq, Op: op, Rect: r, Ref: ref})
+}
+
+// replStatus maps a replication error to the wire status a client decodes
+// back into the same sentinel (replica.StatusError is the inverse).
+func replStatus(err error) uint8 {
+	switch {
+	case errors.Is(err, replica.ErrNotPrimary):
+		return wire.StatusNotPrimary
+	case errors.Is(err, replica.ErrFenced):
+		return wire.StatusFenced
+	case errors.Is(err, replica.ErrUnavailable):
+		return wire.StatusUnavailable
+	}
+	return wire.StatusError
+}
+
+// ApplyReplica applies one replicated mutation on a backup: epoch fencing
+// and sequence validation through the replica state, then the tree write
+// under the exclusive latch with the same CPU charge a client write pays.
+// It is the simulation's stand-in for the backup-side apply of the
+// primary's streamed dirty spans (DESIGN.md §5.11).
+func (s *Server) ApplyReplica(p *sim.Proc, rec replica.Record) error {
+	if s.cfg.Replica == nil {
+		return errors.New("server: not a replica member")
+	}
+	if s.killed.Load() {
+		return replica.ErrUnavailable
+	}
+	s.latch.Lock(p)
+	defer s.latch.Unlock()
+	if err := s.cfg.Replica.Accept(rec.Epoch, rec.Seq); err != nil {
+		return err
+	}
+	var st rtree.OpStats
+	var err error
+	switch rec.Op {
+	case wire.MsgInsert:
+		st, err = s.insertStaged(p, rec.Rect, rec.Ref)
+	case wire.MsgDelete:
+		_, st, err = s.tree.Delete(rec.Rect, rec.Ref)
+	default:
+		err = fmt.Errorf("server: replicated op %d not a mutation", rec.Op)
+	}
+	if err != nil {
+		return err
+	}
+	atomic.AddUint64(&s.stats.ReplRecords, 1)
+	if s.cfg.Mode == ModeEvent {
+		s.cfg.Host.CPU().Run(p, s.cfg.Cost.InsertDemand(st.NodesRead, st.NodesWritten))
+	}
+	return nil
+}
+
 // heartbeatLoop periodically publishes the CPU utilization to every
 // connected client's heartbeat mailbox with an RDMA Write (§IV-A). A
 // reported zero would read as "no heartbeat" under Algorithm 1's u_serv≠0
@@ -855,7 +1015,7 @@ func (s *Server) PauseHeartbeats(paused bool) { s.hbPaused.Store(paused) }
 func (s *Server) heartbeatLoop(p *sim.Proc) {
 	for {
 		p.Sleep(s.cfg.HeartbeatInterval)
-		if s.hbPaused.Load() {
+		if s.hbPaused.Load() || s.killed.Load() {
 			continue
 		}
 		util := s.utilization()

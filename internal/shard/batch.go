@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"github.com/catfish-db/catfish/internal/client"
+	"github.com/catfish-db/catfish/internal/replica"
 	"github.com/catfish-db/catfish/internal/sim"
 	"github.com/catfish-db/catfish/internal/wire"
 )
@@ -36,11 +37,9 @@ func (r *Router) ExecBatch(p *sim.Proc, ops []client.BatchOp, results []client.B
 	for i, op := range ops {
 		switch op.Type {
 		case wire.MsgInsert, wire.MsgDelete:
-			atomic.AddUint64(&r.stats.Writes, 1)
-			owner := r.m.Owner(op.Rect)
-			if r.health != nil && !r.health.Healthy(owner, now) {
-				atomic.AddUint64(&r.stats.UnhealthyWrites, 1)
-				results[i].Err = &UnhealthyError{Shard: owner}
+			owner, err := r.writeTarget(p, op.Rect)
+			if err != nil {
+				results[i].Err = err
 				continue
 			}
 			r.subOps[owner] = append(r.subOps[owner], op)
@@ -76,12 +75,12 @@ func (r *Router) ExecBatch(p *sim.Proc, ops []client.BatchOp, results []client.B
 	for _, s := range busy[1:] {
 		s := s
 		p.Spawn("shard-batch", func(sp *sim.Proc) {
-			r.subRes[s] = r.clients[s].ExecBatch(sp, r.subOps[s], r.subRes[s])
+			r.subRes[s] = r.shardClient(s).ExecBatch(sp, r.subOps[s], r.subRes[s])
 			wg.Done()
 		})
 	}
 	s0 := busy[0]
-	r.subRes[s0] = r.clients[s0].ExecBatch(p, r.subOps[s0], r.subRes[s0])
+	r.subRes[s0] = r.shardClient(s0).ExecBatch(p, r.subOps[s0], r.subRes[s0])
 	wg.Wait(p)
 	// Merge in shard order; sub-ops of one original op keep shard order
 	// too, so merged item order is deterministic.
@@ -97,6 +96,28 @@ func (r *Router) ExecBatch(p *sim.Proc, ops []client.BatchOp, results []client.B
 			if results[i].Method != client.MethodOffload {
 				results[i].Method = res.Method
 			}
+		}
+	}
+	// Failover repair: operations that hit a server refusing service retry
+	// individually through the routed single-op paths, which promote a
+	// backup (writes) or fall back to one (reads). Replica-class errors
+	// only occur on replicated deployments, so this loop is inert at R=1.
+	for i := range results {
+		if results[i].Err == nil || !replica.Failover(results[i].Err) {
+			continue
+		}
+		op := ops[i]
+		results[i].Items = results[i].Items[:0]
+		switch op.Type {
+		case wire.MsgInsert:
+			results[i].Err = r.Insert(p, op.Rect, op.Ref)
+		case wire.MsgDelete:
+			results[i].Err = r.Delete(p, op.Rect, op.Ref)
+		default:
+			items, m, err := r.Search(p, op.Rect)
+			results[i].Items = append(results[i].Items, items...)
+			results[i].Method = m
+			results[i].Err = err
 		}
 	}
 	return results

@@ -7,6 +7,7 @@ import (
 
 	"github.com/catfish-db/catfish/internal/client"
 	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/replica"
 	"github.com/catfish-db/catfish/internal/sim"
 	"github.com/catfish-db/catfish/internal/telemetry"
 	"github.com/catfish-db/catfish/internal/wire"
@@ -29,6 +30,11 @@ type RouterConfig struct {
 	// HealthMultiple is the liveness window in heartbeat intervals
 	// (DefaultHealthMultiple when 0).
 	HealthMultiple int
+	// Backups holds, per shard, connected clients to that shard's backup
+	// servers in preference order. Nil (or empty inner slices) disables
+	// failover for that shard, leaving routing bit-for-bit identical to an
+	// unreplicated deployment.
+	Backups [][]*client.Client
 }
 
 // RouterStats counts router-level outcomes. Per-shard transport and
@@ -45,6 +51,15 @@ type RouterStats struct {
 	Skipped uint64
 	// UnhealthyWrites counts writes rejected with UnhealthyError.
 	UnhealthyWrites uint64
+	// Promotions counts successful backup promotions (failovers).
+	Promotions uint64
+	// BackupReads counts sub-searches answered by a backup replica after
+	// the active server refused service.
+	BackupReads uint64
+	// MapAdoptions counts successor shard maps adopted mid-run during live
+	// resharding (real-socket router only; the simulated fabric has no
+	// resharding path).
+	MapAdoptions uint64
 }
 
 // Router scatters searches across the shards whose coverage intersects the
@@ -59,6 +74,14 @@ type Router struct {
 	health  *Health
 	lastSeq []uint64 // per-shard heartbeat sequence last observed
 	stats   RouterStats
+
+	// Failover state (inert when no shard has backups): per-shard candidate
+	// clients in preference order ([primary, backups...]), the index of the
+	// currently serving replica, and the epoch this router last promoted the
+	// shard to — the fencing token carried by MsgPromote.
+	cands  [][]*client.Client
+	active []int
+	epochs []uint64
 
 	// Reused scatter/batch scratch (single driving proc, so no locking).
 	targets  []int
@@ -78,6 +101,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.Map == nil {
 		return nil, fmt.Errorf("shard: router needs a map")
 	}
+	if err := cfg.Map.Validate(); err != nil {
+		return nil, err
+	}
 	if len(cfg.Clients) != cfg.Map.K() {
 		return nil, fmt.Errorf("shard: %d clients for %d shards", len(cfg.Clients), cfg.Map.K())
 	}
@@ -85,6 +111,16 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		m:       cfg.Map,
 		clients: cfg.Clients,
 		lastSeq: make([]uint64, cfg.Map.K()),
+		cands:   make([][]*client.Client, cfg.Map.K()),
+		active:  make([]int, cfg.Map.K()),
+		epochs:  make([]uint64, cfg.Map.K()),
+	}
+	for s := range r.cands {
+		r.cands[s] = append(r.cands[s], cfg.Clients[s])
+		if s < len(cfg.Backups) {
+			r.cands[s] = append(r.cands[s], cfg.Backups[s]...)
+		}
+		r.epochs[s] = 1
 	}
 	if cfg.HeartbeatInterval > 0 {
 		r.health = NewHealth(cfg.Map.K(), cfg.HeartbeatInterval, cfg.HealthMultiple, cfg.Engine.Now())
@@ -100,14 +136,47 @@ func (r *Router) monitor(interval time.Duration) func(p *sim.Proc) {
 	return func(p *sim.Proc) {
 		for {
 			p.Sleep(interval)
-			for i, c := range r.clients {
-				if seq := c.HeartbeatSeq(); seq != r.lastSeq[i] {
+			for i := range r.cands {
+				if seq := r.shardClient(i).HeartbeatSeq(); seq != r.lastSeq[i] {
 					r.lastSeq[i] = seq
 					r.health.Observe(i, p.Now())
 				}
 			}
 		}
 	}
+}
+
+// shardClient returns the client serving shard s — the primary until a
+// failover swaps in a promoted backup.
+func (r *Router) shardClient(s int) *client.Client {
+	return r.cands[s][r.active[s]]
+}
+
+// failover promotes the best remaining candidate of shard s to a bumped
+// epoch and makes it the serving replica. Candidates are tried in
+// preference order; a dead one answers StatusUnavailable and is skipped.
+// Reports whether a promotion succeeded.
+func (r *Router) failover(p *sim.Proc, s int) bool {
+	if len(r.cands[s]) <= 1 {
+		return false
+	}
+	epoch := r.epochs[s] + 1
+	for idx, c := range r.cands[s] {
+		if err := c.Promote(p, epoch); err != nil {
+			continue
+		}
+		r.epochs[s] = epoch
+		r.active[s] = idx
+		if r.health != nil {
+			// The promoted replica gets a fresh liveness window; its own
+			// heartbeats take over from here.
+			r.lastSeq[s] = c.HeartbeatSeq()
+			r.health.Observe(s, p.Now())
+		}
+		atomic.AddUint64(&r.stats.Promotions, 1)
+		return true
+	}
+	return false
 }
 
 // Healthy reports shard i's current liveness.
@@ -123,6 +192,8 @@ func (r *Router) Stats() RouterStats {
 		Fanout:          atomic.LoadUint64(&r.stats.Fanout),
 		Skipped:         atomic.LoadUint64(&r.stats.Skipped),
 		UnhealthyWrites: atomic.LoadUint64(&r.stats.UnhealthyWrites),
+		Promotions:      atomic.LoadUint64(&r.stats.Promotions),
+		BackupReads:     atomic.LoadUint64(&r.stats.BackupReads),
 	}
 }
 
@@ -130,8 +201,10 @@ func (r *Router) Stats() RouterStats {
 // snapshot.
 func (r *Router) Snapshot() telemetry.ClientSnapshot {
 	var agg telemetry.ClientSnapshot
-	for _, c := range r.clients {
-		agg = agg.Add(c.Stats())
+	for _, cs := range r.cands {
+		for _, c := range cs {
+			agg = agg.Add(c.Stats())
+		}
 	}
 	return agg
 }
@@ -145,12 +218,39 @@ func (r *Router) healthyTargets(q geo.Rect, now time.Duration) ([]int, bool) {
 	}
 	healthy := r.targets[:0]
 	for _, t := range r.targets {
-		if r.health.Healthy(t, now) {
+		// A replicated shard stays in the scatter set even when its active
+		// server looks dead: searchShard falls back to a backup replica.
+		if len(r.cands[t]) > 1 || r.health.Healthy(t, now) {
 			healthy = append(healthy, t)
 		}
 	}
 	r.targets = healthy
 	return r.targets, len(healthy) > 0
+}
+
+// searchShard runs one sub-search on shard s. When the active server
+// refuses service (killed, fenced, demoted) the search retries on the
+// shard's other replicas — backups answer reads without promotion, so read
+// availability outlives a dying primary.
+func (r *Router) searchShard(p *sim.Proc, s int, q geo.Rect) ([]wire.Item, client.Method, error) {
+	items, m, err := r.shardClient(s).Search(p, q)
+	if err == nil || !replica.Failover(err) {
+		return items, m, err
+	}
+	for idx, c := range r.cands[s] {
+		if idx == r.active[s] {
+			continue
+		}
+		bItems, bm, berr := c.Search(p, q)
+		if berr == nil {
+			atomic.AddUint64(&r.stats.BackupReads, 1)
+			return bItems, bm, nil
+		}
+		if !replica.Failover(berr) {
+			return bItems, bm, berr
+		}
+	}
+	return nil, m, err
 }
 
 // Search scatters q to every healthy shard whose coverage intersects it and
@@ -168,7 +268,7 @@ func (r *Router) Search(p *sim.Proc, q geo.Rect) ([]wire.Item, client.Method, er
 	}
 	atomic.AddUint64(&r.stats.Fanout, uint64(len(targets)))
 	if len(targets) == 1 {
-		return r.clients[targets[0]].Search(p, q)
+		return r.searchShard(p, targets[0], q)
 	}
 	// Parallel scatter: the driving process takes the first target, one
 	// spawned process per remaining target, a wait group as the gather
@@ -184,11 +284,11 @@ func (r *Router) Search(p *sim.Proc, q geo.Rect) ([]wire.Item, client.Method, er
 		slot := slot
 		shard := r.gatherTg[slot]
 		p.Spawn("shard-scatter", func(sp *sim.Proc) {
-			r.gatherI[slot], r.gatherM[slot], r.gatherE[slot] = r.clients[shard].Search(sp, q)
+			r.gatherI[slot], r.gatherM[slot], r.gatherE[slot] = r.searchShard(sp, shard, q)
 			wg.Done()
 		})
 	}
-	r.gatherI[0], r.gatherM[0], r.gatherE[0] = r.clients[r.gatherTg[0]].Search(p, q)
+	r.gatherI[0], r.gatherM[0], r.gatherE[0] = r.searchShard(p, r.gatherTg[0], q)
 	wg.Wait(p)
 	var items []wire.Item
 	for slot := 0; slot < n; slot++ {
@@ -201,31 +301,59 @@ func (r *Router) Search(p *sim.Proc, q geo.Rect) ([]wire.Item, client.Method, er
 }
 
 // Insert routes the insert to the owning shard, failing with
-// UnhealthyError when that shard has stopped heartbeating.
+// UnhealthyError when that shard has stopped heartbeating and no backup
+// could be promoted in its place.
 func (r *Router) Insert(p *sim.Proc, rect geo.Rect, ref uint64) error {
-	owner, err := r.writeTarget(rect, p.Now())
+	owner, err := r.writeTarget(p, rect)
 	if err != nil {
 		return err
 	}
-	return r.clients[owner].Insert(p, rect, ref)
+	return r.writeShard(p, owner, func(c *client.Client) error {
+		return c.Insert(p, rect, ref)
+	})
 }
 
 // Delete routes the delete to the owning shard, failing with
-// UnhealthyError when that shard has stopped heartbeating.
+// UnhealthyError when that shard has stopped heartbeating and no backup
+// could be promoted in its place.
 func (r *Router) Delete(p *sim.Proc, rect geo.Rect, ref uint64) error {
-	owner, err := r.writeTarget(rect, p.Now())
+	owner, err := r.writeTarget(p, rect)
 	if err != nil {
 		return err
 	}
-	return r.clients[owner].Delete(p, rect, ref)
+	return r.writeShard(p, owner, func(c *client.Client) error {
+		return c.Delete(p, rect, ref)
+	})
 }
 
-func (r *Router) writeTarget(rect geo.Rect, now time.Duration) (int, error) {
+// writeShard runs op against shard s's active replica, promoting a backup
+// and retrying when the server refuses service. Attempts are bounded by
+// the candidate count so a fully dead shard terminates with the unified
+// UnhealthyError rather than looping.
+func (r *Router) writeShard(p *sim.Proc, s int, op func(*client.Client) error) error {
+	for attempt := 0; ; attempt++ {
+		err := op(r.shardClient(s))
+		if err == nil || !replica.Failover(err) {
+			return err
+		}
+		if attempt >= len(r.cands[s]) || !r.failover(p, s) {
+			atomic.AddUint64(&r.stats.UnhealthyWrites, 1)
+			return &UnhealthyError{Shard: s}
+		}
+	}
+}
+
+func (r *Router) writeTarget(p *sim.Proc, rect geo.Rect) (int, error) {
 	atomic.AddUint64(&r.stats.Writes, 1)
 	owner := r.m.Owner(rect)
-	if r.health != nil && !r.health.Healthy(owner, now) {
-		atomic.AddUint64(&r.stats.UnhealthyWrites, 1)
-		return 0, &UnhealthyError{Shard: owner}
+	if r.health != nil && !r.health.Healthy(owner, p.Now()) {
+		// A lapsed liveness window is the failover trigger: promote the
+		// best backup and write there. Without backups the write fails
+		// with the unified unhealthy error.
+		if !r.failover(p, owner) {
+			atomic.AddUint64(&r.stats.UnhealthyWrites, 1)
+			return 0, &UnhealthyError{Shard: owner}
+		}
 	}
 	return owner, nil
 }

@@ -124,6 +124,79 @@ func FromParts(version uint64, padX, padY float64, cells []geo.Rect) (*Map, erro
 	return m, nil
 }
 
+// Validate recomputes the content digest over the cells and pads and
+// verifies it matches the claimed Version — the integrity check both
+// routers run on any map that crossed a trust boundary (a wire fetch, a
+// mid-run reshard adoption).
+func (m *Map) Validate() error {
+	cp := Map{Cells: m.Cells, PadX: m.PadX, PadY: m.PadY}
+	cp.finish()
+	if cp.Version != m.Version {
+		return fmt.Errorf("%w: content hashes to %#x, header says %#x",
+			ErrVersionMismatch, cp.Version, m.Version)
+	}
+	return nil
+}
+
+// SplitCell returns a copy of m with cell idx split in two — the live
+// resharding step that peels half a hot shard onto a new server. The split
+// runs along the longer axis of the entries' bounding box (the cell's
+// finite footprint when entries is empty), at the count-median of the
+// entries' centers, exactly like Build's partitioner. The lower half keeps
+// index idx; the upper half becomes the new last cell (shard index K). The
+// pads carry over so coverage stays exact, and the recomputed Version is
+// the bumped MapVersion routers converge to.
+func (m *Map) SplitCell(idx int, entries []rtree.Entry) (*Map, error) {
+	if idx < 0 || idx >= len(m.Cells) {
+		return nil, fmt.Errorf("shard: split cell %d of %d", idx, len(m.Cells))
+	}
+	pts := make([]point, len(entries))
+	for i, e := range entries {
+		cx, cy := e.Rect.Center()
+		pts[i] = point{x: cx, y: cy}
+	}
+	cell := m.Cells[idx]
+	nm := &Map{PadX: m.PadX, PadY: m.PadY, Cells: append([]geo.Rect(nil), m.Cells...)}
+	axisX := nm.longestAxisX(cell, pts)
+	coord := func(p point) float64 {
+		if axisX {
+			return p.x
+		}
+		return p.y
+	}
+	var s float64
+	if len(pts) >= 2 {
+		sort.Slice(pts, func(i, j int) bool {
+			if coord(pts[i]) != coord(pts[j]) {
+				return coord(pts[i]) < coord(pts[j])
+			}
+			if axisX {
+				return pts[i].y < pts[j].y
+			}
+			return pts[i].x < pts[j].x
+		})
+		nl := len(pts) / 2
+		s = (coord(pts[nl-1]) + coord(pts[nl])) / 2
+	} else {
+		f := finite(cell)
+		if axisX {
+			s = (f.MinX + f.MaxX) / 2
+		} else {
+			s = (f.MinY + f.MaxY) / 2
+		}
+	}
+	left, right := cell, cell
+	if axisX {
+		left.MaxX, right.MinX = s, s
+	} else {
+		left.MaxY, right.MinY = s, s
+	}
+	nm.Cells[idx] = left
+	nm.Cells = append(nm.Cells, right)
+	nm.finish()
+	return nm, nil
+}
+
 type point struct{ x, y float64 }
 
 // split recursively partitions cell (holding pts) into k cells, appending

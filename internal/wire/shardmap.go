@@ -59,12 +59,28 @@ type ShardMapData struct {
 	PadX    float64
 	PadY    float64
 	Cells   []geo.Rect
+	// Addrs is an optional per-cell address table (empty, or one address
+	// per cell, in shard order). Servers that know their deployment's
+	// addresses append it so a router adopting a resharded map mid-run can
+	// discover and dial the new shard without out-of-band configuration.
+	// It trails the cells: pre-replication decoders ignored trailing bytes,
+	// so the frame stays backward compatible.
+	Addrs []string
 }
 
 const shardMapDataHeader = 1 + 8 + 1 + 8 + 8 + 8 + 4
 
 // EncodedSize returns the encoded size of the shard-map data message.
-func (m ShardMapData) EncodedSize() int { return shardMapDataHeader + rectSize*len(m.Cells) }
+func (m ShardMapData) EncodedSize() int {
+	n := shardMapDataHeader + rectSize*len(m.Cells)
+	if len(m.Addrs) > 0 {
+		n += 2
+		for _, a := range m.Addrs {
+			n += 2 + len(a)
+		}
+	}
+	return n
+}
 
 // Encode appends the shard-map data encoding to buf and returns it.
 func (m ShardMapData) Encode(buf []byte) []byte {
@@ -83,10 +99,21 @@ func (m ShardMapData) Encode(buf []byte) []byte {
 		putRect(b[p:], c)
 		p += rectSize
 	}
+	if len(m.Addrs) > 0 {
+		binary.LittleEndian.PutUint16(b[p:], uint16(len(m.Addrs)))
+		p += 2
+		for _, a := range m.Addrs {
+			binary.LittleEndian.PutUint16(b[p:], uint16(len(a)))
+			p += 2
+			copy(b[p:], a)
+			p += len(a)
+		}
+	}
 	return buf
 }
 
-// DecodeShardMapData parses a shard-map data message.
+// DecodeShardMapData parses a shard-map data message. The trailing address
+// table is optional; a frame that ends at the cells decodes with no Addrs.
 func DecodeShardMapData(b []byte) (ShardMapData, error) {
 	if len(b) < shardMapDataHeader || MsgType(b[0]) != MsgShardMapData {
 		return ShardMapData{}, fmt.Errorf("%w: shard-map data", ErrCorrupt)
@@ -106,6 +133,22 @@ func DecodeShardMapData(b []byte) (ShardMapData, error) {
 	for i := 0; i < n; i++ {
 		m.Cells = append(m.Cells, getRect(b[p:]))
 		p += rectSize
+	}
+	if len(b) >= p+2 {
+		na := int(binary.LittleEndian.Uint16(b[p:]))
+		p += 2
+		for i := 0; i < na; i++ {
+			if len(b) < p+2 {
+				return ShardMapData{}, fmt.Errorf("%w: shard-map address table truncated", ErrCorrupt)
+			}
+			la := int(binary.LittleEndian.Uint16(b[p:]))
+			p += 2
+			if len(b) < p+la {
+				return ShardMapData{}, fmt.Errorf("%w: shard-map address table truncated", ErrCorrupt)
+			}
+			m.Addrs = append(m.Addrs, string(b[p:p+la]))
+			p += la
+		}
 	}
 	return m, nil
 }

@@ -39,6 +39,15 @@ const (
 	StatusOK uint8 = iota
 	StatusNotFound
 	StatusError
+	// StatusUnavailable means the server is up but refusing service (it
+	// has been killed or is draining); routers fail over on it.
+	StatusUnavailable
+	// StatusFenced means the operation carried a replication epoch below
+	// the server's current one — a zombie primary's write, rejected.
+	StatusFenced
+	// StatusNotPrimary means a client write reached a backup that has not
+	// been promoted; routers redirect to the shard's primary.
+	StatusNotPrimary
 )
 
 // ErrCorrupt is returned when a message fails to decode.
@@ -74,7 +83,8 @@ func DecodeRequest(b []byte) (Request, error) {
 		return Request{}, fmt.Errorf("%w: request %d bytes", ErrCorrupt, len(b))
 	}
 	typ := MsgType(b[0])
-	if typ != MsgSearch && typ != MsgInsert && typ != MsgDelete && typ != MsgSearchFetch {
+	if typ != MsgSearch && typ != MsgInsert && typ != MsgDelete && typ != MsgSearchFetch &&
+		typ != MsgPromote {
 		return Request{}, fmt.Errorf("%w: request type %d", ErrCorrupt, typ)
 	}
 	return Request{
@@ -167,13 +177,26 @@ type Heartbeat struct {
 	Util    float64
 	RootVer uint64
 	TXUtil  float64 // windowed send-engine (TX NIC) utilization, 0..1
+	// Replication words (zero against servers that predate them): the
+	// server's per-shard replication epoch and highest applied op-log
+	// sequence — routers pick the most-caught-up backup during failover —
+	// and the shard-map version the server currently serves, so routers
+	// detect a live reshard mid-run without polling MsgShardMap.
+	Epoch      uint64
+	AppliedSeq uint64
+	MapVersion uint64
 }
 
-// HeartbeatSize is the encoded size of a Heartbeat (with the TX word).
-const HeartbeatSize = 1 + 8 + 8 + 8
+// HeartbeatSize is the encoded size of a Heartbeat (with the replication
+// words).
+const HeartbeatSize = 1 + 8 + 8 + 8 + 8 + 8 + 8
+
+// heartbeatSizeTX is the pre-replication layout (TX word, no replication
+// words); DecodeHeartbeat still accepts it.
+const heartbeatSizeTX = 1 + 8 + 8 + 8
 
 // HeartbeatSizeLegacy is the pre-fetch layout without the TX word.
-// DecodeHeartbeat still accepts it (TXUtil reads as zero) so widened
+// DecodeHeartbeat still accepts it (later words read as zero) so widened
 // servers interoperate with clients speaking the old frame length and
 // vice versa.
 const HeartbeatSizeLegacy = 1 + 8 + 8
@@ -187,11 +210,14 @@ func (h Heartbeat) Encode(buf []byte) []byte {
 	binary.LittleEndian.PutUint64(b[1:], math.Float64bits(h.Util))
 	binary.LittleEndian.PutUint64(b[9:], h.RootVer)
 	binary.LittleEndian.PutUint64(b[17:], math.Float64bits(h.TXUtil))
+	binary.LittleEndian.PutUint64(b[25:], h.Epoch)
+	binary.LittleEndian.PutUint64(b[33:], h.AppliedSeq)
+	binary.LittleEndian.PutUint64(b[41:], h.MapVersion)
 	return buf
 }
 
-// DecodeHeartbeat parses a heartbeat, tolerating both the legacy (no TX
-// word) and the widened layout.
+// DecodeHeartbeat parses a heartbeat, tolerating the legacy layouts (no TX
+// word; no replication words).
 func DecodeHeartbeat(b []byte) (Heartbeat, error) {
 	if len(b) < HeartbeatSizeLegacy || MsgType(b[0]) != MsgHeartbeat {
 		return Heartbeat{}, fmt.Errorf("%w: heartbeat", ErrCorrupt)
@@ -200,8 +226,13 @@ func DecodeHeartbeat(b []byte) (Heartbeat, error) {
 		Util:    math.Float64frombits(binary.LittleEndian.Uint64(b[1:])),
 		RootVer: binary.LittleEndian.Uint64(b[9:]),
 	}
-	if len(b) >= HeartbeatSize {
+	if len(b) >= heartbeatSizeTX {
 		h.TXUtil = math.Float64frombits(binary.LittleEndian.Uint64(b[17:]))
+	}
+	if len(b) >= HeartbeatSize {
+		h.Epoch = binary.LittleEndian.Uint64(b[25:])
+		h.AppliedSeq = binary.LittleEndian.Uint64(b[33:])
+		h.MapVersion = binary.LittleEndian.Uint64(b[41:])
 	}
 	return h, nil
 }
@@ -212,7 +243,7 @@ func PeekType(b []byte) (MsgType, error) {
 		return 0, ErrCorrupt
 	}
 	t := MsgType(b[0])
-	if t < MsgSearch || t > MsgReadMailbox {
+	if t < MsgSearch || t > MsgPromote {
 		return 0, fmt.Errorf("%w: type %d", ErrCorrupt, t)
 	}
 	return t, nil
@@ -236,10 +267,19 @@ type Hello struct {
 	// means the server does not support result fetching.
 	FetchSlots      uint32
 	FetchSlotChunks uint32
+	// ReplicaEpoch is the server's replication epoch at connection time
+	// (0 against servers that predate replication). A router cross-checks
+	// it against heartbeats so a fenced zombie is recognizable from the
+	// hello alone.
+	ReplicaEpoch uint64
 }
 
-// HelloSize is the encoded size of a Hello (with the fetch geometry).
-const HelloSize = 1 + 4*5 + 8 + 4 + 4 + 8 + 4 + 4
+// HelloSize is the encoded size of a Hello (with the replica epoch).
+const HelloSize = 1 + 4*5 + 8 + 4 + 4 + 8 + 4 + 4 + 8
+
+// helloSizeFetch is the pre-replication layout (fetch geometry, no replica
+// epoch); DecodeHello still accepts it.
+const helloSizeFetch = 1 + 4*5 + 8 + 4 + 4 + 8 + 4 + 4
 
 // helloSizeLegacy is the pre-fetch layout; DecodeHello still accepts it
 // (fetch geometry reads as zero → fetch unsupported).
@@ -262,6 +302,7 @@ func (h Hello) Encode(buf []byte) []byte {
 	binary.LittleEndian.PutUint64(b[37:], h.MapVersion)
 	binary.LittleEndian.PutUint32(b[45:], h.FetchSlots)
 	binary.LittleEndian.PutUint32(b[49:], h.FetchSlotChunks)
+	binary.LittleEndian.PutUint64(b[53:], h.ReplicaEpoch)
 	return buf
 }
 
@@ -282,9 +323,12 @@ func DecodeHello(b []byte) (Hello, error) {
 		ShardCount:  binary.LittleEndian.Uint32(b[33:]),
 		MapVersion:  binary.LittleEndian.Uint64(b[37:]),
 	}
-	if len(b) >= HelloSize {
+	if len(b) >= helloSizeFetch {
 		h.FetchSlots = binary.LittleEndian.Uint32(b[45:])
 		h.FetchSlotChunks = binary.LittleEndian.Uint32(b[49:])
+	}
+	if len(b) >= HelloSize {
+		h.ReplicaEpoch = binary.LittleEndian.Uint64(b[53:])
 	}
 	return h, nil
 }

@@ -17,6 +17,9 @@ type (
 	NetClient = rpcnet.Client
 	// NetClientConfig configures a NetClient.
 	NetClientConfig = rpcnet.ClientConfig
+	// NetReplicaConfig arms shard replication on a NetServer
+	// (NetServerConfig.Replica).
+	NetReplicaConfig = rpcnet.ReplicaConfig
 	// NetMethod identifies the search path used by a NetClient.
 	NetMethod = rpcnet.Method
 )
