@@ -34,7 +34,7 @@ func main() {
 func run() error {
 	var (
 		fig      = flag.String("fig", "", "figure to regenerate: 2,7,8,9,10,11,12,13,14,all")
-		ablation = flag.String("ablation", "", "ablation to run: n,t,heartbeat,multiissue,chunk,prefetch,fetch,shards,all")
+		ablation = flag.String("ablation", "", "ablation to run: n,t,heartbeat,multiissue,chunk,prefetch,fetch,shards,failover,autoscale,all")
 		quick    = flag.Bool("quick", false, "smoke-test sizes")
 		full     = flag.Bool("full", false, "the paper's exact parameters (slow)")
 		dataset  = flag.Int("dataset", 0, "override dataset size")
@@ -77,7 +77,7 @@ func run() error {
 		}
 	}
 	if *ablation != "" {
-		for _, a := range expand(*ablation, []string{"n", "t", "heartbeat", "multiissue", "batch", "chunk", "rootcache", "nodecache", "prefetch", "predictor", "fetch", "shards", "failover", "framework"}) {
+		for _, a := range expand(*ablation, []string{"n", "t", "heartbeat", "multiissue", "batch", "chunk", "rootcache", "nodecache", "prefetch", "predictor", "fetch", "shards", "failover", "autoscale", "framework"}) {
 			if err := runAblation(a, opts); err != nil {
 				return err
 			}
@@ -206,6 +206,8 @@ func runAblation(name string, opts bench.Options) error {
 		t, err = bench.AblationShards(opts)
 	case "failover":
 		t, err = bench.AblationFailover(opts)
+	case "autoscale":
+		t, err = bench.AblationAutoscale(opts)
 	case "framework":
 		t, err = bench.Framework(opts)
 	default:

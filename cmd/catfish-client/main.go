@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -51,6 +52,8 @@ func run() error {
 		insertFrac = flag.Float64("insert-fraction", 0, "fraction of requests that insert")
 		batch      = flag.Int("batch", 1, "batch size B: coalesce B requests per frame (1 = unbatched)")
 		seed       = flag.Int64("seed", 1, "random seed")
+		maxConns   = flag.Int("max-conns", 0, "share at most N multiplexed TCP connections per server address across all workers (0 = one dedicated connection per worker)")
+		deadline   = flag.Duration("deadline", 0, "per-operation latency budget; admission-controlled servers shed late ops (counted as overloaded, not errors)")
 		healthMult = flag.Int("health-multiple", 0, "shard-liveness window in heartbeat intervals (0 = default 10); sharded runs only")
 		backupsFl  = flag.String("backups", "", "per-shard backup addresses for failover and replica reads: semicolon-separated groups (one per shard, in shard order) of comma-separated addresses; empty groups allowed")
 		replUtil   = flag.Float64("read-replica-util", 0, "predicted-utilization threshold above which searches route to the least-loaded backup (0 = off)")
@@ -102,11 +105,20 @@ func run() error {
 		}
 	}
 
+	// One shared pool bounds the process's TCP connections; workers attach
+	// logical streams instead of dialing their own sockets.
+	var pool *catfish.MuxPool
+	if *maxConns > 0 {
+		pool = catfish.NewMuxPool(*maxConns)
+		defer pool.Close()
+	}
+
 	type result struct {
-		hist   *stats.Histogram
-		stats  catfish.ClientSnapshot
-		router catfish.ShardRouterStats
-		err    error
+		hist       *stats.Histogram
+		stats      catfish.ClientSnapshot
+		router     catfish.ShardRouterStats
+		overloaded int
+		err        error
 	}
 	results := make([]result, *clients)
 	var wg sync.WaitGroup
@@ -137,35 +149,34 @@ func run() error {
 				ccfg.Metrics = reg.With("client", fmt.Sprint(i))
 				ccfg.Trace = tr
 			}
-			var c conn
-			collect := func() {}
-			// Backups imply the router even for a single shard: failover
-			// (election, fencing, re-dial) lives in the router, not the
-			// plain client.
-			if len(addrs) > 1 || len(shardBackups) > 0 {
-				r, err := catfish.DialRouter(addrs, catfish.NetRouterConfig{
-					Client:          ccfg,
-					HealthMultiple:  *healthMult,
-					Backups:         shardBackups,
-					ReadReplicaUtil: *replUtil,
-				})
-				if err != nil {
-					results[i].err = err
-					return
-				}
-				c = r
-				collect = func() {
-					results[i].stats = results[i].stats.Add(r.Snapshot())
+			ccfg.Deadline = *deadline
+			// Connect resolves the shape: several addresses — or any
+			// router-only option like backups — yield the scatter-gather
+			// router, one address a direct client; the shared pool bounds
+			// TCP connections either way.
+			opts := []catfish.Option{catfish.WithClientConfig(ccfg)}
+			if len(shardBackups) > 0 {
+				opts = append(opts, catfish.WithBackups(shardBackups))
+			}
+			if *healthMult > 0 {
+				opts = append(opts, catfish.WithHealthMultiple(*healthMult))
+			}
+			if *replUtil > 0 {
+				opts = append(opts, catfish.WithReadReplicaUtil(*replUtil))
+			}
+			if pool != nil {
+				opts = append(opts, catfish.WithMuxPool(pool))
+			}
+			c, err := catfish.Connect(addrs, opts...)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			collect := func() {
+				results[i].stats = results[i].stats.Add(c.Snapshot())
+				if r, ok := c.(*catfish.NetRouter); ok {
 					results[i].router = r.Stats()
 				}
-			} else {
-				cl, err := catfish.Dial(addrs[0], ccfg)
-				if err != nil {
-					results[i].err = err
-					return
-				}
-				c = cl
-				collect = func() { results[i].stats = cl.Stats() }
 			}
 			defer c.Close()
 			rng := rand.New(rand.NewSource(*seed + int64(i)*7919))
@@ -197,6 +208,10 @@ func run() error {
 					bres = c.ExecBatch(ops, bres)
 					elapsed := time.Since(t0)
 					for _, br := range bres {
+						if errors.Is(br.Err, rpcnet.ErrOverloaded) {
+							results[i].overloaded++
+							continue
+						}
 						if br.Err != nil {
 							results[i].err = br.Err
 							return
@@ -210,16 +225,22 @@ func run() error {
 			for r := 0; r < *requests; r++ {
 				op := nextOp(r)
 				t0 := time.Now()
+				var err error
 				if op.Type == wire.MsgInsert {
-					if err := c.Insert(op.Rect, op.Ref); err != nil {
-						results[i].err = err
-						return
-					}
+					err = c.Insert(op.Rect, op.Ref)
 				} else {
-					if _, _, err := c.Search(op.Rect); err != nil {
-						results[i].err = err
-						return
-					}
+					_, _, err = c.Search(op.Rect)
+				}
+				if errors.Is(err, rpcnet.ErrOverloaded) {
+					// A typed shed is load feedback, not a failure: the
+					// server is alive but refused the op within its
+					// deadline.
+					results[i].overloaded++
+					continue
+				}
+				if err != nil {
+					results[i].err = err
+					return
 				}
 				hist.Record(time.Since(t0))
 			}
@@ -232,10 +253,12 @@ func run() error {
 	total := stats.NewHistogram()
 	var agg catfish.ClientSnapshot
 	var rt catfish.ShardRouterStats
+	overloaded := 0
 	for i, r := range results {
 		if r.err != nil {
 			return fmt.Errorf("client %d: %w", i, r.err)
 		}
+		overloaded += r.overloaded
 		total.Merge(r.hist)
 		agg = agg.Add(r.stats)
 		rt.Searches += r.router.Searches
@@ -251,6 +274,13 @@ func run() error {
 	fmt.Printf("ops: %d in %v  =>  %.1f Kops\n", s.Count, elapsed.Round(time.Millisecond),
 		float64(s.Count)/elapsed.Seconds()/1e3)
 	fmt.Printf("latency: mean=%v p50=%v p95=%v p99=%v max=%v\n", s.Mean, s.P50, s.P95, s.P99, s.Max)
+	if overloaded > 0 {
+		fmt.Printf("overloaded: %d ops shed by admission control\n", overloaded)
+	}
+	if pool != nil {
+		fmt.Printf("connections: %d TCP conns for %d logical clients (max %d per address)\n",
+			pool.Conns(), *clients, *maxConns)
+	}
 	fmt.Printf("fast=%d offload=%d fetch=%d chunk reads=%d torn retries=%d\n",
 		agg.FastSearches, agg.OffloadSearches, agg.FetchSearches, agg.NodesFetched, agg.TornRetries)
 	if agg.FetchSearches > 0 {
@@ -283,15 +313,6 @@ func run() error {
 			rt.Promotions, rt.BackupReads, rt.MapAdoptions)
 	}
 	return nil
-}
-
-// conn is the slice of the client API the driver uses; both the plain
-// client and the sharded router satisfy it.
-type conn interface {
-	Search(q catfish.Rect) ([]wire.Item, rpcnet.Method, error)
-	Insert(r catfish.Rect, ref uint64) error
-	ExecBatch(ops []rpcnet.BatchOp, results []rpcnet.BatchResult) []rpcnet.BatchResult
-	Close() error
 }
 
 func minf(a, b float64) float64 {

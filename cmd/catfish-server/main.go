@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"strconv"
@@ -53,6 +54,12 @@ func run() error {
 		fetchChunks = flag.Int("fetch-slot-chunks", 0, "chunks per mailbox slot (0 = default)")
 		fetchInline = flag.Int("fetch-inline", 0, "largest result answered inline instead of via the mailbox, in items (0 = default)")
 		txLineRate  = flag.Float64("tx-gbps", 0, "modelled NIC TX line rate in Gb/s for the heartbeat TX-utilization signal (0 disables the signal)")
+
+		maxConns      = flag.Int("max-conns", 0, "cap on concurrently accepted client connections (0 = unlimited); excess dials are refused at accept")
+		admissionUtil = flag.Float64("admission-util", 0, "smoothed utilization (CPU, or TX with -tx-gbps) past which deadline-aware admission control arms and sheds with Overloaded (0 disables)")
+		autoscaleOn   = flag.Bool("autoscale", false, "grow this process by splitting hot shards into additional in-process listeners (single host; requires -shards 1, heartbeats, no replication)")
+		autoscaleMaxK = flag.Int("autoscale-max-k", 4, "shard-count cap for -autoscale")
+		autoscaleUtil = flag.Float64("autoscale-util", 0.7, "utilization threshold past which -autoscale splits the hottest shard")
 
 		metricsAddr = flag.String("metrics-addr", "", "admin HTTP listen address serving /metrics (Prometheus text), /traces (JSON), and /debug/pprof (empty disables)")
 		traceCap    = flag.Int("trace-cap", 1024, "trace ring capacity for /traces")
@@ -129,6 +136,8 @@ func run() error {
 		FetchSlotChunks:   *fetchChunks,
 		FetchInlineMax:    *fetchInline,
 		TXLineRateBps:     *txLineRate * 1e9,
+		MaxConns:          *maxConns,
+		AdmissionUtil:     *admissionUtil,
 	}
 	if *shardAddrs != "" {
 		srvCfg.ShardAddrs = strings.Split(*shardAddrs, ",")
@@ -157,6 +166,17 @@ func run() error {
 		log.Printf("replication armed: role=%s backups=%d epoch=%d", role, len(rc.Backups), *replEpoch)
 	}
 
+	if *autoscaleOn {
+		switch {
+		case *shards > 1:
+			return fmt.Errorf("-autoscale grows from a single shard; start with -shards 1")
+		case srvCfg.Replica != nil:
+			return fmt.Errorf("-autoscale and replication are mutually exclusive")
+		case *heartbeat <= 0:
+			return fmt.Errorf("-autoscale needs heartbeats for utilization and map adoption")
+		}
+	}
+
 	// Admin endpoint: a registry (shard-labelled when part of a sharded
 	// deployment) plus a bounded trace ring, served on their own listener so
 	// scrapes never contend with the data port.
@@ -178,11 +198,57 @@ func run() error {
 		}()
 	}
 
+	// The autoscaler scrapes the server's own registry in-process, so it
+	// works without -metrics-addr — but the gauges must exist before Listen.
+	if *autoscaleOn && srvCfg.Metrics == nil {
+		srvCfg.Metrics = catfish.NewRegistry()
+	}
+
 	srv, err := catfish.Listen(*addr, tree, srvCfg)
 	if err != nil {
 		return err
 	}
 	log.Printf("serving on %s (root chunk %d, chunk size %d)",
 		srv.Addr(), tree.RootChunk(), reg.ChunkSize())
+
+	if *autoscaleOn {
+		// A committed K=1 map (carrying the address table) is what
+		// PrepareReshard subdivides on the first split.
+		m, err := catfish.BuildShardMap(entries, catfish.ShardConfig{K: 1, MaxInsertEdge: *maxInsert})
+		if err != nil {
+			return err
+		}
+		if err := srv.AdoptShardMap(m, 0, []string{srv.Addr().String()}); err != nil {
+			return err
+		}
+		host, _, err := net.SplitHostPort(srv.Addr().String())
+		if err != nil {
+			return err
+		}
+		base := srvCfg
+		base.ShardMap = nil
+		base.ShardIndex = 0
+		base.Trace = nil
+		sc := &selfScaler{
+			srvs:  []*catfish.NetServer{srv},
+			regs:  []*catfish.Registry{srvCfg.Metrics},
+			addrs: []string{srv.Addr().String()},
+			hb:    *heartbeat,
+			host:  host,
+			newCfg: func(r *catfish.Registry) catfish.NetServerConfig {
+				cfg := base
+				cfg.Metrics = r
+				return cfg
+			},
+			newTree: func() (*catfish.Tree, error) {
+				r, err := catfish.NewMemoryRegion(chunks*2, 4096)
+				if err != nil {
+					return nil, err
+				}
+				return catfish.NewTree(r, catfish.TreeConfig{MaxEntries: *fanout})
+			},
+		}
+		go runSelfScaler(sc, *autoscaleUtil, *autoscaleMaxK)
+	}
 	return srv.Serve()
 }

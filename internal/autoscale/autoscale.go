@@ -1,0 +1,312 @@
+// Package autoscale is the telemetry-driven shard autoscaler (DESIGN.md
+// §5.12): a control loop scrapes every shard's /metrics endpoint for the
+// heartbeat utilization gauges, computes a utilization-based desired shard
+// count, and — when a shard pegs past the scale-up threshold — drives the
+// deployment through the live-resharding path (PrepareReshard →
+// CommitReshard → DrainSplit) to split the hottest shard. Scaling is
+// split-only: cells subdivide under load and stay subdivided, so the
+// desired K is monotone within a run.
+//
+// The loop is deliberately split into pure pieces — Scraper (observation),
+// Decide (policy), Actuator (actuation) — so the policy is unit-testable
+// without sockets and the actuator is swappable between an in-process
+// split (bench, cmd/catfish-server -autoscale) and an operator-driven one.
+package autoscale
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Sample is one shard's scraped utilization observation. Util and TXUtil
+// mirror the catfish_server_utilization and catfish_server_tx_utilization
+// gauges — the same EWMA'd heartbeat words Algorithm 1 and the admission
+// controller consume, so the autoscaler reacts to exactly the signal that
+// makes servers shed.
+type Sample struct {
+	Shard  int
+	Util   float64
+	TXUtil float64
+	Err    error // scrape failure; Util/TXUtil are meaningless when set
+}
+
+// Peak is the sample's binding utilization: the larger of CPU and TX.
+func (s Sample) Peak() float64 { return math.Max(s.Util, s.TXUtil) }
+
+// Scraper observes the current utilization of every shard, in shard order.
+type Scraper interface {
+	Scrape() ([]Sample, error)
+}
+
+// HTTPScraper scrapes Prometheus text /metrics endpoints, one per shard.
+type HTTPScraper struct {
+	// URLs holds one metrics endpoint per shard, in shard order (e.g.
+	// "http://10.0.0.1:9090/metrics").
+	URLs []string
+	// Client overrides http.DefaultClient (set a Timeout in production).
+	Client *http.Client
+}
+
+// Scrape fetches every endpoint; per-shard failures are recorded in the
+// sample rather than failing the sweep, so one dead scrape target does not
+// blind the controller to the others.
+func (h *HTTPScraper) Scrape() ([]Sample, error) {
+	if len(h.URLs) == 0 {
+		return nil, errors.New("autoscale: no scrape targets")
+	}
+	cli := h.Client
+	if cli == nil {
+		cli = http.DefaultClient
+	}
+	out := make([]Sample, len(h.URLs))
+	for i, url := range h.URLs {
+		out[i].Shard = i
+		resp, err := cli.Get(url)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		u, tx, perr := ParseUtilization(resp.Body)
+		resp.Body.Close()
+		if perr != nil {
+			out[i].Err = perr
+			continue
+		}
+		out[i].Util, out[i].TXUtil = u, tx
+	}
+	return out, nil
+}
+
+// ParseUtilization extracts the utilization gauges from a Prometheus text
+// (0.0.4) exposition. Labelled variants ({shard="0"} etc.) are accepted;
+// a missing gauge reads as 0 (servers without heartbeats never move it).
+func ParseUtilization(r io.Reader) (util, tx float64, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		name, val, ok := splitSeries(line)
+		if !ok {
+			continue
+		}
+		switch name {
+		case "catfish_server_utilization":
+			util = val
+		case "catfish_server_tx_utilization":
+			tx = val
+		}
+	}
+	return util, tx, sc.Err()
+}
+
+// splitSeries parses one exposition line into its base metric name
+// (labels stripped) and value.
+func splitSeries(line string) (name string, val float64, ok bool) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+	if err != nil {
+		return "", 0, false
+	}
+	name = line[:sp]
+	if br := strings.IndexByte(name, '{'); br >= 0 {
+		name = name[:br]
+	}
+	return name, v, true
+}
+
+// PolicyConfig tunes the scaling policy.
+type PolicyConfig struct {
+	// TargetUtil is the steady-state per-shard utilization the desired-K
+	// computation aims for (default 0.6): desiredK = ceil(total binding
+	// utilization / TargetUtil), never below the current K.
+	TargetUtil float64
+	// ScaleUpUtil is the peak (CPU or TX) utilization past which the
+	// hottest shard is split (default 0.8) — the same order as the
+	// server's admission threshold, so the autoscaler relieves pressure
+	// before sustained shedding sets in.
+	ScaleUpUtil float64
+	// MaxK caps the shard count (default 8); at the cap the controller
+	// observes but never splits.
+	MaxK int
+	// Cooldown is the minimum time between splits (default 0 = every
+	// tick may split). A split shifts load gradually — routers adopt the
+	// map on their next heartbeat — so back-to-back splits on stale
+	// utilization overshoot without a cooldown.
+	Cooldown time.Duration
+	// TXOnly scales on the TX-utilization gauge alone, ignoring CPU.
+	// Set it when the deployment's capacity dimension is the NIC: on a
+	// box whose cores are shared with co-located shards (or the load
+	// generator), the CPU gauge reflects machine-wide contention, and
+	// letting it nominate the "hottest" shard picks one at random.
+	TXOnly bool
+}
+
+func (c PolicyConfig) withDefaults() PolicyConfig {
+	if c.TargetUtil <= 0 {
+		c.TargetUtil = 0.6
+	}
+	if c.ScaleUpUtil <= 0 {
+		c.ScaleUpUtil = 0.8
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 8
+	}
+	return c
+}
+
+// Decision is one tick's policy output.
+type Decision struct {
+	// DesiredK is the utilization-based desired shard count.
+	DesiredK int
+	// Split is the index of the shard to split, or -1 to hold.
+	Split int
+	// Peak is the binding utilization of the hottest shard.
+	Peak float64
+}
+
+// Decide computes the scaling decision for one scrape sweep. Errored
+// samples are treated as utilization-unknown and never nominated for a
+// split (splitting a shard we cannot observe is how feedback loops run
+// away).
+func Decide(cfg PolicyConfig, samples []Sample) Decision {
+	cfg = cfg.withDefaults()
+	d := Decision{Split: -1}
+	k := len(samples)
+	if k == 0 {
+		return d
+	}
+	total := 0.0
+	hot := -1
+	for i, s := range samples {
+		if s.Err != nil {
+			continue
+		}
+		p := s.Peak()
+		if cfg.TXOnly {
+			p = s.TXUtil
+		}
+		total += p
+		if p > d.Peak {
+			d.Peak = p
+			hot = i
+		}
+	}
+	d.DesiredK = int(math.Ceil(total / cfg.TargetUtil))
+	if d.DesiredK < k {
+		d.DesiredK = k
+	}
+	if d.DesiredK > cfg.MaxK {
+		d.DesiredK = cfg.MaxK
+	}
+	if hot >= 0 && d.Peak >= cfg.ScaleUpUtil && k < cfg.MaxK {
+		d.Split = hot
+	}
+	return d
+}
+
+// Actuator carries out a split decision: subdivide shard s via the live
+// resharding path, returning the new shard count.
+type Actuator interface {
+	Split(s int) (int, error)
+}
+
+// Stats counts the controller's activity (atomic; safe to read from any
+// goroutine while the loop runs).
+type Stats struct {
+	Ticks      uint64
+	Splits     uint64
+	ScrapeErrs uint64
+	SplitErrs  uint64
+}
+
+// Controller is the control loop: scrape → decide → actuate, with a split
+// cooldown. Tick is the testable single step; Run drives it on a timer.
+type Controller struct {
+	cfg PolicyConfig
+	scr Scraper
+	act Actuator
+
+	lastSplit time.Time
+	desiredK  atomic.Int64
+
+	ticks, splits, scrapeErrs, splitErrs atomic.Uint64
+}
+
+// NewController wires a scraper and an actuator under a policy.
+func NewController(scr Scraper, act Actuator, cfg PolicyConfig) *Controller {
+	return &Controller{cfg: cfg.withDefaults(), scr: scr, act: act}
+}
+
+// DesiredK returns the most recent tick's desired shard count (a metrics
+// hook; 0 before the first tick).
+func (c *Controller) DesiredK() int { return int(c.desiredK.Load()) }
+
+// Stats snapshots the controller's counters.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		Ticks:      c.ticks.Load(),
+		Splits:     c.splits.Load(),
+		ScrapeErrs: c.scrapeErrs.Load(),
+		SplitErrs:  c.splitErrs.Load(),
+	}
+}
+
+// Tick runs one scrape-decide-actuate step at the given time. The returned
+// decision reflects the policy before cooldown gating; the error reports a
+// scrape or split failure (the loop keeps running through both).
+func (c *Controller) Tick(now time.Time) (Decision, error) {
+	c.ticks.Add(1)
+	samples, err := c.scr.Scrape()
+	if err != nil {
+		c.scrapeErrs.Add(1)
+		return Decision{Split: -1}, err
+	}
+	d := Decide(c.cfg, samples)
+	c.desiredK.Store(int64(d.DesiredK))
+	if d.Split < 0 {
+		return d, nil
+	}
+	if c.cfg.Cooldown > 0 && !c.lastSplit.IsZero() && now.Sub(c.lastSplit) < c.cfg.Cooldown {
+		return d, nil
+	}
+	if _, err := c.act.Split(d.Split); err != nil {
+		c.splitErrs.Add(1)
+		return d, fmt.Errorf("autoscale: split shard %d: %w", d.Split, err)
+	}
+	c.lastSplit = now
+	c.splits.Add(1)
+	return d, nil
+}
+
+// Run ticks the controller every interval until stop closes. Scrape and
+// split errors do not stop the loop — an autoscaler that dies on one bad
+// scrape is worse than no autoscaler.
+func (c *Controller) Run(stop <-chan struct{}, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			_, _ = c.Tick(now)
+		}
+	}
+}

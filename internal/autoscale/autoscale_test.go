@@ -1,0 +1,181 @@
+package autoscale
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseUtilization(t *testing.T) {
+	exposition := `# TYPE catfish_server_utilization gauge
+catfish_server_utilization 0.42
+# TYPE catfish_server_tx_utilization gauge
+catfish_server_tx_utilization 0.17
+# TYPE catfish_server_searches_total counter
+catfish_server_searches_total 12345
+`
+	u, tx, err := ParseUtilization(strings.NewReader(exposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 0.42 || tx != 0.17 {
+		t.Fatalf("parsed util=%g tx=%g, want 0.42 0.17", u, tx)
+	}
+
+	// Labelled series (a registry shared with per-shard labels) parse too.
+	labelled := `catfish_server_utilization{shard="3"} 0.9
+catfish_server_tx_utilization{shard="3"} 0.5
+`
+	u, tx, err = ParseUtilization(strings.NewReader(labelled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 0.9 || tx != 0.5 {
+		t.Fatalf("labelled parse util=%g tx=%g, want 0.9 0.5", u, tx)
+	}
+
+	// Missing gauges read as zero, not an error.
+	u, tx, err = ParseUtilization(strings.NewReader("other_metric 1\n"))
+	if err != nil || u != 0 || tx != 0 {
+		t.Fatalf("missing gauges: util=%g tx=%g err=%v, want zeros", u, tx, err)
+	}
+}
+
+func TestDecide(t *testing.T) {
+	cfg := PolicyConfig{TargetUtil: 0.6, ScaleUpUtil: 0.8, MaxK: 4}
+
+	// Cool deployment: hold.
+	d := Decide(cfg, []Sample{{Shard: 0, Util: 0.3}, {Shard: 1, Util: 0.2}})
+	if d.Split != -1 || d.DesiredK != 2 {
+		t.Fatalf("cool: %+v, want hold at K=2", d)
+	}
+
+	// One pegged shard: split it, desired K grows from the load sum.
+	d = Decide(cfg, []Sample{{Shard: 0, Util: 0.95}, {Shard: 1, Util: 0.4}})
+	if d.Split != 0 {
+		t.Fatalf("hot: split=%d, want 0", d.Split)
+	}
+	if d.DesiredK != 3 { // ceil(1.35/0.6) = 3
+		t.Fatalf("hot: desiredK=%d, want 3", d.DesiredK)
+	}
+
+	// TX saturation alone nominates a split (the fetch-path bottleneck).
+	d = Decide(cfg, []Sample{{Shard: 0, Util: 0.1, TXUtil: 0.9}, {Shard: 1, Util: 0.2}})
+	if d.Split != 0 || d.Peak != 0.9 {
+		t.Fatalf("tx-hot: %+v, want split 0 at peak 0.9", d)
+	}
+
+	// At MaxK the controller observes but never splits.
+	hot4 := []Sample{{Util: 0.9}, {Util: 0.9}, {Util: 0.9}, {Util: 0.9}}
+	for i := range hot4 {
+		hot4[i].Shard = i
+	}
+	d = Decide(cfg, hot4)
+	if d.Split != -1 || d.DesiredK != 4 {
+		t.Fatalf("at cap: %+v, want hold at K=4", d)
+	}
+
+	// Errored samples are never nominated.
+	d = Decide(cfg, []Sample{{Shard: 0, Err: errors.New("down")}, {Shard: 1, Util: 0.85}})
+	if d.Split != 1 {
+		t.Fatalf("errored sample nominated: %+v", d)
+	}
+
+	// TXOnly ignores the CPU gauge: a shard with inflated CPU but a cold
+	// TX line is never nominated over the TX-saturated one.
+	txCfg := cfg
+	txCfg.TXOnly = true
+	d = Decide(txCfg, []Sample{
+		{Shard: 0, Util: 0.99, TXUtil: 0.1},
+		{Shard: 1, Util: 0.3, TXUtil: 0.9},
+	})
+	if d.Split != 1 || d.Peak != 0.9 {
+		t.Fatalf("txonly: %+v, want split 1 at peak 0.9", d)
+	}
+}
+
+// fakeActuator records split requests.
+type fakeActuator struct {
+	calls []int
+	k     int
+	err   error
+}
+
+func (f *fakeActuator) Split(s int) (int, error) {
+	if f.err != nil {
+		return f.k, f.err
+	}
+	f.calls = append(f.calls, s)
+	f.k++
+	return f.k, nil
+}
+
+// fixedScraper replays a scripted sequence of sweeps.
+type fixedScraper struct {
+	sweeps [][]Sample
+	i      int
+}
+
+func (f *fixedScraper) Scrape() ([]Sample, error) {
+	s := f.sweeps[f.i]
+	if f.i < len(f.sweeps)-1 {
+		f.i++
+	}
+	return s, nil
+}
+
+func TestControllerCooldown(t *testing.T) {
+	hot := []Sample{{Shard: 0, Util: 0.95}, {Shard: 1, Util: 0.2}}
+	act := &fakeActuator{k: 2}
+	c := NewController(&fixedScraper{sweeps: [][]Sample{hot}}, act,
+		PolicyConfig{ScaleUpUtil: 0.8, MaxK: 8, Cooldown: 100 * time.Millisecond})
+
+	t0 := time.Unix(1000, 0)
+	if _, err := c.Tick(t0); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the cooldown: decision still reports the split, but no
+	// actuation happens.
+	d, err := c.Tick(t0.Add(10 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Split != 0 {
+		t.Fatalf("decision lost the split: %+v", d)
+	}
+	if len(act.calls) != 1 {
+		t.Fatalf("split actuated inside cooldown: %v", act.calls)
+	}
+	// Past the cooldown the next hot tick splits again.
+	if _, err := c.Tick(t0.Add(200 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if len(act.calls) != 2 {
+		t.Fatalf("cooldown never expired: %v", act.calls)
+	}
+	if got := c.Stats().Splits; got != 2 {
+		t.Fatalf("stats splits = %d, want 2", got)
+	}
+}
+
+func TestHTTPScraper(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("catfish_server_utilization 0.7\ncatfish_server_tx_utilization 0.3\n"))
+	}))
+	defer srv.Close()
+
+	h := &HTTPScraper{URLs: []string{srv.URL, "http://127.0.0.1:1/metrics"}}
+	samples, err := h.Scrape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples[0].Err != nil || samples[0].Util != 0.7 || samples[0].TXUtil != 0.3 {
+		t.Fatalf("good endpoint: %+v", samples[0])
+	}
+	if samples[1].Err == nil {
+		t.Fatal("dead endpoint scraped without error")
+	}
+}

@@ -317,60 +317,56 @@ func (c *Client) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 		}
 	}
 
-	// Register every waiter on one shared channel before the single frame
-	// write, so no response can slip past, then collect concurrently with
-	// the offloaded traversals (a blocked collector would stall the read
-	// loop and deadlock the chunk reads).
+	// Register every operation on one shared waiter before the single
+	// frame write, so no response can slip past, then collect concurrently
+	// with the offloaded traversals (a blocked collector would stall the
+	// connection's read loop and deadlock the chunk reads).
 	var done chan struct{}
 	var descs []pendingDesc
+	var ids []uint64
 	if len(wireOps) > 0 {
-		ch := make(chan []byte, 64)
-		c.mu.Lock()
-		if err := c.readerr; err != nil {
-			c.mu.Unlock()
-			werr := fmt.Errorf("%w: %v", ErrClosed, err)
-			for _, w := range wireOps {
-				results[w.op].Err = werr
+		w := newWaiter()
+		ids = make([]uint64, 0, len(wireOps))
+		for j := range wireOps {
+			wireOps[j].id = c.nextID()
+			ids = append(ids, wireOps[j].id)
+		}
+		if err := c.mx.registerAll(ids, w); err != nil {
+			for _, wo := range wireOps {
+				results[wo.op].Err = err
 			}
 			wireOps = nil
-		} else {
-			for j := range wireOps {
-				wireOps[j].id = c.reqID.Add(1)
-				c.waiters[wireOps[j].id] = ch
-			}
-			c.mu.Unlock()
 		}
 		if len(wireOps) > 0 {
 			buf := wire.GetBuf()
 			var enc wire.BatchEncoder
 			enc.Reset((*buf)[:0])
-			for _, w := range wireOps {
-				op := ops[w.op]
+			dl := deadlineUS(c.cfg.Deadline)
+			for _, wo := range wireOps {
+				op := ops[wo.op]
 				typ := op.Type
-				if w.fetch {
+				if wo.fetch {
 					typ = wire.MsgSearchFetch
 				} else {
-					results[w.op].Method = MethodFast
+					results[wo.op].Method = MethodFast
 				}
 				enc.Begin()
-				enc.Buf = wire.Request{Type: typ, ID: w.id, Rect: op.Rect, Ref: op.Ref}.Encode(enc.Buf)
+				enc.Buf = wire.Request{Type: typ, ID: wo.id, Rect: op.Rect, Ref: op.Ref, DeadlineUS: dl}.Encode(enc.Buf)
 				enc.End()
 			}
 			payload := enc.Bytes()
 			c.stats.BatchesSent.Inc()
 			c.stats.BatchedOps.Add(uint64(len(wireOps)))
-			c.sendMu.Lock()
-			err := writeFrame(c.conn, payload)
-			c.sendMu.Unlock()
+			err := c.mx.send(payload)
 			*buf = enc.Buf
 			wire.PutBuf(buf)
 			if err != nil {
-				for _, w := range wireOps {
-					results[w.op].Err = err
+				for _, wo := range wireOps {
+					results[wo.op].Err = err
 				}
 			} else {
 				done = make(chan struct{})
-				go c.collectBatch(ch, ops, results, wireOps, &descs, done)
+				go c.collectBatch(w, ops, results, wireOps, &descs, done)
 			}
 		}
 	}
@@ -384,12 +380,8 @@ func (c *Client) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 	if done != nil {
 		<-done
 	}
-	if len(wireOps) > 0 {
-		c.mu.Lock()
-		for _, w := range wireOps {
-			delete(c.waiters, w.id)
-		}
-		c.mu.Unlock()
+	if len(ids) > 0 {
+		c.mx.unregisterAll(ids)
 	}
 
 	// Pull phase: resolve every fetch descriptor against the mailbox, in
@@ -425,16 +417,16 @@ type pendingDesc struct {
 // messaging-group operation has received its END segment or, for a
 // fetch-routed search, its mailbox descriptor (recorded into descs for the
 // pull phase that runs after this collector finishes).
-func (c *Client) collectBatch(ch chan []byte, ops []BatchOp, results []BatchResult,
+func (c *Client) collectBatch(w *waiter, ops []BatchOp, results []BatchResult,
 	wireOps []wireOp, descs *[]pendingDesc, done chan struct{}) {
 	defer close(done)
 	idx := make(map[uint64]int, len(wireOps))
-	for _, w := range wireOps {
-		idx[w.id] = w.op
+	for _, wo := range wireOps {
+		idx[wo.id] = wo.op
 	}
 	remaining := len(wireOps)
 	for remaining > 0 {
-		frame, ok := <-ch
+		frame, ok := w.recv()
 		if !ok {
 			for _, i := range idx {
 				if results[i].Err == nil {
@@ -489,6 +481,9 @@ func (c *Client) collectBatch(ch chan []byte, ops []BatchOp, results []BatchResu
 // batchOpError maps a response status to the unbatched API's error for the
 // given operation type.
 func batchOpError(t wire.MsgType, status uint8) error {
+	if status == wire.StatusOverloaded {
+		return ErrOverloaded
+	}
 	if rerr := replica.StatusError(status); rerr != nil {
 		return rerr
 	}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -53,6 +52,12 @@ var (
 	ErrServer   = errors.New("rpcnet: server reported an error")
 	ErrNotFound = errors.New("rpcnet: entry not found")
 	ErrGaveUp   = errors.New("rpcnet: traversal exceeded retry budget")
+	// ErrOverloaded surfaces a typed StatusOverloaded shed: the server's
+	// admission controller refused the operation without executing it.
+	// Distinct from transport errors and from the failover sentinels —
+	// the server is alive, just saturated; retry (ideally elsewhere)
+	// with backoff.
+	ErrOverloaded = errors.New("rpcnet: server overloaded")
 )
 
 // ClientConfig tunes the real-network client.
@@ -108,25 +113,25 @@ type ClientConfig struct {
 	// Shard is the shard index stamped into trace records (DialRouter sets
 	// it; 0 for unsharded clients).
 	Shard int
+
+	// Deadline, when positive, stamps every fast-messaging operation with
+	// a relative latency budget (microsecond resolution on the wire). An
+	// admission-controlled server sheds the operation with ErrOverloaded
+	// if it cannot start executing within the budget.
+	Deadline time.Duration
 }
 
-// Client is a Catfish client over real TCP. It is safe for use by one
+// Client is a Catfish client over real TCP — one logical stream on a
+// (possibly shared) multiplexed connection. It is safe for use by one
 // goroutine at a time (like net.Conn-based request/response clients); the
-// internal reader goroutine handles asynchronous heartbeats.
+// connection's reader goroutine handles asynchronous heartbeats. Request
+// ids are stream<<32 | seq, so many clients demultiplex over one Mux.
 type Client struct {
-	conn  net.Conn
-	addr  string
-	hello wire.Hello
-
-	sendMu sync.Mutex
-	reqID  atomic.Uint64
-
-	// reader demultiplexes frames: responses/chunks to waiters by ID,
-	// heartbeats to the mailbox.
-	mu      sync.Mutex
-	waiters map[uint64]chan []byte
-	readerr error
-	done    chan struct{}
+	mx      *Mux
+	stream  uint32
+	seq     atomic.Uint32
+	ownsMux bool // Dial-created: closing the client closes the connection
+	hello   wire.Hello
 
 	// u_serv: the latest unconsumed heartbeat (0 = none); heartbeatTX is
 	// the TX-utilization word riding the same frame (0 against servers
@@ -164,12 +169,30 @@ type Client struct {
 	latHist *telemetry.Histogram
 }
 
-// Dial connects to a server and performs the hello exchange.
+// Dial connects to a server and performs the hello exchange. The client
+// owns its connection; use DialMux + (*Mux).Client (or a MuxPool) to
+// share one connection among many logical clients.
+//
+// Deprecated: use Connect, which unifies single-server and routed
+// construction behind functional options.
 func Dial(addr string, cfg ClientConfig) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	m, err := DialMux(addr, MuxConfig{})
 	if err != nil {
 		return nil, err
 	}
+	c, err := m.Client(cfg)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	c.ownsMux = true
+	return c, nil
+}
+
+// Client attaches a new logical client to the multiplexed connection,
+// allocating it a stream id. Fails with ErrStreamsExhausted once
+// MaxStreams clients are attached (detached ids are reused).
+func (m *Mux) Client(cfg ClientConfig) (*Client, error) {
 	if cfg.N == 0 {
 		cfg.N = 8
 	}
@@ -185,26 +208,19 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	if !cfg.Adaptive && cfg.Forced == 0 {
 		cfg.Forced = MethodFast
 	}
-	c := &Client{
-		conn:    conn,
-		addr:    addr,
-		waiters: make(map[uint64]chan []byte),
-		done:    make(chan struct{}),
-		start:   time.Now(),
-		cfg:     cfg,
-	}
-	c.prefTokens = float64(cfg.Prefetch) // start full: idle until told otherwise
-	frame, err := readFrame(conn, nil)
+	stream, err := m.allocStream()
 	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("rpcnet: hello: %w", err)
-	}
-	hello, err := wire.DecodeHello(frame)
-	if err != nil {
-		conn.Close()
 		return nil, err
 	}
-	c.hello = hello
+	c := &Client{
+		mx:     m,
+		stream: stream,
+		hello:  m.hello,
+		start:  time.Now(),
+		cfg:    cfg,
+	}
+	c.prefTokens = float64(cfg.Prefetch) // start full: idle until told otherwise
+	hello := m.hello
 	if cfg.NodeCache > 0 {
 		versionsSize := int(hello.ChunkSize) / region.CacheLine * region.VersionSize
 		c.ncache = nodecache.New(cfg.NodeCache,
@@ -229,15 +245,49 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		cfg.Metrics.GaugeFunc("catfish_client_pred_util", c.sw.PredictedUtil)
 		c.latHist = cfg.Metrics.Histogram("catfish_client_search_latency_seconds")
 	}
-	go c.readLoop()
+	m.mu.Lock()
+	if m.readerr != nil {
+		err := m.readerr
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	m.streams[stream] = c
+	m.mu.Unlock()
 	return c, nil
 }
 
-// Close tears down the connection.
+// nextID stamps the next request id: this client's stream in the high 32
+// bits, a wrapping per-stream sequence in the low 32.
+func (c *Client) nextID() uint64 {
+	return uint64(c.stream)<<32 | uint64(c.seq.Add(1))
+}
+
+// Close detaches the logical client from its connection (pending calls
+// fail with ErrClosed, the stream id returns to the pool) and, when the
+// client was created by Dial and owns the connection, closes it.
 func (c *Client) Close() error {
-	err := c.conn.Close()
-	<-c.done
-	return err
+	c.mx.detach(c)
+	if c.ownsMux {
+		return c.mx.Close()
+	}
+	return nil
+}
+
+// noteHeartbeat applies one heartbeat frame to this stream's adaptive
+// state (called by the connection read loop for every attached client).
+func (c *Client) noteHeartbeat(hb wire.Heartbeat) {
+	c.heartbeat.Store(floatBits(hb.Util))
+	c.heartbeatTX.Store(floatBits(hb.TXUtil))
+	c.hbEpoch.Store(hb.Epoch)
+	c.hbApplied.Store(hb.AppliedSeq)
+	c.hbMapVer.Store(hb.MapVersion)
+	c.lastHB.Store(int64(time.Since(c.start)))
+	c.stats.HeartbeatsSeen.Inc()
+	// A root rewrite demotes every cached node to the revalidation tier
+	// within one heartbeat.
+	if old := c.rootVer.Swap(hb.RootVer); old != hb.RootVer {
+		c.ncache.DemoteAll()
+	}
 }
 
 // Stats returns a snapshot of the counters.
@@ -279,7 +329,7 @@ func (c *Client) FetchShardMap() (*shard.Map, error) {
 // shard that appeared mid-run. The addrs slice is nil when the server has
 // no address table.
 func (c *Client) FetchShardMapFull() (*shard.Map, []string, error) {
-	tag := c.reqID.Add(1)
+	tag := c.nextID()
 	frame, err := c.call(tag, wire.ShardMapRequest{ID: tag}.Encode(nil))
 	if err != nil {
 		return nil, nil, err
@@ -301,7 +351,7 @@ func (c *Client) FetchShardMapFull() (*shard.Map, []string, error) {
 // Promote asks the server to become its shard's primary at the given epoch,
 // fencing lower-epoch lineages. Idempotent on the server.
 func (c *Client) Promote(epoch uint64) error {
-	resp, err := c.roundTrip(wire.Request{Type: wire.MsgPromote, ID: c.reqID.Add(1), Ref: epoch})
+	resp, err := c.roundTrip(wire.Request{Type: wire.MsgPromote, ID: c.nextID(), Ref: epoch})
 	if err != nil {
 		return err
 	}
@@ -322,8 +372,8 @@ func (c *Client) ReplicaState() (epoch, applied uint64) {
 // recently advertised in a heartbeat (0 before the first heartbeat).
 func (c *Client) HeartbeatMapVersion() uint64 { return c.hbMapVer.Load() }
 
-// Addr returns the address this client dialed.
-func (c *Client) Addr() string { return c.addr }
+// Addr returns the address this client's connection dialed.
+func (c *Client) Addr() string { return c.mx.addr }
 
 // PredictedUtil returns the adaptive switch's decayed estimate of the
 // server's utilization — the signal the router's read-replica policy keys
@@ -334,192 +384,66 @@ func (c *Client) PredictedUtil() float64 { return c.sw.PredictedUtil() }
 // replica sentinels first, so errors.Is failover checks work identically
 // across transports, then the generic server-error wrap.
 func statusErr(status uint8, what string) error {
+	if status == wire.StatusOverloaded {
+		return ErrOverloaded
+	}
 	if rerr := replica.StatusError(status); rerr != nil {
 		return rerr
 	}
 	return fmt.Errorf("%w: %s status %d", ErrServer, what, status)
 }
 
-func (c *Client) readLoop() {
-	defer close(c.done)
-	var buf []byte
-	for {
-		frame, err := readFrame(c.conn, buf)
-		if err != nil {
-			c.mu.Lock()
-			c.readerr = err
-			// Batch waiters share one channel across IDs; close each
-			// channel exactly once.
-			closed := make(map[chan []byte]struct{})
-			for id, ch := range c.waiters {
-				if _, dup := closed[ch]; !dup {
-					close(ch)
-					closed[ch] = struct{}{}
-				}
-				delete(c.waiters, id)
-			}
-			c.mu.Unlock()
-			return
-		}
-		buf = frame
-		typ, err := wire.PeekType(frame)
-		if err != nil {
-			continue
-		}
-		switch typ {
-		case wire.MsgHeartbeat:
-			if hb, err := wire.DecodeHeartbeat(frame); err == nil {
-				c.heartbeat.Store(floatBits(hb.Util))
-				c.heartbeatTX.Store(floatBits(hb.TXUtil))
-				c.hbEpoch.Store(hb.Epoch)
-				c.hbApplied.Store(hb.AppliedSeq)
-				c.hbMapVer.Store(hb.MapVersion)
-				c.lastHB.Store(int64(time.Since(c.start)))
-				c.stats.HeartbeatsSeen.Inc()
-				// A root rewrite demotes every cached node to the
-				// revalidation tier within one heartbeat.
-				if old := c.rootVer.Swap(hb.RootVer); old != hb.RootVer {
-					c.ncache.DemoteAll()
-				}
-			}
-		case wire.MsgResponse:
-			if resp, err := wire.DecodeResponse(frame); err == nil {
-				c.deliver(resp.ID, frame)
-			}
-		case wire.MsgChunkData:
-			if cd, err := wire.DecodeChunkData(frame); err == nil {
-				c.deliver(cd.ID, frame)
-			}
-		case wire.MsgVersionData:
-			if vd, err := wire.DecodeVersionData(frame); err == nil {
-				c.deliver(vd.ID, frame)
-			}
-		case wire.MsgSpanData:
-			if sd, err := wire.DecodeSpanData(frame); err == nil {
-				c.deliver(sd.ID, frame)
-			}
-		case wire.MsgFetchDesc:
-			if d, err := wire.DecodeFetchDesc(frame); err == nil {
-				c.deliver(d.ID, frame)
-			}
-		case wire.MsgShardMapData:
-			if md, err := wire.DecodeShardMapData(frame); err == nil {
-				c.deliver(md.ID, frame)
-			}
-		case wire.MsgBatch:
-			// Batch responses: deliver each response sub-message to its
-			// waiter individually, so segmentation folds per operation.
-			it, err := wire.DecodeBatch(frame)
-			if err != nil {
-				continue
-			}
-			for {
-				msg, ok := it.Next()
-				if !ok {
-					break
-				}
-				t, err := wire.PeekType(msg)
-				if err != nil {
-					continue
-				}
-				if t == wire.MsgFetchDesc {
-					if d, err := wire.DecodeFetchDesc(msg); err == nil {
-						c.deliver(d.ID, msg)
-					}
-					continue
-				}
-				if t != wire.MsgResponse {
-					continue
-				}
-				if resp, err := wire.DecodeResponse(msg); err == nil {
-					c.deliver(resp.ID, msg)
-				}
-			}
-		}
-	}
-}
-
-// deliver hands a copy of the frame to the waiter registered for id.
-func (c *Client) deliver(id uint64, frame []byte) {
-	cp := append([]byte(nil), frame...)
-	c.mu.Lock()
-	ch, ok := c.waiters[id]
-	c.mu.Unlock()
-	if ok {
-		ch <- cp
-	}
-}
-
 // call sends payload and waits for one frame addressed to id.
 func (c *Client) call(id uint64, payload []byte) ([]byte, error) {
-	ch := make(chan []byte, 4)
-	c.mu.Lock()
-	if c.readerr != nil {
-		err := c.readerr
-		c.mu.Unlock()
-		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
-	}
-	c.waiters[id] = ch
-	c.mu.Unlock()
-	defer func() {
-		c.mu.Lock()
-		delete(c.waiters, id)
-		c.mu.Unlock()
-	}()
-
-	c.sendMu.Lock()
-	err := writeFrame(c.conn, payload)
-	c.sendMu.Unlock()
-	if err != nil {
+	w := newWaiter()
+	if err := c.mx.register(id, w); err != nil {
 		return nil, err
 	}
-	frame, ok := <-ch
+	defer c.mx.unregister(id)
+	if err := c.mx.send(payload); err != nil {
+		return nil, err
+	}
+	frame, ok := w.recv()
 	if !ok {
 		return nil, ErrClosed
 	}
 	return frame, nil
 }
 
-// wait re-reads from an already-registered channel (for multi-segment
+// waitMore re-reads from an already-registered waiter (for multi-segment
 // responses).
-func waitMore(ch chan []byte) ([]byte, error) {
-	frame, ok := <-ch
+func waitMore(w *waiter) ([]byte, error) {
+	frame, ok := w.recv()
 	if !ok {
 		return nil, ErrClosed
 	}
 	return frame, nil
 }
 
-// roundTrip performs one request and folds segmented responses.
+// roundTrip performs one request and folds segmented responses. The
+// configured deadline is stamped here so every fast-messaging operation
+// carries its latency budget.
 func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
-	id := req.ID
-	ch := make(chan []byte, 8)
-	c.mu.Lock()
-	if c.readerr != nil {
-		err := c.readerr
-		c.mu.Unlock()
-		return wire.Response{}, fmt.Errorf("%w: %v", ErrClosed, err)
+	if req.DeadlineUS == 0 {
+		req.DeadlineUS = deadlineUS(c.cfg.Deadline)
 	}
-	c.waiters[id] = ch
-	c.mu.Unlock()
-	defer func() {
-		c.mu.Lock()
-		delete(c.waiters, id)
-		c.mu.Unlock()
-	}()
+	id := req.ID
+	w := newWaiter()
+	if err := c.mx.register(id, w); err != nil {
+		return wire.Response{}, err
+	}
+	defer c.mx.unregister(id)
 
 	buf := wire.GetBuf()
 	*buf = req.Encode((*buf)[:0])
-	c.sendMu.Lock()
-	err := writeFrame(c.conn, *buf)
-	c.sendMu.Unlock()
+	err := c.mx.send(*buf)
 	wire.PutBuf(buf)
 	if err != nil {
 		return wire.Response{}, err
 	}
 	var out wire.Response
 	for {
-		frame, err := waitMore(ch)
+		frame, err := waitMore(w)
 		if err != nil {
 			return out, err
 		}
@@ -597,7 +521,7 @@ func (c *Client) Search(q geo.Rect) ([]wire.Item, Method, error) {
 // Insert adds an entry (always by messaging, like the paper).
 func (c *Client) Insert(r geo.Rect, ref uint64) error {
 	c.stats.Inserts.Inc()
-	resp, err := c.roundTrip(wire.Request{Type: wire.MsgInsert, ID: c.reqID.Add(1), Rect: r, Ref: ref})
+	resp, err := c.roundTrip(wire.Request{Type: wire.MsgInsert, ID: c.nextID(), Rect: r, Ref: ref})
 	if err != nil {
 		return err
 	}
@@ -610,7 +534,7 @@ func (c *Client) Insert(r geo.Rect, ref uint64) error {
 // Delete removes an exact entry.
 func (c *Client) Delete(r geo.Rect, ref uint64) error {
 	c.stats.Deletes.Inc()
-	resp, err := c.roundTrip(wire.Request{Type: wire.MsgDelete, ID: c.reqID.Add(1), Rect: r, Ref: ref})
+	resp, err := c.roundTrip(wire.Request{Type: wire.MsgDelete, ID: c.nextID(), Rect: r, Ref: ref})
 	if err != nil {
 		return err
 	}
@@ -647,7 +571,7 @@ func (c *Client) decide() Method {
 
 // searchFast runs a plain fast-messaging search round trip.
 func (c *Client) searchFast(q geo.Rect) ([]wire.Item, error) {
-	resp, err := c.roundTrip(wire.Request{Type: wire.MsgSearch, ID: c.reqID.Add(1), Rect: q})
+	resp, err := c.roundTrip(wire.Request{Type: wire.MsgSearch, ID: c.nextID(), Rect: q})
 	if err != nil {
 		return nil, err
 	}
@@ -665,34 +589,24 @@ func (c *Client) searchFetch(q geo.Rect) ([]wire.Item, error) {
 	if c.hello.FetchSlots == 0 {
 		return c.searchFast(q)
 	}
-	id := c.reqID.Add(1)
-	ch := make(chan []byte, 8)
-	c.mu.Lock()
-	if c.readerr != nil {
-		err := c.readerr
-		c.mu.Unlock()
-		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+	id := c.nextID()
+	w := newWaiter()
+	if err := c.mx.register(id, w); err != nil {
+		return nil, err
 	}
-	c.waiters[id] = ch
-	c.mu.Unlock()
-	defer func() {
-		c.mu.Lock()
-		delete(c.waiters, id)
-		c.mu.Unlock()
-	}()
+	defer c.mx.unregister(id)
 
 	buf := wire.GetBuf()
-	*buf = wire.Request{Type: wire.MsgSearchFetch, ID: id, Rect: q}.Encode((*buf)[:0])
-	c.sendMu.Lock()
-	err := writeFrame(c.conn, *buf)
-	c.sendMu.Unlock()
+	*buf = wire.Request{Type: wire.MsgSearchFetch, ID: id, Rect: q,
+		DeadlineUS: deadlineUS(c.cfg.Deadline)}.Encode((*buf)[:0])
+	err := c.mx.send(*buf)
 	wire.PutBuf(buf)
 	if err != nil {
 		return nil, err
 	}
 	var out wire.Response
 	for {
-		frame, err := waitMore(ch)
+		frame, err := waitMore(w)
 		if err != nil {
 			return nil, err
 		}
@@ -752,7 +666,7 @@ func (c *Client) pullMailbox(desc wire.FetchDesc) ([]wire.Item, error) {
 			if cnt > maxSpanChunks {
 				cnt = maxSpanChunks
 			}
-			tag := c.reqID.Add(1)
+			tag := c.nextID()
 			c.stats.FetchPulls.Add(uint64(cnt))
 			c.stats.ReadWQEs.Inc()
 			frame, err := c.call(tag, wire.ReadMailbox{ID: tag, Chunk: uint32(base + at), Count: uint32(cnt)}.Encode(nil))
@@ -807,10 +721,7 @@ func (c *Client) pullMailbox(desc wire.FetchDesc) ([]wire.Item, error) {
 
 // sendFetchAck returns the slot to the server, fire-and-forget.
 func (c *Client) sendFetchAck(desc wire.FetchDesc) {
-	payload := wire.FetchAck{Slot: desc.Slot, Seq: desc.Seq}.Encode(nil)
-	c.sendMu.Lock()
-	_ = writeFrame(c.conn, payload)
-	c.sendMu.Unlock()
+	_ = c.mx.send(wire.FetchAck{Slot: desc.Slot, Seq: desc.Seq}.Encode(nil))
 }
 
 // fetchChunk reads one chunk with version validation and decodes it,
@@ -826,7 +737,7 @@ func (c *Client) fetchChunk(id int, expectLevel int, node *rtree.Node) error {
 	for retry := 0; retry <= c.cfg.MaxChunkRetries; retry++ {
 		c.stats.NodesFetched.Inc()
 		c.stats.ReadWQEs.Inc()
-		tag := c.reqID.Add(1)
+		tag := c.nextID()
 		frame, err := c.call(tag, wire.ReadChunk{ID: tag, Chunk: uint32(id)}.Encode(nil))
 		if err != nil {
 			return err
@@ -903,7 +814,7 @@ func (c *Client) fetchCached(id int, expectLevel int, node *rtree.Node) (bool, e
 func (c *Client) fetchVersions(id int) (uint64, error) {
 	c.stats.VersionReads.Inc()
 	c.stats.ReadWQEs.Inc()
-	tag := c.reqID.Add(1)
+	tag := c.nextID()
 	frame, err := c.call(tag, wire.ReadVersions{ID: tag, Chunk: uint32(id)}.Encode(nil))
 	if err != nil {
 		return 0, err
@@ -1204,7 +1115,7 @@ func (c *Client) fetchRun(frontier []chunkRef, r *spanRun, nodes []*rtree.Node) 
 	first := frontier[r.idxs[0]].id
 	c.stats.ReadWQEs.Inc()
 	c.stats.NodesFetched.Add(uint64(len(r.idxs)))
-	tag := c.reqID.Add(1)
+	tag := c.nextID()
 	frame, err := c.call(tag, wire.ReadSpan{ID: tag, Chunk: uint32(first), Count: uint32(total)}.Encode(nil))
 	if err != nil {
 		return err

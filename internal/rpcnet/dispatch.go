@@ -1,0 +1,273 @@
+// Shared request dispatcher: instead of each connection executing its
+// requests serially on its own reader goroutine, readers hand request
+// frames to one server-wide queue drained by a fixed worker pool, so ten
+// thousand mostly-idle connections cost ten thousand parked readers but
+// only DispatchWorkers running stacks — the C10K half of DESIGN.md §5.12.
+//
+// The queue doubles as the admission controller: tasks are ordered
+// earliest-deadline-first (deadline-free tasks keep FIFO order among
+// themselves), and once the heartbeat utilization — CPU or TX — pegs past
+// ServerConfig.AdmissionUtil the server sheds rather than queues: a task
+// whose deadline expired while queued, or any task arriving at a full
+// queue, is answered with StatusOverloaded instead of being executed.
+// Below the threshold a full queue blocks the reader (lossless TCP
+// backpressure), and expired deadlines are still shed — that is the
+// contract of setting a deadline at all.
+package rpcnet
+
+import (
+	"math"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/wire"
+)
+
+// defaultDispatchQueue bounds the admission queue (tasks, not bytes).
+const defaultDispatchQueue = 1024
+
+// noDeadline marks a task without a latency budget; it sorts after every
+// deadline-carrying task.
+const noDeadline = math.MaxInt64
+
+// dispTask is one queued request frame awaiting a worker.
+type dispTask struct {
+	sc       *srvConn
+	typ      wire.MsgType
+	frame    []byte // owned copy of the request frame
+	seq      uint64 // submission order; tie-break for equal deadlines
+	deadline int64  // absolute UnixNano, noDeadline when unset
+}
+
+type dispatcher struct {
+	s        *Server
+	mu       sync.Mutex
+	nonEmpty sync.Cond
+	notFull  sync.Cond
+	heap     []dispTask // min-heap on (deadline, seq)
+	seq      uint64
+	max      int
+	closed   bool
+}
+
+func newDispatcher(s *Server, queue, workers int) *dispatcher {
+	if queue <= 0 {
+		queue = defaultDispatchQueue
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers < 2 {
+		workers = 2
+	}
+	d := &dispatcher{s: s, max: queue}
+	d.nonEmpty.L = &d.mu
+	d.notFull.L = &d.mu
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go d.worker()
+	}
+	return d
+}
+
+// depth returns the current queue length (metrics).
+func (d *dispatcher) depth() int {
+	d.mu.Lock()
+	n := len(d.heap)
+	d.mu.Unlock()
+	return n
+}
+
+// submit queues one request frame for execution. The frame is copied, so
+// the caller may reuse its buffer. When the queue is full an armed
+// admission controller sheds the incoming task with StatusOverloaded;
+// otherwise the caller blocks until a slot frees (backpressure).
+func (d *dispatcher) submit(sc *srvConn, typ wire.MsgType, frame []byte) error {
+	t := dispTask{
+		sc:       sc,
+		typ:      typ,
+		frame:    append([]byte(nil), frame...),
+		deadline: frameDeadline(typ, frame),
+	}
+	d.mu.Lock()
+	for len(d.heap) >= d.max && !d.closed {
+		if d.s.admissionArmed() {
+			d.mu.Unlock()
+			return d.shed(t)
+		}
+		d.notFull.Wait()
+	}
+	if d.closed {
+		d.mu.Unlock()
+		return net.ErrClosed
+	}
+	d.seq++
+	t.seq = d.seq
+	d.push(t)
+	d.nonEmpty.Signal()
+	d.mu.Unlock()
+	return nil
+}
+
+// close wakes every worker and blocked submitter; workers drain the queue
+// before exiting.
+func (d *dispatcher) close() {
+	d.mu.Lock()
+	d.closed = true
+	d.nonEmpty.Broadcast()
+	d.notFull.Broadcast()
+	d.mu.Unlock()
+}
+
+func (d *dispatcher) worker() {
+	defer d.s.wg.Done()
+	for {
+		d.mu.Lock()
+		for len(d.heap) == 0 && !d.closed {
+			d.nonEmpty.Wait()
+		}
+		if len(d.heap) == 0 && d.closed {
+			d.mu.Unlock()
+			return
+		}
+		t := d.pop()
+		d.notFull.Signal()
+		d.mu.Unlock()
+
+		if t.deadline != noDeadline && time.Now().UnixNano() > t.deadline {
+			_ = d.shed(t)
+			continue
+		}
+		start := time.Now()
+		err := d.exec(t)
+		d.s.busyNanos.Add(int64(time.Since(start)))
+		if err != nil {
+			// The connection is unusable (its writer failed); close it so
+			// the reader reaps it.
+			t.sc.close()
+		}
+	}
+}
+
+func (d *dispatcher) exec(t dispTask) error {
+	if t.typ == wire.MsgBatch {
+		return d.s.handleBatch(t.sc, t.frame)
+	}
+	req, err := wire.DecodeRequest(t.frame)
+	if err != nil {
+		return err
+	}
+	return d.s.handleRequest(t.sc, req)
+}
+
+// shed answers every operation in the task with StatusOverloaded without
+// executing anything.
+func (d *dispatcher) shed(t dispTask) error {
+	s := d.s
+	if t.typ == wire.MsgBatch {
+		it, err := wire.DecodeBatch(t.frame)
+		if err != nil {
+			return t.sc.send(wire.Response{Status: wire.StatusError, Final: true}.Encode(nil))
+		}
+		res := make([]batchResult, 0, it.Len())
+		for {
+			msg, ok := it.Next()
+			if !ok {
+				break
+			}
+			req, err := wire.DecodeRequest(msg)
+			if err != nil {
+				req = wire.Request{}
+			}
+			res = append(res, batchResult{id: req.ID, status: wire.StatusOverloaded})
+		}
+		s.overloaded.Add(uint64(len(res)))
+		return s.respondBatch(t.sc, res)
+	}
+	req, err := wire.DecodeRequest(t.frame)
+	if err != nil {
+		return err
+	}
+	s.overloaded.Add(1)
+	return t.sc.send(wire.Response{ID: req.ID, Status: wire.StatusOverloaded, Final: true}.Encode(nil))
+}
+
+// frameDeadline extracts the earliest absolute deadline carried by the
+// frame (the minimum across a batch's operations), or noDeadline.
+func frameDeadline(typ wire.MsgType, frame []byte) int64 {
+	minUS := uint32(0)
+	if typ == wire.MsgBatch {
+		it, err := wire.DecodeBatch(frame)
+		if err != nil {
+			return noDeadline
+		}
+		for {
+			msg, ok := it.Next()
+			if !ok {
+				break
+			}
+			req, err := wire.DecodeRequest(msg)
+			if err != nil || req.DeadlineUS == 0 {
+				continue
+			}
+			if minUS == 0 || req.DeadlineUS < minUS {
+				minUS = req.DeadlineUS
+			}
+		}
+	} else if req, err := wire.DecodeRequest(frame); err == nil {
+		minUS = req.DeadlineUS
+	}
+	if minUS == 0 {
+		return noDeadline
+	}
+	return time.Now().Add(time.Duration(minUS) * time.Microsecond).UnixNano()
+}
+
+// min-heap on (deadline, seq): earliest deadline first, FIFO within equal
+// deadlines (deadline-free traffic is all noDeadline, so it stays FIFO).
+func taskLess(a, b dispTask) bool {
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
+	}
+	return a.seq < b.seq
+}
+
+func (d *dispatcher) push(t dispTask) {
+	d.heap = append(d.heap, t)
+	i := len(d.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !taskLess(d.heap[i], d.heap[parent]) {
+			break
+		}
+		d.heap[i], d.heap[parent] = d.heap[parent], d.heap[i]
+		i = parent
+	}
+}
+
+func (d *dispatcher) pop() dispTask {
+	t := d.heap[0]
+	last := len(d.heap) - 1
+	d.heap[0] = d.heap[last]
+	d.heap[last] = dispTask{}
+	d.heap = d.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(d.heap) && taskLess(d.heap[l], d.heap[small]) {
+			small = l
+		}
+		if r < len(d.heap) && taskLess(d.heap[r], d.heap[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		d.heap[i], d.heap[small] = d.heap[small], d.heap[i]
+		i = small
+	}
+	return t
+}

@@ -1,0 +1,463 @@
+// Connection multiplexing (DESIGN.md §5.12): many logical clients share
+// one TCP connection. Each attached Client owns a 32-bit stream id; the
+// request ids it stamps into frames are stream<<32 | seq, so the existing
+// request-id demultiplexer doubles as the stream demultiplexer and the
+// wire format is unchanged. One reader goroutine and one coalescing
+// writer serve the whole connection regardless of how many logical
+// clients ride it — 10k clients over 64 connections cost 128 connection
+// goroutines, not 20k.
+//
+// Frame delivery uses unbounded per-request queues (waiter) instead of
+// blocking channel sends, so one slow logical client can never stall the
+// connection's read loop — and with it every other stream (no
+// head-of-line blocking across streams).
+package rpcnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/wire"
+)
+
+// ErrStreamsExhausted reports that a Mux has no free stream ids left
+// (MaxStreams logical clients are attached).
+var ErrStreamsExhausted = errors.New("rpcnet: stream ids exhausted")
+
+// MuxConfig tunes a multiplexed connection.
+type MuxConfig struct {
+	// MaxStreams caps concurrently-attached logical clients (default
+	// 65536; the hard ceiling is 2^32).
+	MaxStreams int
+	// WriteBuffer bounds the connection's pending outbound bytes before
+	// senders block (0 = 1 MiB).
+	WriteBuffer int
+}
+
+// Mux is one shared TCP connection carrying many logical clients. Attach
+// clients with Client; they detach on Close and their stream ids are
+// pooled for reuse.
+type Mux struct {
+	conn  net.Conn
+	addr  string
+	hello wire.Hello
+	w     *connWriter
+	cfg   MuxConfig
+
+	mu         sync.Mutex
+	waiters    map[uint64]*waiter
+	streams    map[uint32]*Client
+	freeIDs    []uint32
+	nextStream uint32
+	readerr    error
+	done       chan struct{}
+}
+
+// DialMux connects to a server and performs the hello exchange, returning
+// a connection ready for Client attachments.
+func DialMux(addr string, cfg MuxConfig) (*Mux, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxStreams <= 0 {
+		cfg.MaxStreams = 1 << 16
+	}
+	frame, err := readFrame(conn, nil)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rpcnet: hello: %w", err)
+	}
+	hello, err := wire.DecodeHello(frame)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	m := &Mux{
+		conn:    conn,
+		addr:    addr,
+		hello:   hello,
+		cfg:     cfg,
+		w:       newConnWriter(conn, nil, cfg.WriteBuffer, nil),
+		waiters: make(map[uint64]*waiter),
+		streams: make(map[uint32]*Client),
+		done:    make(chan struct{}),
+	}
+	go m.readLoop()
+	return m, nil
+}
+
+// Addr returns the dialed address.
+func (m *Mux) Addr() string { return m.addr }
+
+// Hello returns the server's connection bootstrap info.
+func (m *Mux) Hello() wire.Hello { return m.hello }
+
+// Streams returns the number of currently-attached logical clients.
+func (m *Mux) Streams() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.streams)
+}
+
+// Close tears down the connection and every attached client's pending
+// calls.
+func (m *Mux) Close() error {
+	err := m.conn.Close()
+	m.w.close()
+	<-m.done
+	return err
+}
+
+// send enqueues one frame on the shared writer (coalesced flush).
+func (m *Mux) send(payload []byte) error { return m.w.enqueue(payload) }
+
+// err returns the sticky read error wrapped as ErrClosed, or nil.
+func (m *Mux) err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.readerr != nil {
+		return fmt.Errorf("%w: %v", ErrClosed, m.readerr)
+	}
+	return nil
+}
+
+// register installs a waiter for one request id, failing if the
+// connection is already dead.
+func (m *Mux) register(id uint64, w *waiter) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.readerr != nil {
+		return fmt.Errorf("%w: %v", ErrClosed, m.readerr)
+	}
+	m.waiters[id] = w
+	return nil
+}
+
+// registerAll installs one shared waiter for many request ids (batch).
+func (m *Mux) registerAll(ids []uint64, w *waiter) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.readerr != nil {
+		return fmt.Errorf("%w: %v", ErrClosed, m.readerr)
+	}
+	for _, id := range ids {
+		m.waiters[id] = w
+	}
+	return nil
+}
+
+func (m *Mux) unregister(id uint64) {
+	m.mu.Lock()
+	delete(m.waiters, id)
+	m.mu.Unlock()
+}
+
+func (m *Mux) unregisterAll(ids []uint64) {
+	m.mu.Lock()
+	for _, id := range ids {
+		delete(m.waiters, id)
+	}
+	m.mu.Unlock()
+}
+
+// allocStream hands out the lowest free stream id, reusing detached ids
+// before minting new ones.
+func (m *Mux) allocStream() (uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.readerr != nil {
+		return 0, fmt.Errorf("%w: %v", ErrClosed, m.readerr)
+	}
+	if n := len(m.freeIDs); n > 0 {
+		id := m.freeIDs[n-1]
+		m.freeIDs = m.freeIDs[:n-1]
+		return id, nil
+	}
+	if uint64(m.nextStream) >= uint64(m.cfg.MaxStreams) {
+		return 0, ErrStreamsExhausted
+	}
+	id := m.nextStream
+	m.nextStream++
+	return id, nil
+}
+
+// detach releases a client's stream: its pending waiters are closed and
+// the id returns to the pool.
+func (m *Mux) detach(c *Client) {
+	m.mu.Lock()
+	if _, ok := m.streams[c.stream]; ok {
+		delete(m.streams, c.stream)
+		m.freeIDs = append(m.freeIDs, c.stream)
+	}
+	for id, w := range m.waiters {
+		if uint32(id>>32) == c.stream {
+			w.closeW()
+			delete(m.waiters, id)
+		}
+	}
+	m.mu.Unlock()
+}
+
+// readLoop demultiplexes the shared connection: heartbeats fan out to
+// every attached client, everything else routes to its request's waiter.
+// Delivery never blocks (waiter queues are unbounded), so a slow consumer
+// only grows its own queue.
+func (m *Mux) readLoop() {
+	defer close(m.done)
+	var buf []byte
+	for {
+		frame, err := readFrame(m.conn, buf)
+		if err != nil {
+			m.mu.Lock()
+			m.readerr = err
+			for id, w := range m.waiters {
+				w.closeW()
+				delete(m.waiters, id)
+			}
+			m.mu.Unlock()
+			return
+		}
+		buf = frame
+		typ, err := wire.PeekType(frame)
+		if err != nil {
+			continue
+		}
+		switch typ {
+		case wire.MsgHeartbeat:
+			if hb, err := wire.DecodeHeartbeat(frame); err == nil {
+				m.mu.Lock()
+				for _, c := range m.streams {
+					c.noteHeartbeat(hb)
+				}
+				m.mu.Unlock()
+			}
+		case wire.MsgResponse:
+			if resp, err := wire.DecodeResponse(frame); err == nil {
+				m.deliver(resp.ID, frame)
+			}
+		case wire.MsgChunkData:
+			if cd, err := wire.DecodeChunkData(frame); err == nil {
+				m.deliver(cd.ID, frame)
+			}
+		case wire.MsgVersionData:
+			if vd, err := wire.DecodeVersionData(frame); err == nil {
+				m.deliver(vd.ID, frame)
+			}
+		case wire.MsgSpanData:
+			if sd, err := wire.DecodeSpanData(frame); err == nil {
+				m.deliver(sd.ID, frame)
+			}
+		case wire.MsgFetchDesc:
+			if d, err := wire.DecodeFetchDesc(frame); err == nil {
+				m.deliver(d.ID, frame)
+			}
+		case wire.MsgShardMapData:
+			if md, err := wire.DecodeShardMapData(frame); err == nil {
+				m.deliver(md.ID, frame)
+			}
+		case wire.MsgBatch:
+			// Batch responses: deliver each response sub-message to its
+			// waiter individually, so segmentation folds per operation.
+			it, err := wire.DecodeBatch(frame)
+			if err != nil {
+				continue
+			}
+			for {
+				msg, ok := it.Next()
+				if !ok {
+					break
+				}
+				t, err := wire.PeekType(msg)
+				if err != nil {
+					continue
+				}
+				if t == wire.MsgFetchDesc {
+					if d, err := wire.DecodeFetchDesc(msg); err == nil {
+						m.deliver(d.ID, msg)
+					}
+					continue
+				}
+				if t != wire.MsgResponse {
+					continue
+				}
+				if resp, err := wire.DecodeResponse(msg); err == nil {
+					m.deliver(resp.ID, msg)
+				}
+			}
+		}
+	}
+}
+
+// deliver hands a copy of the frame to the waiter registered for id.
+func (m *Mux) deliver(id uint64, frame []byte) {
+	cp := append([]byte(nil), frame...)
+	m.mu.Lock()
+	w, ok := m.waiters[id]
+	m.mu.Unlock()
+	if ok {
+		w.push(cp)
+	}
+}
+
+// waiter is an unbounded frame queue with channel-like semantics: push
+// never blocks (the read loop must not stall on a slow consumer), recv
+// blocks until a frame or close, and a closed drained waiter reports
+// !ok like a closed channel.
+type waiter struct {
+	mu     sync.Mutex
+	queue  [][]byte
+	closed bool
+	sig    chan struct{} // capacity 1: "state changed" doorbell
+}
+
+func newWaiter() *waiter {
+	return &waiter{sig: make(chan struct{}, 1)}
+}
+
+func (w *waiter) push(frame []byte) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.queue = append(w.queue, frame)
+	w.mu.Unlock()
+	select {
+	case w.sig <- struct{}{}:
+	default:
+	}
+}
+
+func (w *waiter) closeW() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	select {
+	case w.sig <- struct{}{}:
+	default:
+	}
+}
+
+// recv pops the next frame, blocking until one arrives or the waiter
+// closes (then ok is false once the queue drains).
+func (w *waiter) recv() ([]byte, bool) {
+	for {
+		w.mu.Lock()
+		if len(w.queue) > 0 {
+			frame := w.queue[0]
+			w.queue = w.queue[1:]
+			w.mu.Unlock()
+			return frame, true
+		}
+		if w.closed {
+			w.mu.Unlock()
+			return nil, false
+		}
+		w.mu.Unlock()
+		<-w.sig
+	}
+}
+
+// MuxPool shares a bounded set of multiplexed connections per address:
+// Client attachments round-robin over up to MaxConnsPerAddr lazily-dialed
+// connections, so any number of logical clients stays under the
+// connection cap (the C10K deployment shape: 10k clients, ≤64 conns).
+type MuxPool struct {
+	maxPerAddr int
+	cfg        MuxConfig
+
+	mu    sync.Mutex
+	muxes map[string][]*Mux
+	next  map[string]int
+}
+
+// NewMuxPool returns a pool dialing at most maxPerAddr connections per
+// server address (<=0 selects 1).
+func NewMuxPool(maxPerAddr int, cfg MuxConfig) *MuxPool {
+	if maxPerAddr <= 0 {
+		maxPerAddr = 1
+	}
+	return &MuxPool{
+		maxPerAddr: maxPerAddr,
+		cfg:        cfg,
+		muxes:      make(map[string][]*Mux),
+		next:       make(map[string]int),
+	}
+}
+
+// Mux returns the next connection for addr, dialing while under the
+// per-address cap and round-robining afterwards.
+func (p *MuxPool) Mux(addr string) (*Mux, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ms := p.muxes[addr]
+	if len(ms) < p.maxPerAddr {
+		m, err := DialMux(addr, p.cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.muxes[addr] = append(ms, m)
+		return m, nil
+	}
+	i := p.next[addr] % len(ms)
+	p.next[addr] = i + 1
+	return ms[i], nil
+}
+
+// Conns reports the number of open connections across all addresses.
+func (p *MuxPool) Conns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, ms := range p.muxes {
+		n += len(ms)
+	}
+	return n
+}
+
+// Close closes every pooled connection.
+func (p *MuxPool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var first error
+	for _, ms := range p.muxes {
+		for _, m := range ms {
+			if err := m.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	p.muxes = make(map[string][]*Mux)
+	return first
+}
+
+// Client attaches a logical client to one of the pool's connections for
+// addr. The client does not own the connection; closing it only detaches
+// the stream (close the pool to drop the connections).
+func (p *MuxPool) Client(addr string, cfg ClientConfig) (*Client, error) {
+	m, err := p.Mux(addr)
+	if err != nil {
+		return nil, err
+	}
+	return m.Client(cfg)
+}
+
+// deadlineUS converts the configured per-request latency budget to the
+// wire's microsecond word (relative, so no clock sync is required).
+func deadlineUS(d time.Duration) uint32 {
+	if d <= 0 {
+		return 0
+	}
+	us := d / time.Microsecond
+	if us < 1 {
+		us = 1
+	}
+	if us > 1<<32-1 {
+		us = 1<<32 - 1
+	}
+	return uint32(us)
+}

@@ -34,6 +34,12 @@ type RouterConfig struct {
 	// utilization exceeds this threshold — backups absorb reads from a
 	// predicted-hot primary without any failover.
 	ReadReplicaUtil float64
+	// Pool, when non-nil, attaches each per-shard client to a pooled
+	// multiplexed connection instead of dialing its own socket, so many
+	// routers (and plain clients) share a bounded set of TCP connections.
+	// The pool's lifetime is the caller's: closing the router detaches its
+	// streams but leaves the pooled connections open.
+	Pool *MuxPool
 }
 
 // RouterStats mirrors shard.RouterStats for the real-socket router.
@@ -81,6 +87,9 @@ type Router struct {
 // validates that the servers agree on the deployment shape (position,
 // count, and map version), and fetches and verifies the shard map. A
 // single unsharded address yields a trivial one-shard router.
+//
+// Deprecated: use Connect, which unifies single-server and routed
+// construction behind functional options.
 func DialRouter(addrs []string, cfg RouterConfig) (*Router, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("rpcnet: router needs at least one address")
@@ -200,6 +209,17 @@ func (r *Router) dialShard(addr string, i int) (*Client, error) {
 	if ccfg.Metrics != nil {
 		// Per-shard label so the scraped series separate by shard.
 		ccfg.Metrics = ccfg.Metrics.With("shard", strconv.Itoa(i))
+	}
+	if r.cfg.Pool != nil {
+		m, err := r.cfg.Pool.Mux(addr)
+		if err != nil {
+			return nil, fmt.Errorf("rpcnet: shard %d (%s): %w", i, addr, err)
+		}
+		c, err := m.Client(ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("rpcnet: shard %d (%s): %w", i, addr, err)
+		}
+		return c, nil
 	}
 	c, err := Dial(addr, ccfg)
 	if err != nil {
@@ -328,9 +348,57 @@ func (r *Router) Healthy(i int) bool { return r.healthy(i) }
 
 // failoverErr reports whether err should trigger replica fallback or
 // promotion: the shared replica sentinels, plus a torn-down connection
-// (the TCP-only case where the process died outright).
+// (the TCP-only case where the process died outright). ErrOverloaded is
+// deliberately NOT a failover trigger — a shed means the server is alive
+// but saturated, so the router retries with backoff instead of promoting.
 func failoverErr(err error) bool {
 	return replica.Failover(err) || errors.Is(err, ErrClosed)
+}
+
+// overloadAttempts bounds the router's retry budget against an admission
+// shed before ErrOverloaded surfaces to the caller; overloadBackoff is the
+// first sleep, doubling per attempt (2, 4, 8 ms — long enough for a
+// heartbeat-interval utilization spike to pass, short enough to stay
+// inside interactive latency budgets).
+const (
+	overloadAttempts = 3
+	overloadBackoff  = 2 * time.Millisecond
+)
+
+// searchOverloaded handles an admission shed on shard s's active replica:
+// the read first tries every other live replica immediately — backups
+// absorb reads from a saturated primary without promotion — then retries
+// the active server with doubling backoff before surfacing the typed shed.
+func (r *Router) searchOverloaded(s int, q geo.Rect) ([]wire.Item, Method, error) {
+	cands, active := r.cands[s], r.active[s]
+	for idx, cand := range cands {
+		if idx == active || !r.alive(cand) {
+			continue
+		}
+		items, m, err := cand.Search(q)
+		if err == nil {
+			atomic.AddUint64(&r.stats.BackupReads, 1)
+			return items, m, nil
+		}
+		if !errors.Is(err, ErrOverloaded) && !failoverErr(err) {
+			return items, m, err
+		}
+	}
+	backoff := overloadBackoff
+	var (
+		items []wire.Item
+		m     Method
+		err   error
+	)
+	for attempt := 0; attempt < overloadAttempts; attempt++ {
+		time.Sleep(backoff)
+		backoff *= 2
+		items, m, err = cands[active].Search(q)
+		if !errors.Is(err, ErrOverloaded) {
+			return items, m, err
+		}
+	}
+	return nil, m, err
 }
 
 // failover promotes the best remaining candidate of shard s to a bumped
@@ -501,6 +569,9 @@ func (r *Router) searchShard(s int, q geo.Rect) ([]wire.Item, Method, error) {
 		}
 	}
 	items, m, err := c.Search(q)
+	if errors.Is(err, ErrOverloaded) {
+		return r.searchOverloaded(s, q)
+	}
 	if err == nil || !failoverErr(err) {
 		return items, m, err
 	}
@@ -618,16 +689,31 @@ func (r *Router) Delete(rect geo.Rect, ref uint64) error {
 // writeShard runs op against shard s's serving replica, promoting a backup
 // and retrying when the server refuses service. Attempts are bounded by the
 // candidate count so a fully dead shard terminates with the unified
-// UnhealthyError rather than looping.
+// UnhealthyError rather than looping. An admission shed retries the same
+// replica with doubling backoff — writes cannot move to a backup, and a
+// saturated primary is not a dead one — surfacing ErrOverloaded once the
+// budget runs out.
 func (r *Router) writeShard(s int, op func(*Client) error) error {
-	for attempt := 0; ; attempt++ {
+	backoff := overloadBackoff
+	shed, failed := 0, 0
+	for {
 		err := op(r.shardClient(s))
-		if err == nil || !failoverErr(err) {
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, ErrOverloaded):
+			if shed++; shed > overloadAttempts {
+				return err
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+		case !failoverErr(err):
 			return err
-		}
-		if attempt >= len(r.cands[s]) || !r.failover(s) {
-			atomic.AddUint64(&r.stats.UnhealthyWrites, 1)
-			return &shard.UnhealthyError{Shard: s}
+		default:
+			if failed++; failed > len(r.cands[s]) || !r.failover(s) {
+				atomic.AddUint64(&r.stats.UnhealthyWrites, 1)
+				return &shard.UnhealthyError{Shard: s}
+			}
 		}
 	}
 }
@@ -729,10 +815,13 @@ func (r *Router) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 			}
 		}
 	}
-	// Failover repair: replica-class failures retry through the routed
-	// single-op paths. Inert at R=1, where those statuses never occur.
+	// Repair pass: replica-class failures and admission sheds retry through
+	// the routed single-op paths (which fall back to backups, promote, or
+	// back off as the error class demands). Inert at R=1 with admission
+	// control off, where those statuses never occur.
 	for i := range results {
-		if results[i].Err == nil || !failoverErr(results[i].Err) {
+		err := results[i].Err
+		if err == nil || (!failoverErr(err) && !errors.Is(err, ErrOverloaded)) {
 			continue
 		}
 		op := ops[i]

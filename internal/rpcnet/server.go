@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"runtime"
 	"sync"
@@ -98,6 +99,35 @@ type ServerConfig struct {
 	// never picks fetch adaptively; forced fetch still works).
 	TXLineRateBps float64
 
+	// MaxConns caps concurrently-accepted connections; excess accepts are
+	// closed immediately (0 = unlimited). Pair with client-side connection
+	// multiplexing (MuxPool) to keep thousands of logical clients under
+	// the cap.
+	MaxConns int
+	// AdmissionUtil arms deadline-aware admission control (DESIGN.md
+	// §5.12): once the smoothed heartbeat utilization — CPU or TX — meets
+	// this threshold, requests queue earliest-deadline-first and the
+	// server sheds (typed StatusOverloaded, nothing executed) any request
+	// whose deadline expired while queued or that arrives at a full
+	// queue. 0 disables shedding on queue pressure; expired deadlines are
+	// always shed. Requires heartbeats (the utilization signal).
+	AdmissionUtil float64
+	// DispatchWorkers sizes the shared request-execution pool replacing
+	// the per-connection serial model (0 = NumCPU, min 2).
+	DispatchWorkers int
+	// DispatchQueue bounds the admission queue in tasks (0 = 1024).
+	DispatchQueue int
+	// WriteBuffer bounds each connection's pending outbound bytes before
+	// responders block (0 = 1 MiB).
+	WriteBuffer int
+	// PaceTX, when true, enforces TXLineRateBps as an actual outbound
+	// budget: each connection's flusher sleeps out the wire time its bytes
+	// would occupy at that rate. Loopback deployments (bench, tests) use
+	// it to give every server a real per-server TX capacity, so the
+	// TX-utilization gauge the autoscaler scrapes corresponds to a
+	// resource that can genuinely saturate.
+	PaceTX bool
+
 	// ShardMap and ShardIndex identify this server's place in a sharded
 	// deployment: the hello advertises the map version and shard position,
 	// and MsgShardMap requests are answered with the full map so routers
@@ -140,6 +170,14 @@ type Server struct {
 	conns  map[*srvConn]struct{}
 	closed atomic.Bool
 	wg     sync.WaitGroup
+	disp   *dispatcher
+	pacer  *txPacer // shared outbound budget (nil unless PaceTX)
+
+	// Admission control: smoothed heartbeat utilizations (float bits) the
+	// armed check reads, and the shed-operation counter.
+	admitUtilBits atomic.Uint64
+	admitTXBits   atomic.Uint64
+	overloaded    atomic.Uint64
 
 	epoch      uint64
 	hbPaused   atomic.Bool
@@ -221,18 +259,22 @@ type servedMap struct {
 func (s *Server) servedShardMap() *servedMap { return s.served.Load() }
 
 type srvConn struct {
-	c  net.Conn
-	mu sync.Mutex     // serializes frame writes
-	tx *atomic.Uint64 // server-wide outbound byte counter
+	c net.Conn
+	w *connWriter
+	// ready gates the heartbeat broadcast: a connection joins it only
+	// once its hello frame is in the writer queue, so a tick between
+	// accept and the handshake cannot push a heartbeat ahead of the
+	// hello and corrupt the client's first read.
+	ready atomic.Bool
 }
 
-func (sc *srvConn) send(payload []byte) error {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if sc.tx != nil {
-		sc.tx.Add(uint64(len(payload)) + 4)
-	}
-	return writeFrame(sc.c, payload)
+func (sc *srvConn) send(payload []byte) error { return sc.w.enqueue(payload) }
+
+// close tears the connection down: the net.Conn first (unsticking a
+// blocked flush against a dead peer), then the writer. Idempotent.
+func (sc *srvConn) close() {
+	sc.c.Close()
+	sc.w.close()
 }
 
 // Listen binds addr and returns a server ready to Serve. The tree (and its
@@ -330,6 +372,26 @@ func Listen(addr string, tree *rtree.Tree, cfg ServerConfig) (*Server, error) {
 		reg.GaugeFunc("catfish_server_reshard_state", func() float64 {
 			return float64(s.reshardPhase.Load())
 		})
+		reg.CounterFunc("catfish_server_overloaded_total", s.overloaded.Load)
+		reg.GaugeFunc("catfish_server_dispatch_queue", func() float64 {
+			return float64(s.disp.depth())
+		})
+		reg.GaugeFunc("catfish_server_admission_armed", func() float64 {
+			if s.admissionArmed() {
+				return 1
+			}
+			return 0
+		})
+		reg.GaugeFunc("catfish_server_connections", func() float64 {
+			s.mu.Lock()
+			n := len(s.conns)
+			s.mu.Unlock()
+			return float64(n)
+		})
+	}
+	s.disp = newDispatcher(s, cfg.DispatchQueue, cfg.DispatchWorkers)
+	if cfg.PaceTX && cfg.TXLineRateBps > 0 {
+		s.pacer = newTXPacer(cfg.TXLineRateBps)
 	}
 	if cfg.HeartbeatInterval > 0 {
 		s.wg.Add(1)
@@ -349,22 +411,37 @@ func (s *Server) Serve() error {
 		if err != nil {
 			return err
 		}
-		sc := &srvConn{c: conn, tx: &s.txBytes}
+		// Register the connection and join the WaitGroup under s.mu
+		// BEFORE spawning the reader: a goroutine spawned after Close's
+		// sweep would otherwise escape both the connection sweep and
+		// wg.Wait (the shutdown leak window).
+		s.mu.Lock()
+		if s.closed.Load() || (s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns) {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		sc := &srvConn{c: conn, w: newConnWriter(conn, &s.txBytes, s.cfg.WriteBuffer, s.pacer)}
+		s.conns[sc] = struct{}{}
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go s.serveConn(sc)
 	}
 }
 
-// Close stops accepting, closes every connection, and waits for workers.
+// Close stops accepting, closes every connection, drains the dispatcher,
+// and waits for every server goroutine — readers, writers, workers, the
+// heartbeat loop — to exit.
 func (s *Server) Close() error {
+	s.mu.Lock()
 	s.closed.Store(true)
 	err := s.ln.Close()
-	s.mu.Lock()
 	for sc := range s.conns {
-		sc.c.Close()
+		sc.close()
 	}
 	s.mu.Unlock()
 	s.closeReplSessions()
+	s.disp.close()
 	s.wg.Wait()
 	return err
 }
@@ -407,6 +484,9 @@ type ServerStats struct {
 	ReplRecords  uint64
 	ReplShipped  uint64
 	ReshardMoved uint64
+	// Overloaded counts operations the admission controller shed with
+	// StatusOverloaded (never executed).
+	Overloaded uint64
 }
 
 // Stats returns a snapshot of the op counters.
@@ -431,6 +511,7 @@ func (s *Server) Stats() ServerStats {
 		ReplRecords:     s.replRecords.Load(),
 		ReplShipped:     s.replShipped.Load(),
 		ReshardMoved:    s.reshardMoved.Load(),
+		Overloaded:      s.overloaded.Load(),
 	}
 }
 
@@ -440,7 +521,7 @@ func (s *Server) serveConn(sc *srvConn) {
 		s.mu.Lock()
 		delete(s.conns, sc)
 		s.mu.Unlock()
-		sc.c.Close()
+		sc.close()
 	}()
 
 	hello := wire.Hello{
@@ -466,16 +547,9 @@ func (s *Server) serveConn(sc *srvConn) {
 	if err := sc.send(hello.Encode(nil)); err != nil {
 		return
 	}
-	// Join the heartbeat broadcast set only after the hello is on the
-	// wire: a tick between accept and the handshake would otherwise push
-	// a heartbeat frame ahead of the hello and corrupt the client's
-	// first read. Registration races Close's sweep, so re-check closed.
-	s.mu.Lock()
-	s.conns[sc] = struct{}{}
-	s.mu.Unlock()
-	if s.closed.Load() {
-		return
-	}
+	// The hello is in the writer queue; heartbeats enqueued after this
+	// point are ordered behind it, so the broadcast may now include us.
+	sc.ready.Store(true)
 
 	var frame []byte
 	var out []byte
@@ -536,7 +610,10 @@ func (s *Server) serveConn(sc *srvConn) {
 			if err := sc.send(out); err != nil {
 				return
 			}
-		case wire.MsgSearch, wire.MsgInsert, wire.MsgDelete, wire.MsgSearchFetch, wire.MsgPromote:
+		case wire.MsgPromote:
+			// Failover promotion stays inline: it must not sit behind a
+			// backed-up admission queue while the router is fencing a
+			// failed primary.
 			req, err := wire.DecodeRequest(frame)
 			if err != nil {
 				return
@@ -544,6 +621,13 @@ func (s *Server) serveConn(sc *srvConn) {
 			if err := s.handleRequest(sc, req); err != nil {
 				return
 			}
+		case wire.MsgSearch, wire.MsgInsert, wire.MsgDelete, wire.MsgSearchFetch:
+			// Data operations go through the shared dispatcher (workers
+			// account their own busy time).
+			if err := s.disp.submit(sc, typ, frame); err != nil {
+				return
+			}
+			continue
 		case wire.MsgReplicate:
 			if err := s.handleReplicate(sc, frame); err != nil {
 				return
@@ -569,9 +653,10 @@ func (s *Server) serveConn(sc *srvConn) {
 				s.mailbox.Reclaim(int(ack.Slot), ack.Seq)
 			}
 		case wire.MsgBatch:
-			if err := s.handleBatch(sc, frame); err != nil {
+			if err := s.disp.submit(sc, typ, frame); err != nil {
 				return
 			}
+			continue
 		case wire.MsgShardMap:
 			req, err := wire.DecodeShardMapRequest(frame)
 			if err != nil {
@@ -933,7 +1018,6 @@ func (s *Server) heartbeatLoop() {
 		if util < 1e-6 {
 			util = 1e-6
 		}
-		s.lastUtil.Set(util)
 		txUtil := 0.0
 		if s.cfg.TXLineRateBps > 0 {
 			tx := s.txBytes.Load()
@@ -944,11 +1028,31 @@ func (s *Server) heartbeatLoop() {
 				txUtil = 1
 			}
 		}
-		s.lastTXUtil.Set(txUtil)
-		s.latch.RLock()
-		rootChunk := s.tree.RootChunk()
-		s.latch.RUnlock()
-		s.rootChunkA.Store(int64(rootChunk))
+		// Exponentially-smoothed copies for the admission controller, so a
+		// single idle (or busy) tick doesn't flap the armed state.
+		const alpha = 0.5
+		smUtil := alpha*math.Float64frombits(s.admitUtilBits.Load()) + (1-alpha)*util
+		smTX := alpha*math.Float64frombits(s.admitTXBits.Load()) + (1-alpha)*txUtil
+		s.admitUtilBits.Store(math.Float64bits(smUtil))
+		s.admitTXBits.Store(math.Float64bits(smTX))
+		// The scrape gauges publish the smoothed copies: the autoscaler
+		// compares shards against each other to nominate the hottest, and
+		// a single-window sample would make that comparison a coin flip
+		// whenever the scrape lands on an idle beat. Heartbeat wire values
+		// stay raw — the client's adaptive switch wants the instantaneous
+		// signal.
+		s.lastUtil.Set(smUtil)
+		s.lastTXUtil.Set(smTX)
+		// Heartbeats are the liveness signal: never block them on the
+		// latch, which PrepareReshard holds exclusively for the whole
+		// snapshot-and-stream. Under contention the last published root
+		// chunk serves — the tree cannot change while the latch is held.
+		rootChunk := int(s.rootChunkA.Load())
+		if s.latch.TryRLock() {
+			rootChunk = s.tree.RootChunk()
+			s.latch.RUnlock()
+			s.rootChunkA.Store(int64(rootChunk))
+		}
 		rootVer, _ := s.tree.Region().Version(rootChunk)
 		hb := wire.Heartbeat{Util: util, RootVer: rootVer, TXUtil: txUtil}
 		if s.repl != nil {
@@ -960,9 +1064,26 @@ func (s *Server) heartbeatLoop() {
 		payload := hb.Encode(nil)
 		s.mu.Lock()
 		for sc := range s.conns {
-			// Best effort; a dead connection is reaped by its reader.
-			_ = sc.send(payload)
+			if !sc.ready.Load() {
+				continue // handshake not yet queued
+			}
+			// Best effort and non-blocking: a connection whose writer is
+			// full (slow reader) skips this beat rather than stalling the
+			// broadcast for everyone else.
+			_ = sc.w.tryEnqueue(payload)
 		}
 		s.mu.Unlock()
 	}
+}
+
+// admissionArmed reports whether the admission controller currently sheds
+// on queue pressure: a threshold is configured and the smoothed heartbeat
+// utilization (CPU or TX) has reached it.
+func (s *Server) admissionArmed() bool {
+	th := s.cfg.AdmissionUtil
+	if th <= 0 {
+		return false
+	}
+	return math.Float64frombits(s.admitUtilBits.Load()) >= th ||
+		math.Float64frombits(s.admitTXBits.Load()) >= th
 }

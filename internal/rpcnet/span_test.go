@@ -116,7 +116,7 @@ func TestSpanOutOfRangeRejected(t *testing.T) {
 		{Chunk: 0, Count: 0},
 		{Chunk: 0, Count: maxSpanChunks + 1},
 	} {
-		bad.ID = c.reqID.Add(1)
+		bad.ID = c.nextID()
 		frame, err := c.call(bad.ID, bad.Encode(nil))
 		if err != nil {
 			t.Fatal(err)

@@ -48,36 +48,59 @@ const (
 	// StatusNotPrimary means a client write reached a backup that has not
 	// been promoted; routers redirect to the shard's primary.
 	StatusNotPrimary
+	// StatusOverloaded means the server's admission controller shed the
+	// request (utilization past the configured threshold, or the request's
+	// deadline expired while queued). The operation was NOT executed;
+	// clients surface it distinctly from transport errors and routers
+	// retry against replicas with backoff.
+	StatusOverloaded
 )
 
 // ErrCorrupt is returned when a message fails to decode.
 var ErrCorrupt = errors.New("wire: corrupt message")
 
 // Request is an R-tree operation request. Ref is meaningful for insert and
-// delete only.
+// delete only. DeadlineUS, when nonzero, is the client's remaining latency
+// budget in microseconds (relative, so no clock synchronization is needed);
+// an admission-controlled server sheds the request if it cannot start
+// executing within that budget.
 type Request struct {
-	Type MsgType
-	ID   uint64
-	Rect geo.Rect
-	Ref  uint64
+	Type       MsgType
+	ID         uint64
+	Rect       geo.Rect
+	Ref        uint64
+	DeadlineUS uint32
 }
 
-// RequestSize is the encoded size of a Request.
+// RequestSize is the encoded size of a Request without a deadline word.
 const RequestSize = 1 + 8 + 32 + 8
+
+// RequestSizeDeadline is the encoded size of a Request carrying a deadline
+// word. Encode appends the word only when DeadlineUS is nonzero, so
+// deadline-free requests stay byte-identical to the legacy layout.
+const RequestSizeDeadline = RequestSize + 4
 
 // Encode appends the request encoding to buf and returns it.
 func (r Request) Encode(buf []byte) []byte {
 	off := len(buf)
-	buf = append(buf, make([]byte, RequestSize)...)
+	size := RequestSize
+	if r.DeadlineUS != 0 {
+		size = RequestSizeDeadline
+	}
+	buf = append(buf, make([]byte, size)...)
 	b := buf[off:]
 	b[0] = byte(r.Type)
 	binary.LittleEndian.PutUint64(b[1:], r.ID)
 	putRect(b[9:], r.Rect)
 	binary.LittleEndian.PutUint64(b[41:], r.Ref)
+	if r.DeadlineUS != 0 {
+		binary.LittleEndian.PutUint32(b[49:], r.DeadlineUS)
+	}
 	return buf
 }
 
-// DecodeRequest parses a request.
+// DecodeRequest parses a request, tolerating both the legacy layout and
+// the widened layout with a trailing deadline word.
 func DecodeRequest(b []byte) (Request, error) {
 	if len(b) < RequestSize {
 		return Request{}, fmt.Errorf("%w: request %d bytes", ErrCorrupt, len(b))
@@ -87,12 +110,16 @@ func DecodeRequest(b []byte) (Request, error) {
 		typ != MsgPromote {
 		return Request{}, fmt.Errorf("%w: request type %d", ErrCorrupt, typ)
 	}
-	return Request{
+	r := Request{
 		Type: typ,
 		ID:   binary.LittleEndian.Uint64(b[1:]),
 		Rect: getRect(b[9:]),
 		Ref:  binary.LittleEndian.Uint64(b[41:]),
-	}, nil
+	}
+	if len(b) >= RequestSizeDeadline {
+		r.DeadlineUS = binary.LittleEndian.Uint32(b[49:])
+	}
+	return r, nil
 }
 
 // Item is one result rectangle.

@@ -30,6 +30,35 @@ func TestRequestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRequestDeadlineRoundTrip(t *testing.T) {
+	want := Request{Type: MsgSearch, ID: 7, Rect: geo.NewRect(0.1, 0.2, 0.3, 0.4), DeadlineUS: 1500}
+	buf := want.Encode(nil)
+	if len(buf) != RequestSizeDeadline {
+		t.Errorf("encoded %d bytes, want %d", len(buf), RequestSizeDeadline)
+	}
+	got, err := DecodeRequest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round trip: got %+v, want %+v", got, want)
+	}
+	// A legacy decoder truncating at RequestSize must still see the same
+	// request (sans deadline), and a deadline-free request must stay
+	// byte-identical to the legacy layout.
+	legacy, err := DecodeRequest(buf[:RequestSize])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.DeadlineUS = 0
+	if legacy != want {
+		t.Errorf("legacy decode: got %+v, want %+v", legacy, want)
+	}
+	if n := len(want.Encode(nil)); n != RequestSize {
+		t.Errorf("deadline-free request encodes %d bytes, want %d", n, RequestSize)
+	}
+}
+
 func TestRequestDecodeErrors(t *testing.T) {
 	if _, err := DecodeRequest(nil); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("nil err = %v", err)

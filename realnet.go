@@ -32,6 +32,53 @@ const (
 	NetMethodOffload = rpcnet.MethodOffload
 )
 
+// Unified connection API: Connect resolves one or many addresses — plus
+// functional options for tuning, replication, and connection sharing —
+// into a Conn, the method set shared by the direct client and the
+// scatter-gather router.
+type (
+	// Conn is the unified client-side handle returned by Connect.
+	Conn = rpcnet.Conn
+	// Option tunes Connect (see the With* constructors).
+	Option = rpcnet.Option
+	// MuxPool shares a bounded set of multiplexed TCP connections among
+	// many logical clients (WithMuxPool).
+	MuxPool = rpcnet.MuxPool
+)
+
+// Connect options, re-exported from internal/rpcnet.
+var (
+	WithClientConfig    = rpcnet.WithClientConfig
+	WithAdaptive        = rpcnet.WithAdaptive
+	WithForced          = rpcnet.WithForced
+	WithFetch           = rpcnet.WithFetch
+	WithNodeCache       = rpcnet.WithNodeCache
+	WithMergeSpan       = rpcnet.WithMergeSpan
+	WithPrefetch        = rpcnet.WithPrefetch
+	WithMetrics         = rpcnet.WithMetrics
+	WithTrace           = rpcnet.WithTrace
+	WithSeed            = rpcnet.WithSeed
+	WithDeadline        = rpcnet.WithDeadline
+	WithBackups         = rpcnet.WithBackups
+	WithHealthMultiple  = rpcnet.WithHealthMultiple
+	WithReadReplicaUtil = rpcnet.WithReadReplicaUtil
+	WithMuxPool         = rpcnet.WithMuxPool
+)
+
+// Connect is the unified entry point to a Catfish deployment over real
+// sockets: one address yields a direct client, several (or any
+// router-only option) a scatter-gather router, and WithMuxPool
+// multiplexes either shape over shared connections.
+func Connect(addrs []string, opts ...Option) (Conn, error) {
+	return rpcnet.Connect(addrs, opts...)
+}
+
+// NewMuxPool builds a connection pool capped at maxPerAddr multiplexed
+// connections per server address, for WithMuxPool.
+func NewMuxPool(maxPerAddr int) *MuxPool {
+	return rpcnet.NewMuxPool(maxPerAddr, rpcnet.MuxConfig{})
+}
+
 // Listen binds addr and returns a real-network server for tree; call
 // Serve to accept connections.
 func Listen(addr string, tree *Tree, cfg NetServerConfig) (*NetServer, error) {
@@ -39,6 +86,9 @@ func Listen(addr string, tree *Tree, cfg NetServerConfig) (*NetServer, error) {
 }
 
 // Dial connects a real-network client to a Catfish server.
+//
+// Deprecated: use Connect, which unifies single-server and routed
+// construction behind functional options.
 func Dial(addr string, cfg NetClientConfig) (*NetClient, error) {
 	return rpcnet.Dial(addr, cfg)
 }

@@ -49,6 +49,9 @@ func BuildShardMap(entries []Entry, cfg ShardConfig) (*ShardMap, error) {
 // in shard order), validates that the servers agree on the deployment
 // shape, and returns the scatter-gather router. A single unsharded
 // address yields a trivial one-shard router.
+//
+// Deprecated: use Connect, which unifies single-server and routed
+// construction behind functional options.
 func DialRouter(addrs []string, cfg NetRouterConfig) (*NetRouter, error) {
 	return rpcnet.DialRouter(addrs, cfg)
 }
