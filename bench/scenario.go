@@ -1,0 +1,802 @@
+// Geo serving scenario ablations (DESIGN.md §5.13): moving objects
+// updating positions through first-class MOVE operations, remote kNN on
+// both access-method families, and a Zipfian flash-crowd trace driving the
+// autoscaler. The moving-objects and knn ablations run on the simulated
+// fabric like the paper figures; the hotspot ablation runs on real
+// localhost TCP like the autoscale ablation, because its whole point is
+// live resharding under migrating load.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/autoscale"
+	"github.com/catfish-db/catfish/internal/client"
+	"github.com/catfish-db/catfish/internal/fabric"
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/netmodel"
+	"github.com/catfish-db/catfish/internal/rpcnet"
+	"github.com/catfish-db/catfish/internal/rtree"
+	"github.com/catfish-db/catfish/internal/scenario"
+	"github.com/catfish-db/catfish/internal/server"
+	"github.com/catfish-db/catfish/internal/shard"
+	"github.com/catfish-db/catfish/internal/sim"
+	"github.com/catfish-db/catfish/internal/stats"
+	"github.com/catfish-db/catfish/internal/telemetry"
+	"github.com/catfish-db/catfish/internal/wire"
+	"github.com/catfish-db/catfish/internal/workload"
+)
+
+// scenarioFleetCap bounds the moving-objects fleet: every object moves
+// every tick, so the op stream scales with the fleet, not the dataset.
+const scenarioFleetCap = 50_000
+
+// AblationMovingObjects compares the three ways a fleet's position updates
+// can reach the tree: the first-class MOVE op (one round trip, one latch
+// acquisition), the classic delete+insert pair (two round trips, two latch
+// acquisitions), and MOVEs riding the batched fast path. Each mode
+// interleaves position updates with nearby-window searches 1:1 — the geo
+// serving mix — on the simulated InfiniBand fabric.
+func AblationMovingObjects(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	fleet := o.DatasetSize
+	if fleet > scenarioFleetCap {
+		fleet = scenarioFleetCap
+	}
+	clients := o.ablationClients()
+	table := stats.NewTable("mode", "kops", "mean_lat_us", "p99_us", "server_moves", "serverCPU%")
+	for _, mode := range []string{"move", "del+ins", "batched-move"} {
+		res, err := runMovingObjects(o, fleet, clients, mode)
+		if err != nil {
+			return nil, fmt.Errorf("ablation moving %s: %w", mode, err)
+		}
+		table.AddRow(mode, fmtKops(res.kops), fmtDur(res.lat.Mean), fmtDur(res.lat.P99),
+			fmt.Sprintf("%d", res.serverMoves),
+			fmt.Sprintf("%.1f", res.cpuUtil*100))
+	}
+	return table, nil
+}
+
+type movingResult struct {
+	kops        float64
+	lat         stats.Summary
+	serverMoves uint64
+	cpuUtil     float64
+}
+
+func runMovingObjects(o Options, fleet, clients int, mode string) (movingResult, error) {
+	e := sim.New(o.Seed)
+	net := fabric.NewNetwork(e, netmodel.InfiniBand100G)
+	serverCPU := sim.NewCPU(e, o.ServerCores)
+	serverHost := net.NewHost("server", serverCPU)
+
+	// Each driver owns a contiguous slice of the fleet, so no two clients
+	// ever race on the same object ref.
+	perClient := fleet / clients
+	if perClient < 1 {
+		perClient = 1
+	}
+	fleets := make([]*scenario.MovingObjects, clients)
+	var seed []rtree.Entry
+	for i := range fleets {
+		rng := rand.New(rand.NewSource(o.Seed + 100 + int64(i)))
+		fleets[i] = scenario.NewMovingObjects(rng, scenario.MovingConfig{
+			N: perClient, RefBase: uint64(i * perClient),
+		})
+		seed = append(seed, fleets[i].Seed()...)
+	}
+	tree, err := buildTree(seed)
+	if err != nil {
+		return movingResult{}, err
+	}
+	srv, err := server.New(server.Config{
+		Engine: e, Host: serverHost, Tree: tree,
+		Cost:              netmodel.DefaultCostModel(),
+		Mode:              server.ModeEvent,
+		HeartbeatInterval: o.HeartbeatInv,
+	})
+	if err != nil {
+		return movingResult{}, err
+	}
+
+	lat := stats.NewHistogram()
+	var ops uint64
+	var makespan time.Duration
+	var runErr error
+	wg := sim.NewWaitGroup(e)
+	for i := 0; i < clients; i++ {
+		i := i
+		host := net.NewHost(fmt.Sprintf("c%d", i/32), sim.NewCPU(e, 28))
+		ep, err := srv.Connect(host, net, 16)
+		if err != nil {
+			return movingResult{}, err
+		}
+		c, err := client.New(client.Config{
+			Engine: e, Host: host, Endpoint: ep,
+			Cost:         netmodel.DefaultCostModel(),
+			Adaptive:     true,
+			HeartbeatInv: o.HeartbeatInv,
+			MultiIssue:   true,
+		})
+		if err != nil {
+			return movingResult{}, err
+		}
+		wg.Add(1)
+		e.Spawn(fmt.Sprintf("geo-driver-%d", i), func(p *sim.Proc) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + 500 + int64(i)))
+			fl := fleets[i]
+			var pending []scenario.Move
+			var batch []client.BatchOp
+			var results []client.BatchResult
+			record := func(start time.Duration, n int) {
+				d := p.Now() - start
+				for j := 0; j < n; j++ {
+					lat.Record(d / time.Duration(n))
+				}
+				ops += uint64(n)
+				if p.Now() > makespan {
+					makespan = p.Now()
+				}
+			}
+			for r := 0; r < o.Requests; r++ {
+				if r%2 == 1 {
+					// Odd ops: "what's around this vehicle" window search.
+					q := fl.Nearby(rng.Intn(fl.Len()), 0.002)
+					start := p.Now()
+					if _, _, err := c.Search(p, q); err != nil {
+						runErr = err
+						return
+					}
+					record(start, 1)
+					continue
+				}
+				if len(pending) == 0 {
+					pending = fl.Tick(rng, pending)
+				}
+				mv := pending[len(pending)-1]
+				pending = pending[:len(pending)-1]
+				switch mode {
+				case "move":
+					start := p.Now()
+					if err := c.Move(p, mv.From, mv.To, mv.Ref); err != nil {
+						runErr = err
+						return
+					}
+					record(start, 1)
+				case "del+ins":
+					start := p.Now()
+					if err := c.Delete(p, mv.From, mv.Ref); err != nil && !errors.Is(err, client.ErrNotFound) {
+						runErr = err
+						return
+					}
+					if err := c.Insert(p, mv.To, mv.Ref); err != nil {
+						runErr = err
+						return
+					}
+					record(start, 1)
+				case "batched-move":
+					batch = append(batch, client.BatchOp{
+						Type: wire.MsgMove, Rect: mv.From, Rect2: mv.To, Ref: mv.Ref,
+					})
+					if len(batch) < o.BatchSize && r+2 < o.Requests {
+						continue
+					}
+					start := p.Now()
+					results = c.ExecBatch(p, batch, results)
+					for _, res := range results {
+						if res.Err != nil {
+							runErr = res.Err
+							return
+						}
+					}
+					record(start, len(batch))
+					batch = batch[:0]
+				}
+			}
+		})
+	}
+	e.Spawn("stop", func(p *sim.Proc) { wg.Wait(p); e.Stop() })
+	if err := e.Run(); err != nil {
+		return movingResult{}, err
+	}
+	if runErr != nil {
+		return movingResult{}, runErr
+	}
+	out := movingResult{
+		lat:         lat.Summarize(),
+		serverMoves: srv.Stats().Moves,
+		cpuUtil:     serverCPU.UtilizationTotal(),
+	}
+	if makespan > 0 {
+		out.kops = float64(ops) / makespan.Seconds() / 1e3
+	}
+	return out, nil
+}
+
+// AblationKNN measures remote k-nearest-neighbor queries across k and
+// across the access-method arms kNN can use. Best-first traversal cannot
+// offload — every heap pop depends on all previous pops, so a client-side
+// traversal degenerates into one dependent chunk-read round trip per node
+// — which leaves fast messaging and the fetch/mailbox path; the adaptive
+// arm runs the server-side 3-way switch (DecideServerSide). The sharded
+// arm routes through the best-first cross-shard gather, whose fanout
+// column shows the CoverDistSq pruning: small k touches ~1 shard of 4.
+// Every 50th query is checked against a local tree.Nearest — the remote
+// path must reproduce it exactly.
+func AblationKNN(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	n := o.DatasetSize
+	if n > 500_000 {
+		n = 500_000
+	}
+	data := workload.UniformRectsRand(rand.New(rand.NewSource(o.Seed)), n, 0.0001)
+	clients := o.ablationClients()
+	table := stats.NewTable("arm", "k", "kops", "mean_lat_us", "fetch%", "fanout")
+	for _, arm := range []string{"fast", "adaptive-3way", "sharded-4"} {
+		for _, k := range []int{1, 10, 100} {
+			res, err := runKNN(o, data, clients, arm, k)
+			if err != nil {
+				return nil, fmt.Errorf("ablation knn %s k=%d: %w", arm, k, err)
+			}
+			table.AddRow(arm, fmt.Sprintf("%d", k), fmtKops(res.kops), fmtDur(res.lat.Mean),
+				fmt.Sprintf("%.1f", res.fetchFrac*100),
+				fmt.Sprintf("%.2f", res.fanout))
+		}
+	}
+	return table, nil
+}
+
+type knnResult struct {
+	kops      float64
+	lat       stats.Summary
+	fetchFrac float64
+	fanout    float64
+}
+
+func runKNN(o Options, data []rtree.Entry, clients int, arm string, k int) (knnResult, error) {
+	if arm == "sharded-4" {
+		return runKNNSharded(o, data, clients, k)
+	}
+	e := sim.New(o.Seed)
+	net := fabric.NewNetwork(e, netmodel.InfiniBand100G)
+	serverCPU := sim.NewCPU(e, o.ServerCores)
+	serverHost := net.NewHost("server", serverCPU)
+	tree, err := buildTree(data)
+	if err != nil {
+		return knnResult{}, err
+	}
+	scfg := server.Config{
+		Engine: e, Host: serverHost, Tree: tree,
+		Cost:              netmodel.DefaultCostModel(),
+		Mode:              server.ModeEvent,
+		HeartbeatInterval: o.HeartbeatInv,
+	}
+	if arm == "adaptive-3way" {
+		scfg.FetchSlots = 64
+	}
+	srv, err := server.New(scfg)
+	if err != nil {
+		return knnResult{}, err
+	}
+	lat := stats.NewHistogram()
+	var ops uint64
+	var makespan time.Duration
+	var runErr error
+	cs := make([]*client.Client, clients)
+	wg := sim.NewWaitGroup(e)
+	for i := range cs {
+		host := net.NewHost(fmt.Sprintf("c%d", i/32), sim.NewCPU(e, 28))
+		ep, err := srv.Connect(host, net, 16)
+		if err != nil {
+			return knnResult{}, err
+		}
+		ccfg := client.Config{
+			Engine: e, Host: host, Endpoint: ep,
+			Cost:         netmodel.DefaultCostModel(),
+			HeartbeatInv: o.HeartbeatInv,
+		}
+		if arm == "adaptive-3way" {
+			ccfg.Adaptive = true
+			ccfg.Fetch = true
+		} else {
+			ccfg.Forced = client.MethodFast
+		}
+		cs[i], err = client.New(ccfg)
+		if err != nil {
+			return knnResult{}, err
+		}
+	}
+	for i, c := range cs {
+		i, c := i, c
+		wg.Add(1)
+		e.Spawn(fmt.Sprintf("knn-driver-%d", i), func(p *sim.Proc) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + 700 + int64(i)))
+			for r := 0; r < o.Requests; r++ {
+				x, y := rng.Float64(), rng.Float64()
+				start := p.Now()
+				nbrs, _, err := c.Nearest(p, k, x, y)
+				if err != nil {
+					runErr = err
+					return
+				}
+				lat.Record(p.Now() - start)
+				ops++
+				if p.Now() > makespan {
+					makespan = p.Now()
+				}
+				if r%50 == 0 {
+					// Equivalence spot check: the remote answer must be the
+					// local best-first answer, bit for bit. The sim is
+					// cooperative, so reading the (static) tree here races
+					// with nothing.
+					want, _, werr := tree.Nearest(k, x, y)
+					if werr != nil {
+						runErr = werr
+						return
+					}
+					if err := sameNeighbors(nbrs, want); err != nil {
+						runErr = fmt.Errorf("remote kNN diverged from local at (%g, %g): %w", x, y, err)
+						return
+					}
+				}
+			}
+		})
+	}
+	e.Spawn("stop", func(p *sim.Proc) { wg.Wait(p); e.Stop() })
+	if err := e.Run(); err != nil {
+		return knnResult{}, err
+	}
+	if runErr != nil {
+		return knnResult{}, runErr
+	}
+	var fast, fetch uint64
+	for _, c := range cs {
+		st := c.Stats()
+		fast += st.FastSearches
+		fetch += st.FetchSearches
+	}
+	out := knnResult{lat: lat.Summarize(), fanout: 1}
+	if makespan > 0 {
+		out.kops = float64(ops) / makespan.Seconds() / 1e3
+	}
+	if fast+fetch > 0 {
+		out.fetchFrac = float64(fetch) / float64(fast+fetch)
+	}
+	return out, nil
+}
+
+func runKNNSharded(o Options, data []rtree.Entry, clients, k int) (knnResult, error) {
+	const K = 4
+	e := sim.New(o.Seed)
+	net := fabric.NewNetwork(e, netmodel.InfiniBand100G)
+	smap, err := shard.Build(data, shard.Config{K: K})
+	if err != nil {
+		return knnResult{}, err
+	}
+	assign := smap.Assign(data)
+	servers := make([]*server.Server, K)
+	for s := 0; s < K; s++ {
+		host := net.NewHost(fmt.Sprintf("shard-%d", s), sim.NewCPU(e, o.ServerCores))
+		tree, err := buildTree(assign[s])
+		if err != nil {
+			return knnResult{}, err
+		}
+		servers[s], err = server.New(server.Config{
+			Engine: e, Host: host, Tree: tree,
+			Cost:              netmodel.DefaultCostModel(),
+			Mode:              server.ModeEvent,
+			HeartbeatInterval: o.HeartbeatInv,
+		})
+		if err != nil {
+			return knnResult{}, err
+		}
+	}
+	lat := stats.NewHistogram()
+	var ops uint64
+	var makespan time.Duration
+	var runErr error
+	routers := make([]*shard.Router, clients)
+	for i := range routers {
+		host := net.NewHost(fmt.Sprintf("c%d", i/32), sim.NewCPU(e, 28))
+		cs := make([]*client.Client, K)
+		for s := 0; s < K; s++ {
+			ep, err := servers[s].Connect(host, net, 16)
+			if err != nil {
+				return knnResult{}, err
+			}
+			cs[s], err = client.New(client.Config{
+				Engine: e, Host: host, Endpoint: ep,
+				Cost:         netmodel.DefaultCostModel(),
+				Forced:       client.MethodFast,
+				HeartbeatInv: o.HeartbeatInv,
+			})
+			if err != nil {
+				return knnResult{}, err
+			}
+		}
+		routers[i], err = shard.NewRouter(shard.RouterConfig{
+			Engine: e, Map: smap, Clients: cs,
+		})
+		if err != nil {
+			return knnResult{}, err
+		}
+	}
+	wg := sim.NewWaitGroup(e)
+	for i, r := range routers {
+		i, r := i, r
+		wg.Add(1)
+		e.Spawn(fmt.Sprintf("knn-router-%d", i), func(p *sim.Proc) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + 900 + int64(i)))
+			for q := 0; q < o.Requests; q++ {
+				x, y := rng.Float64(), rng.Float64()
+				start := p.Now()
+				if _, err := r.Nearest(p, k, x, y); err != nil {
+					runErr = err
+					return
+				}
+				lat.Record(p.Now() - start)
+				ops++
+				if p.Now() > makespan {
+					makespan = p.Now()
+				}
+			}
+		})
+	}
+	e.Spawn("stop", func(p *sim.Proc) { wg.Wait(p); e.Stop() })
+	if err := e.Run(); err != nil {
+		return knnResult{}, err
+	}
+	if runErr != nil {
+		return knnResult{}, runErr
+	}
+	var knns, fanout uint64
+	for _, r := range routers {
+		st := r.Stats()
+		knns += st.KNNs
+		fanout += st.Fanout
+	}
+	out := knnResult{lat: lat.Summarize()}
+	if makespan > 0 {
+		out.kops = float64(ops) / makespan.Seconds() / 1e3
+	}
+	if knns > 0 {
+		out.fanout = float64(fanout) / float64(knns)
+	}
+	return out, nil
+}
+
+// sameNeighbors reports the first divergence between two neighbor lists.
+func sameNeighbors(got, want []rtree.Neighbor) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d neighbors, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("neighbor %d is %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// AblationHotspot replays a flash-crowd trace — Zipfian spatial hotspots
+// whose hottest cell migrates abruptly between phases — against static
+// deployments and the autoscaler, on real localhost TCP. Broad hotspot
+// scans saturate the hot shard's paced TX line; a static partition cannot
+// follow the crowd, while the autoscaler splits whichever cell runs hot,
+// so the flash-crowd p99 (ops after the first migration) is the claim:
+// autoscaling cuts it well below static-1 without overprovisioning like
+// static-4 everywhere. The geo serving mix rides along: position MOVEs
+// (upserts into the live tree) and kNN queries at the hotspot.
+func AblationHotspot(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	n := o.DatasetSize
+	if n > 20000 {
+		n = 20000
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	data := make([]rtree.Entry, n)
+	for i := range data {
+		data[i] = rtree.Entry{
+			Rect: randRectIn(rng, geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 0.005),
+			Ref:  uint64(i),
+		}
+	}
+	loaders := 16
+	// Long enough phases that the steady crowd, not the handful of ops
+	// stalled behind each reshard, decides the post-migration p99.
+	opsPerLoader := o.Requests * 9
+	if opsPerLoader > 7500 {
+		opsPerLoader = 7500
+	}
+	const (
+		deadline = 5 * time.Millisecond
+		slo      = 5 * time.Millisecond
+	)
+	table := stats.NewTable("mode", "finalK", "splits", "ops", "viol%", "overloaded",
+		"p99_us", "crowd_p99_us", "hotshard")
+	addRow := func(mode string, r hotspotResult) {
+		table.AddRow(mode,
+			fmt.Sprintf("%d", r.finalK),
+			fmt.Sprintf("%d", r.splits),
+			fmt.Sprintf("%d", r.ops),
+			fmt.Sprintf("%.2f", 100*float64(r.violations)/float64(max(r.ops, 1))),
+			fmt.Sprintf("%d", r.overloaded),
+			fmtDur(r.p99),
+			fmtDur(r.crowdP99),
+			fmt.Sprintf("%d", r.hotShard))
+	}
+	for _, k := range []int{1, 4} {
+		r, err := runHotspotMode(o, data, k, loaders, opsPerLoader, deadline, slo)
+		if err != nil {
+			return nil, fmt.Errorf("ablation hotspot static K=%d: %w", k, err)
+		}
+		addRow(fmt.Sprintf("static-%d", k), r)
+	}
+	r, err := runHotspotMode(o, data, 0, loaders, opsPerLoader, deadline, slo)
+	if err != nil {
+		return nil, fmt.Errorf("ablation hotspot: %w", err)
+	}
+	addRow("autoscale", r)
+	return table, nil
+}
+
+// hotspotPhases is the flash-crowd trace length: the hotspot migrates at
+// every phase boundary, so phases 1.. are the post-crowd regime whose p99
+// the ablation reports.
+const hotspotPhases = 3
+
+// hotspotGrid is the Zipf sampler's cell grid (16 cells at 4×4: coarse
+// enough that one cell carries a real hotspot, fine enough that a split
+// isolates it).
+const hotspotGrid = 4
+
+type hotspotResult struct {
+	ops, violations, overloaded int
+	finalK                      int
+	splits                      uint64
+	p99, crowdP99               time.Duration
+	hotShard                    int
+}
+
+// runHotspotMode replays the flash-crowd trace against one deployment
+// (staticK > 0 fixed, 0 autoscaled from K=1), reusing the autoscale
+// ablation's live-resharding deployment machinery. Every loader derives
+// each phase's Zipf grid from the same seed, so the whole fleet agrees on
+// where the crowd is — that agreement is what makes it a flash crowd.
+func runHotspotMode(o Options, data []rtree.Entry, staticK, loaders, opsPerLoader int,
+	deadline, slo time.Duration) (hotspotResult, error) {
+	var res hotspotResult
+	k := staticK
+	autoscaled := staticK == 0
+	if autoscaled {
+		k = 1
+	}
+	hb := o.HeartbeatInv
+	if hb < 2*time.Millisecond {
+		hb = 2 * time.Millisecond
+	}
+	m, err := shard.Build(data, shard.Config{K: k, MaxInsertEdge: 0.01})
+	if err != nil {
+		return res, err
+	}
+	d := &asDeploy{m: m, hb: hb}
+	d.srvCfg = func() rpcnet.ServerConfig {
+		return rpcnet.ServerConfig{
+			HeartbeatInterval: hb,
+			TXLineRateBps:     100e6,
+			PaceTX:            true,
+			AdmissionUtil:     0.75,
+		}
+	}
+	defer d.close()
+
+	assign := m.Assign(data)
+	for s := 0; s < k; s++ {
+		srv, addr, url, err := d.newASServer(assign[s], autoscaled)
+		if err != nil {
+			return res, err
+		}
+		d.srvs = append(d.srvs, srv)
+		d.addrs = append(d.addrs, addr)
+		if autoscaled {
+			d.urls = append(d.urls, url)
+		}
+	}
+	for s, srv := range d.srvs {
+		if err := srv.AdoptShardMap(m, s, d.addrs); err != nil {
+			return res, err
+		}
+	}
+
+	routers := make([]*rpcnet.Router, loaders)
+	for i := range routers {
+		c, err := rpcnet.Connect(d.addrs,
+			rpcnet.WithDeadline(deadline),
+			rpcnet.WithSeed(o.Seed+int64(i)),
+			rpcnet.WithHealthMultiple(100),
+		)
+		if err != nil {
+			return res, err
+		}
+		defer c.Close()
+		routers[i] = c.(*rpcnet.Router)
+	}
+	d.routers = routers
+
+	// Hotspot-shard telemetry: where the crowd is, and which shard owns it.
+	// The gauges read only atomics, so a scrape never touches router state.
+	var hotCellBits atomic.Uint64 // packed (phase<<32 | cell) of the current hot cell
+	hotOps := make([]atomic.Uint64, 16)
+	reg := telemetry.NewRegistry()
+	hotOwner := func() int {
+		cell := int(hotCellBits.Load() & 0xffffffff)
+		cw := 1.0 / hotspotGrid
+		cx := (float64(cell%hotspotGrid) + 0.5) * cw
+		cy := (float64(cell/hotspotGrid) + 0.5) * cw
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return d.m.Owner(geo.PointRect(cx, cy))
+	}
+	reg.GaugeFunc("catfish_hotspot_shard", func() float64 { return float64(hotOwner()) })
+	for s := range hotOps {
+		s := s
+		reg.With("shard", fmt.Sprintf("%d", s)).CounterFunc("catfish_hotspot_ops_total", func() uint64 {
+			return hotOps[s].Load()
+		})
+	}
+
+	var ctl *autoscale.Controller
+	var stop chan struct{}
+	if autoscaled {
+		// MaxK leaves headroom beyond the first hotspot's splits (the crowd
+		// migrates twice more, and a controller that spent its whole split
+		// budget on phase 0 cannot chase it), but not much more: every
+		// split stalls in-flight ops while the peeled half streams over,
+		// so an over-eager policy buys its extra shards with a reshard
+		// tail that swamps the p99 it was meant to cut.
+		ctl = autoscale.NewController(asScraper{d}, d, autoscale.PolicyConfig{
+			TargetUtil:  0.5,
+			ScaleUpUtil: 0.8,
+			MaxK:        8,
+			Cooldown:    25 * hb,
+			TXOnly:      true,
+		})
+		stop = make(chan struct{})
+		go ctl.Run(stop, 2*hb)
+	}
+
+	phaseGrid := func(phase int) *scenario.ZipfGrid {
+		// Same seed across loaders ⇒ same permutation ⇒ the fleet agrees
+		// on the hotspot; each loader still samples from its own instance
+		// (rand.Zipf is not goroutine-safe).
+		return scenario.NewZipfGrid(rand.New(rand.NewSource(o.Seed*31+int64(phase))), hotspotGrid, 1.4)
+	}
+
+	type loadOut struct {
+		ops, violations, overloaded int
+		lats, crowdLats             []time.Duration
+		err                         error
+	}
+	outs := make([]loadOut, loaders)
+	var wg sync.WaitGroup
+	for li := 0; li < loaders; li++ {
+		li := li
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := &outs[li]
+			rng := rand.New(rand.NewSource(o.Seed + 2000 + int64(li)))
+			r := routers[li]
+			// Each loader's courier fleet: MOVEs are upserts, so the first
+			// move of each object inserts it into the live tree.
+			fleet := scenario.NewMovingObjects(rng, scenario.MovingConfig{
+				N: 64, RefBase: uint64(1<<30) + uint64(li)<<20,
+			})
+			var pending []scenario.Move
+			opsPerPhase := opsPerLoader / hotspotPhases
+			for phase := 0; phase < hotspotPhases; phase++ {
+				grid := phaseGrid(phase)
+				if li == 0 {
+					hotCellBits.Store(uint64(phase)<<32 | uint64(gridCell(grid)))
+				}
+				for i := 0; i < opsPerPhase; i++ {
+					t0 := time.Now()
+					var err error
+					switch draw := rng.Float64(); {
+					case draw < 0.70:
+						// The crowd: broad scans at the hotspot saturate the
+						// hot shard's TX line.
+						x, y := grid.Point(rng)
+						q := randRectIn(rng, geo.PointRect(x, y), 0.07)
+						hotOps[ownerOf(d, q)%16].Add(1)
+						_, _, err = r.Search(q)
+					case draw < 0.80:
+						// Courier position updates ride along.
+						if len(pending) == 0 {
+							pending = fleet.Tick(rng, pending)
+						}
+						mv := pending[len(pending)-1]
+						pending = pending[:len(pending)-1]
+						err = r.Move(mv.From, mv.To, mv.Ref)
+					case draw < 0.90:
+						// "Nearest drivers" at the hotspot.
+						x, y := grid.Point(rng)
+						_, _, err = r.Nearest(8, x, y)
+					default:
+						q := randRectIn(rng, geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 0.03)
+						_, _, err = r.Search(q)
+					}
+					lat := time.Since(t0)
+					out.ops++
+					out.lats = append(out.lats, lat)
+					if phase > 0 {
+						out.crowdLats = append(out.crowdLats, lat)
+					}
+					if errors.Is(err, rpcnet.ErrOverloaded) {
+						out.overloaded++
+					}
+					if err != nil || lat > slo {
+						out.violations++
+					}
+					if err != nil && !errors.Is(err, rpcnet.ErrOverloaded) {
+						out.err = err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if stop != nil {
+		close(stop)
+		res.splits = ctl.Stats().Splits
+	}
+
+	var lats, crowd []time.Duration
+	for i := range outs {
+		if outs[i].err != nil {
+			return res, outs[i].err
+		}
+		res.ops += outs[i].ops
+		res.violations += outs[i].violations
+		res.overloaded += outs[i].overloaded
+		lats = append(lats, outs[i].lats...)
+		crowd = append(crowd, outs[i].crowdLats...)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	sort.Slice(crowd, func(i, j int) bool { return crowd[i] < crowd[j] })
+	if len(lats) > 0 {
+		res.p99 = lats[len(lats)*99/100]
+	}
+	if len(crowd) > 0 {
+		res.crowdP99 = crowd[len(crowd)*99/100]
+	}
+	res.hotShard = hotOwner()
+	d.mu.Lock()
+	res.finalK = d.m.K()
+	d.mu.Unlock()
+	return res, nil
+}
+
+// gridCell returns the hot (rank-1) cell index of g.
+func gridCell(g *scenario.ZipfGrid) int {
+	hot := g.HotCell()
+	x, y := hot.Center()
+	return int(y*hotspotGrid)*hotspotGrid + int(x*hotspotGrid)
+}
+
+// ownerOf looks up q's owning shard under the deployment's current map.
+func ownerOf(d *asDeploy, q geo.Rect) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.m.Owner(q)
+}

@@ -138,7 +138,8 @@ func TestPublicRealNetAPI(t *testing.T) {
 	}
 	defer srv.Close()
 	go srv.Serve() //nolint:errcheck
-	c, err := catfish.Dial(srv.Addr().String(), catfish.NetClientConfig{Forced: catfish.NetMethodOffload})
+	c, err := catfish.Connect([]string{srv.Addr().String()},
+		catfish.WithForced(catfish.NetMethodOffload))
 	if err != nil {
 		t.Fatal(err)
 	}

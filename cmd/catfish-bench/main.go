@@ -77,7 +77,7 @@ func run() error {
 		}
 	}
 	if *ablation != "" {
-		for _, a := range expand(*ablation, []string{"n", "t", "heartbeat", "multiissue", "batch", "chunk", "rootcache", "nodecache", "prefetch", "predictor", "fetch", "shards", "failover", "autoscale", "framework"}) {
+		for _, a := range expand(*ablation, []string{"n", "t", "heartbeat", "multiissue", "batch", "chunk", "rootcache", "nodecache", "prefetch", "predictor", "fetch", "shards", "failover", "autoscale", "moving", "knn", "hotspot", "framework"}) {
 			if err := runAblation(a, opts); err != nil {
 				return err
 			}
@@ -208,6 +208,12 @@ func runAblation(name string, opts bench.Options) error {
 		t, err = bench.AblationFailover(opts)
 	case "autoscale":
 		t, err = bench.AblationAutoscale(opts)
+	case "moving":
+		t, err = bench.AblationMovingObjects(opts)
+	case "knn":
+		t, err = bench.AblationKNN(opts)
+	case "hotspot":
+		t, err = bench.AblationHotspot(opts)
 	case "framework":
 		t, err = bench.Framework(opts)
 	default:

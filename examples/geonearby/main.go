@@ -114,8 +114,16 @@ func run() error {
 			}
 		})
 	}
+	// A concierge session asks for "the 5 closest restaurants" over the
+	// wire once the rush is over — the server runs the R-tree's best-first
+	// kNN and replies with the neighbors in distance order.
+	var remoteNearest []catfish.Neighbor
 	engine.Spawn("coordinator", func(p *catfish.Proc) {
 		wg.Wait(p)
+		var err error
+		if remoteNearest, _, err = clients[0].Nearest(p, 5, 0.5, 0.5); err != nil {
+			runErr = err
+		}
 		engine.Stop()
 	})
 	if err := engine.Run(); err != nil {
@@ -141,14 +149,17 @@ func run() error {
 	fmt.Printf("virtual duration: %v; server searches executed: %d\n",
 		engine.Now(), srv.Stats().Searches)
 
-	// Bonus: "the 5 closest restaurants" — the R-tree's best-first kNN.
-	nearest, _, err := tree.Nearest(5, 0.5, 0.5)
+	// The remote answer must match a local best-first traversal exactly.
+	local, _, err := tree.Nearest(5, 0.5, 0.5)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("5 POIs nearest to the city center:")
-	for _, n := range nearest {
+	fmt.Printf("5 POIs nearest to the city center (remote kNN):")
+	for i, n := range remoteNearest {
 		fmt.Printf(" #%d", n.Ref)
+		if n != local[i] {
+			return fmt.Errorf("remote kNN diverged from local traversal at rank %d", i)
+		}
 	}
 	fmt.Println()
 	return nil

@@ -50,7 +50,7 @@ func run() error {
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
-		w, err := catfish.Dial(srv.Addr().String(), catfish.NetClientConfig{})
+		w, err := catfish.Connect([]string{srv.Addr().String()})
 		if err != nil {
 			log.Println("writer:", err)
 			return
@@ -74,16 +74,17 @@ func run() error {
 	var wg sync.WaitGroup
 	for _, mode := range []struct {
 		name string
-		cfg  catfish.NetClientConfig
+		opts []catfish.Option
 	}{
-		{"fast", catfish.NetClientConfig{Forced: catfish.NetMethodFast}},
-		{"offload", catfish.NetClientConfig{Forced: catfish.NetMethodOffload, MultiIssue: true}},
+		{"fast", []catfish.Option{catfish.WithForced(catfish.NetMethodFast)}},
+		{"offload", []catfish.Option{catfish.WithClientConfig(
+			catfish.NetClientConfig{Forced: catfish.NetMethodOffload, MultiIssue: true})}},
 	} {
 		mode := mode
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := catfish.Dial(srv.Addr().String(), mode.cfg)
+			c, err := catfish.Connect([]string{srv.Addr().String()}, mode.opts...)
 			if err != nil {
 				log.Println(mode.name, err)
 				return
@@ -102,7 +103,7 @@ func run() error {
 				}
 				hits += len(items)
 			}
-			st := c.Stats()
+			st := c.Snapshot()
 			fmt.Printf("%-8s %d searches in %v (avg %.1f hits, %d chunk reads, %d torn retries)\n",
 				mode.name, n, time.Since(start).Round(time.Millisecond),
 				float64(hits)/n, st.NodesFetched, st.TornRetries)
@@ -111,6 +112,25 @@ func run() error {
 	wg.Wait()
 	close(stop)
 	writerWG.Wait()
+
+	// Remote kNN: best-first traversal cannot offload (every heap pop
+	// depends on the previous ones), so Nearest always executes
+	// server-side and replies with the neighbors in distance order.
+	kc, err := catfish.Connect([]string{srv.Addr().String()})
+	if err != nil {
+		return err
+	}
+	defer kc.Close()
+	nearest, _, err := kc.Nearest(5, 0.5, 0.5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("5 rectangles nearest to the center:")
+	for _, n := range nearest {
+		fmt.Printf(" #%d", n.Ref)
+	}
+	fmt.Println()
+
 	fmt.Printf("server totals: %+v\n", srv.Stats())
 	return nil
 }

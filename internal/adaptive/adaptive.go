@@ -132,6 +132,38 @@ func (s *Switch) Decide(now time.Duration, readHB func() float64, clearHB func()
 // is deterministic: it consumes no randomness, so arming it cannot perturb
 // the offload windows either.
 func (s *Switch) DecideMethod(now time.Duration, readHB func() (cpu, tx float64), clearHB func()) Choice {
+	s.consumeHeartbeat(now, readHB, clearHB)
+	if s.roff > 0 {
+		s.roff--
+		return ChooseOffload
+	}
+	if s.cfg.EnableFetch && s.PredictedTX() > s.cfg.TxT {
+		return ChooseFetch
+	}
+	return ChooseFast
+}
+
+// DecideServerSide is the decision path for operations that cannot be
+// offloaded — best-first kNN, where every heap pop depends on all previous
+// pops, so a client-side traversal would degenerate into one dependent
+// chunk read per visited node (see DESIGN.md §5.13). It runs the same
+// heartbeat consumption and window bookkeeping as DecideMethod, so the
+// switch's view of server load stays current, but it never opens, consumes,
+// or returns an offload window: a pinned operation arriving inside an open
+// window leaves the window intact for the next search. The only choice left
+// is fetch vs fast, by the same deterministic TX test as DecideMethod.
+func (s *Switch) DecideServerSide(now time.Duration, readHB func() (cpu, tx float64), clearHB func()) Choice {
+	s.consumeHeartbeat(now, readHB, clearHB)
+	if s.cfg.EnableFetch && s.PredictedTX() > s.cfg.TxT {
+		return ChooseFetch
+	}
+	return ChooseFast
+}
+
+// consumeHeartbeat is Algorithm 1's lines 12-17 (heartbeat-gated, see the
+// package comment): consume at most one fresh heartbeat per interval and
+// update the predictor and the randomized back-off window.
+func (s *Switch) consumeHeartbeat(now time.Duration, readHB func() (cpu, tx float64), clearHB func()) {
 	if now-s.t0 > s.cfg.Inv {
 		if u, utx := readHB(); u != 0 {
 			atomic.AddUint64(&s.HeartbeatsSeen, 1)
@@ -147,14 +179,6 @@ func (s *Switch) DecideMethod(now time.Duration, readHB func() (cpu, tx float64)
 			}
 		}
 	}
-	if s.roff > 0 {
-		s.roff--
-		return ChooseOffload
-	}
-	if s.cfg.EnableFetch && s.PredictedTX() > s.cfg.TxT {
-		return ChooseFetch
-	}
-	return ChooseFast
 }
 
 // predict applies the configured utilization predictor.

@@ -6,15 +6,19 @@ import (
 
 	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/replica"
+	"github.com/catfish-db/catfish/internal/rtree"
 	"github.com/catfish-db/catfish/internal/sim"
 	"github.com/catfish-db/catfish/internal/wire"
 )
 
-// BatchOp is one operation submitted through ExecBatch.
+// BatchOp is one operation submitted through ExecBatch. For MsgMove, Rect
+// is the source rectangle and Rect2 the destination; for MsgKNN, Rect is
+// the query point (a degenerate rectangle) and Ref carries k.
 type BatchOp struct {
-	Type wire.MsgType // MsgSearch, MsgInsert or MsgDelete
-	Rect geo.Rect
-	Ref  uint64 // insert/delete payload
+	Type  wire.MsgType // MsgSearch, MsgInsert, MsgDelete, MsgMove or MsgKNN
+	Rect  geo.Rect
+	Ref   uint64   // insert/delete/move payload; k for MsgKNN
+	Rect2 geo.Rect // move destination
 }
 
 // BatchResult is the outcome of one batched operation, in submission order.
@@ -53,6 +57,13 @@ func (c *Client) ExecBatch(p *sim.Proc, ops []BatchOp, results []BatchResult) []
 		case wire.MsgDelete:
 			results[0].Method = MethodFast
 			results[0].Err = c.Delete(p, op.Rect, op.Ref)
+		case wire.MsgMove:
+			results[0].Method = MethodFast
+			results[0].Err = c.Move(p, op.Rect, op.Rect2, op.Ref)
+		case wire.MsgKNN:
+			x, y := op.Rect.Center()
+			nbrs, m, err := c.Nearest(p, int(op.Ref), x, y)
+			results[0] = BatchResult{Method: m, Items: itemsFromNeighbors(nbrs), Err: err}
 		default:
 			items, m, err := c.Search(p, op.Rect)
 			results[0] = BatchResult{Method: m, Items: items, Err: err}
@@ -75,6 +86,29 @@ func (c *Client) ExecBatch(p *sim.Proc, ops []BatchOp, results []BatchResult) []
 		case wire.MsgDelete:
 			c.stats.Deletes.Inc()
 			wireOps = append(wireOps, wireOp{op: i})
+		case wire.MsgMove:
+			c.stats.Moves.Inc()
+			wireOps = append(wireOps, wireOp{op: i})
+		case wire.MsgKNN:
+			// kNN is pinned server-side (no offload arm; see Nearest), so the
+			// only routing question is fetch vs the messaging container.
+			c.stats.KNNSearches.Inc()
+			m := c.pinServerSide(c.cfg.Forced)
+			if c.cfg.Adaptive {
+				m = c.decideServerSide(p)
+			}
+			if m == MethodFetch && !useTCP && c.ep.MailboxMem != nil && c.ep.FetchQP != nil {
+				c.stats.FetchSearches.Inc()
+				results[i].Method = MethodFetch
+				wireOps = append(wireOps, wireOp{op: i, fetch: true})
+			} else {
+				if wireMethod == MethodTCP {
+					c.stats.TCPSearches.Inc()
+				} else {
+					c.stats.FastSearches.Inc()
+				}
+				wireOps = append(wireOps, wireOp{op: i})
+			}
 		case wire.MsgSearch:
 			m := c.cfg.Forced
 			if c.cfg.Adaptive {
@@ -115,12 +149,17 @@ func (c *Client) ExecBatch(p *sim.Proc, ops []BatchOp, results []BatchResult) []
 			op := ops[wireOps[j].op]
 			typ := op.Type
 			if wireOps[j].fetch {
-				typ = wire.MsgSearchFetch
+				if typ == wire.MsgKNN {
+					typ = wire.MsgKNNFetch
+				} else {
+					typ = wire.MsgSearchFetch
+				}
 			} else {
 				results[wireOps[j].op].Method = wireMethod
 			}
 			enc.Begin()
-			enc.Buf = wire.Request{Type: typ, ID: wireOps[j].id, Rect: op.Rect, Ref: op.Ref}.Encode(enc.Buf)
+			enc.Buf = wire.Request{Type: typ, ID: wireOps[j].id, Rect: op.Rect, Ref: op.Ref,
+				Rect2: op.Rect2}.Encode(enc.Buf)
 			enc.End()
 		}
 		payload := enc.Bytes()
@@ -286,17 +325,35 @@ func (c *Client) collectBatch(p *sim.Proc, ops []BatchOp, results []BatchResult,
 	for _, pd := range descs {
 		i := pd.op
 		if pd.desc.Status != wire.StatusOK {
-			results[i].Err = opError(wire.MsgSearch, pd.desc.Status)
+			results[i].Err = opError(ops[i].Type, pd.desc.Status)
 			continue
 		}
 		items, err := c.pullMailbox(p, pd.desc)
 		if err != nil {
 			c.stats.FetchFallbacks.Inc()
-			items, err = c.searchFast(p, ops[i].Rect)
+			if ops[i].Type == wire.MsgKNN {
+				x, y := ops[i].Rect.Center()
+				items, err = c.knnFast(p, int(ops[i].Ref), x, y)
+			} else {
+				items, err = c.searchFast(p, ops[i].Rect)
+			}
 		}
 		results[i].Items = append(results[i].Items, items...)
 		results[i].Err = err
 	}
+}
+
+// itemsFromNeighbors converts a neighbor list back to response items
+// (preserving ascending distance order) for the batched result surface.
+func itemsFromNeighbors(nbrs []rtree.Neighbor) []wire.Item {
+	if len(nbrs) == 0 {
+		return nil
+	}
+	items := make([]wire.Item, len(nbrs))
+	for i, nb := range nbrs {
+		items[i] = wire.Item{Rect: nb.Rect, Ref: nb.Ref}
+	}
+	return items
 }
 
 // opError maps a response status to the unbatched API's error for the
@@ -314,6 +371,10 @@ func opError(t wire.MsgType, status uint8) error {
 		return fmt.Errorf("%w: search status %d", ErrServer, status)
 	case t == wire.MsgInsert:
 		return fmt.Errorf("%w: insert status %d", ErrServer, status)
+	case t == wire.MsgMove:
+		return fmt.Errorf("%w: move status %d", ErrServer, status)
+	case t == wire.MsgKNN:
+		return fmt.Errorf("%w: knn status %d", ErrServer, status)
 	default:
 		return fmt.Errorf("%w: delete status %d", ErrServer, status)
 	}

@@ -45,7 +45,8 @@ func (s *Server) handleBatch(sc *srvConn, payload []byte) error {
 		req, err := wire.DecodeRequest(msg)
 		if err != nil {
 			req = wire.Request{} // answered with an error response below
-		} else if req.Type != wire.MsgSearch && req.Type != wire.MsgSearchFetch {
+		} else if req.Type != wire.MsgSearch && req.Type != wire.MsgSearchFetch &&
+			req.Type != wire.MsgKNN && req.Type != wire.MsgKNNFetch {
 			hasWrite = true
 		}
 		reqs = append(reqs, req)
@@ -111,6 +112,37 @@ func (s *Server) handleBatch(sc *srvConn, payload []byte) error {
 					s.fetchInline.Add(1)
 					out.items = items
 				}
+			}
+		case wire.MsgKNN:
+			s.knns.Add(1)
+			x, y := req.Rect.Center()
+			nbrs, _, err := s.tree.NearestShared(int(req.Ref), x, y)
+			if err == nil {
+				out.status = wire.StatusOK
+				out.items = itemsOfNeighbors(nbrs)
+			}
+		case wire.MsgKNNFetch:
+			s.knns.Add(1)
+			x, y := req.Rect.Center()
+			nbrs, _, err := s.tree.NearestShared(int(req.Ref), x, y)
+			if err == nil {
+				out.status = wire.StatusOK
+				items := itemsOfNeighbors(nbrs)
+				if desc, ok := s.tryMailboxDeliver(req.ID, items); ok {
+					s.fetchBytes.Add(uint64(desc.Bytes))
+					out.desc = desc
+					out.hasDesc = true
+				} else {
+					s.fetchInline.Add(1)
+					out.items = items
+				}
+			}
+		case wire.MsgMove:
+			s.moves.Add(1)
+			if s.repl != nil && !s.repl.Primary() {
+				out.status = wire.StatusNotPrimary
+			} else {
+				out.status = s.moveLocked(req)
 			}
 		case wire.MsgInsert:
 			s.inserts.Add(1)
@@ -237,9 +269,11 @@ func (s *Server) respondBatch(sc *srvConn, res []batchResult) error {
 
 // BatchOp is one operation submitted through ExecBatch.
 type BatchOp struct {
-	Type wire.MsgType // MsgSearch, MsgInsert or MsgDelete
-	Rect geo.Rect
-	Ref  uint64 // insert/delete payload
+	Type wire.MsgType // MsgSearch, MsgInsert, MsgDelete, MsgMove or MsgKNN
+	Rect geo.Rect     // query rect; move source; kNN query point (degenerate rect)
+	Ref  uint64       // insert/delete/move payload; k for MsgKNN
+	// Rect2 is the move destination (MsgMove only).
+	Rect2 geo.Rect
 }
 
 // BatchResult is the outcome of one batched operation, in submission order.
@@ -278,6 +312,12 @@ func (c *Client) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 			results[0] = BatchResult{Method: MethodFast, Err: c.Insert(op.Rect, op.Ref)}
 		case wire.MsgDelete:
 			results[0] = BatchResult{Method: MethodFast, Err: c.Delete(op.Rect, op.Ref)}
+		case wire.MsgMove:
+			results[0] = BatchResult{Method: MethodFast, Err: c.Move(op.Rect, op.Rect2, op.Ref)}
+		case wire.MsgKNN:
+			x, y := op.Rect.Center()
+			nbrs, m, err := c.Nearest(int(op.Ref), x, y)
+			results[0] = BatchResult{Method: m, Items: itemsOfNeighbors(nbrs), Err: err}
 		default:
 			items, m, err := c.Search(op.Rect)
 			results[0] = BatchResult{Method: m, Items: items, Err: err}
@@ -289,8 +329,26 @@ func (c *Client) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 	var offload []int
 	for i, op := range ops {
 		switch op.Type {
-		case wire.MsgInsert, wire.MsgDelete:
+		case wire.MsgInsert, wire.MsgDelete, wire.MsgMove:
 			wireOps = append(wireOps, wireOp{op: i})
+		case wire.MsgKNN:
+			// kNN is pinned to server-side execution (no offload arm): it
+			// rides the container over fast messaging, or — when the switch
+			// picks fetch — retyped to MsgKNNFetch with its result pulled
+			// from a mailbox slot after the collect.
+			m := c.pinServerSide(c.cfg.Forced)
+			if c.cfg.Adaptive {
+				m = c.decideServerSide()
+			}
+			c.stats.KNNSearches.Inc()
+			if m == MethodFetch && c.hello.FetchSlots > 0 {
+				c.stats.FetchSearches.Inc()
+				results[i].Method = MethodFetch
+				wireOps = append(wireOps, wireOp{op: i, fetch: true})
+			} else {
+				c.stats.FastSearches.Inc()
+				wireOps = append(wireOps, wireOp{op: i})
+			}
 		case wire.MsgSearch:
 			m := c.cfg.Forced
 			if c.cfg.Adaptive {
@@ -347,11 +405,15 @@ func (c *Client) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 				typ := op.Type
 				if wo.fetch {
 					typ = wire.MsgSearchFetch
+					if op.Type == wire.MsgKNN {
+						typ = wire.MsgKNNFetch
+					}
 				} else {
 					results[wo.op].Method = MethodFast
 				}
 				enc.Begin()
-				enc.Buf = wire.Request{Type: typ, ID: wo.id, Rect: op.Rect, Ref: op.Ref, DeadlineUS: dl}.Encode(enc.Buf)
+				enc.Buf = wire.Request{Type: typ, ID: wo.id, Rect: op.Rect, Ref: op.Ref,
+					Rect2: op.Rect2, DeadlineUS: dl}.Encode(enc.Buf)
 				enc.End()
 			}
 			payload := enc.Bytes()
@@ -391,13 +453,18 @@ func (c *Client) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 	for _, pd := range descs {
 		i := pd.op
 		if pd.desc.Status != wire.StatusOK {
-			results[i].Err = batchOpError(wire.MsgSearch, pd.desc.Status)
+			results[i].Err = batchOpError(ops[i].Type, pd.desc.Status)
 			continue
 		}
 		items, err := c.pullMailbox(pd.desc)
 		if err != nil {
 			c.stats.FetchFallbacks.Inc()
-			items, err = c.searchFast(ops[i].Rect)
+			if ops[i].Type == wire.MsgKNN {
+				x, y := ops[i].Rect.Center()
+				items, err = c.knnFast(int(ops[i].Ref), x, y)
+			} else {
+				items, err = c.searchFast(ops[i].Rect)
+			}
 		}
 		results[i].Items = append(results[i].Items, items...)
 		results[i].Err = err
@@ -496,6 +563,10 @@ func batchOpError(t wire.MsgType, status uint8) error {
 		return fmt.Errorf("%w: insert status %d", ErrServer, status)
 	case t == wire.MsgDelete:
 		return fmt.Errorf("%w: delete status %d", ErrServer, status)
+	case t == wire.MsgMove:
+		return fmt.Errorf("%w: move status %d", ErrServer, status)
+	case t == wire.MsgKNN:
+		return fmt.Errorf("%w: knn status %d", ErrServer, status)
 	default:
 		return fmt.Errorf("%w: status %d", ErrServer, status)
 	}

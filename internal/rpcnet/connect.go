@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/rtree"
 	"github.com/catfish-db/catfish/internal/telemetry"
 	"github.com/catfish-db/catfish/internal/wire"
 )
@@ -24,6 +25,16 @@ type Conn interface {
 	Insert(r geo.Rect, ref uint64) error
 	// Delete removes an entry by rectangle and ref.
 	Delete(r geo.Rect, ref uint64) error
+	// Move relocates entry (from, ref) to (to, ref) — atomic under one
+	// tree latch when one shard owns both positions, insert-then-delete
+	// across an ownership boundary. Upsert semantics: moving an unknown
+	// entry degrades to a plain insert.
+	Move(from, to geo.Rect, ref uint64) error
+	// Nearest returns the k entries nearest to (x, y) in ascending
+	// distance order, exactly matching a local rtree.Tree.Nearest over
+	// the deployment's union (a router gathers shards best-first). kNN is
+	// pinned to server-side execution, so the method is fast or fetch.
+	Nearest(k int, x, y float64) ([]rtree.Neighbor, Method, error)
 	// ExecBatch executes ops in one multiplexed flight; results is
 	// reused when non-nil. Per-op errors land in the results.
 	ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult

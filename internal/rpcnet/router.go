@@ -763,6 +763,45 @@ func (r *Router) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 			}
 			r.subOps[owner] = append(r.subOps[owner], op)
 			r.subIdx[owner] = append(r.subIdx[owner], i)
+		case wire.MsgMove:
+			if r.m.Owner(op.Rect) != r.m.Owner(op.Rect2) {
+				// A cross-owner move spans two shards' sub-batches, which no
+				// single latch covers: run it through the routed two-write
+				// path (insert at destination, delete at source) right away.
+				// This executes ahead of the batch's deferred same-owner
+				// sub-ops, so a cross-owner move is ordered against other
+				// ops on the same entry only across ExecBatch calls — a
+				// caller chaining several moves of one entry through a
+				// single batch must keep the chain within one owner.
+				results[i].Err = r.Move(op.Rect, op.Rect2, op.Ref)
+				continue
+			}
+			atomic.AddUint64(&r.stats.Moves, 1)
+			owner, err := r.writeTarget(op.Rect2)
+			if err != nil {
+				results[i].Err = err
+				continue
+			}
+			r.subOps[owner] = append(r.subOps[owner], op)
+			r.subIdx[owner] = append(r.subIdx[owner], i)
+		case wire.MsgKNN:
+			// A kNN's result set is not bounded by its (degenerate) query
+			// rect, so it cannot ride the coverage-intersection scatter: fan
+			// it to every healthy shard for a local k-best each, reduced to
+			// the global k-best after the merge below. The batch trades the
+			// single-op path's best-first pruning for staying on the batched
+			// fast path.
+			atomic.AddUint64(&r.stats.KNNs, 1)
+			targets, ok := r.healthyTargets(everything)
+			if !ok {
+				atomic.AddUint64(&r.stats.Skipped, 1)
+				continue
+			}
+			atomic.AddUint64(&r.stats.Fanout, uint64(len(targets)))
+			for _, t := range targets {
+				r.subOps[t] = append(r.subOps[t], op)
+				r.subIdx[t] = append(r.subIdx[t], i)
+			}
 		default:
 			atomic.AddUint64(&r.stats.Searches, 1)
 			targets, ok := r.healthyTargets(op.Rect)
@@ -815,6 +854,15 @@ func (r *Router) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 			}
 		}
 	}
+	// Each shard answered a batched kNN with its own ascending k-best; the
+	// global k-best is the distance-ordered, deduplicated head of the merged
+	// union. Distances recompute bit-exactly from the round-tripped rects,
+	// so the reduction matches a local Nearest over the union of the shards.
+	for i := range results {
+		if ops[i].Type == wire.MsgKNN && results[i].Err == nil {
+			results[i].Items = shard.KBestItems(results[i].Items, int(ops[i].Ref), ops[i].Rect)
+		}
+	}
 	// Repair pass: replica-class failures and admission sheds retry through
 	// the routed single-op paths (which fall back to backups, promote, or
 	// back off as the error class demands). Inert at R=1 with admission
@@ -831,6 +879,14 @@ func (r *Router) ExecBatch(ops []BatchOp, results []BatchResult) []BatchResult {
 			results[i].Err = r.Insert(op.Rect, op.Ref)
 		case wire.MsgDelete:
 			results[i].Err = r.Delete(op.Rect, op.Ref)
+		case wire.MsgMove:
+			results[i].Err = r.Move(op.Rect, op.Rect2, op.Ref)
+		case wire.MsgKNN:
+			x, y := op.Rect.Center()
+			nbrs, m, err := r.Nearest(int(op.Ref), x, y)
+			results[i].Items = append(results[i].Items, itemsOfNeighbors(nbrs)...)
+			results[i].Method = m
+			results[i].Err = err
 		default:
 			items, m, err := r.Search(op.Rect)
 			results[i].Items = append(results[i].Items, items...)

@@ -1,0 +1,147 @@
+// Router-side MOVE and remote kNN over real TCP — the sharded geo serving
+// operations of DESIGN.md §5.13, mirroring the simulated router's
+// internal/shard/move.go.
+package rpcnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/rtree"
+	"github.com/catfish-db/catfish/internal/shard"
+)
+
+// Move relocates entry (from, ref) to (to, ref). When both positions are
+// owned by the same shard it is a single MsgMove round trip, atomic under
+// that server's tree latch. When the move crosses an ownership boundary no
+// single latch covers it: the router inserts at the destination owner
+// first and then deletes at the source owner, so a concurrent search may
+// transiently observe the object twice but never absent. The source delete
+// tolerates ErrNotFound — a move is an upsert, exactly like the
+// single-shard MsgMove, so moving an object that was never inserted (or
+// whose source copy a repaired retry already removed) degrades to a plain
+// insert.
+func (r *Router) Move(from, to geo.Rect, ref uint64) error {
+	atomic.AddUint64(&r.stats.Moves, 1)
+	r.maybeAdopt()
+	if r.m.Owner(from) == r.m.Owner(to) {
+		owner, err := r.writeTarget(to)
+		if err != nil {
+			return err
+		}
+		return r.writeShard(owner, func(c *Client) error {
+			return c.Move(from, to, ref)
+		})
+	}
+	owner, err := r.writeTarget(to)
+	if err != nil {
+		return err
+	}
+	if err := r.writeShard(owner, func(c *Client) error {
+		return c.Insert(to, ref)
+	}); err != nil {
+		return err
+	}
+	owner, err = r.writeTarget(from)
+	if err != nil {
+		return err
+	}
+	err = r.writeShard(owner, func(c *Client) error {
+		return c.Delete(from, ref)
+	})
+	if errors.Is(err, ErrNotFound) {
+		err = nil
+	}
+	return err
+}
+
+// Nearest answers a k-nearest-neighbor query across the shards with a
+// best-first gather: shards are visited in ascending order of CoverDistSq
+// — the lower bound on any entry a shard can own — and the gather stops as
+// soon as k results are held and the next shard's bound exceeds the
+// current kth distance. On typical point queries that prunes the scatter
+// to one or two shards, versus the full fan-out a range search needs.
+// Partial results merge in (distance, ref) order and dedup by identity, so
+// an entry dual-written during a reshard window counts once. An unhealthy
+// shard without backups is skipped (counted in Stats().Skipped): kNN
+// availability degrades like Search availability rather than blocking.
+// The reported method is the first visited shard's (kNN never offloads, so
+// it is fast or fetch).
+func (r *Router) Nearest(k int, x, y float64) ([]rtree.Neighbor, Method, error) {
+	atomic.AddUint64(&r.stats.KNNs, 1)
+	if k <= 0 {
+		return nil, MethodFast, rtree.ErrBadK
+	}
+	r.maybeAdopt()
+	order := make([]int, r.m.K())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := r.m.CoverDistSq(order[a], x, y), r.m.CoverDistSq(order[b], x, y)
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	method := MethodFast
+	visited := false
+	var best []rtree.Neighbor
+	for _, s := range order {
+		if len(best) >= k && r.m.CoverDistSq(s, x, y) > best[k-1].DistSq {
+			break
+		}
+		if r.health != nil && len(r.cands[s]) <= 1 && !r.healthy(s) {
+			atomic.AddUint64(&r.stats.Skipped, 1)
+			continue
+		}
+		nbrs, m, err := r.knnShard(s, k, x, y)
+		if err != nil {
+			return nil, m, fmt.Errorf("shard %d: %w", s, err)
+		}
+		atomic.AddUint64(&r.stats.Fanout, 1)
+		if !visited {
+			method, visited = m, true
+		}
+		best = shard.MergeNeighbors(best, nbrs, k)
+	}
+	return best, method, nil
+}
+
+// knnShard runs one sub-query on shard s, retrying on the shard's other
+// replicas when the active server refuses service — the same backup-read
+// fallback searchShard gives range queries. An admission shed backs off on
+// the active replica like a write: kNN cannot ride searchOverloaded's
+// rect-shaped retry, so it reuses the bounded-backoff loop inline.
+func (r *Router) knnShard(s, k int, x, y float64) ([]rtree.Neighbor, Method, error) {
+	nbrs, m, err := r.shardClient(s).Nearest(k, x, y)
+	if errors.Is(err, ErrOverloaded) {
+		backoff := overloadBackoff
+		for attempt := 0; attempt < overloadAttempts && errors.Is(err, ErrOverloaded); attempt++ {
+			time.Sleep(backoff)
+			backoff *= 2
+			nbrs, m, err = r.shardClient(s).Nearest(k, x, y)
+		}
+	}
+	if err == nil || !failoverErr(err) {
+		return nbrs, m, err
+	}
+	for idx, c := range r.cands[s] {
+		if idx == r.active[s] {
+			continue
+		}
+		bn, bm, berr := c.Nearest(k, x, y)
+		if berr == nil {
+			atomic.AddUint64(&r.stats.BackupReads, 1)
+			return bn, bm, nil
+		}
+		if !failoverErr(berr) {
+			return bn, bm, berr
+		}
+	}
+	return nil, m, err
+}

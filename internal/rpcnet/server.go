@@ -186,6 +186,8 @@ type Server struct {
 	searches   atomic.Uint64
 	inserts    atomic.Uint64
 	deletes    atomic.Uint64
+	moves      atomic.Uint64
+	knns       atomic.Uint64
 	reads      atomic.Uint64
 	verReads   atomic.Uint64
 	spanReads  atomic.Uint64
@@ -219,6 +221,8 @@ type Server struct {
 	latSearch *telemetry.Histogram
 	latInsert *telemetry.Histogram
 	latDelete *telemetry.Histogram
+	latMove   *telemetry.Histogram
+	latKNN    *telemetry.Histogram
 	start     time.Time
 
 	// Replication and failover state (nil repl = replication disabled);
@@ -337,6 +341,8 @@ func Listen(addr string, tree *rtree.Tree, cfg ServerConfig) (*Server, error) {
 		reg.CounterFunc("catfish_server_span_chunks_total", s.spanChunks.Load)
 		reg.CounterFunc("catfish_server_inserts_total", s.inserts.Load)
 		reg.CounterFunc("catfish_server_deletes_total", s.deletes.Load)
+		reg.CounterFunc("catfish_server_moves_total", s.moves.Load)
+		reg.CounterFunc("catfish_server_knn_total", s.knns.Load)
 		reg.CounterFunc("catfish_server_batches_total", s.batches.Load)
 		reg.CounterFunc("catfish_server_batched_ops_total", s.batchedOps.Load)
 		reg.GaugeFunc("catfish_server_utilization", s.lastUtil.Load)
@@ -359,6 +365,8 @@ func Listen(addr string, tree *rtree.Tree, cfg ServerConfig) (*Server, error) {
 		s.latSearch = reg.Histogram("catfish_request_latency_seconds", "op", "search")
 		s.latInsert = reg.Histogram("catfish_request_latency_seconds", "op", "insert")
 		s.latDelete = reg.Histogram("catfish_request_latency_seconds", "op", "delete")
+		s.latMove = reg.Histogram("catfish_request_latency_seconds", "op", "move")
+		s.latKNN = reg.Histogram("catfish_request_latency_seconds", "op", "knn")
 		if s.repl != nil {
 			reg.CounterFunc("catfish_server_promotions_total", s.promotions.Load)
 			reg.CounterFunc("catfish_server_repl_records_total", s.replRecords.Load)
@@ -451,6 +459,8 @@ type ServerStats struct {
 	Searches     uint64
 	Inserts      uint64
 	Deletes      uint64
+	Moves        uint64
+	KNNs         uint64
 	ChunkReads   uint64
 	VersionReads uint64
 	// SpanReads counts READ_SPAN round trips; SpanChunks the chunks they
@@ -495,6 +505,8 @@ func (s *Server) Stats() ServerStats {
 		Searches:        s.searches.Load(),
 		Inserts:         s.inserts.Load(),
 		Deletes:         s.deletes.Load(),
+		Moves:           s.moves.Load(),
+		KNNs:            s.knns.Load(),
 		ChunkReads:      s.reads.Load(),
 		VersionReads:    s.verReads.Load(),
 		SpanReads:       s.spanReads.Load(),
@@ -621,7 +633,8 @@ func (s *Server) serveConn(sc *srvConn) {
 			if err := s.handleRequest(sc, req); err != nil {
 				return
 			}
-		case wire.MsgSearch, wire.MsgInsert, wire.MsgDelete, wire.MsgSearchFetch:
+		case wire.MsgSearch, wire.MsgInsert, wire.MsgDelete, wire.MsgSearchFetch,
+			wire.MsgMove, wire.MsgKNN, wire.MsgKNNFetch:
 			// Data operations go through the shared dispatcher (workers
 			// account their own busy time).
 			if err := s.disp.submit(sc, typ, frame); err != nil {
@@ -965,8 +978,120 @@ func (s *Server) handleRequest(sc *srvConn, req wire.Request) error {
 		s.latch.Unlock()
 		s.latDelete.Record(time.Since(opStart))
 		return sc.send(wire.Response{ID: req.ID, Status: status, Final: true}.Encode(nil))
+
+	case wire.MsgMove:
+		s.moves.Add(1)
+		opStart := time.Now()
+		s.latch.Lock()
+		var status uint8
+		if s.repl != nil && !s.repl.Primary() {
+			status = wire.StatusNotPrimary
+		} else {
+			status = s.moveLocked(req)
+		}
+		s.latch.Unlock()
+		s.latMove.Record(time.Since(opStart))
+		return sc.send(wire.Response{ID: req.ID, Status: status, Final: true}.Encode(nil))
+
+	case wire.MsgKNN:
+		s.knns.Add(1)
+		opStart := time.Now()
+		items, status := s.knnShared(req)
+		lat := time.Since(opStart)
+		s.latKNN.Record(lat)
+		if s.cfg.Trace != nil {
+			tr := telemetry.Trace{
+				Start:   time.Since(s.start) - lat,
+				Method:  "fast",
+				Shard:   int(s.shardIdx.Load()),
+				Latency: lat,
+			}
+			if status != wire.StatusOK {
+				tr.Err = fmt.Sprintf("knn status %d", status)
+			}
+			s.cfg.Trace.Record(tr)
+		}
+		if status != wire.StatusOK {
+			return sc.send(wire.Response{ID: req.ID, Status: status, Final: true}.Encode(nil))
+		}
+		return s.sendSegmented(sc, req.ID, items)
+
+	case wire.MsgKNNFetch:
+		// The fetch twin of MsgKNN: the ascending-distance result lands in a
+		// mailbox slot (slot packing preserves item order, so the client
+		// pulls the neighbors already sorted) or inline when small.
+		s.knns.Add(1)
+		opStart := time.Now()
+		items, status := s.knnShared(req)
+		s.latKNN.Record(time.Since(opStart))
+		if status != wire.StatusOK {
+			return sc.send(wire.Response{ID: req.ID, Status: status, Final: true}.Encode(nil))
+		}
+		if desc, ok := s.tryMailboxDeliver(req.ID, items); ok {
+			s.fetchBytes.Add(uint64(desc.Bytes))
+			return sc.send(desc.Encode(nil))
+		}
+		s.fetchInline.Add(1)
+		return s.sendSegmented(sc, req.ID, items)
 	}
 	return fmt.Errorf("rpcnet: unhandled request type %d", req.Type)
+}
+
+// moveLocked runs the delete+insert pair of a MOVE with the exclusive
+// latch already held, so no concurrent search can observe the entry
+// absent. A miss on the delete degrades the move to a plain insert (upsert
+// semantics — the exact state the equivalent delete-then-insert stream
+// reaches). Replication streams the pair as two op-log records under the
+// same latch hold: the delete record only when a source entry existed, the
+// insert record always.
+func (s *Server) moveLocked(req wire.Request) uint8 {
+	deleted, _, err := s.tree.Delete(req.Rect, req.Ref)
+	if err != nil {
+		return wire.StatusError
+	}
+	if deleted {
+		if s.repl != nil {
+			if rerr := s.replicate(wire.MsgDelete, req.Rect, req.Ref); rerr != nil {
+				return replStatus(rerr)
+			}
+		}
+		if ferr := s.forwardSplit(wire.MsgDelete, req.Rect, req.Ref); ferr != nil {
+			return wire.StatusError
+		}
+	}
+	if _, err := s.tree.Insert(req.Rect2, req.Ref); err != nil {
+		return wire.StatusError
+	}
+	if s.repl != nil {
+		if rerr := s.replicate(wire.MsgInsert, req.Rect2, req.Ref); rerr != nil {
+			return replStatus(rerr)
+		}
+	}
+	if ferr := s.forwardSplit(wire.MsgInsert, req.Rect2, req.Ref); ferr != nil {
+		return wire.StatusError
+	}
+	return wire.StatusOK
+}
+
+// knnShared answers a kNN request under the shared read latch: the query
+// point is the degenerate rect's center, k rides Ref, and NearestShared
+// keeps all statistics in locals so parallel kNNs race nothing.
+func (s *Server) knnShared(req wire.Request) ([]wire.Item, uint8) {
+	if s.killed.Load() {
+		return nil, wire.StatusUnavailable
+	}
+	x, y := req.Rect.Center()
+	s.latch.RLock()
+	nbrs, _, err := s.tree.NearestShared(int(req.Ref), x, y)
+	s.latch.RUnlock()
+	if err != nil {
+		return nil, wire.StatusError
+	}
+	items := make([]wire.Item, len(nbrs))
+	for i, n := range nbrs {
+		items[i] = wire.Item{Rect: n.Rect, Ref: n.Ref}
+	}
+	return items, wire.StatusOK
 }
 
 func (s *Server) sendSegmented(sc *srvConn, id uint64, items []wire.Item) error {

@@ -3,6 +3,7 @@ package rtree
 import (
 	"container/heap"
 	"errors"
+	"fmt"
 
 	"github.com/catfish-db/catfish/internal/geo"
 )
@@ -77,4 +78,50 @@ func (t *Tree) Nearest(k int, x, y float64) ([]Neighbor, OpStats, error) {
 		}
 	}
 	return out, t.stats, nil
+}
+
+// NearestShared is Nearest for concurrent callers: it serves nodes from
+// the write-through cache and keeps its statistics in locals, touching no
+// tree scratch state, so parallel kNNs can run under a shared read latch
+// exactly like SearchShared. Requires the node cache (ErrNeedCache). The
+// traversal — heap, push order, tie resolution — is identical to Nearest,
+// so the two return bit-identical results for the same tree state.
+func (t *Tree) NearestShared(k int, x, y float64) ([]Neighbor, OpStats, error) {
+	var st OpStats
+	if k <= 0 {
+		return nil, st, ErrBadK
+	}
+	if t.cache == nil {
+		return nil, st, ErrNeedCache
+	}
+	var pq knnHeap
+	pq.pushItem(knnItem{distSq: 0, chunk: t.rootChunk})
+	out := make([]Neighbor, 0, k)
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(knnItem)
+		if it.isItem {
+			out = append(out, Neighbor{Rect: it.entry.Rect, Ref: it.entry.Ref, DistSq: it.distSq})
+			st.Results++
+			if len(out) == k {
+				return out, st, nil
+			}
+			continue
+		}
+		n := t.cache[it.chunk]
+		if n == nil {
+			return out, st, fmt.Errorf("rtree: chunk %d missing from cache", it.chunk)
+		}
+		st.NodesRead++
+		for _, e := range n.Entries {
+			child := knnItem{distSq: e.Rect.DistSqToPoint(x, y)}
+			if n.IsLeaf() {
+				child.isItem = true
+				child.entry = e
+			} else {
+				child.chunk = int(e.Ref)
+			}
+			pq.pushItem(child)
+		}
+	}
+	return out, st, nil
 }

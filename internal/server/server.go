@@ -119,6 +119,10 @@ type Stats struct {
 	Results   uint64
 	Heartbeat uint64
 	Segments  uint64
+	// Moves counts MsgMove requests (single-latch delete+insert); KNNs
+	// counts MsgKNN/MsgKNNFetch nearest-neighbor queries.
+	Moves uint64
+	KNNs  uint64
 	// Batches counts batch containers executed; BatchedOps the operations
 	// they carried (single-latch, single-charge fast-messaging batching).
 	Batches    uint64
@@ -273,6 +277,10 @@ func New(cfg Config) (*Server, error) {
 			func() uint64 { return atomic.LoadUint64(&s.stats.Inserts) })
 		reg.CounterFunc("catfish_server_deletes_total",
 			func() uint64 { return atomic.LoadUint64(&s.stats.Deletes) })
+		reg.CounterFunc("catfish_server_moves_total",
+			func() uint64 { return atomic.LoadUint64(&s.stats.Moves) })
+		reg.CounterFunc("catfish_server_knn_total",
+			func() uint64 { return atomic.LoadUint64(&s.stats.KNNs) })
 		reg.CounterFunc("catfish_server_results_total",
 			func() uint64 { return atomic.LoadUint64(&s.stats.Results) })
 		reg.CounterFunc("catfish_server_heartbeats_total",
@@ -316,6 +324,8 @@ func (s *Server) Stats() Stats {
 		Results:    atomic.LoadUint64(&s.stats.Results),
 		Heartbeat:  atomic.LoadUint64(&s.stats.Heartbeat),
 		Segments:   atomic.LoadUint64(&s.stats.Segments),
+		Moves:      atomic.LoadUint64(&s.stats.Moves),
+		KNNs:       atomic.LoadUint64(&s.stats.KNNs),
 		Batches:    atomic.LoadUint64(&s.stats.Batches),
 		BatchedOps: atomic.LoadUint64(&s.stats.BatchedOps),
 
@@ -564,6 +574,56 @@ func (s *Server) handle(p *sim.Proc, c *conn, req wire.Request) {
 		s.charge(p, c, s.cfg.Cost.InsertDemand(st.NodesRead, st.NodesWritten))
 		s.respond(p, c, wire.Response{ID: req.ID, Status: status, Final: true}, nil)
 
+	case wire.MsgMove:
+		atomic.AddUint64(&s.stats.Moves, 1)
+		s.latch.Lock(p)
+		status := wire.StatusOK
+		var st rtree.OpStats
+		if s.cfg.Replica != nil && !s.cfg.Replica.Primary() {
+			status = wire.StatusNotPrimary
+		} else {
+			st, status = s.moveLocked(p, req)
+		}
+		s.latch.Unlock()
+		s.charge(p, c, s.cfg.Cost.InsertDemand(st.NodesRead, st.NodesWritten))
+		s.respond(p, c, wire.Response{ID: req.ID, Status: status, Final: true}, nil)
+
+	case wire.MsgKNN:
+		atomic.AddUint64(&s.stats.KNNs, 1)
+		s.latch.RLock(p)
+		items, st, err := s.knnCollect(req)
+		s.latch.RUnlock()
+		if err != nil {
+			s.respond(p, c, wire.Response{ID: req.ID, Status: wire.StatusError, Final: true}, nil)
+			return
+		}
+		atomic.AddUint64(&s.stats.Results, uint64(len(items)))
+		s.charge(p, c, s.cfg.Cost.SearchDemand(st.NodesRead, st.Results))
+		s.respond(p, c, wire.Response{ID: req.ID, Status: wire.StatusOK}, items)
+
+	case wire.MsgKNNFetch:
+		atomic.AddUint64(&s.stats.KNNs, 1)
+		atomic.AddUint64(&s.stats.FetchSearches, 1)
+		s.latch.RLock(p)
+		items, st, err := s.knnCollect(req)
+		s.latch.RUnlock()
+		if err != nil {
+			s.respond(p, c, wire.Response{ID: req.ID, Status: wire.StatusError, Final: true}, nil)
+			return
+		}
+		atomic.AddUint64(&s.stats.Results, uint64(len(items)))
+		// Mailbox packing preserves item order, so ascending-distance order
+		// survives the slot write and the client's one-sided pull.
+		if desc, ok := s.tryMailboxDeliver(items); ok {
+			s.charge(p, c, s.cfg.Cost.FetchDemand(st.NodesRead, st.Results))
+			desc.ID = req.ID
+			s.send(p, c, desc.Encode(nil))
+			return
+		}
+		atomic.AddUint64(&s.stats.FetchInline, 1)
+		s.charge(p, c, s.cfg.Cost.SearchDemand(st.NodesRead, st.Results))
+		s.respond(p, c, wire.Response{ID: req.ID, Status: wire.StatusOK}, items)
+
 	case wire.MsgPromote:
 		// Failover control plane: adopt req.Ref as the shard's new epoch and
 		// start accepting client writes. Riding the Request frame keeps the
@@ -603,7 +663,8 @@ func (s *Server) handleBatch(p *sim.Proc, c *conn, payload []byte) {
 		req, err := wire.DecodeRequest(msg)
 		if err != nil {
 			req = wire.Request{} // answered with an error response below
-		} else if req.Type != wire.MsgSearch && req.Type != wire.MsgSearchFetch {
+		} else if req.Type != wire.MsgSearch && req.Type != wire.MsgSearchFetch &&
+			req.Type != wire.MsgKNN && req.Type != wire.MsgKNNFetch {
 			hasWrite = true
 		}
 		reqs = append(reqs, req)
@@ -664,6 +725,41 @@ func (s *Server) handleBatch(p *sim.Proc, c *conn, payload []byte) {
 					demand += s.cfg.Cost.SearchDemandBatched(i, st.NodesRead, st.Results)
 				}
 			}
+		case wire.MsgKNN:
+			atomic.AddUint64(&s.stats.KNNs, 1)
+			items, st, err := s.knnCollect(req)
+			if err == nil {
+				out.status = wire.StatusOK
+				out.items = items
+				atomic.AddUint64(&s.stats.Results, uint64(len(items)))
+				demand += s.cfg.Cost.SearchDemandBatched(i, st.NodesRead, st.Results)
+			}
+		case wire.MsgKNNFetch:
+			atomic.AddUint64(&s.stats.KNNs, 1)
+			atomic.AddUint64(&s.stats.FetchSearches, 1)
+			items, st, err := s.knnCollect(req)
+			if err == nil {
+				out.status = wire.StatusOK
+				atomic.AddUint64(&s.stats.Results, uint64(len(items)))
+				if desc, ok := s.tryMailboxDeliver(items); ok {
+					desc.ID = req.ID
+					out.desc, out.hasDesc = desc, true
+					demand += s.cfg.Cost.FetchDemandBatched(i, st.NodesRead, st.Results)
+				} else {
+					atomic.AddUint64(&s.stats.FetchInline, 1)
+					out.items = items
+					demand += s.cfg.Cost.SearchDemandBatched(i, st.NodesRead, st.Results)
+				}
+			}
+		case wire.MsgMove:
+			atomic.AddUint64(&s.stats.Moves, 1)
+			if s.cfg.Replica != nil && !s.cfg.Replica.Primary() {
+				out.status = wire.StatusNotPrimary
+				break
+			}
+			st, status := s.moveLocked(p, req)
+			out.status = status
+			demand += s.cfg.Cost.InsertDemandBatched(i, st.NodesRead, st.NodesWritten)
 		case wire.MsgInsert:
 			atomic.AddUint64(&s.stats.Inserts, 1)
 			if s.cfg.Replica != nil && !s.cfg.Replica.Primary() {
@@ -806,6 +902,54 @@ func (s *Server) tryMailboxDeliver(items []wire.Item) (wire.FetchDesc, bool) {
 		Count:  uint32(len(items)),
 		Seq:    ref.Seq,
 	}, true
+}
+
+// moveLocked relocates entry (req.Rect, req.Ref) to (req.Rect2, req.Ref).
+// The caller holds the exclusive tree latch, so no concurrent search can
+// observe the object absent between the delete and the insert. A missing
+// source entry degrades the move to a plain insert — exactly the state the
+// equivalent delete-then-insert stream reaches, since a failed delete does
+// not suppress the insert that follows it. The fixed ReplRecord layout
+// carries one rectangle, so a move replicates as two op-log records
+// (delete, then insert) under the same latch hold; a backup read may
+// observe the inter-record gap, which replication already tolerates for
+// unbatched delete+insert pairs.
+func (s *Server) moveLocked(p *sim.Proc, req wire.Request) (rtree.OpStats, uint8) {
+	deleted, st, err := s.tree.Delete(req.Rect, req.Ref)
+	if err != nil {
+		return st, wire.StatusError
+	}
+	if deleted {
+		if rerr := s.replicate(p, wire.MsgDelete, req.Rect, req.Ref); rerr != nil {
+			return st, replStatus(rerr)
+		}
+	}
+	ist, err := s.insertStaged(p, req.Rect2, req.Ref)
+	st.NodesRead += ist.NodesRead
+	st.NodesWritten += ist.NodesWritten
+	if err != nil {
+		return st, wire.StatusError
+	}
+	if rerr := s.replicate(p, wire.MsgInsert, req.Rect2, req.Ref); rerr != nil {
+		return st, replStatus(rerr)
+	}
+	return st, wire.StatusOK
+}
+
+// knnCollect runs the k-nearest-neighbor query encoded in req (the query
+// point is Rect's center, Ref carries k), returning the neighbors as
+// response items in ascending distance order.
+func (s *Server) knnCollect(req wire.Request) ([]wire.Item, rtree.OpStats, error) {
+	x, y := req.Rect.Center()
+	nbrs, st, err := s.tree.Nearest(int(req.Ref), x, y)
+	if err != nil {
+		return nil, st, err
+	}
+	items := make([]wire.Item, len(nbrs))
+	for i, nb := range nbrs {
+		items[i] = wire.Item{Rect: nb.Rect, Ref: nb.Ref}
+	}
+	return items, st, nil
 }
 
 // searchCollect runs the search, collecting items.

@@ -2,9 +2,11 @@ package shard
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"github.com/catfish-db/catfish/internal/client"
+	"github.com/catfish-db/catfish/internal/geo"
 	"github.com/catfish-db/catfish/internal/replica"
 	"github.com/catfish-db/catfish/internal/sim"
 	"github.com/catfish-db/catfish/internal/wire"
@@ -44,6 +46,45 @@ func (r *Router) ExecBatch(p *sim.Proc, ops []client.BatchOp, results []client.B
 			}
 			r.subOps[owner] = append(r.subOps[owner], op)
 			r.subIdx[owner] = append(r.subIdx[owner], i)
+		case wire.MsgMove:
+			if r.m.Owner(op.Rect) != r.m.Owner(op.Rect2) {
+				// A cross-owner move spans two shards' sub-batches, which no
+				// single latch covers: run it through the routed two-write
+				// path (insert at destination, delete at source) right away.
+				// This executes ahead of the batch's deferred same-owner
+				// sub-ops, so a cross-owner move is ordered against other
+				// ops on the same entry only across ExecBatch calls — a
+				// caller chaining several moves of one entry through a
+				// single batch must keep the chain within one owner.
+				results[i].Err = r.Move(p, op.Rect, op.Rect2, op.Ref)
+				continue
+			}
+			atomic.AddUint64(&r.stats.Moves, 1)
+			owner, err := r.writeTarget(p, op.Rect2)
+			if err != nil {
+				results[i].Err = err
+				continue
+			}
+			r.subOps[owner] = append(r.subOps[owner], op)
+			r.subIdx[owner] = append(r.subIdx[owner], i)
+		case wire.MsgKNN:
+			// A kNN's result set is not bounded by its (degenerate) query
+			// rect, so it cannot ride the coverage-intersection scatter: fan
+			// it to every healthy shard for a local k-best each, reduced to
+			// the global k-best after the merge below. The batch trades the
+			// single-op path's best-first pruning for staying on the batched
+			// fast path.
+			atomic.AddUint64(&r.stats.KNNs, 1)
+			targets, ok := r.healthyTargets(everything(), now)
+			if !ok {
+				atomic.AddUint64(&r.stats.Skipped, 1)
+				continue
+			}
+			atomic.AddUint64(&r.stats.Fanout, uint64(len(targets)))
+			for _, t := range targets {
+				r.subOps[t] = append(r.subOps[t], op)
+				r.subIdx[t] = append(r.subIdx[t], i)
+			}
 		default:
 			atomic.AddUint64(&r.stats.Searches, 1)
 			targets, ok := r.healthyTargets(op.Rect, now)
@@ -98,6 +139,15 @@ func (r *Router) ExecBatch(p *sim.Proc, ops []client.BatchOp, results []client.B
 			}
 		}
 	}
+	// Each shard answered a batched kNN with its own ascending k-best; the
+	// global k-best is the distance-ordered, deduplicated head of the merged
+	// union. Distances recompute bit-exactly from the round-tripped rects,
+	// so the reduction matches a local Nearest over the union of the shards.
+	for i := range results {
+		if ops[i].Type == wire.MsgKNN && results[i].Err == nil {
+			results[i].Items = KBestItems(results[i].Items, int(ops[i].Ref), ops[i].Rect)
+		}
+	}
 	// Failover repair: operations that hit a server refusing service retry
 	// individually through the routed single-op paths, which promote a
 	// backup (writes) or fall back to one (reads). Replica-class errors
@@ -113,6 +163,15 @@ func (r *Router) ExecBatch(p *sim.Proc, ops []client.BatchOp, results []client.B
 			results[i].Err = r.Insert(p, op.Rect, op.Ref)
 		case wire.MsgDelete:
 			results[i].Err = r.Delete(p, op.Rect, op.Ref)
+		case wire.MsgMove:
+			results[i].Err = r.Move(p, op.Rect, op.Rect2, op.Ref)
+		case wire.MsgKNN:
+			x, y := op.Rect.Center()
+			nbrs, err := r.Nearest(p, int(op.Ref), x, y)
+			for _, n := range nbrs {
+				results[i].Items = append(results[i].Items, wire.Item{Rect: n.Rect, Ref: n.Ref})
+			}
+			results[i].Err = err
 		default:
 			items, m, err := r.Search(p, op.Rect)
 			results[i].Items = append(results[i].Items, items...)
@@ -121,4 +180,39 @@ func (r *Router) ExecBatch(p *sim.Proc, ops []client.BatchOp, results []client.B
 		}
 	}
 	return results
+}
+
+// KBestItems reduces the concatenation of per-shard ascending k-best lists
+// to the global k nearest: sort by recomputed distance (ties by ref, then
+// rect, the same total order MergeNeighbors uses), dedup identical entries
+// from reshard dual-write windows, keep k. Shared with the real-socket
+// router's batched kNN reduction.
+func KBestItems(items []wire.Item, k int, q geo.Rect) []wire.Item {
+	x, y := q.Center()
+	sort.Slice(items, func(a, b int) bool {
+		da, db := items[a].Rect.DistSqToPoint(x, y), items[b].Rect.DistSqToPoint(x, y)
+		if da != db {
+			return da < db
+		}
+		if items[a].Ref != items[b].Ref {
+			return items[a].Ref < items[b].Ref
+		}
+		if items[a].Rect.MinX != items[b].Rect.MinX {
+			return items[a].Rect.MinX < items[b].Rect.MinX
+		}
+		return items[a].Rect.MinY < items[b].Rect.MinY
+	})
+	out := items[:0]
+	for _, it := range items {
+		if len(out) > 0 {
+			if last := out[len(out)-1]; last.Ref == it.Ref && last.Rect == it.Rect {
+				continue
+			}
+		}
+		out = append(out, it)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
 }

@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"github.com/catfish-db/catfish/internal/client"
+	"github.com/catfish-db/catfish/internal/geo"
+	"github.com/catfish-db/catfish/internal/replica"
+	"github.com/catfish-db/catfish/internal/rtree"
+	"github.com/catfish-db/catfish/internal/sim"
+)
+
+// Move relocates entry (from, ref) to (to, ref). When both positions are
+// owned by the same shard it is a single MsgMove round trip, atomic under
+// that server's tree latch. When the move crosses an ownership boundary no
+// single latch covers it: the router inserts at the destination owner
+// first and then deletes at the source owner, so a concurrent search may
+// transiently observe the object twice but never absent. The source delete
+// tolerates ErrNotFound — a move is an upsert, exactly like the
+// single-shard MsgMove, so moving an object that was never inserted (or
+// whose source copy a repaired retry already removed) degrades to a plain
+// insert.
+func (r *Router) Move(p *sim.Proc, from, to geo.Rect, ref uint64) error {
+	atomic.AddUint64(&r.stats.Moves, 1)
+	if r.m.Owner(from) == r.m.Owner(to) {
+		owner, err := r.writeTarget(p, to)
+		if err != nil {
+			return err
+		}
+		return r.writeShard(p, owner, func(c *client.Client) error {
+			return c.Move(p, from, to, ref)
+		})
+	}
+	owner, err := r.writeTarget(p, to)
+	if err != nil {
+		return err
+	}
+	if err := r.writeShard(p, owner, func(c *client.Client) error {
+		return c.Insert(p, to, ref)
+	}); err != nil {
+		return err
+	}
+	owner, err = r.writeTarget(p, from)
+	if err != nil {
+		return err
+	}
+	err = r.writeShard(p, owner, func(c *client.Client) error {
+		return c.Delete(p, from, ref)
+	})
+	if errors.Is(err, client.ErrNotFound) {
+		err = nil
+	}
+	return err
+}
+
+// Nearest answers a k-nearest-neighbor query across the shards with a
+// best-first gather: shards are visited in ascending order of CoverDistSq
+// — the lower bound on any entry a shard can own — and the gather stops as
+// soon as k results are held and the next shard's bound exceeds the
+// current kth distance. On typical point queries that prunes the scatter
+// to one or two shards, versus the full fan-out a range search needs.
+// Partial results merge in (distance, ref) order and dedup by identity, so
+// an entry dual-written during a reshard window counts once. An unhealthy
+// shard without backups is skipped (counted in Stats().Skipped): kNN
+// availability degrades like Search availability rather than blocking.
+func (r *Router) Nearest(p *sim.Proc, k int, x, y float64) ([]rtree.Neighbor, error) {
+	atomic.AddUint64(&r.stats.KNNs, 1)
+	if k <= 0 {
+		return nil, rtree.ErrBadK
+	}
+	order := make([]int, r.m.K())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := r.m.CoverDistSq(order[a], x, y), r.m.CoverDistSq(order[b], x, y)
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	var best []rtree.Neighbor
+	for _, s := range order {
+		if len(best) >= k && r.m.CoverDistSq(s, x, y) > best[k-1].DistSq {
+			break
+		}
+		if r.health != nil && len(r.cands[s]) <= 1 && !r.health.Healthy(s, p.Now()) {
+			atomic.AddUint64(&r.stats.Skipped, 1)
+			continue
+		}
+		nbrs, err := r.knnShard(p, s, k, x, y)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		atomic.AddUint64(&r.stats.Fanout, 1)
+		best = MergeNeighbors(best, nbrs, k)
+	}
+	return best, nil
+}
+
+// knnShard runs one sub-query on shard s, retrying on the shard's other
+// replicas when the active server refuses service — the same backup-read
+// fallback searchShard gives range queries.
+func (r *Router) knnShard(p *sim.Proc, s, k int, x, y float64) ([]rtree.Neighbor, error) {
+	nbrs, _, err := r.shardClient(s).Nearest(p, k, x, y)
+	if err == nil || !replica.Failover(err) {
+		return nbrs, err
+	}
+	for idx, c := range r.cands[s] {
+		if idx == r.active[s] {
+			continue
+		}
+		bn, _, berr := c.Nearest(p, k, x, y)
+		if berr == nil {
+			atomic.AddUint64(&r.stats.BackupReads, 1)
+			return bn, nil
+		}
+		if !replica.Failover(berr) {
+			return bn, berr
+		}
+	}
+	return nil, err
+}
+
+// MergeNeighbors merges two ascending-distance neighbor lists, keeping at
+// most k. Ties break by (ref, rect) so the merge is a total order and
+// identical entries land adjacent, where the dedup drops the copy a
+// reshard dual-write window may have produced. Shared with the real-socket
+// router, whose best-first gather is the same algorithm over TCP.
+func MergeNeighbors(a, b []rtree.Neighbor, k int) []rtree.Neighbor {
+	out := make([]rtree.Neighbor, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var n rtree.Neighbor
+		switch {
+		case j >= len(b):
+			n, i = a[i], i+1
+		case i >= len(a):
+			n, j = b[j], j+1
+		case neighborLess(a[i], b[j]):
+			n, i = a[i], i+1
+		default:
+			n, j = b[j], j+1
+		}
+		if len(out) > 0 && sameNeighbor(out[len(out)-1], n) {
+			continue
+		}
+		out = append(out, n)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+func neighborLess(a, b rtree.Neighbor) bool {
+	if a.DistSq != b.DistSq {
+		return a.DistSq < b.DistSq
+	}
+	if a.Ref != b.Ref {
+		return a.Ref < b.Ref
+	}
+	if a.Rect.MinX != b.Rect.MinX {
+		return a.Rect.MinX < b.Rect.MinX
+	}
+	return a.Rect.MinY < b.Rect.MinY
+}
+
+func sameNeighbor(a, b rtree.Neighbor) bool {
+	return a.Ref == b.Ref && a.Rect == b.Rect
+}

@@ -40,9 +40,13 @@ type RouterConfig struct {
 // RouterStats counts router-level outcomes. Per-shard transport and
 // offloading counters live in each shard client's Stats.
 type RouterStats struct {
-	// Searches and Writes count routed operations.
+	// Searches and Writes count routed operations. A move counts toward
+	// Writes once per shard it touches (once same-owner, twice cross-owner)
+	// on top of its Moves count; a kNN counts only in KNNs.
 	Searches uint64
 	Writes   uint64
+	Moves    uint64
+	KNNs     uint64
 	// Fanout is the total number of shard sub-searches issued; divided by
 	// Searches it gives the mean fan-out per search.
 	Fanout uint64
@@ -189,6 +193,8 @@ func (r *Router) Stats() RouterStats {
 	return RouterStats{
 		Searches:        atomic.LoadUint64(&r.stats.Searches),
 		Writes:          atomic.LoadUint64(&r.stats.Writes),
+		Moves:           atomic.LoadUint64(&r.stats.Moves),
+		KNNs:            atomic.LoadUint64(&r.stats.KNNs),
 		Fanout:          atomic.LoadUint64(&r.stats.Fanout),
 		Skipped:         atomic.LoadUint64(&r.stats.Skipped),
 		UnhealthyWrites: atomic.LoadUint64(&r.stats.UnhealthyWrites),

@@ -360,6 +360,15 @@ func (m *Map) Targets(q geo.Rect, out []int) []int {
 	return out
 }
 
+// CoverDistSq returns the squared distance from (x, y) to shard s's
+// coverage rectangle. An entry owned by a cell never protrudes past the
+// cell's coverage, so this is a lower bound on the distance from (x, y) to
+// any entry shard s can hold — the ordering and pruning bound of the
+// routers' best-first cross-shard kNN gather.
+func (m *Map) CoverDistSq(s int, x, y float64) float64 {
+	return m.cover[s].DistSqToPoint(x, y)
+}
+
 // Assign buckets entries by owner; the i-th slice is shard i's bulk-load
 // set. Every server of a deployment derives the identical assignment from
 // the identical dataset.

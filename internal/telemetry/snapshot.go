@@ -11,6 +11,8 @@ type ClientMetrics struct {
 	TCPSearches     Counter
 	Inserts         Counter
 	Deletes         Counter
+	Moves           Counter // MOVE ops (single-latch delete+insert relocations)
+	KNNSearches     Counter // k-nearest-neighbor queries (always server-side)
 	TornRetries     Counter // version-check failures on one-sided reads
 	StaleRestarts   Counter // traversals restarted after structural change
 	NodesFetched    Counter // chunk reads issued for traversal
@@ -43,6 +45,8 @@ func (m *ClientMetrics) Snapshot() ClientSnapshot {
 		TCPSearches:     m.TCPSearches.Load(),
 		Inserts:         m.Inserts.Load(),
 		Deletes:         m.Deletes.Load(),
+		Moves:           m.Moves.Load(),
+		KNNSearches:     m.KNNSearches.Load(),
 		TornRetries:     m.TornRetries.Load(),
 		StaleRestarts:   m.StaleRestarts.Load(),
 		NodesFetched:    m.NodesFetched.Load(),
@@ -87,6 +91,8 @@ func (m *ClientMetrics) Register(reg *Registry) {
 	reg.CounterFunc("catfish_client_tcp_searches_total", m.TCPSearches.Load)
 	reg.CounterFunc("catfish_client_inserts_total", m.Inserts.Load)
 	reg.CounterFunc("catfish_client_deletes_total", m.Deletes.Load)
+	reg.CounterFunc("catfish_client_moves_total", m.Moves.Load)
+	reg.CounterFunc("catfish_client_knn_total", m.KNNSearches.Load)
 	reg.CounterFunc("catfish_client_torn_retries_total", m.TornRetries.Load)
 	reg.CounterFunc("catfish_client_stale_restarts_total", m.StaleRestarts.Load)
 	reg.CounterFunc("catfish_client_nodes_fetched_total", m.NodesFetched.Load)
@@ -146,6 +152,8 @@ type ClientSnapshot struct {
 	TCPSearches     uint64
 	Inserts         uint64
 	Deletes         uint64
+	Moves           uint64 // MOVE ops (single-latch delete+insert relocations)
+	KNNSearches     uint64 // k-nearest-neighbor queries (always server-side)
 	TornRetries     uint64 // version-check failures on one-sided reads
 	StaleRestarts   uint64 // traversals restarted after structural change
 	NodesFetched    uint64 // chunk reads issued for traversal
@@ -190,6 +198,8 @@ func (s ClientSnapshot) Add(other ClientSnapshot) ClientSnapshot {
 	s.TCPSearches += other.TCPSearches
 	s.Inserts += other.Inserts
 	s.Deletes += other.Deletes
+	s.Moves += other.Moves
+	s.KNNSearches += other.KNNSearches
 	s.TornRetries += other.TornRetries
 	s.StaleRestarts += other.StaleRestarts
 	s.NodesFetched += other.NodesFetched

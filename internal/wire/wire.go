@@ -59,8 +59,11 @@ const (
 // ErrCorrupt is returned when a message fails to decode.
 var ErrCorrupt = errors.New("wire: corrupt message")
 
-// Request is an R-tree operation request. Ref is meaningful for insert and
-// delete only. DeadlineUS, when nonzero, is the client's remaining latency
+// Request is an R-tree operation request. Ref is meaningful for insert,
+// delete, and move; for MsgKNN/MsgKNNFetch it carries k and Rect degenerates
+// to the query point. Rect2 is the destination rectangle of a MsgMove and is
+// encoded only for that type, so every other request keeps its legacy
+// layout. DeadlineUS, when nonzero, is the client's remaining latency
 // budget in microseconds (relative, so no clock synchronization is needed);
 // an admission-controlled server sheds the request if it cannot start
 // executing within that budget.
@@ -69,6 +72,7 @@ type Request struct {
 	ID         uint64
 	Rect       geo.Rect
 	Ref        uint64
+	Rect2      geo.Rect
 	DeadlineUS uint32
 }
 
@@ -84,8 +88,11 @@ const RequestSizeDeadline = RequestSize + 4
 func (r Request) Encode(buf []byte) []byte {
 	off := len(buf)
 	size := RequestSize
+	if r.Type == MsgMove {
+		size = MoveRequestSize
+	}
 	if r.DeadlineUS != 0 {
-		size = RequestSizeDeadline
+		size += 4
 	}
 	buf = append(buf, make([]byte, size)...)
 	b := buf[off:]
@@ -93,8 +100,13 @@ func (r Request) Encode(buf []byte) []byte {
 	binary.LittleEndian.PutUint64(b[1:], r.ID)
 	putRect(b[9:], r.Rect)
 	binary.LittleEndian.PutUint64(b[41:], r.Ref)
+	p := RequestSize
+	if r.Type == MsgMove {
+		putRect(b[49:], r.Rect2)
+		p = MoveRequestSize
+	}
 	if r.DeadlineUS != 0 {
-		binary.LittleEndian.PutUint32(b[49:], r.DeadlineUS)
+		binary.LittleEndian.PutUint32(b[p:], r.DeadlineUS)
 	}
 	return buf
 }
@@ -106,8 +118,10 @@ func DecodeRequest(b []byte) (Request, error) {
 		return Request{}, fmt.Errorf("%w: request %d bytes", ErrCorrupt, len(b))
 	}
 	typ := MsgType(b[0])
-	if typ != MsgSearch && typ != MsgInsert && typ != MsgDelete && typ != MsgSearchFetch &&
-		typ != MsgPromote {
+	switch typ {
+	case MsgSearch, MsgInsert, MsgDelete, MsgSearchFetch, MsgPromote, MsgMove, MsgKNN,
+		MsgKNNFetch:
+	default:
 		return Request{}, fmt.Errorf("%w: request type %d", ErrCorrupt, typ)
 	}
 	r := Request{
@@ -116,8 +130,16 @@ func DecodeRequest(b []byte) (Request, error) {
 		Rect: getRect(b[9:]),
 		Ref:  binary.LittleEndian.Uint64(b[41:]),
 	}
-	if len(b) >= RequestSizeDeadline {
-		r.DeadlineUS = binary.LittleEndian.Uint32(b[49:])
+	deadlineOff := RequestSize
+	if typ == MsgMove {
+		if len(b) < MoveRequestSize {
+			return Request{}, fmt.Errorf("%w: move request %d bytes", ErrCorrupt, len(b))
+		}
+		r.Rect2 = getRect(b[49:])
+		deadlineOff = MoveRequestSize
+	}
+	if len(b) >= deadlineOff+4 {
+		r.DeadlineUS = binary.LittleEndian.Uint32(b[deadlineOff:])
 	}
 	return r, nil
 }
@@ -270,7 +292,7 @@ func PeekType(b []byte) (MsgType, error) {
 		return 0, ErrCorrupt
 	}
 	t := MsgType(b[0])
-	if t < MsgSearch || t > MsgPromote {
+	if t < MsgSearch || t > MsgKNNFetch {
 		return 0, fmt.Errorf("%w: type %d", ErrCorrupt, t)
 	}
 	return t, nil

@@ -31,14 +31,19 @@ type Rea02Config struct {
 // sequentially reproduces the clustered insertion pattern that stresses
 // R*-tree splits.
 func Rea02Like(cfg Rea02Config) []rtree.Entry {
+	return Rea02LikeRand(rand.New(rand.NewSource(cfg.Seed)), cfg)
+}
+
+// Rea02LikeRand is Rea02Like drawing from a caller-provided source
+// (cfg.Seed is ignored), matching the injected-*rand.Rand convention of
+// the rest of the package.
+func Rea02LikeRand(rng *rand.Rand, cfg Rea02Config) []rtree.Entry {
 	if cfg.N == 0 {
 		cfg.N = Rea02Size
 	}
 	if cfg.SubRegionSize == 0 {
 		cfg.SubRegionSize = 20000
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
 	numSub := (cfg.N + cfg.SubRegionSize - 1) / cfg.SubRegionSize
 	grid := int(math.Ceil(math.Sqrt(float64(numSub))))
 	cell := 1.0 / float64(grid)

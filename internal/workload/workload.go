@@ -29,9 +29,16 @@ import (
 
 // UniformRects builds the paper's base dataset: n rectangles with edges
 // uniform in (0, maxEdge], placed uniformly so each rectangle stays inside
-// the unit square. Refs are 0..n-1.
+// the unit square. Refs are 0..n-1. It is the seeded convenience form of
+// UniformRectsRand.
 func UniformRects(n int, maxEdge float64, seed int64) []rtree.Entry {
-	rng := rand.New(rand.NewSource(seed))
+	return UniformRectsRand(rand.New(rand.NewSource(seed)), n, maxEdge)
+}
+
+// UniformRectsRand is UniformRects drawing from a caller-provided source,
+// like every other generator in the package, so a composite scenario can
+// thread one deterministic stream through dataset and traffic generation.
+func UniformRectsRand(rng *rand.Rand, n int, maxEdge float64) []rtree.Entry {
 	out := make([]rtree.Entry, n)
 	for i := range out {
 		out[i] = rtree.Entry{Rect: uniformRect(rng, maxEdge), Ref: uint64(i)}
